@@ -1,0 +1,212 @@
+//! Ground-truth shortest path graphs via two full breadth-first searches.
+//!
+//! For a query `SPG(u, v)` with `d = d_G(u, v)`, an edge `{a, b}` lies on a
+//! shortest path between `u` and `v` iff
+//! `d_G(u, a) + 1 + d_G(b, v) = d` or `d_G(u, b) + 1 + d_G(a, v) = d`
+//! (a direct consequence of Definition 2.2). Two full BFSs therefore give
+//! the exact answer in `O(|V| + |E|)` time per query — too slow for the
+//! online setting the paper targets, but the perfect oracle for testing and
+//! for the "straightforward solution" the introduction compares against.
+
+use qbs_graph::traversal::bfs_distances;
+use qbs_graph::{Distance, Graph, PathGraph, VertexId, INFINITE_DISTANCE};
+
+use crate::SpgEngine;
+
+/// The exact BFS-based oracle.
+///
+/// Holds only a reference-counted copy of the graph; no precomputation.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    graph: Graph,
+}
+
+impl GroundTruth {
+    /// Creates an oracle over a graph.
+    pub fn new(graph: Graph) -> Self {
+        GroundTruth { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Computes the shortest-path-graph answer for `(source, target)`.
+    pub fn shortest_path_graph(&self, source: VertexId, target: VertexId) -> PathGraph {
+        compute(&self.graph, source, target)
+    }
+
+    /// Distance between two vertices (convenience wrapper used by tests).
+    pub fn distance(&self, source: VertexId, target: VertexId) -> Distance {
+        if source == target {
+            return 0;
+        }
+        bfs_distances(&self.graph, source)[target as usize]
+    }
+}
+
+impl SpgEngine for GroundTruth {
+    fn query(&self, source: VertexId, target: VertexId) -> PathGraph {
+        self.shortest_path_graph(source, target)
+    }
+
+    fn name(&self) -> &'static str {
+        "BFS (ground truth)"
+    }
+}
+
+/// Computes the exact shortest path graph between `source` and `target` on
+/// `graph` using two full BFSs.
+pub fn compute(graph: &Graph, source: VertexId, target: VertexId) -> PathGraph {
+    let n = graph.num_vertices();
+    if source as usize >= n || target as usize >= n {
+        return PathGraph::unreachable(source, target);
+    }
+    if source == target {
+        return PathGraph::trivial(source);
+    }
+    let from_source = bfs_distances(graph, source);
+    let total = from_source[target as usize];
+    if total == INFINITE_DISTANCE {
+        return PathGraph::unreachable(source, target);
+    }
+    let from_target = bfs_distances(graph, target);
+
+    let mut edges = Vec::new();
+    for (a, b) in graph.edges() {
+        let da = from_source[a as usize];
+        let db = from_source[b as usize];
+        let ta = from_target[a as usize];
+        let tb = from_target[b as usize];
+        if da == INFINITE_DISTANCE || db == INFINITE_DISTANCE {
+            continue;
+        }
+        let forward = da.saturating_add(1).saturating_add(tb) == total;
+        let backward = db.saturating_add(1).saturating_add(ta) == total;
+        if forward || backward {
+            edges.push((a, b));
+        }
+    }
+    PathGraph::from_edges(source, target, total, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_graph::fixtures::{
+        figure1b_graph, figure3_graph, figure3_spg_3_7_edges, figure4_graph,
+        figure4_spg_6_11_edges,
+    };
+    use qbs_graph::GraphBuilder;
+
+    #[test]
+    fn reproduces_figure3_example() {
+        let g = figure3_graph();
+        let spg = compute(&g, 3, 7);
+        assert_eq!(spg.distance(), 4);
+        let expected = PathGraph::from_edges(3, 7, 4, figure3_spg_3_7_edges());
+        assert_eq!(spg, expected);
+        assert_eq!(spg.vertices(), vec![1, 2, 3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn reproduces_figure6f_answer() {
+        let g = figure4_graph();
+        let spg = compute(&g, 6, 11);
+        assert_eq!(spg.distance(), 5);
+        let expected = PathGraph::from_edges(6, 11, 5, figure4_spg_6_11_edges());
+        assert_eq!(spg, expected);
+    }
+
+    #[test]
+    fn symmetric_in_query_order() {
+        let g = figure4_graph();
+        let a = compute(&g, 6, 11);
+        let b = compute(&g, 11, 6);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.distance(), b.distance());
+    }
+
+    #[test]
+    fn figure1b_contains_all_three_paths() {
+        let g = figure1b_graph();
+        let spg = compute(&g, 0, 7);
+        assert_eq!(spg.distance(), 3);
+        assert_eq!(spg.num_edges(), 9);
+        assert_eq!(spg.num_vertices(), 8);
+    }
+
+    #[test]
+    fn adjacent_vertices_yield_single_edge() {
+        let g = figure3_graph();
+        let spg = compute(&g, 1, 2);
+        assert_eq!(spg.distance(), 1);
+        assert_eq!(spg.edges(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn same_vertex_is_trivial() {
+        let g = figure3_graph();
+        let spg = compute(&g, 5, 5);
+        assert_eq!(spg.distance(), 0);
+        assert_eq!(spg.num_edges(), 0);
+    }
+
+    #[test]
+    fn unreachable_pair_is_empty() {
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        b.reserve_vertices(4);
+        let g = b.build();
+        let spg = compute(&g, 0, 3);
+        assert!(!spg.is_reachable());
+        assert_eq!(spg.num_edges(), 0);
+    }
+
+    #[test]
+    fn out_of_range_vertices_are_unreachable() {
+        let g = figure3_graph();
+        assert!(!compute(&g, 1, 99).is_reachable());
+        assert!(!compute(&g, 99, 1).is_reachable());
+    }
+
+    #[test]
+    fn every_answer_edge_lies_on_a_shortest_path() {
+        // Structural invariant on a graph with many equal-length paths.
+        let g = qbs_graph::GraphBuilder::from_edges(
+            [
+                (0u32, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+                (0, 7),
+                (7, 8),
+                (8, 6),
+            ]
+            .into_iter(),
+        )
+        .build();
+        let spg = compute(&g, 0, 6);
+        let du = bfs_distances(&g, 0);
+        let dv = bfs_distances(&g, 6);
+        for &(a, b) in spg.edges() {
+            let on_path = du[a as usize] + 1 + dv[b as usize] == spg.distance()
+                || du[b as usize] + 1 + dv[a as usize] == spg.distance();
+            assert!(on_path, "edge ({a},{b}) not on a shortest path");
+        }
+    }
+
+    #[test]
+    fn engine_trait_exposes_name_and_zero_index_size() {
+        let g = figure3_graph();
+        let oracle = GroundTruth::new(g);
+        assert_eq!(oracle.name(), "BFS (ground truth)");
+        assert_eq!(oracle.index_size_bytes(), 0);
+        assert_eq!(oracle.distance(3, 7), 4);
+        assert_eq!(oracle.query(3, 7).distance(), 4);
+    }
+}

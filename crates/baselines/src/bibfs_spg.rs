@@ -1,0 +1,334 @@
+//! Bi-BFS: the search-based baseline of §6.1.
+//!
+//! The query is answered online with no precomputation: an alternating
+//! bidirectional BFS discovers the distance `d_G(u, v)` and the two
+//! distance fields around `u` and `v`, and a *reverse search* from the
+//! meeting vertices reconstructs every edge lying on a shortest path. This
+//! is the method labelled **Bi-BFS** in Table 2 of the paper.
+
+use qbs_graph::bibfs::SearchEffort;
+use qbs_graph::view::NeighborAccess;
+use qbs_graph::{Distance, Graph, PathGraph, VertexId, INFINITE_DISTANCE};
+
+use crate::SpgEngine;
+
+/// The bidirectional-search baseline.
+#[derive(Clone, Debug)]
+pub struct BiBfs {
+    graph: Graph,
+}
+
+/// A query answer together with the work counters used by the §6.5
+/// "edges traversed" comparison.
+#[derive(Clone, Debug)]
+pub struct BiBfsAnswer {
+    /// The shortest path graph.
+    pub spg: PathGraph,
+    /// Search-effort counters.
+    pub effort: SearchEffort,
+}
+
+impl BiBfs {
+    /// Creates the baseline over a graph.
+    pub fn new(graph: Graph) -> Self {
+        BiBfs { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Answers `SPG(source, target)` and reports search effort.
+    pub fn query_with_effort(&self, source: VertexId, target: VertexId) -> BiBfsAnswer {
+        compute(&self.graph, source, target)
+    }
+}
+
+impl SpgEngine for BiBfs {
+    fn query(&self, source: VertexId, target: VertexId) -> PathGraph {
+        compute(&self.graph, source, target).spg
+    }
+
+    fn name(&self) -> &'static str {
+        "Bi-BFS"
+    }
+}
+
+/// State of one side of the bidirectional search.
+struct Side {
+    dist: Vec<Distance>,
+    frontier: Vec<VertexId>,
+    level: Distance,
+    frontier_degree_sum: usize,
+}
+
+impl Side {
+    fn new(n: usize, source: VertexId, degree: usize) -> Self {
+        let mut dist = vec![INFINITE_DISTANCE; n];
+        dist[source as usize] = 0;
+        Side { dist, frontier: vec![source], level: 0, frontier_degree_sum: degree }
+    }
+
+    fn expand<G: NeighborAccess>(&mut self, graph: &G, effort: &mut SearchEffort) {
+        let mut next = Vec::new();
+        let mut degree_sum = 0usize;
+        for &u in &self.frontier {
+            effort.vertices_settled += 1;
+            graph.for_each_neighbor(u, |v| {
+                effort.edges_traversed += 1;
+                if self.dist[v as usize] == INFINITE_DISTANCE {
+                    self.dist[v as usize] = self.level + 1;
+                    degree_sum += graph.view_degree(v);
+                    next.push(v);
+                }
+            });
+        }
+        self.level += 1;
+        self.frontier = next;
+        self.frontier_degree_sum = degree_sum;
+    }
+}
+
+/// Computes the shortest path graph between `source` and `target` on any
+/// adjacency view with an alternating bidirectional BFS plus reverse search.
+///
+/// The function is generic so that `qbs-core` can reuse the identical
+/// machinery on the sparsified graph `G⁻` inside its guided search.
+pub fn compute_on_view<G: NeighborAccess>(
+    graph: &G,
+    source: VertexId,
+    target: VertexId,
+    bound: Distance,
+) -> BiBfsAnswer {
+    let n = graph.vertex_count();
+    let mut effort = SearchEffort::default();
+    if !graph.contains_vertex(source) || !graph.contains_vertex(target) {
+        return BiBfsAnswer { spg: PathGraph::unreachable(source, target), effort };
+    }
+    if source == target {
+        return BiBfsAnswer { spg: PathGraph::trivial(source), effort };
+    }
+
+    let mut fwd = Side::new(n, source, graph.view_degree(source));
+    let mut bwd = Side::new(n, target, graph.view_degree(target));
+    let mut meeting_distance = INFINITE_DISTANCE;
+
+    // Alternating level expansion until the frontiers provably met (or the
+    // bound / exhaustion proves disconnection within the bound).
+    loop {
+        if meeting_distance != INFINITE_DISTANCE {
+            break;
+        }
+        if fwd.frontier.is_empty() || bwd.frontier.is_empty() {
+            return BiBfsAnswer { spg: PathGraph::unreachable(source, target), effort };
+        }
+        if fwd.level + bwd.level >= bound {
+            return BiBfsAnswer { spg: PathGraph::unreachable(source, target), effort };
+        }
+
+        let expand_forward = fwd.frontier_degree_sum <= bwd.frontier_degree_sum;
+        if expand_forward {
+            effort.forward_levels += 1;
+            fwd.expand(graph, &mut effort);
+        } else {
+            effort.backward_levels += 1;
+            bwd.expand(graph, &mut effort);
+        }
+        let (just, other) = if expand_forward { (&fwd, &bwd) } else { (&bwd, &fwd) };
+        for &w in &just.frontier {
+            let od = other.dist[w as usize];
+            if od != INFINITE_DISTANCE {
+                let total = just.level + od;
+                if total < meeting_distance {
+                    meeting_distance = total;
+                }
+            }
+        }
+    }
+
+    let spg = reconstruct(graph, source, target, meeting_distance, &fwd.dist, &bwd.dist);
+    BiBfsAnswer { spg, effort }
+}
+
+/// Computes the shortest path graph on a full graph (unbounded search).
+pub fn compute(graph: &Graph, source: VertexId, target: VertexId) -> BiBfsAnswer {
+    compute_on_view(graph, source, target, INFINITE_DISTANCE)
+}
+
+/// Reverse search: given the (partial) distance fields around `source` and
+/// `target` and the true distance, walk back from every meeting vertex and
+/// collect each edge lying on a shortest path.
+///
+/// `dist_from_source[w]` / `dist_from_target[w]` must be exact BFS distances
+/// wherever they are finite, and every vertex `w` with
+/// `dist_from_source[w] + dist_from_target[w] == distance` for *some*
+/// shortest path must be finite in both fields — which is exactly the state
+/// the alternating search above terminates in.
+pub fn reconstruct<G: NeighborAccess>(
+    graph: &G,
+    source: VertexId,
+    target: VertexId,
+    distance: Distance,
+    dist_from_source: &[Distance],
+    dist_from_target: &[Distance],
+) -> PathGraph {
+    let n = graph.vertex_count();
+    // Meeting vertices: settled from both sides with a tight distance sum.
+    let mut meeting: Vec<VertexId> = Vec::new();
+    for w in 0..n as VertexId {
+        let ds = dist_from_source[w as usize];
+        let dt = dist_from_target[w as usize];
+        if ds != INFINITE_DISTANCE && dt != INFINITE_DISTANCE && ds + dt == distance {
+            meeting.push(w);
+        }
+    }
+
+    let mut edges = Vec::new();
+    // Walk toward the source following strictly decreasing source-distance.
+    let mut visited = vec![false; n];
+    let mut stack: Vec<VertexId> = meeting.clone();
+    for &w in &meeting {
+        visited[w as usize] = true;
+    }
+    while let Some(x) = stack.pop() {
+        let dx = dist_from_source[x as usize];
+        if dx == 0 {
+            continue;
+        }
+        graph.for_each_neighbor(x, |p| {
+            if dist_from_source[p as usize] != INFINITE_DISTANCE
+                && dist_from_source[p as usize] + 1 == dx
+            {
+                edges.push((p, x));
+                if !visited[p as usize] {
+                    visited[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        });
+    }
+    // Walk toward the target following strictly decreasing target-distance.
+    let mut visited = vec![false; n];
+    let mut stack: Vec<VertexId> = meeting.clone();
+    for &w in &meeting {
+        visited[w as usize] = true;
+    }
+    while let Some(x) = stack.pop() {
+        let dx = dist_from_target[x as usize];
+        if dx == 0 {
+            continue;
+        }
+        graph.for_each_neighbor(x, |p| {
+            if dist_from_target[p as usize] != INFINITE_DISTANCE
+                && dist_from_target[p as usize] + 1 == dx
+            {
+                edges.push((x, p));
+                if !visited[p as usize] {
+                    visited[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        });
+    }
+    PathGraph::from_edges(source, target, distance, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs_spg;
+    use qbs_graph::fixtures::{figure1b_graph, figure3_graph, figure4_graph};
+    use qbs_graph::view::{FilteredGraph, VertexFilter};
+    use qbs_graph::GraphBuilder;
+
+    fn assert_matches_ground_truth(graph: &Graph, pairs: &[(VertexId, VertexId)]) {
+        for &(u, v) in pairs {
+            let expected = bfs_spg::compute(graph, u, v);
+            let got = compute(graph, u, v).spg;
+            assert_eq!(got, expected, "query ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn matches_ground_truth_on_paper_figures() {
+        let g3 = figure3_graph();
+        assert_matches_ground_truth(&g3, &[(3, 7), (1, 7), (4, 6), (1, 2), (6, 7)]);
+        let g4 = figure4_graph();
+        assert_matches_ground_truth(
+            &g4,
+            &[(6, 11), (4, 10), (5, 9), (13, 8), (1, 11), (14, 12), (6, 6)],
+        );
+        let g1 = figure1b_graph();
+        assert_matches_ground_truth(&g1, &[(0, 7), (1, 5), (2, 4)]);
+    }
+
+    #[test]
+    fn exhaustive_pairs_on_figure4() {
+        let g = figure4_graph();
+        for u in 1..15u32 {
+            for v in 1..15u32 {
+                let expected = bfs_spg::compute(&g, u, v);
+                let got = compute(&g, u, v).spg;
+                assert_eq!(got, expected, "query ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_and_out_of_view_pairs() {
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        b.reserve_vertices(4);
+        let g = b.build();
+        assert!(!compute(&g, 0, 3).spg.is_reachable());
+
+        let g4 = figure4_graph();
+        let removed = VertexFilter::from_vertices(g4.num_vertices(), [1u32, 2, 3].into_iter());
+        let view = FilteredGraph::new(&g4, &removed);
+        let ans = compute_on_view(&view, 6, 4, INFINITE_DISTANCE);
+        assert!(!ans.spg.is_reachable());
+        let ans = compute_on_view(&view, 1, 6, INFINITE_DISTANCE);
+        assert!(!ans.spg.is_reachable());
+    }
+
+    #[test]
+    fn bounded_search_respects_bound() {
+        let g = figure4_graph();
+        // d(6, 11) = 5, so a bound of 4 must report unreachable.
+        let ans = compute_on_view(&g, 6, 11, 4);
+        assert!(!ans.spg.is_reachable());
+        let ans = compute_on_view(&g, 6, 11, 5);
+        assert_eq!(ans.spg.distance(), 5);
+    }
+
+    #[test]
+    fn sparsified_view_answer_matches_example_4_8() {
+        let g = figure4_graph();
+        let removed = VertexFilter::from_vertices(g.num_vertices(), [1u32, 2, 3].into_iter());
+        let view = FilteredGraph::new(&g, &removed);
+        let ans = compute_on_view(&view, 6, 11, INFINITE_DISTANCE);
+        // G⁻ contains exactly the path 6-7-8-9-10-11 (Figure 6(c)/(e)).
+        assert_eq!(ans.spg.distance(), 5);
+        assert_eq!(
+            ans.spg.edges(),
+            &[(6, 7), (7, 8), (8, 9), (9, 10), (10, 11)]
+        );
+    }
+
+    #[test]
+    fn effort_counters_track_work() {
+        let g = figure4_graph();
+        let ans = compute(&g, 6, 11);
+        assert!(ans.effort.edges_traversed > 0);
+        assert!(ans.effort.vertices_settled > 0);
+    }
+
+    #[test]
+    fn engine_trait_name() {
+        let engine = BiBfs::new(figure3_graph());
+        assert_eq!(engine.name(), "Bi-BFS");
+        assert_eq!(engine.query(3, 7).distance(), 4);
+        assert_eq!(engine.query_with_effort(3, 7).spg.distance(), 4);
+        assert_eq!(engine.graph().num_vertices(), 8);
+    }
+}

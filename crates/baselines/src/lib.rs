@@ -1,0 +1,58 @@
+//! # qbs-baselines
+//!
+//! Baseline algorithms for the shortest-path-graph problem, implemented
+//! exactly as described (or referenced) in the paper so the experiment
+//! harness can compare Query-by-Sketch against them:
+//!
+//! * [`bfs_spg`] — the ground truth: two full BFSs per query ("a
+//!   straightforward solution ... performing a breadth-first search", §1).
+//!   Every other algorithm in the workspace is differential-tested against
+//!   it.
+//! * [`bibfs_spg`] — the search-based baseline **Bi-BFS** of §6.1, a
+//!   bidirectional BFS followed by a reverse reconstruction of all shortest
+//!   paths.
+//! * [`ppl`] — **Pruned Path Labelling** (PPL, §3.2): PLL-style pruned BFSs
+//!   that retain labels on distance ties so the labelling is a 2-hop *path*
+//!   cover, answered by the recursive common-landmark decomposition.
+//! * [`parent_ppl`] — **ParentPPL** (§3.2): PPL plus per-label parent sets,
+//!   trading memory for faster path reconstruction.
+//! * [`dijkstra`] — a weighted single-source reference used to sanity-check
+//!   the unweighted algorithms on unit weights (and as a starting point for
+//!   the paper's "extend to road networks" future work).
+//!
+//! All query answers are returned as [`qbs_graph::PathGraph`] values so they
+//! can be compared structurally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs_spg;
+pub mod bibfs_spg;
+pub mod dijkstra;
+pub mod parent_ppl;
+pub mod ppl;
+
+pub use bfs_spg::GroundTruth;
+pub use bibfs_spg::BiBfs;
+pub use parent_ppl::ParentPpl;
+pub use ppl::Ppl;
+
+/// A shortest-path-graph query engine: anything that can answer
+/// `SPG(u, v)` queries over a fixed graph.
+///
+/// Implemented by every baseline and by `qbs_core::QbsIndex`, so the
+/// experiment harness and the differential tests can treat all methods
+/// uniformly.
+pub trait SpgEngine {
+    /// Answers the query `SPG(source, target)`.
+    fn query(&self, source: qbs_graph::VertexId, target: qbs_graph::VertexId) -> qbs_graph::PathGraph;
+
+    /// A short human-readable name for reports ("QbS", "PPL", "Bi-BFS", …).
+    fn name(&self) -> &'static str;
+
+    /// Bytes of precomputed index state (0 for search-only methods);
+    /// reported in Table 3.
+    fn index_size_bytes(&self) -> usize {
+        0
+    }
+}

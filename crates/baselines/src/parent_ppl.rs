@@ -1,0 +1,301 @@
+//! ParentPPL: Pruned Path Labelling with parent sets (§3.2).
+//!
+//! ParentPPL extends every PPL label entry `(r, δ_vr)` with the set of
+//! *parent* vertices of `v` — the neighbours of `v` that are one hop closer
+//! to the landmark `r` — following the extension of PLL that Akiba et al.
+//! describe for path queries. Because the shortest-path-graph problem needs
+//! *all* shortest paths, all parents are stored rather than one, which is
+//! exactly why the paper reports that ParentPPL's space blows up to
+//! `O(|V||E|)` and fails to build on larger graphs (Table 2/3).
+//!
+//! Parent sets are derived from the exact label distances after the PPL
+//! construction (`w` is a parent of `v` towards `r` iff `d(w, r) = d(v, r) - 1`,
+//! evaluated through the 2-hop distance cover), so reconstruction by
+//! parent-following is exact even though the underlying BFSs are pruned.
+//! When a sub-query reaches a vertex whose label no longer carries the
+//! relevant landmark (possible under pruning), the query falls back to the
+//! PPL decomposition for that sub-pair, keeping answers exact.
+
+use std::collections::HashSet;
+
+use qbs_graph::{Distance, Graph, PathGraph, VertexId, INFINITE_DISTANCE};
+
+use crate::ppl::{BuildAborted, BuildLimits, Ppl};
+use crate::SpgEngine;
+
+/// A label entry extended with the parent set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParentEntry {
+    /// The landmark.
+    pub landmark: VertexId,
+    /// Exact distance to the landmark.
+    pub distance: Distance,
+    /// Every neighbour of the labelled vertex lying one hop closer to the
+    /// landmark.
+    pub parents: Vec<VertexId>,
+}
+
+/// A ParentPPL index.
+#[derive(Clone, Debug)]
+pub struct ParentPpl {
+    ppl: Ppl,
+    /// `entries[v]` sorted by landmark id, mirroring the PPL label of `v`.
+    entries: Vec<Vec<ParentEntry>>,
+}
+
+impl ParentPpl {
+    /// Builds the index with unconstrained resources.
+    pub fn build(graph: Graph) -> Self {
+        Self::build_with_limits(graph, BuildLimits::default()).expect("unlimited build cannot abort")
+    }
+
+    /// Builds the index, aborting if the limits are exceeded. The limit on
+    /// label entries also applies to the total number of stored parents
+    /// (the dominating memory cost of ParentPPL).
+    pub fn build_with_limits(graph: Graph, limits: BuildLimits) -> Result<Self, BuildAborted> {
+        let started = std::time::Instant::now();
+        let ppl = Ppl::build_with_limits(graph, limits)?;
+        let graph = ppl.graph();
+        let n = graph.num_vertices();
+        let mut entries: Vec<Vec<ParentEntry>> = Vec::with_capacity(n);
+        let mut total_parents = 0usize;
+
+        for v in graph.vertices() {
+            let mut per_vertex = Vec::with_capacity(ppl.label(v).len());
+            for &(landmark, distance) in ppl.label(v) {
+                let mut parents = Vec::new();
+                if distance > 0 {
+                    for &w in graph.neighbors(v) {
+                        if ppl.distance(w, landmark) + 1 == distance {
+                            parents.push(w);
+                        }
+                    }
+                }
+                total_parents += parents.len();
+                if total_parents > limits.max_label_entries {
+                    return Err(BuildAborted::TooManyLabels);
+                }
+                per_vertex.push(ParentEntry { landmark, distance, parents });
+            }
+            entries.push(per_vertex);
+            if started.elapsed() > limits.max_duration {
+                return Err(BuildAborted::TimedOut);
+            }
+        }
+        Ok(ParentPpl { ppl, entries })
+    }
+
+    /// The underlying PPL index (labels without parents).
+    pub fn ppl(&self) -> &Ppl {
+        &self.ppl
+    }
+
+    /// The extended label of a vertex.
+    pub fn entries(&self, v: VertexId) -> &[ParentEntry] {
+        &self.entries[v as usize]
+    }
+
+    /// Exact distance between two vertices via the label intersection.
+    pub fn distance(&self, u: VertexId, v: VertexId) -> Distance {
+        self.ppl.distance(u, v)
+    }
+
+    /// Total number of stored parent pointers.
+    pub fn total_parent_pointers(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|l| l.iter().map(|e| e.parents.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Labelling size in bytes: the PPL labelling plus 32 bits per stored
+    /// parent (§6.1 accounting).
+    pub fn labelling_size_bytes(&self) -> usize {
+        self.ppl.labelling_size_bytes() + self.total_parent_pointers() * 4
+    }
+
+    /// Answers `SPG(source, target)`.
+    pub fn shortest_path_graph(&self, source: VertexId, target: VertexId) -> PathGraph {
+        let n = self.ppl.graph().num_vertices();
+        if source as usize >= n || target as usize >= n {
+            return PathGraph::unreachable(source, target);
+        }
+        if source == target {
+            return PathGraph::trivial(source);
+        }
+        let total = self.distance(source, target);
+        if total == INFINITE_DISTANCE {
+            return PathGraph::unreachable(source, target);
+        }
+        let mut edges = Vec::new();
+        let mut solved = HashSet::new();
+        self.solve_pair(source, target, total, &mut edges, &mut solved);
+        PathGraph::from_edges(source, target, total, edges)
+    }
+
+    /// Decomposes `SPG(u, v)` like PPL, but resolves vertex-to-landmark
+    /// sub-pairs by parent-following when the parent information is present.
+    fn solve_pair(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        dist: Distance,
+        edges: &mut Vec<(VertexId, VertexId)>,
+        solved: &mut HashSet<(VertexId, VertexId)>,
+    ) {
+        if dist == 0 || u == v {
+            return;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !solved.insert(key) {
+            return;
+        }
+        if dist == 1 {
+            edges.push((u, v));
+            return;
+        }
+        // If one endpoint is a landmark recorded in the other's label with
+        // the optimal distance, walk the parent pointers directly.
+        if self.walk_parents(u, v, dist, edges, solved)
+            || self.walk_parents(v, u, dist, edges, solved)
+        {
+            return;
+        }
+        // Otherwise decompose through interior common landmarks, as in PPL.
+        let (du_label, dv_label) = (self.entries(u), self.entries(v));
+        for eu in du_label {
+            if eu.landmark == u || eu.landmark == v {
+                continue;
+            }
+            if let Some(ev) = dv_label.iter().find(|e| e.landmark == eu.landmark) {
+                if eu.distance + ev.distance == dist {
+                    self.solve_pair(u, eu.landmark, eu.distance, edges, solved);
+                    self.solve_pair(v, eu.landmark, ev.distance, edges, solved);
+                }
+            }
+        }
+    }
+
+    /// If `landmark` appears in `L(x)` at exactly `dist`, reconstructs all
+    /// shortest paths from `x` to `landmark` by following parent pointers
+    /// and returns `true`; returns `false` when the label entry is absent
+    /// (the caller then falls back to the decomposition).
+    fn walk_parents(
+        &self,
+        x: VertexId,
+        landmark: VertexId,
+        dist: Distance,
+        edges: &mut Vec<(VertexId, VertexId)>,
+        solved: &mut HashSet<(VertexId, VertexId)>,
+    ) -> bool {
+        let Some(entry) = self.entries(x).iter().find(|e| e.landmark == landmark) else {
+            return false;
+        };
+        if entry.distance != dist {
+            return false;
+        }
+        for &p in &entry.parents {
+            edges.push((x, p));
+            if p != landmark {
+                self.solve_pair(p, landmark, dist - 1, edges, solved);
+            }
+        }
+        true
+    }
+}
+
+impl SpgEngine for ParentPpl {
+    fn query(&self, source: VertexId, target: VertexId) -> PathGraph {
+        self.shortest_path_graph(source, target)
+    }
+
+    fn name(&self) -> &'static str {
+        "ParentPPL"
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.labelling_size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs_spg;
+    use qbs_graph::fixtures::{figure1b_graph, figure3_graph, figure4_graph};
+    use qbs_graph::GraphBuilder;
+
+    fn assert_matches_ground_truth(graph: &Graph) {
+        let index = ParentPpl::build(graph.clone());
+        for u in graph.vertices() {
+            for v in graph.vertices() {
+                let expected = bfs_spg::compute(graph, u, v);
+                let got = index.shortest_path_graph(u, v);
+                assert_eq!(got, expected, "query ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_match_ground_truth_on_paper_figures() {
+        assert_matches_ground_truth(&figure3_graph());
+        assert_matches_ground_truth(&figure4_graph());
+        assert_matches_ground_truth(&figure1b_graph());
+    }
+
+    #[test]
+    fn parent_sets_point_one_hop_closer_to_the_landmark() {
+        let g = figure4_graph();
+        let index = ParentPpl::build(g.clone());
+        for v in g.vertices() {
+            for entry in index.entries(v) {
+                for &p in &entry.parents {
+                    assert!(g.has_edge(v, p), "parent {p} of {v} is not a neighbour");
+                    assert_eq!(
+                        index.distance(p, entry.landmark) + 1,
+                        entry.distance,
+                        "parent {p} of {v} towards {}",
+                        entry.landmark
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uses_more_space_than_plain_ppl() {
+        let g = figure4_graph();
+        let index = ParentPpl::build(g.clone());
+        assert!(index.labelling_size_bytes() > index.ppl().labelling_size_bytes());
+        assert!(index.total_parent_pointers() > 0);
+    }
+
+    #[test]
+    fn build_limits_propagate() {
+        let g = figure4_graph();
+        let err = ParentPpl::build_with_limits(
+            g,
+            BuildLimits { max_label_entries: 2, ..Default::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, BuildAborted::TooManyLabels);
+    }
+
+    #[test]
+    fn trivial_and_unreachable_queries() {
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        b.reserve_vertices(4);
+        let index = ParentPpl::build(b.build());
+        assert_eq!(index.shortest_path_graph(1, 1).distance(), 0);
+        assert!(!index.shortest_path_graph(0, 2).is_reachable());
+        assert!(!index.shortest_path_graph(0, 42).is_reachable());
+    }
+
+    #[test]
+    fn engine_trait_reports_name_and_size() {
+        let index = ParentPpl::build(figure3_graph());
+        assert_eq!(index.name(), "ParentPPL");
+        assert!(index.index_size_bytes() > 0);
+        assert_eq!(index.query(3, 7).distance(), 4);
+    }
+}

@@ -1,0 +1,437 @@
+//! Pruned Path Labelling (PPL), §3.2 of the paper.
+//!
+//! PPL adapts Pruned Landmark Labelling (Akiba et al., SIGMOD 2013) to the
+//! shortest-path-graph problem: one BFS per vertex in descending-degree
+//! order, keeping the label `(r, d_G(r, u))` in `L(u)` whenever **some
+//! shortest path between `r` and `u` has no interior vertex ranked above
+//! `r`**. Unlike PLL, a label cannot be dropped merely because an earlier
+//! landmark *ties* the distance — that is exactly the relaxation the paper
+//! introduces (Algorithm 1, lines 9-10) so the labelling remains a 2-hop
+//! *path* cover (Definition 3.2): for every shortest path of length ≥ 2 its
+//! highest-ranked interior vertex appears in both endpoint labels, which is
+//! what makes the recursive query below exact. Construction costs
+//! `O(|V||E|)` time, matching the complexity the paper states for PPL.
+//!
+//! Queries are answered by the recursive common-landmark decomposition of
+//! §3.2: find the landmarks that lie strictly inside shortest paths, then
+//! recurse on the two sub-pairs. As the paper discusses (Example 3.4), this
+//! revisits labels and edges repeatedly, which is precisely the inefficiency
+//! QbS is designed to remove — the implementation keeps a per-query memo of
+//! solved sub-pairs so that the asymptotic behaviour matches the paper's
+//! description without pathological exponential blow-ups.
+
+use std::collections::HashSet;
+
+use qbs_graph::{Distance, Graph, PathGraph, VertexId, INFINITE_DISTANCE};
+
+use crate::SpgEngine;
+
+/// One label entry: a landmark and the exact distance to it.
+pub type LabelEntry = (VertexId, Distance);
+
+/// Resource limits for label construction, used by the experiment harness
+/// to emulate the paper's DNF (> 24 h) and OOE (out of memory) outcomes at
+/// laptop scale.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildLimits {
+    /// Maximum total number of label entries before aborting.
+    pub max_label_entries: usize,
+    /// Maximum wall-clock construction time before aborting.
+    pub max_duration: std::time::Duration,
+}
+
+impl Default for BuildLimits {
+    fn default() -> Self {
+        BuildLimits {
+            max_label_entries: usize::MAX,
+            max_duration: std::time::Duration::from_secs(u64::MAX / 4),
+        }
+    }
+}
+
+/// Why a limited build gave up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildAborted {
+    /// The label count exceeded [`BuildLimits::max_label_entries`]
+    /// (the paper's "OOE", out of memory).
+    TooManyLabels,
+    /// Construction exceeded [`BuildLimits::max_duration`]
+    /// (the paper's "DNF", did not finish).
+    TimedOut,
+}
+
+impl std::fmt::Display for BuildAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildAborted::TooManyLabels => write!(f, "label size limit exceeded (OOE)"),
+            BuildAborted::TimedOut => write!(f, "construction time limit exceeded (DNF)"),
+        }
+    }
+}
+
+impl std::error::Error for BuildAborted {}
+
+/// A Pruned Path Labelling index.
+#[derive(Clone, Debug)]
+pub struct Ppl {
+    graph: Graph,
+    /// `labels[v]` sorted by landmark id.
+    labels: Vec<Vec<LabelEntry>>,
+    /// Vertices in the landmark order used during construction.
+    order: Vec<VertexId>,
+}
+
+impl Ppl {
+    /// Builds the index with unconstrained resources.
+    pub fn build(graph: Graph) -> Self {
+        Self::build_with_limits(graph, BuildLimits::default()).expect("unlimited build cannot abort")
+    }
+
+    /// Builds the index, aborting if the limits are exceeded.
+    pub fn build_with_limits(graph: Graph, limits: BuildLimits) -> Result<Self, BuildAborted> {
+        let n = graph.num_vertices();
+        let order = graph.top_k_by_degree(n);
+        // rank_of[v] = position of v in the landmark order (0 = highest).
+        let mut rank_of = vec![usize::MAX; n];
+        for (k, &v) in order.iter().enumerate() {
+            rank_of[v as usize] = k;
+        }
+
+        let mut labels: Vec<Vec<LabelEntry>> = vec![Vec::new(); n];
+        let mut total_entries = 0usize;
+        let started = std::time::Instant::now();
+
+        // Scratch reused across BFSs.
+        let mut depth: Vec<Distance> = vec![INFINITE_DISTANCE; n];
+        // `covered[u]`: some shortest root-u path has no interior vertex
+        // ranked above the root — the label-keeping rule.
+        let mut covered: Vec<bool> = vec![false; n];
+        let mut queue: Vec<VertexId> = Vec::with_capacity(n);
+
+        for (k, &root) in order.iter().enumerate() {
+            if started.elapsed() > limits.max_duration {
+                return Err(BuildAborted::TimedOut);
+            }
+
+            queue.clear();
+            queue.push(root);
+            depth[root as usize] = 0;
+            covered[root as usize] = true;
+            labels[root as usize].push((root, 0));
+            total_entries += 1;
+            let mut head = 0;
+
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                let du = depth[u as usize];
+                if u != root {
+                    // The path-cover DP: a parent on a shortest path from the
+                    // root can extend its path to u iff it is the root itself
+                    // or an interior vertex ranked below the root.
+                    let mut ok = false;
+                    for &w in graph.neighbors(u) {
+                        if depth[w as usize] != INFINITE_DISTANCE
+                            && depth[w as usize] + 1 == du
+                            && covered[w as usize]
+                            && (w == root || rank_of[w as usize] > k)
+                        {
+                            ok = true;
+                            break;
+                        }
+                    }
+                    covered[u as usize] = ok;
+                    if ok {
+                        labels[u as usize].push((root, du));
+                        total_entries += 1;
+                        if total_entries > limits.max_label_entries {
+                            return Err(BuildAborted::TooManyLabels);
+                        }
+                    }
+                }
+                for &v in graph.neighbors(u) {
+                    if depth[v as usize] == INFINITE_DISTANCE {
+                        depth[v as usize] = du + 1;
+                        queue.push(v);
+                    }
+                }
+            }
+
+            // Reset scratch along the visited region only.
+            for &v in &queue {
+                depth[v as usize] = INFINITE_DISTANCE;
+                covered[v as usize] = false;
+            }
+        }
+
+        // Sort each label by landmark id so intersections can merge-scan.
+        for l in &mut labels {
+            l.sort_unstable_by_key(|&(r, _)| r);
+        }
+        Ok(Ppl { graph, labels, order })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The label of a vertex (sorted by landmark id).
+    pub fn label(&self, v: VertexId) -> &[LabelEntry] {
+        &self.labels[v as usize]
+    }
+
+    /// The landmark order used during construction (descending degree).
+    pub fn landmark_order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Total number of label entries, `size(L) = Σ_v |L(v)|`.
+    pub fn total_label_entries(&self) -> usize {
+        self.labels.iter().map(Vec::len).sum()
+    }
+
+    /// Labelling size in bytes using the paper's accounting (§6.1): 32 bits
+    /// per landmark id plus 8 bits per distance.
+    pub fn labelling_size_bytes(&self) -> usize {
+        self.total_label_entries() * 5
+    }
+
+    /// Label-based distance between two vertices (2-hop distance cover
+    /// lookup). Exact for any pair because every vertex is eventually used
+    /// as a landmark.
+    pub fn distance(&self, u: VertexId, v: VertexId) -> Distance {
+        if u == v {
+            return 0;
+        }
+        intersect_min(&self.labels[u as usize], &self.labels[v as usize]).0
+    }
+
+    /// Answers `SPG(source, target)` with the recursive common-landmark
+    /// decomposition of §3.2.
+    pub fn shortest_path_graph(&self, source: VertexId, target: VertexId) -> PathGraph {
+        let n = self.graph.num_vertices();
+        if source as usize >= n || target as usize >= n {
+            return PathGraph::unreachable(source, target);
+        }
+        if source == target {
+            return PathGraph::trivial(source);
+        }
+        let total = self.distance(source, target);
+        if total == INFINITE_DISTANCE {
+            return PathGraph::unreachable(source, target);
+        }
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut solved: HashSet<(VertexId, VertexId)> = HashSet::new();
+        self.solve_pair(source, target, total, &mut edges, &mut solved);
+        PathGraph::from_edges(source, target, total, edges)
+    }
+
+    /// Recursive decomposition: adds every edge of `SPG(u, v)` to `edges`.
+    fn solve_pair(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        dist: Distance,
+        edges: &mut Vec<(VertexId, VertexId)>,
+        solved: &mut HashSet<(VertexId, VertexId)>,
+    ) {
+        if dist == 0 || u == v {
+            return;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !solved.insert(key) {
+            return; // already expanded — the paper's "redundant searches"
+        }
+        if dist == 1 {
+            edges.push((u, v));
+            return;
+        }
+        // Interior landmarks on shortest paths: common entries minimising
+        // δ_ur + δ_vr, excluding the endpoints themselves.
+        let minimizers = intersect_minimizers(&self.labels[u as usize], &self.labels[v as usize], dist);
+        for (r, dur, dvr) in minimizers {
+            if r == u || r == v {
+                continue;
+            }
+            self.solve_pair(u, r, dur, edges, solved);
+            self.solve_pair(v, r, dvr, edges, solved);
+        }
+    }
+}
+
+impl SpgEngine for Ppl {
+    fn query(&self, source: VertexId, target: VertexId) -> PathGraph {
+        self.shortest_path_graph(source, target)
+    }
+
+    fn name(&self) -> &'static str {
+        "PPL"
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.labelling_size_bytes()
+    }
+}
+
+/// Minimum `δ_ur + δ_vr` over the common landmarks of two sorted labels,
+/// together with the landmark achieving it (smallest id on ties).
+fn intersect_min(a: &[LabelEntry], b: &[LabelEntry]) -> (Distance, Option<VertexId>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut best = INFINITE_DISTANCE;
+    let mut arg = None;
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let d = a[i].1 + b[j].1;
+                if d < best {
+                    best = d;
+                    arg = Some(a[i].0);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (best, arg)
+}
+
+/// All common landmarks achieving the given optimal distance, with their
+/// per-side distances.
+fn intersect_minimizers(
+    a: &[LabelEntry],
+    b: &[LabelEntry],
+    optimal: Distance,
+) -> Vec<(VertexId, Distance, Distance)> {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if a[i].1 + b[j].1 == optimal {
+                    out.push((a[i].0, a[i].1, b[j].1));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs_spg;
+    use qbs_graph::fixtures::{figure3_graph, figure4_graph};
+    use qbs_graph::GraphBuilder;
+
+    fn assert_matches_ground_truth(graph: &Graph) {
+        let ppl = Ppl::build(graph.clone());
+        for u in graph.vertices() {
+            for v in graph.vertices() {
+                let expected = bfs_spg::compute(graph, u, v);
+                let got = ppl.shortest_path_graph(u, v);
+                assert_eq!(got, expected, "query ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_exact_on_figure3() {
+        let g = figure3_graph();
+        let ppl = Ppl::build(g.clone());
+        for u in g.vertices() {
+            let bfs = qbs_graph::traversal::bfs_distances(&g, u);
+            for v in g.vertices() {
+                assert_eq!(ppl.distance(u, v), bfs[v as usize], "d({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_match_ground_truth_on_paper_figures() {
+        assert_matches_ground_truth(&figure3_graph());
+        assert_matches_ground_truth(&figure4_graph());
+    }
+
+    #[test]
+    fn example_3_4_finds_the_full_answer() {
+        // §3 Example 3.4: SPG(3, 7) must include vertices 2, 4 and 5 that a
+        // plain 2-hop distance cover misses.
+        let g = figure3_graph();
+        let ppl = Ppl::build(g);
+        let spg = ppl.shortest_path_graph(3, 7);
+        for v in [1u32, 2, 4, 5] {
+            assert!(spg.contains_vertex(v), "missing vertex {v}");
+        }
+        assert_eq!(spg.distance(), 4);
+    }
+
+    #[test]
+    fn pruning_reduces_label_count_versus_naive() {
+        let g = figure4_graph();
+        let ppl = Ppl::build(g.clone());
+        let naive = g.num_vertices() * g.num_vertices();
+        assert!(ppl.total_label_entries() < naive);
+        assert!(ppl.total_label_entries() > 0);
+        assert_eq!(ppl.labelling_size_bytes(), ppl.total_label_entries() * 5);
+    }
+
+    #[test]
+    fn landmark_order_is_by_descending_degree() {
+        let g = figure4_graph();
+        let ppl = Ppl::build(g.clone());
+        let order = ppl.landmark_order();
+        assert_eq!(order.len(), g.num_vertices());
+        for w in order.windows(2) {
+            assert!(g.degree(w[0]) >= g.degree(w[1]));
+        }
+    }
+
+    #[test]
+    fn disconnected_and_trivial_queries() {
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        b.reserve_vertices(4);
+        let g = b.build();
+        let ppl = Ppl::build(g);
+        assert!(!ppl.shortest_path_graph(0, 3).is_reachable());
+        assert_eq!(ppl.shortest_path_graph(2, 2).distance(), 0);
+        assert_eq!(ppl.distance(0, 3), INFINITE_DISTANCE);
+        assert!(!ppl.shortest_path_graph(0, 99).is_reachable());
+    }
+
+    #[test]
+    fn build_limits_abort_when_exceeded() {
+        let g = figure4_graph();
+        let err = Ppl::build_with_limits(
+            g.clone(),
+            BuildLimits { max_label_entries: 3, ..Default::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, BuildAborted::TooManyLabels);
+        assert!(err.to_string().contains("OOE"));
+
+        let err = Ppl::build_with_limits(
+            g,
+            BuildLimits { max_duration: std::time::Duration::ZERO, ..Default::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err, BuildAborted::TimedOut);
+        assert!(err.to_string().contains("DNF"));
+    }
+
+    #[test]
+    fn engine_trait_reports_name_and_size() {
+        let ppl = Ppl::build(figure3_graph());
+        assert_eq!(ppl.name(), "PPL");
+        assert!(ppl.index_size_bytes() > 0);
+        assert_eq!(ppl.query(3, 7), ppl.shortest_path_graph(3, 7));
+        assert!(ppl.label(7).len() >= 1);
+        assert_eq!(ppl.graph().num_vertices(), 8);
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 11: average query time versus the number of landmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use qbs_core::{QbsConfig, QbsIndex};
+use qbs_gen::catalog::{Catalog, DatasetId, Scale};
+use qbs_gen::QueryWorkload;
+
+fn bench_query_sweep(c: &mut Criterion) {
+    let catalog = Catalog::paper_table1();
+    let graph = catalog.get(DatasetId::WikiTalk).unwrap().generate(Scale::Tiny);
+    let workload = QueryWorkload::sample_connected(&graph, 64, 2021);
+    let pairs = workload.pairs().to_vec();
+    let mut group = c.benchmark_group("fig11_query_sweep");
+    group.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(200));
+
+    for landmarks in [20usize, 60, 100] {
+        let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
+        group.bench_with_input(BenchmarkId::new("query_batch", landmarks), &index, |b, index| {
+            b.iter(|| {
+                for &(u, v) in &pairs {
+                    criterion::black_box(index.query(u, v));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_sweep);
+criterion_main!(benches);

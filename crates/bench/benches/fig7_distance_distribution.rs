@@ -1,0 +1,29 @@
+//! Figure 7: building the distance distribution of a sampled query workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use qbs_gen::catalog::{Catalog, DatasetId, Scale};
+use qbs_gen::QueryWorkload;
+
+fn bench_distance_distribution(c: &mut Criterion) {
+    let catalog = Catalog::paper_table1();
+    let mut group = c.benchmark_group("fig7_distance_distribution");
+    group.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(200));
+
+    for id in [DatasetId::Douban, DatasetId::Friendster] {
+        let graph = catalog.get(id).unwrap().generate(Scale::Tiny);
+        let workload = QueryWorkload::sample_connected(&graph, 256, 7);
+        group.bench_with_input(
+            BenchmarkId::new("histogram", id.abbrev()),
+            &(graph, workload),
+            |b, (graph, workload)| {
+                b.iter(|| criterion::black_box(workload.distance_histogram(graph)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_distribution);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 8: pair-coverage classification cost at different landmark counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use qbs_core::coverage::classify_workload;
+use qbs_core::{QbsConfig, QbsIndex};
+use qbs_gen::catalog::{Catalog, DatasetId, Scale};
+use qbs_gen::QueryWorkload;
+
+fn bench_pair_coverage(c: &mut Criterion) {
+    let catalog = Catalog::paper_table1();
+    let graph = catalog.get(DatasetId::Youtube).unwrap().generate(Scale::Tiny);
+    let workload = QueryWorkload::sample_connected(&graph, 128, 2021);
+    let mut group = c.benchmark_group("fig8_pair_coverage");
+    group.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(200));
+
+    for landmarks in [20usize, 60, 100] {
+        let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
+        group.bench_with_input(
+            BenchmarkId::new("classify", landmarks),
+            &index,
+            |b, index| {
+                b.iter(|| criterion::black_box(classify_workload(index, workload.pairs())));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair_coverage);
+criterion_main!(benches);

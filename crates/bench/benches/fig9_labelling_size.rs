@@ -1,0 +1,30 @@
+//! Figure 9: labelling size growth with the number of landmarks (the bench
+//! measures build + accounting cost per |R|; the sizes themselves come from
+//! `experiments fig9`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use qbs_core::{QbsConfig, QbsIndex};
+use qbs_gen::catalog::{Catalog, DatasetId, Scale};
+
+fn bench_labelling_size_sweep(c: &mut Criterion) {
+    let catalog = Catalog::paper_table1();
+    let graph = catalog.get(DatasetId::Dblp).unwrap().generate(Scale::Tiny);
+    let mut group = c.benchmark_group("fig9_labelling_size");
+    group.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(200));
+
+    for landmarks in [20usize, 60, 100] {
+        group.bench_with_input(BenchmarkId::new("build", landmarks), &landmarks, |b, &r| {
+            b.iter(|| {
+                let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(r));
+                let stats = index.stats();
+                criterion::black_box(stats.labelling_paper_bytes + stats.delta_bytes)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_labelling_size_sweep);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 3: labelling size accounting. The interesting quantity is the size
+//! itself (reported by the `experiments table3` binary); this bench measures
+//! the cost of producing those sizes — building each labelling and walking
+//! its accounting — so regressions in labelling compactness code paths are
+//! visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use qbs_baselines::{ParentPpl, Ppl};
+use qbs_core::{QbsConfig, QbsIndex};
+use qbs_gen::catalog::{Catalog, DatasetId, Scale};
+
+fn bench_labelling_sizes(c: &mut Criterion) {
+    let catalog = Catalog::paper_table1();
+    let graph = catalog.get(DatasetId::Douban).unwrap().generate(Scale::Tiny);
+    let mut group = c.benchmark_group("table3_labelling_size");
+    group.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(200));
+
+    group.bench_with_input(BenchmarkId::new("QbS", "DO"), &graph, |b, g| {
+        b.iter(|| {
+            let index = QbsIndex::build(g.clone(), QbsConfig::with_landmark_count(20));
+            criterion::black_box(index.stats().total_index_bytes())
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("PPL", "DO"), &graph, |b, g| {
+        b.iter(|| criterion::black_box(Ppl::build(g.clone()).labelling_size_bytes()));
+    });
+    group.bench_with_input(BenchmarkId::new("ParentPPL", "DO"), &graph, |b, g| {
+        b.iter(|| criterion::black_box(ParentPpl::build(g.clone()).labelling_size_bytes()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_labelling_sizes);
+criterion_main!(benches);

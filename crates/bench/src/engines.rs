@@ -1,0 +1,238 @@
+//! Uniform engine wrappers.
+//!
+//! The baselines already implement [`SpgEngine`]; this module adapts
+//! [`QbsIndex`] to the same trait and provides [`AnyEngine`], an enum the
+//! experiment runner uses to hold a heterogeneous set of methods.
+
+use std::time::{Duration, Instant};
+
+use qbs_baselines::ppl::{BuildAborted, BuildLimits};
+use qbs_baselines::{BiBfs, GroundTruth, ParentPpl, Ppl, SpgEngine};
+use qbs_core::{QbsConfig, QbsIndex};
+use qbs_graph::{Graph, PathGraph, VertexId};
+
+/// [`QbsIndex`] adapted to the [`SpgEngine`] trait.
+pub struct QbsEngine {
+    index: QbsIndex,
+    parallel: bool,
+}
+
+impl QbsEngine {
+    /// Builds a QbS engine with the given landmark count.
+    pub fn build(graph: Graph, landmarks: usize, parallel: bool) -> Self {
+        let mut config = QbsConfig::with_landmark_count(landmarks);
+        if !parallel {
+            config = config.sequential();
+        }
+        QbsEngine { index: QbsIndex::build(graph, config), parallel }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &QbsIndex {
+        &self.index
+    }
+}
+
+impl SpgEngine for QbsEngine {
+    fn query(&self, source: VertexId, target: VertexId) -> PathGraph {
+        self.index.query(source, target)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.parallel {
+            "QbS-P"
+        } else {
+            "QbS"
+        }
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.index.stats().total_index_bytes()
+    }
+}
+
+/// Identifier of a method compared in the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MethodId {
+    /// QbS with parallel labelling construction.
+    QbsParallel,
+    /// QbS with sequential labelling construction.
+    QbsSequential,
+    /// Pruned Path Labelling.
+    Ppl,
+    /// PPL with parent sets.
+    ParentPpl,
+    /// Online bidirectional BFS.
+    BiBfs,
+    /// Ground-truth double BFS.
+    GroundTruth,
+}
+
+impl MethodId {
+    /// The display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodId::QbsParallel => "QbS-P",
+            MethodId::QbsSequential => "QbS",
+            MethodId::Ppl => "PPL",
+            MethodId::ParentPpl => "ParentPPL",
+            MethodId::BiBfs => "Bi-BFS",
+            MethodId::GroundTruth => "BFS",
+        }
+    }
+
+    /// The methods of Table 2, in column order.
+    pub const TABLE2: [MethodId; 5] = [
+        MethodId::QbsParallel,
+        MethodId::QbsSequential,
+        MethodId::Ppl,
+        MethodId::ParentPpl,
+        MethodId::BiBfs,
+    ];
+}
+
+/// Outcome of building one method on one dataset.
+pub enum BuildOutcome {
+    /// The index was built within the budget.
+    Built {
+        /// The engine, ready to answer queries.
+        engine: AnyEngine,
+        /// Wall-clock construction time.
+        construction: Duration,
+    },
+    /// The build exceeded its time budget (the paper's "DNF").
+    DidNotFinish,
+    /// The build exceeded its memory budget (the paper's "OOE").
+    OutOfMemory,
+}
+
+/// A heterogeneous engine.
+pub enum AnyEngine {
+    /// QbS (either construction mode).
+    Qbs(Box<QbsEngine>),
+    /// Pruned Path Labelling.
+    Ppl(Box<Ppl>),
+    /// ParentPPL.
+    ParentPpl(Box<ParentPpl>),
+    /// Bidirectional BFS.
+    BiBfs(Box<BiBfs>),
+    /// Ground-truth BFS oracle.
+    GroundTruth(Box<GroundTruth>),
+}
+
+impl SpgEngine for AnyEngine {
+    fn query(&self, source: VertexId, target: VertexId) -> PathGraph {
+        match self {
+            AnyEngine::Qbs(e) => e.query(source, target),
+            AnyEngine::Ppl(e) => e.query(source, target),
+            AnyEngine::ParentPpl(e) => e.query(source, target),
+            AnyEngine::BiBfs(e) => e.query(source, target),
+            AnyEngine::GroundTruth(e) => e.query(source, target),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyEngine::Qbs(e) => e.name(),
+            AnyEngine::Ppl(e) => e.name(),
+            AnyEngine::ParentPpl(e) => e.name(),
+            AnyEngine::BiBfs(e) => e.name(),
+            AnyEngine::GroundTruth(e) => e.name(),
+        }
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        match self {
+            AnyEngine::Qbs(e) => e.index_size_bytes(),
+            AnyEngine::Ppl(e) => e.index_size_bytes(),
+            AnyEngine::ParentPpl(e) => e.index_size_bytes(),
+            AnyEngine::BiBfs(e) => e.index_size_bytes(),
+            AnyEngine::GroundTruth(e) => e.index_size_bytes(),
+        }
+    }
+}
+
+/// Builds one method on a graph, honouring the given per-method resource
+/// budget (so the laptop-scale runs can report DNF/OOE the way Table 2 does
+/// for the labelling baselines on large graphs).
+pub fn build_method(
+    method: MethodId,
+    graph: &Graph,
+    landmarks: usize,
+    limits: BuildLimits,
+) -> BuildOutcome {
+    let start = Instant::now();
+    let engine = match method {
+        MethodId::QbsParallel => {
+            AnyEngine::Qbs(Box::new(QbsEngine::build(graph.clone(), landmarks, true)))
+        }
+        MethodId::QbsSequential => {
+            AnyEngine::Qbs(Box::new(QbsEngine::build(graph.clone(), landmarks, false)))
+        }
+        MethodId::Ppl => match Ppl::build_with_limits(graph.clone(), limits) {
+            Ok(index) => AnyEngine::Ppl(Box::new(index)),
+            Err(BuildAborted::TimedOut) => return BuildOutcome::DidNotFinish,
+            Err(BuildAborted::TooManyLabels) => return BuildOutcome::OutOfMemory,
+        },
+        MethodId::ParentPpl => match ParentPpl::build_with_limits(graph.clone(), limits) {
+            Ok(index) => AnyEngine::ParentPpl(Box::new(index)),
+            Err(BuildAborted::TimedOut) => return BuildOutcome::DidNotFinish,
+            Err(BuildAborted::TooManyLabels) => return BuildOutcome::OutOfMemory,
+        },
+        MethodId::BiBfs => AnyEngine::BiBfs(Box::new(BiBfs::new(graph.clone()))),
+        MethodId::GroundTruth => AnyEngine::GroundTruth(Box::new(GroundTruth::new(graph.clone()))),
+    };
+    BuildOutcome::Built { engine, construction: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_graph::fixtures::figure4_graph;
+
+    #[test]
+    fn every_method_builds_and_agrees_on_figure4() {
+        let g = figure4_graph();
+        let truth = GroundTruth::new(g.clone());
+        for method in [
+            MethodId::QbsParallel,
+            MethodId::QbsSequential,
+            MethodId::Ppl,
+            MethodId::ParentPpl,
+            MethodId::BiBfs,
+        ] {
+            let BuildOutcome::Built { engine, construction } =
+                build_method(method, &g, 3, BuildLimits::default())
+            else {
+                panic!("{:?} failed to build", method);
+            };
+            assert!(construction.as_nanos() > 0);
+            assert_eq!(engine.name(), method.name());
+            for (u, v) in [(6u32, 11u32), (4, 12), (7, 9)] {
+                assert_eq!(engine.query(u, v), truth.query(u, v), "{:?} ({u},{v})", method);
+            }
+        }
+    }
+
+    #[test]
+    fn limits_translate_into_dnf_and_ooe() {
+        let g = figure4_graph();
+        let tight_time = BuildLimits { max_duration: Duration::ZERO, ..Default::default() };
+        assert!(matches!(
+            build_method(MethodId::Ppl, &g, 3, tight_time),
+            BuildOutcome::DidNotFinish
+        ));
+        let tight_mem = BuildLimits { max_label_entries: 1, ..Default::default() };
+        assert!(matches!(
+            build_method(MethodId::ParentPpl, &g, 3, tight_mem),
+            BuildOutcome::OutOfMemory
+        ));
+    }
+
+    #[test]
+    fn method_names_match_the_paper() {
+        assert_eq!(MethodId::QbsParallel.name(), "QbS-P");
+        assert_eq!(MethodId::BiBfs.name(), "Bi-BFS");
+        assert_eq!(MethodId::TABLE2.len(), 5);
+    }
+}

@@ -1,0 +1,33 @@
+//! # qbs-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§6) on the scaled-down dataset catalog:
+//!
+//! | Experiment | Module entry point |
+//! |---|---|
+//! | Table 1 — dataset statistics | [`experiments::table1`] |
+//! | Table 2 — construction & query time | [`experiments::table2`] |
+//! | Table 3 — labelling sizes | [`experiments::table3`] |
+//! | Figure 7 — query distance distribution | [`experiments::fig7`] |
+//! | Figure 8 — pair coverage vs #landmarks | [`experiments::fig8`] |
+//! | Figure 9 — labelling size vs #landmarks | [`experiments::fig9`] |
+//! | Figure 10 — construction time vs #landmarks | [`experiments::fig10`] |
+//! | Figure 11 — query time vs #landmarks | [`experiments::fig11`] |
+//! | §6.5 — edges traversed, QbS vs Bi-BFS | [`experiments::traversal`] |
+//! | Ablations — sketch guidance, landmark strategy, parallel speed-up | [`experiments::ablation`] |
+//!
+//! The `experiments` binary drives these from the command line and prints
+//! paper-style tables plus machine-readable JSON; the Criterion benches under
+//! `benches/` provide statistically rigorous micro-measurements of the same
+//! code paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engines;
+pub mod experiments;
+pub mod reporting;
+pub mod runner;
+
+pub use engines::AnyEngine;
+pub use runner::{ExperimentConfig, MethodLimits};

@@ -1,0 +1,255 @@
+//! Command-line argument parsing (dependency-free).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+
+use qbs_gen::catalog::{DatasetId, Scale};
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Generate a dataset stand-in and write it in the binary graph format.
+    Generate {
+        /// Which Table 1 dataset to imitate.
+        dataset: DatasetId,
+        /// Scale of the stand-in.
+        scale: Scale,
+        /// Output path (binary `.qbsg`).
+        out: PathBuf,
+    },
+    /// Build a QbS index from a graph file.
+    Build {
+        /// Input graph (`.qbsg` binary or whitespace edge list).
+        graph: PathBuf,
+        /// Number of landmarks.
+        landmarks: usize,
+        /// Use the sequential labelling builder instead of the parallel one.
+        sequential: bool,
+        /// Output index path.
+        out: PathBuf,
+    },
+    /// Answer a shortest-path-graph query against a built index.
+    Query {
+        /// Index path produced by `build`.
+        index: PathBuf,
+        /// Query source vertex.
+        source: u32,
+        /// Query target vertex.
+        target: u32,
+        /// Output format.
+        json: bool,
+    },
+    /// Print size/timing statistics of a built index.
+    Stats {
+        /// Index path produced by `build`.
+        index: PathBuf,
+    },
+    /// Convert between edge-list and binary graph formats (direction is
+    /// inferred from the file extensions).
+    Convert {
+        /// Input graph file.
+        from: PathBuf,
+        /// Output graph file.
+        to: PathBuf,
+    },
+    /// Print the usage text.
+    Help,
+}
+
+/// Errors produced while parsing the command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text printed by `qbs-cli help`.
+pub const USAGE: &str = "\
+qbs-cli — Query-by-Sketch shortest path graph queries
+
+commands:
+  generate --dataset <DO|DB|...|CW> [--scale tiny|small|medium|large] --out FILE
+  build    --graph FILE [--landmarks N] [--sequential] --out FILE
+  query    --index FILE --source U --target V [--format text|json]
+  stats    --index FILE
+  convert  --from FILE --to FILE
+  help
+";
+
+/// Parses an argument vector (excluding the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(command) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let options = collect_options(&args[1..])?;
+    let get = |key: &str| options.get(key).cloned();
+    let require = |key: &str| {
+        get(key).ok_or_else(|| ParseError(format!("{command}: missing required option --{key}")))
+    };
+
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => Ok(Command::Generate {
+            dataset: parse_dataset(&require("dataset")?)?,
+            scale: parse_scale(get("scale").as_deref().unwrap_or("small"))?,
+            out: PathBuf::from(require("out")?),
+        }),
+        "build" => Ok(Command::Build {
+            graph: PathBuf::from(require("graph")?),
+            landmarks: parse_number(get("landmarks").as_deref().unwrap_or("20"), "landmarks")?,
+            sequential: options.contains_key("sequential"),
+            out: PathBuf::from(require("out")?),
+        }),
+        "query" => Ok(Command::Query {
+            index: PathBuf::from(require("index")?),
+            source: parse_number(&require("source")?, "source")? as u32,
+            target: parse_number(&require("target")?, "target")? as u32,
+            json: match get("format").as_deref() {
+                None | Some("text") => false,
+                Some("json") => true,
+                Some(other) => return Err(ParseError(format!("unknown format '{other}'"))),
+            },
+        }),
+        "stats" => Ok(Command::Stats { index: PathBuf::from(require("index")?) }),
+        "convert" => Ok(Command::Convert {
+            from: PathBuf::from(require("from")?),
+            to: PathBuf::from(require("to")?),
+        }),
+        other => Err(ParseError(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Collects `--key value` pairs; bare flags (like `--sequential`) map to "".
+fn collect_options(args: &[String]) -> Result<BTreeMap<String, String>, ParseError> {
+    let mut options = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| ParseError(format!("expected an option, found '{}'", args[i])))?;
+        let is_flag = key == "sequential";
+        if is_flag {
+            options.insert(key.to_string(), String::new());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| ParseError(format!("missing value for --{key}")))?;
+            options.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(options)
+}
+
+fn parse_dataset(token: &str) -> Result<DatasetId, ParseError> {
+    DatasetId::ALL
+        .iter()
+        .copied()
+        .find(|id| id.abbrev().eq_ignore_ascii_case(token) || id.name().eq_ignore_ascii_case(token))
+        .ok_or_else(|| ParseError(format!("unknown dataset '{token}'")))
+}
+
+fn parse_scale(token: &str) -> Result<Scale, ParseError> {
+    match token.to_lowercase().as_str() {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "medium" => Ok(Scale::Medium),
+        "large" => Ok(Scale::Large),
+        other => Err(ParseError(format!("unknown scale '{other}'"))),
+    }
+}
+
+fn parse_number(token: &str, what: &str) -> Result<usize, ParseError> {
+    token.parse().map_err(|_| ParseError(format!("invalid {what} '{token}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(&args(&["generate", "--dataset", "YT", "--scale", "tiny", "--out", "a.qbsg"]))
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                dataset: DatasetId::Youtube,
+                scale: Scale::Tiny,
+                out: PathBuf::from("a.qbsg")
+            }
+        );
+        // Dataset by full name, default scale.
+        let cmd =
+            parse(&args(&["generate", "--dataset", "douban", "--out", "b.qbsg"])).unwrap();
+        assert!(matches!(cmd, Command::Generate { dataset: DatasetId::Douban, scale: Scale::Small, .. }));
+    }
+
+    #[test]
+    fn parses_build_query_stats_convert() {
+        let cmd = parse(&args(&[
+            "build", "--graph", "g.qbsg", "--landmarks", "32", "--sequential", "--out", "i.qbs",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Build {
+                graph: "g.qbsg".into(),
+                landmarks: 32,
+                sequential: true,
+                out: "i.qbs".into()
+            }
+        );
+
+        let cmd = parse(&args(&[
+            "query", "--index", "i.qbs", "--source", "3", "--target", "7", "--format", "json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query { index: "i.qbs".into(), source: 3, target: 7, json: true }
+        );
+
+        assert_eq!(
+            parse(&args(&["stats", "--index", "i.qbs"])).unwrap(),
+            Command::Stats { index: "i.qbs".into() }
+        );
+        assert_eq!(
+            parse(&args(&["convert", "--from", "a.txt", "--to", "b.qbsg"])).unwrap(),
+            Command::Convert { from: "a.txt".into(), to: "b.qbsg".into() }
+        );
+    }
+
+    #[test]
+    fn help_and_empty_invocations() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["--help"])).unwrap(), Command::Help);
+        assert!(USAGE.contains("generate"));
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        assert!(parse(&args(&["explode"])).is_err());
+        assert!(parse(&args(&["generate", "--out", "x"])).is_err()); // missing dataset
+        assert!(parse(&args(&["generate", "--dataset", "nope", "--out", "x"])).is_err());
+        assert!(parse(&args(&["build", "--graph"])).is_err()); // missing value
+        assert!(parse(&args(&["query", "--index", "i", "--source", "x", "--target", "1"])).is_err());
+        assert!(parse(&args(&["generate", "dataset", "YT"])).is_err()); // not an option
+        assert!(parse(&args(&[
+            "query", "--index", "i", "--source", "1", "--target", "2", "--format", "xml"
+        ]))
+        .is_err());
+    }
+}

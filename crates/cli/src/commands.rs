@@ -1,0 +1,292 @@
+//! Command implementations. Each command returns its human-readable report
+//! as a `String` so it can be unit-tested without a subprocess.
+
+use std::fmt;
+use std::path::Path;
+
+use qbs_core::{serialize, QbsConfig, QbsIndex};
+use qbs_gen::catalog::Catalog;
+use qbs_graph::{io, Graph};
+
+use crate::args::{Command, USAGE};
+
+/// Errors produced while executing a command.
+#[derive(Debug)]
+pub enum CommandError {
+    /// The referenced dataset is missing from the catalog (should not happen
+    /// for the built-in catalog; kept for forward compatibility).
+    UnknownDataset(String),
+    /// A graph file could not be read or written.
+    Graph(qbs_graph::GraphError),
+    /// An index could not be built, loaded or queried.
+    Index(qbs_core::QbsError),
+    /// Generic I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
+            CommandError::Graph(e) => write!(f, "graph error: {e}"),
+            CommandError::Index(e) => write!(f, "index error: {e}"),
+            CommandError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<qbs_graph::GraphError> for CommandError {
+    fn from(e: qbs_graph::GraphError) -> Self {
+        CommandError::Graph(e)
+    }
+}
+
+impl From<qbs_core::QbsError> for CommandError {
+    fn from(e: qbs_core::QbsError) -> Self {
+        CommandError::Index(e)
+    }
+}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError::Io(e)
+    }
+}
+
+/// Executes a parsed command and returns the text to print.
+pub fn run(command: &Command) -> Result<String, CommandError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Generate { dataset, scale, out } => {
+            let catalog = Catalog::paper_table1();
+            let spec = catalog
+                .get(*dataset)
+                .ok_or_else(|| CommandError::UnknownDataset(dataset.name().to_string()))?;
+            let graph = spec.generate(*scale);
+            io::write_binary_file(&graph, out)?;
+            Ok(format!(
+                "generated {} stand-in at scale {:?}: {} vertices, {} edges -> {}",
+                dataset.name(),
+                scale,
+                graph.num_vertices(),
+                graph.num_edges(),
+                out.display()
+            ))
+        }
+        Command::Build { graph, landmarks, sequential, out } => {
+            let graph = load_graph(graph)?;
+            let mut config = QbsConfig::with_landmark_count(*landmarks);
+            if *sequential {
+                config = config.sequential();
+            }
+            let index = QbsIndex::build(graph, config);
+            serialize::save_to_file(&index, out)?;
+            let stats = index.stats();
+            Ok(format!(
+                "built index over {} vertices / {} edges with {} landmarks in {:.3}s \
+                 (size(L)={} bytes, size(Δ)={} bytes) -> {}",
+                stats.num_vertices,
+                stats.num_edges,
+                stats.num_landmarks,
+                stats.total_build_time.as_secs_f64(),
+                stats.labelling_paper_bytes,
+                stats.delta_bytes,
+                out.display()
+            ))
+        }
+        Command::Query { index, source, target, json } => {
+            let index = serialize::load_from_file(index)?;
+            let answer = index.try_query(*source, *target)?;
+            if *json {
+                Ok(serde_json::to_string_pretty(&answer.path_graph)
+                    .unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}")))
+            } else {
+                let spg = &answer.path_graph;
+                let mut out = format!(
+                    "SPG({source}, {target}): distance {}, {} vertices, {} edges\n",
+                    spg.distance(),
+                    spg.num_vertices(),
+                    spg.num_edges()
+                );
+                for (a, b) in spg.edges() {
+                    out.push_str(&format!("  {a} -- {b}\n"));
+                }
+                out.push_str(&format!(
+                    "sketch upper bound d⊤ = {}, reverse search = {}, recover search = {}\n",
+                    answer.sketch.upper_bound,
+                    answer.stats.used_reverse_search,
+                    answer.stats.used_recover_search
+                ));
+                Ok(out)
+            }
+        }
+        Command::Stats { index } => {
+            let index = serialize::load_from_file(index)?;
+            let stats = index.stats();
+            Ok(format!(
+                "vertices:            {}\n\
+                 edges:               {}\n\
+                 landmarks:           {}\n\
+                 size(L):             {} bytes\n\
+                 size(Δ):             {} bytes\n\
+                 meta-graph:          {} bytes ({} edges)\n\
+                 graph adjacency:     {} bytes\n\
+                 index/graph ratio:   {:.3}\n\
+                 labelling entries:   {}\n\
+                 build time:          {:.3}s (labelling {:.3}s, meta {:.3}s)",
+                stats.num_vertices,
+                stats.num_edges,
+                stats.num_landmarks,
+                stats.labelling_paper_bytes,
+                stats.delta_bytes,
+                stats.meta_graph_bytes,
+                stats.meta_edges,
+                stats.graph_bytes,
+                stats.index_to_graph_ratio(),
+                stats.labelling_entries,
+                stats.total_build_time.as_secs_f64(),
+                stats.labelling_time.as_secs_f64(),
+                stats.meta_time.as_secs_f64(),
+            ))
+        }
+        Command::Convert { from, to } => {
+            let graph = load_graph(from)?;
+            store_graph(&graph, to)?;
+            Ok(format!(
+                "converted {} ({} vertices, {} edges) -> {}",
+                from.display(),
+                graph.num_vertices(),
+                graph.num_edges(),
+                to.display()
+            ))
+        }
+    }
+}
+
+/// Loads a graph, picking the format from the extension (`.qbsg` binary,
+/// anything else is treated as a whitespace edge list).
+fn load_graph(path: &Path) -> Result<Graph, CommandError> {
+    if path.extension().is_some_and(|e| e == "qbsg") {
+        Ok(io::read_binary_file(path)?)
+    } else {
+        Ok(io::read_edge_list_file(path)?)
+    }
+}
+
+/// Stores a graph, picking the format from the extension.
+fn store_graph(graph: &Graph, path: &Path) -> Result<(), CommandError> {
+    if path.extension().is_some_and(|e| e == "qbsg") {
+        io::write_binary_file(graph, path)?;
+    } else {
+        io::write_edge_list_file(graph, path)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+    use qbs_gen::catalog::{DatasetId, Scale};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("qbs_cli_test_{tag}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn full_pipeline_generate_build_query_stats() {
+        let dir = temp_dir("pipeline");
+        let graph_path = dir.join("douban.qbsg");
+        let index_path = dir.join("douban.qbs");
+
+        let report = run(&Command::Generate {
+            dataset: DatasetId::Douban,
+            scale: Scale::Tiny,
+            out: graph_path.clone(),
+        })
+        .expect("generate");
+        assert!(report.contains("Douban"));
+        assert!(graph_path.exists());
+
+        let report = run(&Command::Build {
+            graph: graph_path.clone(),
+            landmarks: 10,
+            sequential: false,
+            out: index_path.clone(),
+        })
+        .expect("build");
+        assert!(report.contains("10 landmarks"));
+
+        let report = run(&Command::Query {
+            index: index_path.clone(),
+            source: 1,
+            target: 5,
+            json: false,
+        })
+        .expect("query");
+        assert!(report.contains("SPG(1, 5)"));
+
+        let json = run(&Command::Query { index: index_path.clone(), source: 1, target: 5, json: true })
+            .expect("json query");
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert!(parsed.get("distance").is_some());
+
+        let report = run(&Command::Stats { index: index_path }).expect("stats");
+        assert!(report.contains("landmarks:           10"));
+    }
+
+    #[test]
+    fn convert_between_formats_roundtrips() {
+        let dir = temp_dir("convert");
+        let bin = dir.join("g.qbsg");
+        let txt = dir.join("g.edges");
+        run(&Command::Generate { dataset: DatasetId::Dblp, scale: Scale::Tiny, out: bin.clone() })
+            .expect("generate");
+        run(&Command::Convert { from: bin.clone(), to: txt.clone() }).expect("to edge list");
+        run(&Command::Convert { from: txt.clone(), to: dir.join("g2.qbsg") }).expect("back to binary");
+        let a = qbs_graph::io::read_binary_file(&bin).expect("read a");
+        let b = qbs_graph::io::read_binary_file(dir.join("g2.qbsg")).expect("read b");
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn helpful_errors_for_missing_files_and_bad_queries() {
+        let dir = temp_dir("errors");
+        assert!(matches!(
+            run(&Command::Stats { index: dir.join("missing.qbs") }),
+            Err(CommandError::Index(_))
+        ));
+        assert!(matches!(
+            run(&Command::Build {
+                graph: dir.join("missing.qbsg"),
+                landmarks: 4,
+                sequential: true,
+                out: dir.join("out.qbs"),
+            }),
+            Err(CommandError::Graph(_))
+        ));
+
+        // Out-of-range query vertices surface as index errors.
+        let graph_path = dir.join("tiny.qbsg");
+        let index_path = dir.join("tiny.qbs");
+        run(&Command::Generate { dataset: DatasetId::Douban, scale: Scale::Tiny, out: graph_path.clone() })
+            .expect("generate");
+        run(&Command::Build { graph: graph_path, landmarks: 4, sequential: true, out: index_path.clone() })
+            .expect("build");
+        assert!(matches!(
+            run(&Command::Query { index: index_path, source: 0, target: u32::MAX, json: false }),
+            Err(CommandError::Index(_))
+        ));
+        let rendered = format!("{}", CommandError::UnknownDataset("X".into()));
+        assert!(rendered.contains("unknown dataset"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&Command::Help).unwrap().contains("qbs-cli"));
+    }
+}

@@ -1,0 +1,24 @@
+//! `qbs-cli`: thin binary wrapper around [`qbs_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match qbs_cli::parse(&args) {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", qbs_cli::args::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match qbs_cli::run(&command) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

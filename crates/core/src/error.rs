@@ -1,0 +1,72 @@
+//! Error type for index construction, persistence and queries.
+
+use std::fmt;
+
+/// Errors surfaced by the QbS index.
+#[derive(Debug)]
+pub enum QbsError {
+    /// A requested vertex does not exist in the indexed graph.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: u64,
+        /// Number of vertices in the indexed graph.
+        num_vertices: u64,
+    },
+    /// The landmark configuration is unusable (empty, duplicated or out of
+    /// range landmarks).
+    InvalidLandmarks(String),
+    /// A serialised index could not be decoded.
+    Corrupt(String),
+    /// Underlying I/O failure while persisting or loading an index.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for QbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QbsError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex {vertex} out of range for indexed graph with {num_vertices} vertices"
+            ),
+            QbsError::InvalidLandmarks(msg) => write!(f, "invalid landmark set: {msg}"),
+            QbsError::Corrupt(msg) => write!(f, "corrupt index data: {msg}"),
+            QbsError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for QbsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QbsError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for QbsError {
+    fn from(err: std::io::Error) -> Self {
+        QbsError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QbsError::VertexOutOfRange { vertex: 9, num_vertices: 4 };
+        assert!(e.to_string().contains("vertex 9"));
+        let e = QbsError::InvalidLandmarks("empty".into());
+        assert!(e.to_string().contains("empty"));
+        let e = QbsError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_conversion_keeps_source() {
+        let e: QbsError = std::io::Error::new(std::io::ErrorKind::Other, "disk").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,402 @@
+//! The QbS labelling scheme (Definition 4.2) and its construction
+//! (Algorithm 2).
+//!
+//! For a landmark set `R`, one BFS per landmark builds simultaneously:
+//!
+//! * the **path labelling** `L`: for every non-landmark vertex `u`, the
+//!   entry `(r, d_G(u, r))` is kept iff at least one shortest path between
+//!   `u` and `r` contains no other landmark;
+//! * the **meta-graph** edge set: `(r, r')` with weight `d_G(r, r')` iff at
+//!   least one shortest path between them contains no other landmark.
+//!
+//! The BFS follows Algorithm 2 exactly: two per-level queues are kept — `QL`
+//! for vertices whose discovery path avoids other landmarks (these receive
+//! labels and keep expanding) and `QN` for vertices first reached through
+//! another landmark (these are only traversed, never labelled). Processing
+//! `QL` before `QN` at every level guarantees that a vertex reachable both
+//! ways is classified as labelled, which is what Definition 4.2 requires.
+//!
+//! The labelling is stored densely: one distance slot per (vertex, landmark)
+//! pair, mirroring the paper's "`|R| * 8` bits per vertex" accounting while
+//! using 16-bit slots so that graphs of diameter above 255 remain
+//! representable.
+
+use serde::{Deserialize, Serialize};
+
+use qbs_graph::{Distance, Graph, VertexId};
+
+/// Sentinel meaning "no label entry for this (vertex, landmark) pair".
+pub const NO_LABEL: u16 = u16::MAX;
+
+/// Dense per-vertex path labelling.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathLabelling {
+    num_vertices: usize,
+    num_landmarks: usize,
+    /// Row-major `[vertex][landmark]` distance matrix with [`NO_LABEL`] holes.
+    dist: Vec<u16>,
+}
+
+impl PathLabelling {
+    /// Creates an empty labelling (all entries absent).
+    pub fn new(num_vertices: usize, num_landmarks: usize) -> Self {
+        PathLabelling {
+            num_vertices,
+            num_landmarks,
+            dist: vec![NO_LABEL; num_vertices * num_landmarks],
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of landmark columns.
+    pub fn num_landmarks(&self) -> usize {
+        self.num_landmarks
+    }
+
+    /// Sets the label entry of `vertex` for landmark column `landmark_idx`.
+    pub fn set(&mut self, vertex: VertexId, landmark_idx: usize, distance: u16) {
+        debug_assert!(distance != NO_LABEL, "distance saturates below the sentinel");
+        self.dist[vertex as usize * self.num_landmarks + landmark_idx] = distance;
+    }
+
+    /// The label entry of `vertex` for landmark column `landmark_idx`.
+    #[inline]
+    pub fn get(&self, vertex: VertexId, landmark_idx: usize) -> Option<Distance> {
+        let d = self.dist[vertex as usize * self.num_landmarks + landmark_idx];
+        if d == NO_LABEL {
+            None
+        } else {
+            Some(d as Distance)
+        }
+    }
+
+    /// Iterator over the label entries `(landmark_idx, distance)` of a vertex.
+    pub fn entries(&self, vertex: VertexId) -> impl Iterator<Item = (usize, Distance)> + '_ {
+        let base = vertex as usize * self.num_landmarks;
+        self.dist[base..base + self.num_landmarks]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != NO_LABEL)
+            .map(|(i, &d)| (i, d as Distance))
+    }
+
+    /// Number of label entries of a vertex.
+    pub fn label_len(&self, vertex: VertexId) -> usize {
+        self.entries(vertex).count()
+    }
+
+    /// Total number of label entries, `size(L) = Σ_v |L(v)|`.
+    pub fn total_entries(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != NO_LABEL).count()
+    }
+
+    /// Labelling size in bytes under the paper's accounting (§6.1/§6.4.2):
+    /// `|R|` bytes (8 bits per landmark) for every vertex.
+    pub fn paper_size_bytes(&self) -> usize {
+        self.num_vertices * self.num_landmarks
+    }
+
+    /// Actual in-memory size of the dense distance matrix.
+    pub fn memory_size_bytes(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<u16>()
+    }
+
+    /// Installs one landmark column produced by [`landmark_bfs`].
+    pub(crate) fn install_column(&mut self, landmark_idx: usize, column: &[u16]) {
+        debug_assert_eq!(column.len(), self.num_vertices);
+        for (v, &d) in column.iter().enumerate() {
+            if d != NO_LABEL {
+                self.dist[v * self.num_landmarks + landmark_idx] = d;
+            }
+        }
+    }
+}
+
+/// The product of Algorithm 2: the labelling plus the raw meta-graph edges.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabellingScheme {
+    /// The landmark set `R`, in column order.
+    pub landmarks: Vec<VertexId>,
+    /// The path labelling `L`.
+    pub labelling: PathLabelling,
+    /// Meta-graph edges `(i, j, σ)` over landmark *indices*, deduplicated and
+    /// stored with `i < j`.
+    pub meta_edges: Vec<(usize, usize, Distance)>,
+}
+
+/// The outcome of the BFS rooted at one landmark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LandmarkBfs {
+    /// Column of labelled distances (index = vertex id, [`NO_LABEL`] holes).
+    pub column: Vec<u16>,
+    /// Meta edges `(other_landmark_idx, σ)` discovered from this root.
+    pub meta_edges: Vec<(usize, Distance)>,
+}
+
+/// Runs the two-queue BFS of Algorithm 2 from the landmark with column index
+/// `root_idx`.
+///
+/// `landmark_column[v]` must map every vertex to its landmark column index,
+/// or `u32::MAX` for non-landmarks.
+pub fn landmark_bfs(graph: &Graph, landmarks: &[VertexId], landmark_column: &[u32], root_idx: usize) -> LandmarkBfs {
+    let n = graph.num_vertices();
+    let root = landmarks[root_idx];
+    let mut column = vec![NO_LABEL; n];
+    let mut meta_edges = Vec::new();
+    let mut visited = vec![false; n];
+
+    // Current-level queues: labelled (QL) and non-labelled (QN).
+    let mut ql: Vec<VertexId> = vec![root];
+    let mut qn: Vec<VertexId> = Vec::new();
+    visited[root as usize] = true;
+
+    let mut level: Distance = 0;
+    while !ql.is_empty() || !qn.is_empty() {
+        let mut next_ql: Vec<VertexId> = Vec::new();
+        let mut next_qn: Vec<VertexId> = Vec::new();
+        let next_depth = level + 1;
+
+        // Labelled queue first (Algorithm 2, lines 8-17): its discoveries
+        // reach the new vertex along a path with no other landmark.
+        for &u in &ql {
+            for &v in graph.neighbors(u) {
+                if visited[v as usize] {
+                    continue;
+                }
+                visited[v as usize] = true;
+                let v_col = landmark_column[v as usize];
+                if v_col != u32::MAX {
+                    // A landmark: record a meta edge, do not label.
+                    meta_edges.push((v_col as usize, next_depth));
+                    next_qn.push(v);
+                } else {
+                    column[v as usize] = saturate(next_depth);
+                    next_ql.push(v);
+                }
+            }
+        }
+        // Non-labelled queue second (lines 18-21): discoveries only extend
+        // the traversal, they are never labelled.
+        for &u in &qn {
+            for &v in graph.neighbors(u) {
+                if visited[v as usize] {
+                    continue;
+                }
+                visited[v as usize] = true;
+                next_qn.push(v);
+            }
+        }
+
+        ql = next_ql;
+        qn = next_qn;
+        level = next_depth;
+    }
+
+    LandmarkBfs { column, meta_edges }
+}
+
+/// Builds the complete labelling scheme sequentially (one landmark at a
+/// time). See [`crate::parallel::build_parallel`] for the multi-threaded
+/// variant enabled by Lemma 5.2.
+pub fn build_sequential(graph: &Graph, landmarks: &[VertexId]) -> LabellingScheme {
+    let columns: Vec<LandmarkBfs> = {
+        let landmark_column = landmark_column_map(graph, landmarks);
+        (0..landmarks.len())
+            .map(|i| landmark_bfs(graph, landmarks, &landmark_column, i))
+            .collect()
+    };
+    assemble(graph, landmarks, columns)
+}
+
+/// Maps every vertex to its landmark column index (`u32::MAX` for
+/// non-landmarks).
+pub(crate) fn landmark_column_map(graph: &Graph, landmarks: &[VertexId]) -> Vec<u32> {
+    let mut map = vec![u32::MAX; graph.num_vertices()];
+    for (i, &r) in landmarks.iter().enumerate() {
+        map[r as usize] = i as u32;
+    }
+    map
+}
+
+/// Combines per-landmark BFS results into the final scheme.
+pub(crate) fn assemble(
+    graph: &Graph,
+    landmarks: &[VertexId],
+    columns: Vec<LandmarkBfs>,
+) -> LabellingScheme {
+    let mut labelling = PathLabelling::new(graph.num_vertices(), landmarks.len());
+    let mut meta: std::collections::BTreeMap<(usize, usize), Distance> =
+        std::collections::BTreeMap::new();
+    for (i, bfs) in columns.into_iter().enumerate() {
+        labelling.install_column(i, &bfs.column);
+        for (j, sigma) in bfs.meta_edges {
+            let key = (i.min(j), i.max(j));
+            let entry = meta.entry(key).or_insert(sigma);
+            debug_assert_eq!(*entry, sigma, "meta edge weight must agree from both roots");
+            *entry = (*entry).min(sigma);
+        }
+    }
+    LabellingScheme {
+        landmarks: landmarks.to_vec(),
+        labelling,
+        meta_edges: meta.into_iter().map(|((i, j), s)| (i, j, s)).collect(),
+    }
+}
+
+fn saturate(d: Distance) -> u16 {
+    if d >= NO_LABEL as Distance {
+        NO_LABEL - 1
+    } else {
+        d as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_graph::fixtures::{figure4_graph, figure4_landmarks};
+    use qbs_graph::GraphBuilder;
+
+    fn figure4_scheme() -> LabellingScheme {
+        build_sequential(&figure4_graph(), &figure4_landmarks())
+    }
+
+    #[test]
+    fn labels_match_figure_4c_exactly() {
+        let scheme = figure4_scheme();
+        let l = &scheme.labelling;
+        // Expected path labelling of Figure 4(c): (vertex, landmark, dist).
+        let expected: &[(u32, usize, u32)] = &[
+            (4, 0, 1),
+            (4, 2, 1),
+            (5, 0, 1),
+            (5, 2, 3),
+            (6, 0, 1),
+            (7, 0, 2),
+            (7, 1, 2),
+            (8, 1, 1),
+            (9, 1, 1),
+            (10, 1, 2),
+            (10, 2, 3),
+            (11, 1, 3),
+            (11, 2, 2),
+            (12, 2, 1),
+            (13, 0, 3),
+            (13, 2, 1),
+            (14, 0, 2),
+            (14, 2, 2),
+        ];
+        let mut total = 0;
+        for &(v, r, d) in expected {
+            assert_eq!(l.get(v, r), Some(d), "L({v}) entry for landmark column {r}");
+            total += 1;
+        }
+        // No extra entries beyond the figure: vertex 0 is isolated and the
+        // landmarks themselves carry no labels.
+        assert_eq!(l.total_entries(), total);
+        for (v, r) in [(4u32, 1usize), (6, 1), (6, 2), (8, 0), (9, 0), (12, 0), (12, 1)] {
+            assert_eq!(l.get(v, r), None, "unexpected label for vertex {v}, column {r}");
+        }
+    }
+
+    #[test]
+    fn meta_graph_matches_figure_4b() {
+        let scheme = figure4_scheme();
+        // Edges (1,2) weight 1, (2,3) weight 1, (1,3) weight 2 — in column
+        // indices: (0,1,1), (1,2,1), (0,2,2).
+        assert_eq!(scheme.meta_edges, vec![(0, 1, 1), (0, 2, 2), (1, 2, 1)]);
+    }
+
+    #[test]
+    fn landmarks_never_receive_labels() {
+        let scheme = figure4_scheme();
+        for (i, &r) in scheme.landmarks.iter().enumerate() {
+            assert_eq!(scheme.labelling.label_len(r), 0, "landmark {r} (column {i})");
+        }
+    }
+
+    #[test]
+    fn labelled_distances_are_exact_graph_distances() {
+        let g = figure4_graph();
+        let scheme = build_sequential(&g, &figure4_landmarks());
+        for v in g.vertices() {
+            for (i, d) in scheme.labelling.entries(v) {
+                let r = scheme.landmarks[i];
+                let exact = qbs_graph::traversal::bfs_distances(&g, r)[v as usize];
+                assert_eq!(d, exact, "label of {v} towards landmark {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_exist_exactly_when_a_landmark_free_shortest_path_exists() {
+        // Definition 4.2 verified against brute force on the figure graph.
+        let g = figure4_graph();
+        let landmarks = figure4_landmarks();
+        let scheme = build_sequential(&g, &landmarks);
+        for v in g.vertices() {
+            if landmarks.contains(&v) {
+                continue;
+            }
+            for (i, &r) in landmarks.iter().enumerate() {
+                let exact = qbs_graph::traversal::bfs_distances(&g, r)[v as usize];
+                if exact == qbs_graph::INFINITE_DISTANCE {
+                    assert_eq!(scheme.labelling.get(v, i), None);
+                    continue;
+                }
+                // Brute force: does a shortest path avoiding the *other*
+                // landmarks exist? Remove them and compare distances.
+                let others = qbs_graph::VertexFilter::from_vertices(
+                    g.num_vertices(),
+                    landmarks.iter().copied().filter(|&x| x != r),
+                );
+                let view = qbs_graph::FilteredGraph::new(&g, &others);
+                let avoid = qbs_graph::traversal::bfs_distances(&view, r)[v as usize];
+                let expected = if avoid == exact { Some(exact) } else { None };
+                assert_eq!(scheme.labelling.get(v, i), expected, "vertex {v}, landmark {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_storage_accounting() {
+        let scheme = figure4_scheme();
+        let l = &scheme.labelling;
+        assert_eq!(l.num_vertices(), 15);
+        assert_eq!(l.num_landmarks(), 3);
+        assert_eq!(l.paper_size_bytes(), 15 * 3);
+        assert_eq!(l.memory_size_bytes(), 15 * 3 * 2);
+        assert_eq!(l.label_len(4), 2);
+        assert_eq!(l.label_len(0), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_and_unreachable_components_get_no_labels() {
+        // Component {0,1,2} holds the landmark; component {3,4} is separate.
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (1, 2), (3, 4)].into_iter());
+        b.reserve_vertices(5);
+        let g = b.build();
+        let scheme = build_sequential(&g, &[1]);
+        assert_eq!(scheme.labelling.get(0, 0), Some(1));
+        assert_eq!(scheme.labelling.get(2, 0), Some(1));
+        assert_eq!(scheme.labelling.get(3, 0), None);
+        assert_eq!(scheme.labelling.get(4, 0), None);
+        assert!(scheme.meta_edges.is_empty());
+    }
+
+    #[test]
+    fn adjacent_landmarks_form_weight_one_meta_edges() {
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3)].into_iter()).build();
+        let scheme = build_sequential(&g, &[0, 1, 3]);
+        assert_eq!(scheme.meta_edges, vec![(0, 1, 1), (1, 2, 2)]);
+        // Vertex 2 is labelled towards landmarks 1 and 3 but not 0 (every
+        // shortest path 0-2 passes landmark 1).
+        assert_eq!(scheme.labelling.get(2, 0), None);
+        assert_eq!(scheme.labelling.get(2, 1), Some(1));
+        assert_eq!(scheme.labelling.get(2, 2), Some(1));
+    }
+}

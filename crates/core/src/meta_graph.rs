@@ -1,0 +1,282 @@
+//! The meta-graph `M = (R, E_R, σ)` (Definition 4.1) plus the
+//! precomputations QbS performs over it:
+//!
+//! * all-pairs shortest-path distances `d_M` between landmarks (used by
+//!   Algorithm 3 to evaluate Eq. 3 in `O(|R|²)` instead of `O(|R|⁴)`, §5.2);
+//! * for every landmark pair, the set of meta-edges lying on its shortest
+//!   meta-paths (the landmark part of a sketch);
+//! * `Δ`: for every meta-edge `(r, r')`, the shortest path graph between `r`
+//!   and `r'` in the original graph restricted to paths with no other
+//!   landmark — the "precomputed shortest path graphs between landmarks"
+//!   whose size the paper reports as `size(Δ)` in Table 3 and which the
+//!   recover search splices into query answers.
+
+use serde::{Deserialize, Serialize};
+
+use qbs_graph::traversal::bfs_distances;
+use qbs_graph::{Distance, FilteredGraph, Graph, VertexFilter, VertexId, INFINITE_DISTANCE};
+
+/// The meta-graph and everything precomputed from it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetaGraph {
+    /// The landmark set, in column order.
+    landmarks: Vec<VertexId>,
+    /// Deduplicated meta edges `(i, j, σ)` with `i < j` over landmark indices.
+    edges: Vec<(usize, usize, Distance)>,
+    /// Row-major `|R| × |R|` all-pairs distance matrix over the meta-graph.
+    apsp: Vec<Distance>,
+    /// `delta[k]` is the edge set of the shortest path graph (in `G`,
+    /// avoiding other landmarks) between the endpoints of `edges[k]`.
+    delta: Vec<Vec<(VertexId, VertexId)>>,
+}
+
+impl MetaGraph {
+    /// Builds the meta-graph from the raw edge list produced by Algorithm 2,
+    /// computing `d_M` and the per-edge Δ path graphs.
+    pub fn build(graph: &Graph, landmarks: &[VertexId], meta_edges: &[(usize, usize, Distance)]) -> Self {
+        let r = landmarks.len();
+        let mut apsp = vec![INFINITE_DISTANCE; r * r];
+        for i in 0..r {
+            apsp[i * r + i] = 0;
+        }
+        for &(i, j, sigma) in meta_edges {
+            apsp[i * r + j] = apsp[i * r + j].min(sigma);
+            apsp[j * r + i] = apsp[j * r + i].min(sigma);
+        }
+        // Floyd–Warshall: |R| ≤ 100 in every experiment, so |R|³ is trivial.
+        for k in 0..r {
+            for i in 0..r {
+                let dik = apsp[i * r + k];
+                if dik == INFINITE_DISTANCE {
+                    continue;
+                }
+                for j in 0..r {
+                    let dkj = apsp[k * r + j];
+                    if dkj == INFINITE_DISTANCE {
+                        continue;
+                    }
+                    let through = dik + dkj;
+                    if through < apsp[i * r + j] {
+                        apsp[i * r + j] = through;
+                    }
+                }
+            }
+        }
+
+        // Δ: shortest path graph between the endpoints of every meta-edge,
+        // restricted to paths avoiding all other landmarks.
+        let delta = meta_edges
+            .iter()
+            .map(|&(i, j, sigma)| {
+                landmark_pair_paths(graph, landmarks, landmarks[i], landmarks[j], sigma)
+            })
+            .collect();
+
+        MetaGraph { landmarks: landmarks.to_vec(), edges: meta_edges.to_vec(), apsp, delta }
+    }
+
+    /// The landmark set in column order.
+    pub fn landmarks(&self) -> &[VertexId] {
+        &self.landmarks
+    }
+
+    /// Number of landmarks `|R|`.
+    pub fn num_landmarks(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// The meta edges `(i, j, σ)` with `i < j`.
+    pub fn edges(&self) -> &[(usize, usize, Distance)] {
+        &self.edges
+    }
+
+    /// Shortest-path distance between two landmarks through the meta-graph,
+    /// which equals their true graph distance `d_G` (every shortest path
+    /// between landmarks decomposes into meta edges at its interior
+    /// landmarks).
+    #[inline]
+    pub fn distance(&self, i: usize, j: usize) -> Distance {
+        self.apsp[i * self.num_landmarks() + j]
+    }
+
+    /// The meta edges lying on at least one shortest meta-path between
+    /// landmark indices `i` and `j` — the landmark part of the sketch for a
+    /// query whose minimum is achieved by the pair `(i, j)`.
+    pub fn shortest_path_meta_edges(&self, i: usize, j: usize) -> Vec<(usize, usize, Distance)> {
+        let dij = self.distance(i, j);
+        if dij == INFINITE_DISTANCE || i == j {
+            return Vec::new();
+        }
+        self.edges
+            .iter()
+            .copied()
+            .filter(|&(a, b, w)| {
+                let forward = self.distance(i, a).saturating_add(w).saturating_add(self.distance(b, j)) == dij;
+                let backward = self.distance(i, b).saturating_add(w).saturating_add(self.distance(a, j)) == dij;
+                forward || backward
+            })
+            .collect()
+    }
+
+    /// The precomputed path graph (edge list in `G`) of one meta edge, by
+    /// its position in [`MetaGraph::edges`].
+    pub fn delta_edges(&self, edge_index: usize) -> &[(VertexId, VertexId)] {
+        &self.delta[edge_index]
+    }
+
+    /// Looks up the index of a meta edge given its landmark indices.
+    pub fn edge_index(&self, i: usize, j: usize) -> Option<usize> {
+        let key = (i.min(j), i.max(j));
+        self.edges.iter().position(|&(a, b, _)| (a, b) == key)
+    }
+
+    /// Total number of edges stored across all Δ path graphs.
+    pub fn delta_total_edges(&self) -> usize {
+        self.delta.iter().map(Vec::len).sum()
+    }
+
+    /// Size of Δ in bytes (8 bytes per stored edge, the paper's Table 1/3
+    /// accounting for adjacency data).
+    pub fn delta_size_bytes(&self) -> usize {
+        self.delta_total_edges() * 8
+    }
+
+    /// Size of the meta-graph itself in bytes (two 4-byte endpoints plus a
+    /// 4-byte weight per edge) — the quantity the paper bounds by 0.01 MB
+    /// for `|R| = 100` (§6.2.2).
+    pub fn meta_size_bytes(&self) -> usize {
+        self.edges.len() * 12
+    }
+}
+
+/// Computes the shortest path graph between two landmarks restricted to
+/// paths that contain no other landmark, via two BFSs on the filtered view.
+fn landmark_pair_paths(
+    graph: &Graph,
+    landmarks: &[VertexId],
+    a: VertexId,
+    b: VertexId,
+    expected_distance: Distance,
+) -> Vec<(VertexId, VertexId)> {
+    let others = VertexFilter::from_vertices(
+        graph.num_vertices(),
+        landmarks.iter().copied().filter(|&x| x != a && x != b),
+    );
+    let view = FilteredGraph::new(graph, &others);
+    let from_a = bfs_distances(&view, a);
+    let from_b = bfs_distances(&view, b);
+    debug_assert_eq!(
+        from_a[b as usize], expected_distance,
+        "meta edge weight must equal the landmark-free distance"
+    );
+    let mut edges = Vec::new();
+    for (x, y) in graph.edges() {
+        if others.contains(x) || others.contains(y) {
+            continue;
+        }
+        let (dax, day) = (from_a[x as usize], from_a[y as usize]);
+        let (dbx, dby) = (from_b[x as usize], from_b[y as usize]);
+        if dax == INFINITE_DISTANCE || day == INFINITE_DISTANCE {
+            continue;
+        }
+        if dax.saturating_add(1).saturating_add(dby) == expected_distance
+            || day.saturating_add(1).saturating_add(dbx) == expected_distance
+        {
+            edges.push((x, y));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labelling::build_sequential;
+    use qbs_graph::fixtures::{figure4_graph, figure4_landmarks};
+    use qbs_graph::GraphBuilder;
+
+    fn figure4_meta() -> (Graph, MetaGraph) {
+        let g = figure4_graph();
+        let landmarks = figure4_landmarks();
+        let scheme = build_sequential(&g, &landmarks);
+        let meta = MetaGraph::build(&g, &landmarks, &scheme.meta_edges);
+        (g, meta)
+    }
+
+    #[test]
+    fn distances_match_the_true_landmark_distances() {
+        let (g, meta) = figure4_meta();
+        for (i, &ri) in meta.landmarks().iter().enumerate() {
+            let bfs = bfs_distances(&g, ri);
+            for (j, &rj) in meta.landmarks().iter().enumerate() {
+                assert_eq!(meta.distance(i, j), bfs[rj as usize], "d_M({ri},{rj})");
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_meta_edges_and_weights() {
+        let (_, meta) = figure4_meta();
+        assert_eq!(meta.num_landmarks(), 3);
+        assert_eq!(meta.edges(), &[(0, 1, 1), (0, 2, 2), (1, 2, 1)]);
+        assert_eq!(meta.meta_size_bytes(), 36);
+    }
+
+    #[test]
+    fn sketch_meta_edges_for_example_4_7() {
+        let (_, meta) = figure4_meta();
+        // Shortest meta paths between landmarks 1 (idx 0) and 3 (idx 2) have
+        // length 2 and use either the direct edge (1,3) or the path 1-2-3 —
+        // so all three meta edges belong to the sketch (Figure 6(b)).
+        let edges = meta.shortest_path_meta_edges(0, 2);
+        assert_eq!(edges.len(), 3);
+        // Between 1 (idx 0) and 2 (idx 1) only the direct edge qualifies.
+        let edges = meta.shortest_path_meta_edges(0, 1);
+        assert_eq!(edges, vec![(0, 1, 1)]);
+        // Degenerate: same landmark twice.
+        assert!(meta.shortest_path_meta_edges(1, 1).is_empty());
+    }
+
+    #[test]
+    fn delta_contains_landmark_free_paths_only() {
+        let (_, meta) = figure4_meta();
+        // Meta edge (1,3) (indices 0,2) has weight 2 realised only through
+        // vertex 4; its Δ must be exactly {(1,4), (3,4)}.
+        let k = meta.edge_index(0, 2).expect("edge exists");
+        let mut edges = meta.delta_edges(k).to_vec();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(1, 4), (3, 4)]);
+        // Adjacent landmark pairs have a single-edge Δ.
+        let k = meta.edge_index(0, 1).expect("edge exists");
+        assert_eq!(meta.delta_edges(k), &[(1, 2)]);
+        assert!(meta.edge_index(5, 0).is_none());
+        assert_eq!(meta.delta_total_edges(), 4);
+        assert_eq!(meta.delta_size_bytes(), 32);
+    }
+
+    #[test]
+    fn disconnected_landmarks_have_infinite_meta_distance() {
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        b.reserve_vertices(4);
+        let g = b.build();
+        let landmarks = vec![0, 3];
+        let scheme = build_sequential(&g, &landmarks);
+        let meta = MetaGraph::build(&g, &landmarks, &scheme.meta_edges);
+        assert_eq!(meta.distance(0, 1), INFINITE_DISTANCE);
+        assert_eq!(meta.distance(0, 0), 0);
+        assert!(meta.shortest_path_meta_edges(0, 1).is_empty());
+    }
+
+    #[test]
+    fn triangle_of_landmarks_has_single_edge_deltas() {
+        // Landmarks pairwise adjacent: every Δ is a single direct edge.
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 0)].into_iter()).build();
+        let landmarks = vec![0, 1, 2];
+        let scheme = build_sequential(&g, &landmarks);
+        let meta = MetaGraph::build(&g, &landmarks, &scheme.meta_edges);
+        assert_eq!(meta.edges().len(), 3);
+        for k in 0..3 {
+            assert_eq!(meta.delta_edges(k).len(), 1);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Parallel labelling construction (§5.3).
+//!
+//! Lemma 5.2 shows the labelling scheme is *deterministic* with respect to
+//! the landmark set: unlike PLL-style indexes, no landmark ordering is
+//! involved, so the per-landmark BFSs of Algorithm 2 are independent and can
+//! run on separate threads. This module runs them on the rayon thread pool;
+//! the result is bit-identical to [`crate::labelling::build_sequential`]
+//! (which the property tests assert), only faster — the paper reports 6–12×
+//! speed-ups with 12 threads (Table 2, QbS-P vs QbS).
+
+use rayon::prelude::*;
+
+use qbs_graph::{Graph, VertexId};
+
+use crate::labelling::{assemble, landmark_bfs, landmark_column_map, LabellingScheme};
+
+/// Builds the labelling scheme with one rayon task per landmark.
+pub fn build_parallel(graph: &Graph, landmarks: &[VertexId]) -> LabellingScheme {
+    let landmark_column = landmark_column_map(graph, landmarks);
+    let columns = (0..landmarks.len())
+        .into_par_iter()
+        .map(|i| landmark_bfs(graph, landmarks, &landmark_column, i))
+        .collect();
+    assemble(graph, landmarks, columns)
+}
+
+/// Builds the labelling scheme on a dedicated pool with `threads` workers,
+/// used by the Table 2 construction-time experiment to control parallelism
+/// explicitly (the paper uses up to 12 threads).
+pub fn build_with_threads(graph: &Graph, landmarks: &[VertexId], threads: usize) -> LabellingScheme {
+    if threads <= 1 {
+        return crate::labelling::build_sequential(graph, landmarks);
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(|| build_parallel(graph, landmarks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labelling::build_sequential;
+    use qbs_graph::fixtures::{figure4_graph, figure4_landmarks};
+
+    #[test]
+    fn parallel_equals_sequential_on_figure4() {
+        let g = figure4_graph();
+        let landmarks = figure4_landmarks();
+        assert_eq!(build_parallel(&g, &landmarks), build_sequential(&g, &landmarks));
+    }
+
+    #[test]
+    fn parallel_is_independent_of_landmark_order() {
+        // Lemma 5.2: the scheme depends only on the landmark *set*; only the
+        // column order changes when the set is permuted.
+        let g = figure4_graph();
+        let a = build_parallel(&g, &[1, 2, 3]);
+        let b = build_parallel(&g, &[3, 1, 2]);
+        assert_eq!(a.labelling.total_entries(), b.labelling.total_entries());
+        assert_eq!(a.meta_edges.len(), b.meta_edges.len());
+        // Same per-vertex entry contents after mapping columns to vertices.
+        for v in g.vertices() {
+            let mut ea: Vec<(u32, u32)> =
+                a.labelling.entries(v).map(|(i, d)| (a.landmarks[i], d)).collect();
+            let mut eb: Vec<(u32, u32)> =
+                b.labelling.entries(v).map(|(i, d)| (b.landmarks[i], d)).collect();
+            ea.sort_unstable();
+            eb.sort_unstable();
+            assert_eq!(ea, eb, "labels of vertex {v}");
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_give_identical_schemes() {
+        let g = figure4_graph();
+        let landmarks = figure4_landmarks();
+        let seq = build_with_threads(&g, &landmarks, 1);
+        let par = build_with_threads(&g, &landmarks, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_landmark_set_produces_empty_scheme() {
+        let g = figure4_graph();
+        let scheme = build_parallel(&g, &[]);
+        assert_eq!(scheme.labelling.total_entries(), 0);
+        assert!(scheme.meta_edges.is_empty());
+    }
+}

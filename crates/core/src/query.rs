@@ -1,0 +1,345 @@
+//! The [`QbsIndex`] façade: build once, query many times.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use qbs_graph::{Distance, Graph, PathGraph, VertexFilter, VertexId};
+
+use crate::labelling::{self, LabellingScheme, PathLabelling};
+use crate::landmark::LandmarkStrategy;
+use crate::meta_graph::MetaGraph;
+use crate::parallel;
+use crate::search::{SearchContext, SearchStats};
+use crate::sketch::{self, Sketch};
+use crate::stats::IndexStats;
+use crate::QbsError;
+
+/// Configuration of an index build.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QbsConfig {
+    /// How landmarks are chosen. Default: the 20 highest-degree vertices.
+    pub landmarks: LandmarkStrategy,
+    /// Build the labelling with the rayon thread pool (§5.3). The resulting
+    /// index is identical either way (Lemma 5.2).
+    pub parallel_labelling: bool,
+    /// Thread count for the parallel build; `None` lets rayon decide.
+    pub threads: Option<usize>,
+}
+
+impl Default for QbsConfig {
+    fn default() -> Self {
+        QbsConfig { landmarks: LandmarkStrategy::default(), parallel_labelling: true, threads: None }
+    }
+}
+
+impl QbsConfig {
+    /// The paper's default configuration with a custom landmark count.
+    pub fn with_landmark_count(count: usize) -> Self {
+        QbsConfig { landmarks: LandmarkStrategy::HighestDegree { count }, ..Default::default() }
+    }
+
+    /// A configuration with an explicit landmark set (used in tests that
+    /// mirror the paper's worked example).
+    pub fn with_explicit_landmarks(landmarks: Vec<VertexId>) -> Self {
+        QbsConfig { landmarks: LandmarkStrategy::Explicit(landmarks), ..Default::default() }
+    }
+
+    /// Forces a sequential labelling build (the "QbS" rows of Table 2, as
+    /// opposed to "QbS-P").
+    pub fn sequential(mut self) -> Self {
+        self.parallel_labelling = false;
+        self
+    }
+}
+
+/// Timing breakdown of an index build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BuildTimings {
+    /// Landmark selection time.
+    pub landmark_selection: Duration,
+    /// Labelling construction time (Algorithm 2 over all landmarks).
+    pub labelling: Duration,
+    /// Meta-graph assembly: APSP plus the Δ path graphs.
+    pub meta_graph: Duration,
+    /// End-to-end build time.
+    pub total: Duration,
+}
+
+/// A query answer together with the search statistics behind it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryAnswer {
+    /// The shortest path graph.
+    pub path_graph: PathGraph,
+    /// The sketch used to guide the search.
+    pub sketch: Sketch,
+    /// Work counters of the guided search.
+    pub stats: SearchStats,
+}
+
+/// The Query-by-Sketch index.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QbsIndex {
+    graph: Graph,
+    landmarks: Vec<VertexId>,
+    landmark_filter: VertexFilter,
+    landmark_column: Vec<u32>,
+    labelling: PathLabelling,
+    meta: MetaGraph,
+    timings: BuildTimings,
+}
+
+impl QbsIndex {
+    /// Builds an index over `graph` with the given configuration.
+    pub fn build(graph: Graph, config: QbsConfig) -> Self {
+        let total_start = Instant::now();
+
+        let t = Instant::now();
+        let landmarks = config.landmarks.select(&graph);
+        let landmark_selection = t.elapsed();
+
+        let t = Instant::now();
+        let scheme: LabellingScheme = if config.parallel_labelling {
+            match config.threads {
+                Some(threads) => parallel::build_with_threads(&graph, &landmarks, threads),
+                None => parallel::build_parallel(&graph, &landmarks),
+            }
+        } else {
+            labelling::build_sequential(&graph, &landmarks)
+        };
+        let labelling_time = t.elapsed();
+
+        let t = Instant::now();
+        let meta = MetaGraph::build(&graph, &landmarks, &scheme.meta_edges);
+        let meta_time = t.elapsed();
+
+        let landmark_filter =
+            VertexFilter::from_vertices(graph.num_vertices(), landmarks.iter().copied());
+        let landmark_column = labelling::landmark_column_map(&graph, &landmarks);
+
+        QbsIndex {
+            graph,
+            landmarks,
+            landmark_filter,
+            landmark_column,
+            labelling: scheme.labelling,
+            meta,
+            timings: BuildTimings {
+                landmark_selection,
+                labelling: labelling_time,
+                meta_graph: meta_time,
+                total: total_start.elapsed(),
+            },
+        }
+    }
+
+    /// Builds with the paper's default configuration (20 highest-degree
+    /// landmarks, parallel labelling).
+    pub fn build_default(graph: Graph) -> Self {
+        Self::build(graph, QbsConfig::default())
+    }
+
+    /// The indexed graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The landmark set `R` in column order.
+    pub fn landmarks(&self) -> &[VertexId] {
+        &self.landmarks
+    }
+
+    /// The path labelling `L`.
+    pub fn labelling(&self) -> &PathLabelling {
+        &self.labelling
+    }
+
+    /// The meta-graph (with APSP and Δ).
+    pub fn meta_graph(&self) -> &MetaGraph {
+        &self.meta
+    }
+
+    /// Build-phase timing breakdown.
+    pub fn timings(&self) -> BuildTimings {
+        self.timings
+    }
+
+    /// Size and timing statistics (the per-dataset rows of Tables 2 and 3).
+    pub fn stats(&self) -> IndexStats {
+        IndexStats::from_index(self)
+    }
+
+    /// Whether `v` is a landmark.
+    pub fn is_landmark(&self, v: VertexId) -> bool {
+        (v as usize) < self.landmark_column.len() && self.landmark_column[v as usize] != u32::MAX
+    }
+
+    /// The effective label of a vertex: its path label, or the synthetic
+    /// `{(itself, 0)}` when the vertex is a landmark.
+    pub fn effective_label(&self, v: VertexId) -> Vec<(usize, Distance)> {
+        let col = self.landmark_column[v as usize];
+        if col != u32::MAX {
+            vec![(col as usize, 0)]
+        } else {
+            self.labelling.entries(v).collect()
+        }
+    }
+
+    /// Computes the sketch for a query (Algorithm 3) without running the
+    /// search — used by the Figure 8 coverage analysis and by callers that
+    /// only need the distance upper bound.
+    pub fn sketch(&self, source: VertexId, target: VertexId) -> crate::Result<Sketch> {
+        self.check_vertex(source)?;
+        self.check_vertex(target)?;
+        Ok(sketch::compute(
+            &self.meta,
+            source,
+            target,
+            &self.effective_label(source),
+            &self.effective_label(target),
+        ))
+    }
+
+    /// Answers `SPG(source, target)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range; use [`QbsIndex::try_query`]
+    /// for a fallible variant.
+    pub fn query(&self, source: VertexId, target: VertexId) -> PathGraph {
+        self.try_query(source, target).expect("query vertices out of range").path_graph
+    }
+
+    /// Answers `SPG(source, target)`, returning the sketch and search
+    /// statistics alongside the path graph.
+    pub fn query_with_stats(&self, source: VertexId, target: VertexId) -> QueryAnswer {
+        self.try_query(source, target).expect("query vertices out of range")
+    }
+
+    /// Fallible query returning the full [`QueryAnswer`].
+    pub fn try_query(&self, source: VertexId, target: VertexId) -> crate::Result<QueryAnswer> {
+        self.check_vertex(source)?;
+        self.check_vertex(target)?;
+        if source == target {
+            let sketch = Sketch::unreachable(source, target);
+            let stats = SearchStats { distance: 0, ..SearchStats::default() };
+            return Ok(QueryAnswer { path_graph: PathGraph::trivial(source), sketch, stats });
+        }
+        let sketch = sketch::compute(
+            &self.meta,
+            source,
+            target,
+            &self.effective_label(source),
+            &self.effective_label(target),
+        );
+        let context = SearchContext {
+            graph: &self.graph,
+            meta: &self.meta,
+            labelling: &self.labelling,
+            landmark_filter: &self.landmark_filter,
+            landmark_column: &self.landmark_column,
+        };
+        let (path_graph, stats) = context.guided_search(source, target, &sketch);
+        Ok(QueryAnswer { path_graph, sketch, stats })
+    }
+
+    /// Shortest-path distance between two vertices (a by-product of the
+    /// guided search; exposed because distance queries are the classic use
+    /// of 2-hop labellings).
+    pub fn distance(&self, source: VertexId, target: VertexId) -> crate::Result<Distance> {
+        Ok(self.try_query(source, target)?.stats.distance)
+    }
+
+    fn check_vertex(&self, v: VertexId) -> crate::Result<()> {
+        if (v as usize) < self.graph.num_vertices() {
+            Ok(())
+        } else {
+            Err(QbsError::VertexOutOfRange {
+                vertex: v as u64,
+                num_vertices: self.graph.num_vertices() as u64,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_graph::fixtures::{figure3_graph, figure4_graph, figure4_spg_6_11_edges};
+
+    #[test]
+    fn figure4_default_example_end_to_end() {
+        let index =
+            QbsIndex::build(figure4_graph(), QbsConfig::with_explicit_landmarks(vec![1, 2, 3]));
+        assert_eq!(index.landmarks(), &[1, 2, 3]);
+        let answer = index.query_with_stats(6, 11);
+        assert_eq!(answer.path_graph.distance(), 5);
+        assert_eq!(
+            answer.path_graph,
+            PathGraph::from_edges(6, 11, 5, figure4_spg_6_11_edges())
+        );
+        assert_eq!(answer.sketch.upper_bound, 5);
+        assert_eq!(index.distance(6, 11).unwrap(), 5);
+    }
+
+    #[test]
+    fn default_config_uses_degree_landmarks() {
+        let index = QbsIndex::build(figure4_graph(), QbsConfig::with_landmark_count(3));
+        let mut lm = index.landmarks().to_vec();
+        lm.sort_unstable();
+        assert_eq!(lm, vec![1, 2, 3]);
+        assert!(index.is_landmark(1));
+        assert!(!index.is_landmark(7));
+    }
+
+    #[test]
+    fn sequential_and_parallel_builds_agree() {
+        let g = figure3_graph();
+        let a = QbsIndex::build(g.clone(), QbsConfig::with_landmark_count(2));
+        let b = QbsIndex::build(g, QbsConfig::with_landmark_count(2).sequential());
+        assert_eq!(a.labelling(), b.labelling());
+        assert_eq!(a.meta_graph(), b.meta_graph());
+        for (u, v) in [(3u32, 7u32), (1, 7), (4, 6)] {
+            assert_eq!(a.query(u, v), b.query(u, v));
+        }
+    }
+
+    #[test]
+    fn trivial_and_error_cases() {
+        let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(2));
+        assert_eq!(index.query(5, 5).distance(), 0);
+        assert!(index.try_query(0, 99).is_err());
+        assert!(index.sketch(99, 0).is_err());
+        assert!(matches!(
+            index.try_query(99, 0).unwrap_err(),
+            QbsError::VertexOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn timings_and_stats_are_populated() {
+        let index = QbsIndex::build(figure4_graph(), QbsConfig::with_landmark_count(3));
+        let t = index.timings();
+        assert!(t.total >= t.labelling);
+        let stats = index.stats();
+        assert_eq!(stats.num_landmarks, 3);
+        assert!(stats.labelling_paper_bytes > 0);
+    }
+
+    #[test]
+    fn effective_label_of_landmark_is_synthetic_zero() {
+        let index =
+            QbsIndex::build(figure4_graph(), QbsConfig::with_explicit_landmarks(vec![1, 2, 3]));
+        assert_eq!(index.effective_label(2), vec![(1, 0)]);
+        assert_eq!(index.effective_label(4), vec![(0, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn explicit_landmark_count_sweeps_build() {
+        // Used heavily by the Figures 9-11 sweeps: building with more
+        // landmarks than vertices must clamp, not panic.
+        let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(100));
+        assert_eq!(index.landmarks().len(), figure3_graph().num_vertices());
+        assert_eq!(index.query(3, 7).distance(), 4);
+    }
+}

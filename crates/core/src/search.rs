@@ -1,0 +1,585 @@
+//! Guided searching (Algorithm 4).
+//!
+//! Given the sketch `S_uv`, the answer `G_uv` is assembled from up to three
+//! searches over the sparsified graph `G⁻ = G[V \ R]` and the labelling
+//! scheme (Eq. 5):
+//!
+//! 1. **Bidirectional search** — an alternating level-by-level BFS from both
+//!    endpoints on `G⁻`, steered by the per-side budgets `d*_u`, `d*_v` from
+//!    the sketch and bounded by `d⊤_uv`. It either finds
+//!    `d_{G⁻}(u, v) ≤ d⊤_uv` or proves `d_{G⁻}(u, v) > d⊤_uv`.
+//! 2. **Reverse search** — if the frontiers met, walk back from the meeting
+//!    vertices along strictly decreasing BFS depths to materialise every
+//!    shortest path inside `G⁻` (`G⁻_uv`).
+//! 3. **Recover search** — if some shortest path passes a landmark
+//!    (`d_{G⁻} ≥ d⊤`), use the labels to materialise the landmark-passing
+//!    paths (`G^L_uv`): label-guided walks from the search frontiers to the
+//!    sketch landmarks, plus the precomputed Δ path graphs for the sketch's
+//!    meta edges.
+//!
+//! Queries whose endpoint happens to be a landmark are handled by giving
+//! that endpoint the synthetic label `{(itself, 0)}` and keeping it inside
+//! the sparsified view for this query only, which generalises the paper's
+//! formulation (labels are only defined on `V \ R`) without changing any of
+//! its guarantees.
+
+use serde::{Deserialize, Serialize};
+
+use qbs_graph::view::NeighborAccess;
+use qbs_graph::{
+    Distance, FilteredGraph, Graph, PathGraph, VertexFilter, VertexId, INFINITE_DISTANCE,
+};
+
+use crate::labelling::PathLabelling;
+use crate::meta_graph::MetaGraph;
+use crate::sketch::Sketch;
+
+/// Work counters and intermediate quantities of one guided search, used by
+/// the §6.5 traversal comparison and the Figure 8 coverage analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// `d⊤_uv` from the sketch.
+    pub upper_bound: Distance,
+    /// `d_{G⁻}(u, v)` if the bidirectional search determined it, otherwise
+    /// [`INFINITE_DISTANCE`] (meaning "greater than the bound" or truly
+    /// disconnected in `G⁻`).
+    pub sparsified_distance: Distance,
+    /// The final query distance.
+    pub distance: Distance,
+    /// Directed edges relaxed by the bidirectional search.
+    pub edges_traversed: usize,
+    /// Vertices settled by the bidirectional search.
+    pub vertices_settled: usize,
+    /// Levels expanded from the source side.
+    pub forward_levels: usize,
+    /// Levels expanded from the target side.
+    pub backward_levels: usize,
+    /// Whether the reverse search ran (some shortest path avoids landmarks).
+    pub used_reverse_search: bool,
+    /// Whether the recover search ran (some shortest path passes a landmark).
+    pub used_recover_search: bool,
+}
+
+/// Borrowed view of the index pieces the guided search needs.
+#[derive(Clone, Copy)]
+pub struct SearchContext<'a> {
+    /// The indexed graph.
+    pub graph: &'a Graph,
+    /// Meta-graph with APSP and Δ.
+    pub meta: &'a MetaGraph,
+    /// The path labelling.
+    pub labelling: &'a PathLabelling,
+    /// Filter marking every landmark (the removal set of `G⁻`).
+    pub landmark_filter: &'a VertexFilter,
+    /// Per-vertex landmark column (`u32::MAX` for non-landmarks).
+    pub landmark_column: &'a [u32],
+}
+
+/// One side (forward or backward) of the guided bidirectional search.
+struct Side {
+    depth: Vec<Distance>,
+    /// `levels[d]` lists the vertices settled at depth `d`.
+    levels: Vec<Vec<VertexId>>,
+    /// Number of settled vertices (|P| in Algorithm 4).
+    settled: usize,
+    /// Current level (d_u / d_v in Algorithm 4).
+    level: Distance,
+}
+
+impl Side {
+    fn new(n: usize, origin: VertexId) -> Self {
+        let mut depth = vec![INFINITE_DISTANCE; n];
+        depth[origin as usize] = 0;
+        Side { depth, levels: vec![vec![origin]], settled: 1, level: 0 }
+    }
+
+    fn frontier(&self) -> &[VertexId] {
+        &self.levels[self.level as usize]
+    }
+
+    /// Expands the current frontier one level on the view; returns the
+    /// number of newly settled vertices.
+    fn expand(&mut self, view: &FilteredGraph<'_>, stats: &mut SearchStats) -> usize {
+        let mut next: Vec<VertexId> = Vec::new();
+        let next_depth = self.level + 1;
+        for i in 0..self.levels[self.level as usize].len() {
+            let u = self.levels[self.level as usize][i];
+            stats.vertices_settled += 1;
+            view.for_each_neighbor(u, |w| {
+                stats.edges_traversed += 1;
+                if self.depth[w as usize] == INFINITE_DISTANCE {
+                    self.depth[w as usize] = next_depth;
+                    next.push(w);
+                }
+            });
+        }
+        let added = next.len();
+        self.settled += added;
+        self.levels.push(next);
+        self.level = next_depth;
+        added
+    }
+}
+
+impl<'a> SearchContext<'a> {
+    /// Answers `SPG(source, target)` guided by `sketch` (Algorithm 4).
+    ///
+    /// The caller guarantees `source != target` and that both vertices exist.
+    pub fn guided_search(
+        &self,
+        source: VertexId,
+        target: VertexId,
+        sketch: &Sketch,
+    ) -> (PathGraph, SearchStats) {
+        let n = self.graph.num_vertices();
+        let mut stats = SearchStats {
+            upper_bound: sketch.upper_bound,
+            sparsified_distance: INFINITE_DISTANCE,
+            distance: INFINITE_DISTANCE,
+            ..SearchStats::default()
+        };
+
+        // The sparsified view for this query: all landmarks removed, except
+        // a query endpoint that happens to be a landmark itself.
+        let endpoint_is_landmark = self.landmark_filter.contains(source)
+            || self.landmark_filter.contains(target);
+        let query_filter: VertexFilter = if endpoint_is_landmark {
+            VertexFilter::from_vertices(
+                n,
+                self.landmark_filter.iter().filter(|&x| x != source && x != target),
+            )
+        } else {
+            self.landmark_filter.clone()
+        };
+        let view = FilteredGraph::new(self.graph, &query_filter);
+
+        let d_top = sketch.upper_bound;
+        let (d_star_u, d_star_v) = (sketch.source_budget(), sketch.target_budget());
+
+        // ---- Stage 1: guided bidirectional search on G⁻ (lines 6-15). ----
+        let mut fwd = Side::new(n, source);
+        let mut bwd = Side::new(n, target);
+        let mut meeting_distance = INFINITE_DISTANCE;
+
+        loop {
+            if fwd.level.saturating_add(bwd.level) >= d_top {
+                break; // bound reached (d_u + d_v = d⊤)
+            }
+            let fwd_alive = !fwd.frontier().is_empty();
+            let bwd_alive = !bwd.frontier().is_empty();
+            if !fwd_alive && !bwd_alive {
+                break; // G⁻ exhausted without a meeting
+            }
+
+            // pick_search (line 7): prefer the side whose sketch budget is
+            // not yet exhausted; break ties (or the both/neither case) by
+            // expanding the smaller settled set.
+            let prefer_fwd = d_star_u > fwd.level;
+            let prefer_bwd = d_star_v > bwd.level;
+            let expand_forward = match (prefer_fwd && fwd_alive, prefer_bwd && bwd_alive) {
+                (true, false) => true,
+                (false, true) => false,
+                _ => {
+                    if !fwd_alive {
+                        false
+                    } else if !bwd_alive {
+                        true
+                    } else {
+                        fwd.settled <= bwd.settled
+                    }
+                }
+            };
+
+            let (just, other) = if expand_forward {
+                stats.forward_levels += 1;
+                fwd.expand(&view, &mut stats);
+                (&fwd, &bwd)
+            } else {
+                stats.backward_levels += 1;
+                bwd.expand(&view, &mut stats);
+                (&bwd, &fwd)
+            };
+
+            // Meeting check (lines 14-15).
+            for &w in just.frontier() {
+                let od = other.depth[w as usize];
+                if od != INFINITE_DISTANCE {
+                    meeting_distance = meeting_distance.min(just.level + od);
+                }
+            }
+            if meeting_distance != INFINITE_DISTANCE {
+                break;
+            }
+        }
+        stats.sparsified_distance = meeting_distance;
+
+        // ---- Stage 2/3: combine per Eq. 5. ----
+        let mut answer_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        let distance;
+        if meeting_distance < d_top {
+            // Every shortest path avoids the landmarks.
+            distance = meeting_distance;
+            stats.used_reverse_search = true;
+            reverse_search(&view, distance, &fwd.depth, &bwd.depth, &mut answer_edges);
+        } else if meeting_distance == d_top && d_top != INFINITE_DISTANCE {
+            distance = d_top;
+            stats.used_reverse_search = true;
+            stats.used_recover_search = true;
+            reverse_search(&view, distance, &fwd.depth, &bwd.depth, &mut answer_edges);
+            self.recover_search(sketch, &view, &fwd, &bwd, &mut answer_edges);
+        } else if d_top != INFINITE_DISTANCE {
+            // d_{G⁻} > d⊤: every shortest path passes a landmark.
+            distance = d_top;
+            stats.used_recover_search = true;
+            self.recover_search(sketch, &view, &fwd, &bwd, &mut answer_edges);
+        } else {
+            // No landmark route and no G⁻ route: disconnected.
+            stats.distance = INFINITE_DISTANCE;
+            return (PathGraph::unreachable(source, target), stats);
+        }
+        stats.distance = distance;
+        (PathGraph::from_edges(source, target, distance, answer_edges), stats)
+    }
+
+    /// Recover search (Algorithm 4, lines 18-24): materialises the shortest
+    /// paths that pass through at least one landmark.
+    fn recover_search(
+        &self,
+        sketch: &Sketch,
+        view: &FilteredGraph<'_>,
+        fwd: &Side,
+        bwd: &Side,
+        edges: &mut Vec<(VertexId, VertexId)>,
+    ) {
+        // Landmark-to-landmark segments: splice in the precomputed Δ path
+        // graph of every sketch meta edge.
+        for &(i, j, _) in &sketch.meta_edges {
+            if let Some(k) = self.meta.edge_index(i, j) {
+                edges.extend_from_slice(self.meta.delta_edges(k));
+            }
+        }
+        // Endpoint-to-landmark segments on both sides.
+        for hop in &sketch.source_hops {
+            self.recover_side(hop.landmark_idx, hop.distance, fwd, view, edges);
+        }
+        for hop in &sketch.target_hops {
+            self.recover_side(hop.landmark_idx, hop.distance, bwd, view, edges);
+        }
+    }
+
+    /// Recovers the shortest paths between one query endpoint and one sketch
+    /// landmark: finds the frontier vertices `Z` of Algorithm 4 (lines
+    /// 19-23), then label-walks from them to the landmark and depth-walks
+    /// from them back to the endpoint.
+    fn recover_side(
+        &self,
+        landmark_idx: usize,
+        sigma: Distance,
+        side: &Side,
+        view: &FilteredGraph<'_>,
+        edges: &mut Vec<(VertexId, VertexId)>,
+    ) {
+        if sigma == 0 {
+            return; // the endpoint is this landmark; nothing to recover
+        }
+        let landmark = self.meta.landmarks()[landmark_idx];
+        let dm = (sigma - 1).min(side.level);
+        let needed_label = sigma - dm;
+        let Some(level) = side.levels.get(dm as usize) else {
+            return;
+        };
+        for &w in level {
+            let matches = if self.landmark_filter.contains(w) {
+                // An endpoint that is itself a landmark only matches its own
+                // synthetic zero label.
+                w == landmark && needed_label == 0
+            } else {
+                self.labelling.get(w, landmark_idx) == Some(needed_label)
+            };
+            if !matches {
+                continue;
+            }
+            // w → landmark via the labels.
+            self.label_walk(w, landmark_idx, landmark, needed_label, edges);
+            // endpoint → w via the search depths.
+            depth_walk(view, w, &side.depth, edges);
+        }
+    }
+
+    /// Walks from `start` (whose label towards the landmark is
+    /// `start_distance`) down to the landmark, following neighbours whose
+    /// label decreases by exactly one; every traversed edge lies on a
+    /// shortest path between `start` and the landmark that avoids all other
+    /// landmarks.
+    fn label_walk(
+        &self,
+        start: VertexId,
+        landmark_idx: usize,
+        landmark: VertexId,
+        start_distance: Distance,
+        edges: &mut Vec<(VertexId, VertexId)>,
+    ) {
+        if start_distance == 0 {
+            return;
+        }
+        let mut stack = vec![(start, start_distance)];
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(start);
+        while let Some((x, dx)) = stack.pop() {
+            if dx == 1 {
+                edges.push((x, landmark));
+                continue;
+            }
+            for &y in self.graph.neighbors(x) {
+                if self.landmark_column[y as usize] != u32::MAX {
+                    continue; // other landmarks cannot be interior vertices
+                }
+                if self.labelling.get(y, landmark_idx) == Some(dx - 1) {
+                    edges.push((x, y));
+                    if visited.insert(y) {
+                        stack.push((y, dx - 1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reverse search (Algorithm 4, lines 16-17): collects every edge on a
+/// shortest `source ⇝ target` path inside the sparsified view, walking back
+/// from the meeting vertices along strictly decreasing depths on both sides.
+fn reverse_search(
+    view: &FilteredGraph<'_>,
+    distance: Distance,
+    depth_fwd: &[Distance],
+    depth_bwd: &[Distance],
+    edges: &mut Vec<(VertexId, VertexId)>,
+) {
+    let n = view.vertex_count();
+    let mut meeting: Vec<VertexId> = Vec::new();
+    for w in 0..n as VertexId {
+        let (df, db) = (depth_fwd[w as usize], depth_bwd[w as usize]);
+        if df != INFINITE_DISTANCE && db != INFINITE_DISTANCE && df + db == distance {
+            meeting.push(w);
+        }
+    }
+    for depth in [depth_fwd, depth_bwd] {
+        let mut visited = vec![false; n];
+        let mut stack = meeting.clone();
+        for &w in &meeting {
+            visited[w as usize] = true;
+        }
+        while let Some(x) = stack.pop() {
+            let dx = depth[x as usize];
+            if dx == 0 {
+                continue;
+            }
+            view.for_each_neighbor(x, |p| {
+                if depth[p as usize] != INFINITE_DISTANCE && depth[p as usize] + 1 == dx {
+                    edges.push((p, x));
+                    if !visited[p as usize] {
+                        visited[p as usize] = true;
+                        stack.push(p);
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Walks from `start` back to the search origin following strictly
+/// decreasing depths, collecting the traversed edges (the endpoint-to-`Z`
+/// part of the recover search).
+fn depth_walk(
+    view: &FilteredGraph<'_>,
+    start: VertexId,
+    depth: &[Distance],
+    edges: &mut Vec<(VertexId, VertexId)>,
+) {
+    if depth[start as usize] == 0 || depth[start as usize] == INFINITE_DISTANCE {
+        return;
+    }
+    let mut visited = std::collections::HashSet::new();
+    visited.insert(start);
+    let mut stack = vec![start];
+    while let Some(x) = stack.pop() {
+        let dx = depth[x as usize];
+        if dx == 0 {
+            continue;
+        }
+        view.for_each_neighbor(x, |p| {
+            if depth[p as usize] != INFINITE_DISTANCE && depth[p as usize] + 1 == dx {
+                edges.push((p, x));
+                if visited.insert(p) {
+                    stack.push(p);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labelling::{build_sequential, landmark_column_map};
+    use crate::sketch;
+    use qbs_graph::fixtures::{figure4_graph, figure4_landmarks, figure4_spg_6_11_edges};
+
+    struct Fixture {
+        graph: Graph,
+        meta: MetaGraph,
+        labelling: PathLabelling,
+        landmarks: Vec<VertexId>,
+        filter: VertexFilter,
+        columns: Vec<u32>,
+    }
+
+    impl Fixture {
+        fn figure4() -> Self {
+            let graph = figure4_graph();
+            let landmarks = figure4_landmarks();
+            let scheme = build_sequential(&graph, &landmarks);
+            let meta = MetaGraph::build(&graph, &landmarks, &scheme.meta_edges);
+            let filter =
+                VertexFilter::from_vertices(graph.num_vertices(), landmarks.iter().copied());
+            let columns = landmark_column_map(&graph, &landmarks);
+            Fixture { graph, meta, labelling: scheme.labelling, landmarks, filter, columns }
+        }
+
+        fn context(&self) -> SearchContext<'_> {
+            SearchContext {
+                graph: &self.graph,
+                meta: &self.meta,
+                labelling: &self.labelling,
+                landmark_filter: &self.filter,
+                landmark_column: &self.columns,
+            }
+        }
+
+        fn effective_label(&self, v: VertexId) -> Vec<(usize, Distance)> {
+            if let Some(idx) = self.landmarks.iter().position(|&r| r == v) {
+                vec![(idx, 0)]
+            } else {
+                self.labelling.entries(v).collect()
+            }
+        }
+
+        fn query(&self, u: VertexId, v: VertexId) -> (PathGraph, SearchStats) {
+            let sk = sketch::compute(
+                &self.meta,
+                u,
+                v,
+                &self.effective_label(u),
+                &self.effective_label(v),
+            );
+            self.context().guided_search(u, v, &sk)
+        }
+    }
+
+    #[test]
+    fn reproduces_figure_6f() {
+        let fx = Fixture::figure4();
+        let (answer, stats) = fx.query(6, 11);
+        assert_eq!(answer.distance(), 5);
+        let expected = PathGraph::from_edges(6, 11, 5, figure4_spg_6_11_edges());
+        assert_eq!(answer, expected);
+        assert_eq!(stats.upper_bound, 5);
+        assert_eq!(stats.sparsified_distance, 5);
+        assert!(stats.used_reverse_search);
+        assert!(stats.used_recover_search);
+        assert_eq!(stats.distance, 5);
+    }
+
+    #[test]
+    fn all_pairs_match_ground_truth_on_figure4() {
+        let fx = Fixture::figure4();
+        for u in 1..15u32 {
+            for v in 1..15u32 {
+                if u == v {
+                    continue;
+                }
+                let expected = exact_spg(&fx.graph, u, v);
+                let (got, stats) = fx.query(u, v);
+                assert_eq!(got, expected, "query ({u},{v})");
+                assert!(stats.upper_bound >= stats.distance || stats.upper_bound == INFINITE_DISTANCE);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_sparsified_query_skips_recover() {
+        let fx = Fixture::figure4();
+        // d(7, 9) = 2 via 7-8-9 (no landmark) but every landmark route is
+        // longer, so only the reverse search runs.
+        let (answer, stats) = fx.query(7, 9);
+        assert_eq!(answer.distance(), 2);
+        assert_eq!(answer.edges(), &[(7, 8), (8, 9)]);
+        assert!(stats.used_reverse_search);
+        assert!(!stats.used_recover_search);
+        assert!(stats.sparsified_distance < stats.upper_bound);
+    }
+
+    #[test]
+    fn pure_landmark_query_skips_reverse() {
+        let fx = Fixture::figure4();
+        // d(4, 12) = 2 via 4-3-12 only (through landmark 3); in G⁻ vertex 4
+        // is isolated, so only the recover search contributes.
+        let (answer, stats) = fx.query(4, 12);
+        assert_eq!(answer.distance(), 2);
+        assert_eq!(answer.edges(), &[(3, 4), (3, 12)]);
+        assert!(!stats.used_reverse_search);
+        assert!(stats.used_recover_search);
+        assert_eq!(stats.sparsified_distance, INFINITE_DISTANCE);
+    }
+
+    #[test]
+    fn landmark_endpoints_are_supported() {
+        let fx = Fixture::figure4();
+        for &u in &[1u32, 2, 3] {
+            for v in 1..15u32 {
+                if u == v {
+                    continue;
+                }
+                let expected = exact_spg(&fx.graph, u, v);
+                let (got, _) = fx.query(u, v);
+                assert_eq!(got, expected, "query ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_search_effort() {
+        let fx = Fixture::figure4();
+        let (_, stats) = fx.query(6, 11);
+        assert!(stats.vertices_settled > 0);
+        assert!(stats.edges_traversed > 0);
+        assert!(stats.forward_levels + stats.backward_levels > 0);
+    }
+
+    /// Exact answer via two BFSs (kept local to avoid a dev-dependency cycle
+    /// with qbs-baselines inside unit tests).
+    fn exact_spg(graph: &Graph, u: VertexId, v: VertexId) -> PathGraph {
+        use qbs_graph::traversal::bfs_distances;
+        if u == v {
+            return PathGraph::trivial(u);
+        }
+        let du = bfs_distances(graph, u);
+        let total = du[v as usize];
+        if total == INFINITE_DISTANCE {
+            return PathGraph::unreachable(u, v);
+        }
+        let dv = bfs_distances(graph, v);
+        let mut edges = Vec::new();
+        for (a, b) in graph.edges() {
+            if du[a as usize] == INFINITE_DISTANCE || du[b as usize] == INFINITE_DISTANCE {
+                continue;
+            }
+            if du[a as usize] + 1 + dv[b as usize] == total
+                || du[b as usize] + 1 + dv[a as usize] == total
+            {
+                edges.push((a, b));
+            }
+        }
+        PathGraph::from_edges(u, v, total, edges)
+    }
+}

@@ -1,0 +1,100 @@
+//! Index persistence.
+//!
+//! The labelling phase is the expensive part of QbS (minutes to hours on the
+//! paper's largest graphs), so a production deployment builds the index once
+//! and serves queries from it afterwards. This module persists a built
+//! [`QbsIndex`] to disk and restores it, with a small header so version or
+//! format mismatches are reported instead of silently mis-read.
+
+use std::path::Path;
+
+use crate::query::QbsIndex;
+use crate::{QbsError, Result};
+
+/// Magic prefix of the serialised index format.
+const MAGIC: &str = "qbs-index-v1";
+
+/// Serialises the index to a self-describing byte buffer.
+pub fn to_bytes(index: &QbsIndex) -> Result<Vec<u8>> {
+    let body = serde_json::to_vec(index)
+        .map_err(|e| QbsError::Corrupt(format!("serialisation failed: {e}")))?;
+    let mut out = Vec::with_capacity(MAGIC.len() + 1 + body.len());
+    out.extend_from_slice(MAGIC.as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Restores an index from a buffer produced by [`to_bytes`].
+pub fn from_bytes(data: &[u8]) -> Result<QbsIndex> {
+    let prefix_len = MAGIC.len() + 1;
+    if data.len() < prefix_len || &data[..MAGIC.len()] != MAGIC.as_bytes() || data[MAGIC.len()] != b'\n'
+    {
+        return Err(QbsError::Corrupt("missing qbs-index-v1 header".into()));
+    }
+    serde_json::from_slice(&data[prefix_len..])
+        .map_err(|e| QbsError::Corrupt(format!("deserialisation failed: {e}")))
+}
+
+/// Writes the index to a file.
+pub fn save_to_file<P: AsRef<Path>>(index: &QbsIndex, path: P) -> Result<()> {
+    std::fs::write(path, to_bytes(index)?)?;
+    Ok(())
+}
+
+/// Reads an index from a file written by [`save_to_file`].
+pub fn load_from_file<P: AsRef<Path>>(path: P) -> Result<QbsIndex> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QbsConfig;
+    use qbs_graph::fixtures::figure4_graph;
+
+    fn index() -> QbsIndex {
+        QbsIndex::build(figure4_graph(), QbsConfig::with_explicit_landmarks(vec![1, 2, 3]))
+    }
+
+    #[test]
+    fn roundtrip_preserves_answers_and_stats() {
+        let original = index();
+        let bytes = to_bytes(&original).expect("serialize");
+        let restored = from_bytes(&bytes).expect("deserialize");
+        assert_eq!(original.landmarks(), restored.landmarks());
+        assert_eq!(original.labelling(), restored.labelling());
+        assert_eq!(original.meta_graph(), restored.meta_graph());
+        for (u, v) in [(6u32, 11u32), (4, 12), (7, 9), (13, 8)] {
+            assert_eq!(original.query(u, v), restored.query(u, v));
+        }
+        assert_eq!(
+            original.stats().total_index_bytes(),
+            restored.stats().total_index_bytes()
+        );
+    }
+
+    #[test]
+    fn rejects_corrupt_data() {
+        let mut bytes = to_bytes(&index()).expect("serialize");
+        assert!(from_bytes(&bytes[..5]).is_err());
+        assert!(from_bytes(b"not an index at all").is_err());
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err());
+        // Valid header but truncated body.
+        let ok = to_bytes(&index()).expect("serialize");
+        assert!(from_bytes(&ok[..MAGIC.len() + 10]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("qbs_core_serialize_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("figure4.qbs");
+        let original = index();
+        save_to_file(&original, &path).expect("save");
+        let restored = load_from_file(&path).expect("load");
+        assert_eq!(original.query(6, 11), restored.query(6, 11));
+        assert!(load_from_file(dir.join("missing.qbs")).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Fast sketching (Algorithm 3).
+//!
+//! For a query `SPG(u, v)`, the sketch summarises how `u` and `v` connect
+//! through the landmarks:
+//!
+//! * `d⊤_uv` (Eq. 3) — the length of the shortest `u ⇝ v` walk that passes
+//!   through at least one landmark, evaluated from `L(u)`, `L(v)` and the
+//!   precomputed meta-graph distances. By Corollary 4.6, `d⊤_uv ≥ d_G(u, v)`.
+//! * the sketch edges achieving that minimum: the `(u, r)` / `(r', v)` label
+//!   hops and every meta edge on a shortest meta-path between the chosen
+//!   landmark pairs;
+//! * the per-side search budgets `d*_u`, `d*_v` (Eq. 4) that steer the
+//!   guided bidirectional search.
+//!
+//! With the meta-graph APSP precomputed, sketch construction is `O(|R|²)`
+//! (§5.2) — constant per query for the default `|R| = 20`.
+
+use serde::{Deserialize, Serialize};
+
+use qbs_graph::{Distance, VertexId, INFINITE_DISTANCE};
+
+use crate::meta_graph::MetaGraph;
+
+/// One endpoint-side sketch edge: the query vertex hops to a landmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchHop {
+    /// Landmark column index.
+    pub landmark_idx: usize,
+    /// `σ_S`: the exact distance from the query endpoint to that landmark.
+    pub distance: Distance,
+}
+
+/// The sketch `S_uv` for one query (Definition 4.5).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sketch {
+    /// The query endpoints.
+    pub source: VertexId,
+    /// The query endpoints.
+    pub target: VertexId,
+    /// `d⊤_uv`: length of the best landmark-passing route
+    /// ([`INFINITE_DISTANCE`] when the labels of the endpoints share no
+    /// connected landmark pair).
+    pub upper_bound: Distance,
+    /// Sketch edges incident to the source (`(u, r)` with weight `δ_ur`).
+    pub source_hops: Vec<SketchHop>,
+    /// Sketch edges incident to the target (`(r', v)` with weight `δ_r'v`).
+    pub target_hops: Vec<SketchHop>,
+    /// Meta edges `(i, j, σ)` on the shortest meta-paths between the chosen
+    /// landmark pairs — the interior of the sketch.
+    pub meta_edges: Vec<(usize, usize, Distance)>,
+}
+
+impl Sketch {
+    /// A sketch stating that no landmark-passing route exists.
+    pub fn unreachable(source: VertexId, target: VertexId) -> Self {
+        Sketch {
+            source,
+            target,
+            upper_bound: INFINITE_DISTANCE,
+            source_hops: Vec::new(),
+            target_hops: Vec::new(),
+            meta_edges: Vec::new(),
+        }
+    }
+
+    /// Whether some landmark-passing route exists.
+    pub fn is_reachable_via_landmarks(&self) -> bool {
+        self.upper_bound != INFINITE_DISTANCE
+    }
+
+    /// `d*` for the source side (Eq. 4): the largest source hop minus one —
+    /// the number of levels the forward search needs before the labels take
+    /// over. Zero when the source itself is a landmark.
+    pub fn source_budget(&self) -> Distance {
+        Self::budget(&self.source_hops)
+    }
+
+    /// `d*` for the target side (Eq. 4).
+    pub fn target_budget(&self) -> Distance {
+        Self::budget(&self.target_hops)
+    }
+
+    fn budget(hops: &[SketchHop]) -> Distance {
+        hops.iter().map(|h| h.distance.saturating_sub(1)).max().unwrap_or(0)
+    }
+
+    /// Number of distinct vertices in the sketch (endpoints + landmarks on
+    /// it), mirroring `V_S` of Definition 4.5. Used by reporting only.
+    pub fn num_sketch_vertices(&self) -> usize {
+        let mut landmarks: Vec<usize> = self
+            .source_hops
+            .iter()
+            .chain(self.target_hops.iter())
+            .map(|h| h.landmark_idx)
+            .chain(self.meta_edges.iter().flat_map(|&(i, j, _)| [i, j]))
+            .collect();
+        landmarks.sort_unstable();
+        landmarks.dedup();
+        landmarks.len() + if self.source == self.target { 1 } else { 2 }
+    }
+}
+
+/// Computes the sketch for a query (Algorithm 3).
+///
+/// `source_label` and `target_label` are the effective labels of the two
+/// endpoints as `(landmark_idx, distance)` pairs — for a landmark endpoint
+/// the caller passes the synthetic label `[(its own column, 0)]`.
+pub fn compute(
+    meta: &MetaGraph,
+    source: VertexId,
+    target: VertexId,
+    source_label: &[(usize, Distance)],
+    target_label: &[(usize, Distance)],
+) -> Sketch {
+    // Pass 1: find d⊤ = min over label pairs of δ_ur + d_M(r, r') + δ_r'v.
+    let mut upper_bound = INFINITE_DISTANCE;
+    for &(r, du) in source_label {
+        for &(rp, dv) in target_label {
+            let dm = meta.distance(r, rp);
+            if dm == INFINITE_DISTANCE {
+                continue;
+            }
+            let total = du + dm + dv;
+            if total < upper_bound {
+                upper_bound = total;
+            }
+        }
+    }
+    if upper_bound == INFINITE_DISTANCE {
+        return Sketch::unreachable(source, target);
+    }
+
+    // Pass 2: collect every pair achieving the minimum and assemble the
+    // sketch edges (Algorithm 3, lines 7-13).
+    let mut source_hops: Vec<SketchHop> = Vec::new();
+    let mut target_hops: Vec<SketchHop> = Vec::new();
+    let mut meta_edges: Vec<(usize, usize, Distance)> = Vec::new();
+    for &(r, du) in source_label {
+        for &(rp, dv) in target_label {
+            let dm = meta.distance(r, rp);
+            if dm == INFINITE_DISTANCE || du + dm + dv != upper_bound {
+                continue;
+            }
+            push_unique_hop(&mut source_hops, SketchHop { landmark_idx: r, distance: du });
+            push_unique_hop(&mut target_hops, SketchHop { landmark_idx: rp, distance: dv });
+            for edge in meta.shortest_path_meta_edges(r, rp) {
+                if !meta_edges.contains(&edge) {
+                    meta_edges.push(edge);
+                }
+            }
+        }
+    }
+    meta_edges.sort_unstable();
+
+    Sketch { source, target, upper_bound, source_hops, target_hops, meta_edges }
+}
+
+fn push_unique_hop(hops: &mut Vec<SketchHop>, hop: SketchHop) {
+    if !hops.iter().any(|h| h.landmark_idx == hop.landmark_idx) {
+        hops.push(hop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labelling::build_sequential;
+    use crate::meta_graph::MetaGraph;
+    use qbs_graph::fixtures::{figure4_graph, figure4_landmarks};
+    use qbs_graph::Graph;
+
+    fn setup() -> (Graph, MetaGraph, crate::labelling::LabellingScheme) {
+        let g = figure4_graph();
+        let landmarks = figure4_landmarks();
+        let scheme = build_sequential(&g, &landmarks);
+        let meta = MetaGraph::build(&g, &landmarks, &scheme.meta_edges);
+        (g, meta, scheme)
+    }
+
+    fn label_of(scheme: &crate::labelling::LabellingScheme, v: VertexId) -> Vec<(usize, Distance)> {
+        scheme.labelling.entries(v).collect()
+    }
+
+    #[test]
+    fn example_4_7_sketch_for_query_6_11() {
+        let (_, meta, scheme) = setup();
+        let sketch = compute(&meta, 6, 11, &label_of(&scheme, 6), &label_of(&scheme, 11));
+        // d⊤(6,11) = 5 = d_G(6,11).
+        assert_eq!(sketch.upper_bound, 5);
+        assert!(sketch.is_reachable_via_landmarks());
+        // Source hop: (6,1) with σ = 1; budgets d*_6 = 0 and d*_11 = 2.
+        assert_eq!(sketch.source_hops, vec![SketchHop { landmark_idx: 0, distance: 1 }]);
+        assert_eq!(sketch.source_budget(), 0);
+        assert_eq!(sketch.target_budget(), 2);
+        // Target hops: (3,11) σ=2 and (2,11) σ=3 (landmark columns 2 and 1).
+        let mut target: Vec<(usize, Distance)> =
+            sketch.target_hops.iter().map(|h| (h.landmark_idx, h.distance)).collect();
+        target.sort_unstable();
+        assert_eq!(target, vec![(1, 3), (2, 2)]);
+        // The sketch contains all three meta edges (Figure 6(b)).
+        assert_eq!(sketch.meta_edges.len(), 3);
+        // Vertices of the sketch: 2 endpoints + 3 landmarks.
+        assert_eq!(sketch.num_sketch_vertices(), 5);
+    }
+
+    #[test]
+    fn upper_bound_is_an_upper_bound_on_the_true_distance() {
+        // Corollary 4.6 on every labelled pair of the figure graph.
+        let (g, meta, scheme) = setup();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let lu = label_of(&scheme, u);
+                let lv = label_of(&scheme, v);
+                if lu.is_empty() || lv.is_empty() || u == v {
+                    continue;
+                }
+                let sketch = compute(&meta, u, v, &lu, &lv);
+                let d = qbs_graph::traversal::bfs_distances(&g, u)[v as usize];
+                assert!(sketch.upper_bound >= d, "pair ({u},{v}): {} < {d}", sketch.upper_bound);
+            }
+        }
+    }
+
+    #[test]
+    fn tight_bound_when_a_shortest_path_passes_a_landmark() {
+        let (_, meta, scheme) = setup();
+        // d(4, 9) = 3 via 4-3-2-9 (through landmarks 3 and 2) — the sketch
+        // must find exactly 3.
+        let sketch = compute(&meta, 4, 9, &label_of(&scheme, 4), &label_of(&scheme, 9));
+        assert_eq!(sketch.upper_bound, 3);
+    }
+
+    #[test]
+    fn landmark_endpoint_uses_synthetic_zero_label() {
+        let (_, meta, scheme) = setup();
+        // Query from landmark 1 (column 0) to vertex 11.
+        let sketch = compute(&meta, 1, 11, &[(0, 0)], &label_of(&scheme, 11));
+        // d(1, 11) = 4 (1-2-9-10-11 or 1-4-3-12-11); through landmarks it is
+        // also 4 (e.g. meta path 1→3 of length 2 plus δ(11,3)=2).
+        assert_eq!(sketch.upper_bound, 4);
+        assert_eq!(sketch.source_budget(), 0);
+    }
+
+    #[test]
+    fn unreachable_sketch_when_labels_do_not_connect() {
+        let (_, meta, _) = setup();
+        let sketch = compute(&meta, 6, 0, &[(0, 1)], &[]);
+        assert!(!sketch.is_reachable_via_landmarks());
+        assert_eq!(sketch.upper_bound, INFINITE_DISTANCE);
+        assert_eq!(sketch.source_budget(), 0);
+        assert_eq!(Sketch::unreachable(6, 0), sketch);
+    }
+
+    #[test]
+    fn sketch_never_duplicates_hops_or_meta_edges() {
+        let (g, meta, scheme) = setup();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let sketch = compute(&meta, u, v, &label_of(&scheme, u), &label_of(&scheme, v));
+                let mut hops: Vec<usize> = sketch.source_hops.iter().map(|h| h.landmark_idx).collect();
+                hops.sort_unstable();
+                let before = hops.len();
+                hops.dedup();
+                assert_eq!(before, hops.len());
+                let mut edges = sketch.meta_edges.clone();
+                let before = edges.len();
+                edges.dedup();
+                assert_eq!(before, edges.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Answer validation.
+//!
+//! [`validate`] checks a claimed shortest-path-graph answer against the
+//! definition (Definition 2.2) using two fresh BFSs: every answer edge must
+//! lie on a shortest path, every shortest-path edge must be in the answer,
+//! and the reported distance must be exact. The experiment harness runs it
+//! on a sample of every method's answers, and the property tests run it on
+//! thousands of generated graphs.
+
+use qbs_graph::traversal::bfs_distances;
+use qbs_graph::{Graph, PathGraph, INFINITE_DISTANCE};
+
+/// A violation found while validating an answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The reported distance differs from the true BFS distance.
+    WrongDistance {
+        /// Distance claimed by the answer.
+        reported: u32,
+        /// True distance.
+        actual: u32,
+    },
+    /// An edge of the answer does not exist in the graph.
+    EdgeNotInGraph(u32, u32),
+    /// An edge of the answer lies on no shortest path between the endpoints.
+    EdgeNotOnShortestPath(u32, u32),
+    /// An edge on some shortest path is missing from the answer.
+    MissingEdge(u32, u32),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::WrongDistance { reported, actual } => {
+                write!(f, "reported distance {reported} but true distance is {actual}")
+            }
+            Violation::EdgeNotInGraph(a, b) => write!(f, "answer edge ({a},{b}) is not in the graph"),
+            Violation::EdgeNotOnShortestPath(a, b) => {
+                write!(f, "answer edge ({a},{b}) lies on no shortest path")
+            }
+            Violation::MissingEdge(a, b) => {
+                write!(f, "shortest-path edge ({a},{b}) is missing from the answer")
+            }
+        }
+    }
+}
+
+/// Validates an answer against Definition 2.2. Returns every violation found
+/// (empty = the answer is exactly the shortest path graph).
+pub fn validate(graph: &Graph, answer: &PathGraph) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (u, v) = (answer.source(), answer.target());
+    if u == v {
+        if answer.distance() != 0 || answer.num_edges() != 0 {
+            violations.push(Violation::WrongDistance { reported: answer.distance(), actual: 0 });
+        }
+        return violations;
+    }
+    let du = bfs_distances(graph, u);
+    let dv = bfs_distances(graph, v);
+    let actual = du.get(v as usize).copied().unwrap_or(INFINITE_DISTANCE);
+    if answer.distance() != actual {
+        violations.push(Violation::WrongDistance { reported: answer.distance(), actual });
+    }
+    if actual == INFINITE_DISTANCE {
+        for &(a, b) in answer.edges() {
+            violations.push(Violation::EdgeNotOnShortestPath(a, b));
+        }
+        return violations;
+    }
+
+    let on_shortest = |a: u32, b: u32| -> bool {
+        let (da, db) = (du[a as usize], du[b as usize]);
+        let (ta, tb) = (dv[a as usize], dv[b as usize]);
+        da != INFINITE_DISTANCE
+            && db != INFINITE_DISTANCE
+            && (da + 1 + tb == actual || db + 1 + ta == actual)
+    };
+
+    for &(a, b) in answer.edges() {
+        if !graph.has_edge(a, b) {
+            violations.push(Violation::EdgeNotInGraph(a, b));
+        } else if !on_shortest(a, b) {
+            violations.push(Violation::EdgeNotOnShortestPath(a, b));
+        }
+    }
+    for (a, b) in graph.edges() {
+        if on_shortest(a, b) && !answer.contains_edge(a, b) {
+            violations.push(Violation::MissingEdge(a, b));
+        }
+    }
+    violations
+}
+
+/// `true` iff the answer is exactly the shortest path graph.
+pub fn is_exact(graph: &Graph, answer: &PathGraph) -> bool {
+    validate(graph, answer).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_graph::fixtures::{figure4_graph, figure4_spg_6_11_edges};
+
+    #[test]
+    fn accepts_the_correct_answer() {
+        let g = figure4_graph();
+        let answer = PathGraph::from_edges(6, 11, 5, figure4_spg_6_11_edges());
+        assert!(is_exact(&g, &answer));
+        assert!(validate(&g, &answer).is_empty());
+    }
+
+    #[test]
+    fn detects_wrong_distance() {
+        let g = figure4_graph();
+        let answer = PathGraph::from_edges(6, 11, 4, figure4_spg_6_11_edges());
+        let violations = validate(&g, &answer);
+        assert!(violations.iter().any(|v| matches!(v, Violation::WrongDistance { .. })));
+    }
+
+    #[test]
+    fn detects_missing_and_extra_edges() {
+        let g = figure4_graph();
+        // Drop one edge and add an off-path edge.
+        let mut edges = figure4_spg_6_11_edges();
+        edges.pop();
+        edges.push((13, 14));
+        let answer = PathGraph::from_edges(6, 11, 5, edges);
+        let violations = validate(&g, &answer);
+        assert!(violations.iter().any(|v| matches!(v, Violation::MissingEdge(..))));
+        assert!(violations.iter().any(|v| matches!(v, Violation::EdgeNotOnShortestPath(..))));
+        assert!(!is_exact(&g, &answer));
+    }
+
+    #[test]
+    fn detects_fabricated_edges() {
+        let g = figure4_graph();
+        let answer = PathGraph::from_edges(6, 11, 5, vec![(6u32, 11u32)]);
+        let violations = validate(&g, &answer);
+        assert!(violations.iter().any(|v| matches!(v, Violation::EdgeNotInGraph(6, 11))));
+    }
+
+    #[test]
+    fn unreachable_answers_must_be_empty() {
+        let g = figure4_graph();
+        let ok = PathGraph::unreachable(0, 5);
+        assert!(is_exact(&g, &ok));
+        let bad = PathGraph::from_edges(0, 5, qbs_graph::INFINITE_DISTANCE, vec![(1u32, 2u32)]);
+        assert!(!is_exact(&g, &bad));
+    }
+
+    #[test]
+    fn trivial_answers() {
+        let g = figure4_graph();
+        assert!(is_exact(&g, &PathGraph::trivial(5)));
+        let bad = PathGraph::from_edges(5, 5, 1, vec![(5u32, 1u32)]);
+        assert!(!is_exact(&g, &bad));
+        let display = format!("{}", Violation::WrongDistance { reported: 1, actual: 0 });
+        assert!(display.contains("true distance"));
+    }
+}

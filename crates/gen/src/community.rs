@@ -1,0 +1,182 @@
+//! Planted-partition (stochastic block model) graphs.
+//!
+//! Social networks such as Douban, LiveJournal and Orkut exhibit community
+//! structure: dense groups sparsely connected to each other. The planted
+//! partition model reproduces that structure with a handful of parameters
+//! and is used by the catalog for the community-heavy social datasets. The
+//! community structure matters for QbS because shortest paths between
+//! communities funnel through the sparse inter-community edges, similar to
+//! how they funnel through hubs in hub-dominated graphs.
+
+use rand::Rng;
+
+use qbs_graph::{Graph, GraphBuilder, VertexId};
+
+use crate::rng::seeded_rng;
+
+/// Parameters of the planted-partition model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlantedPartitionConfig {
+    /// Number of communities.
+    pub communities: usize,
+    /// Vertices per community.
+    pub community_size: usize,
+    /// Expected number of intra-community edges per vertex.
+    pub intra_degree: f64,
+    /// Expected number of inter-community edges per vertex.
+    pub inter_degree: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PlantedPartitionConfig {
+    /// Total number of vertices described by the configuration.
+    pub fn total_vertices(&self) -> usize {
+        self.communities * self.community_size
+    }
+}
+
+/// Generates a planted-partition graph by sampling the expected number of
+/// intra- and inter-community edges uniformly at random.
+pub fn generate(config: &PlantedPartitionConfig) -> Graph {
+    let n = config.total_vertices();
+    let mut builder = GraphBuilder::with_capacity(n, n * 4);
+    builder.reserve_vertices(n);
+    if n < 2 || config.communities == 0 || config.community_size < 1 {
+        return builder.build();
+    }
+    let mut rng = seeded_rng(config.seed);
+    let k = config.community_size;
+
+    // Intra-community edges.
+    let intra_edges_per_community =
+        ((config.intra_degree * k as f64) / 2.0).round().max(0.0) as usize;
+    for c in 0..config.communities {
+        let base = (c * k) as VertexId;
+        if k < 2 {
+            continue;
+        }
+        for _ in 0..intra_edges_per_community {
+            let u = base + rng.gen_range(0..k) as VertexId;
+            let v = base + rng.gen_range(0..k) as VertexId;
+            if u != v {
+                builder.add_edge(u, v);
+            }
+        }
+    }
+
+    // Inter-community edges.
+    let inter_edges_total = ((config.inter_degree * n as f64) / 2.0).round().max(0.0) as usize;
+    if config.communities > 1 {
+        for _ in 0..inter_edges_total {
+            let cu = rng.gen_range(0..config.communities);
+            let mut cv = rng.gen_range(0..config.communities);
+            let mut guard = 0;
+            while cv == cu && guard < 8 {
+                cv = rng.gen_range(0..config.communities);
+                guard += 1;
+            }
+            if cv == cu {
+                continue;
+            }
+            let u = (cu * k + rng.gen_range(0..k)) as VertexId;
+            let v = (cv * k + rng.gen_range(0..k)) as VertexId;
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// Community id of a vertex under the configuration's layout.
+pub fn community_of(config: &PlantedPartitionConfig, v: VertexId) -> usize {
+    (v as usize) / config.community_size.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> PlantedPartitionConfig {
+        PlantedPartitionConfig {
+            communities: 8,
+            community_size: 100,
+            intra_degree: 8.0,
+            inter_degree: 1.0,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn produces_expected_vertex_count() {
+        let g = generate(&config());
+        assert_eq!(g.num_vertices(), 800);
+        assert!(g.num_edges() > 2000);
+    }
+
+    #[test]
+    fn intra_community_edges_dominate() {
+        let c = config();
+        let g = generate(&c);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v) in g.edges() {
+            if community_of(&c, u) == community_of(&c, v) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 3 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = config();
+        assert_eq!(generate(&c), generate(&c));
+        assert_ne!(generate(&c), generate(&PlantedPartitionConfig { seed: 99, ..c }));
+    }
+
+    #[test]
+    fn community_of_maps_vertices_to_blocks() {
+        let c = config();
+        assert_eq!(community_of(&c, 0), 0);
+        assert_eq!(community_of(&c, 99), 0);
+        assert_eq!(community_of(&c, 100), 1);
+        assert_eq!(community_of(&c, 799), 7);
+    }
+
+    #[test]
+    fn degenerate_configurations_do_not_panic() {
+        let g = generate(&PlantedPartitionConfig {
+            communities: 0,
+            community_size: 10,
+            intra_degree: 2.0,
+            inter_degree: 1.0,
+            seed: 0,
+        });
+        assert_eq!(g.num_vertices(), 0);
+        let g = generate(&PlantedPartitionConfig {
+            communities: 3,
+            community_size: 1,
+            intra_degree: 2.0,
+            inter_degree: 1.0,
+            seed: 0,
+        });
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn single_community_has_no_inter_edges() {
+        let c = PlantedPartitionConfig {
+            communities: 1,
+            community_size: 50,
+            intra_degree: 4.0,
+            inter_degree: 10.0,
+            seed: 2,
+        };
+        let g = generate(&c);
+        assert_eq!(g.num_vertices(), 50);
+        for (u, v) in g.edges() {
+            assert_eq!(community_of(&c, u), community_of(&c, v));
+        }
+    }
+}

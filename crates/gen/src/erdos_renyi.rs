@@ -1,0 +1,143 @@
+//! Erdős–Rényi `G(n, m)` random graphs.
+//!
+//! Erdős–Rényi graphs have a binomial (nearly regular) degree distribution
+//! with no dominant hubs. In the catalog they model the *Friendster-like*
+//! regime where, as §6.3 observes, "the degrees of vertices are more evenly
+//! distributed; hence, landmarks hardly capture all shortest paths" and the
+//! pair-coverage ratio of QbS is low.
+
+use rand::Rng;
+
+use qbs_graph::{Graph, GraphBuilder, VertexId};
+
+use crate::rng::seeded_rng;
+
+/// Parameters for the `G(n, m)` model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ErdosRenyiConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of undirected edges to sample (duplicates are retried, so the
+    /// built graph has exactly this many edges when that is possible).
+    pub edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a `G(n, m)` graph: `m` distinct edges chosen uniformly among
+/// all vertex pairs.
+///
+/// # Panics
+///
+/// Panics if `edges` exceeds the number of available vertex pairs.
+pub fn generate(config: &ErdosRenyiConfig) -> Graph {
+    let n = config.vertices;
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        config.edges <= max_edges,
+        "cannot place {} edges in a simple graph with {} vertices",
+        config.edges,
+        n
+    );
+    let mut rng = seeded_rng(config.seed);
+    let mut builder = GraphBuilder::with_capacity(n, config.edges);
+    builder.reserve_vertices(n);
+    if n < 2 {
+        return builder.build();
+    }
+
+    let mut chosen = std::collections::HashSet::with_capacity(config.edges * 2);
+    while chosen.len() < config.edges {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            builder.add_edge(key.0, key.1);
+        }
+    }
+    builder.build()
+}
+
+/// Generates a `G(n, p)` graph by converting the edge probability into an
+/// expected edge count and delegating to the `G(n, m)` sampler. This keeps
+/// generation `O(m)` instead of `O(n²)` for the sparse graphs used in the
+/// experiments.
+pub fn generate_gnp(vertices: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let max_edges = vertices.saturating_mul(vertices.saturating_sub(1)) / 2;
+    let edges = ((max_edges as f64) * p).round() as usize;
+    generate(&ErdosRenyiConfig { vertices, edges: edges.min(max_edges), seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_exact_edge_count() {
+        let g = generate(&ErdosRenyiConfig { vertices: 100, edges: 250, seed: 1 });
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let c = ErdosRenyiConfig { vertices: 80, edges: 200, seed: 9 };
+        assert_eq!(generate(&c), generate(&c));
+        let other = generate(&ErdosRenyiConfig { seed: 10, ..c });
+        assert_ne!(generate(&c), other);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = generate(&ErdosRenyiConfig { vertices: 50, edges: 300, seed: 3 });
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+        let edges: Vec<_> = g.edges().collect();
+        let mut dedup = edges.clone();
+        dedup.dedup();
+        assert_eq!(edges, dedup);
+    }
+
+    #[test]
+    fn handles_tiny_graphs() {
+        let g = generate(&ErdosRenyiConfig { vertices: 1, edges: 0, seed: 0 });
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = generate(&ErdosRenyiConfig { vertices: 0, edges: 0, seed: 0 });
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn complete_graph_when_all_edges_requested() {
+        let g = generate(&ErdosRenyiConfig { vertices: 6, edges: 15, seed: 5 });
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn rejects_too_many_edges() {
+        generate(&ErdosRenyiConfig { vertices: 4, edges: 7, seed: 0 });
+    }
+
+    #[test]
+    fn gnp_respects_probability_extremes() {
+        let empty = generate_gnp(30, 0.0, 1);
+        assert_eq!(empty.num_edges(), 0);
+        let full = generate_gnp(10, 1.0, 1);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn degree_distribution_has_no_dominant_hub() {
+        // With 2000 edges among 500 vertices the expected degree is 8;
+        // a hub 10x the average would indicate a broken sampler.
+        let g = generate(&ErdosRenyiConfig { vertices: 500, edges: 2000, seed: 11 });
+        assert!(g.max_degree() < 40, "max degree {}", g.max_degree());
+    }
+}

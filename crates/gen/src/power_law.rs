@@ -1,0 +1,133 @@
+//! Chung–Lu power-law random graphs.
+//!
+//! The Chung–Lu model assigns each vertex an expected degree drawn from a
+//! power law `w_i ∝ (i + i0)^(-1/(γ-1))` and inserts each edge `{u, v}` with
+//! probability proportional to `w_u · w_v`. Compared to Barabási–Albert it
+//! gives direct control over the exponent and over how extreme the largest
+//! hubs are, which the catalog uses to mimic the very skewed web graphs
+//! (Baidu, uk2007, ClueWeb09) whose maximum degrees reach into the millions
+//! in Table 1 while the average degree stays modest.
+
+use rand::Rng;
+
+use qbs_graph::{Graph, GraphBuilder, VertexId};
+
+use crate::rng::seeded_rng;
+
+/// Parameters of the Chung–Lu power-law model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLawConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Target number of undirected edges (approximate; duplicates collapse).
+    pub edges: usize,
+    /// Power-law exponent `γ` of the degree distribution (typically 2–3 for
+    /// real complex networks; smaller means heavier tail).
+    pub exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a Chung–Lu power-law graph by sampling both endpoints of every
+/// edge from the weight distribution (the "fast Chung–Lu" construction).
+pub fn generate(config: &PowerLawConfig) -> Graph {
+    assert!(config.exponent > 1.0, "power-law exponent must exceed 1");
+    let n = config.vertices;
+    let mut builder = GraphBuilder::with_capacity(n, config.edges);
+    builder.reserve_vertices(n);
+    if n < 2 || config.edges == 0 {
+        return builder.build();
+    }
+    let mut rng = seeded_rng(config.seed);
+
+    // Weights w_i = (i + i0)^(-1/(γ-1)), i0 shifts the head so the largest
+    // hub does not swallow the whole edge budget.
+    let alpha = 1.0 / (config.exponent - 1.0);
+    let i0 = 1.0_f64;
+    let weights: Vec<f64> = (0..n).map(|i| (i as f64 + i0).powf(-alpha)).collect();
+
+    // Cumulative distribution for endpoint sampling.
+    let mut cumulative = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for &w in &weights {
+        total += w;
+        cumulative.push(total);
+    }
+
+    let sample = |rng: &mut rand::rngs::SmallRng| -> VertexId {
+        let x = rng.gen_range(0.0..total);
+        match cumulative.binary_search_by(|probe| probe.partial_cmp(&x).expect("finite")) {
+            Ok(idx) | Err(idx) => (idx.min(n - 1)) as VertexId,
+        }
+    };
+
+    // Sample ~edges pairs; the builder collapses duplicates so the final
+    // count is slightly below the target, as in any Chung–Lu sampler.
+    for _ in 0..config.edges {
+        let u = sample(&mut rng);
+        let v = sample(&mut rng);
+        if u != v {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize, m: usize, gamma: f64) -> PowerLawConfig {
+        PowerLawConfig { vertices: n, edges: m, exponent: gamma, seed: 17 }
+    }
+
+    #[test]
+    fn approximates_requested_edge_count() {
+        let g = generate(&config(3000, 12000, 2.5));
+        assert_eq!(g.num_vertices(), 3000);
+        // Duplicate collapses lose some edges but not the bulk of them.
+        assert!(g.num_edges() > 8000, "got {}", g.num_edges());
+        assert!(g.num_edges() <= 12000);
+    }
+
+    #[test]
+    fn lower_exponent_gives_bigger_hubs() {
+        let heavy = generate(&config(3000, 12000, 2.0));
+        let light = generate(&config(3000, 12000, 3.5));
+        assert!(
+            heavy.max_degree() > light.max_degree(),
+            "heavy {} vs light {}",
+            heavy.max_degree(),
+            light.max_degree()
+        );
+    }
+
+    #[test]
+    fn hubs_are_low_indexed_vertices() {
+        let g = generate(&config(2000, 10000, 2.2));
+        let landmarks = g.top_k_by_degree(10);
+        // Weight is decreasing in the vertex id, so the biggest hubs should
+        // be among the smallest ids.
+        assert!(landmarks.iter().all(|&v| v < 200), "landmarks {landmarks:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = config(500, 2000, 2.3);
+        assert_eq!(generate(&c), generate(&c));
+        assert_ne!(generate(&c), generate(&PowerLawConfig { seed: 18, ..c }));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(generate(&config(0, 0, 2.5)).num_vertices(), 0);
+        assert_eq!(generate(&config(1, 0, 2.5)).num_edges(), 0);
+        assert_eq!(generate(&config(10, 0, 2.5)).num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn rejects_invalid_exponent() {
+        generate(&config(10, 5, 1.0));
+    }
+}

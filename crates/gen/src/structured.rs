@@ -1,0 +1,217 @@
+//! Deterministic structured graphs: paths, cycles, grids, stars, trees and
+//! cliques.
+//!
+//! These are not models of real networks; they are the adversarial and
+//! best-case inputs used by unit, property and ablation tests because their
+//! shortest-path structure is known in closed form (e.g. a grid has a
+//! combinatorially large number of shortest paths between opposite corners,
+//! a star routes every shortest path through the hub, a tree has exactly one
+//! shortest path per pair).
+
+use qbs_graph::{Graph, GraphBuilder, VertexId};
+
+/// A path graph `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    b.reserve_vertices(n);
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// A cycle graph on `n >= 3` vertices (for smaller `n` it degrades to a path).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    b.reserve_vertices(n);
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId);
+    }
+    if n >= 3 {
+        b.add_edge((n - 1) as VertexId, 0);
+    }
+    b.build()
+}
+
+/// A complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n / 2);
+    b.reserve_vertices(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// A star: vertex 0 is the hub adjacent to every other vertex.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    b.reserve_vertices(n);
+    for v in 1..n {
+        b.add_edge(0, v as VertexId);
+    }
+    b.build()
+}
+
+/// A `rows × cols` grid; vertex `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    b.reserve_vertices(n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A complete binary tree with `n` vertices; vertex `v`'s children are
+/// `2v + 1` and `2v + 2`.
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    b.reserve_vertices(n);
+    for v in 1..n {
+        b.add_edge(((v - 1) / 2) as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// A "barbell": two cliques of size `k` connected by a path of length
+/// `bridge + 1`. Useful for exercising long bidirectional searches with a
+/// unique bottleneck path.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::with_capacity(n, k * k + bridge + 2);
+    b.reserve_vertices(n);
+    // Left clique 0..k, right clique (k+bridge)..n.
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    let right = k + bridge;
+    for u in right..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    // Bridge path k-1 -> k -> k+1 -> ... -> right.
+    if k > 0 && n > k {
+        let mut prev = k - 1;
+        for v in k..=right.min(n - 1) {
+            b.add_edge(prev as VertexId, v as VertexId);
+            prev = v;
+        }
+    }
+    b.build()
+}
+
+/// The hypercube `Q_d` with `2^d` vertices: between two vertices at Hamming
+/// distance `h` there are exactly `h!` shortest paths, which stress-tests
+/// shortest-path-graph correctness on pair with many shortest paths.
+pub fn hypercube(dimensions: u32) -> Graph {
+    let n = 1usize << dimensions;
+    let mut b = GraphBuilder::with_capacity(n, n * dimensions as usize / 2);
+    b.reserve_vertices(n);
+    for u in 0..n {
+        for bit in 0..dimensions {
+            let v = u ^ (1 << bit);
+            if u < v {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_graph::components::is_connected;
+    use qbs_graph::traversal::{bfs_distances, shortest_path_dag};
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path(5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(bfs_distances(&p, 0)[4], 4);
+
+        let c = cycle(6);
+        assert_eq!(c.num_edges(), 6);
+        assert_eq!(bfs_distances(&c, 0)[3], 3);
+        // Opposite vertices on an even cycle have two shortest paths.
+        assert_eq!(shortest_path_dag(&c, 0).count_paths_to(3), 2);
+    }
+
+    #[test]
+    fn complete_and_star_shapes() {
+        let k = complete(6);
+        assert_eq!(k.num_edges(), 15);
+        assert!(k.vertices().all(|v| k.degree(v) == 5));
+
+        let s = star(10);
+        assert_eq!(s.num_edges(), 9);
+        assert_eq!(s.degree(0), 9);
+        assert_eq!(bfs_distances(&s, 1)[9], 2);
+    }
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let g = grid(4, 5);
+        assert_eq!(g.num_vertices(), 20);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[19], 3 + 4);
+        // Number of shortest paths corner-to-corner is C(7,3) = 35.
+        assert_eq!(shortest_path_dag(&g, 0).count_paths_to(19), 35);
+    }
+
+    #[test]
+    fn binary_tree_is_connected_acyclic() {
+        let t = binary_tree(31);
+        assert_eq!(t.num_edges(), 30);
+        assert!(is_connected(&t));
+        assert_eq!(bfs_distances(&t, 0)[30], 4);
+    }
+
+    #[test]
+    fn barbell_routes_through_the_bridge() {
+        let g = barbell(5, 3);
+        assert_eq!(g.num_vertices(), 13);
+        assert!(is_connected(&g));
+        // Far corner to far corner: one hop into the bridge entrance,
+        // bridge + 1 hops across, one hop to the far clique vertex.
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[12], 3 + 3);
+    }
+
+    #[test]
+    fn hypercube_path_counts_are_factorial() {
+        let q = hypercube(4);
+        assert_eq!(q.num_vertices(), 16);
+        assert_eq!(q.num_edges(), 32);
+        let dag = shortest_path_dag(&q, 0);
+        assert_eq!(dag.dist[0b1111], 4);
+        assert_eq!(dag.count_paths_to(0b1111), 24);
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        for n in 0..3 {
+            assert_eq!(path(n).num_vertices(), n);
+            assert_eq!(star(n).num_vertices(), n);
+            assert_eq!(complete(n).num_vertices(), n);
+            assert_eq!(binary_tree(n).num_vertices(), n);
+        }
+        assert_eq!(grid(0, 5).num_vertices(), 0);
+        assert_eq!(hypercube(0).num_vertices(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! The Watts–Strogatz model starts from a ring lattice (high clustering,
+//! large diameter) and rewires a fraction of edges to random targets, which
+//! collapses the diameter while keeping local clustering — the "small
+//! diameter and local clustering" structure that §1 of the paper names as
+//! the defining property of complex networks. The catalog uses it for the
+//! co-authorship (DBLP-like) and computer-network (Skitter-like) stand-ins.
+
+use rand::Rng;
+
+use qbs_graph::{Graph, GraphBuilder, VertexId};
+
+use crate::rng::seeded_rng;
+
+/// Parameters of the Watts–Strogatz model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WattsStrogatzConfig {
+    /// Number of vertices arranged on a ring.
+    pub vertices: usize,
+    /// Each vertex connects to `neighbors` nearest neighbours on each side
+    /// (so the lattice degree is `2 * neighbors`).
+    pub neighbors: usize,
+    /// Probability of rewiring each lattice edge to a random target.
+    pub rewire_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a Watts–Strogatz small-world graph.
+pub fn generate(config: &WattsStrogatzConfig) -> Graph {
+    assert!(
+        (0.0..=1.0).contains(&config.rewire_probability),
+        "rewire probability must be in [0, 1]"
+    );
+    let n = config.vertices;
+    let k = config.neighbors;
+    let mut builder = GraphBuilder::with_capacity(n, n * k);
+    builder.reserve_vertices(n);
+    if n < 3 || k == 0 {
+        return builder.build();
+    }
+    let mut rng = seeded_rng(config.seed);
+
+    for u in 0..n {
+        for offset in 1..=k {
+            let v = (u + offset) % n;
+            if u as VertexId == v as VertexId {
+                continue;
+            }
+            if rng.gen_bool(config.rewire_probability) {
+                // Rewire: keep u, pick a random non-self target.
+                let mut w = rng.gen_range(0..n);
+                let mut guard = 0;
+                while w == u && guard < 16 {
+                    w = rng.gen_range(0..n);
+                    guard += 1;
+                }
+                if w != u {
+                    builder.add_edge(u as VertexId, w as VertexId);
+                }
+            } else {
+                builder.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_graph::traversal::eccentricity;
+
+    #[test]
+    fn zero_rewiring_gives_a_ring_lattice() {
+        let g = generate(&WattsStrogatzConfig {
+            vertices: 40,
+            neighbors: 2,
+            rewire_probability: 0.0,
+            seed: 1,
+        });
+        assert_eq!(g.num_vertices(), 40);
+        assert_eq!(g.num_edges(), 80);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn rewiring_shrinks_the_diameter() {
+        let lattice = generate(&WattsStrogatzConfig {
+            vertices: 400,
+            neighbors: 2,
+            rewire_probability: 0.0,
+            seed: 2,
+        });
+        let small_world = generate(&WattsStrogatzConfig {
+            vertices: 400,
+            neighbors: 2,
+            rewire_probability: 0.2,
+            seed: 2,
+        });
+        let ecc_lattice = eccentricity(&lattice, 0);
+        let ecc_small = eccentricity(&small_world, 0);
+        assert!(
+            ecc_small < ecc_lattice,
+            "expected rewired eccentricity {ecc_small} < lattice {ecc_lattice}"
+        );
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let c = WattsStrogatzConfig {
+            vertices: 100,
+            neighbors: 3,
+            rewire_probability: 0.1,
+            seed: 9,
+        };
+        assert_eq!(generate(&c), generate(&c));
+    }
+
+    #[test]
+    fn handles_degenerate_sizes() {
+        for n in 0..3 {
+            let g = generate(&WattsStrogatzConfig {
+                vertices: n,
+                neighbors: 2,
+                rewire_probability: 0.5,
+                seed: 0,
+            });
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rewire probability")]
+    fn rejects_invalid_probability() {
+        generate(&WattsStrogatzConfig {
+            vertices: 10,
+            neighbors: 1,
+            rewire_probability: 1.5,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn full_rewiring_still_produces_simple_graph() {
+        let g = generate(&WattsStrogatzConfig {
+            vertices: 60,
+            neighbors: 2,
+            rewire_probability: 1.0,
+            seed: 4,
+        });
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+        assert!(g.num_edges() <= 120);
+    }
+}

@@ -1,0 +1,243 @@
+//! Bidirectional breadth-first search.
+//!
+//! A bidirectional BFS expands alternately from both endpoints of a query
+//! and stops when the two frontiers meet. On small-diameter complex networks
+//! this visits far fewer vertices than a unidirectional BFS, which is why
+//! the paper uses Bi-BFS both as its online-search baseline (§6.1) and as
+//! the skeleton of the QbS guided search (Algorithm 4). This module provides
+//! the *distance-only* bidirectional search used by statistics and the
+//! baseline; the full guided search with reverse/recover phases lives in
+//! `qbs-core`.
+
+use crate::vertex::{Distance, VertexId, INFINITE_DISTANCE};
+use crate::view::NeighborAccess;
+
+/// Counters describing how much work a search performed; used to reproduce
+/// the "edges traversed" comparison of §6.5.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchEffort {
+    /// Vertices popped from either frontier.
+    pub vertices_settled: usize,
+    /// Directed edges relaxed (neighbour inspections).
+    pub edges_traversed: usize,
+    /// Number of levels expanded from the forward side.
+    pub forward_levels: usize,
+    /// Number of levels expanded from the backward side.
+    pub backward_levels: usize,
+}
+
+/// Result of a bidirectional distance query.
+#[derive(Clone, Debug)]
+pub struct BidirResult {
+    /// Distance between the two endpoints ([`INFINITE_DISTANCE`] if
+    /// disconnected in the searched view).
+    pub distance: Distance,
+    /// Work counters.
+    pub effort: SearchEffort,
+}
+
+/// State of one search side (forward or backward).
+struct Side {
+    dist: Vec<Distance>,
+    frontier: Vec<VertexId>,
+    settled: Vec<VertexId>,
+    level: Distance,
+    frontier_degree_sum: usize,
+}
+
+impl Side {
+    fn new(n: usize, source: VertexId) -> Self {
+        let mut dist = vec![INFINITE_DISTANCE; n];
+        dist[source as usize] = 0;
+        Side {
+            dist,
+            frontier: vec![source],
+            settled: vec![source],
+            level: 0,
+            frontier_degree_sum: 0,
+        }
+    }
+
+    /// Expands the frontier by one level; returns `true` if any new vertex
+    /// was discovered.
+    fn expand<G: NeighborAccess>(&mut self, graph: &G, effort: &mut SearchEffort) -> bool {
+        let mut next = Vec::new();
+        let mut next_degree_sum = 0usize;
+        for &u in &self.frontier {
+            effort.vertices_settled += 1;
+            graph.for_each_neighbor(u, |v| {
+                effort.edges_traversed += 1;
+                if self.dist[v as usize] == INFINITE_DISTANCE {
+                    self.dist[v as usize] = self.level + 1;
+                    next_degree_sum += graph.view_degree(v);
+                    next.push(v);
+                }
+            });
+        }
+        self.level += 1;
+        self.settled.extend_from_slice(&next);
+        self.frontier = next;
+        self.frontier_degree_sum = next_degree_sum;
+        !self.frontier.is_empty()
+    }
+}
+
+/// Computes the distance between `u` and `v` with an alternating
+/// bidirectional BFS.
+///
+/// The side with the smaller pending frontier (measured by the sum of
+/// frontier degrees, the "Optimized Bidirectional BFS" heuristic of
+/// Hayashi et al. that the paper builds on) is expanded first. The search
+/// terminates as soon as a vertex settled from both sides proves the
+/// current best meeting distance optimal.
+pub fn bidirectional_distance<G: NeighborAccess>(
+    graph: &G,
+    u: VertexId,
+    v: VertexId,
+) -> BidirResult {
+    bidirectional_distance_bounded(graph, u, v, INFINITE_DISTANCE)
+}
+
+/// Like [`bidirectional_distance`] but gives up (returning
+/// [`INFINITE_DISTANCE`]) once it can prove the distance exceeds `bound`.
+pub fn bidirectional_distance_bounded<G: NeighborAccess>(
+    graph: &G,
+    u: VertexId,
+    v: VertexId,
+    bound: Distance,
+) -> BidirResult {
+    let n = graph.vertex_count();
+    let mut effort = SearchEffort::default();
+    if !graph.contains_vertex(u) || !graph.contains_vertex(v) {
+        return BidirResult { distance: INFINITE_DISTANCE, effort };
+    }
+    if u == v {
+        return BidirResult { distance: 0, effort };
+    }
+
+    let mut fwd = Side::new(n, u);
+    let mut bwd = Side::new(n, v);
+    fwd.frontier_degree_sum = graph.view_degree(u);
+    bwd.frontier_degree_sum = graph.view_degree(v);
+
+    loop {
+        // If every remaining path must be longer than the bound, stop.
+        if fwd.level + bwd.level >= bound {
+            return BidirResult { distance: INFINITE_DISTANCE, effort };
+        }
+        if fwd.frontier.is_empty() || bwd.frontier.is_empty() {
+            return BidirResult { distance: INFINITE_DISTANCE, effort };
+        }
+
+        // Expand the cheaper side.
+        let expand_forward = fwd.frontier_degree_sum <= bwd.frontier_degree_sum;
+        let progressed = if expand_forward {
+            effort.forward_levels += 1;
+            fwd.expand(graph, &mut effort)
+        } else {
+            effort.backward_levels += 1;
+            bwd.expand(graph, &mut effort)
+        };
+        if !progressed {
+            return BidirResult { distance: INFINITE_DISTANCE, effort };
+        }
+
+        // Check whether the frontiers intersect the other side's settled set.
+        let (just_expanded, other) = if expand_forward { (&fwd, &bwd) } else { (&bwd, &fwd) };
+        let mut best = INFINITE_DISTANCE;
+        for &w in &just_expanded.frontier {
+            let od = other.dist[w as usize];
+            if od != INFINITE_DISTANCE {
+                let total = just_expanded.level + od;
+                if total < best {
+                    best = total;
+                }
+            }
+        }
+        if best != INFINITE_DISTANCE {
+            return BidirResult { distance: best.min(bound), effort };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure3_graph, figure4_graph};
+    use crate::traversal::bfs_distances;
+    use crate::view::{FilteredGraph, VertexFilter};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn matches_full_bfs_on_figure_graphs() {
+        for g in [figure3_graph(), figure4_graph()] {
+            for u in g.vertices() {
+                let full = bfs_distances(&g, u);
+                for v in g.vertices() {
+                    let bi = bidirectional_distance(&g, u, v);
+                    assert_eq!(bi.distance, full[v as usize], "pair ({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_endpoints_have_distance_zero() {
+        let g = figure3_graph();
+        assert_eq!(bidirectional_distance(&g, 5, 5).distance, 0);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_infinite() {
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        b.reserve_vertices(4);
+        let g = b.build();
+        assert_eq!(bidirectional_distance(&g, 0, 3).distance, INFINITE_DISTANCE);
+    }
+
+    #[test]
+    fn bounded_search_gives_up_beyond_bound() {
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3), (3, 4), (4, 5)].into_iter())
+            .build();
+        let r = bidirectional_distance_bounded(&g, 0, 5, 3);
+        assert_eq!(r.distance, INFINITE_DISTANCE);
+        let r = bidirectional_distance_bounded(&g, 0, 5, 5);
+        assert_eq!(r.distance, 5);
+    }
+
+    #[test]
+    fn works_on_sparsified_view() {
+        let g = figure4_graph();
+        let removed = VertexFilter::from_vertices(g.num_vertices(), [1u32, 2, 3].into_iter());
+        let view = FilteredGraph::new(&g, &removed);
+        // Example 4.8: d_{G⁻}(6, 11) = 5.
+        assert_eq!(bidirectional_distance(&view, 6, 11).distance, 5);
+        // Vertex 4 is isolated once the landmarks are gone.
+        assert_eq!(bidirectional_distance(&view, 6, 4).distance, INFINITE_DISTANCE);
+    }
+
+    #[test]
+    fn effort_counters_are_populated() {
+        let g = figure4_graph();
+        let r = bidirectional_distance(&g, 6, 11);
+        assert!(r.effort.vertices_settled > 0);
+        assert!(r.effort.edges_traversed > 0);
+        assert!(r.effort.forward_levels + r.effort.backward_levels > 0);
+    }
+
+    #[test]
+    fn effort_smaller_than_full_bfs_on_figure4() {
+        let g = figure4_graph();
+        let r = bidirectional_distance(&g, 6, 11);
+        // A full BFS would traverse every arc; Bi-BFS should do less here.
+        assert!(r.effort.edges_traversed <= g.num_arcs());
+    }
+
+    #[test]
+    fn endpoint_not_in_view_is_infinite() {
+        let g = figure4_graph();
+        let removed = VertexFilter::from_vertices(g.num_vertices(), [6u32].into_iter());
+        let view = FilteredGraph::new(&g, &removed);
+        assert_eq!(bidirectional_distance(&view, 6, 11).distance, INFINITE_DISTANCE);
+    }
+}

@@ -1,0 +1,208 @@
+//! Mutable graph construction.
+//!
+//! [`GraphBuilder`] accumulates an edge list in any order, then freezes it
+//! into the immutable CSR [`Graph`]. During the freeze it performs the same
+//! normalisation the paper applies to its datasets (§6.1): directed inputs
+//! are symmetrised, duplicate edges and self-loops are dropped, and the
+//! experiment harness optionally restricts to the largest connected
+//! component so that every sampled query pair is connected.
+
+use crate::components;
+use crate::csr::Graph;
+use crate::vertex::VertexId;
+
+/// Accumulates edges and produces a normalised [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use qbs_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate in the other direction — collapsed
+/// b.add_edge(1, 1); // self-loop — dropped
+/// b.add_edge(1, 2);
+/// let g = b.build();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    min_vertices: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-populated from an edge iterator.
+    pub fn from_edges<I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut b = Self::new();
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b
+    }
+
+    /// Creates a builder that will produce a graph with at least
+    /// `num_vertices` vertices even if some of them end up isolated.
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
+        GraphBuilder { edges: Vec::with_capacity(num_edges), min_vertices: num_vertices }
+    }
+
+    /// Ensures the built graph has at least `n` vertices.
+    pub fn reserve_vertices(&mut self, n: usize) -> &mut Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Adds an undirected edge `{u, v}`. Self-loops are recorded but dropped
+    /// at [`GraphBuilder::build`] time.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Number of raw (possibly duplicated) edges recorded so far.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes the accumulated edges into a CSR [`Graph`].
+    ///
+    /// Normalisation performed:
+    /// 1. self-loops `(v, v)` are removed;
+    /// 2. every edge is symmetrised (`{u, v}` appears in both adjacency
+    ///    lists exactly once, regardless of how many times or in which
+    ///    direction it was added);
+    /// 3. adjacency lists are sorted.
+    pub fn build(&self) -> Graph {
+        let n = self
+            .edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.min_vertices);
+
+        // Count degrees for both directions, skipping self-loops.
+        let mut degree = vec![0u64; n];
+        for &(u, v) in &self.edges {
+            if u != v {
+                degree[u as usize] += 1;
+                degree[v as usize] += 1;
+            }
+        }
+
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+
+        let mut neighbors = vec![0 as VertexId; offsets[n] as usize];
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        for &(u, v) in &self.edges {
+            if u != v {
+                neighbors[cursor[u as usize] as usize] = v;
+                cursor[u as usize] += 1;
+                neighbors[cursor[v as usize] as usize] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        // Sort and deduplicate each adjacency list, then re-compact.
+        let mut dedup_neighbors = Vec::with_capacity(neighbors.len());
+        let mut dedup_offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            let mut adj: Vec<VertexId> = neighbors[lo..hi].to_vec();
+            adj.sort_unstable();
+            adj.dedup();
+            dedup_neighbors.extend_from_slice(&adj);
+            dedup_offsets[v + 1] = dedup_neighbors.len() as u64;
+        }
+
+        Graph::from_csr_parts(dedup_offsets, dedup_neighbors)
+    }
+
+    /// Builds the graph and then restricts it to its largest connected
+    /// component, relabelling vertices densely.
+    ///
+    /// Returns the component graph together with the mapping
+    /// `new_id -> original_id`.
+    pub fn build_largest_component(&self) -> (Graph, Vec<VertexId>) {
+        let g = self.build();
+        components::largest_component(&g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deduplicates_and_symmetrises() {
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 0), (0, 1), (2, 1)].into_iter()).build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn removes_self_loops() {
+        let g = GraphBuilder::from_edges([(0u32, 0), (0, 1), (1, 1)].into_iter()).build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn reserve_vertices_creates_isolated_vertices() {
+        let mut b = GraphBuilder::from_edges([(0u32, 1)].into_iter());
+        b.reserve_vertices(5);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn with_capacity_sets_minimum_vertices() {
+        let g = GraphBuilder::with_capacity(3, 10).build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn raw_edge_count_tracks_all_insertions() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(2, 2);
+        assert_eq!(b.raw_edge_count(), 3);
+    }
+
+    #[test]
+    fn build_largest_component_relabels_densely() {
+        // Two components: {0,1,2} (triangle) and {3,4} (edge).
+        let b = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 0), (3, 4)].into_iter());
+        let (g, map) = b.build_largest_component();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let mut orig: Vec<_> = map.clone();
+        orig.sort_unstable();
+        assert_eq!(orig, vec![0, 1, 2]);
+    }
+}

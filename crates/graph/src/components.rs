@@ -1,0 +1,183 @@
+//! Connected components.
+//!
+//! QbS assumes a connected graph ("we assume that 𝐺 is undirected and
+//! connected", §2); the dataset catalog therefore restricts every generated
+//! or loaded graph to its largest connected component before running
+//! experiments. This module provides the component decomposition used for
+//! that step.
+
+use crate::csr::Graph;
+use crate::vertex::{VertexId, INVALID_VERTEX};
+
+/// Component labelling of a graph: `labels[v]` is the component id of `v`,
+/// ids are dense in `0..num_components`.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Per-vertex component id.
+    pub labels: Vec<u32>,
+    /// Size of each component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component id of the largest component (ties broken by smaller id).
+    pub fn largest(&self) -> u32 {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(idx, &size)| (size, std::cmp::Reverse(idx)))
+            .map(|(idx, _)| idx as u32)
+            .unwrap_or(0)
+    }
+
+    /// Whether vertices `u` and `v` belong to the same component.
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.labels[u as usize] == self.labels[v as usize]
+    }
+}
+
+/// Computes connected components with iterative BFS (no recursion, so deep
+/// paths cannot overflow the stack).
+pub fn connected_components(graph: &Graph) -> Components {
+    let n = graph.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue: Vec<VertexId> = Vec::new();
+
+    for start in 0..n as VertexId {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        let comp = sizes.len() as u32;
+        let mut size = 0usize;
+        labels[start as usize] = comp;
+        queue.clear();
+        queue.push(start);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            size += 1;
+            for &v in graph.neighbors(u) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = comp;
+                    queue.push(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+
+    Components { labels, sizes }
+}
+
+/// Whether the graph is connected (an empty graph counts as connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    graph.is_empty() || connected_components(graph).count() == 1
+}
+
+/// Extracts the largest connected component as a new graph with densely
+/// relabelled vertices.
+///
+/// Returns `(subgraph, mapping)` where `mapping[new_id] = original_id`.
+pub fn largest_component(graph: &Graph) -> (Graph, Vec<VertexId>) {
+    if graph.is_empty() {
+        return (graph.clone(), Vec::new());
+    }
+    let comps = connected_components(graph);
+    let target = comps.largest();
+
+    let mut old_to_new = vec![INVALID_VERTEX; graph.num_vertices()];
+    let mut new_to_old = Vec::with_capacity(comps.sizes[target as usize]);
+    for v in graph.vertices() {
+        if comps.labels[v as usize] == target {
+            old_to_new[v as usize] = new_to_old.len() as VertexId;
+            new_to_old.push(v);
+        }
+    }
+
+    let mut builder = crate::GraphBuilder::with_capacity(new_to_old.len(), graph.num_edges());
+    builder.reserve_vertices(new_to_old.len());
+    for (u, v) in graph.edges() {
+        if comps.labels[u as usize] == target {
+            builder.add_edge(old_to_new[u as usize], old_to_new[v as usize]);
+        }
+    }
+    (builder.build(), new_to_old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_components() -> Graph {
+        GraphBuilder::from_edges([(0u32, 1), (1, 2), (3, 4), (4, 5), (5, 6)].into_iter()).build()
+    }
+
+    #[test]
+    fn counts_components_and_sizes() {
+        let comps = connected_components(&two_components());
+        assert_eq!(comps.count(), 2);
+        let mut sizes = comps.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 4]);
+    }
+
+    #[test]
+    fn largest_picks_bigger_component() {
+        let comps = connected_components(&two_components());
+        let largest = comps.largest();
+        assert_eq!(comps.sizes[largest as usize], 4);
+    }
+
+    #[test]
+    fn connected_queries() {
+        let comps = connected_components(&two_components());
+        assert!(comps.connected(0, 2));
+        assert!(comps.connected(3, 6));
+        assert!(!comps.connected(0, 3));
+    }
+
+    #[test]
+    fn is_connected_detects_both_cases() {
+        assert!(!is_connected(&two_components()));
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2)].into_iter()).build();
+        assert!(is_connected(&g));
+        assert!(is_connected(&GraphBuilder::new().build()));
+    }
+
+    #[test]
+    fn largest_component_extracts_and_relabels() {
+        let (sub, map) = largest_component(&two_components());
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(sub.num_edges(), 3);
+        // The mapped-back vertex ids must be {3,4,5,6}.
+        let mut orig = map.clone();
+        orig.sort_unstable();
+        assert_eq!(orig, vec![3, 4, 5, 6]);
+        // Path structure preserved: endpoints have degree 1.
+        let deg1 = sub.vertices().filter(|&v| sub.degree(v) == 1).count();
+        assert_eq!(deg1, 2);
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph() {
+        let (sub, map) = largest_component(&GraphBuilder::new().build());
+        assert!(sub.is_empty());
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_form_singleton_components() {
+        let mut b = GraphBuilder::from_edges([(0u32, 1)].into_iter());
+        b.reserve_vertices(4);
+        let comps = connected_components(&b.build());
+        assert_eq!(comps.count(), 3);
+    }
+}

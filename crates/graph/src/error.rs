@@ -1,0 +1,86 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, loading or storing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex identifier referenced a vertex outside `0..num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        num_vertices: u64,
+    },
+    /// An edge list line could not be parsed.
+    ParseEdge {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The raw line content.
+        content: String,
+    },
+    /// The binary graph format header was malformed or truncated.
+    InvalidFormat(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The operation requires a non-empty graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::ParseEdge { line, content } => {
+                write!(f, "cannot parse edge on line {line}: {content:?}")
+            }
+            GraphError::InvalidFormat(msg) => write!(f, "invalid graph format: {msg}"),
+            GraphError::Io(err) => write!(f, "i/o error: {err}"),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 10, num_vertices: 5 };
+        assert!(e.to_string().contains("vertex 10"));
+        assert!(e.to_string().contains("5 vertices"));
+
+        let e = GraphError::ParseEdge { line: 3, content: "a b".into() };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = GraphError::EmptyGraph;
+        assert!(e.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

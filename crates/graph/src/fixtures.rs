@@ -1,0 +1,167 @@
+//! Small graphs taken directly from the paper's figures.
+//!
+//! These fixtures are exported (rather than hidden behind `#[cfg(test)]`)
+//! because every crate in the workspace — and the documentation examples —
+//! validates its algorithms against the worked examples of the paper
+//! (Figure 3, Figure 4/5/6 and Figure 1).
+
+use crate::csr::Graph;
+use crate::vertex::VertexId;
+use crate::GraphBuilder;
+
+/// The 7-vertex graph of Figure 3(a).
+///
+/// Vertex ids match the figure (vertex 0 exists but is isolated). The
+/// shortest-path-graph query `SPG(3, 7)` on this graph has answer vertices
+/// `{3, 1, 4, 2, 5, 7}` and distance 4, the example used in §3 to show that
+/// a plain 2-hop distance cover is insufficient.
+pub fn figure3_graph() -> Graph {
+    let edges = [(1u32, 2), (1, 3), (2, 4), (3, 4), (2, 5), (2, 6), (5, 6), (5, 7)];
+    let mut b = GraphBuilder::from_edges(edges.into_iter());
+    b.reserve_vertices(8);
+    b.build()
+}
+
+/// The 14-vertex running-example graph of Figures 2 and 4(a).
+///
+/// Vertex ids match the figures (vertex 0 exists but is isolated); the
+/// landmarks are `{1, 2, 3}` (see [`figure4_landmarks`]). The edge list was
+/// reconstructed from the path labelling of Figure 4(c), the meta-graph of
+/// Figure 4(b) and the worked query `SPG(6, 11)` of Examples 4.7/4.8:
+///
+/// * `L(4) = {(1,1), (3,1)}`, `L(11) = {(2,3), (3,2)}`, … all hold;
+/// * the meta-graph has edges `(1,2)` and `(2,3)` of weight 1 and `(1,3)` of
+///   weight 2 (one shortest path through vertex 4);
+/// * `d_G(6, 11) = 5` with exactly the three shortest paths
+///   `6-7-8-9-10-11`, `6-1-2-9-10-11` and `6-1-4-3-12-11`.
+pub fn figure4_graph() -> Graph {
+    let edges = [
+        (1u32, 2),
+        (1, 4),
+        (1, 5),
+        (1, 6),
+        (2, 3),
+        (2, 8),
+        (2, 9),
+        (3, 4),
+        (3, 12),
+        (3, 13),
+        (5, 6),
+        (5, 14),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (9, 10),
+        (10, 11),
+        (11, 12),
+        (13, 14),
+    ];
+    let mut b = GraphBuilder::from_edges(edges.into_iter());
+    b.reserve_vertices(15);
+    b.build()
+}
+
+/// The landmark set `{1, 2, 3}` used for [`figure4_graph`] in the paper.
+pub fn figure4_landmarks() -> Vec<VertexId> {
+    vec![1, 2, 3]
+}
+
+/// Figure 1(b): two vertices at distance 3 connected by exactly three
+/// vertex-disjoint shortest paths. `u = 0`, `v = 7`.
+pub fn figure1b_graph() -> Graph {
+    GraphBuilder::from_edges(
+        [(0u32, 1), (1, 2), (2, 7), (0, 3), (3, 4), (4, 7), (0, 5), (5, 6), (6, 7)].into_iter(),
+    )
+    .build()
+}
+
+/// The expected answer of `SPG(6, 11)` on [`figure4_graph`], as the edge set
+/// shown in Figure 6(f).
+pub fn figure4_spg_6_11_edges() -> Vec<(VertexId, VertexId)> {
+    vec![
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (9, 10),
+        (10, 11),
+        (1, 6),
+        (1, 2),
+        (2, 9),
+        (2, 3),
+        (1, 4),
+        (3, 4),
+        (3, 12),
+        (11, 12),
+    ]
+}
+
+/// The expected answer of `SPG(3, 7)` on [`figure3_graph`] (the green
+/// subgraph of Figure 3(a)).
+pub fn figure3_spg_3_7_edges() -> Vec<(VertexId, VertexId)> {
+    vec![(1, 3), (3, 4), (1, 2), (2, 4), (2, 5), (5, 7)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::bfs_distances;
+
+    #[test]
+    fn figure3_distances_match_its_labels() {
+        let g = figure3_graph();
+        let d1 = bfs_distances(&g, 1);
+        // L(7) = (1,3) (2,2) (5,1) (7,0) from Figure 3(b).
+        assert_eq!(d1[7], 3);
+        let d2 = bfs_distances(&g, 2);
+        assert_eq!(d2[7], 2);
+        assert_eq!(d2[3], 2);
+        assert_eq!(bfs_distances(&g, 3)[7], 4);
+    }
+
+    #[test]
+    fn figure4_distances_match_its_labels() {
+        let g = figure4_graph();
+        // Path labelling of Figure 4(c) (distance component only).
+        let cases: &[(u32, u32, u32)] = &[
+            (4, 1, 1),
+            (4, 3, 1),
+            (5, 1, 1),
+            (5, 3, 3),
+            (6, 1, 1),
+            (7, 1, 2),
+            (7, 2, 2),
+            (8, 2, 1),
+            (9, 2, 1),
+            (10, 2, 2),
+            (10, 3, 3),
+            (11, 2, 3),
+            (11, 3, 2),
+            (12, 3, 1),
+            (13, 1, 3),
+            (13, 3, 1),
+            (14, 1, 2),
+            (14, 3, 2),
+        ];
+        for &(v, r, expect) in cases {
+            assert_eq!(bfs_distances(&g, r)[v as usize], expect, "d({v},{r})");
+        }
+        // Meta-graph weights of Figure 4(b).
+        assert_eq!(bfs_distances(&g, 1)[2], 1);
+        assert_eq!(bfs_distances(&g, 1)[3], 2);
+        assert_eq!(bfs_distances(&g, 2)[3], 1);
+    }
+
+    #[test]
+    fn figure4_query_6_11_has_distance_5() {
+        let g = figure4_graph();
+        assert_eq!(bfs_distances(&g, 6)[11], 5);
+    }
+
+    #[test]
+    fn figure1b_has_three_disjoint_paths() {
+        let g = figure1b_graph();
+        let dag = crate::traversal::shortest_path_dag(&g, 0);
+        assert_eq!(dag.dist[7], 3);
+        assert_eq!(dag.count_paths_to(7), 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! Graph serialisation: whitespace-separated edge lists (the format used by
+//! SNAP / KONECT datasets referenced in §6.1) and a compact binary format
+//! for caching generated graphs between experiment runs.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::vertex::VertexId;
+use crate::Result;
+
+/// Magic bytes identifying the binary graph format (`QBSG` + version 1).
+const MAGIC: &[u8; 5] = b"QBSG1";
+
+/// Parses an edge list from a reader.
+///
+/// Each non-empty line that does not start with `#` or `%` must contain two
+/// whitespace-separated vertex ids; any further columns (weights, timestamps)
+/// are ignored, matching how the paper treats all datasets as unweighted.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
+    let mut builder = GraphBuilder::new();
+    let buf = BufReader::new(reader);
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<VertexId> { tok?.parse().ok() };
+        match (parse(parts.next()), parse(parts.next())) {
+            (Some(u), Some(v)) => {
+                builder.add_edge(u, v);
+            }
+            _ => {
+                return Err(GraphError::ParseEdge { line: idx + 1, content: line });
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Reads an edge-list file from disk.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes the graph as an edge list (one `u v` line per undirected edge).
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# qbs edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(out, "{u} {v}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes the graph as an edge-list file.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
+    write_edge_list(graph, std::fs::File::create(path)?)
+}
+
+/// Encodes the graph into the compact binary format.
+///
+/// Layout: magic, `u64` vertex count, `u64` arc count, then the CSR arrays
+/// (degrees as `u32`, neighbours as `u32`), all little-endian.
+pub fn encode_binary(graph: &Graph) -> Vec<u8> {
+    let n = graph.num_vertices();
+    let mut buf = BytesMut::with_capacity(16 + 4 * n + 4 * graph.num_arcs());
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(graph.num_arcs() as u64);
+    for v in graph.vertices() {
+        buf.put_u32_le(graph.degree(v) as u32);
+    }
+    for v in graph.vertices() {
+        for &w in graph.neighbors(v) {
+            buf.put_u32_le(w);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decodes a graph from the binary format produced by [`encode_binary`].
+pub fn decode_binary(data: &[u8]) -> Result<Graph> {
+    let mut buf = data;
+    if buf.len() < MAGIC.len() + 16 || &buf[..MAGIC.len()] != MAGIC {
+        return Err(GraphError::InvalidFormat("missing QBSG1 header".into()));
+    }
+    buf.advance(MAGIC.len());
+    let n = buf.get_u64_le() as usize;
+    let arcs = buf.get_u64_le() as usize;
+    let need = 4 * n + 4 * arcs;
+    if buf.remaining() < need {
+        return Err(GraphError::InvalidFormat(format!(
+            "truncated payload: need {need} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u64);
+    for _ in 0..n {
+        let d = buf.get_u32_le() as u64;
+        offsets.push(offsets.last().expect("non-empty") + d);
+    }
+    if *offsets.last().expect("non-empty") as usize != arcs {
+        return Err(GraphError::InvalidFormat("degree sum does not match arc count".into()));
+    }
+    let mut neighbors = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        let w = buf.get_u32_le();
+        if w as usize >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: w as u64, num_vertices: n as u64 });
+        }
+        neighbors.push(w);
+    }
+    Ok(Graph::from_csr_parts(offsets, neighbors))
+}
+
+/// Writes the binary format to a file.
+pub fn write_binary_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()> {
+    std::fs::write(path, encode_binary(graph))?;
+    Ok(())
+}
+
+/// Reads the binary format from a file.
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    decode_binary(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure3_graph, figure4_graph};
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = figure4_graph();
+        let mut text = Vec::new();
+        write_edge_list(&g, &mut text).expect("write");
+        let back = read_edge_list(&text[..]).expect("read");
+        // Vertex 0 / 14 are isolated so the parsed graph may have fewer
+        // trailing vertices; compare edges instead.
+        assert_eq!(g.edges().collect::<Vec<_>>(), back.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn edge_list_ignores_comments_and_extra_columns() {
+        let text = "# comment\n% another\n0 1 42\n1 2\n\n2 3 weight\n";
+        let g = read_edge_list(text.as_bytes()).expect("read");
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let err = read_edge_list("0 1\nnot an edge\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::ParseEdge { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_rejects_single_column() {
+        assert!(read_edge_list("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_graph_exactly() {
+        for g in [figure3_graph(), figure4_graph()] {
+            let bytes = encode_binary(&g);
+            let back = decode_binary(&bytes).expect("decode");
+            assert_eq!(g, back);
+        }
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_and_truncation() {
+        let g = figure3_graph();
+        let mut bytes = encode_binary(&g);
+        assert!(decode_binary(&bytes[..10]).is_err());
+        bytes[0] = b'X';
+        assert!(decode_binary(&bytes).is_err());
+        assert!(decode_binary(&[]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_neighbor() {
+        let g = figure3_graph();
+        let mut bytes = encode_binary(&g);
+        let len = bytes.len();
+        // Corrupt the last neighbour id to a huge value.
+        bytes[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_binary(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_roundtrips() {
+        let dir = std::env::temp_dir().join("qbs_graph_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let g = figure4_graph();
+
+        let bin = dir.join("g.qbsg");
+        write_binary_file(&g, &bin).expect("write bin");
+        assert_eq!(read_binary_file(&bin).expect("read bin"), g);
+
+        let txt = dir.join("g.edges");
+        write_edge_list_file(&g, &txt).expect("write txt");
+        let back = read_edge_list_file(&txt).expect("read txt");
+        assert_eq!(g.edges().collect::<Vec<_>>(), back.edges().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,271 @@
+//! Single-source breadth-first search primitives.
+//!
+//! BFS is the workhorse of the entire system: the labelling phase of QbS
+//! runs one (two-queue) BFS per landmark, the baselines PPL / ParentPPL run
+//! pruned BFSs per vertex, and the ground-truth shortest-path-graph
+//! construction runs two full BFSs per query. The functions here are generic
+//! over [`NeighborAccess`] so they operate both on a full [`Graph`] and on
+//! the sparsified [`crate::FilteredGraph`] view.
+
+use crate::csr::Graph;
+use crate::vertex::{Distance, VertexId, INFINITE_DISTANCE};
+use crate::view::NeighborAccess;
+
+/// Computes the BFS distance from `source` to every vertex.
+///
+/// Unreachable (or removed) vertices get [`INFINITE_DISTANCE`].
+pub fn bfs_distances<G: NeighborAccess>(graph: &G, source: VertexId) -> Vec<Distance> {
+    bfs_distances_bounded(graph, source, INFINITE_DISTANCE)
+}
+
+/// Computes BFS distances from `source`, not expanding past `max_depth`.
+///
+/// Vertices further than `max_depth` (and unreachable vertices) get
+/// [`INFINITE_DISTANCE`]. Passing [`INFINITE_DISTANCE`] as the bound yields a
+/// full BFS.
+pub fn bfs_distances_bounded<G: NeighborAccess>(
+    graph: &G,
+    source: VertexId,
+    max_depth: Distance,
+) -> Vec<Distance> {
+    let n = graph.vertex_count();
+    let mut dist = vec![INFINITE_DISTANCE; n];
+    if n == 0 || !graph.contains_vertex(source) {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut queue: Vec<VertexId> = Vec::with_capacity(n.min(1024));
+    queue.push(source);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let du = dist[u as usize];
+        if du >= max_depth {
+            continue;
+        }
+        graph.for_each_neighbor(u, |v| {
+            if dist[v as usize] == INFINITE_DISTANCE {
+                dist[v as usize] = du + 1;
+                queue.push(v);
+            }
+        });
+    }
+    dist
+}
+
+/// Computes the distance between `u` and `v` with an early-terminating BFS
+/// from `u` (stops as soon as `v` is settled).
+///
+/// Returns [`INFINITE_DISTANCE`] when `v` is unreachable from `u`.
+pub fn bfs_distance_to<G: NeighborAccess>(graph: &G, u: VertexId, v: VertexId) -> Distance {
+    if u == v {
+        return if graph.contains_vertex(u) { 0 } else { INFINITE_DISTANCE };
+    }
+    let n = graph.vertex_count();
+    if !graph.contains_vertex(u) || !graph.contains_vertex(v) {
+        return INFINITE_DISTANCE;
+    }
+    let mut dist = vec![INFINITE_DISTANCE; n];
+    dist[u as usize] = 0;
+    let mut queue = vec![u];
+    let mut head = 0;
+    while head < queue.len() {
+        let x = queue[head];
+        head += 1;
+        let dx = dist[x as usize];
+        let mut found = false;
+        graph.for_each_neighbor(x, |y| {
+            if dist[y as usize] == INFINITE_DISTANCE {
+                dist[y as usize] = dx + 1;
+                if y == v {
+                    found = true;
+                }
+                queue.push(y);
+            }
+        });
+        if found {
+            return dist[v as usize];
+        }
+    }
+    dist[v as usize]
+}
+
+/// A full BFS tree from `source`: distances plus, for every vertex, the list
+/// of *all* parents on shortest paths from `source` (not just one), which is
+/// exactly what is needed to enumerate every shortest path.
+#[derive(Clone, Debug)]
+pub struct ShortestPathDag {
+    /// Distance from the source; [`INFINITE_DISTANCE`] when unreachable.
+    pub dist: Vec<Distance>,
+    /// `parents[v]` lists every neighbour `p` of `v` with
+    /// `dist[p] + 1 == dist[v]`.
+    pub parents: Vec<Vec<VertexId>>,
+    /// The BFS source.
+    pub source: VertexId,
+}
+
+impl ShortestPathDag {
+    /// Number of shortest paths from the source to `v`, saturating at
+    /// `u64::MAX`. Computed lazily by dynamic programming over the DAG.
+    pub fn count_paths_to(&self, v: VertexId) -> u64 {
+        if self.dist[v as usize] == INFINITE_DISTANCE {
+            return 0;
+        }
+        // Process vertices in increasing distance order.
+        let mut order: Vec<VertexId> = (0..self.dist.len() as VertexId)
+            .filter(|&x| self.dist[x as usize] != INFINITE_DISTANCE)
+            .collect();
+        order.sort_by_key(|&x| self.dist[x as usize]);
+        let mut counts = vec![0u64; self.dist.len()];
+        counts[self.source as usize] = 1;
+        for &x in &order {
+            if x == self.source {
+                continue;
+            }
+            let mut c: u64 = 0;
+            for &p in &self.parents[x as usize] {
+                c = c.saturating_add(counts[p as usize]);
+            }
+            counts[x as usize] = c;
+        }
+        counts[v as usize]
+    }
+}
+
+/// Builds the [`ShortestPathDag`] rooted at `source`.
+pub fn shortest_path_dag(graph: &Graph, source: VertexId) -> ShortestPathDag {
+    let dist = bfs_distances(graph, source);
+    let n = graph.num_vertices();
+    let mut parents = vec![Vec::new(); n];
+    for v in graph.vertices() {
+        let dv = dist[v as usize];
+        if dv == INFINITE_DISTANCE || v == source {
+            continue;
+        }
+        for &p in graph.neighbors(v) {
+            if dist[p as usize] != INFINITE_DISTANCE && dist[p as usize] + 1 == dv {
+                parents[v as usize].push(p);
+            }
+        }
+    }
+    ShortestPathDag { dist, parents, source }
+}
+
+/// Computes the eccentricity of `source` (greatest finite BFS distance).
+pub fn eccentricity<G: NeighborAccess>(graph: &G, source: VertexId) -> Distance {
+    bfs_distances(graph, source)
+        .into_iter()
+        .filter(|&d| d != INFINITE_DISTANCE)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{FilteredGraph, VertexFilter};
+    use crate::GraphBuilder;
+
+    use crate::fixtures::figure4_graph;
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3)].into_iter()).build();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_vertices_get_infinite_distance() {
+        let mut b = GraphBuilder::from_edges([(0u32, 1)].into_iter());
+        b.reserve_vertices(3);
+        let g = b.build();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], INFINITE_DISTANCE);
+    }
+
+    #[test]
+    fn bounded_bfs_stops_at_depth() {
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3), (3, 4)].into_iter()).build();
+        let d = bfs_distances_bounded(&g, 0, 2);
+        assert_eq!(d, vec![0, 1, 2, INFINITE_DISTANCE, INFINITE_DISTANCE]);
+    }
+
+    #[test]
+    fn distance_to_early_terminates_correctly() {
+        let g = figure4_graph();
+        assert_eq!(bfs_distance_to(&g, 6, 11), 5);
+        assert_eq!(bfs_distance_to(&g, 6, 6), 0);
+        assert_eq!(bfs_distance_to(&g, 6, 0), INFINITE_DISTANCE);
+        // Cross-check against full BFS for a handful of pairs.
+        let full = bfs_distances(&g, 6);
+        for v in [1u32, 2, 3, 9, 13] {
+            assert_eq!(bfs_distance_to(&g, 6, v), full[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn bfs_on_filtered_graph_respects_removals() {
+        let g = figure4_graph();
+        let removed = VertexFilter::from_vertices(g.num_vertices(), [1u32, 2, 3].into_iter());
+        let view = FilteredGraph::new(&g, &removed);
+        let d = bfs_distances(&view, 6);
+        // Example 4.8: in the sparsified graph the only shortest path
+        // 6 → 11 is 6-7-8-9-10-11 of length 5; vertex 4 becomes unreachable.
+        assert_eq!(d[11], 5);
+        assert_eq!(d[6], 0);
+        assert_eq!(d[4], INFINITE_DISTANCE);
+        assert_eq!(d[1], INFINITE_DISTANCE);
+        // A removed source yields all-infinite distances.
+        let d2 = bfs_distances(&view, 1);
+        assert!(d2.iter().all(|&x| x == INFINITE_DISTANCE));
+    }
+
+    #[test]
+    fn dag_records_all_parents() {
+        // A 4-cycle has two shortest paths between opposite corners.
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3), (3, 0)].into_iter()).build();
+        let dag = shortest_path_dag(&g, 0);
+        assert_eq!(dag.dist[2], 2);
+        let mut parents = dag.parents[2].clone();
+        parents.sort_unstable();
+        assert_eq!(parents, vec![1, 3]);
+        assert_eq!(dag.count_paths_to(2), 2);
+        assert_eq!(dag.count_paths_to(0), 1);
+    }
+
+    #[test]
+    fn path_counting_on_figure1_style_graphs() {
+        // Figure 1(b)-style: three parallel length-3 paths between u=0, v=7.
+        let g = GraphBuilder::from_edges(
+            [(0u32, 1), (1, 2), (2, 7), (0, 3), (3, 4), (4, 7), (0, 5), (5, 6), (6, 7)].into_iter(),
+        )
+        .build();
+        let dag = shortest_path_dag(&g, 0);
+        assert_eq!(dag.dist[7], 3);
+        assert_eq!(dag.count_paths_to(7), 3);
+    }
+
+    #[test]
+    fn path_count_zero_for_unreachable() {
+        let mut b = GraphBuilder::from_edges([(0u32, 1)].into_iter());
+        b.reserve_vertices(3);
+        let g = b.build();
+        let dag = shortest_path_dag(&g, 0);
+        assert_eq!(dag.count_paths_to(2), 0);
+    }
+
+    #[test]
+    fn eccentricity_of_path_endpoint() {
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3)].into_iter()).build();
+        assert_eq!(eccentricity(&g, 0), 3);
+        assert_eq!(eccentricity(&g, 1), 2);
+    }
+
+    #[test]
+    fn bfs_on_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert!(bfs_distances(&g, 0).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Core scalar types: vertex identifiers and distances.
+
+/// Identifier of a vertex.
+///
+/// Vertices are dense integers in `0..Graph::num_vertices()`. A `u32` keeps
+/// adjacency arrays and distance labels compact (4 bytes per entry), which is
+/// the same representation the paper uses for its labels ("we use 32 bits
+/// ... to represent a landmark", §6.1).
+pub type VertexId = u32;
+
+/// Sentinel for "no vertex" (used by parent arrays and packed queues).
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// Shortest-path distance in an unweighted graph (number of hops).
+pub type Distance = u32;
+
+/// Sentinel distance meaning "unreachable" / "not yet visited".
+pub const INFINITE_DISTANCE: Distance = Distance::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_are_extreme_values() {
+        assert_eq!(INVALID_VERTEX, u32::MAX);
+        assert_eq!(INFINITE_DISTANCE, u32::MAX);
+    }
+
+    #[test]
+    fn distances_order_below_sentinel() {
+        assert!(0 < INFINITE_DISTANCE);
+        assert!(1_000_000 < INFINITE_DISTANCE);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: build a QbS index over a synthetic social network, answer a
+//! few shortest-path-graph queries and compare against the exact baseline.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qbs::prelude::*;
+
+fn main() {
+    // 1. Build (or load) a graph. Here: a 20k-vertex scale-free network with
+    //    hubs, the regime QbS is designed for.
+    let graph = qbs::gen::barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: 20_000,
+        edges_per_vertex: 4,
+        seed: 42,
+    });
+    println!(
+        "graph: {} vertices, {} edges, max degree {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    // 2. Build the index: 20 highest-degree landmarks, parallel labelling.
+    let start = std::time::Instant::now();
+    let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(20));
+    let stats = index.stats();
+    println!(
+        "index built in {:?}: size(L) = {} bytes, size(Δ) = {} bytes ({}x the graph)",
+        start.elapsed(),
+        stats.labelling_paper_bytes,
+        stats.delta_bytes,
+        stats.index_to_graph_ratio()
+    );
+
+    // 3. Answer queries. The answer is a subgraph containing *exactly all*
+    //    shortest paths between the two vertices.
+    let oracle = GroundTruth::new(graph.clone());
+    let workload = QueryWorkload::sample_connected(&graph, 5, 7);
+    for &(u, v) in workload.pairs() {
+        let answer = index.query_with_stats(u, v);
+        let spg = &answer.path_graph;
+        println!(
+            "SPG({u}, {v}): distance {}, {} vertices, {} edges, d⊤ = {}, reverse = {}, recover = {}",
+            spg.distance(),
+            spg.num_vertices(),
+            spg.num_edges(),
+            answer.sketch.upper_bound,
+            answer.stats.used_reverse_search,
+            answer.stats.used_recover_search,
+        );
+        // The answer always matches the exact two-BFS oracle.
+        assert_eq!(spg, &oracle.query(u, v));
+        assert!(qbs::core::verify::is_exact(&graph, spg));
+    }
+
+    // 4. Timed batch: the online cost of QbS vs the search-based baseline.
+    let pairs = QueryWorkload::sample_connected(&graph, 200, 11);
+    let t = std::time::Instant::now();
+    for &(u, v) in pairs.pairs() {
+        std::hint::black_box(index.query(u, v));
+    }
+    let qbs_time = t.elapsed();
+    let bibfs = BiBfs::new(graph);
+    let t = std::time::Instant::now();
+    for &(u, v) in pairs.pairs() {
+        std::hint::black_box(bibfs.query(u, v));
+    }
+    let bibfs_time = t.elapsed();
+    println!(
+        "200 queries: QbS {:?} total, Bi-BFS {:?} total ({:.1}x speed-up)",
+        qbs_time,
+        bibfs_time,
+        bibfs_time.as_secs_f64() / qbs_time.as_secs_f64().max(f64::EPSILON)
+    );
+}

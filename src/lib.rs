@@ -1,0 +1,55 @@
+//! # qbs — Query-by-Sketch
+//!
+//! A Rust implementation of *"Query-by-Sketch: Scaling Shortest Path Graph
+//! Queries on Very Large Networks"* (SIGMOD 2021), packaged as a workspace
+//! façade. This crate simply re-exports the workspace members so downstream
+//! users can depend on a single crate:
+//!
+//! * [`graph`] — the CSR graph substrate, traversal primitives and the
+//!   [`PathGraph`] answer type;
+//! * [`gen`] — deterministic synthetic graph generators, the Table 1 dataset
+//!   catalog and query workloads;
+//! * [`core`] — the QbS index: labelling, sketching and guided searching;
+//! * [`baselines`] — the exact baselines (ground-truth BFS, Bi-BFS, PPL and
+//!   ParentPPL) used by the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qbs::prelude::*;
+//!
+//! // Build a small scale-free network and index it with 20 landmarks.
+//! let graph = qbs::gen::barabasi_albert::generate(&BarabasiAlbertConfig {
+//!     vertices: 2_000,
+//!     edges_per_vertex: 3,
+//!     seed: 42,
+//! });
+//! let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(20));
+//!
+//! // Ask for the shortest path graph between two vertices and validate it
+//! // against the definition (it contains exactly all shortest paths).
+//! let answer = index.query(17, 1234);
+//! assert!(qbs::core::verify::is_exact(&graph, &answer));
+//! assert_eq!(answer, GroundTruth::new(graph).query(17, 1234));
+//! ```
+//!
+//! (See `examples/quickstart.rs` for a larger runnable version.)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use qbs_baselines as baselines;
+pub use qbs_core as core;
+pub use qbs_gen as gen;
+pub use qbs_graph as graph;
+
+pub use qbs_core::{QbsConfig, QbsIndex, QueryAnswer};
+pub use qbs_graph::{Graph, GraphBuilder, PathGraph, VertexId};
+
+/// The most commonly used items, importable with a single `use`.
+pub mod prelude {
+    pub use qbs_baselines::{BiBfs, GroundTruth, ParentPpl, Ppl, SpgEngine};
+    pub use qbs_core::{LandmarkStrategy, QbsConfig, QbsIndex, QueryAnswer, SearchStats};
+    pub use qbs_gen::prelude::*;
+    pub use qbs_graph::{Graph, GraphBuilder, PathGraph, VertexFilter, VertexId};
+}

@@ -1,0 +1,154 @@
+//! Cross-crate differential tests: every query engine in the workspace must
+//! return exactly the same shortest path graph as the ground-truth double
+//! BFS, on every dataset stand-in of the catalog and on adversarial
+//! structured graphs.
+
+use qbs::prelude::*;
+use qbs_gen::catalog::{Catalog, Scale};
+use qbs_gen::structured;
+
+/// Runs every engine on the same workload and compares against the oracle.
+///
+/// The labelling baselines (PPL / ParentPPL) are only included when
+/// `with_labelling_baselines` is set: their construction is `O(|V||E|)` with
+/// `O(|V||E|)` parent storage, so in debug-mode CI they are exercised on the
+/// smaller stand-ins (and on every graph family in
+/// `crates/baselines/tests/baseline_differential.rs`), while QbS and Bi-BFS
+/// run on all twelve.
+fn assert_all_engines_agree(
+    graph: &Graph,
+    queries: usize,
+    seed: u64,
+    landmarks: usize,
+    with_labelling_baselines: bool,
+) {
+    let workload = QueryWorkload::sample(graph, queries, seed);
+    let truth = GroundTruth::new(graph.clone());
+    let qbs = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
+    let qbs_seq =
+        QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks).sequential());
+    let bibfs = BiBfs::new(graph.clone());
+    let labelling = if with_labelling_baselines {
+        Some((Ppl::build(graph.clone()), ParentPpl::build(graph.clone())))
+    } else {
+        None
+    };
+
+    for &(u, v) in workload.pairs() {
+        let expected = truth.query(u, v);
+        assert_eq!(qbs.query(u, v), expected, "QbS mismatch on ({u},{v})");
+        assert_eq!(qbs_seq.query(u, v), expected, "QbS (sequential) mismatch on ({u},{v})");
+        assert_eq!(bibfs.query(u, v), expected, "Bi-BFS mismatch on ({u},{v})");
+        if let Some((ppl, parent_ppl)) = &labelling {
+            assert_eq!(ppl.query(u, v), expected, "PPL mismatch on ({u},{v})");
+            assert_eq!(parent_ppl.query(u, v), expected, "ParentPPL mismatch on ({u},{v})");
+        }
+        // And the answer satisfies Definition 2.2 independently of the oracle.
+        assert!(qbs::core::verify::is_exact(graph, &expected));
+    }
+}
+
+#[test]
+fn all_engines_agree_on_every_tiny_dataset_standin() {
+    for spec in Catalog::paper_table1().specs() {
+        let graph = spec.generate(Scale::Tiny);
+        // Labelling baselines on the graphs small enough for debug-mode CI.
+        let with_labelling = graph.num_vertices() <= 1_200;
+        assert_all_engines_agree(&graph, 25, 0xDA7A ^ spec.seed, 20, with_labelling);
+    }
+}
+
+#[test]
+fn all_engines_agree_on_structured_graphs() {
+    let cases: Vec<(&str, Graph)> = vec![
+        ("grid", structured::grid(12, 9)),
+        ("hypercube", structured::hypercube(6)),
+        ("cycle", structured::cycle(61)),
+        ("binary_tree", structured::binary_tree(127)),
+        ("barbell", structured::barbell(12, 5)),
+        ("complete", structured::complete(24)),
+        ("star", structured::star(64)),
+        ("path", structured::path(80)),
+    ];
+    for (name, graph) in cases {
+        // Structured graphs stress unusual landmark configurations: in a
+        // star the hub is the single dominant landmark, in a path the
+        // "hubs" are arbitrary interior vertices, etc.
+        for landmarks in [1usize, 4, 16] {
+            let workload = QueryWorkload::sample(&graph, 30, 7);
+            let truth = GroundTruth::new(graph.clone());
+            let qbs = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
+            for &(u, v) in workload.pairs() {
+                assert_eq!(
+                    qbs.query(u, v),
+                    truth.query(u, v),
+                    "{name} with {landmarks} landmarks, query ({u},{v})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn qbs_handles_disconnected_graphs() {
+    // Two islands: queries across them must be unreachable, queries within
+    // them exact, even though one island has no landmark at all.
+    let mut builder = GraphBuilder::new();
+    // Island A: a dense-ish community holding all the high-degree vertices.
+    for u in 0..30u32 {
+        for v in (u + 1)..30 {
+            if (u + v) % 3 == 0 {
+                builder.add_edge(u, v);
+            }
+        }
+    }
+    // Island B: a sparse ring with uniformly low degree.
+    for i in 0..20u32 {
+        builder.add_edge(30 + i, 30 + (i + 1) % 20);
+    }
+    let graph = builder.build();
+    let truth = GroundTruth::new(graph.clone());
+    let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(8));
+
+    for (u, v) in [(0u32, 29u32), (31, 45), (3, 42), (40, 10), (35, 35)] {
+        assert_eq!(index.query(u, v), truth.query(u, v), "query ({u},{v})");
+    }
+    assert!(!index.query(5, 35).is_reachable());
+}
+
+#[test]
+fn qbs_matches_oracle_with_landmark_endpoints_on_catalog_graph() {
+    let spec = *Catalog::paper_table1().specs().first().expect("catalog non-empty");
+    let graph = spec.generate(Scale::Tiny);
+    let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(10));
+    let truth = GroundTruth::new(graph.clone());
+    let others = QueryWorkload::sample(&graph, 10, 3);
+    for &r in index.landmarks() {
+        for &(x, _) in others.pairs() {
+            assert_eq!(index.query(r, x), truth.query(r, x), "landmark query ({r},{x})");
+            assert_eq!(index.query(x, r), truth.query(x, r), "landmark query ({x},{r})");
+        }
+    }
+    // Landmark-to-landmark queries as well.
+    let landmarks = index.landmarks().to_vec();
+    for &a in &landmarks {
+        for &b in &landmarks {
+            assert_eq!(index.query(a, b), truth.query(a, b), "landmark pair ({a},{b})");
+        }
+    }
+}
+
+#[test]
+fn serialized_index_answers_like_the_original() {
+    let spec = Catalog::paper_table1().specs()[1];
+    let graph = spec.generate(Scale::Tiny);
+    let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(16));
+    let restored = qbs::core::serialize::from_bytes(
+        &qbs::core::serialize::to_bytes(&index).expect("serialize"),
+    )
+    .expect("deserialize");
+    let workload = QueryWorkload::sample_connected(&graph, 40, 9);
+    for &(u, v) in workload.pairs() {
+        assert_eq!(index.query(u, v), restored.query(u, v));
+    }
+}
