@@ -8,10 +8,28 @@
 //! online setting the paper targets, but the perfect oracle for testing and
 //! for the "straightforward solution" the introduction compares against.
 
-use qbs_graph::traversal::bfs_distances;
+use qbs_graph::traversal::{bfs_distances, bfs_distances_into};
+use qbs_graph::workspace::DistanceField;
 use qbs_graph::{Distance, Graph, PathGraph, VertexId, INFINITE_DISTANCE};
 
 use crate::SpgEngine;
+
+/// Reusable, epoch-stamped scratch state for the double-BFS oracle: two
+/// distance fields, the shared BFS queue and the answer-edge accumulator.
+#[derive(Debug, Default)]
+pub struct BfsWorkspace {
+    from_source: DistanceField,
+    from_target: DistanceField,
+    queue: Vec<VertexId>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl BfsWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The exact BFS-based oracle.
 ///
@@ -37,6 +55,16 @@ impl GroundTruth {
         compute(&self.graph, source, target)
     }
 
+    /// Computes the answer reusing the buffers of `ws`.
+    pub fn query_with(
+        &self,
+        ws: &mut BfsWorkspace,
+        source: VertexId,
+        target: VertexId,
+    ) -> PathGraph {
+        compute_with(ws, &self.graph, source, target)
+    }
+
     /// Distance between two vertices (convenience wrapper used by tests).
     pub fn distance(&self, source: VertexId, target: VertexId) -> Distance {
         if source == target {
@@ -51,14 +79,36 @@ impl SpgEngine for GroundTruth {
         self.shortest_path_graph(source, target)
     }
 
+    fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<PathGraph> {
+        let mut ws = BfsWorkspace::new();
+        pairs
+            .iter()
+            .map(|&(u, v)| self.query_with(&mut ws, u, v))
+            .collect()
+    }
+
     fn name(&self) -> &'static str {
         "BFS (ground truth)"
     }
 }
 
 /// Computes the exact shortest path graph between `source` and `target` on
-/// `graph` using two full BFSs.
+/// `graph` using two full BFSs (throwaway workspace).
 pub fn compute(graph: &Graph, source: VertexId, target: VertexId) -> PathGraph {
+    compute_with(&mut BfsWorkspace::new(), graph, source, target)
+}
+
+/// Computes the exact shortest path graph reusing the buffers of `ws`.
+///
+/// The two BFSs run into epoch-stamped [`DistanceField`]s
+/// ([`bfs_distances_into`]), so repeated oracle queries — the dominant cost
+/// of every differential test — perform no `O(|V|)` allocations.
+pub fn compute_with(
+    ws: &mut BfsWorkspace,
+    graph: &Graph,
+    source: VertexId,
+    target: VertexId,
+) -> PathGraph {
     let n = graph.num_vertices();
     if source as usize >= n || target as usize >= n {
         return PathGraph::unreachable(source, target);
@@ -66,37 +116,36 @@ pub fn compute(graph: &Graph, source: VertexId, target: VertexId) -> PathGraph {
     if source == target {
         return PathGraph::trivial(source);
     }
-    let from_source = bfs_distances(graph, source);
-    let total = from_source[target as usize];
+    bfs_distances_into(graph, source, &mut ws.from_source, &mut ws.queue);
+    let total = ws.from_source.get(target);
     if total == INFINITE_DISTANCE {
         return PathGraph::unreachable(source, target);
     }
-    let from_target = bfs_distances(graph, target);
+    bfs_distances_into(graph, target, &mut ws.from_target, &mut ws.queue);
 
-    let mut edges = Vec::new();
+    ws.edges.clear();
     for (a, b) in graph.edges() {
-        let da = from_source[a as usize];
-        let db = from_source[b as usize];
-        let ta = from_target[a as usize];
-        let tb = from_target[b as usize];
+        let da = ws.from_source.get(a);
+        let db = ws.from_source.get(b);
+        let ta = ws.from_target.get(a);
+        let tb = ws.from_target.get(b);
         if da == INFINITE_DISTANCE || db == INFINITE_DISTANCE {
             continue;
         }
         let forward = da.saturating_add(1).saturating_add(tb) == total;
         let backward = db.saturating_add(1).saturating_add(ta) == total;
         if forward || backward {
-            edges.push((a, b));
+            ws.edges.push((a, b));
         }
     }
-    PathGraph::from_edges(source, target, total, edges)
+    PathGraph::from_edges(source, target, total, ws.edges.iter().copied())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use qbs_graph::fixtures::{
-        figure1b_graph, figure3_graph, figure3_spg_3_7_edges, figure4_graph,
-        figure4_spg_6_11_edges,
+        figure1b_graph, figure3_graph, figure3_spg_3_7_edges, figure4_graph, figure4_spg_6_11_edges,
     };
     use qbs_graph::GraphBuilder;
 
@@ -155,7 +204,7 @@ mod tests {
 
     #[test]
     fn unreachable_pair_is_empty() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)]);
         b.reserve_vertices(4);
         let g = b.build();
         let spg = compute(&g, 0, 3);
@@ -173,22 +222,19 @@ mod tests {
     #[test]
     fn every_answer_edge_lies_on_a_shortest_path() {
         // Structural invariant on a graph with many equal-length paths.
-        let g = qbs_graph::GraphBuilder::from_edges(
-            [
-                (0u32, 1),
-                (0, 2),
-                (1, 3),
-                (2, 3),
-                (3, 4),
-                (3, 5),
-                (4, 6),
-                (5, 6),
-                (0, 7),
-                (7, 8),
-                (8, 6),
-            ]
-            .into_iter(),
-        )
+        let g = qbs_graph::GraphBuilder::from_edges([
+            (0u32, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+            (0, 7),
+            (7, 8),
+            (8, 6),
+        ])
         .build();
         let spg = compute(&g, 0, 6);
         let du = bfs_distances(&g, 0);

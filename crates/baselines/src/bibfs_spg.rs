@@ -5,9 +5,16 @@
 //! distance fields around `u` and `v`, and a *reverse search* from the
 //! meeting vertices reconstructs every edge lying on a shortest path. This
 //! is the method labelled **Bi-BFS** in Table 2 of the paper.
+//!
+//! Like the QbS guided search, the baseline runs on a reusable
+//! [`BiBfsWorkspace`] whose per-vertex state is epoch-stamped
+//! ([`qbs_graph::workspace`]): repeated queries perform no `O(|V|)`
+//! allocations or clears, so paper comparisons against the workspace-based
+//! QbS query path stay apples-to-apples.
 
 use qbs_graph::bibfs::SearchEffort;
 use qbs_graph::view::NeighborAccess;
+use qbs_graph::workspace::{DistanceField, VisitedSet};
 use qbs_graph::{Distance, Graph, PathGraph, VertexId, INFINITE_DISTANCE};
 
 use crate::SpgEngine;
@@ -28,6 +35,40 @@ pub struct BiBfsAnswer {
     pub effort: SearchEffort,
 }
 
+/// Reusable, epoch-stamped scratch state for Bi-BFS queries (the baseline's
+/// analogue of `qbs_core::QueryWorkspace`).
+#[derive(Debug, Default)]
+pub struct BiBfsWorkspace {
+    fwd_dist: DistanceField,
+    bwd_dist: DistanceField,
+    fwd_frontier: Vec<VertexId>,
+    bwd_frontier: Vec<VertexId>,
+    /// All vertices settled from the source / target side, in discovery
+    /// order — lets the reverse search find the meeting vertices by
+    /// scanning the smaller settled set instead of all `|V|` slots.
+    fwd_settled: Vec<VertexId>,
+    bwd_settled: Vec<VertexId>,
+    /// Next-frontier scratch, swapped with the active frontier per level.
+    scratch: Vec<VertexId>,
+    visited: VisitedSet,
+    stack: Vec<VertexId>,
+    meeting: Vec<VertexId>,
+    edges: Vec<(VertexId, VertexId)>,
+    queries_served: u64,
+}
+
+impl BiBfsWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queries answered through this workspace.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+}
+
 impl BiBfs {
     /// Creates the baseline over a graph.
     pub fn new(graph: Graph) -> Self {
@@ -39,9 +80,20 @@ impl BiBfs {
         &self.graph
     }
 
-    /// Answers `SPG(source, target)` and reports search effort.
+    /// Answers `SPG(source, target)` and reports search effort (throwaway
+    /// workspace).
     pub fn query_with_effort(&self, source: VertexId, target: VertexId) -> BiBfsAnswer {
         compute(&self.graph, source, target)
+    }
+
+    /// Answers `SPG(source, target)` reusing the buffers of `ws`.
+    pub fn query_with(
+        &self,
+        ws: &mut BiBfsWorkspace,
+        source: VertexId,
+        target: VertexId,
+    ) -> BiBfsAnswer {
+        compute_on_view_with(ws, &self.graph, source, target, INFINITE_DISTANCE)
     }
 }
 
@@ -50,68 +102,145 @@ impl SpgEngine for BiBfs {
         compute(&self.graph, source, target).spg
     }
 
+    fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<PathGraph> {
+        let mut ws = BiBfsWorkspace::new();
+        pairs
+            .iter()
+            .map(|&(u, v)| self.query_with(&mut ws, u, v).spg)
+            .collect()
+    }
+
     fn name(&self) -> &'static str {
         "Bi-BFS"
     }
 }
 
-/// State of one side of the bidirectional search.
-struct Side {
-    dist: Vec<Distance>,
-    frontier: Vec<VertexId>,
+/// One side of the bidirectional search, borrowing its storage from the
+/// workspace.
+struct Side<'ws> {
+    dist: &'ws mut DistanceField,
+    frontier: &'ws mut Vec<VertexId>,
+    settled: &'ws mut Vec<VertexId>,
     level: Distance,
     frontier_degree_sum: usize,
 }
 
-impl Side {
-    fn new(n: usize, source: VertexId, degree: usize) -> Self {
-        let mut dist = vec![INFINITE_DISTANCE; n];
-        dist[source as usize] = 0;
-        Side { dist, frontier: vec![source], level: 0, frontier_degree_sum: degree }
+impl<'ws> Side<'ws> {
+    fn begin(
+        dist: &'ws mut DistanceField,
+        frontier: &'ws mut Vec<VertexId>,
+        settled: &'ws mut Vec<VertexId>,
+        n: usize,
+        source: VertexId,
+        degree: usize,
+    ) -> Self {
+        dist.reset(n);
+        dist.set(source, 0);
+        frontier.clear();
+        frontier.push(source);
+        settled.clear();
+        settled.push(source);
+        Side {
+            dist,
+            frontier,
+            settled,
+            level: 0,
+            frontier_degree_sum: degree,
+        }
     }
 
-    fn expand<G: NeighborAccess>(&mut self, graph: &G, effort: &mut SearchEffort) {
-        let mut next = Vec::new();
+    fn expand<G: NeighborAccess>(
+        &mut self,
+        graph: &G,
+        scratch: &mut Vec<VertexId>,
+        effort: &mut SearchEffort,
+    ) {
+        scratch.clear();
+        let next_depth = self.level + 1;
         let mut degree_sum = 0usize;
-        for &u in &self.frontier {
+        let Side {
+            dist,
+            frontier,
+            settled,
+            ..
+        } = self;
+        for &u in frontier.iter() {
             effort.vertices_settled += 1;
             graph.for_each_neighbor(u, |v| {
                 effort.edges_traversed += 1;
-                if self.dist[v as usize] == INFINITE_DISTANCE {
-                    self.dist[v as usize] = self.level + 1;
+                if !dist.is_set(v) {
+                    dist.set(v, next_depth);
                     degree_sum += graph.view_degree(v);
-                    next.push(v);
+                    scratch.push(v);
+                    settled.push(v);
                 }
             });
         }
-        self.level += 1;
-        self.frontier = next;
+        self.level = next_depth;
+        std::mem::swap(self.frontier, scratch);
         self.frontier_degree_sum = degree_sum;
     }
 }
 
 /// Computes the shortest path graph between `source` and `target` on any
-/// adjacency view with an alternating bidirectional BFS plus reverse search.
+/// adjacency view with an alternating bidirectional BFS plus reverse
+/// search, reusing the buffers of `ws`.
 ///
-/// The function is generic so that `qbs-core` can reuse the identical
-/// machinery on the sparsified graph `G⁻` inside its guided search.
-pub fn compute_on_view<G: NeighborAccess>(
+/// The function is generic so that callers can run the identical machinery
+/// on a sparsified view as well as on a full graph.
+pub fn compute_on_view_with<G: NeighborAccess>(
+    ws: &mut BiBfsWorkspace,
     graph: &G,
     source: VertexId,
     target: VertexId,
     bound: Distance,
 ) -> BiBfsAnswer {
     let n = graph.vertex_count();
+    ws.queries_served += 1;
     let mut effort = SearchEffort::default();
     if !graph.contains_vertex(source) || !graph.contains_vertex(target) {
-        return BiBfsAnswer { spg: PathGraph::unreachable(source, target), effort };
+        return BiBfsAnswer {
+            spg: PathGraph::unreachable(source, target),
+            effort,
+        };
     }
     if source == target {
-        return BiBfsAnswer { spg: PathGraph::trivial(source), effort };
+        return BiBfsAnswer {
+            spg: PathGraph::trivial(source),
+            effort,
+        };
     }
 
-    let mut fwd = Side::new(n, source, graph.view_degree(source));
-    let mut bwd = Side::new(n, target, graph.view_degree(target));
+    let BiBfsWorkspace {
+        fwd_dist,
+        bwd_dist,
+        fwd_frontier,
+        bwd_frontier,
+        fwd_settled,
+        bwd_settled,
+        scratch,
+        visited,
+        stack,
+        meeting,
+        edges,
+        ..
+    } = ws;
+    let mut fwd = Side::begin(
+        fwd_dist,
+        fwd_frontier,
+        fwd_settled,
+        n,
+        source,
+        graph.view_degree(source),
+    );
+    let mut bwd = Side::begin(
+        bwd_dist,
+        bwd_frontier,
+        bwd_settled,
+        n,
+        target,
+        graph.view_degree(target),
+    );
     let mut meeting_distance = INFINITE_DISTANCE;
 
     // Alternating level expansion until the frontiers provably met (or the
@@ -121,23 +250,33 @@ pub fn compute_on_view<G: NeighborAccess>(
             break;
         }
         if fwd.frontier.is_empty() || bwd.frontier.is_empty() {
-            return BiBfsAnswer { spg: PathGraph::unreachable(source, target), effort };
+            return BiBfsAnswer {
+                spg: PathGraph::unreachable(source, target),
+                effort,
+            };
         }
         if fwd.level + bwd.level >= bound {
-            return BiBfsAnswer { spg: PathGraph::unreachable(source, target), effort };
+            return BiBfsAnswer {
+                spg: PathGraph::unreachable(source, target),
+                effort,
+            };
         }
 
         let expand_forward = fwd.frontier_degree_sum <= bwd.frontier_degree_sum;
         if expand_forward {
             effort.forward_levels += 1;
-            fwd.expand(graph, &mut effort);
+            fwd.expand(graph, scratch, &mut effort);
         } else {
             effort.backward_levels += 1;
-            bwd.expand(graph, &mut effort);
+            bwd.expand(graph, scratch, &mut effort);
         }
-        let (just, other) = if expand_forward { (&fwd, &bwd) } else { (&bwd, &fwd) };
-        for &w in &just.frontier {
-            let od = other.dist[w as usize];
+        let (just, other) = if expand_forward {
+            (&fwd, &bwd)
+        } else {
+            (&bwd, &fwd)
+        };
+        for &w in just.frontier.iter() {
+            let od = other.dist.get(w);
             if od != INFINITE_DISTANCE {
                 let total = just.level + od;
                 if total < meeting_distance {
@@ -147,91 +286,71 @@ pub fn compute_on_view<G: NeighborAccess>(
         }
     }
 
-    let spg = reconstruct(graph, source, target, meeting_distance, &fwd.dist, &bwd.dist);
+    // ---- Reverse search over the reusable buffers. ----
+    // Meeting vertices: settled from both sides with a tight distance sum,
+    // found by scanning the smaller settled set.
+    meeting.clear();
+    let (scan, other) = if fwd.settled.len() <= bwd.settled.len() {
+        (&fwd, &bwd)
+    } else {
+        (&bwd, &fwd)
+    };
+    for &w in scan.settled.iter() {
+        let ds = scan.dist.get(w);
+        let dt = other.dist.get(w);
+        if ds != INFINITE_DISTANCE && dt != INFINITE_DISTANCE && ds + dt == meeting_distance {
+            meeting.push(w);
+        }
+    }
+
+    edges.clear();
+    // Walk toward the source following strictly decreasing source-distance,
+    // then toward the target following target-distance.
+    for forward in [true, false] {
+        let dist = if forward { &*fwd.dist } else { &*bwd.dist };
+        visited.reset(n);
+        stack.clear();
+        for &w in meeting.iter() {
+            visited.insert(w);
+            stack.push(w);
+        }
+        while let Some(x) = stack.pop() {
+            let dx = dist.get(x);
+            if dx == 0 {
+                continue;
+            }
+            graph.for_each_neighbor(x, |p| {
+                if dist.is_set(p) && dist.get(p) + 1 == dx {
+                    if forward {
+                        edges.push((p, x));
+                    } else {
+                        edges.push((x, p));
+                    }
+                    if visited.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            });
+        }
+    }
+    let spg = PathGraph::from_edges(source, target, meeting_distance, edges.iter().copied());
     BiBfsAnswer { spg, effort }
+}
+
+/// Computes the shortest path graph on any adjacency view with a throwaway
+/// workspace (see [`compute_on_view_with`] for the reusable-buffer form).
+pub fn compute_on_view<G: NeighborAccess>(
+    graph: &G,
+    source: VertexId,
+    target: VertexId,
+    bound: Distance,
+) -> BiBfsAnswer {
+    compute_on_view_with(&mut BiBfsWorkspace::new(), graph, source, target, bound)
 }
 
 /// Computes the shortest path graph on a full graph (unbounded search).
 pub fn compute(graph: &Graph, source: VertexId, target: VertexId) -> BiBfsAnswer {
     compute_on_view(graph, source, target, INFINITE_DISTANCE)
-}
-
-/// Reverse search: given the (partial) distance fields around `source` and
-/// `target` and the true distance, walk back from every meeting vertex and
-/// collect each edge lying on a shortest path.
-///
-/// `dist_from_source[w]` / `dist_from_target[w]` must be exact BFS distances
-/// wherever they are finite, and every vertex `w` with
-/// `dist_from_source[w] + dist_from_target[w] == distance` for *some*
-/// shortest path must be finite in both fields — which is exactly the state
-/// the alternating search above terminates in.
-pub fn reconstruct<G: NeighborAccess>(
-    graph: &G,
-    source: VertexId,
-    target: VertexId,
-    distance: Distance,
-    dist_from_source: &[Distance],
-    dist_from_target: &[Distance],
-) -> PathGraph {
-    let n = graph.vertex_count();
-    // Meeting vertices: settled from both sides with a tight distance sum.
-    let mut meeting: Vec<VertexId> = Vec::new();
-    for w in 0..n as VertexId {
-        let ds = dist_from_source[w as usize];
-        let dt = dist_from_target[w as usize];
-        if ds != INFINITE_DISTANCE && dt != INFINITE_DISTANCE && ds + dt == distance {
-            meeting.push(w);
-        }
-    }
-
-    let mut edges = Vec::new();
-    // Walk toward the source following strictly decreasing source-distance.
-    let mut visited = vec![false; n];
-    let mut stack: Vec<VertexId> = meeting.clone();
-    for &w in &meeting {
-        visited[w as usize] = true;
-    }
-    while let Some(x) = stack.pop() {
-        let dx = dist_from_source[x as usize];
-        if dx == 0 {
-            continue;
-        }
-        graph.for_each_neighbor(x, |p| {
-            if dist_from_source[p as usize] != INFINITE_DISTANCE
-                && dist_from_source[p as usize] + 1 == dx
-            {
-                edges.push((p, x));
-                if !visited[p as usize] {
-                    visited[p as usize] = true;
-                    stack.push(p);
-                }
-            }
-        });
-    }
-    // Walk toward the target following strictly decreasing target-distance.
-    let mut visited = vec![false; n];
-    let mut stack: Vec<VertexId> = meeting.clone();
-    for &w in &meeting {
-        visited[w as usize] = true;
-    }
-    while let Some(x) = stack.pop() {
-        let dx = dist_from_target[x as usize];
-        if dx == 0 {
-            continue;
-        }
-        graph.for_each_neighbor(x, |p| {
-            if dist_from_target[p as usize] != INFINITE_DISTANCE
-                && dist_from_target[p as usize] + 1 == dx
-            {
-                edges.push((x, p));
-                if !visited[p as usize] {
-                    visited[p as usize] = true;
-                    stack.push(p);
-                }
-            }
-        });
-    }
-    PathGraph::from_edges(source, target, distance, edges)
 }
 
 #[cfg(test)]
@@ -243,10 +362,14 @@ mod tests {
     use qbs_graph::GraphBuilder;
 
     fn assert_matches_ground_truth(graph: &Graph, pairs: &[(VertexId, VertexId)]) {
+        let mut ws = BiBfsWorkspace::new();
         for &(u, v) in pairs {
             let expected = bfs_spg::compute(graph, u, v);
             let got = compute(graph, u, v).spg;
             assert_eq!(got, expected, "query ({u},{v})");
+            // The reusable-workspace path must agree exactly.
+            let reused = compute_on_view_with(&mut ws, graph, u, v, INFINITE_DISTANCE).spg;
+            assert_eq!(reused, expected, "workspace query ({u},{v})");
         }
     }
 
@@ -276,14 +399,28 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_across_exhaustive_pairs() {
+        let g = figure4_graph();
+        let mut ws = BiBfsWorkspace::new();
+        for u in 1..15u32 {
+            for v in 1..15u32 {
+                let expected = bfs_spg::compute(&g, u, v);
+                let got = compute_on_view_with(&mut ws, &g, u, v, INFINITE_DISTANCE).spg;
+                assert_eq!(got, expected, "query ({u},{v})");
+            }
+        }
+        assert_eq!(ws.queries_served(), 14 * 14);
+    }
+
+    #[test]
     fn unreachable_and_out_of_view_pairs() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)]);
         b.reserve_vertices(4);
         let g = b.build();
         assert!(!compute(&g, 0, 3).spg.is_reachable());
 
         let g4 = figure4_graph();
-        let removed = VertexFilter::from_vertices(g4.num_vertices(), [1u32, 2, 3].into_iter());
+        let removed = VertexFilter::from_vertices(g4.num_vertices(), [1u32, 2, 3]);
         let view = FilteredGraph::new(&g4, &removed);
         let ans = compute_on_view(&view, 6, 4, INFINITE_DISTANCE);
         assert!(!ans.spg.is_reachable());
@@ -304,7 +441,7 @@ mod tests {
     #[test]
     fn sparsified_view_answer_matches_example_4_8() {
         let g = figure4_graph();
-        let removed = VertexFilter::from_vertices(g.num_vertices(), [1u32, 2, 3].into_iter());
+        let removed = VertexFilter::from_vertices(g.num_vertices(), [1u32, 2, 3]);
         let view = FilteredGraph::new(&g, &removed);
         let ans = compute_on_view(&view, 6, 11, INFINITE_DISTANCE);
         // G⁻ contains exactly the path 6-7-8-9-10-11 (Figure 6(c)/(e)).
@@ -324,11 +461,14 @@ mod tests {
     }
 
     #[test]
-    fn engine_trait_name() {
+    fn engine_trait_name_and_batch() {
         let engine = BiBfs::new(figure3_graph());
         assert_eq!(engine.name(), "Bi-BFS");
         assert_eq!(engine.query(3, 7).distance(), 4);
         assert_eq!(engine.query_with_effort(3, 7).spg.distance(), 4);
         assert_eq!(engine.graph().num_vertices(), 8);
+        let batch = engine.query_batch(&[(3, 7), (1, 2)]);
+        assert_eq!(batch[0], engine.query(3, 7));
+        assert_eq!(batch[1], engine.query(1, 2));
     }
 }

@@ -138,7 +138,7 @@ mod tests {
     fn weights_can_reroute_shortest_paths() {
         // Square 0-1-3 / 0-2-3: make the 0-1 edge expensive so only the
         // 0-2-3 route remains shortest.
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 3), (0, 2), (2, 3)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 3), (0, 2), (2, 3)]).build();
         let weight = |a: VertexId, b: VertexId| {
             if (a.min(b), a.max(b)) == (0, 1) {
                 10
@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn unreachable_and_degenerate_cases() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)]);
         b.reserve_vertices(4);
         let g = b.build();
         assert!(!shortest_path_graph(&g, 0, 3, |_, _| 1).is_reachable());

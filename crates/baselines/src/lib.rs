@@ -45,7 +45,24 @@ pub use ppl::Ppl;
 /// uniformly.
 pub trait SpgEngine {
     /// Answers the query `SPG(source, target)`.
-    fn query(&self, source: qbs_graph::VertexId, target: qbs_graph::VertexId) -> qbs_graph::PathGraph;
+    fn query(
+        &self,
+        source: qbs_graph::VertexId,
+        target: qbs_graph::VertexId,
+    ) -> qbs_graph::PathGraph;
+
+    /// Answers a batch of queries, in input order.
+    ///
+    /// The default implementation loops over [`SpgEngine::query`]; engines
+    /// with reusable workspaces (Bi-BFS, the ground-truth oracle, QbS via
+    /// its `QueryEngine`) override it to amortise their per-query scratch
+    /// state — the batch API the experiment harness and the CLI drive.
+    fn query_batch(
+        &self,
+        pairs: &[(qbs_graph::VertexId, qbs_graph::VertexId)],
+    ) -> Vec<qbs_graph::PathGraph> {
+        pairs.iter().map(|&(u, v)| self.query(u, v)).collect()
+    }
 
     /// A short human-readable name for reports ("QbS", "PPL", "Bi-BFS", …).
     fn name(&self) -> &'static str;

@@ -46,7 +46,8 @@ pub struct ParentPpl {
 impl ParentPpl {
     /// Builds the index with unconstrained resources.
     pub fn build(graph: Graph) -> Self {
-        Self::build_with_limits(graph, BuildLimits::default()).expect("unlimited build cannot abort")
+        Self::build_with_limits(graph, BuildLimits::default())
+            .expect("unlimited build cannot abort")
     }
 
     /// Builds the index, aborting if the limits are exceeded. The limit on
@@ -75,7 +76,11 @@ impl ParentPpl {
                 if total_parents > limits.max_label_entries {
                     return Err(BuildAborted::TooManyLabels);
                 }
-                per_vertex.push(ParentEntry { landmark, distance, parents });
+                per_vertex.push(ParentEntry {
+                    landmark,
+                    distance,
+                    parents,
+                });
             }
             entries.push(per_vertex);
             if started.elapsed() > limits.max_duration {
@@ -275,7 +280,10 @@ mod tests {
         let g = figure4_graph();
         let err = ParentPpl::build_with_limits(
             g,
-            BuildLimits { max_label_entries: 2, ..Default::default() },
+            BuildLimits {
+                max_label_entries: 2,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert_eq!(err, BuildAborted::TooManyLabels);
@@ -283,7 +291,7 @@ mod tests {
 
     #[test]
     fn trivial_and_unreachable_queries() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)]);
         b.reserve_vertices(4);
         let index = ParentPpl::build(b.build());
         assert_eq!(index.shortest_path_graph(1, 1).distance(), 0);

@@ -84,7 +84,8 @@ pub struct Ppl {
 impl Ppl {
     /// Builds the index with unconstrained resources.
     pub fn build(graph: Graph) -> Self {
-        Self::build_with_limits(graph, BuildLimits::default()).expect("unlimited build cannot abort")
+        Self::build_with_limits(graph, BuildLimits::default())
+            .expect("unlimited build cannot abort")
     }
 
     /// Builds the index, aborting if the limits are exceeded.
@@ -168,7 +169,11 @@ impl Ppl {
         for l in &mut labels {
             l.sort_unstable_by_key(|&(r, _)| r);
         }
-        Ok(Ppl { graph, labels, order })
+        Ok(Ppl {
+            graph,
+            labels,
+            order,
+        })
     }
 
     /// The underlying graph.
@@ -249,7 +254,8 @@ impl Ppl {
         }
         // Interior landmarks on shortest paths: common entries minimising
         // δ_ur + δ_vr, excluding the endpoints themselves.
-        let minimizers = intersect_minimizers(&self.labels[u as usize], &self.labels[v as usize], dist);
+        let minimizers =
+            intersect_minimizers(&self.labels[u as usize], &self.labels[v as usize], dist);
         for (r, dur, dvr) in minimizers {
             if r == u || r == v {
                 continue;
@@ -395,7 +401,7 @@ mod tests {
 
     #[test]
     fn disconnected_and_trivial_queries() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)]);
         b.reserve_vertices(4);
         let g = b.build();
         let ppl = Ppl::build(g);
@@ -410,7 +416,10 @@ mod tests {
         let g = figure4_graph();
         let err = Ppl::build_with_limits(
             g.clone(),
-            BuildLimits { max_label_entries: 3, ..Default::default() },
+            BuildLimits {
+                max_label_entries: 3,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert_eq!(err, BuildAborted::TooManyLabels);
@@ -418,7 +427,10 @@ mod tests {
 
         let err = Ppl::build_with_limits(
             g,
-            BuildLimits { max_duration: std::time::Duration::ZERO, ..Default::default() },
+            BuildLimits {
+                max_duration: std::time::Duration::ZERO,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert_eq!(err, BuildAborted::TimedOut);
@@ -431,7 +443,7 @@ mod tests {
         assert_eq!(ppl.name(), "PPL");
         assert!(ppl.index_size_bytes() > 0);
         assert_eq!(ppl.query(3, 7), ppl.shortest_path_graph(3, 7));
-        assert!(ppl.label(7).len() >= 1);
+        assert!(!ppl.label(7).is_empty());
         assert_eq!(ppl.graph().num_vertices(), 8);
     }
 }

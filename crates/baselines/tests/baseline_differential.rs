@@ -71,7 +71,11 @@ fn baselines_are_exact_on_structured_graphs() {
 /// path with `(w, δ_uw) ∈ L(u)` and `(w, δ_vw) ∈ L(v)` summing to `d(u,v)`.)
 #[test]
 fn ppl_labels_form_a_two_hop_path_cover_on_a_random_graph() {
-    let graph = erdos_renyi::generate(&ErdosRenyiConfig { vertices: 120, edges: 300, seed: 6 });
+    let graph = erdos_renyi::generate(&ErdosRenyiConfig {
+        vertices: 120,
+        edges: 300,
+        seed: 6,
+    });
     let ppl = Ppl::build(graph.clone());
 
     // Precompute all BFS distances (120 sources is cheap).
@@ -105,7 +109,10 @@ fn ppl_labels_form_a_two_hop_path_cover_on_a_random_graph() {
                     && label_distance(u, r) == Some(dur)
                     && label_distance(v, r) == Some(dvr)
             });
-            assert!(has_interior_minimiser, "pair ({u},{v}) at distance {d} has no covered interior landmark");
+            assert!(
+                has_interior_minimiser,
+                "pair ({u},{v}) at distance {d} has no covered interior landmark"
+            );
         }
     }
 }
@@ -127,5 +134,8 @@ fn labelling_size_ordering() {
     // The per-vertex label is far smaller than |V| on hub-dominated graphs —
     // the whole point of pruning.
     let avg_label = ppl.total_label_entries() as f64 / graph.num_vertices() as f64;
-    assert!(avg_label < graph.num_vertices() as f64 / 4.0, "avg label {avg_label}");
+    assert!(
+        avg_label < graph.num_vertices() as f64 / 4.0,
+        "avg label {avg_label}"
+    );
 }

@@ -32,7 +32,10 @@ fn bench_ablation(c: &mut Criterion) {
     let bibfs = BiBfs::new(graph);
 
     let mut group = c.benchmark_group("ablation_guided_search");
-    group.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(200));
 
     group.bench_with_input(BenchmarkId::new("guided", "BA"), &pairs, |b, pairs| {
         b.iter(|| {
@@ -41,20 +44,28 @@ fn bench_ablation(c: &mut Criterion) {
             }
         });
     });
-    group.bench_with_input(BenchmarkId::new("random_landmarks", "BA"), &pairs, |b, pairs| {
-        b.iter(|| {
-            for &(u, v) in pairs {
-                criterion::black_box(random.query(u, v));
-            }
-        });
-    });
-    group.bench_with_input(BenchmarkId::new("unguided_bibfs", "BA"), &pairs, |b, pairs| {
-        b.iter(|| {
-            for &(u, v) in pairs {
-                criterion::black_box(bibfs.query(u, v));
-            }
-        });
-    });
+    group.bench_with_input(
+        BenchmarkId::new("random_landmarks", "BA"),
+        &pairs,
+        |b, pairs| {
+            b.iter(|| {
+                for &(u, v) in pairs {
+                    criterion::black_box(random.query(u, v));
+                }
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("unguided_bibfs", "BA"),
+        &pairs,
+        |b, pairs| {
+            b.iter(|| {
+                for &(u, v) in pairs {
+                    criterion::black_box(bibfs.query(u, v));
+                }
+            });
+        },
+    );
     group.finish();
 }
 

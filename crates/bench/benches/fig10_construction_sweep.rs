@@ -9,9 +9,15 @@ use qbs_gen::catalog::{Catalog, DatasetId, Scale};
 
 fn bench_construction_sweep(c: &mut Criterion) {
     let catalog = Catalog::paper_table1();
-    let graph = catalog.get(DatasetId::Skitter).unwrap().generate(Scale::Tiny);
+    let graph = catalog
+        .get(DatasetId::Skitter)
+        .unwrap()
+        .generate(Scale::Tiny);
     let mut group = c.benchmark_group("fig10_construction_sweep");
-    group.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(200));
 
     for count in [10usize, 40, 100] {
         let landmarks = graph.top_k_by_degree(count);

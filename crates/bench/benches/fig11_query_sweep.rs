@@ -9,21 +9,31 @@ use qbs_gen::QueryWorkload;
 
 fn bench_query_sweep(c: &mut Criterion) {
     let catalog = Catalog::paper_table1();
-    let graph = catalog.get(DatasetId::WikiTalk).unwrap().generate(Scale::Tiny);
+    let graph = catalog
+        .get(DatasetId::WikiTalk)
+        .unwrap()
+        .generate(Scale::Tiny);
     let workload = QueryWorkload::sample_connected(&graph, 64, 2021);
     let pairs = workload.pairs().to_vec();
     let mut group = c.benchmark_group("fig11_query_sweep");
-    group.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(200));
 
     for landmarks in [20usize, 60, 100] {
         let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
-        group.bench_with_input(BenchmarkId::new("query_batch", landmarks), &index, |b, index| {
-            b.iter(|| {
-                for &(u, v) in &pairs {
-                    criterion::black_box(index.query(u, v));
-                }
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("query_batch", landmarks),
+            &index,
+            |b, index| {
+                b.iter(|| {
+                    for &(u, v) in &pairs {
+                        criterion::black_box(index.query(u, v));
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }

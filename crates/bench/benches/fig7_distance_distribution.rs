@@ -9,7 +9,10 @@ use qbs_gen::QueryWorkload;
 fn bench_distance_distribution(c: &mut Criterion) {
     let catalog = Catalog::paper_table1();
     let mut group = c.benchmark_group("fig7_distance_distribution");
-    group.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1000))
+        .warm_up_time(Duration::from_millis(200));
 
     for id in [DatasetId::Douban, DatasetId::Friendster] {
         let graph = catalog.get(id).unwrap().generate(Scale::Tiny);

@@ -10,10 +10,16 @@ use qbs_gen::QueryWorkload;
 
 fn bench_pair_coverage(c: &mut Criterion) {
     let catalog = Catalog::paper_table1();
-    let graph = catalog.get(DatasetId::Youtube).unwrap().generate(Scale::Tiny);
+    let graph = catalog
+        .get(DatasetId::Youtube)
+        .unwrap()
+        .generate(Scale::Tiny);
     let workload = QueryWorkload::sample_connected(&graph, 128, 2021);
     let mut group = c.benchmark_group("fig8_pair_coverage");
-    group.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1000))
+        .warm_up_time(Duration::from_millis(200));
 
     for landmarks in [20usize, 60, 100] {
         let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));

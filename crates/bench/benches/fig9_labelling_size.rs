@@ -12,7 +12,10 @@ fn bench_labelling_size_sweep(c: &mut Criterion) {
     let catalog = Catalog::paper_table1();
     let graph = catalog.get(DatasetId::Dblp).unwrap().generate(Scale::Tiny);
     let mut group = c.benchmark_group("fig9_labelling_size");
-    group.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1000))
+        .warm_up_time(Duration::from_millis(200));
 
     for landmarks in [20usize, 60, 100] {
         group.bench_with_input(BenchmarkId::new("build", landmarks), &landmarks, |b, &r| {

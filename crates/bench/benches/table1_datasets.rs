@@ -10,17 +10,28 @@ use qbs_graph::stats::GraphStats;
 fn bench_table1(c: &mut Criterion) {
     let catalog = Catalog::paper_table1();
     let mut group = c.benchmark_group("table1");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
 
     for id in [DatasetId::Douban, DatasetId::Dblp, DatasetId::Twitter] {
         let spec = *catalog.get(id).expect("dataset in catalog");
-        group.bench_with_input(BenchmarkId::new("generate", id.abbrev()), &spec, |b, spec| {
-            b.iter(|| spec.generate(Scale::Tiny));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("generate", id.abbrev()),
+            &spec,
+            |b, spec| {
+                b.iter(|| spec.generate(Scale::Tiny));
+            },
+        );
         let graph = spec.generate(Scale::Tiny);
-        group.bench_with_input(BenchmarkId::new("stats", id.abbrev()), &graph, |b, graph| {
-            b.iter(|| GraphStats::compute(graph, 500));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stats", id.abbrev()),
+            &graph,
+            |b, graph| {
+                b.iter(|| GraphStats::compute(graph, 500));
+            },
+        );
     }
     group.finish();
 }

@@ -11,7 +11,10 @@ use qbs_gen::catalog::{Catalog, DatasetId, Scale};
 fn bench_construction(c: &mut Criterion) {
     let catalog = Catalog::paper_table1();
     let mut group = c.benchmark_group("table2_construction");
-    group.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(200));
 
     for id in [DatasetId::Douban, DatasetId::Dblp] {
         let graph = catalog.get(id).unwrap().generate(Scale::Tiny);

@@ -12,7 +12,10 @@ use qbs_gen::QueryWorkload;
 fn bench_query(c: &mut Criterion) {
     let catalog = Catalog::paper_table1();
     let mut group = c.benchmark_group("table2_query");
-    group.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(200));
 
     for id in [DatasetId::Douban, DatasetId::Youtube] {
         let graph = catalog.get(id).unwrap().generate(Scale::Tiny);
@@ -38,20 +41,28 @@ fn bench_query(c: &mut Criterion) {
                 }
             });
         });
-        group.bench_with_input(BenchmarkId::new("ParentPPL", id.abbrev()), &pairs, |b, pairs| {
-            b.iter(|| {
-                for &(u, v) in pairs {
-                    criterion::black_box(parent_ppl.query(u, v));
-                }
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("Bi-BFS", id.abbrev()), &pairs, |b, pairs| {
-            b.iter(|| {
-                for &(u, v) in pairs {
-                    criterion::black_box(bibfs.query(u, v));
-                }
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ParentPPL", id.abbrev()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for &(u, v) in pairs {
+                        criterion::black_box(parent_ppl.query(u, v));
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("Bi-BFS", id.abbrev()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for &(u, v) in pairs {
+                        criterion::black_box(bibfs.query(u, v));
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }

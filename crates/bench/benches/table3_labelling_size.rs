@@ -13,9 +13,15 @@ use qbs_gen::catalog::{Catalog, DatasetId, Scale};
 
 fn bench_labelling_sizes(c: &mut Criterion) {
     let catalog = Catalog::paper_table1();
-    let graph = catalog.get(DatasetId::Douban).unwrap().generate(Scale::Tiny);
+    let graph = catalog
+        .get(DatasetId::Douban)
+        .unwrap()
+        .generate(Scale::Tiny);
     let mut group = c.benchmark_group("table3_labelling_size");
-    group.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1000))
+        .warm_up_time(Duration::from_millis(200));
 
     group.bench_with_input(BenchmarkId::new("QbS", "DO"), &graph, |b, g| {
         b.iter(|| {

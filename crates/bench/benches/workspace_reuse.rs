@@ -1,0 +1,112 @@
+//! Workspace-reuse and batch-engine benchmarks.
+//!
+//! Demonstrates the two claims behind the epoch-stamped query workspaces:
+//!
+//! 1. **Amortisation** — on a large graph, answering queries through a
+//!    reused [`qbs_core::QueryWorkspace`] is measurably faster than the
+//!    fresh-allocation path, because the `O(|V|)` depth/visited arrays are
+//!    reset by bumping an epoch instead of being reallocated and rezeroed
+//!    per query (`query/fresh` vs `query/reused` vs `distance/reused`).
+//! 2. **Scaling** — `QueryEngine::query_batch` distributes a workload over
+//!    worker threads with one workspace per worker, scaling near-linearly
+//!    on a ≥100k-vertex synthetic graph (`batch/threads=N`).
+//!
+//! Run with `cargo bench --bench workspace_reuse`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use qbs_core::{QbsConfig, QbsIndex, QueryEngine, QueryWorkspace};
+use qbs_gen::prelude::*;
+
+/// Vertex count of the scaling graph — large enough that per-query `O(|V|)`
+/// allocation dominates the fresh path (the acceptance regime: ≥ 100k).
+const SCALE_VERTICES: usize = 120_000;
+const WORKLOAD: usize = 256;
+
+fn build_index() -> (QbsIndex, Vec<(u32, u32)>) {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: SCALE_VERTICES,
+        edges_per_vertex: 4,
+        seed: 2021,
+    });
+    let workload = QueryWorkload::sample_connected(&graph, WORKLOAD, 7);
+    let pairs = workload.pairs().to_vec();
+    let index = QbsIndex::build(graph, QbsConfig::with_landmark_count(20));
+    (index, pairs)
+}
+
+fn bench_workspace_reuse(c: &mut Criterion) {
+    let (index, pairs) = build_index();
+
+    let mut group = c.benchmark_group("workspace_reuse");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    // Fresh allocation per query: the pre-workspace behaviour.
+    group.bench_function("query/fresh", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                criterion::black_box(index.query(u, v));
+            }
+        });
+    });
+
+    // One workspace reused across the whole workload.
+    group.bench_function("query/reused", |b| {
+        let mut ws = QueryWorkspace::new();
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                criterion::black_box(index.query_with(&mut ws, u, v).expect("in range"));
+            }
+        });
+    });
+
+    // Distance-only hot path: zero allocation once the workspace is warm.
+    group.bench_function("distance/reused", |b| {
+        let mut ws = QueryWorkspace::new();
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                criterion::black_box(index.distance_with(&mut ws, u, v).expect("in range"));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    let (index, pairs) = build_index();
+
+    let mut group = c.benchmark_group("query_batch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    // Sweep up to the hardware parallelism, but always include threads=2 so
+    // the concurrent path is exercised even on single-core CI runners
+    // (there it measures overhead, not speedup).
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    for threads in [1usize, 2, 4, 8] {
+        if threads > max_threads {
+            break;
+        }
+        let engine = QueryEngine::with_threads(&index, threads).expect("engine");
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &engine,
+            |b, engine| {
+                b.iter(|| criterion::black_box(engine.query_batch(&pairs).expect("in range")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workspace_reuse, bench_batch_scaling);
+criterion_main!(benches);

@@ -53,7 +53,13 @@ fn main() -> ExitCode {
         outputs.insert("table1", (r.render(), serde_json::to_value(&r).unwrap()));
     }
     if run("table2") {
-        let r = experiments::table2(&config);
+        let r = match experiments::table2(&config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: table2 failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         outputs.insert("table2", (r.render(), serde_json::to_value(&r).unwrap()));
     }
     if run("table3") {
@@ -122,7 +128,9 @@ fn parse_options(args: &[String]) -> Result<(ExperimentConfig, Option<PathBuf>),
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
-        let value = args.get(i + 1).ok_or_else(|| format!("missing value for {flag}"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {flag}"))?;
         match flag {
             "--scale" => {
                 config.scale = match value.to_lowercase().as_str() {
@@ -134,17 +142,23 @@ fn parse_options(args: &[String]) -> Result<(ExperimentConfig, Option<PathBuf>),
                 };
             }
             "--queries" => {
-                config.query_count =
-                    value.parse().map_err(|_| format!("invalid query count '{value}'"))?;
+                config.query_count = value
+                    .parse()
+                    .map_err(|_| format!("invalid query count '{value}'"))?;
             }
             "--landmarks" => {
-                config.landmark_count =
-                    value.parse().map_err(|_| format!("invalid landmark count '{value}'"))?;
+                config.landmark_count = value
+                    .parse()
+                    .map_err(|_| format!("invalid landmark count '{value}'"))?;
             }
             "--sweep" => {
                 config.landmark_sweep = value
                     .split(',')
-                    .map(|s| s.trim().parse().map_err(|_| format!("invalid sweep entry '{s}'")))
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|_| format!("invalid sweep entry '{s}'"))
+                    })
                     .collect::<Result<Vec<usize>, String>>()?;
             }
             "--datasets" => {

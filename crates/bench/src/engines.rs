@@ -8,23 +8,40 @@ use std::time::{Duration, Instant};
 
 use qbs_baselines::ppl::{BuildAborted, BuildLimits};
 use qbs_baselines::{BiBfs, GroundTruth, ParentPpl, Ppl, SpgEngine};
-use qbs_core::{QbsConfig, QbsIndex};
+use qbs_core::{QbsConfig, QbsError, QbsIndex, QueryWorkspace};
 use qbs_graph::{Graph, PathGraph, VertexId};
 
 /// [`QbsIndex`] adapted to the [`SpgEngine`] trait.
 pub struct QbsEngine {
     index: QbsIndex,
     parallel: bool,
+    /// Reused by [`SpgEngine::query_batch`] so repeated batches pay zero
+    /// `O(|V|)` setup, matching the other engines' workspace reuse.
+    workspace: std::sync::Mutex<QueryWorkspace>,
 }
 
 impl QbsEngine {
-    /// Builds a QbS engine with the given landmark count.
-    pub fn build(graph: Graph, landmarks: usize, parallel: bool) -> Self {
+    /// Builds a QbS engine with the given landmark count, surfacing build
+    /// failures (e.g. thread-pool creation) instead of panicking.
+    pub fn try_build(graph: Graph, landmarks: usize, parallel: bool) -> Result<Self, QbsError> {
         let mut config = QbsConfig::with_landmark_count(landmarks);
         if !parallel {
             config = config.sequential();
         }
-        QbsEngine { index: QbsIndex::build(graph, config), parallel }
+        Ok(QbsEngine {
+            index: QbsIndex::try_build(graph, config)?,
+            parallel,
+            workspace: std::sync::Mutex::new(QueryWorkspace::new()),
+        })
+    }
+
+    /// Builds a QbS engine with the given landmark count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the build fails; see [`QbsEngine::try_build`].
+    pub fn build(graph: Graph, landmarks: usize, parallel: bool) -> Self {
+        Self::try_build(graph, landmarks, parallel).expect("QbS engine build failed")
     }
 
     /// The wrapped index.
@@ -36,6 +53,24 @@ impl QbsEngine {
 impl SpgEngine for QbsEngine {
     fn query(&self, source: VertexId, target: VertexId) -> PathGraph {
         self.index.query(source, target)
+    }
+
+    fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<PathGraph> {
+        // Sequential loop over one long-lived workspace: Table 2 compares
+        // *single-threaded* per-query latency across methods, so QbS must
+        // amortise scratch state the same way Bi-BFS and the oracle do —
+        // not fan out over cores (that is `qbs_core::QueryEngine`'s job,
+        // exercised by the CLI and the workspace_reuse bench).
+        let mut ws = self.workspace.lock().expect("workspace poisoned");
+        pairs
+            .iter()
+            .map(|&(u, v)| {
+                self.index
+                    .query_with(&mut ws, u, v)
+                    .expect("batch vertices validated by the caller")
+                    .path_graph
+            })
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -131,6 +166,16 @@ impl SpgEngine for AnyEngine {
         }
     }
 
+    fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<PathGraph> {
+        match self {
+            AnyEngine::Qbs(e) => e.query_batch(pairs),
+            AnyEngine::Ppl(e) => e.query_batch(pairs),
+            AnyEngine::ParentPpl(e) => e.query_batch(pairs),
+            AnyEngine::BiBfs(e) => e.query_batch(pairs),
+            AnyEngine::GroundTruth(e) => e.query_batch(pairs),
+        }
+    }
+
     fn name(&self) -> &'static str {
         match self {
             AnyEngine::Qbs(e) => e.name(),
@@ -155,34 +200,44 @@ impl SpgEngine for AnyEngine {
 /// Builds one method on a graph, honouring the given per-method resource
 /// budget (so the laptop-scale runs can report DNF/OOE the way Table 2 does
 /// for the labelling baselines on large graphs).
+///
+/// Build-environment failures (thread pools, not resource budgets) are
+/// propagated as `Err` rather than folded into the DNF/OOE outcomes.
 pub fn build_method(
     method: MethodId,
     graph: &Graph,
     landmarks: usize,
     limits: BuildLimits,
-) -> BuildOutcome {
+) -> Result<BuildOutcome, QbsError> {
     let start = Instant::now();
     let engine = match method {
-        MethodId::QbsParallel => {
-            AnyEngine::Qbs(Box::new(QbsEngine::build(graph.clone(), landmarks, true)))
-        }
-        MethodId::QbsSequential => {
-            AnyEngine::Qbs(Box::new(QbsEngine::build(graph.clone(), landmarks, false)))
-        }
+        MethodId::QbsParallel => AnyEngine::Qbs(Box::new(QbsEngine::try_build(
+            graph.clone(),
+            landmarks,
+            true,
+        )?)),
+        MethodId::QbsSequential => AnyEngine::Qbs(Box::new(QbsEngine::try_build(
+            graph.clone(),
+            landmarks,
+            false,
+        )?)),
         MethodId::Ppl => match Ppl::build_with_limits(graph.clone(), limits) {
             Ok(index) => AnyEngine::Ppl(Box::new(index)),
-            Err(BuildAborted::TimedOut) => return BuildOutcome::DidNotFinish,
-            Err(BuildAborted::TooManyLabels) => return BuildOutcome::OutOfMemory,
+            Err(BuildAborted::TimedOut) => return Ok(BuildOutcome::DidNotFinish),
+            Err(BuildAborted::TooManyLabels) => return Ok(BuildOutcome::OutOfMemory),
         },
         MethodId::ParentPpl => match ParentPpl::build_with_limits(graph.clone(), limits) {
             Ok(index) => AnyEngine::ParentPpl(Box::new(index)),
-            Err(BuildAborted::TimedOut) => return BuildOutcome::DidNotFinish,
-            Err(BuildAborted::TooManyLabels) => return BuildOutcome::OutOfMemory,
+            Err(BuildAborted::TimedOut) => return Ok(BuildOutcome::DidNotFinish),
+            Err(BuildAborted::TooManyLabels) => return Ok(BuildOutcome::OutOfMemory),
         },
         MethodId::BiBfs => AnyEngine::BiBfs(Box::new(BiBfs::new(graph.clone()))),
         MethodId::GroundTruth => AnyEngine::GroundTruth(Box::new(GroundTruth::new(graph.clone()))),
     };
-    BuildOutcome::Built { engine, construction: start.elapsed() }
+    Ok(BuildOutcome::Built {
+        engine,
+        construction: start.elapsed(),
+    })
 }
 
 #[cfg(test)]
@@ -201,15 +256,28 @@ mod tests {
             MethodId::ParentPpl,
             MethodId::BiBfs,
         ] {
-            let BuildOutcome::Built { engine, construction } =
-                build_method(method, &g, 3, BuildLimits::default())
+            let BuildOutcome::Built {
+                engine,
+                construction,
+            } = build_method(method, &g, 3, BuildLimits::default()).expect("build ok")
             else {
                 panic!("{:?} failed to build", method);
             };
             assert!(construction.as_nanos() > 0);
             assert_eq!(engine.name(), method.name());
             for (u, v) in [(6u32, 11u32), (4, 12), (7, 9)] {
-                assert_eq!(engine.query(u, v), truth.query(u, v), "{:?} ({u},{v})", method);
+                assert_eq!(
+                    engine.query(u, v),
+                    truth.query(u, v),
+                    "{:?} ({u},{v})",
+                    method
+                );
+            }
+            // The batch path must agree with the per-query path.
+            let pairs = [(6u32, 11u32), (4, 12), (7, 9)];
+            let batch = engine.query_batch(&pairs);
+            for (answer, &(u, v)) in batch.iter().zip(&pairs) {
+                assert_eq!(answer, &truth.query(u, v), "{:?} batch ({u},{v})", method);
             }
         }
     }
@@ -217,15 +285,21 @@ mod tests {
     #[test]
     fn limits_translate_into_dnf_and_ooe() {
         let g = figure4_graph();
-        let tight_time = BuildLimits { max_duration: Duration::ZERO, ..Default::default() };
+        let tight_time = BuildLimits {
+            max_duration: Duration::ZERO,
+            ..Default::default()
+        };
         assert!(matches!(
             build_method(MethodId::Ppl, &g, 3, tight_time),
-            BuildOutcome::DidNotFinish
+            Ok(BuildOutcome::DidNotFinish)
         ));
-        let tight_mem = BuildLimits { max_label_entries: 1, ..Default::default() };
+        let tight_mem = BuildLimits {
+            max_label_entries: 1,
+            ..Default::default()
+        };
         assert!(matches!(
             build_method(MethodId::ParentPpl, &g, 3, tight_mem),
-            BuildOutcome::OutOfMemory
+            Ok(BuildOutcome::OutOfMemory)
         ));
     }
 

@@ -13,13 +13,13 @@ use serde::{Deserialize, Serialize};
 
 use qbs_baselines::BiBfs;
 use qbs_core::coverage::{classify_workload, CoverageReport};
-use qbs_core::{parallel, LandmarkStrategy, QbsConfig, QbsIndex};
+use qbs_core::{parallel, LandmarkStrategy, QbsConfig, QbsError, QbsIndex};
 use qbs_gen::catalog::DatasetSpec;
 use qbs_graph::stats::GraphStats;
 
 use crate::engines::{build_method, BuildOutcome, MethodId, QbsEngine};
 use crate::reporting::{fmt_bytes, fmt_count, fmt_millis, fmt_seconds, TextTable};
-use crate::runner::{time_queries, ExperimentConfig, QueryTiming};
+use crate::runner::{time_query_batch, ExperimentConfig, QueryTiming};
 
 // ---------------------------------------------------------------------------
 // Table 1 — dataset statistics
@@ -60,7 +60,9 @@ impl Table1 {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             "Table 1: dataset stand-ins",
-            &["Dataset", "Type", "|V|", "|E_un|", "max.deg", "avg.deg", "avg.dist", "|G|"],
+            &[
+                "Dataset", "Type", "|V|", "|E_un|", "max.deg", "avg.deg", "avg.dist", "|G|",
+            ],
         );
         for r in &self.rows {
             t.add_row(vec![
@@ -125,7 +127,10 @@ pub enum MethodResult {
 impl MethodResult {
     fn construction_cell(&self) -> String {
         match self {
-            MethodResult::Ok { construction_seconds, .. } => fmt_seconds(*construction_seconds),
+            MethodResult::Ok {
+                construction_seconds,
+                ..
+            } => fmt_seconds(*construction_seconds),
             MethodResult::DidNotFinish => "DNF".into(),
             MethodResult::OutOfMemory => "OOE".into(),
         }
@@ -172,17 +177,33 @@ impl Table2 {
             let cell = |name: &str| row.methods.get(name);
             construction.add_row(vec![
                 row.dataset.clone(),
-                cell("QbS-P").map(|m| m.construction_cell()).unwrap_or_else(|| "-".into()),
-                cell("QbS").map(|m| m.construction_cell()).unwrap_or_else(|| "-".into()),
-                cell("PPL").map(|m| m.construction_cell()).unwrap_or_else(|| "-".into()),
-                cell("ParentPPL").map(|m| m.construction_cell()).unwrap_or_else(|| "-".into()),
+                cell("QbS-P")
+                    .map(|m| m.construction_cell())
+                    .unwrap_or_else(|| "-".into()),
+                cell("QbS")
+                    .map(|m| m.construction_cell())
+                    .unwrap_or_else(|| "-".into()),
+                cell("PPL")
+                    .map(|m| m.construction_cell())
+                    .unwrap_or_else(|| "-".into()),
+                cell("ParentPPL")
+                    .map(|m| m.construction_cell())
+                    .unwrap_or_else(|| "-".into()),
             ]);
             query.add_row(vec![
                 row.dataset.clone(),
-                cell("QbS").map(|m| m.query_cell()).unwrap_or_else(|| "-".into()),
-                cell("PPL").map(|m| m.query_cell()).unwrap_or_else(|| "-".into()),
-                cell("ParentPPL").map(|m| m.query_cell()).unwrap_or_else(|| "-".into()),
-                cell("Bi-BFS").map(|m| m.query_cell()).unwrap_or_else(|| "-".into()),
+                cell("QbS")
+                    .map(|m| m.query_cell())
+                    .unwrap_or_else(|| "-".into()),
+                cell("PPL")
+                    .map(|m| m.query_cell())
+                    .unwrap_or_else(|| "-".into()),
+                cell("ParentPPL")
+                    .map(|m| m.query_cell())
+                    .unwrap_or_else(|| "-".into()),
+                cell("Bi-BFS")
+                    .map(|m| m.query_cell())
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
         format!("{}\n{}", construction.render(), query.render())
@@ -190,25 +211,37 @@ impl Table2 {
 }
 
 /// Regenerates Table 2.
-pub fn table2(config: &ExperimentConfig) -> Table2 {
+///
+/// Query times are measured through the engines' batch API
+/// ([`time_query_batch`]): every method amortises its per-query scratch
+/// state across the workload, the regime the paper's serving numbers
+/// assume. Build-environment failures propagate as errors.
+pub fn table2(config: &ExperimentConfig) -> Result<Table2, QbsError> {
     let rows = config
         .specs()
         .iter()
         .map(|spec| table2_row(config, spec))
-        .collect();
-    Table2 { rows }
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Table2 { rows })
 }
 
-fn table2_row(config: &ExperimentConfig, spec: &DatasetSpec) -> Table2Row {
+fn table2_row(config: &ExperimentConfig, spec: &DatasetSpec) -> Result<Table2Row, QbsError> {
     let graph = config.graph_for(spec);
     let workload = config.workload_for(&graph);
     let mut methods = BTreeMap::new();
     for method in MethodId::TABLE2 {
-        let outcome =
-            build_method(method, &graph, config.landmark_count, config.limits.to_build_limits());
+        let outcome = build_method(
+            method,
+            &graph,
+            config.landmark_count,
+            config.limits.to_build_limits(),
+        )?;
         let result = match outcome {
-            BuildOutcome::Built { engine, construction } => {
-                let timing: QueryTiming = time_queries(&engine, workload.pairs());
+            BuildOutcome::Built {
+                engine,
+                construction,
+            } => {
+                let timing: QueryTiming = time_query_batch(&engine, workload.pairs());
                 MethodResult::Ok {
                     construction_seconds: construction.as_secs_f64(),
                     avg_query_ms: timing.avg_ms,
@@ -219,7 +252,10 @@ fn table2_row(config: &ExperimentConfig, spec: &DatasetSpec) -> Table2Row {
         };
         methods.insert(method.name().to_string(), result);
     }
-    Table2Row { dataset: spec.id.name().to_string(), methods }
+    Ok(Table2Row {
+        dataset: spec.id.name().to_string(),
+        methods,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -255,7 +291,14 @@ impl Table3 {
     pub fn render(&self) -> String {
         let mut t = TextTable::new(
             "Table 3: labelling sizes",
-            &["Dataset", "QbS size(L)", "QbS size(Δ)", "PPL", "ParentPPL", "|G|"],
+            &[
+                "Dataset",
+                "QbS size(L)",
+                "QbS size(Δ)",
+                "PPL",
+                "ParentPPL",
+                "|G|",
+            ],
         );
         for r in &self.rows {
             t.add_row(vec![
@@ -263,7 +306,9 @@ impl Table3 {
                 fmt_bytes(r.qbs_labelling_bytes),
                 fmt_bytes(r.qbs_delta_bytes),
                 r.ppl_bytes.map(fmt_bytes).unwrap_or_else(|| "-".into()),
-                r.parent_ppl_bytes.map(fmt_bytes).unwrap_or_else(|| "-".into()),
+                r.parent_ppl_bytes
+                    .map(fmt_bytes)
+                    .unwrap_or_else(|| "-".into()),
                 fmt_bytes(r.graph_bytes),
             ]);
         }
@@ -287,9 +332,10 @@ pub fn table3(config: &ExperimentConfig) -> Table3 {
             let ppl_bytes = qbs_baselines::Ppl::build_with_limits(graph.clone(), limits)
                 .ok()
                 .map(|p| p.labelling_size_bytes());
-            let parent_ppl_bytes = qbs_baselines::ParentPpl::build_with_limits(graph.clone(), limits)
-                .ok()
-                .map(|p| p.labelling_size_bytes());
+            let parent_ppl_bytes =
+                qbs_baselines::ParentPpl::build_with_limits(graph.clone(), limits)
+                    .ok()
+                    .map(|p| p.labelling_size_bytes());
             Table3Row {
                 dataset: spec.id.name().to_string(),
                 qbs_labelling_bytes: stats.labelling_paper_bytes,
@@ -328,7 +374,12 @@ pub struct Fig7 {
 impl Fig7 {
     /// Renders one row per dataset with the per-distance fractions.
     pub fn render(&self) -> String {
-        let max_d = self.series.iter().map(|s| s.fractions.len()).max().unwrap_or(0);
+        let max_d = self
+            .series
+            .iter()
+            .map(|s| s.fractions.len())
+            .max()
+            .unwrap_or(0);
         let header: Vec<String> = std::iter::once("Dataset".to_string())
             .chain((0..max_d).map(|d| format!("d={d}")))
             .chain(std::iter::once("mean".to_string()))
@@ -403,8 +454,11 @@ pub struct LandmarkSweep {
 
 impl LandmarkSweep {
     fn render_metric(&self, title: &str, metric: impl Fn(&SweepPoint) -> String) -> String {
-        let counts: Vec<usize> =
-            self.series.first().map(|s| s.points.iter().map(|p| p.landmarks).collect()).unwrap_or_default();
+        let counts: Vec<usize> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.landmarks).collect())
+            .unwrap_or_default();
         let header: Vec<String> = std::iter::once("Dataset".to_string())
             .chain(counts.iter().map(|c| format!("|R|={c}")))
             .collect();
@@ -433,7 +487,9 @@ impl LandmarkSweep {
 
     /// Figure 9 rendering: labelling size.
     pub fn render_fig9(&self) -> String {
-        self.render_metric("Figure 9: labelling size vs |R|", |p| fmt_bytes(p.labelling_bytes))
+        self.render_metric("Figure 9: labelling size vs |R|", |p| {
+            fmt_bytes(p.labelling_bytes)
+        })
     }
 
     /// Figure 10 rendering: construction time.
@@ -445,7 +501,9 @@ impl LandmarkSweep {
 
     /// Figure 11 rendering: average query time.
     pub fn render_fig11(&self) -> String {
-        self.render_metric("Figure 11: avg query time (ms) vs |R|", |p| fmt_millis(p.avg_query_ms))
+        self.render_metric("Figure 11: avg query time (ms) vs |R|", |p| {
+            fmt_millis(p.avg_query_ms)
+        })
     }
 }
 
@@ -472,9 +530,12 @@ pub fn landmark_sweep(config: &ExperimentConfig) -> LandmarkSweep {
                     let coverage = classify_workload(&index, workload.pairs());
                     let stats = index.stats();
                     let engine_pairs = workload.pairs();
+                    // Fig. 11 measures the steady-state query path: one
+                    // reused workspace, as a serving deployment would run.
+                    let mut ws = qbs_core::QueryWorkspace::new();
                     let t0 = Instant::now();
                     for &(u, v) in engine_pairs {
-                        let _ = index.query(u, v);
+                        let _ = index.query_with(&mut ws, u, v);
                     }
                     let avg_query_ms = if engine_pairs.is_empty() {
                         0.0
@@ -490,7 +551,10 @@ pub fn landmark_sweep(config: &ExperimentConfig) -> LandmarkSweep {
                     }
                 })
                 .collect();
-            SweepSeries { dataset: spec.id.abbrev().to_string(), points }
+            SweepSeries {
+                dataset: spec.id.abbrev().to_string(),
+                points,
+            }
         })
         .collect();
     LandmarkSweep { series }
@@ -569,7 +633,11 @@ pub fn traversal(config: &ExperimentConfig) -> Traversal {
                 dataset: spec.id.name().to_string(),
                 qbs_edges: qbs_avg,
                 bibfs_edges: bibfs_avg,
-                saving: if bibfs_avg > 0.0 { 1.0 - qbs_avg / bibfs_avg } else { 0.0 },
+                saving: if bibfs_avg > 0.0 {
+                    1.0 - qbs_avg / bibfs_avg
+                } else {
+                    0.0
+                },
             }
         })
         .collect();
@@ -678,8 +746,10 @@ pub fn ablation(config: &ExperimentConfig) -> Ablation {
             };
             let degree_query_ms = time_index(&degree);
             let random_query_ms = time_index(&random);
-            let degree_coverage = classify_workload(&degree, workload.pairs()).pair_coverage_ratio();
-            let random_coverage = classify_workload(&random, workload.pairs()).pair_coverage_ratio();
+            let degree_coverage =
+                classify_workload(&degree, workload.pairs()).pair_coverage_ratio();
+            let random_coverage =
+                classify_workload(&random, workload.pairs()).pair_coverage_ratio();
 
             let landmarks = degree.landmarks().to_vec();
             let t0 = Instant::now();
@@ -736,7 +806,7 @@ mod tests {
 
     #[test]
     fn table2_builds_and_times_every_method() {
-        let t = table2(&tiny_config());
+        let t = table2(&tiny_config()).expect("table2 builds");
         assert_eq!(t.rows.len(), 2);
         for row in &t.rows {
             assert_eq!(row.methods.len(), 5);
@@ -764,7 +834,9 @@ mod tests {
                 row.dataset,
                 row.qbs_labelling_bytes
             );
-            let parent = row.parent_ppl_bytes.expect("tiny ParentPPL build fits the budget");
+            let parent = row
+                .parent_ppl_bytes
+                .expect("tiny ParentPPL build fits the budget");
             assert!(parent > ppl);
         }
         assert!(t.render().contains("size(Δ)"));

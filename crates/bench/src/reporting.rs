@@ -26,7 +26,11 @@ impl TextTable {
 
     /// Appends a row (must have as many cells as the header).
     pub fn add_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
         self.rows.push(cells);
     }
 
@@ -103,7 +107,7 @@ pub fn fmt_count(count: usize) -> String {
     let digits = count.to_string();
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     for (i, c) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

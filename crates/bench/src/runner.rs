@@ -132,7 +132,38 @@ pub struct QueryTiming {
     pub answer_edges: usize,
 }
 
-/// Times a batch of queries on any engine.
+/// Times a workload through the engine's batch API ([`SpgEngine::query_batch`]).
+///
+/// This is what Table 2's query columns and the CLI drive: engines with
+/// reusable workspaces (QbS, Bi-BFS, the oracle) amortise their scratch
+/// state across the whole batch — the serving regime the paper's
+/// microsecond query times assume. `max_ms` is reported as the batch's
+/// average because individual query times are not observable through the
+/// batch boundary.
+pub fn time_query_batch<E: SpgEngine + ?Sized>(
+    engine: &E,
+    pairs: &[(VertexId, VertexId)],
+) -> QueryTiming {
+    let start = Instant::now();
+    let answers = engine.query_batch(pairs);
+    let total = start.elapsed();
+    let answer_edges = answers.iter().map(|spg| spg.num_edges()).sum();
+    let avg_ms = if pairs.is_empty() {
+        0.0
+    } else {
+        total.as_secs_f64() * 1e3 / pairs.len() as f64
+    };
+    QueryTiming {
+        queries: pairs.len(),
+        total,
+        avg_ms,
+        max_ms: avg_ms,
+        answer_edges,
+    }
+}
+
+/// Times a batch of queries on any engine, one query at a time (per-query
+/// latency distribution; see [`time_query_batch`] for the amortised path).
 pub fn time_queries<E: SpgEngine + ?Sized>(
     engine: &E,
     pairs: &[(VertexId, VertexId)],
@@ -153,7 +184,11 @@ pub fn time_queries<E: SpgEngine + ?Sized>(
     QueryTiming {
         queries: pairs.len(),
         total,
-        avg_ms: if pairs.is_empty() { 0.0 } else { total.as_secs_f64() * 1e3 / pairs.len() as f64 },
+        avg_ms: if pairs.is_empty() {
+            0.0
+        } else {
+            total.as_secs_f64() * 1e3 / pairs.len() as f64
+        },
         max_ms: max.as_secs_f64() * 1e3,
         answer_edges,
     }
@@ -196,6 +231,19 @@ mod tests {
         assert!(t.answer_edges >= 13 + 2 + 2);
         assert!(t.max_ms * 3.0 >= t.avg_ms);
         assert_eq!(time_queries(&engine, &[]).queries, 0);
+    }
+
+    #[test]
+    fn batch_timing_reports_comparable_work() {
+        let g = figure4_graph();
+        let engine = GroundTruth::new(g);
+        let pairs = [(6u32, 11u32), (4, 12), (7, 9)];
+        let per_query = time_queries(&engine, &pairs);
+        let batched = time_query_batch(&engine, &pairs);
+        assert_eq!(batched.queries, 3);
+        assert_eq!(batched.answer_edges, per_query.answer_edges);
+        assert!(batched.avg_ms >= 0.0);
+        assert_eq!(time_query_batch(&engine, &[]).queries, 0);
     }
 
     #[test]

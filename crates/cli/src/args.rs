@@ -29,14 +29,20 @@ pub enum Command {
         /// Output index path.
         out: PathBuf,
     },
-    /// Answer a shortest-path-graph query against a built index.
+    /// Answer shortest-path-graph queries against a built index — a single
+    /// `--source`/`--target` pair or a whole `--pairs` batch.
     Query {
         /// Index path produced by `build`.
         index: PathBuf,
-        /// Query source vertex.
-        source: u32,
-        /// Query target vertex.
-        target: u32,
+        /// Query source vertex (absent when `--pairs` drives a batch).
+        source: Option<u32>,
+        /// Query target vertex (absent when `--pairs` drives a batch).
+        target: Option<u32>,
+        /// File of whitespace-separated `u v` lines, answered as one batch
+        /// through the concurrent query engine.
+        pairs: Option<PathBuf>,
+        /// Worker threads for batch execution (default: all cores).
+        threads: Option<usize>,
         /// Output format.
         json: bool,
     },
@@ -77,6 +83,7 @@ commands:
   generate --dataset <DO|DB|...|CW> [--scale tiny|small|medium|large] --out FILE
   build    --graph FILE [--landmarks N] [--sequential] --out FILE
   query    --index FILE --source U --target V [--format text|json]
+  query    --index FILE --pairs FILE [--threads N] [--format text|json]
   stats    --index FILE
   convert  --from FILE --to FILE
   help
@@ -106,17 +113,45 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             sequential: options.contains_key("sequential"),
             out: PathBuf::from(require("out")?),
         }),
-        "query" => Ok(Command::Query {
+        "query" => {
+            let source = get("source")
+                .map(|s| parse_number(&s, "source").map(|n| n as u32))
+                .transpose()?;
+            let target = get("target")
+                .map(|s| parse_number(&s, "target").map(|n| n as u32))
+                .transpose()?;
+            let pairs = get("pairs").map(PathBuf::from);
+            match (&pairs, source, target) {
+                (None, Some(_), Some(_)) | (Some(_), None, None) => {}
+                (None, _, _) => {
+                    return Err(ParseError(
+                        "query: pass --source and --target, or --pairs FILE".into(),
+                    ))
+                }
+                (Some(_), _, _) => {
+                    return Err(ParseError(
+                        "query: --pairs cannot be combined with --source/--target".into(),
+                    ))
+                }
+            }
+            Ok(Command::Query {
+                index: PathBuf::from(require("index")?),
+                source,
+                target,
+                pairs,
+                threads: get("threads")
+                    .map(|s| parse_number(&s, "threads"))
+                    .transpose()?,
+                json: match get("format").as_deref() {
+                    None | Some("text") => false,
+                    Some("json") => true,
+                    Some(other) => return Err(ParseError(format!("unknown format '{other}'"))),
+                },
+            })
+        }
+        "stats" => Ok(Command::Stats {
             index: PathBuf::from(require("index")?),
-            source: parse_number(&require("source")?, "source")? as u32,
-            target: parse_number(&require("target")?, "target")? as u32,
-            json: match get("format").as_deref() {
-                None | Some("text") => false,
-                Some("json") => true,
-                Some(other) => return Err(ParseError(format!("unknown format '{other}'"))),
-            },
         }),
-        "stats" => Ok(Command::Stats { index: PathBuf::from(require("index")?) }),
         "convert" => Ok(Command::Convert {
             from: PathBuf::from(require("from")?),
             to: PathBuf::from(require("to")?),
@@ -167,7 +202,9 @@ fn parse_scale(token: &str) -> Result<Scale, ParseError> {
 }
 
 fn parse_number(token: &str, what: &str) -> Result<usize, ParseError> {
-    token.parse().map_err(|_| ParseError(format!("invalid {what} '{token}'")))
+    token
+        .parse()
+        .map_err(|_| ParseError(format!("invalid {what} '{token}'")))
 }
 
 #[cfg(test)]
@@ -180,8 +217,16 @@ mod tests {
 
     #[test]
     fn parses_generate() {
-        let cmd = parse(&args(&["generate", "--dataset", "YT", "--scale", "tiny", "--out", "a.qbsg"]))
-            .unwrap();
+        let cmd = parse(&args(&[
+            "generate",
+            "--dataset",
+            "YT",
+            "--scale",
+            "tiny",
+            "--out",
+            "a.qbsg",
+        ]))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Generate {
@@ -191,15 +236,35 @@ mod tests {
             }
         );
         // Dataset by full name, default scale.
-        let cmd =
-            parse(&args(&["generate", "--dataset", "douban", "--out", "b.qbsg"])).unwrap();
-        assert!(matches!(cmd, Command::Generate { dataset: DatasetId::Douban, scale: Scale::Small, .. }));
+        let cmd = parse(&args(&[
+            "generate",
+            "--dataset",
+            "douban",
+            "--out",
+            "b.qbsg",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Generate {
+                dataset: DatasetId::Douban,
+                scale: Scale::Small,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_build_query_stats_convert() {
         let cmd = parse(&args(&[
-            "build", "--graph", "g.qbsg", "--landmarks", "32", "--sequential", "--out", "i.qbs",
+            "build",
+            "--graph",
+            "g.qbsg",
+            "--landmarks",
+            "32",
+            "--sequential",
+            "--out",
+            "i.qbs",
         ]))
         .unwrap();
         assert_eq!(
@@ -218,16 +283,50 @@ mod tests {
         .unwrap();
         assert_eq!(
             cmd,
-            Command::Query { index: "i.qbs".into(), source: 3, target: 7, json: true }
+            Command::Query {
+                index: "i.qbs".into(),
+                source: Some(3),
+                target: Some(7),
+                pairs: None,
+                threads: None,
+                json: true
+            }
+        );
+
+        let cmd = parse(&args(&[
+            "query",
+            "--index",
+            "i.qbs",
+            "--pairs",
+            "p.txt",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                index: "i.qbs".into(),
+                source: None,
+                target: None,
+                pairs: Some("p.txt".into()),
+                threads: Some(4),
+                json: false
+            }
         );
 
         assert_eq!(
             parse(&args(&["stats", "--index", "i.qbs"])).unwrap(),
-            Command::Stats { index: "i.qbs".into() }
+            Command::Stats {
+                index: "i.qbs".into()
+            }
         );
         assert_eq!(
             parse(&args(&["convert", "--from", "a.txt", "--to", "b.qbsg"])).unwrap(),
-            Command::Convert { from: "a.txt".into(), to: "b.qbsg".into() }
+            Command::Convert {
+                from: "a.txt".into(),
+                to: "b.qbsg".into()
+            }
         );
     }
 
@@ -245,7 +344,15 @@ mod tests {
         assert!(parse(&args(&["generate", "--out", "x"])).is_err()); // missing dataset
         assert!(parse(&args(&["generate", "--dataset", "nope", "--out", "x"])).is_err());
         assert!(parse(&args(&["build", "--graph"])).is_err()); // missing value
-        assert!(parse(&args(&["query", "--index", "i", "--source", "x", "--target", "1"])).is_err());
+        assert!(parse(&args(&[
+            "query", "--index", "i", "--source", "x", "--target", "1"
+        ]))
+        .is_err());
+        assert!(parse(&args(&["query", "--index", "i", "--source", "1"])).is_err()); // missing target
+        assert!(parse(&args(&[
+            "query", "--index", "i", "--pairs", "p", "--source", "1", "--target", "2"
+        ]))
+        .is_err()); // batch and single are exclusive
         assert!(parse(&args(&["generate", "dataset", "YT"])).is_err()); // not an option
         assert!(parse(&args(&[
             "query", "--index", "i", "--source", "1", "--target", "2", "--format", "xml"

@@ -3,10 +3,11 @@
 
 use std::fmt;
 use std::path::Path;
+use std::time::Instant;
 
-use qbs_core::{serialize, QbsConfig, QbsIndex};
+use qbs_core::{serialize, QbsConfig, QbsIndex, QueryAnswer, QueryEngine};
 use qbs_gen::catalog::Catalog;
-use qbs_graph::{io, Graph};
+use qbs_graph::{io, Graph, VertexId};
 
 use crate::args::{Command, USAGE};
 
@@ -59,7 +60,11 @@ impl From<std::io::Error> for CommandError {
 pub fn run(command: &Command) -> Result<String, CommandError> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Generate { dataset, scale, out } => {
+        Command::Generate {
+            dataset,
+            scale,
+            out,
+        } => {
             let catalog = Catalog::paper_table1();
             let spec = catalog
                 .get(*dataset)
@@ -75,13 +80,18 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
                 out.display()
             ))
         }
-        Command::Build { graph, landmarks, sequential, out } => {
+        Command::Build {
+            graph,
+            landmarks,
+            sequential,
+            out,
+        } => {
             let graph = load_graph(graph)?;
             let mut config = QbsConfig::with_landmark_count(*landmarks);
             if *sequential {
                 config = config.sequential();
             }
-            let index = QbsIndex::build(graph, config);
+            let index = QbsIndex::try_build(graph, config)?;
             serialize::save_to_file(&index, out)?;
             let stats = index.stats();
             Ok(format!(
@@ -96,30 +106,32 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
                 out.display()
             ))
         }
-        Command::Query { index, source, target, json } => {
+        Command::Query {
+            index,
+            source,
+            target,
+            pairs,
+            threads,
+            json,
+        } => {
             let index = serialize::load_from_file(index)?;
-            let answer = index.try_query(*source, *target)?;
-            if *json {
-                Ok(serde_json::to_string_pretty(&answer.path_graph)
-                    .unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}")))
-            } else {
-                let spg = &answer.path_graph;
-                let mut out = format!(
-                    "SPG({source}, {target}): distance {}, {} vertices, {} edges\n",
-                    spg.distance(),
-                    spg.num_vertices(),
-                    spg.num_edges()
-                );
-                for (a, b) in spg.edges() {
-                    out.push_str(&format!("  {a} -- {b}\n"));
+            let engine = match threads {
+                Some(n) => QueryEngine::with_threads(&index, *n)?,
+                None => QueryEngine::new(&index),
+            };
+            match (pairs, source, target) {
+                (Some(pairs_path), _, _) => {
+                    let pairs = load_pairs(pairs_path)?;
+                    let start = Instant::now();
+                    let answers = engine.query_batch(&pairs)?;
+                    let elapsed = start.elapsed();
+                    render_batch(&pairs, &answers, elapsed, engine.threads(), *json)
                 }
-                out.push_str(&format!(
-                    "sketch upper bound d⊤ = {}, reverse search = {}, recover search = {}\n",
-                    answer.sketch.upper_bound,
-                    answer.stats.used_reverse_search,
-                    answer.stats.used_recover_search
-                ));
-                Ok(out)
+                (None, Some(source), Some(target)) => {
+                    let answer = engine.query(*source, *target)?;
+                    render_single(*source, *target, &answer, *json)
+                }
+                _ => unreachable!("argument parsing enforces single-or-batch"),
             }
         }
         Command::Stats { index } => {
@@ -163,6 +175,98 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             ))
         }
     }
+}
+
+/// Renders a single query answer in the requested format.
+fn render_single(
+    source: VertexId,
+    target: VertexId,
+    answer: &QueryAnswer,
+    json: bool,
+) -> Result<String, CommandError> {
+    if json {
+        return Ok(serde_json::to_string_pretty(&answer.path_graph)
+            .unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}")));
+    }
+    let spg = &answer.path_graph;
+    let mut out = format!(
+        "SPG({source}, {target}): distance {}, {} vertices, {} edges\n",
+        spg.distance(),
+        spg.num_vertices(),
+        spg.num_edges()
+    );
+    for (a, b) in spg.edges() {
+        out.push_str(&format!("  {a} -- {b}\n"));
+    }
+    out.push_str(&format!(
+        "sketch upper bound d⊤ = {}, reverse search = {}, recover search = {}\n",
+        answer.sketch.upper_bound,
+        answer.stats.used_reverse_search,
+        answer.stats.used_recover_search
+    ));
+    Ok(out)
+}
+
+/// Renders a batch result: one summary line per pair plus throughput.
+fn render_batch(
+    pairs: &[(VertexId, VertexId)],
+    answers: &[QueryAnswer],
+    elapsed: std::time::Duration,
+    threads: usize,
+    json: bool,
+) -> Result<String, CommandError> {
+    if json {
+        let spgs: Vec<_> = answers.iter().map(|a| &a.path_graph).collect();
+        return Ok(serde_json::to_string_pretty(&spgs)
+            .unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}")));
+    }
+    let mut out = String::new();
+    for (&(u, v), answer) in pairs.iter().zip(answers) {
+        let spg = &answer.path_graph;
+        out.push_str(&format!(
+            "SPG({u}, {v}): distance {}, {} vertices, {} edges\n",
+            spg.distance(),
+            spg.num_vertices(),
+            spg.num_edges()
+        ));
+    }
+    let qps = if elapsed.as_secs_f64() > 0.0 {
+        pairs.len() as f64 / elapsed.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    out.push_str(&format!(
+        "answered {} queries in {:.3}ms on {} threads ({:.0} queries/s)\n",
+        pairs.len(),
+        elapsed.as_secs_f64() * 1e3,
+        threads,
+        qps
+    ));
+    Ok(out)
+}
+
+/// Parses a `--pairs` file: one `u v` pair per non-empty, non-comment line.
+fn load_pairs(path: &Path) -> Result<Vec<(VertexId, VertexId)>, CommandError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut pairs = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<VertexId> { tok?.parse().ok() };
+        match (parse(parts.next()), parse(parts.next()), parts.next()) {
+            (Some(u), Some(v), None) => pairs.push((u, v)),
+            _ => {
+                return Err(CommandError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: expected exactly 'u v', found '{line}'", idx + 1),
+                )))
+            }
+        }
+    }
+    Ok(pairs)
 }
 
 /// Loads a graph, picking the format from the extension (`.qbsg` binary,
@@ -223,15 +327,24 @@ mod tests {
 
         let report = run(&Command::Query {
             index: index_path.clone(),
-            source: 1,
-            target: 5,
+            source: Some(1),
+            target: Some(5),
+            pairs: None,
+            threads: None,
             json: false,
         })
         .expect("query");
         assert!(report.contains("SPG(1, 5)"));
 
-        let json = run(&Command::Query { index: index_path.clone(), source: 1, target: 5, json: true })
-            .expect("json query");
+        let json = run(&Command::Query {
+            index: index_path.clone(),
+            source: Some(1),
+            target: Some(5),
+            pairs: None,
+            threads: None,
+            json: true,
+        })
+        .expect("json query");
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
         assert!(parsed.get("distance").is_some());
 
@@ -240,14 +353,91 @@ mod tests {
     }
 
     #[test]
+    fn batch_query_drives_the_engine() {
+        let dir = temp_dir("batch");
+        let graph_path = dir.join("g.qbsg");
+        let index_path = dir.join("g.qbs");
+        run(&Command::Generate {
+            dataset: DatasetId::Douban,
+            scale: Scale::Tiny,
+            out: graph_path.clone(),
+        })
+        .expect("generate");
+        run(&Command::Build {
+            graph: graph_path,
+            landmarks: 8,
+            sequential: false,
+            out: index_path.clone(),
+        })
+        .expect("build");
+
+        let pairs_path = dir.join("pairs.txt");
+        std::fs::write(&pairs_path, "# workload\n1 5\n2 9\n0 3\n").expect("write pairs");
+
+        let report = run(&Command::Query {
+            index: index_path.clone(),
+            source: None,
+            target: None,
+            pairs: Some(pairs_path.clone()),
+            threads: Some(2),
+            json: false,
+        })
+        .expect("batch query");
+        assert!(report.contains("SPG(1, 5)"));
+        assert!(report.contains("SPG(0, 3)"));
+        assert!(report.contains("answered 3 queries"));
+        assert!(report.contains("2 threads"));
+
+        let json = run(&Command::Query {
+            index: index_path.clone(),
+            source: None,
+            target: None,
+            pairs: Some(pairs_path),
+            threads: None,
+            json: true,
+        })
+        .expect("batch json");
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert!(parsed.get_index(2).is_some(), "three answers serialised");
+
+        // Zero threads is rejected through the engine's validation.
+        let bad = run(&Command::Query {
+            index: index_path,
+            source: Some(1),
+            target: Some(5),
+            pairs: None,
+            threads: Some(0),
+            json: false,
+        });
+        assert!(matches!(bad, Err(CommandError::Index(_))));
+
+        // Malformed pairs files are reported with the line number.
+        let bad_pairs = dir.join("bad.txt");
+        std::fs::write(&bad_pairs, "1 5\nnot a pair\n").expect("write");
+        assert!(load_pairs(&bad_pairs).is_err());
+    }
+
+    #[test]
     fn convert_between_formats_roundtrips() {
         let dir = temp_dir("convert");
         let bin = dir.join("g.qbsg");
         let txt = dir.join("g.edges");
-        run(&Command::Generate { dataset: DatasetId::Dblp, scale: Scale::Tiny, out: bin.clone() })
-            .expect("generate");
-        run(&Command::Convert { from: bin.clone(), to: txt.clone() }).expect("to edge list");
-        run(&Command::Convert { from: txt.clone(), to: dir.join("g2.qbsg") }).expect("back to binary");
+        run(&Command::Generate {
+            dataset: DatasetId::Dblp,
+            scale: Scale::Tiny,
+            out: bin.clone(),
+        })
+        .expect("generate");
+        run(&Command::Convert {
+            from: bin.clone(),
+            to: txt.clone(),
+        })
+        .expect("to edge list");
+        run(&Command::Convert {
+            from: txt.clone(),
+            to: dir.join("g2.qbsg"),
+        })
+        .expect("back to binary");
         let a = qbs_graph::io::read_binary_file(&bin).expect("read a");
         let b = qbs_graph::io::read_binary_file(dir.join("g2.qbsg")).expect("read b");
         assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
@@ -257,7 +447,9 @@ mod tests {
     fn helpful_errors_for_missing_files_and_bad_queries() {
         let dir = temp_dir("errors");
         assert!(matches!(
-            run(&Command::Stats { index: dir.join("missing.qbs") }),
+            run(&Command::Stats {
+                index: dir.join("missing.qbs")
+            }),
             Err(CommandError::Index(_))
         ));
         assert!(matches!(
@@ -273,12 +465,28 @@ mod tests {
         // Out-of-range query vertices surface as index errors.
         let graph_path = dir.join("tiny.qbsg");
         let index_path = dir.join("tiny.qbs");
-        run(&Command::Generate { dataset: DatasetId::Douban, scale: Scale::Tiny, out: graph_path.clone() })
-            .expect("generate");
-        run(&Command::Build { graph: graph_path, landmarks: 4, sequential: true, out: index_path.clone() })
-            .expect("build");
+        run(&Command::Generate {
+            dataset: DatasetId::Douban,
+            scale: Scale::Tiny,
+            out: graph_path.clone(),
+        })
+        .expect("generate");
+        run(&Command::Build {
+            graph: graph_path,
+            landmarks: 4,
+            sequential: true,
+            out: index_path.clone(),
+        })
+        .expect("build");
         assert!(matches!(
-            run(&Command::Query { index: index_path, source: 0, target: u32::MAX, json: false }),
+            run(&Command::Query {
+                index: index_path,
+                source: Some(0),
+                target: Some(u32::MAX),
+                pairs: None,
+                threads: None,
+                json: false
+            }),
             Err(CommandError::Index(_))
         ));
         let rendered = format!("{}", CommandError::UnknownDataset("X".into()));

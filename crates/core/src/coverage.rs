@@ -119,18 +119,30 @@ mod tests {
     use qbs_graph::fixtures::figure4_graph;
 
     fn figure4_index() -> QbsIndex {
-        QbsIndex::build(figure4_graph(), QbsConfig::with_explicit_landmarks(vec![1, 2, 3]))
+        QbsIndex::build(
+            figure4_graph(),
+            QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+        )
     }
 
     #[test]
     fn classifies_the_three_cases_on_figure4() {
         let index = figure4_index();
         // (4, 12): only path is 4-3-12 through landmark 3 → case (i).
-        assert_eq!(classify_pair(&index, 4, 12), PairCoverage::AllThroughLandmarks);
+        assert_eq!(
+            classify_pair(&index, 4, 12),
+            PairCoverage::AllThroughLandmarks
+        );
         // (6, 11): some shortest paths use landmarks, one avoids them → (ii).
-        assert_eq!(classify_pair(&index, 6, 11), PairCoverage::SomeThroughLandmarks);
+        assert_eq!(
+            classify_pair(&index, 6, 11),
+            PairCoverage::SomeThroughLandmarks
+        );
         // (7, 9): the unique shortest path 7-8-9 avoids all landmarks.
-        assert_eq!(classify_pair(&index, 7, 9), PairCoverage::NoneThroughLandmarks);
+        assert_eq!(
+            classify_pair(&index, 7, 9),
+            PairCoverage::NoneThroughLandmarks
+        );
         // Trivial and disconnected pairs are excluded.
         assert_eq!(classify_pair(&index, 5, 5), PairCoverage::NotApplicable);
         assert_eq!(classify_pair(&index, 0, 5), PairCoverage::NotApplicable);
@@ -154,8 +166,10 @@ mod tests {
     fn more_landmarks_never_reduce_coverage_on_figure4() {
         // Figure 8's monotone trend, checked exhaustively on the example.
         let g = figure4_graph();
-        let pairs: Vec<(u32, u32)> =
-            (1..15u32).flat_map(|u| (1..15u32).map(move |v| (u, v))).filter(|(u, v)| u != v).collect();
+        let pairs: Vec<(u32, u32)> = (1..15u32)
+            .flat_map(|u| (1..15u32).map(move |v| (u, v)))
+            .filter(|(u, v)| u != v)
+            .collect();
         let small = QbsIndex::build(g.clone(), QbsConfig::with_explicit_landmarks(vec![1, 2]));
         let large = QbsIndex::build(g, QbsConfig::with_explicit_landmarks(vec![1, 2, 3, 9]));
         let r_small = classify_workload(&small, &pairs);

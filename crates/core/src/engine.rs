@@ -1,0 +1,301 @@
+//! Concurrent batch query execution over a pool of reusable workspaces.
+//!
+//! A [`QueryEngine`] is the serving-side companion of [`QbsIndex`]: it owns
+//! a pool of [`QueryWorkspace`]s and fans batches of queries out over a
+//! scoped worker pool. Each worker checks one workspace out of the pool for
+//! the whole batch and pulls query indices from a shared atomic cursor in
+//! small chunks — a work-stealing discipline (idle workers keep claiming
+//! whatever work remains) that keeps all cores busy even when per-query
+//! cost is highly skewed, which it is: a query whose endpoints are far
+//! apart expands orders of magnitude more frontier than an adjacent pair.
+//!
+//! Because workspaces are returned to the pool after every batch, the
+//! steady state of a long-running engine performs **zero workspace
+//! allocations**: the per-vertex scratch arrays are allocated once per
+//! worker and reset per query by epoch bumping (see
+//! [`crate::workspace`]). The only remaining heap traffic is the storage
+//! owned by the returned answers.
+//!
+//! ```
+//! use qbs_core::{QbsConfig, QbsIndex, QueryEngine};
+//! use qbs_graph::fixtures::figure4_graph;
+//!
+//! let index = QbsIndex::build(figure4_graph(), QbsConfig::with_landmark_count(3));
+//! let engine = QueryEngine::new(&index);
+//! let answers = engine.query_batch(&[(6, 11), (4, 12), (7, 9)]).unwrap();
+//! assert_eq!(answers.len(), 3);
+//! assert_eq!(answers[0].path_graph, index.query(6, 11));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use qbs_graph::{Distance, VertexId};
+
+use crate::query::{QbsIndex, QueryAnswer};
+use crate::workspace::QueryWorkspace;
+use crate::QbsError;
+
+/// How many query indices a worker claims per cursor fetch. Small enough
+/// that skewed batches still balance, large enough that the atomic is not
+/// contended on microsecond queries.
+const CLAIM_CHUNK: usize = 16;
+
+/// A concurrent batch query engine over a borrowed [`QbsIndex`].
+pub struct QueryEngine<'idx> {
+    index: &'idx QbsIndex,
+    threads: usize,
+    /// Checked-out-and-returned pool of per-worker workspaces. Check-in
+    /// drops workspaces beyond `threads`, so even when multiple callers run
+    /// batches on the same engine concurrently (each batch spawns its own
+    /// scoped workers), the retained memory stays bounded at `threads`
+    /// workspaces; the surplus is freed instead of pooled.
+    workspaces: Mutex<Vec<QueryWorkspace>>,
+}
+
+impl<'idx> QueryEngine<'idx> {
+    /// Creates an engine using all available parallelism.
+    pub fn new(index: &'idx QbsIndex) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::build(index, threads)
+    }
+
+    /// Creates an engine with an explicit worker count.
+    ///
+    /// Fails with [`QbsError::ThreadPool`] when `threads` is zero.
+    pub fn with_threads(index: &'idx QbsIndex, threads: usize) -> crate::Result<Self> {
+        if threads == 0 {
+            return Err(QbsError::ThreadPool(
+                "QueryEngine requires at least one worker thread".into(),
+            ));
+        }
+        Ok(Self::build(index, threads))
+    }
+
+    fn build(index: &'idx QbsIndex, threads: usize) -> Self {
+        QueryEngine {
+            index,
+            threads,
+            workspaces: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &'idx QbsIndex {
+        self.index
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of pooled workspaces currently available (grows towards the
+    /// worker count as batches run; exposed for tests and monitoring).
+    pub fn pooled_workspaces(&self) -> usize {
+        self.workspaces
+            .lock()
+            .expect("workspace pool poisoned")
+            .len()
+    }
+
+    /// Answers a single query on a pooled workspace.
+    pub fn query(&self, source: VertexId, target: VertexId) -> crate::Result<QueryAnswer> {
+        let mut ws = self.checkout();
+        let result = self.index.query_with(&mut ws, source, target);
+        self.checkin(ws);
+        result
+    }
+
+    /// Answers a batch of queries, in input order.
+    ///
+    /// Vertices are validated up front, so the parallel phase is
+    /// infallible; an out-of-range pair fails the whole batch before any
+    /// search runs. Answers are bit-identical to calling
+    /// [`QbsIndex::query`] per pair.
+    pub fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> crate::Result<Vec<QueryAnswer>> {
+        self.run_batch(pairs, |index, ws, (u, v)| {
+            index
+                .query_with(ws, u, v)
+                .expect("batch pairs validated before the parallel phase")
+        })
+    }
+
+    /// Computes only the distances of a batch of queries, in input order —
+    /// the cheapest serving path (no path-graph materialisation at all).
+    pub fn distance_batch(&self, pairs: &[(VertexId, VertexId)]) -> crate::Result<Vec<Distance>> {
+        self.run_batch(pairs, |index, ws, (u, v)| {
+            index
+                .distance_with(ws, u, v)
+                .expect("batch pairs validated before the parallel phase")
+        })
+    }
+
+    /// Shared batch driver: validates, then fans `op` out over the workers.
+    fn run_batch<R: Send + Sync>(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        op: impl Fn(&QbsIndex, &mut QueryWorkspace, (VertexId, VertexId)) -> R + Sync,
+    ) -> crate::Result<Vec<R>> {
+        let n = self.index.graph().num_vertices() as u64;
+        for &(u, v) in pairs {
+            if u as u64 >= n || v as u64 >= n {
+                return Err(QbsError::VertexOutOfRange {
+                    vertex: if u as u64 >= n { u as u64 } else { v as u64 },
+                    num_vertices: n,
+                });
+            }
+        }
+
+        let workers = self.threads.min(pairs.len().div_ceil(CLAIM_CHUNK)).max(1);
+        if workers == 1 {
+            let mut ws = self.checkout();
+            let out = pairs
+                .iter()
+                .map(|&pair| op(self.index, &mut ws, pair))
+                .collect();
+            self.checkin(ws);
+            return Ok(out);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<R>> = (0..pairs.len()).map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut ws = self.checkout();
+                    loop {
+                        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                        if start >= pairs.len() {
+                            break;
+                        }
+                        let end = (start + CLAIM_CHUNK).min(pairs.len());
+                        for idx in start..end {
+                            let answer = op(self.index, &mut ws, pairs[idx]);
+                            slots[idx]
+                                .set(answer)
+                                .unwrap_or_else(|_| panic!("slot {idx} filled twice"));
+                        }
+                    }
+                    self.checkin(ws);
+                });
+            }
+        });
+
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot filled by the workers"))
+            .collect())
+    }
+
+    fn checkout(&self) -> QueryWorkspace {
+        self.workspaces
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_else(|| QueryWorkspace::for_vertices(self.index.graph().num_vertices()))
+    }
+
+    fn checkin(&self, ws: QueryWorkspace) {
+        let mut pool = self.workspaces.lock().expect("workspace pool poisoned");
+        // Bound retained memory at one workspace per configured worker;
+        // surplus workspaces (possible when several batches run on this
+        // engine concurrently) are dropped rather than pooled.
+        if pool.len() < self.threads {
+            pool.push(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QbsConfig;
+    use qbs_graph::fixtures::{figure3_graph, figure4_graph};
+
+    fn all_pairs(n: u32) -> Vec<(VertexId, VertexId)> {
+        let mut pairs = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                pairs.push((u, v));
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn batch_answers_match_single_queries_in_order() {
+        let index = QbsIndex::build(figure4_graph(), QbsConfig::with_landmark_count(3));
+        let engine = QueryEngine::with_threads(&index, 4).expect("engine");
+        let pairs = all_pairs(15);
+        let answers = engine.query_batch(&pairs).expect("batch");
+        assert_eq!(answers.len(), pairs.len());
+        for (&(u, v), answer) in pairs.iter().zip(&answers) {
+            let expected = index.try_query(u, v).expect("single query");
+            assert_eq!(
+                answer.path_graph, expected.path_graph,
+                "answer of ({u},{v})"
+            );
+            assert_eq!(answer.stats, expected.stats, "stats of ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn distance_batch_matches_query_batch() {
+        let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(2));
+        let engine = QueryEngine::with_threads(&index, 2).expect("engine");
+        let pairs = all_pairs(8);
+        let answers = engine.query_batch(&pairs).expect("batch");
+        let distances = engine.distance_batch(&pairs).expect("distances");
+        for ((answer, d), &(u, v)) in answers.iter().zip(&distances).zip(&pairs) {
+            assert_eq!(answer.path_graph.distance(), *d, "distance of ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn workspace_pool_is_bounded_and_reused() {
+        let index = QbsIndex::build(figure4_graph(), QbsConfig::with_landmark_count(3));
+        let engine = QueryEngine::with_threads(&index, 3).expect("engine");
+        assert_eq!(engine.pooled_workspaces(), 0);
+        for _ in 0..5 {
+            engine.query_batch(&all_pairs(15)).expect("batch");
+        }
+        let pooled = engine.pooled_workspaces();
+        assert!((1..=3).contains(&pooled), "pool holds {pooled} workspaces");
+        let total_served: u64 = {
+            let pool = engine.workspaces.lock().unwrap();
+            pool.iter().map(|ws| ws.queries_served()).sum()
+        };
+        assert_eq!(total_served, 5 * 15 * 15, "workspaces were actually reused");
+    }
+
+    #[test]
+    fn batch_validates_vertices_up_front() {
+        let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(2));
+        let engine = QueryEngine::new(&index);
+        let err = engine.query_batch(&[(0, 1), (99, 0)]).unwrap_err();
+        assert!(matches!(err, QbsError::VertexOutOfRange { vertex: 99, .. }));
+        assert!(engine.query(0, 99).is_err());
+        assert_eq!(engine.query(3, 7).unwrap().path_graph.distance(), 4);
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(2));
+        assert!(matches!(
+            QueryEngine::with_threads(&index, 0),
+            Err(QbsError::ThreadPool(_))
+        ));
+        assert!(QueryEngine::new(&index).threads() >= 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(2));
+        let engine = QueryEngine::new(&index);
+        assert!(engine.query_batch(&[]).expect("empty").is_empty());
+        assert_eq!(engine.index().graph().num_vertices(), 8);
+    }
+}

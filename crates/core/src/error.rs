@@ -17,6 +17,9 @@ pub enum QbsError {
     InvalidLandmarks(String),
     /// A serialised index could not be decoded.
     Corrupt(String),
+    /// A dedicated thread pool (parallel labelling, batch query engine)
+    /// could not be created or was misconfigured.
+    ThreadPool(String),
     /// Underlying I/O failure while persisting or loading an index.
     Io(std::io::Error),
 }
@@ -24,12 +27,16 @@ pub enum QbsError {
 impl fmt::Display for QbsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QbsError::VertexOutOfRange { vertex, num_vertices } => write!(
+            QbsError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "vertex {vertex} out of range for indexed graph with {num_vertices} vertices"
             ),
             QbsError::InvalidLandmarks(msg) => write!(f, "invalid landmark set: {msg}"),
             QbsError::Corrupt(msg) => write!(f, "corrupt index data: {msg}"),
+            QbsError::ThreadPool(msg) => write!(f, "thread pool error: {msg}"),
             QbsError::Io(err) => write!(f, "i/o error: {err}"),
         }
     }
@@ -56,17 +63,22 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = QbsError::VertexOutOfRange { vertex: 9, num_vertices: 4 };
+        let e = QbsError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
         assert!(e.to_string().contains("vertex 9"));
         let e = QbsError::InvalidLandmarks("empty".into());
         assert!(e.to_string().contains("empty"));
         let e = QbsError::Corrupt("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
+        let e = QbsError::ThreadPool("no threads".into());
+        assert!(e.to_string().contains("thread pool"));
     }
 
     #[test]
     fn io_conversion_keeps_source() {
-        let e: QbsError = std::io::Error::new(std::io::ErrorKind::Other, "disk").into();
+        let e: QbsError = std::io::Error::other("disk").into();
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -59,7 +59,10 @@ impl PathLabelling {
 
     /// Sets the label entry of `vertex` for landmark column `landmark_idx`.
     pub fn set(&mut self, vertex: VertexId, landmark_idx: usize, distance: u16) {
-        debug_assert!(distance != NO_LABEL, "distance saturates below the sentinel");
+        debug_assert!(
+            distance != NO_LABEL,
+            "distance saturates below the sentinel"
+        );
         self.dist[vertex as usize * self.num_landmarks + landmark_idx] = distance;
     }
 
@@ -142,7 +145,12 @@ pub struct LandmarkBfs {
 ///
 /// `landmark_column[v]` must map every vertex to its landmark column index,
 /// or `u32::MAX` for non-landmarks.
-pub fn landmark_bfs(graph: &Graph, landmarks: &[VertexId], landmark_column: &[u32], root_idx: usize) -> LandmarkBfs {
+pub fn landmark_bfs(
+    graph: &Graph,
+    landmarks: &[VertexId],
+    landmark_column: &[u32],
+    root_idx: usize,
+) -> LandmarkBfs {
     let n = graph.num_vertices();
     let root = landmarks[root_idx];
     let mut column = vec![NO_LABEL; n];
@@ -298,8 +306,20 @@ mod tests {
         // No extra entries beyond the figure: vertex 0 is isolated and the
         // landmarks themselves carry no labels.
         assert_eq!(l.total_entries(), total);
-        for (v, r) in [(4u32, 1usize), (6, 1), (6, 2), (8, 0), (9, 0), (12, 0), (12, 1)] {
-            assert_eq!(l.get(v, r), None, "unexpected label for vertex {v}, column {r}");
+        for (v, r) in [
+            (4u32, 1usize),
+            (6, 1),
+            (6, 2),
+            (8, 0),
+            (9, 0),
+            (12, 0),
+            (12, 1),
+        ] {
+            assert_eq!(
+                l.get(v, r),
+                None,
+                "unexpected label for vertex {v}, column {r}"
+            );
         }
     }
 
@@ -315,7 +335,11 @@ mod tests {
     fn landmarks_never_receive_labels() {
         let scheme = figure4_scheme();
         for (i, &r) in scheme.landmarks.iter().enumerate() {
-            assert_eq!(scheme.labelling.label_len(r), 0, "landmark {r} (column {i})");
+            assert_eq!(
+                scheme.labelling.label_len(r),
+                0,
+                "landmark {r} (column {i})"
+            );
         }
     }
 
@@ -357,7 +381,11 @@ mod tests {
                 let view = qbs_graph::FilteredGraph::new(&g, &others);
                 let avoid = qbs_graph::traversal::bfs_distances(&view, r)[v as usize];
                 let expected = if avoid == exact { Some(exact) } else { None };
-                assert_eq!(scheme.labelling.get(v, i), expected, "vertex {v}, landmark {r}");
+                assert_eq!(
+                    scheme.labelling.get(v, i),
+                    expected,
+                    "vertex {v}, landmark {r}"
+                );
             }
         }
     }
@@ -377,7 +405,7 @@ mod tests {
     #[test]
     fn isolated_vertices_and_unreachable_components_get_no_labels() {
         // Component {0,1,2} holds the landmark; component {3,4} is separate.
-        let mut b = GraphBuilder::from_edges([(0u32, 1), (1, 2), (3, 4)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (1, 2), (3, 4)]);
         b.reserve_vertices(5);
         let g = b.build();
         let scheme = build_sequential(&g, &[1]);
@@ -390,7 +418,7 @@ mod tests {
 
     #[test]
     fn adjacent_landmarks_form_weight_one_meta_edges() {
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3)]).build();
         let scheme = build_sequential(&g, &[0, 1, 3]);
         assert_eq!(scheme.meta_edges, vec![(0, 1, 1), (1, 2, 2)]);
         // Vertex 2 is labelled towards landmarks 1 and 3 but not 0 (every

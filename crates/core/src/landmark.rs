@@ -111,7 +111,11 @@ fn degree_spread(graph: &Graph, count: usize) -> Vec<VertexId> {
                 // Vertices in components with no landmark yet rank highest so
                 // every component is covered early; otherwise farther is
                 // better, then higher degree, then smaller id.
-                let reach_key = if d == INFINITE_DISTANCE { u64::from(u32::MAX) } else { d as u64 };
+                let reach_key = if d == INFINITE_DISTANCE {
+                    u64::from(u32::MAX)
+                } else {
+                    d as u64
+                };
                 (reach_key, graph.degree(v), std::cmp::Reverse(v))
             });
         let Some(next) = next else { break };
@@ -134,7 +138,10 @@ mod tests {
 
     #[test]
     fn default_is_20_highest_degree() {
-        assert_eq!(LandmarkStrategy::default(), LandmarkStrategy::HighestDegree { count: 20 });
+        assert_eq!(
+            LandmarkStrategy::default(),
+            LandmarkStrategy::HighestDegree { count: 20 }
+        );
         assert_eq!(LandmarkStrategy::default().requested_count(), 20);
     }
 
@@ -151,7 +158,7 @@ mod tests {
 
     #[test]
     fn count_is_clamped_to_vertex_count() {
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2)]).build();
         let lm = LandmarkStrategy::HighestDegree { count: 50 }.select(&g);
         assert_eq!(lm.len(), 3);
         let lm = LandmarkStrategy::Random { count: 50, seed: 1 }.select(&g);
@@ -178,17 +185,23 @@ mod tests {
         assert_eq!(lm[0], 1);
         // Later picks are far from the first (the isolated vertex 0 and the
         // periphery are the farthest points).
-        assert!(lm[1] != 2 || lm[2] != 3, "spread selection should not just take the hubs: {lm:?}");
+        assert!(
+            lm[1] != 2 || lm[2] != 3,
+            "spread selection should not just take the hubs: {lm:?}"
+        );
         // Deterministic.
         assert_eq!(lm, LandmarkStrategy::DegreeSpread { count: 3 }.select(&g));
-        assert_eq!(LandmarkStrategy::DegreeSpread { count: 3 }.requested_count(), 3);
+        assert_eq!(
+            LandmarkStrategy::DegreeSpread { count: 3 }.requested_count(),
+            3
+        );
     }
 
     #[test]
     fn degree_spread_covers_all_components_eventually() {
         // Two components; the second must receive a landmark once the first
         // is covered.
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (3, 4)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (3, 4)]).build();
         let lm = LandmarkStrategy::DegreeSpread { count: 2 }.select(&g);
         assert_eq!(lm.len(), 2);
         let comps = qbs_graph::components::connected_components(&g);
@@ -198,9 +211,14 @@ mod tests {
     #[test]
     fn degree_spread_handles_degenerate_inputs() {
         let empty = GraphBuilder::new().build();
-        assert!(LandmarkStrategy::DegreeSpread { count: 5 }.select(&empty).is_empty());
+        assert!(LandmarkStrategy::DegreeSpread { count: 5 }
+            .select(&empty)
+            .is_empty());
         let single = GraphBuilder::with_capacity(1, 0).build();
-        assert_eq!(LandmarkStrategy::DegreeSpread { count: 5 }.select(&single), vec![0]);
+        assert_eq!(
+            LandmarkStrategy::DegreeSpread { count: 5 }.select(&single),
+            vec![0]
+        );
     }
 
     #[test]
@@ -208,6 +226,9 @@ mod tests {
         let g = figure4_graph();
         let lm = LandmarkStrategy::Explicit(vec![1, 2, 2, 99]).select(&g);
         assert_eq!(lm, vec![1, 2]);
-        assert_eq!(LandmarkStrategy::Explicit(vec![1, 2, 3]).requested_count(), 3);
+        assert_eq!(
+            LandmarkStrategy::Explicit(vec![1, 2, 3]).requested_count(),
+            3
+        );
     }
 }

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod coverage;
+pub mod engine;
 pub mod error;
 pub mod labelling;
 pub mod landmark;
@@ -53,15 +54,18 @@ pub mod serialize;
 pub mod sketch;
 pub mod stats;
 pub mod verify;
+pub mod workspace;
 
+pub use engine::QueryEngine;
 pub use error::QbsError;
 pub use labelling::{LabellingScheme, PathLabelling, NO_LABEL};
 pub use landmark::LandmarkStrategy;
 pub use meta_graph::MetaGraph;
 pub use query::{QbsConfig, QbsIndex, QueryAnswer};
 pub use search::SearchStats;
-pub use sketch::Sketch;
+pub use sketch::{Sketch, SketchBounds};
 pub use stats::IndexStats;
+pub use workspace::QueryWorkspace;
 
 /// Result alias for fallible QbS operations.
 pub type Result<T> = std::result::Result<T, QbsError>;

@@ -33,7 +33,11 @@ pub struct MetaGraph {
 impl MetaGraph {
     /// Builds the meta-graph from the raw edge list produced by Algorithm 2,
     /// computing `d_M` and the per-edge Δ path graphs.
-    pub fn build(graph: &Graph, landmarks: &[VertexId], meta_edges: &[(usize, usize, Distance)]) -> Self {
+    pub fn build(
+        graph: &Graph,
+        landmarks: &[VertexId],
+        meta_edges: &[(usize, usize, Distance)],
+    ) -> Self {
         let r = landmarks.len();
         let mut apsp = vec![INFINITE_DISTANCE; r * r];
         for i in 0..r {
@@ -72,7 +76,12 @@ impl MetaGraph {
             })
             .collect();
 
-        MetaGraph { landmarks: landmarks.to_vec(), edges: meta_edges.to_vec(), apsp, delta }
+        MetaGraph {
+            landmarks: landmarks.to_vec(),
+            edges: meta_edges.to_vec(),
+            apsp,
+            delta,
+        }
     }
 
     /// The landmark set in column order.
@@ -111,8 +120,16 @@ impl MetaGraph {
             .iter()
             .copied()
             .filter(|&(a, b, w)| {
-                let forward = self.distance(i, a).saturating_add(w).saturating_add(self.distance(b, j)) == dij;
-                let backward = self.distance(i, b).saturating_add(w).saturating_add(self.distance(a, j)) == dij;
+                let forward = self
+                    .distance(i, a)
+                    .saturating_add(w)
+                    .saturating_add(self.distance(b, j))
+                    == dij;
+                let backward = self
+                    .distance(i, b)
+                    .saturating_add(w)
+                    .saturating_add(self.distance(a, j))
+                    == dij;
                 forward || backward
             })
             .collect()
@@ -256,7 +273,7 @@ mod tests {
 
     #[test]
     fn disconnected_landmarks_have_infinite_meta_distance() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)]);
         b.reserve_vertices(4);
         let g = b.build();
         let landmarks = vec![0, 3];
@@ -270,7 +287,7 @@ mod tests {
     #[test]
     fn triangle_of_landmarks_has_single_edge_deltas() {
         // Landmarks pairwise adjacent: every Δ is a single direct edge.
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 0)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 0)]).build();
         let landmarks = vec![0, 1, 2];
         let scheme = build_sequential(&g, &landmarks);
         let meta = MetaGraph::build(&g, &landmarks, &scheme.meta_edges);

@@ -27,15 +27,23 @@ pub fn build_parallel(graph: &Graph, landmarks: &[VertexId]) -> LabellingScheme 
 /// Builds the labelling scheme on a dedicated pool with `threads` workers,
 /// used by the Table 2 construction-time experiment to control parallelism
 /// explicitly (the paper uses up to 12 threads).
-pub fn build_with_threads(graph: &Graph, landmarks: &[VertexId], threads: usize) -> LabellingScheme {
+///
+/// Pool-creation failures surface as [`crate::QbsError::ThreadPool`]
+/// instead of panicking, so callers (CLI builds, the experiment harness)
+/// can report them like any other build problem.
+pub fn build_with_threads(
+    graph: &Graph,
+    landmarks: &[VertexId],
+    threads: usize,
+) -> crate::Result<LabellingScheme> {
     if threads <= 1 {
-        return crate::labelling::build_sequential(graph, landmarks);
+        return Ok(crate::labelling::build_sequential(graph, landmarks));
     }
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
-        .expect("failed to build rayon pool");
-    pool.install(|| build_parallel(graph, landmarks))
+        .map_err(|e| crate::QbsError::ThreadPool(format!("failed to build rayon pool: {e}")))?;
+    Ok(pool.install(|| build_parallel(graph, landmarks)))
 }
 
 #[cfg(test)]
@@ -48,7 +56,10 @@ mod tests {
     fn parallel_equals_sequential_on_figure4() {
         let g = figure4_graph();
         let landmarks = figure4_landmarks();
-        assert_eq!(build_parallel(&g, &landmarks), build_sequential(&g, &landmarks));
+        assert_eq!(
+            build_parallel(&g, &landmarks),
+            build_sequential(&g, &landmarks)
+        );
     }
 
     #[test]
@@ -62,10 +73,16 @@ mod tests {
         assert_eq!(a.meta_edges.len(), b.meta_edges.len());
         // Same per-vertex entry contents after mapping columns to vertices.
         for v in g.vertices() {
-            let mut ea: Vec<(u32, u32)> =
-                a.labelling.entries(v).map(|(i, d)| (a.landmarks[i], d)).collect();
-            let mut eb: Vec<(u32, u32)> =
-                b.labelling.entries(v).map(|(i, d)| (b.landmarks[i], d)).collect();
+            let mut ea: Vec<(u32, u32)> = a
+                .labelling
+                .entries(v)
+                .map(|(i, d)| (a.landmarks[i], d))
+                .collect();
+            let mut eb: Vec<(u32, u32)> = b
+                .labelling
+                .entries(v)
+                .map(|(i, d)| (b.landmarks[i], d))
+                .collect();
             ea.sort_unstable();
             eb.sort_unstable();
             assert_eq!(ea, eb, "labels of vertex {v}");
@@ -76,8 +93,8 @@ mod tests {
     fn explicit_thread_counts_give_identical_schemes() {
         let g = figure4_graph();
         let landmarks = figure4_landmarks();
-        let seq = build_with_threads(&g, &landmarks, 1);
-        let par = build_with_threads(&g, &landmarks, 4);
+        let seq = build_with_threads(&g, &landmarks, 1).expect("sequential fallback");
+        let par = build_with_threads(&g, &landmarks, 4).expect("dedicated pool");
         assert_eq!(seq, par);
     }
 

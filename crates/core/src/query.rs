@@ -13,6 +13,7 @@ use crate::parallel;
 use crate::search::{SearchContext, SearchStats};
 use crate::sketch::{self, Sketch};
 use crate::stats::IndexStats;
+use crate::workspace::QueryWorkspace;
 use crate::QbsError;
 
 /// Configuration of an index build.
@@ -29,20 +30,30 @@ pub struct QbsConfig {
 
 impl Default for QbsConfig {
     fn default() -> Self {
-        QbsConfig { landmarks: LandmarkStrategy::default(), parallel_labelling: true, threads: None }
+        QbsConfig {
+            landmarks: LandmarkStrategy::default(),
+            parallel_labelling: true,
+            threads: None,
+        }
     }
 }
 
 impl QbsConfig {
     /// The paper's default configuration with a custom landmark count.
     pub fn with_landmark_count(count: usize) -> Self {
-        QbsConfig { landmarks: LandmarkStrategy::HighestDegree { count }, ..Default::default() }
+        QbsConfig {
+            landmarks: LandmarkStrategy::HighestDegree { count },
+            ..Default::default()
+        }
     }
 
     /// A configuration with an explicit landmark set (used in tests that
     /// mirror the paper's worked example).
     pub fn with_explicit_landmarks(landmarks: Vec<VertexId>) -> Self {
-        QbsConfig { landmarks: LandmarkStrategy::Explicit(landmarks), ..Default::default() }
+        QbsConfig {
+            landmarks: LandmarkStrategy::Explicit(landmarks),
+            ..Default::default()
+        }
     }
 
     /// Forces a sequential labelling build (the "QbS" rows of Table 2, as
@@ -91,7 +102,19 @@ pub struct QbsIndex {
 
 impl QbsIndex {
     /// Builds an index over `graph` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the build fails (today that only happens when a
+    /// dedicated labelling thread pool cannot be created); use
+    /// [`QbsIndex::try_build`] to handle such failures.
     pub fn build(graph: Graph, config: QbsConfig) -> Self {
+        Self::try_build(graph, config).expect("index build failed")
+    }
+
+    /// Builds an index over `graph`, surfacing build-environment failures
+    /// (e.g. [`QbsError::ThreadPool`]) instead of panicking.
+    pub fn try_build(graph: Graph, config: QbsConfig) -> crate::Result<Self> {
         let total_start = Instant::now();
 
         let t = Instant::now();
@@ -101,7 +124,7 @@ impl QbsIndex {
         let t = Instant::now();
         let scheme: LabellingScheme = if config.parallel_labelling {
             match config.threads {
-                Some(threads) => parallel::build_with_threads(&graph, &landmarks, threads),
+                Some(threads) => parallel::build_with_threads(&graph, &landmarks, threads)?,
                 None => parallel::build_parallel(&graph, &landmarks),
             }
         } else {
@@ -117,7 +140,7 @@ impl QbsIndex {
             VertexFilter::from_vertices(graph.num_vertices(), landmarks.iter().copied());
         let landmark_column = labelling::landmark_column_map(&graph, &landmarks);
 
-        QbsIndex {
+        Ok(QbsIndex {
             graph,
             landmarks,
             landmark_filter,
@@ -130,7 +153,7 @@ impl QbsIndex {
                 meta_graph: meta_time,
                 total: total_start.elapsed(),
             },
-        }
+        })
     }
 
     /// Builds with the paper's default configuration (20 highest-degree
@@ -177,11 +200,21 @@ impl QbsIndex {
     /// The effective label of a vertex: its path label, or the synthetic
     /// `{(itself, 0)}` when the vertex is a landmark.
     pub fn effective_label(&self, v: VertexId) -> Vec<(usize, Distance)> {
+        let mut out = Vec::new();
+        self.fill_effective_label(v, &mut out);
+        out
+    }
+
+    /// Fills `buf` with the effective label of `v`, reusing its capacity
+    /// (the allocation-free sibling of [`QbsIndex::effective_label`] used by
+    /// the workspace query path).
+    pub fn fill_effective_label(&self, v: VertexId, buf: &mut Vec<(usize, Distance)>) {
+        buf.clear();
         let col = self.landmark_column[v as usize];
         if col != u32::MAX {
-            vec![(col as usize, 0)]
+            buf.push((col as usize, 0));
         } else {
-            self.labelling.entries(v).collect()
+            buf.extend(self.labelling.entries(v));
         }
     }
 
@@ -207,47 +240,112 @@ impl QbsIndex {
     /// Panics if either vertex is out of range; use [`QbsIndex::try_query`]
     /// for a fallible variant.
     pub fn query(&self, source: VertexId, target: VertexId) -> PathGraph {
-        self.try_query(source, target).expect("query vertices out of range").path_graph
+        self.try_query(source, target)
+            .expect("query vertices out of range")
+            .path_graph
     }
 
     /// Answers `SPG(source, target)`, returning the sketch and search
     /// statistics alongside the path graph.
     pub fn query_with_stats(&self, source: VertexId, target: VertexId) -> QueryAnswer {
-        self.try_query(source, target).expect("query vertices out of range")
+        self.try_query(source, target)
+            .expect("query vertices out of range")
     }
 
-    /// Fallible query returning the full [`QueryAnswer`].
+    /// Fallible query returning the full [`QueryAnswer`], on a throwaway
+    /// workspace. Hot loops should hold a [`QueryWorkspace`] (or use a
+    /// [`crate::engine::QueryEngine`]) and call [`QbsIndex::query_with`].
     pub fn try_query(&self, source: VertexId, target: VertexId) -> crate::Result<QueryAnswer> {
+        let mut ws = QueryWorkspace::new();
+        self.query_with(&mut ws, source, target)
+    }
+
+    /// Answers `SPG(source, target)` reusing the buffers of `ws`.
+    ///
+    /// This is the workhorse behind every other query entry point. In the
+    /// steady state (workspace warmed up to the graph size) the search
+    /// itself performs no `O(|V|)` allocations or clears — the only heap
+    /// activity is the storage owned by the returned [`QueryAnswer`]
+    /// (answer edges and sketch hops). Results are bit-identical to
+    /// [`QbsIndex::try_query`].
+    pub fn query_with(
+        &self,
+        ws: &mut QueryWorkspace,
+        source: VertexId,
+        target: VertexId,
+    ) -> crate::Result<QueryAnswer> {
         self.check_vertex(source)?;
         self.check_vertex(target)?;
         if source == target {
+            ws.record_query();
             let sketch = Sketch::unreachable(source, target);
-            let stats = SearchStats { distance: 0, ..SearchStats::default() };
-            return Ok(QueryAnswer { path_graph: PathGraph::trivial(source), sketch, stats });
+            let stats = SearchStats {
+                distance: 0,
+                ..SearchStats::default()
+            };
+            return Ok(QueryAnswer {
+                path_graph: PathGraph::trivial(source),
+                sketch,
+                stats,
+            });
         }
-        let sketch = sketch::compute(
-            &self.meta,
-            source,
-            target,
-            &self.effective_label(source),
-            &self.effective_label(target),
-        );
-        let context = SearchContext {
-            graph: &self.graph,
-            meta: &self.meta,
-            labelling: &self.labelling,
-            landmark_filter: &self.landmark_filter,
-            landmark_column: &self.landmark_column,
-        };
-        let (path_graph, stats) = context.guided_search(source, target, &sketch);
-        Ok(QueryAnswer { path_graph, sketch, stats })
+        self.fill_effective_label(source, &mut ws.src_label);
+        self.fill_effective_label(target, &mut ws.tgt_label);
+        let sketch = sketch::compute(&self.meta, source, target, &ws.src_label, &ws.tgt_label);
+        let (path_graph, stats) = self
+            .context()
+            .guided_search_with(ws, source, target, &sketch);
+        Ok(QueryAnswer {
+            path_graph,
+            sketch,
+            stats,
+        })
     }
 
     /// Shortest-path distance between two vertices (a by-product of the
     /// guided search; exposed because distance queries are the classic use
     /// of 2-hop labellings).
     pub fn distance(&self, source: VertexId, target: VertexId) -> crate::Result<Distance> {
-        Ok(self.try_query(source, target)?.stats.distance)
+        let mut ws = QueryWorkspace::new();
+        self.distance_with(&mut ws, source, target)
+    }
+
+    /// Shortest-path distance reusing the buffers of `ws`.
+    ///
+    /// Unlike [`QbsIndex::query_with`] this skips the sketch's edge lists
+    /// and the reverse/recover materialisation (Eq. 5 needs only
+    /// `min(d_{G⁻}, d⊤)`), so with a warmed-up workspace the entire call is
+    /// allocation-free.
+    pub fn distance_with(
+        &self,
+        ws: &mut QueryWorkspace,
+        source: VertexId,
+        target: VertexId,
+    ) -> crate::Result<Distance> {
+        self.check_vertex(source)?;
+        self.check_vertex(target)?;
+        if source == target {
+            ws.record_query();
+            return Ok(0);
+        }
+        self.fill_effective_label(source, &mut ws.src_label);
+        self.fill_effective_label(target, &mut ws.tgt_label);
+        let bounds = sketch::compute_bounds(&self.meta, &ws.src_label, &ws.tgt_label);
+        let (distance, _) = self
+            .context()
+            .guided_distance_with(ws, source, target, &bounds);
+        Ok(distance)
+    }
+
+    /// The borrowed search context over this index's pieces.
+    pub(crate) fn context(&self) -> SearchContext<'_> {
+        SearchContext {
+            graph: &self.graph,
+            meta: &self.meta,
+            labelling: &self.labelling,
+            landmark_filter: &self.landmark_filter,
+            landmark_column: &self.landmark_column,
+        }
     }
 
     fn check_vertex(&self, v: VertexId) -> crate::Result<()> {
@@ -269,8 +367,10 @@ mod tests {
 
     #[test]
     fn figure4_default_example_end_to_end() {
-        let index =
-            QbsIndex::build(figure4_graph(), QbsConfig::with_explicit_landmarks(vec![1, 2, 3]));
+        let index = QbsIndex::build(
+            figure4_graph(),
+            QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+        );
         assert_eq!(index.landmarks(), &[1, 2, 3]);
         let answer = index.query_with_stats(6, 11);
         assert_eq!(answer.path_graph.distance(), 5);
@@ -328,8 +428,10 @@ mod tests {
 
     #[test]
     fn effective_label_of_landmark_is_synthetic_zero() {
-        let index =
-            QbsIndex::build(figure4_graph(), QbsConfig::with_explicit_landmarks(vec![1, 2, 3]));
+        let index = QbsIndex::build(
+            figure4_graph(),
+            QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+        );
         assert_eq!(index.effective_label(2), vec![(1, 0)]);
         assert_eq!(index.effective_label(4), vec![(0, 1), (2, 1)]);
     }

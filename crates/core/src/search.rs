@@ -22,17 +22,25 @@
 //! the sparsified view for this query only, which generalises the paper's
 //! formulation (labels are only defined on `V \ R`) without changing any of
 //! its guarantees.
+//!
+//! All mutable search state lives in a caller-provided [`QueryWorkspace`]
+//! ([`SearchContext::guided_search_with`]): the per-vertex depth fields and
+//! visited sets are epoch-stamped, so repeated queries perform **zero
+//! `O(|V|)` allocations or clears** — the convenience entry point
+//! [`SearchContext::guided_search`] simply runs on a throwaway workspace.
 
 use serde::{Deserialize, Serialize};
 
 use qbs_graph::view::NeighborAccess;
+use qbs_graph::workspace::{DistanceField, VisitedSet};
 use qbs_graph::{
     Distance, FilteredGraph, Graph, PathGraph, VertexFilter, VertexId, INFINITE_DISTANCE,
 };
 
 use crate::labelling::PathLabelling;
 use crate::meta_graph::MetaGraph;
-use crate::sketch::Sketch;
+use crate::sketch::{Sketch, SketchBounds};
+use crate::workspace::{QueryWorkspace, SideState};
 
 /// Work counters and intermediate quantities of one guided search, used by
 /// the §6.5 traversal comparison and the Figure 8 coverage analysis.
@@ -75,63 +83,35 @@ pub struct SearchContext<'a> {
     pub landmark_column: &'a [u32],
 }
 
-/// One side (forward or backward) of the guided bidirectional search.
-struct Side {
-    depth: Vec<Distance>,
-    /// `levels[d]` lists the vertices settled at depth `d`.
-    levels: Vec<Vec<VertexId>>,
-    /// Number of settled vertices (|P| in Algorithm 4).
-    settled: usize,
-    /// Current level (d_u / d_v in Algorithm 4).
-    level: Distance,
-}
-
-impl Side {
-    fn new(n: usize, origin: VertexId) -> Self {
-        let mut depth = vec![INFINITE_DISTANCE; n];
-        depth[origin as usize] = 0;
-        Side { depth, levels: vec![vec![origin]], settled: 1, level: 0 }
-    }
-
-    fn frontier(&self) -> &[VertexId] {
-        &self.levels[self.level as usize]
-    }
-
-    /// Expands the current frontier one level on the view; returns the
-    /// number of newly settled vertices.
-    fn expand(&mut self, view: &FilteredGraph<'_>, stats: &mut SearchStats) -> usize {
-        let mut next: Vec<VertexId> = Vec::new();
-        let next_depth = self.level + 1;
-        for i in 0..self.levels[self.level as usize].len() {
-            let u = self.levels[self.level as usize][i];
-            stats.vertices_settled += 1;
-            view.for_each_neighbor(u, |w| {
-                stats.edges_traversed += 1;
-                if self.depth[w as usize] == INFINITE_DISTANCE {
-                    self.depth[w as usize] = next_depth;
-                    next.push(w);
-                }
-            });
-        }
-        let added = next.len();
-        self.settled += added;
-        self.levels.push(next);
-        self.level = next_depth;
-        added
-    }
-}
-
 impl<'a> SearchContext<'a> {
-    /// Answers `SPG(source, target)` guided by `sketch` (Algorithm 4).
+    /// Answers `SPG(source, target)` guided by `sketch` (Algorithm 4) on a
+    /// throwaway workspace.
     ///
-    /// The caller guarantees `source != target` and that both vertices exist.
+    /// The caller guarantees `source != target` and that both vertices
+    /// exist. Hot query loops should hold a [`QueryWorkspace`] and call
+    /// [`SearchContext::guided_search_with`] instead.
     pub fn guided_search(
         &self,
         source: VertexId,
         target: VertexId,
         sketch: &Sketch,
     ) -> (PathGraph, SearchStats) {
+        let mut ws = QueryWorkspace::new();
+        self.guided_search_with(&mut ws, source, target, sketch)
+    }
+
+    /// Answers `SPG(source, target)` guided by `sketch`, reusing every
+    /// buffer in `ws`. Results are bit-identical to
+    /// [`SearchContext::guided_search`].
+    pub fn guided_search_with(
+        &self,
+        ws: &mut QueryWorkspace,
+        source: VertexId,
+        target: VertexId,
+        sketch: &Sketch,
+    ) -> (PathGraph, SearchStats) {
         let n = self.graph.num_vertices();
+        ws.record_query();
         let mut stats = SearchStats {
             upper_bound: sketch.upper_bound,
             sparsified_distance: INFINITE_DISTANCE,
@@ -139,116 +119,170 @@ impl<'a> SearchContext<'a> {
             ..SearchStats::default()
         };
 
-        // The sparsified view for this query: all landmarks removed, except
-        // a query endpoint that happens to be a landmark itself.
-        let endpoint_is_landmark = self.landmark_filter.contains(source)
-            || self.landmark_filter.contains(target);
-        let query_filter: VertexFilter = if endpoint_is_landmark {
-            VertexFilter::from_vertices(
-                n,
-                self.landmark_filter.iter().filter(|&x| x != source && x != target),
-            )
-        } else {
-            self.landmark_filter.clone()
-        };
-        let view = FilteredGraph::new(self.graph, &query_filter);
+        let QueryWorkspace {
+            fwd,
+            bwd,
+            visited,
+            stack,
+            walk_visited,
+            walk_stack,
+            meeting,
+            edges,
+            scratch_filter,
+            ..
+        } = &mut *ws;
+
+        let view = self.query_view(scratch_filter, source, target);
 
         let d_top = sketch.upper_bound;
-        let (d_star_u, d_star_v) = (sketch.source_budget(), sketch.target_budget());
 
         // ---- Stage 1: guided bidirectional search on G⁻ (lines 6-15). ----
-        let mut fwd = Side::new(n, source);
-        let mut bwd = Side::new(n, target);
-        let mut meeting_distance = INFINITE_DISTANCE;
-
-        loop {
-            if fwd.level.saturating_add(bwd.level) >= d_top {
-                break; // bound reached (d_u + d_v = d⊤)
-            }
-            let fwd_alive = !fwd.frontier().is_empty();
-            let bwd_alive = !bwd.frontier().is_empty();
-            if !fwd_alive && !bwd_alive {
-                break; // G⁻ exhausted without a meeting
-            }
-
-            // pick_search (line 7): prefer the side whose sketch budget is
-            // not yet exhausted; break ties (or the both/neither case) by
-            // expanding the smaller settled set.
-            let prefer_fwd = d_star_u > fwd.level;
-            let prefer_bwd = d_star_v > bwd.level;
-            let expand_forward = match (prefer_fwd && fwd_alive, prefer_bwd && bwd_alive) {
-                (true, false) => true,
-                (false, true) => false,
-                _ => {
-                    if !fwd_alive {
-                        false
-                    } else if !bwd_alive {
-                        true
-                    } else {
-                        fwd.settled <= bwd.settled
-                    }
-                }
-            };
-
-            let (just, other) = if expand_forward {
-                stats.forward_levels += 1;
-                fwd.expand(&view, &mut stats);
-                (&fwd, &bwd)
-            } else {
-                stats.backward_levels += 1;
-                bwd.expand(&view, &mut stats);
-                (&bwd, &fwd)
-            };
-
-            // Meeting check (lines 14-15).
-            for &w in just.frontier() {
-                let od = other.depth[w as usize];
-                if od != INFINITE_DISTANCE {
-                    meeting_distance = meeting_distance.min(just.level + od);
-                }
-            }
-            if meeting_distance != INFINITE_DISTANCE {
-                break;
-            }
-        }
+        fwd.begin(n, source);
+        bwd.begin(n, target);
+        let meeting_distance = bidirectional_stage(
+            &view,
+            fwd,
+            bwd,
+            d_top,
+            sketch.source_budget(),
+            sketch.target_budget(),
+            &mut stats,
+        );
         stats.sparsified_distance = meeting_distance;
 
         // ---- Stage 2/3: combine per Eq. 5. ----
-        let mut answer_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        edges.clear();
         let distance;
         if meeting_distance < d_top {
             // Every shortest path avoids the landmarks.
             distance = meeting_distance;
             stats.used_reverse_search = true;
-            reverse_search(&view, distance, &fwd.depth, &bwd.depth, &mut answer_edges);
+            reverse_search(&view, distance, fwd, bwd, visited, stack, meeting, edges);
         } else if meeting_distance == d_top && d_top != INFINITE_DISTANCE {
             distance = d_top;
             stats.used_reverse_search = true;
             stats.used_recover_search = true;
-            reverse_search(&view, distance, &fwd.depth, &bwd.depth, &mut answer_edges);
-            self.recover_search(sketch, &view, &fwd, &bwd, &mut answer_edges);
+            reverse_search(&view, distance, fwd, bwd, visited, stack, meeting, edges);
+            self.recover_search(
+                sketch,
+                &view,
+                fwd,
+                bwd,
+                walk_visited,
+                walk_stack,
+                stack,
+                edges,
+            );
         } else if d_top != INFINITE_DISTANCE {
             // d_{G⁻} > d⊤: every shortest path passes a landmark.
             distance = d_top;
             stats.used_recover_search = true;
-            self.recover_search(sketch, &view, &fwd, &bwd, &mut answer_edges);
+            self.recover_search(
+                sketch,
+                &view,
+                fwd,
+                bwd,
+                walk_visited,
+                walk_stack,
+                stack,
+                edges,
+            );
         } else {
             // No landmark route and no G⁻ route: disconnected.
             stats.distance = INFINITE_DISTANCE;
             return (PathGraph::unreachable(source, target), stats);
         }
         stats.distance = distance;
-        (PathGraph::from_edges(source, target, distance, answer_edges), stats)
+        (
+            PathGraph::from_edges(source, target, distance, edges.iter().copied()),
+            stats,
+        )
+    }
+
+    /// Computes only the query *distance* (Eq. 5: `min(d_{G⁻}, d⊤)`),
+    /// skipping the reverse/recover materialisation entirely.
+    ///
+    /// This is the fully allocation-free hot path: with a warmed-up
+    /// workspace it touches no heap at all.
+    pub fn guided_distance_with(
+        &self,
+        ws: &mut QueryWorkspace,
+        source: VertexId,
+        target: VertexId,
+        bounds: &SketchBounds,
+    ) -> (Distance, SearchStats) {
+        let n = self.graph.num_vertices();
+        ws.record_query();
+        let mut stats = SearchStats {
+            upper_bound: bounds.upper_bound,
+            sparsified_distance: INFINITE_DISTANCE,
+            distance: INFINITE_DISTANCE,
+            ..SearchStats::default()
+        };
+
+        let QueryWorkspace {
+            fwd,
+            bwd,
+            scratch_filter,
+            ..
+        } = &mut *ws;
+        let view = self.query_view(scratch_filter, source, target);
+
+        fwd.begin(n, source);
+        bwd.begin(n, target);
+        let meeting_distance = bidirectional_stage(
+            &view,
+            fwd,
+            bwd,
+            bounds.upper_bound,
+            bounds.source_budget,
+            bounds.target_budget,
+            &mut stats,
+        );
+        stats.sparsified_distance = meeting_distance;
+        let distance = meeting_distance.min(bounds.upper_bound);
+        stats.distance = distance;
+        (distance, stats)
+    }
+
+    /// The sparsified view for one query: all landmarks removed, except a
+    /// query endpoint that happens to be a landmark itself. The common
+    /// (non-landmark-endpoint) case borrows the index's filter directly;
+    /// the rare case copies it into the workspace's scratch filter, so
+    /// neither path allocates in the steady state. Shared by the full
+    /// search and the distance-only path so the endpoint rule lives in
+    /// exactly one place.
+    fn query_view<'v>(
+        &'v self,
+        scratch_filter: &'v mut VertexFilter,
+        source: VertexId,
+        target: VertexId,
+    ) -> FilteredGraph<'v> {
+        let endpoint_is_landmark =
+            self.landmark_filter.contains(source) || self.landmark_filter.contains(target);
+        let query_filter: &VertexFilter = if endpoint_is_landmark {
+            scratch_filter.copy_from(self.landmark_filter);
+            scratch_filter.remove(source);
+            scratch_filter.remove(target);
+            scratch_filter
+        } else {
+            self.landmark_filter
+        };
+        FilteredGraph::new(self.graph, query_filter)
     }
 
     /// Recover search (Algorithm 4, lines 18-24): materialises the shortest
     /// paths that pass through at least one landmark.
+    #[allow(clippy::too_many_arguments)]
     fn recover_search(
         &self,
         sketch: &Sketch,
         view: &FilteredGraph<'_>,
-        fwd: &Side,
-        bwd: &Side,
+        fwd: &SideState,
+        bwd: &SideState,
+        walk_visited: &mut VisitedSet,
+        walk_stack: &mut Vec<(VertexId, Distance)>,
+        stack: &mut Vec<VertexId>,
         edges: &mut Vec<(VertexId, VertexId)>,
     ) {
         // Landmark-to-landmark segments: splice in the precomputed Δ path
@@ -260,10 +294,28 @@ impl<'a> SearchContext<'a> {
         }
         // Endpoint-to-landmark segments on both sides.
         for hop in &sketch.source_hops {
-            self.recover_side(hop.landmark_idx, hop.distance, fwd, view, edges);
+            self.recover_side(
+                hop.landmark_idx,
+                hop.distance,
+                fwd,
+                view,
+                walk_visited,
+                walk_stack,
+                stack,
+                edges,
+            );
         }
         for hop in &sketch.target_hops {
-            self.recover_side(hop.landmark_idx, hop.distance, bwd, view, edges);
+            self.recover_side(
+                hop.landmark_idx,
+                hop.distance,
+                bwd,
+                view,
+                walk_visited,
+                walk_stack,
+                stack,
+                edges,
+            );
         }
     }
 
@@ -271,12 +323,16 @@ impl<'a> SearchContext<'a> {
     /// landmark: finds the frontier vertices `Z` of Algorithm 4 (lines
     /// 19-23), then label-walks from them to the landmark and depth-walks
     /// from them back to the endpoint.
+    #[allow(clippy::too_many_arguments)]
     fn recover_side(
         &self,
         landmark_idx: usize,
         sigma: Distance,
-        side: &Side,
+        side: &SideState,
         view: &FilteredGraph<'_>,
+        walk_visited: &mut VisitedSet,
+        walk_stack: &mut Vec<(VertexId, Distance)>,
+        stack: &mut Vec<VertexId>,
         edges: &mut Vec<(VertexId, VertexId)>,
     ) {
         if sigma == 0 {
@@ -300,9 +356,17 @@ impl<'a> SearchContext<'a> {
                 continue;
             }
             // w → landmark via the labels.
-            self.label_walk(w, landmark_idx, landmark, needed_label, edges);
+            self.label_walk(
+                w,
+                landmark_idx,
+                landmark,
+                needed_label,
+                walk_visited,
+                walk_stack,
+                edges,
+            );
             // endpoint → w via the search depths.
-            depth_walk(view, w, &side.depth, edges);
+            depth_walk(view, w, &side.depth, walk_visited, stack, edges);
         }
     }
 
@@ -311,21 +375,25 @@ impl<'a> SearchContext<'a> {
     /// label decreases by exactly one; every traversed edge lies on a
     /// shortest path between `start` and the landmark that avoids all other
     /// landmarks.
+    #[allow(clippy::too_many_arguments)]
     fn label_walk(
         &self,
         start: VertexId,
         landmark_idx: usize,
         landmark: VertexId,
         start_distance: Distance,
+        walk_visited: &mut VisitedSet,
+        walk_stack: &mut Vec<(VertexId, Distance)>,
         edges: &mut Vec<(VertexId, VertexId)>,
     ) {
         if start_distance == 0 {
             return;
         }
-        let mut stack = vec![(start, start_distance)];
-        let mut visited = std::collections::HashSet::new();
-        visited.insert(start);
-        while let Some((x, dx)) = stack.pop() {
+        walk_visited.reset(self.graph.num_vertices());
+        walk_visited.insert(start);
+        walk_stack.clear();
+        walk_stack.push((start, start_distance));
+        while let Some((x, dx)) = walk_stack.pop() {
             if dx == 1 {
                 edges.push((x, landmark));
                 continue;
@@ -336,8 +404,8 @@ impl<'a> SearchContext<'a> {
                 }
                 if self.labelling.get(y, landmark_idx) == Some(dx - 1) {
                     edges.push((x, y));
-                    if visited.insert(y) {
-                        stack.push((y, dx - 1));
+                    if walk_visited.insert(y) {
+                        walk_stack.push((y, dx - 1));
                     }
                 }
             }
@@ -345,40 +413,128 @@ impl<'a> SearchContext<'a> {
     }
 }
 
+/// Stage 1 of Algorithm 4: the alternating, budget-steered bidirectional
+/// level expansion on the sparsified view. Returns the meeting distance
+/// (`d_{G⁻}(u, v)` when it is `≤ d⊤`, [`INFINITE_DISTANCE`] otherwise).
+fn bidirectional_stage(
+    view: &FilteredGraph<'_>,
+    fwd: &mut SideState,
+    bwd: &mut SideState,
+    d_top: Distance,
+    d_star_u: Distance,
+    d_star_v: Distance,
+    stats: &mut SearchStats,
+) -> Distance {
+    let mut meeting_distance = INFINITE_DISTANCE;
+    loop {
+        if fwd.level.saturating_add(bwd.level) >= d_top {
+            break; // bound reached (d_u + d_v = d⊤)
+        }
+        let fwd_alive = !fwd.frontier().is_empty();
+        let bwd_alive = !bwd.frontier().is_empty();
+        if !fwd_alive && !bwd_alive {
+            break; // G⁻ exhausted without a meeting
+        }
+
+        // pick_search (line 7): prefer the side whose sketch budget is
+        // not yet exhausted; break ties (or the both/neither case) by
+        // expanding the smaller settled set.
+        let prefer_fwd = d_star_u > fwd.level;
+        let prefer_bwd = d_star_v > bwd.level;
+        let expand_forward = match (prefer_fwd && fwd_alive, prefer_bwd && bwd_alive) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => {
+                if !fwd_alive {
+                    false
+                } else if !bwd_alive {
+                    true
+                } else {
+                    fwd.settled <= bwd.settled
+                }
+            }
+        };
+
+        let (just, other): (&SideState, &SideState) = if expand_forward {
+            stats.forward_levels += 1;
+            fwd.expand(view, stats);
+            (fwd, bwd)
+        } else {
+            stats.backward_levels += 1;
+            bwd.expand(view, stats);
+            (bwd, fwd)
+        };
+
+        // Meeting check (lines 14-15).
+        for &w in just.frontier() {
+            let od = other.depth.get(w);
+            if od != INFINITE_DISTANCE {
+                meeting_distance = meeting_distance.min(just.level + od);
+            }
+        }
+        if meeting_distance != INFINITE_DISTANCE {
+            break;
+        }
+    }
+    meeting_distance
+}
+
 /// Reverse search (Algorithm 4, lines 16-17): collects every edge on a
 /// shortest `source ⇝ target` path inside the sparsified view, walking back
 /// from the meeting vertices along strictly decreasing depths on both sides.
+///
+/// Meeting vertices are found by scanning the settled levels of the side
+/// with the *smaller* settled set (instead of all `|V|` vertex slots, as a
+/// fresh-allocation implementation would), so the whole phase is
+/// proportional to the work of the search, not to the graph size.
+#[allow(clippy::too_many_arguments)]
 fn reverse_search(
     view: &FilteredGraph<'_>,
     distance: Distance,
-    depth_fwd: &[Distance],
-    depth_bwd: &[Distance],
+    fwd: &SideState,
+    bwd: &SideState,
+    visited: &mut VisitedSet,
+    stack: &mut Vec<VertexId>,
+    meeting: &mut Vec<VertexId>,
     edges: &mut Vec<(VertexId, VertexId)>,
 ) {
     let n = view.vertex_count();
-    let mut meeting: Vec<VertexId> = Vec::new();
-    for w in 0..n as VertexId {
-        let (df, db) = (depth_fwd[w as usize], depth_bwd[w as usize]);
-        if df != INFINITE_DISTANCE && db != INFINITE_DISTANCE && df + db == distance {
-            meeting.push(w);
+    meeting.clear();
+    let (scan, other) = if fwd.settled <= bwd.settled {
+        (fwd, bwd)
+    } else {
+        (bwd, fwd)
+    };
+    for (d, level) in scan.levels.iter().enumerate().take(scan.level as usize + 1) {
+        let d = d as Distance;
+        if d > distance {
+            break;
+        }
+        for &w in level {
+            let od = other.depth.get(w);
+            if od != INFINITE_DISTANCE && d + od == distance {
+                meeting.push(w);
+            }
         }
     }
-    for depth in [depth_fwd, depth_bwd] {
-        let mut visited = vec![false; n];
-        let mut stack = meeting.clone();
-        for &w in &meeting {
-            visited[w as usize] = true;
+
+    for forward in [true, false] {
+        let depth = if forward { &fwd.depth } else { &bwd.depth };
+        visited.reset(n);
+        stack.clear();
+        for &w in meeting.iter() {
+            visited.insert(w);
+            stack.push(w);
         }
         while let Some(x) = stack.pop() {
-            let dx = depth[x as usize];
+            let dx = depth.get(x);
             if dx == 0 {
                 continue;
             }
             view.for_each_neighbor(x, |p| {
-                if depth[p as usize] != INFINITE_DISTANCE && depth[p as usize] + 1 == dx {
+                if depth.is_set(p) && depth.get(p) + 1 == dx {
                     edges.push((p, x));
-                    if !visited[p as usize] {
-                        visited[p as usize] = true;
+                    if visited.insert(p) {
                         stack.push(p);
                     }
                 }
@@ -393,22 +549,25 @@ fn reverse_search(
 fn depth_walk(
     view: &FilteredGraph<'_>,
     start: VertexId,
-    depth: &[Distance],
+    depth: &DistanceField,
+    visited: &mut VisitedSet,
+    stack: &mut Vec<VertexId>,
     edges: &mut Vec<(VertexId, VertexId)>,
 ) {
-    if depth[start as usize] == 0 || depth[start as usize] == INFINITE_DISTANCE {
+    if !depth.is_set(start) || depth.get(start) == 0 {
         return;
     }
-    let mut visited = std::collections::HashSet::new();
+    visited.reset(view.vertex_count());
     visited.insert(start);
-    let mut stack = vec![start];
+    stack.clear();
+    stack.push(start);
     while let Some(x) = stack.pop() {
-        let dx = depth[x as usize];
+        let dx = depth.get(x);
         if dx == 0 {
             continue;
         }
         view.for_each_neighbor(x, |p| {
-            if depth[p as usize] != INFINITE_DISTANCE && depth[p as usize] + 1 == dx {
+            if depth.is_set(p) && depth.get(p) + 1 == dx {
                 edges.push((p, x));
                 if visited.insert(p) {
                     stack.push(p);
@@ -443,7 +602,14 @@ mod tests {
             let filter =
                 VertexFilter::from_vertices(graph.num_vertices(), landmarks.iter().copied());
             let columns = landmark_column_map(&graph, &landmarks);
-            Fixture { graph, meta, labelling: scheme.labelling, landmarks, filter, columns }
+            Fixture {
+                graph,
+                meta,
+                labelling: scheme.labelling,
+                landmarks,
+                filter,
+                columns,
+            }
         }
 
         fn context(&self) -> SearchContext<'_> {
@@ -474,6 +640,22 @@ mod tests {
             );
             self.context().guided_search(u, v, &sk)
         }
+
+        fn query_with(
+            &self,
+            ws: &mut QueryWorkspace,
+            u: VertexId,
+            v: VertexId,
+        ) -> (PathGraph, SearchStats) {
+            let sk = sketch::compute(
+                &self.meta,
+                u,
+                v,
+                &self.effective_label(u),
+                &self.effective_label(v),
+            );
+            self.context().guided_search_with(ws, u, v, &sk)
+        }
     }
 
     #[test]
@@ -501,7 +683,49 @@ mod tests {
                 let expected = exact_spg(&fx.graph, u, v);
                 let (got, stats) = fx.query(u, v);
                 assert_eq!(got, expected, "query ({u},{v})");
-                assert!(stats.upper_bound >= stats.distance || stats.upper_bound == INFINITE_DISTANCE);
+                assert!(
+                    stats.upper_bound >= stats.distance || stats.upper_bound == INFINITE_DISTANCE
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_workspace_reused_across_all_pairs_matches_fresh_runs() {
+        let fx = Fixture::figure4();
+        let mut ws = QueryWorkspace::new();
+        for u in 1..15u32 {
+            for v in 1..15u32 {
+                if u == v {
+                    continue;
+                }
+                let (fresh, fresh_stats) = fx.query(u, v);
+                let (reused, reused_stats) = fx.query_with(&mut ws, u, v);
+                assert_eq!(reused, fresh, "query ({u},{v})");
+                assert_eq!(reused_stats, fresh_stats, "stats of ({u},{v})");
+            }
+        }
+        assert_eq!(ws.queries_served(), 14 * 13);
+    }
+
+    #[test]
+    fn distance_only_path_agrees_with_full_search() {
+        let fx = Fixture::figure4();
+        let mut ws = QueryWorkspace::new();
+        for u in 1..15u32 {
+            for v in 1..15u32 {
+                if u == v {
+                    continue;
+                }
+                let (full, _) = fx.query(u, v);
+                let bounds = sketch::compute_bounds(
+                    &fx.meta,
+                    &fx.effective_label(u),
+                    &fx.effective_label(v),
+                );
+                let (d, stats) = fx.context().guided_distance_with(&mut ws, u, v, &bounds);
+                assert_eq!(d, full.distance(), "distance of ({u},{v})");
+                assert_eq!(stats.distance, d);
             }
         }
     }
@@ -535,6 +759,7 @@ mod tests {
     #[test]
     fn landmark_endpoints_are_supported() {
         let fx = Fixture::figure4();
+        let mut ws = QueryWorkspace::new();
         for &u in &[1u32, 2, 3] {
             for v in 1..15u32 {
                 if u == v {
@@ -543,6 +768,9 @@ mod tests {
                 let expected = exact_spg(&fx.graph, u, v);
                 let (got, _) = fx.query(u, v);
                 assert_eq!(got, expected, "query ({u},{v})");
+                // The scratch-filter path must agree as well.
+                let (got, _) = fx.query_with(&mut ws, u, v);
+                assert_eq!(got, expected, "workspace query ({u},{v})");
             }
         }
     }

@@ -28,7 +28,9 @@ pub fn to_bytes(index: &QbsIndex) -> Result<Vec<u8>> {
 /// Restores an index from a buffer produced by [`to_bytes`].
 pub fn from_bytes(data: &[u8]) -> Result<QbsIndex> {
     let prefix_len = MAGIC.len() + 1;
-    if data.len() < prefix_len || &data[..MAGIC.len()] != MAGIC.as_bytes() || data[MAGIC.len()] != b'\n'
+    if data.len() < prefix_len
+        || &data[..MAGIC.len()] != MAGIC.as_bytes()
+        || data[MAGIC.len()] != b'\n'
     {
         return Err(QbsError::Corrupt("missing qbs-index-v1 header".into()));
     }
@@ -54,7 +56,10 @@ mod tests {
     use qbs_graph::fixtures::figure4_graph;
 
     fn index() -> QbsIndex {
-        QbsIndex::build(figure4_graph(), QbsConfig::with_explicit_landmarks(vec![1, 2, 3]))
+        QbsIndex::build(
+            figure4_graph(),
+            QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+        )
     }
 
     #[test]

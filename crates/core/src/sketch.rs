@@ -81,7 +81,10 @@ impl Sketch {
     }
 
     fn budget(hops: &[SketchHop]) -> Distance {
-        hops.iter().map(|h| h.distance.saturating_sub(1)).max().unwrap_or(0)
+        hops.iter()
+            .map(|h| h.distance.saturating_sub(1))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of distinct vertices in the sketch (endpoints + landmarks on
@@ -141,8 +144,20 @@ pub fn compute(
             if dm == INFINITE_DISTANCE || du + dm + dv != upper_bound {
                 continue;
             }
-            push_unique_hop(&mut source_hops, SketchHop { landmark_idx: r, distance: du });
-            push_unique_hop(&mut target_hops, SketchHop { landmark_idx: rp, distance: dv });
+            push_unique_hop(
+                &mut source_hops,
+                SketchHop {
+                    landmark_idx: r,
+                    distance: du,
+                },
+            );
+            push_unique_hop(
+                &mut target_hops,
+                SketchHop {
+                    landmark_idx: rp,
+                    distance: dv,
+                },
+            );
             for edge in meta.shortest_path_meta_edges(r, rp) {
                 if !meta_edges.contains(&edge) {
                     meta_edges.push(edge);
@@ -152,12 +167,90 @@ pub fn compute(
     }
     meta_edges.sort_unstable();
 
-    Sketch { source, target, upper_bound, source_hops, target_hops, meta_edges }
+    Sketch {
+        source,
+        target,
+        upper_bound,
+        source_hops,
+        target_hops,
+        meta_edges,
+    }
 }
 
 fn push_unique_hop(hops: &mut Vec<SketchHop>, hop: SketchHop) {
     if !hops.iter().any(|h| h.landmark_idx == hop.landmark_idx) {
         hops.push(hop);
+    }
+}
+
+/// The scalar core of a sketch: the distance upper bound and the two search
+/// budgets of Eq. 4, without the materialised hop/meta-edge lists.
+///
+/// [`compute_bounds`] derives these with zero heap allocation, which makes
+/// them the input of choice for the distance-only hot path
+/// (`SearchContext::guided_distance_with`) where the full [`Sketch`] —
+/// whose vectors exist to drive the recover search — would be wasted work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchBounds {
+    /// `d⊤_uv` (Eq. 3); [`INFINITE_DISTANCE`] when no landmark route exists.
+    pub upper_bound: Distance,
+    /// `d*_u` (Eq. 4): forward-side search budget.
+    pub source_budget: Distance,
+    /// `d*_v` (Eq. 4): backward-side search budget.
+    pub target_budget: Distance,
+}
+
+impl SketchBounds {
+    /// Bounds stating that no landmark-passing route exists.
+    pub fn unreachable() -> Self {
+        SketchBounds {
+            upper_bound: INFINITE_DISTANCE,
+            source_budget: 0,
+            target_budget: 0,
+        }
+    }
+}
+
+/// Computes only the sketch *bounds* (Algorithm 3 without line 7-13's edge
+/// assembly): `d⊤` plus the per-side budgets, allocation-free.
+///
+/// Agrees with [`compute`]: `compute_bounds(...).upper_bound ==
+/// compute(...).upper_bound` and likewise for the budgets (asserted by the
+/// unit tests below).
+pub fn compute_bounds(
+    meta: &MetaGraph,
+    source_label: &[(usize, Distance)],
+    target_label: &[(usize, Distance)],
+) -> SketchBounds {
+    let mut upper_bound = INFINITE_DISTANCE;
+    for &(r, du) in source_label {
+        for &(rp, dv) in target_label {
+            let dm = meta.distance(r, rp);
+            if dm == INFINITE_DISTANCE {
+                continue;
+            }
+            upper_bound = upper_bound.min(du + dm + dv);
+        }
+    }
+    if upper_bound == INFINITE_DISTANCE {
+        return SketchBounds::unreachable();
+    }
+    // Budgets: max σ - 1 over the hops participating in a minimising pair.
+    let mut max_src_hop = 0;
+    let mut max_tgt_hop = 0;
+    for &(r, du) in source_label {
+        for &(rp, dv) in target_label {
+            let dm = meta.distance(r, rp);
+            if dm != INFINITE_DISTANCE && du + dm + dv == upper_bound {
+                max_src_hop = max_src_hop.max(du);
+                max_tgt_hop = max_tgt_hop.max(dv);
+            }
+        }
+    }
+    SketchBounds {
+        upper_bound,
+        source_budget: max_src_hop.saturating_sub(1),
+        target_budget: max_tgt_hop.saturating_sub(1),
     }
 }
 
@@ -189,12 +282,21 @@ mod tests {
         assert_eq!(sketch.upper_bound, 5);
         assert!(sketch.is_reachable_via_landmarks());
         // Source hop: (6,1) with σ = 1; budgets d*_6 = 0 and d*_11 = 2.
-        assert_eq!(sketch.source_hops, vec![SketchHop { landmark_idx: 0, distance: 1 }]);
+        assert_eq!(
+            sketch.source_hops,
+            vec![SketchHop {
+                landmark_idx: 0,
+                distance: 1
+            }]
+        );
         assert_eq!(sketch.source_budget(), 0);
         assert_eq!(sketch.target_budget(), 2);
         // Target hops: (3,11) σ=2 and (2,11) σ=3 (landmark columns 2 and 1).
-        let mut target: Vec<(usize, Distance)> =
-            sketch.target_hops.iter().map(|h| (h.landmark_idx, h.distance)).collect();
+        let mut target: Vec<(usize, Distance)> = sketch
+            .target_hops
+            .iter()
+            .map(|h| (h.landmark_idx, h.distance))
+            .collect();
         target.sort_unstable();
         assert_eq!(target, vec![(1, 3), (2, 2)]);
         // The sketch contains all three meta edges (Figure 6(b)).
@@ -216,7 +318,11 @@ mod tests {
                 }
                 let sketch = compute(&meta, u, v, &lu, &lv);
                 let d = qbs_graph::traversal::bfs_distances(&g, u)[v as usize];
-                assert!(sketch.upper_bound >= d, "pair ({u},{v}): {} < {d}", sketch.upper_bound);
+                assert!(
+                    sketch.upper_bound >= d,
+                    "pair ({u},{v}): {} < {d}",
+                    sketch.upper_bound
+                );
             }
         }
     }
@@ -252,12 +358,41 @@ mod tests {
     }
 
     #[test]
+    fn bounds_agree_with_full_sketch_on_all_pairs() {
+        let (g, meta, scheme) = setup();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let lu = label_of(&scheme, u);
+                let lv = label_of(&scheme, v);
+                let sketch = compute(&meta, u, v, &lu, &lv);
+                let bounds = compute_bounds(&meta, &lu, &lv);
+                assert_eq!(bounds.upper_bound, sketch.upper_bound, "d⊤ of ({u},{v})");
+                assert_eq!(
+                    bounds.source_budget,
+                    sketch.source_budget(),
+                    "d*_u of ({u},{v})"
+                );
+                assert_eq!(
+                    bounds.target_budget,
+                    sketch.target_budget(),
+                    "d*_v of ({u},{v})"
+                );
+            }
+        }
+        assert_eq!(
+            compute_bounds(&meta, &[(0, 1)], &[]),
+            SketchBounds::unreachable()
+        );
+    }
+
+    #[test]
     fn sketch_never_duplicates_hops_or_meta_edges() {
         let (g, meta, scheme) = setup();
         for u in g.vertices() {
             for v in g.vertices() {
                 let sketch = compute(&meta, u, v, &label_of(&scheme, u), &label_of(&scheme, v));
-                let mut hops: Vec<usize> = sketch.source_hops.iter().map(|h| h.landmark_idx).collect();
+                let mut hops: Vec<usize> =
+                    sketch.source_hops.iter().map(|h| h.landmark_idx).collect();
                 hops.sort_unstable();
                 let before = hops.len();
                 hops.dedup();

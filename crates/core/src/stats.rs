@@ -87,8 +87,10 @@ mod tests {
 
     #[test]
     fn stats_reflect_figure4_index() {
-        let index =
-            QbsIndex::build(figure4_graph(), QbsConfig::with_explicit_landmarks(vec![1, 2, 3]));
+        let index = QbsIndex::build(
+            figure4_graph(),
+            QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+        );
         let s = index.stats();
         assert_eq!(s.num_vertices, 15);
         assert_eq!(s.num_edges, 19);

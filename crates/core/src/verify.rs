@@ -32,9 +32,14 @@ impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::WrongDistance { reported, actual } => {
-                write!(f, "reported distance {reported} but true distance is {actual}")
+                write!(
+                    f,
+                    "reported distance {reported} but true distance is {actual}"
+                )
             }
-            Violation::EdgeNotInGraph(a, b) => write!(f, "answer edge ({a},{b}) is not in the graph"),
+            Violation::EdgeNotInGraph(a, b) => {
+                write!(f, "answer edge ({a},{b}) is not in the graph")
+            }
             Violation::EdgeNotOnShortestPath(a, b) => {
                 write!(f, "answer edge ({a},{b}) lies on no shortest path")
             }
@@ -52,7 +57,10 @@ pub fn validate(graph: &Graph, answer: &PathGraph) -> Vec<Violation> {
     let (u, v) = (answer.source(), answer.target());
     if u == v {
         if answer.distance() != 0 || answer.num_edges() != 0 {
-            violations.push(Violation::WrongDistance { reported: answer.distance(), actual: 0 });
+            violations.push(Violation::WrongDistance {
+                reported: answer.distance(),
+                actual: 0,
+            });
         }
         return violations;
     }
@@ -60,7 +68,10 @@ pub fn validate(graph: &Graph, answer: &PathGraph) -> Vec<Violation> {
     let dv = bfs_distances(graph, v);
     let actual = du.get(v as usize).copied().unwrap_or(INFINITE_DISTANCE);
     if answer.distance() != actual {
-        violations.push(Violation::WrongDistance { reported: answer.distance(), actual });
+        violations.push(Violation::WrongDistance {
+            reported: answer.distance(),
+            actual,
+        });
     }
     if actual == INFINITE_DISTANCE {
         for &(a, b) in answer.edges() {
@@ -115,7 +126,9 @@ mod tests {
         let g = figure4_graph();
         let answer = PathGraph::from_edges(6, 11, 4, figure4_spg_6_11_edges());
         let violations = validate(&g, &answer);
-        assert!(violations.iter().any(|v| matches!(v, Violation::WrongDistance { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::WrongDistance { .. })));
     }
 
     #[test]
@@ -127,8 +140,12 @@ mod tests {
         edges.push((13, 14));
         let answer = PathGraph::from_edges(6, 11, 5, edges);
         let violations = validate(&g, &answer);
-        assert!(violations.iter().any(|v| matches!(v, Violation::MissingEdge(..))));
-        assert!(violations.iter().any(|v| matches!(v, Violation::EdgeNotOnShortestPath(..))));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingEdge(..))));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::EdgeNotOnShortestPath(..))));
         assert!(!is_exact(&g, &answer));
     }
 
@@ -137,7 +154,9 @@ mod tests {
         let g = figure4_graph();
         let answer = PathGraph::from_edges(6, 11, 5, vec![(6u32, 11u32)]);
         let violations = validate(&g, &answer);
-        assert!(violations.iter().any(|v| matches!(v, Violation::EdgeNotInGraph(6, 11))));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::EdgeNotInGraph(6, 11))));
     }
 
     #[test]
@@ -155,7 +174,13 @@ mod tests {
         assert!(is_exact(&g, &PathGraph::trivial(5)));
         let bad = PathGraph::from_edges(5, 5, 1, vec![(5u32, 1u32)]);
         assert!(!is_exact(&g, &bad));
-        let display = format!("{}", Violation::WrongDistance { reported: 1, actual: 0 });
+        let display = format!(
+            "{}",
+            Violation::WrongDistance {
+                reported: 1,
+                actual: 0
+            }
+        );
         assert!(display.contains("true distance"));
     }
 }

@@ -1,0 +1,204 @@
+//! Reusable, epoch-stamped per-query scratch state.
+//!
+//! A [`QueryWorkspace`] owns every piece of mutable state the online query
+//! path needs — the two bidirectional-search sides, the visited sets and
+//! stacks of the reverse/recover walks, the label buffers fed to the
+//! sketcher, and a scratch vertex filter for landmark-endpoint queries.
+//! All per-vertex structures are epoch-stamped
+//! ([`qbs_graph::workspace`]), so preparing the workspace for the next
+//! query is O(1): a handful of `clear()`s on small vectors plus one epoch
+//! bump per field, never an `O(|V|)` allocation or memset.
+//!
+//! The intended usage pattern is one long-lived workspace per worker
+//! thread:
+//!
+//! ```
+//! use qbs_core::{QbsConfig, QbsIndex, QueryWorkspace};
+//! use qbs_graph::fixtures::figure4_graph;
+//!
+//! let index = QbsIndex::build(figure4_graph(), QbsConfig::with_landmark_count(3));
+//! let mut ws = QueryWorkspace::new();
+//! for (u, v) in [(6, 11), (4, 12), (7, 9)] {
+//!     let answer = index.query_with(&mut ws, u, v).unwrap();
+//!     assert_eq!(answer.path_graph, index.query(u, v));
+//! }
+//! assert_eq!(ws.queries_served(), 3);
+//! ```
+//!
+//! Results are bit-identical to the allocation-per-query path (the
+//! differential tests in `tests/workspace_differential.rs` assert this
+//! across generator families and hundreds of mixed queries).
+
+use qbs_graph::view::NeighborAccess;
+use qbs_graph::workspace::{DistanceField, VisitedSet};
+use qbs_graph::{Distance, FilteredGraph, VertexFilter, VertexId};
+
+use crate::search::SearchStats;
+
+/// One side (forward or backward) of the guided bidirectional search, with
+/// all storage reusable across queries.
+#[derive(Debug, Default)]
+pub(crate) struct SideState {
+    /// Epoch-stamped BFS depths.
+    pub(crate) depth: DistanceField,
+    /// `levels[d]` lists the vertices settled at depth `d`. Inner vectors
+    /// keep their capacity across queries; `active_levels` tracks how many
+    /// were touched by the previous query so `begin` clears only those.
+    pub(crate) levels: Vec<Vec<VertexId>>,
+    active_levels: usize,
+    /// Number of settled vertices (`|P|` in Algorithm 4).
+    pub(crate) settled: usize,
+    /// Current level (`d_u` / `d_v` in Algorithm 4).
+    pub(crate) level: Distance,
+}
+
+impl SideState {
+    /// Prepares the side for a new search from `origin` on a graph with `n`
+    /// vertex slots.
+    pub(crate) fn begin(&mut self, n: usize, origin: VertexId) {
+        self.depth.reset(n);
+        for level in &mut self.levels[..self.active_levels] {
+            level.clear();
+        }
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(origin);
+        self.active_levels = 1;
+        self.settled = 1;
+        self.level = 0;
+        self.depth.set(origin, 0);
+    }
+
+    /// The vertices settled at the current level.
+    pub(crate) fn frontier(&self) -> &[VertexId] {
+        &self.levels[self.level as usize]
+    }
+
+    /// Expands the current frontier one level on the view; returns the
+    /// number of newly settled vertices.
+    pub(crate) fn expand(&mut self, view: &FilteredGraph<'_>, stats: &mut SearchStats) -> usize {
+        let next_depth = self.level + 1;
+        if self.levels.len() <= next_depth as usize {
+            self.levels.push(Vec::new());
+        }
+        let depth = &mut self.depth;
+        let (settled_levels, next_levels) = self.levels.split_at_mut(next_depth as usize);
+        let current = &settled_levels[self.level as usize];
+        let next = &mut next_levels[0];
+        for &u in current {
+            stats.vertices_settled += 1;
+            view.for_each_neighbor(u, |w| {
+                stats.edges_traversed += 1;
+                if !depth.is_set(w) {
+                    depth.set(w, next_depth);
+                    next.push(w);
+                }
+            });
+        }
+        let added = next.len();
+        self.settled += added;
+        self.level = next_depth;
+        self.active_levels = self.active_levels.max(next_depth as usize + 1);
+        added
+    }
+}
+
+/// Reusable scratch state for the online query path. See the module docs
+/// for the epoch-stamping design and usage pattern.
+#[derive(Debug, Default)]
+pub struct QueryWorkspace {
+    /// Forward search side (rooted at the query source).
+    pub(crate) fwd: SideState,
+    /// Backward search side (rooted at the query target).
+    pub(crate) bwd: SideState,
+    /// Visited set for the reverse-search walks.
+    pub(crate) visited: VisitedSet,
+    /// Vertex stack for the reverse-search and depth walks.
+    pub(crate) stack: Vec<VertexId>,
+    /// Visited set for the label/depth walks of the recover search.
+    pub(crate) walk_visited: VisitedSet,
+    /// `(vertex, remaining distance)` stack for label walks.
+    pub(crate) walk_stack: Vec<(VertexId, Distance)>,
+    /// Meeting vertices of the bidirectional search.
+    pub(crate) meeting: Vec<VertexId>,
+    /// Edge accumulator for the answer under construction.
+    pub(crate) edges: Vec<(VertexId, VertexId)>,
+    /// Scratch filter for the rare landmark-endpoint queries.
+    pub(crate) scratch_filter: VertexFilter,
+    /// Effective-label buffer for the query source.
+    pub(crate) src_label: Vec<(usize, Distance)>,
+    /// Effective-label buffer for the query target.
+    pub(crate) tgt_label: Vec<(usize, Distance)>,
+    /// Number of queries answered through this workspace.
+    queries_served: u64,
+}
+
+impl QueryWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace with the per-vertex structures pre-sized for a
+    /// graph with `n` vertices, avoiding even the first-query growth.
+    pub fn for_vertices(n: usize) -> Self {
+        let mut ws = Self::new();
+        ws.fwd.depth.reset(n);
+        ws.bwd.depth.reset(n);
+        ws.visited.reset(n);
+        ws.walk_visited.reset(n);
+        ws
+    }
+
+    /// Number of queries answered through this workspace since creation.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// Records one served query (called by the search entry points).
+    pub(crate) fn record_query(&mut self) {
+        self.queries_served += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_graph::fixtures::figure4_graph;
+    use qbs_graph::INFINITE_DISTANCE;
+
+    #[test]
+    fn side_state_reuses_level_buffers() {
+        let graph = figure4_graph();
+        let filter = VertexFilter::new(graph.num_vertices());
+        let view = FilteredGraph::new(&graph, &filter);
+        let mut side = SideState::default();
+        let mut stats = SearchStats::default();
+
+        side.begin(graph.num_vertices(), 6);
+        assert_eq!(side.frontier(), &[6]);
+        side.expand(&view, &mut stats);
+        assert!(side.settled > 1);
+        let deep_levels = side.active_levels;
+
+        // A second search must not see any first-search state.
+        side.begin(graph.num_vertices(), 11);
+        assert_eq!(side.frontier(), &[11]);
+        assert_eq!(side.settled, 1);
+        assert_eq!(side.level, 0);
+        assert_eq!(side.depth.get(6), INFINITE_DISTANCE);
+        assert!(
+            side.levels.len() >= deep_levels,
+            "level buffers are retained"
+        );
+    }
+
+    #[test]
+    fn workspace_presizing_matches_lazy_growth() {
+        let ws = QueryWorkspace::for_vertices(64);
+        assert_eq!(ws.queries_served(), 0);
+        assert!(ws.fwd.depth.capacity() >= 64);
+        assert!(ws.walk_visited.capacity() >= 64);
+    }
+}

@@ -19,12 +19,22 @@ fn check(graph: &Graph, config: QbsConfig, queries: usize, seed: u64, tag: &str)
         assert_eq!(answer.path_graph, expected, "{tag}: query ({u},{v})");
         // The per-query statistics must be internally consistent.
         let stats = answer.stats;
-        assert_eq!(stats.distance, expected.distance(), "{tag}: distance ({u},{v})");
+        assert_eq!(
+            stats.distance,
+            expected.distance(),
+            "{tag}: distance ({u},{v})"
+        );
         if stats.upper_bound != INFINITE_DISTANCE && expected.is_reachable() {
-            assert!(stats.upper_bound >= stats.distance, "{tag}: d⊤ < d on ({u},{v})");
+            assert!(
+                stats.upper_bound >= stats.distance,
+                "{tag}: d⊤ < d on ({u},{v})"
+            );
         }
         if stats.sparsified_distance != INFINITE_DISTANCE {
-            assert!(stats.sparsified_distance >= stats.distance, "{tag}: d_G⁻ < d on ({u},{v})");
+            assert!(
+                stats.sparsified_distance >= stats.distance,
+                "{tag}: d_G⁻ < d on ({u},{v})"
+            );
         }
     }
 }
@@ -40,7 +50,11 @@ fn qbs_is_exact_on_hub_dominated_standins() {
 
 #[test]
 fn qbs_is_exact_on_even_degree_and_community_standins() {
-    for id in [DatasetId::Friendster, DatasetId::LiveJournal, DatasetId::Dblp] {
+    for id in [
+        DatasetId::Friendster,
+        DatasetId::LiveJournal,
+        DatasetId::Dblp,
+    ] {
         let spec = *Catalog::paper_table1().get(id).unwrap();
         let graph = spec.generate(Scale::Tiny);
         check(&graph, QbsConfig::with_landmark_count(20), 30, 2, id.name());
@@ -74,7 +88,13 @@ fn qbs_is_exact_with_tiny_and_huge_landmark_sets() {
         seed: 5,
     });
     for count in [1usize, 2, 3, 50, 200, 400] {
-        check(&graph, QbsConfig::with_landmark_count(count), 25, count as u64, "landmark sweep");
+        check(
+            &graph,
+            QbsConfig::with_landmark_count(count),
+            25,
+            count as u64,
+            "landmark sweep",
+        );
     }
 }
 
@@ -91,7 +111,13 @@ fn qbs_is_exact_on_structured_extremes() {
         structured::barbell(15, 8),
     ];
     for (i, graph) in cases.into_iter().enumerate() {
-        check(&graph, QbsConfig::with_landmark_count(12), 25, i as u64, "structured");
+        check(
+            &graph,
+            QbsConfig::with_landmark_count(12),
+            25,
+            i as u64,
+            "structured",
+        );
     }
 }
 
@@ -105,7 +131,13 @@ fn qbs_is_exact_on_watts_strogatz_small_worlds() {
             seed: 11,
         });
         let graph = qbs_graph::components::largest_component(&graph).0;
-        check(&graph, QbsConfig::with_landmark_count(10), 25, 3, "watts-strogatz");
+        check(
+            &graph,
+            QbsConfig::with_landmark_count(10),
+            25,
+            3,
+            "watts-strogatz",
+        );
     }
 }
 

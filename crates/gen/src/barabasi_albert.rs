@@ -91,7 +91,11 @@ mod tests {
 
     #[test]
     fn vertex_and_edge_counts_match_model() {
-        let g = generate(&BarabasiAlbertConfig { vertices: 300, edges_per_vertex: 3, seed: 1 });
+        let g = generate(&BarabasiAlbertConfig {
+            vertices: 300,
+            edges_per_vertex: 3,
+            seed: 1,
+        });
         assert_eq!(g.num_vertices(), 300);
         // Seed clique of 4 vertices (6 edges) + 3 per remaining vertex.
         assert_eq!(g.num_edges(), 6 + 3 * (300 - 4));
@@ -99,7 +103,11 @@ mod tests {
 
     #[test]
     fn is_connected_and_deterministic() {
-        let c = BarabasiAlbertConfig { vertices: 200, edges_per_vertex: 2, seed: 5 };
+        let c = BarabasiAlbertConfig {
+            vertices: 200,
+            edges_per_vertex: 2,
+            seed: 5,
+        };
         let g = generate(&c);
         assert!(is_connected(&g));
         assert_eq!(g, generate(&c));
@@ -108,7 +116,11 @@ mod tests {
 
     #[test]
     fn produces_hub_vertices() {
-        let g = generate(&BarabasiAlbertConfig { vertices: 2000, edges_per_vertex: 3, seed: 2 });
+        let g = generate(&BarabasiAlbertConfig {
+            vertices: 2000,
+            edges_per_vertex: 3,
+            seed: 2,
+        });
         // Preferential attachment should create hubs well above the average
         // degree (~6); this is the property QbS landmark selection exploits.
         assert!(g.max_degree() > 40, "max degree {}", g.max_degree());
@@ -117,7 +129,11 @@ mod tests {
 
     #[test]
     fn no_multi_edges_or_self_loops() {
-        let g = generate(&BarabasiAlbertConfig { vertices: 150, edges_per_vertex: 4, seed: 3 });
+        let g = generate(&BarabasiAlbertConfig {
+            vertices: 150,
+            edges_per_vertex: 4,
+            seed: 3,
+        });
         for (u, v) in g.edges() {
             assert_ne!(u, v);
         }
@@ -129,7 +145,11 @@ mod tests {
     #[test]
     fn tiny_configurations_do_not_panic() {
         for n in 0..6 {
-            let g = generate(&BarabasiAlbertConfig { vertices: n, edges_per_vertex: 2, seed: 0 });
+            let g = generate(&BarabasiAlbertConfig {
+                vertices: n,
+                edges_per_vertex: 2,
+                seed: 0,
+            });
             assert_eq!(g.num_vertices(), n);
         }
     }

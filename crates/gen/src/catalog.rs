@@ -113,8 +113,12 @@ impl DatasetId {
     /// The network type column of Table 1.
     pub fn network_type(self) -> &'static str {
         match self {
-            DatasetId::Douban | DatasetId::Youtube | DatasetId::LiveJournal | DatasetId::Orkut
-            | DatasetId::Twitter | DatasetId::Friendster => "social",
+            DatasetId::Douban
+            | DatasetId::Youtube
+            | DatasetId::LiveJournal
+            | DatasetId::Orkut
+            | DatasetId::Twitter
+            | DatasetId::Friendster => "social",
             DatasetId::Dblp => "co-authorship",
             DatasetId::WikiTalk => "communication",
             DatasetId::Skitter | DatasetId::ClueWeb09 => "computer",
@@ -216,32 +220,46 @@ impl DatasetSpec {
         let n = self.target_vertices(scale).max(8);
         let seed = derive_seed(self.seed, scale.base_vertices() as u64);
         let raw = match self.generator {
-            GeneratorKind::BarabasiAlbert { edges_per_vertex } => barabasi_albert::generate(
-                &BarabasiAlbertConfig { vertices: n, edges_per_vertex, seed },
-            ),
-            GeneratorKind::PowerLaw { avg_degree, exponent } => power_law::generate(&PowerLawConfig {
+            GeneratorKind::BarabasiAlbert { edges_per_vertex } => {
+                barabasi_albert::generate(&BarabasiAlbertConfig {
+                    vertices: n,
+                    edges_per_vertex,
+                    seed,
+                })
+            }
+            GeneratorKind::PowerLaw {
+                avg_degree,
+                exponent,
+            } => power_law::generate(&PowerLawConfig {
                 vertices: n,
                 edges: ((n as f64) * avg_degree / 2.0).round() as usize,
                 exponent,
                 seed,
             }),
-            GeneratorKind::WattsStrogatz { neighbors, rewire } => watts_strogatz::generate(
-                &WattsStrogatzConfig { vertices: n, neighbors, rewire_probability: rewire, seed },
-            ),
+            GeneratorKind::WattsStrogatz { neighbors, rewire } => {
+                watts_strogatz::generate(&WattsStrogatzConfig {
+                    vertices: n,
+                    neighbors,
+                    rewire_probability: rewire,
+                    seed,
+                })
+            }
             GeneratorKind::ErdosRenyi { avg_degree } => erdos_renyi::generate(&ErdosRenyiConfig {
                 vertices: n,
                 edges: ((n as f64) * avg_degree / 2.0).round() as usize,
                 seed,
             }),
-            GeneratorKind::Community { communities, intra_degree, inter_degree } => {
-                community::generate(&PlantedPartitionConfig {
-                    communities,
-                    community_size: (n / communities).max(1),
-                    intra_degree,
-                    inter_degree,
-                    seed,
-                })
-            }
+            GeneratorKind::Community {
+                communities,
+                intra_degree,
+                inter_degree,
+            } => community::generate(&PlantedPartitionConfig {
+                communities,
+                community_size: (n / communities).max(1),
+                intra_degree,
+                inter_degree,
+                seed,
+            }),
         };
         largest_component(&raw).0
     }
@@ -270,18 +288,109 @@ impl Catalog {
         use DatasetId::*;
         use GeneratorKind::*;
         let specs = vec![
-            DatasetSpec { id: Douban, size_factor: 1.0, generator: BarabasiAlbert { edges_per_vertex: 2 }, seed: 0xD0 },
-            DatasetSpec { id: Dblp, size_factor: 1.5, generator: WattsStrogatz { neighbors: 3, rewire: 0.15 }, seed: 0xDB },
-            DatasetSpec { id: Youtube, size_factor: 3.5, generator: PowerLaw { avg_degree: 5.3, exponent: 2.2 }, seed: 0x17 },
-            DatasetSpec { id: WikiTalk, size_factor: 4.5, generator: PowerLaw { avg_degree: 3.9, exponent: 2.05 }, seed: 0x3A },
-            DatasetSpec { id: Skitter, size_factor: 4.0, generator: BarabasiAlbert { edges_per_vertex: 6 }, seed: 0x5C },
-            DatasetSpec { id: Baidu, size_factor: 4.2, generator: PowerLaw { avg_degree: 15.9, exponent: 2.1 }, seed: 0xBA },
-            DatasetSpec { id: LiveJournal, size_factor: 5.0, generator: Community { communities: 24, intra_degree: 14.0, inter_degree: 4.0 }, seed: 0x13 },
-            DatasetSpec { id: Orkut, size_factor: 4.5, generator: BarabasiAlbert { edges_per_vertex: 20 }, seed: 0x08 },
-            DatasetSpec { id: Twitter, size_factor: 7.0, generator: PowerLaw { avg_degree: 28.0, exponent: 1.95 }, seed: 0x7E },
-            DatasetSpec { id: Friendster, size_factor: 8.0, generator: ErdosRenyi { avg_degree: 24.0 }, seed: 0xF2 },
-            DatasetSpec { id: Uk2007, size_factor: 9.0, generator: PowerLaw { avg_degree: 26.0, exponent: 2.1 }, seed: 0x07 },
-            DatasetSpec { id: ClueWeb09, size_factor: 12.0, generator: PowerLaw { avg_degree: 9.3, exponent: 2.4 }, seed: 0xC9 },
+            DatasetSpec {
+                id: Douban,
+                size_factor: 1.0,
+                generator: BarabasiAlbert {
+                    edges_per_vertex: 2,
+                },
+                seed: 0xD0,
+            },
+            DatasetSpec {
+                id: Dblp,
+                size_factor: 1.5,
+                generator: WattsStrogatz {
+                    neighbors: 3,
+                    rewire: 0.15,
+                },
+                seed: 0xDB,
+            },
+            DatasetSpec {
+                id: Youtube,
+                size_factor: 3.5,
+                generator: PowerLaw {
+                    avg_degree: 5.3,
+                    exponent: 2.2,
+                },
+                seed: 0x17,
+            },
+            DatasetSpec {
+                id: WikiTalk,
+                size_factor: 4.5,
+                generator: PowerLaw {
+                    avg_degree: 3.9,
+                    exponent: 2.05,
+                },
+                seed: 0x3A,
+            },
+            DatasetSpec {
+                id: Skitter,
+                size_factor: 4.0,
+                generator: BarabasiAlbert {
+                    edges_per_vertex: 6,
+                },
+                seed: 0x5C,
+            },
+            DatasetSpec {
+                id: Baidu,
+                size_factor: 4.2,
+                generator: PowerLaw {
+                    avg_degree: 15.9,
+                    exponent: 2.1,
+                },
+                seed: 0xBA,
+            },
+            DatasetSpec {
+                id: LiveJournal,
+                size_factor: 5.0,
+                generator: Community {
+                    communities: 24,
+                    intra_degree: 14.0,
+                    inter_degree: 4.0,
+                },
+                seed: 0x13,
+            },
+            DatasetSpec {
+                id: Orkut,
+                size_factor: 4.5,
+                generator: BarabasiAlbert {
+                    edges_per_vertex: 20,
+                },
+                seed: 0x08,
+            },
+            DatasetSpec {
+                id: Twitter,
+                size_factor: 7.0,
+                generator: PowerLaw {
+                    avg_degree: 28.0,
+                    exponent: 1.95,
+                },
+                seed: 0x7E,
+            },
+            DatasetSpec {
+                id: Friendster,
+                size_factor: 8.0,
+                generator: ErdosRenyi { avg_degree: 24.0 },
+                seed: 0xF2,
+            },
+            DatasetSpec {
+                id: Uk2007,
+                size_factor: 9.0,
+                generator: PowerLaw {
+                    avg_degree: 26.0,
+                    exponent: 2.1,
+                },
+                seed: 0x07,
+            },
+            DatasetSpec {
+                id: ClueWeb09,
+                size_factor: 12.0,
+                generator: PowerLaw {
+                    avg_degree: 9.3,
+                    exponent: 2.4,
+                },
+                seed: 0xC9,
+            },
         ];
         Catalog { specs }
     }
@@ -291,8 +400,19 @@ impl Catalog {
     /// tests and ablations.
     pub fn representative() -> Self {
         let full = Self::paper_table1();
-        let keep = [DatasetId::Douban, DatasetId::Dblp, DatasetId::LiveJournal, DatasetId::Friendster];
-        Catalog { specs: full.specs.into_iter().filter(|s| keep.contains(&s.id)).collect() }
+        let keep = [
+            DatasetId::Douban,
+            DatasetId::Dblp,
+            DatasetId::LiveJournal,
+            DatasetId::Friendster,
+        ];
+        Catalog {
+            specs: full
+                .specs
+                .into_iter()
+                .filter(|s| keep.contains(&s.id))
+                .collect(),
+        }
     }
 
     /// All specs in Table 1 order.
@@ -344,19 +464,20 @@ mod tests {
         let douban = c.get(DatasetId::Douban).unwrap();
         let clueweb = c.get(DatasetId::ClueWeb09).unwrap();
         assert!(clueweb.size_factor > douban.size_factor);
-        assert!(
-            clueweb.target_vertices(Scale::Tiny) > douban.target_vertices(Scale::Tiny)
-        );
-        assert!(
-            douban.target_vertices(Scale::Large) > douban.target_vertices(Scale::Tiny)
-        );
+        assert!(clueweb.target_vertices(Scale::Tiny) > douban.target_vertices(Scale::Tiny));
+        assert!(douban.target_vertices(Scale::Large) > douban.target_vertices(Scale::Tiny));
     }
 
     #[test]
     fn every_tiny_standin_is_connected_and_nonempty() {
         for spec in Catalog::paper_table1().specs() {
             let g = spec.generate(Scale::Tiny);
-            assert!(g.num_vertices() > 50, "{:?} too small: {}", spec.id, g.num_vertices());
+            assert!(
+                g.num_vertices() > 50,
+                "{:?} too small: {}",
+                spec.id,
+                g.num_vertices()
+            );
             assert!(is_connected(&g), "{:?} not connected", spec.id);
         }
     }

@@ -132,7 +132,10 @@ mod tests {
     fn deterministic_per_seed() {
         let c = config();
         assert_eq!(generate(&c), generate(&c));
-        assert_ne!(generate(&c), generate(&PlantedPartitionConfig { seed: 99, ..c }));
+        assert_ne!(
+            generate(&c),
+            generate(&PlantedPartitionConfig { seed: 99, ..c })
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub fn generate_gnp(vertices: usize, p: f64, seed: u64) -> Graph {
     assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
     let max_edges = vertices.saturating_mul(vertices.saturating_sub(1)) / 2;
     let edges = ((max_edges as f64) * p).round() as usize;
-    generate(&ErdosRenyiConfig { vertices, edges: edges.min(max_edges), seed })
+    generate(&ErdosRenyiConfig {
+        vertices,
+        edges: edges.min(max_edges),
+        seed,
+    })
 }
 
 #[cfg(test)]
@@ -78,14 +82,22 @@ mod tests {
 
     #[test]
     fn produces_exact_edge_count() {
-        let g = generate(&ErdosRenyiConfig { vertices: 100, edges: 250, seed: 1 });
+        let g = generate(&ErdosRenyiConfig {
+            vertices: 100,
+            edges: 250,
+            seed: 1,
+        });
         assert_eq!(g.num_vertices(), 100);
         assert_eq!(g.num_edges(), 250);
     }
 
     #[test]
     fn is_deterministic_per_seed() {
-        let c = ErdosRenyiConfig { vertices: 80, edges: 200, seed: 9 };
+        let c = ErdosRenyiConfig {
+            vertices: 80,
+            edges: 200,
+            seed: 9,
+        };
         assert_eq!(generate(&c), generate(&c));
         let other = generate(&ErdosRenyiConfig { seed: 10, ..c });
         assert_ne!(generate(&c), other);
@@ -93,7 +105,11 @@ mod tests {
 
     #[test]
     fn no_self_loops_or_duplicates() {
-        let g = generate(&ErdosRenyiConfig { vertices: 50, edges: 300, seed: 3 });
+        let g = generate(&ErdosRenyiConfig {
+            vertices: 50,
+            edges: 300,
+            seed: 3,
+        });
         for (u, v) in g.edges() {
             assert_ne!(u, v);
         }
@@ -105,16 +121,28 @@ mod tests {
 
     #[test]
     fn handles_tiny_graphs() {
-        let g = generate(&ErdosRenyiConfig { vertices: 1, edges: 0, seed: 0 });
+        let g = generate(&ErdosRenyiConfig {
+            vertices: 1,
+            edges: 0,
+            seed: 0,
+        });
         assert_eq!(g.num_vertices(), 1);
         assert_eq!(g.num_edges(), 0);
-        let g = generate(&ErdosRenyiConfig { vertices: 0, edges: 0, seed: 0 });
+        let g = generate(&ErdosRenyiConfig {
+            vertices: 0,
+            edges: 0,
+            seed: 0,
+        });
         assert_eq!(g.num_vertices(), 0);
     }
 
     #[test]
     fn complete_graph_when_all_edges_requested() {
-        let g = generate(&ErdosRenyiConfig { vertices: 6, edges: 15, seed: 5 });
+        let g = generate(&ErdosRenyiConfig {
+            vertices: 6,
+            edges: 15,
+            seed: 5,
+        });
         assert_eq!(g.num_edges(), 15);
         assert_eq!(g.max_degree(), 5);
     }
@@ -122,7 +150,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot place")]
     fn rejects_too_many_edges() {
-        generate(&ErdosRenyiConfig { vertices: 4, edges: 7, seed: 0 });
+        generate(&ErdosRenyiConfig {
+            vertices: 4,
+            edges: 7,
+            seed: 0,
+        });
     }
 
     #[test]
@@ -137,7 +169,11 @@ mod tests {
     fn degree_distribution_has_no_dominant_hub() {
         // With 2000 edges among 500 vertices the expected degree is 8;
         // a hub 10x the average would indicate a broken sampler.
-        let g = generate(&ErdosRenyiConfig { vertices: 500, edges: 2000, seed: 11 });
+        let g = generate(&ErdosRenyiConfig {
+            vertices: 500,
+            edges: 2000,
+            seed: 11,
+        });
         assert!(g.max_degree() < 40, "max degree {}", g.max_degree());
     }
 }

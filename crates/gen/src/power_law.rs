@@ -78,7 +78,12 @@ mod tests {
     use super::*;
 
     fn config(n: usize, m: usize, gamma: f64) -> PowerLawConfig {
-        PowerLawConfig { vertices: n, edges: m, exponent: gamma, seed: 17 }
+        PowerLawConfig {
+            vertices: n,
+            edges: m,
+            exponent: gamma,
+            seed: 17,
+        }
     }
 
     #[test]
@@ -108,7 +113,10 @@ mod tests {
         let landmarks = g.top_k_by_degree(10);
         // Weight is decreasing in the vertex id, so the biggest hubs should
         // be among the smallest ids.
-        assert!(landmarks.iter().all(|&v| v < 200), "landmarks {landmarks:?}");
+        assert!(
+            landmarks.iter().all(|&v| v < 200),
+            "landmarks {landmarks:?}"
+        );
     }
 
     #[test]

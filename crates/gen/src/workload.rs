@@ -136,14 +136,20 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let g = structured::grid(10, 10);
-        assert_eq!(QueryWorkload::sample(&g, 100, 1), QueryWorkload::sample(&g, 100, 1));
-        assert_ne!(QueryWorkload::sample(&g, 100, 1), QueryWorkload::sample(&g, 100, 2));
+        assert_eq!(
+            QueryWorkload::sample(&g, 100, 1),
+            QueryWorkload::sample(&g, 100, 1)
+        );
+        assert_ne!(
+            QueryWorkload::sample(&g, 100, 1),
+            QueryWorkload::sample(&g, 100, 2)
+        );
     }
 
     #[test]
     fn connected_sampling_avoids_cross_component_pairs() {
         // Two components: a triangle and a 3-path.
-        let mut b = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 0), (3, 4), (4, 5)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 0), (3, 4), (4, 5)]);
         b.reserve_vertices(6);
         let g = b.build();
         let w = QueryWorkload::sample_connected(&g, 200, 3);
@@ -175,7 +181,7 @@ mod tests {
 
     #[test]
     fn histogram_counts_unreachable_pairs() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)]);
         b.reserve_vertices(4);
         let g = b.build();
         let w = QueryWorkload::sample(&g, 400, 5);

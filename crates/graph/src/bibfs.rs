@@ -109,10 +109,16 @@ pub fn bidirectional_distance_bounded<G: NeighborAccess>(
     let n = graph.vertex_count();
     let mut effort = SearchEffort::default();
     if !graph.contains_vertex(u) || !graph.contains_vertex(v) {
-        return BidirResult { distance: INFINITE_DISTANCE, effort };
+        return BidirResult {
+            distance: INFINITE_DISTANCE,
+            effort,
+        };
     }
     if u == v {
-        return BidirResult { distance: 0, effort };
+        return BidirResult {
+            distance: 0,
+            effort,
+        };
     }
 
     let mut fwd = Side::new(n, u);
@@ -123,10 +129,16 @@ pub fn bidirectional_distance_bounded<G: NeighborAccess>(
     loop {
         // If every remaining path must be longer than the bound, stop.
         if fwd.level + bwd.level >= bound {
-            return BidirResult { distance: INFINITE_DISTANCE, effort };
+            return BidirResult {
+                distance: INFINITE_DISTANCE,
+                effort,
+            };
         }
         if fwd.frontier.is_empty() || bwd.frontier.is_empty() {
-            return BidirResult { distance: INFINITE_DISTANCE, effort };
+            return BidirResult {
+                distance: INFINITE_DISTANCE,
+                effort,
+            };
         }
 
         // Expand the cheaper side.
@@ -139,11 +151,18 @@ pub fn bidirectional_distance_bounded<G: NeighborAccess>(
             bwd.expand(graph, &mut effort)
         };
         if !progressed {
-            return BidirResult { distance: INFINITE_DISTANCE, effort };
+            return BidirResult {
+                distance: INFINITE_DISTANCE,
+                effort,
+            };
         }
 
         // Check whether the frontiers intersect the other side's settled set.
-        let (just_expanded, other) = if expand_forward { (&fwd, &bwd) } else { (&bwd, &fwd) };
+        let (just_expanded, other) = if expand_forward {
+            (&fwd, &bwd)
+        } else {
+            (&bwd, &fwd)
+        };
         let mut best = INFINITE_DISTANCE;
         for &w in &just_expanded.frontier {
             let od = other.dist[w as usize];
@@ -155,7 +174,10 @@ pub fn bidirectional_distance_bounded<G: NeighborAccess>(
             }
         }
         if best != INFINITE_DISTANCE {
-            return BidirResult { distance: best.min(bound), effort };
+            return BidirResult {
+                distance: best.min(bound),
+                effort,
+            };
         }
     }
 }
@@ -189,7 +211,7 @@ mod tests {
 
     #[test]
     fn disconnected_pairs_are_infinite() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1), (2, 3)]);
         b.reserve_vertices(4);
         let g = b.build();
         assert_eq!(bidirectional_distance(&g, 0, 3).distance, INFINITE_DISTANCE);
@@ -197,8 +219,7 @@ mod tests {
 
     #[test]
     fn bounded_search_gives_up_beyond_bound() {
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3), (3, 4), (4, 5)].into_iter())
-            .build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).build();
         let r = bidirectional_distance_bounded(&g, 0, 5, 3);
         assert_eq!(r.distance, INFINITE_DISTANCE);
         let r = bidirectional_distance_bounded(&g, 0, 5, 5);
@@ -208,12 +229,15 @@ mod tests {
     #[test]
     fn works_on_sparsified_view() {
         let g = figure4_graph();
-        let removed = VertexFilter::from_vertices(g.num_vertices(), [1u32, 2, 3].into_iter());
+        let removed = VertexFilter::from_vertices(g.num_vertices(), [1u32, 2, 3]);
         let view = FilteredGraph::new(&g, &removed);
         // Example 4.8: d_{G⁻}(6, 11) = 5.
         assert_eq!(bidirectional_distance(&view, 6, 11).distance, 5);
         // Vertex 4 is isolated once the landmarks are gone.
-        assert_eq!(bidirectional_distance(&view, 6, 4).distance, INFINITE_DISTANCE);
+        assert_eq!(
+            bidirectional_distance(&view, 6, 4).distance,
+            INFINITE_DISTANCE
+        );
     }
 
     #[test]
@@ -236,8 +260,11 @@ mod tests {
     #[test]
     fn endpoint_not_in_view_is_infinite() {
         let g = figure4_graph();
-        let removed = VertexFilter::from_vertices(g.num_vertices(), [6u32].into_iter());
+        let removed = VertexFilter::from_vertices(g.num_vertices(), [6u32]);
         let view = FilteredGraph::new(&g, &removed);
-        assert_eq!(bidirectional_distance(&view, 6, 11).distance, INFINITE_DISTANCE);
+        assert_eq!(
+            bidirectional_distance(&view, 6, 11).distance,
+            INFINITE_DISTANCE
+        );
     }
 }

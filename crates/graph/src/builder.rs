@@ -54,7 +54,10 @@ impl GraphBuilder {
     /// Creates a builder that will produce a graph with at least
     /// `num_vertices` vertices even if some of them end up isolated.
     pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
-        GraphBuilder { edges: Vec::with_capacity(num_edges), min_vertices: num_vertices }
+        GraphBuilder {
+            edges: Vec::with_capacity(num_edges),
+            min_vertices: num_vertices,
+        }
     }
 
     /// Ensures the built graph has at least `n` vertices.
@@ -150,7 +153,7 @@ mod tests {
 
     #[test]
     fn deduplicates_and_symmetrises() {
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 0), (0, 1), (2, 1)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 0), (0, 1), (2, 1)]).build();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.neighbors(1), &[0, 2]);
@@ -158,7 +161,7 @@ mod tests {
 
     #[test]
     fn removes_self_loops() {
-        let g = GraphBuilder::from_edges([(0u32, 0), (0, 1), (1, 1)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 0), (0, 1), (1, 1)]).build();
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.neighbors(0), &[1]);
         assert_eq!(g.neighbors(1), &[0]);
@@ -166,7 +169,7 @@ mod tests {
 
     #[test]
     fn reserve_vertices_creates_isolated_vertices() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1)]);
         b.reserve_vertices(5);
         let g = b.build();
         assert_eq!(g.num_vertices(), 5);
@@ -197,7 +200,7 @@ mod tests {
     #[test]
     fn build_largest_component_relabels_densely() {
         // Two components: {0,1,2} (triangle) and {3,4} (edge).
-        let b = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 0), (3, 4)].into_iter());
+        let b = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 0), (3, 4)]);
         let (g, map) = b.build_largest_component();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 3);

@@ -117,7 +117,7 @@ mod tests {
     use crate::GraphBuilder;
 
     fn two_components() -> Graph {
-        GraphBuilder::from_edges([(0u32, 1), (1, 2), (3, 4), (4, 5), (5, 6)].into_iter()).build()
+        GraphBuilder::from_edges([(0u32, 1), (1, 2), (3, 4), (4, 5), (5, 6)]).build()
     }
 
     #[test]
@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn is_connected_detects_both_cases() {
         assert!(!is_connected(&two_components()));
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2)]).build();
         assert!(is_connected(&g));
         assert!(is_connected(&GraphBuilder::new().build()));
     }
@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     fn isolated_vertices_form_singleton_components() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1)]);
         b.reserve_vertices(4);
         let comps = connected_components(&b.build());
         assert_eq!(comps.count(), 3);

@@ -40,7 +40,10 @@ impl Graph {
     /// out of range. These conditions are programming errors rather than
     /// recoverable failures, so they are asserted instead of returned.
     pub fn from_csr_parts(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must contain at least one entry");
+        assert!(
+            !offsets.is_empty(),
+            "offsets must contain at least one entry"
+        );
         assert_eq!(offsets[0], 0, "offsets must start at zero");
         assert_eq!(
             *offsets.last().expect("non-empty") as usize,
@@ -103,7 +106,11 @@ impl Graph {
             return false;
         }
         // Search the smaller adjacency list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
@@ -180,7 +187,7 @@ mod tests {
 
     fn triangle_plus_tail() -> Graph {
         // 0-1, 1-2, 2-0 triangle, tail 2-3.
-        GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 0), (2, 3)].into_iter()).build()
+        GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 0), (2, 3)]).build()
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "vertex {vertex} out of range for graph with {num_vertices} vertices"
             ),
@@ -65,11 +68,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::VertexOutOfRange { vertex: 10, num_vertices: 5 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: 10,
+            num_vertices: 5,
+        };
         assert!(e.to_string().contains("vertex 10"));
         assert!(e.to_string().contains("5 vertices"));
 
-        let e = GraphError::ParseEdge { line: 3, content: "a b".into() };
+        let e = GraphError::ParseEdge {
+            line: 3,
+            content: "a b".into(),
+        };
         assert!(e.to_string().contains("line 3"));
 
         let e = GraphError::EmptyGraph;

@@ -16,8 +16,17 @@ use crate::GraphBuilder;
 /// `{3, 1, 4, 2, 5, 7}` and distance 4, the example used in §3 to show that
 /// a plain 2-hop distance cover is insufficient.
 pub fn figure3_graph() -> Graph {
-    let edges = [(1u32, 2), (1, 3), (2, 4), (3, 4), (2, 5), (2, 6), (5, 6), (5, 7)];
-    let mut b = GraphBuilder::from_edges(edges.into_iter());
+    let edges = [
+        (1u32, 2),
+        (1, 3),
+        (2, 4),
+        (3, 4),
+        (2, 5),
+        (2, 6),
+        (5, 6),
+        (5, 7),
+    ];
+    let mut b = GraphBuilder::from_edges(edges);
     b.reserve_vertices(8);
     b.build()
 }
@@ -56,7 +65,7 @@ pub fn figure4_graph() -> Graph {
         (11, 12),
         (13, 14),
     ];
-    let mut b = GraphBuilder::from_edges(edges.into_iter());
+    let mut b = GraphBuilder::from_edges(edges);
     b.reserve_vertices(15);
     b.build()
 }
@@ -69,9 +78,17 @@ pub fn figure4_landmarks() -> Vec<VertexId> {
 /// Figure 1(b): two vertices at distance 3 connected by exactly three
 /// vertex-disjoint shortest paths. `u = 0`, `v = 7`.
 pub fn figure1b_graph() -> Graph {
-    GraphBuilder::from_edges(
-        [(0u32, 1), (1, 2), (2, 7), (0, 3), (3, 4), (4, 7), (0, 5), (5, 6), (6, 7)].into_iter(),
-    )
+    GraphBuilder::from_edges([
+        (0u32, 1),
+        (1, 2),
+        (2, 7),
+        (0, 3),
+        (3, 4),
+        (4, 7),
+        (0, 5),
+        (5, 6),
+        (6, 7),
+    ])
     .build()
 }
 

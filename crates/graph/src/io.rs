@@ -5,8 +5,6 @@
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, BytesMut};
-
 use crate::builder::GraphBuilder;
 use crate::csr::Graph;
 use crate::error::GraphError;
@@ -37,7 +35,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
                 builder.add_edge(u, v);
             }
             _ => {
-                return Err(GraphError::ParseEdge { line: idx + 1, content: line });
+                return Err(GraphError::ParseEdge {
+                    line: idx + 1,
+                    content: line,
+                });
             }
         }
     }
@@ -52,7 +53,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
 /// Writes the graph as an edge list (one `u v` line per undirected edge).
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<()> {
     let mut out = BufWriter::new(writer);
-    writeln!(out, "# qbs edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        out,
+        "# qbs edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(out, "{u} {v}")?;
     }
@@ -71,31 +77,64 @@ pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<()
 /// (degrees as `u32`, neighbours as `u32`), all little-endian.
 pub fn encode_binary(graph: &Graph) -> Vec<u8> {
     let n = graph.num_vertices();
-    let mut buf = BytesMut::with_capacity(16 + 4 * n + 4 * graph.num_arcs());
-    buf.put_slice(MAGIC);
-    buf.put_u64_le(n as u64);
-    buf.put_u64_le(graph.num_arcs() as u64);
+    let mut buf = Vec::with_capacity(MAGIC.len() + 16 + 4 * n + 4 * graph.num_arcs());
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    buf.extend_from_slice(&(graph.num_arcs() as u64).to_le_bytes());
     for v in graph.vertices() {
-        buf.put_u32_le(graph.degree(v) as u32);
+        buf.extend_from_slice(&(graph.degree(v) as u32).to_le_bytes());
     }
     for v in graph.vertices() {
         for &w in graph.neighbors(v) {
-            buf.put_u32_le(w);
+            buf.extend_from_slice(&w.to_le_bytes());
         }
     }
-    buf.to_vec()
+    buf
+}
+
+/// Little-endian reads off a byte cursor (replaces the `bytes` crate, which
+/// is unavailable offline).
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn advance(&mut self, count: usize) {
+        self.data = &self.data[count..];
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, tail) = self.data.split_at(8);
+        self.data = tail;
+        u64::from_le_bytes(head.try_into().expect("8-byte slice"))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, tail) = self.data.split_at(4);
+        self.data = tail;
+        u32::from_le_bytes(head.try_into().expect("4-byte slice"))
+    }
 }
 
 /// Decodes a graph from the binary format produced by [`encode_binary`].
 pub fn decode_binary(data: &[u8]) -> Result<Graph> {
-    let mut buf = data;
-    if buf.len() < MAGIC.len() + 16 || &buf[..MAGIC.len()] != MAGIC {
+    if data.len() < MAGIC.len() + 16 || &data[..MAGIC.len()] != MAGIC {
         return Err(GraphError::InvalidFormat("missing QBSG1 header".into()));
     }
+    let mut buf = Cursor { data };
     buf.advance(MAGIC.len());
     let n = buf.get_u64_le() as usize;
     let arcs = buf.get_u64_le() as usize;
-    let need = 4 * n + 4 * arcs;
+    // Checked arithmetic: a crafted header with huge counts must yield a
+    // clean error, not an overflowed bounds check and an allocation abort.
+    let need = n
+        .checked_add(arcs)
+        .and_then(|slots| slots.checked_mul(4))
+        .ok_or_else(|| GraphError::InvalidFormat("header counts overflow".into()))?;
     if buf.remaining() < need {
         return Err(GraphError::InvalidFormat(format!(
             "truncated payload: need {need} bytes, have {}",
@@ -109,13 +148,18 @@ pub fn decode_binary(data: &[u8]) -> Result<Graph> {
         offsets.push(offsets.last().expect("non-empty") + d);
     }
     if *offsets.last().expect("non-empty") as usize != arcs {
-        return Err(GraphError::InvalidFormat("degree sum does not match arc count".into()));
+        return Err(GraphError::InvalidFormat(
+            "degree sum does not match arc count".into(),
+        ));
     }
     let mut neighbors = Vec::with_capacity(arcs);
     for _ in 0..arcs {
         let w = buf.get_u32_le();
         if w as usize >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: w as u64, num_vertices: n as u64 });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: w as u64,
+                num_vertices: n as u64,
+            });
         }
         neighbors.push(w);
     }
@@ -146,7 +190,10 @@ mod tests {
         let back = read_edge_list(&text[..]).expect("read");
         // Vertex 0 / 14 are isolated so the parsed graph may have fewer
         // trailing vertices; compare edges instead.
-        assert_eq!(g.edges().collect::<Vec<_>>(), back.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            back.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -191,6 +238,19 @@ mod tests {
     }
 
     #[test]
+    fn binary_rejects_overflowing_header_counts() {
+        // A crafted header whose `4 * (n + arcs)` overflows usize must be
+        // rejected as malformed, not crash on an absurd allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&0x4000_0000_0000_0000u64.to_le_bytes()); // n
+        bytes.extend_from_slice(&0x4000_0000_0000_0000u64.to_le_bytes()); // arcs
+        bytes.extend_from_slice(&[0u8; 32]);
+        let err = decode_binary(&bytes).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidFormat(_)), "got {err:?}");
+    }
+
+    #[test]
     fn binary_rejects_out_of_range_neighbor() {
         let g = figure3_graph();
         let mut bytes = encode_binary(&g);
@@ -213,6 +273,9 @@ mod tests {
         let txt = dir.join("g.edges");
         write_edge_list_file(&g, &txt).expect("write txt");
         let back = read_edge_list_file(&txt).expect("read txt");
-        assert_eq!(g.edges().collect::<Vec<_>>(), back.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            back.edges().collect::<Vec<_>>()
+        );
     }
 }

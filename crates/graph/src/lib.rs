@@ -49,6 +49,7 @@ pub mod path_graph;
 pub mod stats;
 pub mod traversal;
 pub mod view;
+pub mod workspace;
 
 mod vertex;
 
@@ -58,6 +59,7 @@ pub use error::GraphError;
 pub use path_graph::PathGraph;
 pub use vertex::{Distance, VertexId, INFINITE_DISTANCE, INVALID_VERTEX};
 pub use view::{FilteredGraph, VertexFilter};
+pub use workspace::{DistanceField, VisitedSet};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -30,12 +30,22 @@ impl PathGraph {
     /// Creates the answer for an unreachable pair (empty edge set, infinite
     /// distance).
     pub fn unreachable(source: VertexId, target: VertexId) -> Self {
-        PathGraph { source, target, distance: INFINITE_DISTANCE, edges: Vec::new() }
+        PathGraph {
+            source,
+            target,
+            distance: INFINITE_DISTANCE,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates the trivial answer for a query with identical endpoints.
     pub fn trivial(v: VertexId) -> Self {
-        PathGraph { source: v, target: v, distance: 0, edges: Vec::new() }
+        PathGraph {
+            source: v,
+            target: v,
+            distance: 0,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a path graph from a raw edge list.
@@ -51,7 +61,12 @@ impl PathGraph {
             .filter(|&(a, b)| a != b)
             .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
             .collect();
-        PathGraph { source, target, distance, edges: set.into_iter().collect() }
+        PathGraph {
+            source,
+            target,
+            distance,
+            edges: set.into_iter().collect(),
+        }
     }
 
     /// The query source vertex `u`.
@@ -95,8 +110,7 @@ impl PathGraph {
             v.dedup();
             return v;
         }
-        let set: BTreeSet<VertexId> =
-            self.edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let set: BTreeSet<VertexId> = self.edges.iter().flat_map(|&(a, b)| [a, b]).collect();
         set.into_iter().collect()
     }
 

@@ -106,7 +106,10 @@ impl DistanceHistogram {
         if total == 0 {
             return Vec::new();
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 
     /// Mean distance of the reachable pairs, if any.
@@ -172,7 +175,7 @@ mod tests {
     #[test]
     fn average_distance_of_a_path_graph() {
         // Path 0-1-2-3-4: exact average distance is 2.0.
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3), (3, 4)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3), (3, 4)]).build();
         let s = GraphStats::compute(&g, 1000);
         let avg = s.avg_distance.unwrap();
         assert!(avg > 1.0 && avg <= 3.0, "avg = {avg}");

@@ -18,6 +18,40 @@ pub fn bfs_distances<G: NeighborAccess>(graph: &G, source: VertexId) -> Vec<Dist
     bfs_distances_bounded(graph, source, INFINITE_DISTANCE)
 }
 
+/// Computes BFS distances from `source` into a reusable epoch-stamped
+/// [`DistanceField`], reusing `queue` as scratch.
+///
+/// The allocation-free sibling of [`bfs_distances`]: after the first call at
+/// a given graph size neither the field nor the queue reallocates, which is
+/// what the workspace-based query engines build on.
+pub fn bfs_distances_into<G: NeighborAccess>(
+    graph: &G,
+    source: VertexId,
+    dist: &mut crate::workspace::DistanceField,
+    queue: &mut Vec<VertexId>,
+) {
+    let n = graph.vertex_count();
+    dist.reset(n);
+    queue.clear();
+    if n == 0 || !graph.contains_vertex(source) {
+        return;
+    }
+    dist.set(source, 0);
+    queue.push(source);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let du = dist.get(u);
+        graph.for_each_neighbor(u, |v| {
+            if !dist.is_set(v) {
+                dist.set(v, du + 1);
+                queue.push(v);
+            }
+        });
+    }
+}
+
 /// Computes BFS distances from `source`, not expanding past `max_depth`.
 ///
 /// Vertices further than `max_depth` (and unreachable vertices) get
@@ -60,7 +94,11 @@ pub fn bfs_distances_bounded<G: NeighborAccess>(
 /// Returns [`INFINITE_DISTANCE`] when `v` is unreachable from `u`.
 pub fn bfs_distance_to<G: NeighborAccess>(graph: &G, u: VertexId, v: VertexId) -> Distance {
     if u == v {
-        return if graph.contains_vertex(u) { 0 } else { INFINITE_DISTANCE };
+        return if graph.contains_vertex(u) {
+            0
+        } else {
+            INFINITE_DISTANCE
+        };
     }
     let n = graph.vertex_count();
     if !graph.contains_vertex(u) || !graph.contains_vertex(v) {
@@ -149,7 +187,11 @@ pub fn shortest_path_dag(graph: &Graph, source: VertexId) -> ShortestPathDag {
             }
         }
     }
-    ShortestPathDag { dist, parents, source }
+    ShortestPathDag {
+        dist,
+        parents,
+        source,
+    }
 }
 
 /// Computes the eccentricity of `source` (greatest finite BFS distance).
@@ -171,14 +213,14 @@ mod tests {
 
     #[test]
     fn distances_on_a_path() {
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3)]).build();
         let d = bfs_distances(&g, 0);
         assert_eq!(d, vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn unreachable_vertices_get_infinite_distance() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1)]);
         b.reserve_vertices(3);
         let g = b.build();
         let d = bfs_distances(&g, 0);
@@ -187,7 +229,7 @@ mod tests {
 
     #[test]
     fn bounded_bfs_stops_at_depth() {
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3), (3, 4)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3), (3, 4)]).build();
         let d = bfs_distances_bounded(&g, 0, 2);
         assert_eq!(d, vec![0, 1, 2, INFINITE_DISTANCE, INFINITE_DISTANCE]);
     }
@@ -208,7 +250,7 @@ mod tests {
     #[test]
     fn bfs_on_filtered_graph_respects_removals() {
         let g = figure4_graph();
-        let removed = VertexFilter::from_vertices(g.num_vertices(), [1u32, 2, 3].into_iter());
+        let removed = VertexFilter::from_vertices(g.num_vertices(), [1u32, 2, 3]);
         let view = FilteredGraph::new(&g, &removed);
         let d = bfs_distances(&view, 6);
         // Example 4.8: in the sparsified graph the only shortest path
@@ -225,7 +267,7 @@ mod tests {
     #[test]
     fn dag_records_all_parents() {
         // A 4-cycle has two shortest paths between opposite corners.
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3), (3, 0)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3), (3, 0)]).build();
         let dag = shortest_path_dag(&g, 0);
         assert_eq!(dag.dist[2], 2);
         let mut parents = dag.parents[2].clone();
@@ -238,9 +280,17 @@ mod tests {
     #[test]
     fn path_counting_on_figure1_style_graphs() {
         // Figure 1(b)-style: three parallel length-3 paths between u=0, v=7.
-        let g = GraphBuilder::from_edges(
-            [(0u32, 1), (1, 2), (2, 7), (0, 3), (3, 4), (4, 7), (0, 5), (5, 6), (6, 7)].into_iter(),
-        )
+        let g = GraphBuilder::from_edges([
+            (0u32, 1),
+            (1, 2),
+            (2, 7),
+            (0, 3),
+            (3, 4),
+            (4, 7),
+            (0, 5),
+            (5, 6),
+            (6, 7),
+        ])
         .build();
         let dag = shortest_path_dag(&g, 0);
         assert_eq!(dag.dist[7], 3);
@@ -249,7 +299,7 @@ mod tests {
 
     #[test]
     fn path_count_zero_for_unreachable() {
-        let mut b = GraphBuilder::from_edges([(0u32, 1)].into_iter());
+        let mut b = GraphBuilder::from_edges([(0u32, 1)]);
         b.reserve_vertices(3);
         let g = b.build();
         let dag = shortest_path_dag(&g, 0);
@@ -258,7 +308,7 @@ mod tests {
 
     #[test]
     fn eccentricity_of_path_endpoint() {
-        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3)].into_iter()).build();
+        let g = GraphBuilder::from_edges([(0u32, 1), (1, 2), (2, 3)]).build();
         assert_eq!(eccentricity(&g, 0), 3);
         assert_eq!(eccentricity(&g, 1), 2);
     }

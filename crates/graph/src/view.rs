@@ -61,7 +61,7 @@ impl NeighborAccess for Graph {
 }
 
 /// A compact bitset marking a set of removed (or selected) vertices.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VertexFilter {
     bits: Vec<u64>,
     num_vertices: usize,
@@ -72,7 +72,11 @@ impl VertexFilter {
     /// Creates an empty filter (nothing removed) for a graph with
     /// `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {
-        VertexFilter { bits: vec![0; num_vertices.div_ceil(64)], num_vertices, num_set: 0 }
+        VertexFilter {
+            bits: vec![0; num_vertices.div_ceil(64)],
+            num_vertices,
+            num_set: 0,
+        }
     }
 
     /// Creates a filter with the given vertices marked.
@@ -99,6 +103,32 @@ impl VertexFilter {
         } else {
             false
         }
+    }
+
+    /// Unmarks `v`. Returns `true` if it was previously marked.
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        if (v as usize) >= self.num_vertices {
+            return false;
+        }
+        let (word, bit) = (v as usize / 64, v as usize % 64);
+        let mask = 1u64 << bit;
+        if self.bits[word] & mask != 0 {
+            self.bits[word] &= !mask;
+            self.num_set -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing the existing bit
+    /// buffer when capacities allow (no allocation in the steady state of a
+    /// query loop).
+    pub fn copy_from(&mut self, other: &VertexFilter) {
+        self.bits.clear();
+        self.bits.extend_from_slice(&other.bits);
+        self.num_vertices = other.num_vertices;
+        self.num_set = other.num_set;
     }
 
     /// Whether `v` is marked.
@@ -211,10 +241,8 @@ mod tests {
 
     fn star_with_path() -> Graph {
         // Vertex 0 is a hub connected to 1..=4; additionally a path 1-2-3-4.
-        GraphBuilder::from_edges(
-            [(0u32, 1), (0, 2), (0, 3), (0, 4), (1, 2), (2, 3), (3, 4)].into_iter(),
-        )
-        .build()
+        GraphBuilder::from_edges([(0u32, 1), (0, 2), (0, 3), (0, 4), (1, 2), (2, 3), (3, 4)])
+            .build()
     }
 
     #[test]
@@ -232,7 +260,7 @@ mod tests {
 
     #[test]
     fn filter_iter_lists_marked_vertices_in_order() {
-        let f = VertexFilter::from_vertices(100, [70, 3, 64].into_iter());
+        let f = VertexFilter::from_vertices(100, [70, 3, 64]);
         assert_eq!(f.iter().collect::<Vec<_>>(), vec![3, 64, 70]);
     }
 
@@ -245,7 +273,7 @@ mod tests {
     #[test]
     fn filtered_graph_hides_removed_vertices() {
         let g = star_with_path();
-        let removed = VertexFilter::from_vertices(g.num_vertices(), [0u32].into_iter());
+        let removed = VertexFilter::from_vertices(g.num_vertices(), [0u32]);
         let view = FilteredGraph::new(&g, &removed);
 
         assert_eq!(view.remaining_vertices(), 4);
@@ -276,7 +304,7 @@ mod tests {
     #[test]
     fn view_degree_counts_only_surviving_neighbors() {
         let g = star_with_path();
-        let removed = VertexFilter::from_vertices(g.num_vertices(), [0u32, 3].into_iter());
+        let removed = VertexFilter::from_vertices(g.num_vertices(), [0u32, 3]);
         let view = FilteredGraph::new(&g, &removed);
         assert_eq!(view.view_degree(2), 1); // only vertex 1 remains adjacent
         assert_eq!(view.view_degree(4), 0);

@@ -11,7 +11,7 @@ use qbs_graph::{io, Graph, GraphBuilder, VertexFilter, INFINITE_DISTANCE};
 
 fn arbitrary_graph(max_vertices: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
     prop::collection::vec((0..max_vertices, 0..max_vertices), 0..max_edges).prop_map(move |edges| {
-        let mut b = GraphBuilder::from_edges(edges.into_iter());
+        let mut b = GraphBuilder::from_edges(edges);
         b.reserve_vertices(max_vertices as usize);
         b.build()
     })

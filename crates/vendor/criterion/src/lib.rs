@@ -1,0 +1,324 @@
+//! Minimal benchmarking stand-in for the `criterion` crate.
+//!
+//! Supports the subset the `qbs-bench` benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `measurement_time` /
+//! `warm_up_time`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurements are simple mean/min/max over the
+//! configured samples — enough to compare code paths locally; no
+//! statistical machinery or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else if self.parameter.is_empty() {
+            write!(f, "{}", self.function)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement_time: Duration,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Duration,
+    /// Minimum per-iteration time of the last `iter` call.
+    last_min: Duration,
+}
+
+impl Bencher {
+    fn new(samples: usize, warm_up: Duration, measurement_time: Duration) -> Self {
+        Bencher {
+            samples,
+            warm_up,
+            measurement_time,
+            last_mean: Duration::ZERO,
+            last_min: Duration::ZERO,
+        }
+    }
+
+    /// Runs `routine` repeatedly and records per-iteration timing.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_up_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_up_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut measured = 0usize;
+        let measurement_start = Instant::now();
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+            measured += 1;
+            if measurement_start.elapsed() >= self.measurement_time && measured >= 1 {
+                break;
+            }
+        }
+        self.last_mean = total / measured as u32;
+        self.last_min = min;
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(50),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the default sample count.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.settings.sample_size = samples;
+        self
+    }
+
+    /// Sets the default measurement budget.
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.settings.measurement_time = time;
+        self
+    }
+
+    /// Sets the default warm-up budget.
+    pub fn warm_up_time(mut self, time: Duration) -> Self {
+        self.settings.warm_up_time = time;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let settings = self.settings;
+        run_benchmark(name, settings, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.settings.sample_size = samples;
+        self
+    }
+
+    /// Sets the measurement budget for this group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.settings.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.settings.warm_up_time = time;
+        self
+    }
+
+    /// Sets the throughput hint (accepted for API compatibility; the shim
+    /// does not report throughput-normalised numbers).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.settings, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.settings, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (drops it; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Throughput hint (API compatibility only).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn run_benchmark(label: &str, settings: Settings, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(
+        settings.sample_size,
+        settings.warm_up_time,
+        settings.measurement_time,
+    );
+    f(&mut bencher);
+    println!(
+        "bench {label:<60} mean {:>12} min {:>12}",
+        format_duration(bencher.last_mean),
+        format_duration(bencher.last_min)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; a plain-main
+            // bench binary only needs to skip the run under `--test`.
+            let test_mode = std::env::args().any(|a| a == "--test");
+            if test_mode {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_nonzero_mean() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("us"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

@@ -1,0 +1,297 @@
+//! Minimal data-parallelism stand-in for the `rayon` crate.
+//!
+//! Provides the slice of rayon this workspace uses: `into_par_iter()` over
+//! ranges and vectors with `.map(...).collect()`, plus `ThreadPoolBuilder` /
+//! `ThreadPool::install`. Parallelism is real — work is executed on scoped
+//! OS threads that pull items from a shared atomic cursor (a simple form of
+//! work stealing: an idle worker keeps claiming whatever work remains), and
+//! results are returned in input order.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Glob import mirror of `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel iterators will use in the current
+/// context: the installed pool's size, or the machine's parallelism.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|cell| match cell.get() {
+        Some(n) => n,
+        None => default_parallelism(),
+    })
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`].
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: String,
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 means "use the default parallelism").
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.num_threads {
+            Some(0) | None => default_parallelism(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A logical thread pool: in this shim it only carries the configured
+/// parallelism, which scoped workers pick up via [`ThreadPool::install`].
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Number of worker threads this pool represents.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's parallelism installed for any parallel
+    /// iterators it executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|cell| {
+            let previous = cell.replace(Some(self.threads));
+            let result = op();
+            cell.set(previous);
+            result
+        })
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A minimal parallel iterator: `map` + `collect`.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Materialises the items (called once, on the driving thread).
+    fn items(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f` in parallel.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects into a `Vec`, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self.items())
+    }
+}
+
+/// Collection types a parallel iterator can collect into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from the already-evaluated items.
+    fn from_par_iter(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over a materialised item list.
+pub struct IterVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterVec<T> {
+    type Item = T;
+
+    fn items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterVec<T>;
+
+    fn into_par_iter(self) -> IterVec<T> {
+        IterVec { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = IterVec<usize>;
+
+    fn into_par_iter(self) -> IterVec<usize> {
+        IterVec {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    type Iter = IterVec<u32>;
+
+    fn into_par_iter(self) -> IterVec<u32> {
+        IterVec {
+            items: self.collect(),
+        }
+    }
+}
+
+/// The result of [`ParallelIterator::map`]: evaluates `f` over the base
+/// items on a scoped worker pool.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    B::Item: Send,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn items(self) -> Vec<R> {
+        let inputs = self.base.items();
+        run_ordered(inputs, &self.f)
+    }
+}
+
+/// Evaluates `f` over `inputs` on `current_num_threads()` scoped workers,
+/// returning outputs in input order. Workers claim items through a shared
+/// atomic cursor, so load imbalance self-corrects (idle workers keep
+/// claiming work until none remains).
+fn run_ordered<T: Send, R: Send>(inputs: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads().min(inputs.len()).max(1);
+    if threads == 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    let len = inputs.len();
+    let slots: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let cursor = AtomicUsize::new(0);
+    let results = Mutex::new(Vec::with_capacity(len));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= len {
+                        break;
+                    }
+                    let item = slots[idx]
+                        .lock()
+                        .expect("input slot poisoned")
+                        .take()
+                        .expect("input slot claimed twice");
+                    local.push((idx, f(item)));
+                }
+                results
+                    .lock()
+                    .expect("result vector poisoned")
+                    .append(&mut local);
+            });
+        }
+    });
+
+    let mut indexed = results.into_inner().expect("result vector poisoned");
+    indexed.sort_unstable_by_key(|&(idx, _)| idx);
+    debug_assert_eq!(indexed.len(), len);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn vec_par_iter_works() {
+        let data = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = data.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,386 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses:
+//!
+//! * structs with named fields (and unit structs),
+//! * enums whose variants are unit, struct-like, or tuple-like.
+//!
+//! The input item is parsed directly from the proc-macro token stream (no
+//! `syn`/`quote`, which are unavailable offline) and the generated impl is
+//! assembled as a string and re-parsed — the types involved are plain data
+//! carriers, so nothing fancier is required. Generic types are not
+//! supported and produce a compile error naming the offending item.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (vendored flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum VariantKind {
+    Unit,
+    Struct(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    Struct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let keyword = expect_ident(&mut tokens);
+    let name = expect_ident(&mut tokens);
+
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: ItemKind::Struct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                kind: ItemKind::UnitStruct,
+            },
+            _ => panic!("serde_derive (vendored): tuple struct `{name}` is not supported"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                kind: ItemKind::Enum(parse_variants(g.stream())),
+            },
+            _ => panic!("serde_derive (vendored): malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive (vendored): cannot derive for `{other}` items"),
+    }
+}
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(tokens: &mut Tokens) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next(); // '#'
+        tokens.next(); // [...]
+    }
+}
+
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` pairs, returning the field names. Types are
+/// skipped at the token level, tracking `<...>` nesting so commas inside
+/// generic arguments do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        let name = expect_ident(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive (vendored): expected `:` after field `{name}`, found {other:?}"
+            ),
+        }
+        skip_type(&mut tokens);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Consumes tokens of one type, stopping after the top-level `,` (or at the
+/// end of the stream).
+fn skip_type(tokens: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    for token in tokens.by_ref() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut tokens);
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional trailing comma between variants.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0usize;
+    while tokens.peek().is_some() {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        skip_type(&mut tokens);
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Struct(fields) => {
+            let mut out = String::from("{ let mut __map = ::serde::Map::new();\n");
+            for field in fields {
+                out.push_str(&format!(
+                    "__map.insert(\"{field}\", ::serde::Serialize::serialize(&self.{field}));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(__map) }");
+            out
+        }
+        ItemKind::Enum(variants) => {
+            let mut out = String::from("match self {\n");
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings = fields.join(", ");
+                        out.push_str(&format!("{name}::{vname} {{ {bindings} }} => {{\n"));
+                        out.push_str("let mut __inner = ::serde::Map::new();\n");
+                        for field in fields {
+                            out.push_str(&format!(
+                                "__inner.insert(\"{field}\", ::serde::Serialize::serialize({field}));\n"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{vname}\", ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__outer) }},\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let bindings: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        out.push_str(&format!("{name}::{vname}({}) => {{\n", bindings.join(", ")));
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        out.push_str(&format!(
+                            "let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{vname}\", {payload});\n\
+                             ::serde::Value::Object(__outer) }},\n"
+                        ));
+                    }
+                }
+            }
+            out.push('}');
+            out
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Struct(fields) => {
+            let mut out = format!("::std::result::Result::Ok({name} {{\n");
+            for field in fields {
+                out.push_str(&format!(
+                    "{field}: ::serde::Deserialize::deserialize(__value.field(\"{field}\")?)?,\n"
+                ));
+            }
+            out.push_str("})");
+            out
+        }
+        ItemKind::Enum(variants) => {
+            let mut string_arms = String::new();
+            let mut object_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => string_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut ctor = format!("{name}::{vname} {{\n");
+                        for field in fields {
+                            ctor.push_str(&format!(
+                                "{field}: ::serde::Deserialize::deserialize(__inner.field(\"{field}\")?)?,\n"
+                            ));
+                        }
+                        ctor.push('}');
+                        object_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({ctor}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        if *arity == 1 {
+                            object_arms.push_str(&format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::deserialize(__inner)?)),\n"
+                            ));
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(__items.get({i}).ok_or_else(|| \
+                                         ::serde::Error::new(\"missing tuple element\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            object_arms.push_str(&format!(
+                                "\"{vname}\" => match __inner {{\n\
+                                 ::serde::Value::Array(__items) => \
+                                 ::std::result::Result::Ok({name}::{vname}({elems})),\n\
+                                 _ => ::std::result::Result::Err(::serde::Error::new(\
+                                 \"expected array for tuple variant {vname}\")),\n\
+                                 }},\n",
+                                elems = elems.join(", ")
+                            ));
+                        }
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {string_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::new(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__map) => {{\n\
+                 let (__key, __inner) = __map.iter().next().ok_or_else(|| \
+                 ::serde::Error::new(\"expected single-key object for enum {name}\"))?;\n\
+                 match __key.as_str() {{\n\
+                 {object_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::new(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::new(\
+                 \"expected string or object for enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unreachable_patterns, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

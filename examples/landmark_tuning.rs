@@ -10,12 +10,14 @@
 
 use std::time::Instant;
 
-use qbs::prelude::*;
 use qbs::core::coverage::classify_workload;
+use qbs::prelude::*;
 use qbs_gen::catalog::{Catalog, DatasetId, Scale};
 
 fn main() {
-    let spec = *Catalog::paper_table1().get(DatasetId::Youtube).expect("catalog dataset");
+    let spec = *Catalog::paper_table1()
+        .get(DatasetId::Youtube)
+        .expect("catalog dataset");
     let graph = spec.generate(Scale::Small);
     let workload = QueryWorkload::sample_connected(&graph, 500, 2021);
     println!(
@@ -62,12 +64,18 @@ fn main() {
     // Landmark *strategy* comparison at the paper's default |R| = 20.
     println!("\nlandmark strategy at |R| = 20:");
     for (label, strategy) in [
-        ("highest degree (paper)", LandmarkStrategy::HighestDegree { count: 20 }),
+        (
+            "highest degree (paper)",
+            LandmarkStrategy::HighestDegree { count: 20 },
+        ),
         ("random", LandmarkStrategy::Random { count: 20, seed: 3 }),
     ] {
         let index = QbsIndex::build(
             graph.clone(),
-            QbsConfig { landmarks: strategy, ..QbsConfig::default() },
+            QbsConfig {
+                landmarks: strategy,
+                ..QbsConfig::default()
+            },
         );
         let coverage = classify_workload(&index, workload.pairs()).pair_coverage_ratio();
         let t0 = Instant::now();

@@ -61,7 +61,10 @@ fn main() {
     }
     let mut ranked: Vec<_> = load.into_iter().collect();
     ranked.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
-    println!("\nmost load-bearing links over {} monitored pairs:", traffic.len());
+    println!(
+        "\nmost load-bearing links over {} monitored pairs:",
+        traffic.len()
+    );
     for ((a, b), count) in ranked.into_iter().take(8) {
         println!(
             "  link ({a:>5}, {b:>5}) appears in {count} shortest path graphs (degrees {} / {})",

@@ -29,8 +29,15 @@
 //! // Ask for the shortest path graph between two vertices and validate it
 //! // against the definition (it contains exactly all shortest paths).
 //! let answer = index.query(17, 1234);
-//! assert!(qbs::core::verify::is_exact(&graph, &answer));
-//! assert_eq!(answer, GroundTruth::new(graph).query(17, 1234));
+//! assert!(is_exact(&graph, &answer));
+//! assert_eq!(answer, GroundTruth::new(graph.clone()).query(17, 1234));
+//!
+//! // Serving loops reuse an epoch-stamped workspace (zero O(|V|) work per
+//! // query) or fan batches out over the concurrent engine.
+//! let mut ws = QueryWorkspace::new();
+//! assert_eq!(index.query_with(&mut ws, 17, 1234).unwrap().path_graph, answer);
+//! let engine = QueryEngine::new(&index);
+//! assert_eq!(engine.query_batch(&[(17, 1234)]).unwrap()[0].path_graph, answer);
 //! ```
 //!
 //! (See `examples/quickstart.rs` for a larger runnable version.)
@@ -49,7 +56,11 @@ pub use qbs_graph::{Graph, GraphBuilder, PathGraph, VertexId};
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use qbs_baselines::{BiBfs, GroundTruth, ParentPpl, Ppl, SpgEngine};
-    pub use qbs_core::{LandmarkStrategy, QbsConfig, QbsIndex, QueryAnswer, SearchStats};
+    pub use qbs_core::verify::{is_exact, validate};
+    pub use qbs_core::{
+        LandmarkStrategy, QbsConfig, QbsIndex, QueryAnswer, QueryEngine, QueryWorkspace,
+        SearchStats,
+    };
     pub use qbs_gen::prelude::*;
     pub use qbs_graph::{Graph, GraphBuilder, PathGraph, VertexFilter, VertexId};
 }

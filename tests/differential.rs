@@ -25,8 +25,10 @@ fn assert_all_engines_agree(
     let workload = QueryWorkload::sample(graph, queries, seed);
     let truth = GroundTruth::new(graph.clone());
     let qbs = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
-    let qbs_seq =
-        QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks).sequential());
+    let qbs_seq = QbsIndex::build(
+        graph.clone(),
+        QbsConfig::with_landmark_count(landmarks).sequential(),
+    );
     let bibfs = BiBfs::new(graph.clone());
     let labelling = if with_labelling_baselines {
         Some((Ppl::build(graph.clone()), ParentPpl::build(graph.clone())))
@@ -34,17 +36,54 @@ fn assert_all_engines_agree(
         None
     };
 
+    let mut ws = QueryWorkspace::new();
     for &(u, v) in workload.pairs() {
         let expected = truth.query(u, v);
         assert_eq!(qbs.query(u, v), expected, "QbS mismatch on ({u},{v})");
-        assert_eq!(qbs_seq.query(u, v), expected, "QbS (sequential) mismatch on ({u},{v})");
+        assert_eq!(
+            qbs_seq.query(u, v),
+            expected,
+            "QbS (sequential) mismatch on ({u},{v})"
+        );
         assert_eq!(bibfs.query(u, v), expected, "Bi-BFS mismatch on ({u},{v})");
+        // The reused-workspace path must be bit-identical as well.
+        let reused = qbs.query_with(&mut ws, u, v).expect("workspace query");
+        assert_eq!(
+            reused.path_graph, expected,
+            "QbS workspace mismatch on ({u},{v})"
+        );
         if let Some((ppl, parent_ppl)) = &labelling {
             assert_eq!(ppl.query(u, v), expected, "PPL mismatch on ({u},{v})");
-            assert_eq!(parent_ppl.query(u, v), expected, "ParentPPL mismatch on ({u},{v})");
+            assert_eq!(
+                parent_ppl.query(u, v),
+                expected,
+                "ParentPPL mismatch on ({u},{v})"
+            );
         }
         // And the answer satisfies Definition 2.2 independently of the oracle.
         assert!(qbs::core::verify::is_exact(graph, &expected));
+    }
+
+    // The concurrent batch engine answers the whole workload identically,
+    // and every engine's batch entry point agrees with its per-query path.
+    let engine = QueryEngine::new(&qbs);
+    let answers = engine.query_batch(workload.pairs()).expect("batch");
+    let bibfs_batch = bibfs.query_batch(workload.pairs());
+    let truth_batch = truth.query_batch(workload.pairs());
+    for (i, &(u, v)) in workload.pairs().iter().enumerate() {
+        let expected = truth.query(u, v);
+        assert_eq!(
+            answers[i].path_graph, expected,
+            "engine batch mismatch on ({u},{v})"
+        );
+        assert_eq!(
+            bibfs_batch[i], expected,
+            "Bi-BFS batch mismatch on ({u},{v})"
+        );
+        assert_eq!(
+            truth_batch[i], expected,
+            "oracle batch mismatch on ({u},{v})"
+        );
     }
 }
 
@@ -118,22 +157,37 @@ fn qbs_handles_disconnected_graphs() {
 
 #[test]
 fn qbs_matches_oracle_with_landmark_endpoints_on_catalog_graph() {
-    let spec = *Catalog::paper_table1().specs().first().expect("catalog non-empty");
+    let spec = *Catalog::paper_table1()
+        .specs()
+        .first()
+        .expect("catalog non-empty");
     let graph = spec.generate(Scale::Tiny);
     let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(10));
     let truth = GroundTruth::new(graph.clone());
     let others = QueryWorkload::sample(&graph, 10, 3);
     for &r in index.landmarks() {
         for &(x, _) in others.pairs() {
-            assert_eq!(index.query(r, x), truth.query(r, x), "landmark query ({r},{x})");
-            assert_eq!(index.query(x, r), truth.query(x, r), "landmark query ({x},{r})");
+            assert_eq!(
+                index.query(r, x),
+                truth.query(r, x),
+                "landmark query ({r},{x})"
+            );
+            assert_eq!(
+                index.query(x, r),
+                truth.query(x, r),
+                "landmark query ({x},{r})"
+            );
         }
     }
     // Landmark-to-landmark queries as well.
     let landmarks = index.landmarks().to_vec();
     for &a in &landmarks {
         for &b in &landmarks {
-            assert_eq!(index.query(a, b), truth.query(a, b), "landmark pair ({a},{b})");
+            assert_eq!(
+                index.query(a, b),
+                truth.query(a, b),
+                "landmark pair ({a},{b})"
+            );
         }
     }
 }

@@ -11,7 +11,9 @@ use qbs_gen::catalog::{Catalog, DatasetId, Scale};
 /// original sizes of graphs" and "hundreds of times smaller than PPL".
 #[test]
 fn labelling_sizes_follow_table3_shape() {
-    let spec = *Catalog::paper_table1().get(DatasetId::Youtube).expect("dataset");
+    let spec = *Catalog::paper_table1()
+        .get(DatasetId::Youtube)
+        .expect("dataset");
     let graph = spec.generate(Scale::Tiny);
     let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(20));
     let stats = index.stats();
@@ -59,7 +61,9 @@ fn pair_coverage_contrast_between_hub_and_even_degree_graphs() {
 /// precision).
 #[test]
 fn qbs_beats_bibfs_on_a_hub_dominated_standin() {
-    let spec = *Catalog::paper_table1().get(DatasetId::Baidu).expect("dataset");
+    let spec = *Catalog::paper_table1()
+        .get(DatasetId::Baidu)
+        .expect("dataset");
     let graph = spec.generate(Scale::Small);
     let workload = QueryWorkload::sample_connected(&graph, 150, 5);
 
@@ -101,13 +105,16 @@ fn qbs_beats_bibfs_on_a_hub_dominated_standin() {
 /// factor on a multi-core machine.
 #[test]
 fn parallel_labelling_is_identical_on_a_dataset_standin() {
-    let spec = *Catalog::paper_table1().get(DatasetId::Skitter).expect("dataset");
+    let spec = *Catalog::paper_table1()
+        .get(DatasetId::Skitter)
+        .expect("dataset");
     let graph = spec.generate(Scale::Tiny);
     let landmarks = graph.top_k_by_degree(32);
     let sequential = qbs::core::labelling::build_sequential(&graph, &landmarks);
     let parallel = qbs::core::parallel::build_parallel(&graph, &landmarks);
     assert_eq!(sequential, parallel);
-    let four_threads = qbs::core::parallel::build_with_threads(&graph, &landmarks, 4);
+    let four_threads = qbs::core::parallel::build_with_threads(&graph, &landmarks, 4)
+        .expect("dedicated labelling pool");
     assert_eq!(sequential, four_threads);
 }
 
@@ -115,7 +122,9 @@ fn parallel_labelling_is_identical_on_a_dataset_standin() {
 /// verify a workload agrees with the oracle.
 #[test]
 fn persisted_index_round_trips_through_disk() {
-    let spec = *Catalog::paper_table1().get(DatasetId::Douban).expect("dataset");
+    let spec = *Catalog::paper_table1()
+        .get(DatasetId::Douban)
+        .expect("dataset");
     let graph = spec.generate(Scale::Tiny);
     let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(12));
 

@@ -20,7 +20,7 @@ use qbs_graph::INFINITE_DISTANCE;
 /// into a normalised undirected graph (possibly disconnected).
 fn arbitrary_graph(max_vertices: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
     prop::collection::vec((0..max_vertices, 0..max_vertices), 1..max_edges).prop_map(move |edges| {
-        let mut builder = GraphBuilder::from_edges(edges.into_iter());
+        let mut builder = GraphBuilder::from_edges(edges);
         builder.reserve_vertices(max_vertices as usize);
         builder.build()
     })
