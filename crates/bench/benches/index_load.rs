@@ -1,0 +1,77 @@
+//! Index load-time benchmarks: the serving-restart path.
+//!
+//! A production QbS deployment builds its index once and reloads it on
+//! every restart, shard spawn or worker scale-out, so load time is a
+//! serving cost. This bench compares, on a ≥100k-vertex generated graph:
+//!
+//! * `load/v1_json` — the v1 path: JSON parse + full heap reconstruction;
+//! * `load/v2_binary` — the v2 path: buffer copy + section validation +
+//!   bulk materialisation (`IndexView::parse` + `QbsIndex::from_view`);
+//! * `load/v2_view_only` — parsing/validating the zero-copy view (plus
+//!   one buffer clone, isolated by `load/buffer_clone`);
+//! * `build/from_scratch` — rebuilding the labelling, for scale.
+//!
+//! The PR acceptance bar is v2 ≥ 10× faster than v1 on this workload.
+//!
+//! Run with `cargo bench --bench index_load`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use qbs_core::format::{IndexView, ViewBuf};
+use qbs_core::{serialize, QbsConfig, QbsIndex};
+use qbs_gen::prelude::*;
+
+/// Vertex count of the benchmark graph (the acceptance regime: ≥ 100k).
+const VERTICES: usize = 120_000;
+const LANDMARKS: usize = 20;
+
+fn bench_index_load(c: &mut Criterion) {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: VERTICES,
+        edges_per_vertex: 4,
+        seed: 2021,
+    });
+    let config = QbsConfig::with_landmark_count(LANDMARKS);
+    let index = QbsIndex::build(graph.clone(), config.clone());
+    let v1 = serialize::to_bytes(&index).expect("v1 serialise");
+    let v2 = serialize::to_bytes_v2(&index).expect("v2 serialise");
+    println!(
+        "index over {VERTICES} vertices / {} edges: v1 json = {} bytes, v2 binary = {} bytes",
+        graph.num_edges(),
+        v1.len(),
+        v2.len()
+    );
+
+    let mut group = c.benchmark_group("index_load");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("load/v1_json", |b| {
+        b.iter(|| serialize::from_bytes(criterion::black_box(&v1)).expect("v1 load"));
+    });
+    group.bench_function("load/v2_binary", |b| {
+        b.iter(|| serialize::from_bytes_v2(criterion::black_box(&v2)).expect("v2 load"));
+    });
+    // `IndexView::parse` takes ownership of the buffer, so the timed loop
+    // pays one buffer clone per iteration; `load/buffer_clone` isolates
+    // that memcpy — subtract it from `v2_view_only` for the pure
+    // parse+validate cost an mmap-backed server would pay.
+    group.bench_function("load/v2_view_only", |b| {
+        b.iter(|| {
+            IndexView::parse(ViewBuf::Heap(criterion::black_box(&v2).clone())).expect("view")
+        });
+    });
+    group.bench_function("load/buffer_clone", |b| {
+        b.iter(|| criterion::black_box(&v2).clone());
+    });
+    group.bench_function("build/from_scratch", |b| {
+        b.iter(|| QbsIndex::build(graph.clone(), config.clone()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_load);
+criterion_main!(benches);

@@ -10,9 +10,9 @@
 //! | Table 3 — labelling sizes | [`experiments::table3`] |
 //! | Figure 7 — query distance distribution | [`experiments::fig7`] |
 //! | Figure 8 — pair coverage vs #landmarks | [`experiments::fig8`] |
-//! | Figure 9 — labelling size vs #landmarks | [`experiments::fig9`] |
-//! | Figure 10 — construction time vs #landmarks | [`experiments::fig10`] |
-//! | Figure 11 — query time vs #landmarks | [`experiments::fig11`] |
+//! | Figure 9 — labelling size vs #landmarks | [`experiments::landmark_sweep`] |
+//! | Figure 10 — construction time vs #landmarks | [`experiments::landmark_sweep`] |
+//! | Figure 11 — query time vs #landmarks | [`experiments::landmark_sweep`] |
 //! | §6.5 — edges traversed, QbS vs Bi-BFS | [`experiments::traversal`] |
 //! | Ablations — sketch guidance, landmark strategy, parallel speed-up | [`experiments::ablation`] |
 //!

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
 
+use qbs_core::serialize::IndexFormat;
 use qbs_gen::catalog::{DatasetId, Scale};
 
 /// A parsed CLI invocation.
@@ -28,6 +29,9 @@ pub enum Command {
         sequential: bool,
         /// Output index path.
         out: PathBuf,
+        /// On-disk index format (`binary` = qbs-index-v2, the default;
+        /// `json` = the v1 compatibility format).
+        format: IndexFormat,
     },
     /// Answer shortest-path-graph queries against a built index — a single
     /// `--source`/`--target` pair or a whole `--pairs` batch.
@@ -48,6 +52,12 @@ pub enum Command {
     },
     /// Print size/timing statistics of a built index.
     Stats {
+        /// Index path produced by `build`.
+        index: PathBuf,
+    },
+    /// Print the on-disk layout of a built index: format version and, for
+    /// v2 binary files, the full section table and checksum.
+    Inspect {
         /// Index path produced by `build`.
         index: PathBuf,
     },
@@ -81,12 +91,17 @@ qbs-cli — Query-by-Sketch shortest path graph queries
 
 commands:
   generate --dataset <DO|DB|...|CW> [--scale tiny|small|medium|large] --out FILE
-  build    --graph FILE [--landmarks N] [--sequential] --out FILE
+  build    --graph FILE [--landmarks N] [--sequential] [--format binary|json] --out FILE
   query    --index FILE --source U --target V [--format text|json]
   query    --index FILE --pairs FILE [--threads N] [--format text|json]
   stats    --index FILE
+  inspect  --index FILE
   convert  --from FILE --to FILE
   help
+
+`build --format` picks the on-disk index format: `binary` writes the flat
+qbs-index-v2 layout (the default; loads with zero parsing), `json` writes
+the v1 compatibility format. `query`/`stats`/`inspect` read both.
 ";
 
 /// Parses an argument vector (excluding the program name).
@@ -112,6 +127,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             landmarks: parse_number(get("landmarks").as_deref().unwrap_or("20"), "landmarks")?,
             sequential: options.contains_key("sequential"),
             out: PathBuf::from(require("out")?),
+            format: parse_index_format(get("format").as_deref().unwrap_or("binary"))?,
         }),
         "query" => {
             let source = get("source")
@@ -150,6 +166,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             })
         }
         "stats" => Ok(Command::Stats {
+            index: PathBuf::from(require("index")?),
+        }),
+        "inspect" => Ok(Command::Inspect {
             index: PathBuf::from(require("index")?),
         }),
         "convert" => Ok(Command::Convert {
@@ -198,6 +217,16 @@ fn parse_scale(token: &str) -> Result<Scale, ParseError> {
         "medium" => Ok(Scale::Medium),
         "large" => Ok(Scale::Large),
         other => Err(ParseError(format!("unknown scale '{other}'"))),
+    }
+}
+
+fn parse_index_format(token: &str) -> Result<IndexFormat, ParseError> {
+    match token {
+        "binary" => Ok(IndexFormat::Binary),
+        "json" => Ok(IndexFormat::Json),
+        other => Err(ParseError(format!(
+            "unknown index format '{other}' (expected binary or json)"
+        ))),
     }
 }
 
@@ -273,9 +302,27 @@ mod tests {
                 graph: "g.qbsg".into(),
                 landmarks: 32,
                 sequential: true,
-                out: "i.qbs".into()
+                out: "i.qbs".into(),
+                format: IndexFormat::Binary
             }
         );
+
+        // Explicit index formats on build.
+        let cmd = parse(&args(&[
+            "build", "--graph", "g.qbsg", "--out", "i.qbs", "--format", "json",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Build {
+                format: IndexFormat::Json,
+                ..
+            }
+        ));
+        assert!(parse(&args(&[
+            "build", "--graph", "g.qbsg", "--out", "i.qbs", "--format", "xml",
+        ]))
+        .is_err());
 
         let cmd = parse(&args(&[
             "query", "--index", "i.qbs", "--source", "3", "--target", "7", "--format", "json",
@@ -321,6 +368,13 @@ mod tests {
                 index: "i.qbs".into()
             }
         );
+        assert_eq!(
+            parse(&args(&["inspect", "--index", "i.qbs"])).unwrap(),
+            Command::Inspect {
+                index: "i.qbs".into()
+            }
+        );
+        assert!(parse(&args(&["inspect"])).is_err());
         assert_eq!(
             parse(&args(&["convert", "--from", "a.txt", "--to", "b.qbsg"])).unwrap(),
             Command::Convert {

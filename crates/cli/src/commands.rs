@@ -5,7 +5,8 @@ use std::fmt;
 use std::path::Path;
 use std::time::Instant;
 
-use qbs_core::{serialize, QbsConfig, QbsIndex, QueryAnswer, QueryEngine};
+use qbs_core::serialize::{self, IndexFormat};
+use qbs_core::{QbsConfig, QbsIndex, QueryAnswer, QueryEngine};
 use qbs_gen::catalog::Catalog;
 use qbs_graph::{io, Graph, VertexId};
 
@@ -85,6 +86,7 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             landmarks,
             sequential,
             out,
+            format,
         } => {
             let graph = load_graph(graph)?;
             let mut config = QbsConfig::with_landmark_count(*landmarks);
@@ -92,11 +94,11 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
                 config = config.sequential();
             }
             let index = QbsIndex::try_build(graph, config)?;
-            serialize::save_to_file(&index, out)?;
+            serialize::save_to_file_with(&index, out, *format)?;
             let stats = index.stats();
             Ok(format!(
                 "built index over {} vertices / {} edges with {} landmarks in {:.3}s \
-                 (size(L)={} bytes, size(Δ)={} bytes) -> {}",
+                 (size(L)={} bytes, size(Δ)={} bytes) -> {} ({format} format)",
                 stats.num_vertices,
                 stats.num_edges,
                 stats.num_landmarks,
@@ -163,6 +165,7 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
                 stats.meta_time.as_secs_f64(),
             ))
         }
+        Command::Inspect { index } => inspect_index(index),
         Command::Convert { from, to } => {
             let graph = load_graph(from)?;
             store_graph(&graph, to)?;
@@ -173,6 +176,54 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
                 graph.num_edges(),
                 to.display()
             ))
+        }
+    }
+}
+
+/// Implements `inspect`: reports the on-disk format and, for v2 binary
+/// files, renders the section table from a zero-copy view (the index is
+/// never materialised).
+fn inspect_index(path: &Path) -> Result<String, CommandError> {
+    match serialize::detect_format(path)? {
+        IndexFormat::Json => Ok(format!(
+            "{}: qbs-index-v1 (JSON compatibility format)\n\
+             no section table; re-save with `build --format binary` (or load + save) \
+             to migrate to the flat qbs-index-v2 layout\n",
+            path.display()
+        )),
+        IndexFormat::Binary => {
+            let view = serialize::load_view_from_file(path)?;
+            let mut out = format!(
+                "{}: qbs-index-v2 (flat binary)\n\
+                 file size:       {} bytes\n\
+                 vertices:        {}\n\
+                 landmarks:       {}\n\
+                 graph arcs:      {}\n\
+                 meta edges:      {}\n\
+                 delta edges:     {}\n\
+                 checksum:        {:#018x} (word-wise fnv1a-64, verified)\n\n\
+                 {:<16} {:>12} {:>14}\n",
+                path.display(),
+                view.file_len(),
+                view.num_vertices(),
+                view.num_landmarks(),
+                view.num_arcs(),
+                view.num_meta_edges(),
+                view.num_delta_edges(),
+                view.checksum(),
+                "section",
+                "offset",
+                "bytes",
+            );
+            for record in view.sections() {
+                out.push_str(&format!(
+                    "{:<16} {:>12} {:>14}\n",
+                    record.kind.name(),
+                    record.offset,
+                    record.len
+                ));
+            }
+            Ok(out)
         }
     }
 }
@@ -321,6 +372,7 @@ mod tests {
             landmarks: 10,
             sequential: false,
             out: index_path.clone(),
+            format: IndexFormat::Binary,
         })
         .expect("build");
         assert!(report.contains("10 landmarks"));
@@ -353,6 +405,78 @@ mod tests {
     }
 
     #[test]
+    fn inspect_and_format_selection() {
+        let dir = temp_dir("inspect");
+        let graph_path = dir.join("g.qbsg");
+        run(&Command::Generate {
+            dataset: DatasetId::Douban,
+            scale: Scale::Tiny,
+            out: graph_path.clone(),
+        })
+        .expect("generate");
+
+        // Binary (default) build: inspect prints the v2 section table.
+        let bin_path = dir.join("g.qbs2");
+        let report = run(&Command::Build {
+            graph: graph_path.clone(),
+            landmarks: 6,
+            sequential: false,
+            out: bin_path.clone(),
+            format: IndexFormat::Binary,
+        })
+        .expect("build binary");
+        assert!(report.contains("binary format"));
+        let inspect = run(&Command::Inspect {
+            index: bin_path.clone(),
+        })
+        .expect("inspect v2");
+        assert!(inspect.contains("qbs-index-v2"));
+        assert!(inspect.contains("checksum"));
+        assert!(inspect.contains("label-entries"));
+        assert!(inspect.contains("graph-neighbors"));
+
+        // JSON build: inspect reports v1 plus the migration hint, and the
+        // query path loads it transparently.
+        let json_path = dir.join("g.qbs1");
+        run(&Command::Build {
+            graph: graph_path,
+            landmarks: 6,
+            sequential: false,
+            out: json_path.clone(),
+            format: IndexFormat::Json,
+        })
+        .expect("build json");
+        let inspect = run(&Command::Inspect {
+            index: json_path.clone(),
+        })
+        .expect("inspect v1");
+        assert!(inspect.contains("qbs-index-v1"));
+        assert!(inspect.contains("migrate"));
+
+        // Both formats answer identically through the query command.
+        let q = |index: std::path::PathBuf| {
+            run(&Command::Query {
+                index,
+                source: Some(1),
+                target: Some(5),
+                pairs: None,
+                threads: None,
+                json: false,
+            })
+            .expect("query")
+        };
+        assert_eq!(q(bin_path), q(json_path));
+
+        // Inspecting garbage fails cleanly.
+        let junk = dir.join("junk.qbs");
+        std::fs::write(&junk, b"garbage").expect("write");
+        assert!(matches!(
+            run(&Command::Inspect { index: junk }),
+            Err(CommandError::Index(_))
+        ));
+    }
+
+    #[test]
     fn batch_query_drives_the_engine() {
         let dir = temp_dir("batch");
         let graph_path = dir.join("g.qbsg");
@@ -368,6 +492,7 @@ mod tests {
             landmarks: 8,
             sequential: false,
             out: index_path.clone(),
+            format: IndexFormat::Binary,
         })
         .expect("build");
 
@@ -458,6 +583,7 @@ mod tests {
                 landmarks: 4,
                 sequential: true,
                 out: dir.join("out.qbs"),
+                format: IndexFormat::Binary,
             }),
             Err(CommandError::Graph(_))
         ));
@@ -476,6 +602,7 @@ mod tests {
             landmarks: 4,
             sequential: true,
             out: index_path.clone(),
+            format: IndexFormat::Binary,
         })
         .expect("build");
         assert!(matches!(

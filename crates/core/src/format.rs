@@ -1,0 +1,1117 @@
+//! `qbs-index-v2`: the zero-copy flat binary index format.
+//!
+//! The v1 persistence path ([`crate::serialize`]) round-trips the whole
+//! index through JSON, which costs `O(index)` text parsing plus a full heap
+//! reconstruction on every load. Production deployments build once and
+//! reload on every restart or shard spawn, so load time is a serving-path
+//! cost, not a build-path one. v2 fixes this with a flat little-endian
+//! layout that is read by **one buffer acquisition plus typed views over
+//! byte ranges** — no parsing, no per-vertex allocation.
+//!
+//! # File layout
+//!
+//! Everything is little-endian. Every section starts on an 8-byte boundary
+//! (zero padding in between), so a future mmap backend — whose mapping is
+//! page-aligned — could cast sections to typed slices directly. The
+//! current [`ViewBuf::Heap`] backend makes no base-pointer alignment
+//! guarantee, so all in-tree accessors decode via `from_le_bytes`, which
+//! is alignment-agnostic. See `docs/index-format.md` for the normative
+//! specification.
+//!
+//! ```text
+//! header (48 bytes)
+//!   magic            8 bytes  "QBSIDX2\0"
+//!   version          u32      2
+//!   section_count    u32      10
+//!   num_vertices     u64
+//!   num_landmarks    u64
+//!   file_size        u64      total file length in bytes
+//!   reserved         u64      0
+//! section table (10 × 24 bytes, in SectionKind order)
+//!   kind             u32
+//!   reserved         u32      0
+//!   offset           u64      absolute, 8-byte aligned
+//!   len              u64      payload bytes (padding excluded)
+//! sections
+//!   LANDMARKS        |R| × u32 vertex ids, column order
+//!   LABEL_OFFSETS    (|V|+1) × u64 CSR offsets into LABEL_ENTRIES
+//!   LABEL_ENTRIES    Σ|L(v)| × u32, low 16 bits landmark index, high 16
+//!                    bits distance
+//!   GRAPH_OFFSETS    (|V|+1) × u64 CSR offsets into GRAPH_NEIGHBORS
+//!   GRAPH_NEIGHBORS  2|E| × u32 neighbour ids
+//!   META_EDGES       |E_R| × (u32 i, u32 j, u32 σ) with i < j
+//!   META_APSP        |R|² × u32 row-major landmark distance matrix
+//!   DELTA_OFFSETS    (|E_R|+1) × u64 CSR offsets into DELTA_EDGES
+//!   DELTA_EDGES      Σ|Δ_k| × (u32, u32) edge endpoints
+//!   CHECKSUM         u64 word-wise FNV-1a 64 over file[0 .. checksum_offset)
+//! ```
+//!
+//! # Loader abstraction
+//!
+//! [`IndexView`] wraps a [`ViewBuf`] — today always [`ViewBuf::Heap`], an
+//! owned buffer read from disk — and exposes typed accessors over
+//! the sections. An mmap-backed variant slots into the enum without
+//! touching any caller: every accessor goes through [`ViewBuf::as_slice`].
+//! [`crate::QbsIndex::from_view`] materialises the runtime structures from
+//! a validated view with a handful of bulk array builds (one per section),
+//! never a per-vertex or per-label allocation; all structural validation
+//! happens once in [`IndexView::parse`], so a corrupt or truncated file is
+//! reported as [`QbsError::Corrupt`] instead of panicking.
+
+use qbs_graph::{Distance, Graph, VertexId};
+
+use crate::labelling::{PathLabelling, NO_LABEL};
+use crate::meta_graph::MetaGraph;
+use crate::query::QbsIndex;
+use crate::{QbsError, Result};
+
+/// Magic bytes opening every v2 index file.
+pub const MAGIC_V2: [u8; 8] = *b"QBSIDX2\0";
+
+/// Format version written by [`write_v2`].
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Byte length of the fixed header.
+pub const HEADER_LEN: usize = 48;
+
+/// Byte length of one section-table record.
+pub const SECTION_RECORD_LEN: usize = 24;
+
+/// Alignment guaranteed for every section start.
+pub const SECTION_ALIGN: usize = 8;
+
+/// Number of sections in a v2 file.
+pub const SECTION_COUNT: usize = 10;
+
+/// Identifies one section of a v2 file.
+///
+/// Sections appear in the file in ascending discriminant order; the
+/// checksum section is always last.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SectionKind {
+    /// Landmark vertex ids in column order (`|R| × u32`).
+    Landmarks = 1,
+    /// CSR offsets into [`SectionKind::LabelEntries`] (`(|V|+1) × u64`).
+    LabelOffsets = 2,
+    /// Packed label entries (`u32`: low 16 bits landmark index, high 16
+    /// bits distance).
+    LabelEntries = 3,
+    /// CSR offsets into [`SectionKind::GraphNeighbors`] (`(|V|+1) × u64`).
+    GraphOffsets = 4,
+    /// Concatenated sorted adjacency lists (`2|E| × u32`).
+    GraphNeighbors = 5,
+    /// Meta-graph edges (`|E_R| × (u32 i, u32 j, u32 σ)`, `i < j`).
+    MetaEdges = 6,
+    /// Row-major `|R|²` landmark all-pairs distance matrix (`u32`).
+    MetaApsp = 7,
+    /// CSR offsets into [`SectionKind::DeltaEdges`] (`(|E_R|+1) × u64`).
+    DeltaOffsets = 8,
+    /// Concatenated Δ path-graph edges (`(u32, u32)` per edge).
+    DeltaEdges = 9,
+    /// Word-wise FNV-1a 64 checksum of every byte before this section's offset.
+    Checksum = 10,
+}
+
+impl SectionKind {
+    /// All kinds in file order.
+    pub const ALL: [SectionKind; SECTION_COUNT] = [
+        SectionKind::Landmarks,
+        SectionKind::LabelOffsets,
+        SectionKind::LabelEntries,
+        SectionKind::GraphOffsets,
+        SectionKind::GraphNeighbors,
+        SectionKind::MetaEdges,
+        SectionKind::MetaApsp,
+        SectionKind::DeltaOffsets,
+        SectionKind::DeltaEdges,
+        SectionKind::Checksum,
+    ];
+
+    /// Human-readable section name (used by `qbs-cli inspect`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionKind::Landmarks => "landmarks",
+            SectionKind::LabelOffsets => "label-offsets",
+            SectionKind::LabelEntries => "label-entries",
+            SectionKind::GraphOffsets => "graph-offsets",
+            SectionKind::GraphNeighbors => "graph-neighbors",
+            SectionKind::MetaEdges => "meta-edges",
+            SectionKind::MetaApsp => "meta-apsp",
+            SectionKind::DeltaOffsets => "delta-offsets",
+            SectionKind::DeltaEdges => "delta-edges",
+            SectionKind::Checksum => "checksum",
+        }
+    }
+
+    fn from_u32(raw: u32) -> Option<SectionKind> {
+        SectionKind::ALL.iter().copied().find(|&k| k as u32 == raw)
+    }
+}
+
+/// One entry of the parsed section table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionRecord {
+    /// Which section this record describes.
+    pub kind: SectionKind,
+    /// Absolute byte offset of the payload (8-byte aligned).
+    pub offset: u64,
+    /// Payload length in bytes (padding excluded).
+    pub len: u64,
+}
+
+/// The buffer behind an [`IndexView`].
+///
+/// Today the only backend is an owned heap buffer; an `Mmap` variant can be
+/// added here without touching any view accessor or caller, because all
+/// reads go through [`ViewBuf::as_slice`].
+#[derive(Clone, Debug)]
+pub enum ViewBuf {
+    /// An owned, heap-allocated copy of the file contents.
+    Heap(Vec<u8>),
+}
+
+impl ViewBuf {
+    /// The raw bytes of the whole file.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            ViewBuf::Heap(bytes) => bytes,
+        }
+    }
+
+    /// Total buffer length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+/// A validated, zero-copy view over a `qbs-index-v2` buffer.
+///
+/// Construction ([`IndexView::parse`]) performs *all* validation — magic,
+/// version, section table geometry, checksum, and the structural invariants
+/// of every section — so the typed accessors and [`QbsIndex::from_view`]
+/// never panic on untrusted *file contents*. Per-vertex accessors index
+/// like slices: passing a vertex or landmark index outside the ranges the
+/// header declares (`< num_vertices()` / `< num_landmarks()`) is a caller
+/// bug and panics, exactly as `Graph::neighbors` does.
+#[derive(Clone, Debug)]
+pub struct IndexView {
+    buf: ViewBuf,
+    sections: Vec<SectionRecord>,
+    num_vertices: usize,
+    num_landmarks: usize,
+}
+
+impl IndexView {
+    /// Parses and fully validates a v2 buffer.
+    pub fn parse(buf: ViewBuf) -> Result<IndexView> {
+        let data = buf.as_slice();
+        check_magic_and_version(data)?;
+
+        let section_count = le_u32(data, 12) as usize;
+        if section_count != SECTION_COUNT {
+            return Err(QbsError::Corrupt(format!(
+                "qbs-index-v2 expects {SECTION_COUNT} sections, header declares {section_count}"
+            )));
+        }
+        let num_vertices = le_u64(data, 16) as usize;
+        let num_landmarks = le_u64(data, 24) as usize;
+        let file_size = le_u64(data, 32);
+        if file_size != data.len() as u64 {
+            return Err(QbsError::Corrupt(format!(
+                "file size mismatch: header declares {file_size} bytes, buffer has {} \
+                 (truncated or padded file)",
+                data.len()
+            )));
+        }
+
+        let table_end = HEADER_LEN + SECTION_COUNT * SECTION_RECORD_LEN;
+        if data.len() < table_end {
+            return Err(QbsError::Corrupt(format!(
+                "truncated section table: need {table_end} bytes, have {}",
+                data.len()
+            )));
+        }
+        let mut sections = Vec::with_capacity(SECTION_COUNT);
+        let mut cursor = table_end as u64;
+        for (slot, expected) in SectionKind::ALL.iter().enumerate() {
+            let base = HEADER_LEN + slot * SECTION_RECORD_LEN;
+            let raw_kind = le_u32(data, base);
+            let kind = SectionKind::from_u32(raw_kind).ok_or_else(|| {
+                QbsError::Corrupt(format!("unknown section kind {raw_kind} in slot {slot}"))
+            })?;
+            if kind != *expected {
+                return Err(QbsError::Corrupt(format!(
+                    "section slot {slot} holds '{}', expected '{}'",
+                    kind.name(),
+                    expected.name()
+                )));
+            }
+            let offset = le_u64(data, base + 8);
+            let len = le_u64(data, base + 16);
+            if !offset.is_multiple_of(SECTION_ALIGN as u64) {
+                return Err(QbsError::Corrupt(format!(
+                    "section '{}' offset {offset} is not {SECTION_ALIGN}-byte aligned",
+                    kind.name()
+                )));
+            }
+            if offset < cursor {
+                return Err(QbsError::Corrupt(format!(
+                    "section '{}' at offset {offset} overlaps the previous section",
+                    kind.name()
+                )));
+            }
+            let end = offset.checked_add(len).ok_or_else(|| {
+                QbsError::Corrupt(format!("section '{}' length overflows", kind.name()))
+            })?;
+            if end > data.len() as u64 {
+                return Err(QbsError::Corrupt(format!(
+                    "section '{}' [{offset}, {end}) exceeds the {}-byte buffer",
+                    kind.name(),
+                    data.len()
+                )));
+            }
+            cursor = end;
+            sections.push(SectionRecord { kind, offset, len });
+        }
+        // The checksum section must close the file exactly: bytes after it
+        // would be covered by neither the checksum nor validation.
+        if cursor != data.len() as u64 {
+            return Err(QbsError::Corrupt(format!(
+                "{} trailing bytes after the checksum section",
+                data.len() as u64 - cursor
+            )));
+        }
+
+        let view = IndexView {
+            buf,
+            sections,
+            num_vertices,
+            num_landmarks,
+        };
+        view.verify_checksum()?;
+        view.validate_structure()?;
+        Ok(view)
+    }
+
+    /// Number of vertices of the serialised graph.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of landmarks `|R|`.
+    #[inline]
+    pub fn num_landmarks(&self) -> usize {
+        self.num_landmarks
+    }
+
+    /// Total buffer length in bytes.
+    #[inline]
+    pub fn file_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The parsed section table, in file order.
+    pub fn sections(&self) -> &[SectionRecord] {
+        &self.sections
+    }
+
+    /// The stored checksum ([`checksum64`] of every byte before its section).
+    pub fn checksum(&self) -> u64 {
+        let s = self.section(SectionKind::Checksum);
+        le_u64(self.buf.as_slice(), s.offset as usize)
+    }
+
+    /// Raw payload bytes of one section.
+    pub fn section_bytes(&self, kind: SectionKind) -> &[u8] {
+        let s = self.section(kind);
+        &self.buf.as_slice()[s.offset as usize..(s.offset + s.len) as usize]
+    }
+
+    /// The `i`-th landmark vertex id (column order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_landmarks()`.
+    #[inline]
+    pub fn landmark(&self, i: usize) -> VertexId {
+        le_u32(self.section_bytes(SectionKind::Landmarks), i * 4)
+    }
+
+    /// Iterator over the landmark list.
+    pub fn landmarks(&self) -> impl Iterator<Item = VertexId> + '_ {
+        u32_iter(self.section_bytes(SectionKind::Landmarks))
+    }
+
+    /// Number of label entries of vertex `v` (out of the packed CSR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v as usize >= num_vertices()`.
+    pub fn label_len(&self, v: VertexId) -> usize {
+        let offsets = self.section_bytes(SectionKind::LabelOffsets);
+        let lo = le_u64(offsets, v as usize * 8);
+        let hi = le_u64(offsets, (v as usize + 1) * 8);
+        (hi - lo) as usize
+    }
+
+    /// Iterator over the `(landmark_idx, distance)` label entries of `v`,
+    /// decoded straight from the packed section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v as usize >= num_vertices()`.
+    pub fn label_entries(&self, v: VertexId) -> impl Iterator<Item = (usize, Distance)> + '_ {
+        let offsets = self.section_bytes(SectionKind::LabelOffsets);
+        let lo = le_u64(offsets, v as usize * 8) as usize;
+        let hi = le_u64(offsets, (v as usize + 1) * 8) as usize;
+        let entries = self.section_bytes(SectionKind::LabelEntries);
+        u32_iter(&entries[lo * 4..hi * 4]).map(unpack_label_entry)
+    }
+
+    /// Iterator over the neighbours of `v`, decoded straight from the
+    /// graph CSR sections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v as usize >= num_vertices()`.
+    pub fn graph_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let offsets = self.section_bytes(SectionKind::GraphOffsets);
+        let lo = le_u64(offsets, v as usize * 8) as usize;
+        let hi = le_u64(offsets, (v as usize + 1) * 8) as usize;
+        u32_iter(&self.section_bytes(SectionKind::GraphNeighbors)[lo * 4..hi * 4])
+    }
+
+    /// Number of directed arcs stored in the graph section.
+    pub fn num_arcs(&self) -> usize {
+        self.section(SectionKind::GraphNeighbors).len as usize / 4
+    }
+
+    /// Number of meta-graph edges.
+    pub fn num_meta_edges(&self) -> usize {
+        self.section(SectionKind::MetaEdges).len as usize / 12
+    }
+
+    /// Iterator over the meta edges `(i, j, σ)` in stored order.
+    pub fn meta_edges(&self) -> impl Iterator<Item = (usize, usize, Distance)> + '_ {
+        let bytes = self.section_bytes(SectionKind::MetaEdges);
+        (0..self.num_meta_edges()).map(move |k| {
+            (
+                le_u32(bytes, k * 12) as usize,
+                le_u32(bytes, k * 12 + 4) as usize,
+                le_u32(bytes, k * 12 + 8),
+            )
+        })
+    }
+
+    /// Total number of Δ path-graph edges across all meta edges.
+    pub fn num_delta_edges(&self) -> usize {
+        self.section(SectionKind::DeltaEdges).len as usize / 8
+    }
+
+    fn section(&self, kind: SectionKind) -> SectionRecord {
+        // The table is stored in `SectionKind::ALL` order by construction.
+        self.sections[kind as usize - 1]
+    }
+
+    fn verify_checksum(&self) -> Result<()> {
+        let s = self.section(SectionKind::Checksum);
+        if s.len != 8 {
+            return Err(QbsError::Corrupt(format!(
+                "checksum section must be 8 bytes, found {}",
+                s.len
+            )));
+        }
+        let data = self.buf.as_slice();
+        let stored = le_u64(data, s.offset as usize);
+        let actual = checksum64(&data[..s.offset as usize]);
+        if stored != actual {
+            return Err(QbsError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {actual:#018x} \
+                 (file is corrupt)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validates every structural invariant the typed accessors and the
+    /// materialisers rely on, so no later code path can panic on a file
+    /// that passed the checksum (e.g. one crafted rather than corrupted).
+    fn validate_structure(&self) -> Result<()> {
+        let n = self.num_vertices;
+        let r = self.num_landmarks;
+        if r > u16::MAX as usize {
+            return Err(QbsError::Corrupt(format!(
+                "v2 stores landmark indices in 16 bits; {r} landmarks exceed the limit"
+            )));
+        }
+        // Expected lengths are computed with checked arithmetic: a crafted
+        // header with an absurd vertex count must fail here, not wrap
+        // around and slip past the section-length comparison.
+        let offsets_len = (n as u64)
+            .checked_add(1)
+            .and_then(|c| c.checked_mul(8))
+            .ok_or_else(|| {
+                QbsError::Corrupt(format!("header vertex count {n} overflows the format"))
+            })?;
+        self.expect_len(SectionKind::Landmarks, r as u64 * 4)?;
+        self.expect_len(SectionKind::LabelOffsets, offsets_len)?;
+        self.expect_len(SectionKind::GraphOffsets, offsets_len)?;
+        self.expect_len(SectionKind::MetaApsp, (r as u64 * r as u64) * 4)?;
+        for (kind, elem) in [
+            (SectionKind::LabelEntries, 4),
+            (SectionKind::GraphNeighbors, 4),
+            (SectionKind::MetaEdges, 12),
+            (SectionKind::DeltaEdges, 8),
+        ] {
+            let len = self.section(kind).len;
+            if !len.is_multiple_of(elem) {
+                return Err(QbsError::Corrupt(format!(
+                    "section '{}' length {len} is not a multiple of its {elem}-byte element",
+                    kind.name()
+                )));
+            }
+        }
+        self.expect_len(
+            SectionKind::DeltaOffsets,
+            (self.num_meta_edges() as u64 + 1) * 8,
+        )?;
+
+        for v in u32_iter(self.section_bytes(SectionKind::Landmarks)) {
+            if v as usize >= n {
+                return Err(QbsError::Corrupt(format!(
+                    "landmark id {v} out of range for {n} vertices"
+                )));
+            }
+        }
+        validate_csr(
+            self.section_bytes(SectionKind::LabelOffsets),
+            self.section(SectionKind::LabelEntries).len / 4,
+            "label",
+        )?;
+        validate_csr(
+            self.section_bytes(SectionKind::GraphOffsets),
+            self.section(SectionKind::GraphNeighbors).len / 4,
+            "graph",
+        )?;
+        validate_csr(
+            self.section_bytes(SectionKind::DeltaOffsets),
+            self.section(SectionKind::DeltaEdges).len / 8,
+            "delta",
+        )?;
+        for raw in u32_iter(self.section_bytes(SectionKind::LabelEntries)) {
+            let (idx, d) = unpack_label_entry(raw);
+            if idx >= r {
+                return Err(QbsError::Corrupt(format!(
+                    "label entry references landmark column {idx}, only {r} exist"
+                )));
+            }
+            if d as u16 == NO_LABEL {
+                return Err(QbsError::Corrupt(
+                    "label entry stores the NO_LABEL sentinel distance".into(),
+                ));
+            }
+        }
+        // Landmarks must be distinct: duplicates would silently corrupt
+        // the vertex → landmark-column map rebuilt on load.
+        let mut landmark_seen = vec![false; n];
+        for v in u32_iter(self.section_bytes(SectionKind::Landmarks)) {
+            if std::mem::replace(&mut landmark_seen[v as usize], true) {
+                return Err(QbsError::Corrupt(format!(
+                    "landmark id {v} appears twice in the landmark list"
+                )));
+            }
+        }
+        // Adjacency lists must be strictly increasing per vertex — the
+        // `Graph` invariant `has_edge`'s binary search relies on.
+        {
+            let offsets = self.section_bytes(SectionKind::GraphOffsets);
+            let neighbors = self.section_bytes(SectionKind::GraphNeighbors);
+            for v in 0..n {
+                let lo = le_u64(offsets, v * 8) as usize;
+                let hi = le_u64(offsets, (v + 1) * 8) as usize;
+                let mut prev: Option<u32> = None;
+                for w in u32_iter(&neighbors[lo * 4..hi * 4]) {
+                    if w as usize >= n {
+                        return Err(QbsError::Corrupt(format!(
+                            "graph neighbour id {w} out of range for {n} vertices"
+                        )));
+                    }
+                    if prev.is_some_and(|p| p >= w) {
+                        return Err(QbsError::Corrupt(format!(
+                            "adjacency list of vertex {v} is not strictly sorted"
+                        )));
+                    }
+                    prev = Some(w);
+                }
+            }
+        }
+        for (i, j, _) in self.meta_edges() {
+            if i >= j || j >= r {
+                return Err(QbsError::Corrupt(format!(
+                    "meta edge ({i}, {j}) violates i < j < |R| = {r}"
+                )));
+            }
+        }
+        for v in u32_iter(self.section_bytes(SectionKind::DeltaEdges)) {
+            if v as usize >= n {
+                return Err(QbsError::Corrupt(format!(
+                    "delta edge endpoint {v} out of range for {n} vertices"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn expect_len(&self, kind: SectionKind, expected: u64) -> Result<()> {
+        let len = self.section(kind).len;
+        if len != expected {
+            return Err(QbsError::Corrupt(format!(
+                "section '{}' must be {expected} bytes for this header, found {len}",
+                kind.name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Materialises the runtime index structures from the view.
+    ///
+    /// Each section becomes at most one bulk array build; nothing is
+    /// allocated per vertex or per label. The view was fully validated at
+    /// parse time, so the CSR constructors cannot panic here.
+    pub(crate) fn materialize(&self) -> (Graph, Vec<VertexId>, PathLabelling, MetaGraph) {
+        let n = self.num_vertices;
+        let r = self.num_landmarks;
+
+        let landmarks: Vec<VertexId> = u32_vec(self.section_bytes(SectionKind::Landmarks));
+
+        let graph_offsets: Vec<u64> = u64_vec(self.section_bytes(SectionKind::GraphOffsets));
+        let graph_neighbors: Vec<VertexId> =
+            u32_vec(self.section_bytes(SectionKind::GraphNeighbors));
+        let graph = Graph::from_csr_parts(graph_offsets, graph_neighbors);
+
+        let mut labelling = PathLabelling::new(n, r);
+        let label_offsets = self.section_bytes(SectionKind::LabelOffsets);
+        let entries = self.section_bytes(SectionKind::LabelEntries);
+        for v in 0..n {
+            let lo = le_u64(label_offsets, v * 8) as usize;
+            let hi = le_u64(label_offsets, (v + 1) * 8) as usize;
+            for raw in u32_iter(&entries[lo * 4..hi * 4]) {
+                let (idx, d) = unpack_label_entry(raw);
+                labelling.set(v as VertexId, idx, d as u16);
+            }
+        }
+
+        let edges: Vec<(usize, usize, Distance)> = self.meta_edges().collect();
+        let apsp: Vec<Distance> = u32_vec(self.section_bytes(SectionKind::MetaApsp));
+        let delta_offsets = self.section_bytes(SectionKind::DeltaOffsets);
+        let delta_edges = self.section_bytes(SectionKind::DeltaEdges);
+        let delta: Vec<Vec<(VertexId, VertexId)>> = (0..edges.len())
+            .map(|k| {
+                let lo = le_u64(delta_offsets, k * 8) as usize;
+                let hi = le_u64(delta_offsets, (k + 1) * 8) as usize;
+                (lo..hi)
+                    .map(|e| (le_u32(delta_edges, e * 8), le_u32(delta_edges, e * 8 + 4)))
+                    .collect()
+            })
+            .collect();
+        let meta = MetaGraph::from_parts(landmarks.clone(), edges, apsp, delta);
+
+        (graph, landmarks, labelling, meta)
+    }
+}
+
+/// Serialises a built index into a `qbs-index-v2` buffer.
+///
+/// Fails with [`QbsError::InvalidLandmarks`] when the landmark count
+/// exceeds the format's 16-bit landmark-index budget (65535).
+pub fn write_v2(index: &QbsIndex) -> Result<Vec<u8>> {
+    let graph = index.graph();
+    let landmarks = index.landmarks();
+    let labelling = index.labelling();
+    let meta = index.meta_graph();
+    let n = graph.num_vertices();
+    let r = landmarks.len();
+    if r > u16::MAX as usize {
+        return Err(QbsError::InvalidLandmarks(format!(
+            "qbs-index-v2 stores landmark indices in 16 bits; cannot serialise {r} landmarks"
+        )));
+    }
+
+    // Payloads, one per section, in file order.
+    let mut landmarks_bytes = Vec::with_capacity(r * 4);
+    for &v in landmarks {
+        landmarks_bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    let mut label_offsets = Vec::with_capacity((n + 1) * 8);
+    let mut label_entries = Vec::new();
+    let mut running = 0u64;
+    label_offsets.extend_from_slice(&running.to_le_bytes());
+    for v in 0..n as VertexId {
+        for (idx, d) in labelling.entries(v) {
+            label_entries.extend_from_slice(&pack_label_entry(idx, d).to_le_bytes());
+            running += 1;
+        }
+        label_offsets.extend_from_slice(&running.to_le_bytes());
+    }
+
+    let mut graph_offsets = Vec::with_capacity((n + 1) * 8);
+    for &o in graph.csr_offsets() {
+        graph_offsets.extend_from_slice(&o.to_le_bytes());
+    }
+    let mut graph_neighbors = Vec::with_capacity(graph.num_arcs() * 4);
+    for &v in graph.csr_neighbors() {
+        graph_neighbors.extend_from_slice(&v.to_le_bytes());
+    }
+
+    let mut meta_edges = Vec::with_capacity(meta.edges().len() * 12);
+    for &(i, j, sigma) in meta.edges() {
+        meta_edges.extend_from_slice(&(i as u32).to_le_bytes());
+        meta_edges.extend_from_slice(&(j as u32).to_le_bytes());
+        meta_edges.extend_from_slice(&sigma.to_le_bytes());
+    }
+
+    let mut meta_apsp = Vec::with_capacity(r * r * 4);
+    for &d in meta.apsp() {
+        meta_apsp.extend_from_slice(&d.to_le_bytes());
+    }
+
+    let mut delta_offsets = Vec::with_capacity((meta.edges().len() + 1) * 8);
+    let mut delta_edges = Vec::new();
+    let mut running = 0u64;
+    delta_offsets.extend_from_slice(&running.to_le_bytes());
+    for k in 0..meta.edges().len() {
+        for &(a, b) in meta.delta_edges(k) {
+            delta_edges.extend_from_slice(&a.to_le_bytes());
+            delta_edges.extend_from_slice(&b.to_le_bytes());
+            running += 1;
+        }
+        delta_offsets.extend_from_slice(&running.to_le_bytes());
+    }
+
+    let payloads: [&[u8]; SECTION_COUNT - 1] = [
+        &landmarks_bytes,
+        &label_offsets,
+        &label_entries,
+        &graph_offsets,
+        &graph_neighbors,
+        &meta_edges,
+        &meta_apsp,
+        &delta_offsets,
+        &delta_edges,
+    ];
+
+    // Lay out the section table.
+    let mut records: Vec<(SectionKind, u64, u64)> = Vec::with_capacity(SECTION_COUNT);
+    let mut cursor = (HEADER_LEN + SECTION_COUNT * SECTION_RECORD_LEN) as u64;
+    for (kind, payload) in SectionKind::ALL.iter().zip(payloads.iter()) {
+        cursor = align_up(cursor, SECTION_ALIGN as u64);
+        records.push((*kind, cursor, payload.len() as u64));
+        cursor += payload.len() as u64;
+    }
+    cursor = align_up(cursor, SECTION_ALIGN as u64);
+    let checksum_offset = cursor;
+    records.push((SectionKind::Checksum, checksum_offset, 8));
+    let file_size = checksum_offset + 8;
+
+    // Emit header + table + payloads.
+    let mut out = Vec::with_capacity(file_size as usize);
+    out.extend_from_slice(&MAGIC_V2);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(SECTION_COUNT as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(r as u64).to_le_bytes());
+    out.extend_from_slice(&file_size.to_le_bytes());
+    out.extend_from_slice(&0u64.to_le_bytes());
+    debug_assert_eq!(out.len(), HEADER_LEN);
+    for &(kind, offset, len) in &records {
+        out.extend_from_slice(&(kind as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+    }
+    for (&(_, offset, _), payload) in records.iter().zip(payloads.iter()) {
+        out.resize(offset as usize, 0);
+        out.extend_from_slice(payload);
+    }
+    out.resize(checksum_offset as usize, 0);
+    let checksum = checksum64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    debug_assert_eq!(out.len() as u64, file_size);
+    Ok(out)
+}
+
+/// Validates the magic and version of a candidate v2 buffer, with a clear
+/// migration message when the buffer is actually a v1 JSON index.
+fn check_magic_and_version(data: &[u8]) -> Result<()> {
+    if data.starts_with(crate::serialize::MAGIC_V1.as_bytes()) {
+        return Err(QbsError::Corrupt(
+            "this is a qbs-index-v1 JSON index, not a v2 binary one; load it through \
+             serialize::load_from_file (which reads both) and re-save it with the v2 \
+             writer to migrate"
+                .into(),
+        ));
+    }
+    if data.len() < HEADER_LEN {
+        return Err(QbsError::Corrupt(format!(
+            "buffer of {} bytes is shorter than the {HEADER_LEN}-byte v2 header",
+            data.len()
+        )));
+    }
+    if data[..8] != MAGIC_V2 {
+        return Err(QbsError::Corrupt(format!(
+            "missing qbs-index-v2 magic; file starts with {}",
+            crate::serialize::excerpt(data)
+        )));
+    }
+    let version = le_u32(data, 8);
+    if version != FORMAT_VERSION {
+        return Err(QbsError::Corrupt(format!(
+            "unsupported qbs-index format version {version}; this build reads v1 (JSON) \
+             and v{FORMAT_VERSION} (binary)"
+        )));
+    }
+    Ok(())
+}
+
+/// Packs a label entry: low 16 bits landmark index, high 16 bits distance.
+#[inline]
+fn pack_label_entry(landmark_idx: usize, distance: Distance) -> u32 {
+    debug_assert!(landmark_idx <= u16::MAX as usize);
+    debug_assert!(distance < NO_LABEL as Distance);
+    (landmark_idx as u32) | (distance << 16)
+}
+
+/// Inverse of [`pack_label_entry`].
+#[inline]
+fn unpack_label_entry(raw: u32) -> (usize, Distance) {
+    ((raw & 0xFFFF) as usize, raw >> 16)
+}
+
+/// The v2 checksum: FNV-1a 64 applied to 8-byte little-endian words.
+///
+/// The classic byte-at-a-time FNV-1a is a serial multiply chain, which
+/// costs ~2 ns/byte and would dominate load time on multi-hundred-MB
+/// indexes. Hashing word-wise keeps the same structure (`h = (h ^ w) ·
+/// prime`) at one multiply per 8 bytes. The tail is zero-padded to a full
+/// word; buffer-length ambiguity is impossible because the header's
+/// `file_size` field participates in the hash.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        hash = (hash ^ word).wrapping_mul(PRIME);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut padded = [0u8; 8];
+        padded[..tail.len()].copy_from_slice(tail);
+        hash = (hash ^ u64::from_le_bytes(padded)).wrapping_mul(PRIME);
+    }
+    hash
+}
+
+fn align_up(value: u64, align: u64) -> u64 {
+    value.div_ceil(align) * align
+}
+
+/// Checks a CSR offset array: monotone, starting at 0, ending at the
+/// element count of the payload it indexes.
+fn validate_csr(offsets: &[u8], num_elements: u64, what: &str) -> Result<()> {
+    if offsets.len() < 8 {
+        return Err(QbsError::Corrupt(format!("{what} offset array is empty")));
+    }
+    let mut prev = le_u64(offsets, 0);
+    if prev != 0 {
+        return Err(QbsError::Corrupt(format!(
+            "{what} offsets must start at 0, found {prev}"
+        )));
+    }
+    for i in 1..offsets.len() / 8 {
+        let next = le_u64(offsets, i * 8);
+        if next < prev {
+            return Err(QbsError::Corrupt(format!(
+                "{what} offsets decrease at position {i}"
+            )));
+        }
+        prev = next;
+    }
+    if prev != num_elements {
+        return Err(QbsError::Corrupt(format!(
+            "{what} offsets end at {prev}, but the payload holds {num_elements} elements"
+        )));
+    }
+    Ok(())
+}
+
+#[inline]
+fn le_u32(bytes: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"))
+}
+
+#[inline]
+fn le_u64(bytes: &[u8], pos: usize) -> u64 {
+    u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"))
+}
+
+fn u32_iter(bytes: &[u8]) -> impl Iterator<Item = u32> + '_ {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+}
+
+fn u32_vec(bytes: &[u8]) -> Vec<u32> {
+    u32_iter(bytes).collect()
+}
+
+fn u64_vec(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QbsConfig;
+    use qbs_graph::fixtures::figure4_graph;
+
+    fn index() -> QbsIndex {
+        QbsIndex::build(
+            figure4_graph(),
+            QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+        )
+    }
+
+    #[test]
+    fn layout_constants_are_consistent() {
+        assert_eq!(SectionKind::ALL.len(), SECTION_COUNT);
+        assert_eq!(HEADER_LEN % SECTION_ALIGN, 0);
+        assert_eq!(SECTION_RECORD_LEN % SECTION_ALIGN, 0);
+        for (slot, kind) in SectionKind::ALL.iter().enumerate() {
+            assert_eq!(*kind as usize, slot + 1, "discriminants are 1-based slots");
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn write_parse_roundtrip_preserves_every_component() {
+        let original = index();
+        let bytes = write_v2(&original).expect("write");
+        let view = IndexView::parse(ViewBuf::Heap(bytes)).expect("parse");
+        assert_eq!(view.num_vertices(), 15);
+        assert_eq!(view.num_landmarks(), 3);
+        assert_eq!(view.landmarks().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(view.landmark(2), 3);
+        assert_eq!(view.num_arcs(), original.graph().num_arcs());
+        assert_eq!(view.num_meta_edges(), 3);
+        assert_eq!(
+            view.num_delta_edges(),
+            original.meta_graph().delta_total_edges()
+        );
+
+        // Zero-copy accessors agree with the owned structures.
+        for v in original.graph().vertices() {
+            assert_eq!(
+                view.graph_neighbors(v).collect::<Vec<_>>(),
+                original.graph().neighbors(v)
+            );
+            assert_eq!(
+                view.label_entries(v).collect::<Vec<_>>(),
+                original.labelling().entries(v).collect::<Vec<_>>()
+            );
+            assert_eq!(view.label_len(v), original.labelling().label_len(v));
+        }
+        assert_eq!(
+            view.meta_edges().collect::<Vec<_>>(),
+            original.meta_graph().edges().to_vec()
+        );
+
+        // Materialisation rebuilds identical components.
+        let (graph, landmarks, labelling, meta) = view.materialize();
+        assert_eq!(&graph, original.graph());
+        assert_eq!(landmarks, original.landmarks());
+        assert_eq!(&labelling, original.labelling());
+        assert_eq!(&meta, original.meta_graph());
+    }
+
+    #[test]
+    fn sections_are_aligned_and_ordered() {
+        let bytes = write_v2(&index()).expect("write");
+        let total = bytes.len();
+        let view = IndexView::parse(ViewBuf::Heap(bytes)).expect("parse");
+        assert_eq!(view.file_len(), total);
+        let mut prev_end = (HEADER_LEN + SECTION_COUNT * SECTION_RECORD_LEN) as u64;
+        for record in view.sections() {
+            assert_eq!(record.offset % SECTION_ALIGN as u64, 0);
+            assert!(record.offset >= prev_end);
+            prev_end = record.offset + record.len;
+        }
+        assert_eq!(prev_end, total as u64, "checksum is the final section");
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let bytes = write_v2(&index()).expect("write");
+        // Flipping any byte must be caught by the checksum (or by header /
+        // structural validation for bytes the checksum cannot protect).
+        for pos in (0..bytes.len()).step_by(7) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x40;
+            assert!(
+                IndexView::parse(ViewBuf::Heap(corrupt)).is_err(),
+                "bit flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = write_v2(&index()).expect("write");
+        for len in [0, 4, HEADER_LEN - 1, HEADER_LEN, 100, bytes.len() - 1] {
+            assert!(
+                IndexView::parse(ViewBuf::Heap(bytes[..len].to_vec())).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    /// Recomputes the trailing checksum after a test mutated the payload,
+    /// so only structural validation can reject the crafted buffer.
+    fn reseal(bytes: &mut [u8]) {
+        let cs_offset = bytes.len() - 8;
+        let recomputed = checksum64(&bytes[..cs_offset]);
+        bytes[cs_offset..].copy_from_slice(&recomputed.to_le_bytes());
+    }
+
+    #[test]
+    fn unsorted_adjacency_and_duplicate_landmarks_are_rejected() {
+        let valid = write_v2(&index()).expect("write");
+        let view = IndexView::parse(ViewBuf::Heap(valid.clone())).expect("parse");
+
+        // Swap two neighbours inside one adjacency list (vertex 1 of the
+        // figure-4 graph has degree > 1): ids stay in range, CSR offsets
+        // stay monotone, only the sortedness rule can catch it.
+        let s = view.section(SectionKind::GraphNeighbors);
+        let base = s.offset as usize;
+        let mut crafted = valid.clone();
+        let lo = view
+            .section_bytes(SectionKind::GraphOffsets)
+            .chunks_exact(8)
+            .nth(1)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize)
+            .unwrap();
+        crafted.copy_within(base + lo * 4..base + lo * 4 + 4, base + lo * 4 + 4);
+        crafted[base + lo * 4..base + lo * 4 + 4]
+            .copy_from_slice(&valid[base + (lo + 1) * 4..base + (lo + 2) * 4]);
+        reseal(&mut crafted);
+        let err = IndexView::parse(ViewBuf::Heap(crafted)).unwrap_err();
+        assert!(err.to_string().contains("not strictly sorted"), "{err}");
+
+        // Duplicate a landmark id: the column map rebuild must never see it.
+        let s = view.section(SectionKind::Landmarks);
+        let base = s.offset as usize;
+        let mut crafted = valid.clone();
+        crafted.copy_within(base..base + 4, base + 4);
+        reseal(&mut crafted);
+        let err = IndexView::parse(ViewBuf::Heap(crafted)).unwrap_err();
+        assert!(err.to_string().contains("appears twice"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_after_the_checksum_are_rejected() {
+        // Append junk past the checksum, patch file_size and recompute the
+        // checksum so only the trailing-bytes rule can catch it.
+        let mut bytes = write_v2(&index()).expect("write");
+        let cs_offset = bytes.len() - 8;
+        bytes.extend_from_slice(&[0xAB; 1024]);
+        let new_len = bytes.len() as u64;
+        bytes[32..40].copy_from_slice(&new_len.to_le_bytes());
+        let recomputed = checksum64(&bytes[..cs_offset]);
+        bytes[cs_offset..cs_offset + 8].copy_from_slice(&recomputed.to_le_bytes());
+        let err = IndexView::parse(ViewBuf::Heap(bytes)).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn crafted_header_with_absurd_counts_is_corrupt_not_panic() {
+        // A checksum-valid file whose header claims 2^61 vertices: the
+        // expected section length computation must fail with Corrupt
+        // instead of wrapping around (and later aborting in materialise).
+        let mut bytes = write_v2(&index()).expect("write");
+        bytes[16..24].copy_from_slice(&(1u64 << 61).to_le_bytes());
+        let cs_offset = bytes.len() - 8;
+        let recomputed = checksum64(&bytes[..cs_offset]);
+        bytes[cs_offset..].copy_from_slice(&recomputed.to_le_bytes());
+        let err = IndexView::parse(ViewBuf::Heap(bytes)).unwrap_err();
+        assert!(matches!(err, QbsError::Corrupt(_)), "{err:?}");
+
+        // Same with an oversized landmark count.
+        let mut bytes = write_v2(&index()).expect("write");
+        bytes[24..32].copy_from_slice(&(1u64 << 33).to_le_bytes());
+        let cs_offset = bytes.len() - 8;
+        let recomputed = checksum64(&bytes[..cs_offset]);
+        bytes[cs_offset..].copy_from_slice(&recomputed.to_le_bytes());
+        let err = IndexView::parse(ViewBuf::Heap(bytes)).unwrap_err();
+        assert!(matches!(err, QbsError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn version_and_magic_errors_are_clear() {
+        let bytes = write_v2(&index()).expect("write");
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 9;
+        let err = IndexView::parse(ViewBuf::Heap(wrong_version)).unwrap_err();
+        assert!(err.to_string().contains("version 9"), "{err}");
+
+        let err = IndexView::parse(ViewBuf::Heap(b"qbs-index-v1\n{}".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("v1 JSON"), "{err}");
+
+        let err = IndexView::parse(ViewBuf::Heap(vec![0xAB; 64])).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn checksum_is_deterministic_and_sensitive() {
+        // Empty input hashes to the FNV-1a offset basis.
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        // Word-wise FNV-1a: one round per 8-byte LE word.
+        let one_word = 0xcbf2_9ce4_8422_2325u64 ^ u64::from_le_bytes(*b"abcdefgh");
+        assert_eq!(
+            checksum64(b"abcdefgh"),
+            one_word.wrapping_mul(0x0000_0100_0000_01b3)
+        );
+        // The zero-padded tail behaves like the full word with zero bytes.
+        assert_eq!(checksum64(b"abc"), checksum64(b"abc\0\0\0\0\0"));
+        // Single-bit sensitivity at every position of a small buffer.
+        let base = checksum64(b"0123456789abcdef");
+        for pos in 0..16 {
+            let mut flipped = *b"0123456789abcdef";
+            flipped[pos] ^= 1;
+            assert_ne!(checksum64(&flipped), base, "flip at byte {pos}");
+        }
+    }
+
+    #[test]
+    fn viewbuf_basics() {
+        let buf = ViewBuf::Heap(vec![1, 2, 3]);
+        assert_eq!(buf.as_slice(), &[1, 2, 3]);
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+        assert!(ViewBuf::Heap(Vec::new()).is_empty());
+    }
+}

@@ -44,6 +44,7 @@
 pub mod coverage;
 pub mod engine;
 pub mod error;
+pub mod format;
 pub mod labelling;
 pub mod landmark;
 pub mod meta_graph;
@@ -58,6 +59,7 @@ pub mod workspace;
 
 pub use engine::QueryEngine;
 pub use error::QbsError;
+pub use format::{IndexView, ViewBuf};
 pub use labelling::{LabellingScheme, PathLabelling, NO_LABEL};
 pub use landmark::LandmarkStrategy;
 pub use meta_graph::MetaGraph;

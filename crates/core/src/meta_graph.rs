@@ -31,6 +31,33 @@ pub struct MetaGraph {
 }
 
 impl MetaGraph {
+    /// Reassembles a meta-graph from its stored parts (the v2 binary
+    /// format persists all four arrays, so nothing is recomputed on load).
+    ///
+    /// The caller is responsible for consistency between the parts;
+    /// [`crate::format::IndexView::parse`] validates them before this runs.
+    pub(crate) fn from_parts(
+        landmarks: Vec<VertexId>,
+        edges: Vec<(usize, usize, Distance)>,
+        apsp: Vec<Distance>,
+        delta: Vec<Vec<(VertexId, VertexId)>>,
+    ) -> Self {
+        debug_assert_eq!(apsp.len(), landmarks.len() * landmarks.len());
+        debug_assert_eq!(delta.len(), edges.len());
+        MetaGraph {
+            landmarks,
+            edges,
+            apsp,
+            delta,
+        }
+    }
+
+    /// The raw row-major `|R|²` all-pairs distance matrix. Exposed for flat
+    /// binary serialisation.
+    pub(crate) fn apsp(&self) -> &[Distance] {
+        &self.apsp
+    }
+
     /// Builds the meta-graph from the raw edge list produced by Algorithm 2,
     /// computing `d_M` and the per-edge Δ path graphs.
     pub fn build(

@@ -162,6 +162,61 @@ impl QbsIndex {
         Self::build(graph, QbsConfig::default())
     }
 
+    /// Reassembles an index from its persisted parts, recomputing only the
+    /// derived lookup structures (landmark filter and column map, both
+    /// `O(|V|)` bitmap fills). Build timings are not persisted, so they
+    /// read as zero on a loaded index.
+    pub(crate) fn from_parts(
+        graph: Graph,
+        landmarks: Vec<VertexId>,
+        labelling: PathLabelling,
+        meta: MetaGraph,
+    ) -> Self {
+        let landmark_filter =
+            VertexFilter::from_vertices(graph.num_vertices(), landmarks.iter().copied());
+        let landmark_column = labelling::landmark_column_map(&graph, &landmarks);
+        QbsIndex {
+            graph,
+            landmarks,
+            landmark_filter,
+            landmark_column,
+            labelling,
+            meta,
+            timings: BuildTimings::default(),
+        }
+    }
+
+    /// Serialises the index into a `qbs-index-v2` flat binary buffer (see
+    /// [`crate::format`]).
+    pub fn to_v2_bytes(&self) -> crate::Result<Vec<u8>> {
+        crate::format::write_v2(self)
+    }
+
+    /// The index as a parsed [`crate::format::IndexView`]: serialises into
+    /// a fresh heap buffer and re-opens it as a validated zero-copy view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the landmark count exceeds the format's 16-bit budget
+    /// (65535); use [`QbsIndex::to_v2_bytes`] plus
+    /// [`crate::format::IndexView::parse`] for a fallible pipeline.
+    pub fn as_view(&self) -> crate::format::IndexView {
+        let bytes = self.to_v2_bytes().expect("index fits the v2 format");
+        crate::format::IndexView::parse(crate::format::ViewBuf::Heap(bytes))
+            .expect("freshly written v2 buffer is valid")
+    }
+
+    /// Restores an index from a validated v2 view.
+    ///
+    /// Queries answered by the result are bit-identical to those of the
+    /// index that produced the view. The view was structurally validated at
+    /// parse time, so this cannot panic on corrupt input — corruption is
+    /// reported by [`crate::format::IndexView::parse`] instead.
+    pub fn from_view(view: &crate::format::IndexView) -> Self {
+        let (graph, landmarks, labelling, meta) = view.materialize();
+        QbsIndex::from_parts(graph, landmarks, labelling, meta)
+    }
+
     /// The indexed graph.
     pub fn graph(&self) -> &Graph {
         &self.graph

@@ -2,51 +2,235 @@
 //!
 //! The labelling phase is the expensive part of QbS (minutes to hours on the
 //! paper's largest graphs), so a production deployment builds the index once
-//! and serves queries from it afterwards. This module persists a built
-//! [`QbsIndex`] to disk and restores it, with a small header so version or
-//! format mismatches are reported instead of silently mis-read.
+//! and serves queries from it afterwards. Two on-disk formats exist:
+//!
+//! * **v1** (`qbs-index-v1`): a JSON body behind a one-line magic header.
+//!   Human-inspectable, but loading costs `O(index)` text parsing plus a
+//!   full heap reconstruction.
+//! * **v2** (`qbs-index-v2`, [`crate::format`]): a flat little-endian
+//!   binary layout with an aligned section table and checksum, loaded by a
+//!   single buffer read plus typed views — the production format.
+//!
+//! [`load_from_file`] dispatches on the magic bytes and reads either
+//! version, so old v1 files keep working; re-save with
+//! [`IndexFormat::Binary`] to migrate. Corrupt inputs are always reported
+//! as [`QbsError::Corrupt`] — never a panic — and error messages embed at
+//! most an [`EXCERPT_LEN`]-byte excerpt of the offending data.
 
+use std::io::Read;
 use std::path::Path;
 
+use crate::format::{self, IndexView, ViewBuf};
 use crate::query::QbsIndex;
 use crate::{QbsError, Result};
 
-/// Magic prefix of the serialised index format.
-const MAGIC: &str = "qbs-index-v1";
+/// Magic prefix of the v1 serialised index format.
+pub const MAGIC_V1: &str = "qbs-index-v1";
 
-/// Serialises the index to a self-describing byte buffer.
+/// Maximum number of payload bytes quoted inside a corruption error.
+pub const EXCERPT_LEN: usize = 32;
+
+/// On-disk index formats understood by this module.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexFormat {
+    /// v1: JSON behind a magic header. Kept for compatibility and
+    /// human inspection.
+    Json,
+    /// v2: the flat binary `qbs-index-v2` layout — the default.
+    #[default]
+    Binary,
+}
+
+impl std::fmt::Display for IndexFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexFormat::Json => write!(f, "json"),
+            IndexFormat::Binary => write!(f, "binary"),
+        }
+    }
+}
+
+/// Serialises the index to a self-describing v1 JSON byte buffer.
 pub fn to_bytes(index: &QbsIndex) -> Result<Vec<u8>> {
     let body = serde_json::to_vec(index)
         .map_err(|e| QbsError::Corrupt(format!("serialisation failed: {e}")))?;
-    let mut out = Vec::with_capacity(MAGIC.len() + 1 + body.len());
-    out.extend_from_slice(MAGIC.as_bytes());
+    let mut out = Vec::with_capacity(MAGIC_V1.len() + 1 + body.len());
+    out.extend_from_slice(MAGIC_V1.as_bytes());
     out.push(b'\n');
     out.extend_from_slice(&body);
     Ok(out)
 }
 
-/// Restores an index from a buffer produced by [`to_bytes`].
+/// Restores an index from a v1 buffer produced by [`to_bytes`].
+///
+/// The magic header is validated before the body is touched; a v2 binary
+/// buffer is rejected with a pointer at the v2 loader instead of a JSON
+/// parse error.
 pub fn from_bytes(data: &[u8]) -> Result<QbsIndex> {
-    let prefix_len = MAGIC.len() + 1;
+    if data.starts_with(&format::MAGIC_V2) {
+        return Err(QbsError::Corrupt(
+            "this is a qbs-index-v2 binary index; decode it with from_bytes_v2 or \
+             load_from_file (which reads both versions)"
+                .into(),
+        ));
+    }
+    let prefix_len = MAGIC_V1.len() + 1;
     if data.len() < prefix_len
-        || &data[..MAGIC.len()] != MAGIC.as_bytes()
-        || data[MAGIC.len()] != b'\n'
+        || &data[..MAGIC_V1.len()] != MAGIC_V1.as_bytes()
+        || data[MAGIC_V1.len()] != b'\n'
     {
-        return Err(QbsError::Corrupt("missing qbs-index-v1 header".into()));
+        return Err(QbsError::Corrupt(format!(
+            "missing qbs-index-v1 header; data starts with {}",
+            excerpt(data)
+        )));
     }
     serde_json::from_slice(&data[prefix_len..])
-        .map_err(|e| QbsError::Corrupt(format!("deserialisation failed: {e}")))
+        .map_err(|e| QbsError::Corrupt(format!("deserialisation failed: {}", truncate_message(&e))))
 }
 
-/// Writes the index to a file.
+/// Serialises the index to a v2 flat binary buffer ([`crate::format`]).
+pub fn to_bytes_v2(index: &QbsIndex) -> Result<Vec<u8>> {
+    format::write_v2(index)
+}
+
+/// Restores an index from a v2 buffer produced by [`to_bytes_v2`].
+pub fn from_bytes_v2(data: &[u8]) -> Result<QbsIndex> {
+    let view = IndexView::parse(ViewBuf::Heap(data.to_vec()))?;
+    Ok(QbsIndex::from_view(&view))
+}
+
+/// Serialises the index in the requested format.
+pub fn to_bytes_with(index: &QbsIndex, format: IndexFormat) -> Result<Vec<u8>> {
+    match format {
+        IndexFormat::Json => to_bytes(index),
+        IndexFormat::Binary => to_bytes_v2(index),
+    }
+}
+
+/// Writes the index to a file in the default ([`IndexFormat::Binary`])
+/// format.
 pub fn save_to_file<P: AsRef<Path>>(index: &QbsIndex, path: P) -> Result<()> {
-    std::fs::write(path, to_bytes(index)?)?;
+    save_to_file_with(index, path, IndexFormat::default())
+}
+
+/// Writes the index to a file in the requested format.
+pub fn save_to_file_with<P: AsRef<Path>>(
+    index: &QbsIndex,
+    path: P,
+    format: IndexFormat,
+) -> Result<()> {
+    std::fs::write(path, to_bytes_with(index, format)?)?;
     Ok(())
 }
 
-/// Reads an index from a file written by [`save_to_file`].
+/// Reads an index from a file written by [`save_to_file_with`] in either
+/// format.
+///
+/// The magic bytes are sniffed from the first [`format::HEADER_LEN`] bytes
+/// *before* the body is read, so an unrecognised file is rejected without
+/// pulling its full contents into memory, and the error quotes at most an
+/// [`EXCERPT_LEN`]-byte excerpt.
 pub fn load_from_file<P: AsRef<Path>>(path: P) -> Result<QbsIndex> {
-    from_bytes(&std::fs::read(path)?)
+    let (head, file) = read_header(path.as_ref())?;
+    match sniff_format(&head)? {
+        IndexFormat::Json => from_bytes(&read_rest(head, file)?),
+        IndexFormat::Binary => {
+            // Hand the file buffer to the view directly — unlike
+            // `from_bytes_v2` (which serves borrowed slices and must
+            // copy), this path never duplicates the buffer.
+            let view = IndexView::parse(ViewBuf::Heap(read_rest(head, file)?))?;
+            Ok(QbsIndex::from_view(&view))
+        }
+    }
+}
+
+/// Opens a v2 index file as a validated zero-copy [`IndexView`] without
+/// materialising the runtime structures — the entry point for callers that
+/// only need section metadata (e.g. `qbs-cli inspect`) or the raw label /
+/// adjacency accessors.
+pub fn load_view_from_file<P: AsRef<Path>>(path: P) -> Result<IndexView> {
+    let (head, file) = read_header(path.as_ref())?;
+    if sniff_format(&head)? != IndexFormat::Binary {
+        return Err(QbsError::Corrupt(
+            "this is a qbs-index-v1 JSON index; only v2 binary files support zero-copy \
+             views — load it with load_from_file and re-save with the binary format to \
+             migrate"
+                .into(),
+        ));
+    }
+    IndexView::parse(ViewBuf::Heap(read_rest(head, file)?))
+}
+
+/// Identifies the on-disk format of `path` from its magic bytes, reading
+/// only the header.
+pub fn detect_format<P: AsRef<Path>>(path: P) -> Result<IndexFormat> {
+    let (head, _) = read_header(path.as_ref())?;
+    sniff_format(&head)
+}
+
+/// Reads just enough of the file to dispatch on the magic bytes.
+fn read_header(path: &Path) -> Result<(Vec<u8>, std::fs::File)> {
+    let mut file = std::fs::File::open(path)?;
+    let mut head = Vec::with_capacity(format::HEADER_LEN);
+    file.by_ref()
+        .take(format::HEADER_LEN as u64)
+        .read_to_end(&mut head)?;
+    Ok((head, file))
+}
+
+/// Appends the remainder of the file to the already-read header bytes.
+fn read_rest(mut head: Vec<u8>, mut file: std::fs::File) -> Result<Vec<u8>> {
+    file.read_to_end(&mut head)?;
+    Ok(head)
+}
+
+/// Dispatches on the magic bytes of a header excerpt.
+fn sniff_format(head: &[u8]) -> Result<IndexFormat> {
+    if head.starts_with(&format::MAGIC_V2) {
+        Ok(IndexFormat::Binary)
+    } else if head.starts_with(MAGIC_V1.as_bytes()) {
+        Ok(IndexFormat::Json)
+    } else {
+        // Only the header was read here; trim to the excerpt budget so the
+        // message does not misreport the header length as the file size.
+        Err(QbsError::Corrupt(format!(
+            "not a qbs index file: expected the '{MAGIC_V1}' or qbs-index-v2 magic, \
+             found {}",
+            excerpt(&head[..head.len().min(EXCERPT_LEN)])
+        )))
+    }
+}
+
+/// A bounded, printable excerpt of untrusted bytes for error messages —
+/// never more than [`EXCERPT_LEN`] source bytes, non-ASCII escaped.
+pub(crate) fn excerpt(data: &[u8]) -> String {
+    let head = &data[..data.len().min(EXCERPT_LEN)];
+    let printable: String = head
+        .iter()
+        .flat_map(|&b| std::ascii::escape_default(b))
+        .map(char::from)
+        .collect();
+    if data.len() > EXCERPT_LEN {
+        format!("\"{printable}\"... ({} bytes total)", data.len())
+    } else {
+        format!("\"{printable}\"")
+    }
+}
+
+/// Caps a decoder error message so corrupt payload fragments embedded in it
+/// cannot blow up logs.
+fn truncate_message(err: &impl std::fmt::Display) -> String {
+    const MAX: usize = 160;
+    let mut msg = err.to_string();
+    if msg.len() > MAX {
+        let mut cut = MAX;
+        while !msg.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        msg.truncate(cut);
+        msg.push_str("... (truncated)");
+    }
+    msg
 }
 
 #[cfg(test)]
@@ -63,10 +247,27 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_preserves_answers_and_stats() {
+    fn v1_roundtrip_preserves_answers_and_stats() {
         let original = index();
         let bytes = to_bytes(&original).expect("serialize");
         let restored = from_bytes(&bytes).expect("deserialize");
+        assert_eq!(original.landmarks(), restored.landmarks());
+        assert_eq!(original.labelling(), restored.labelling());
+        assert_eq!(original.meta_graph(), restored.meta_graph());
+        for (u, v) in [(6u32, 11u32), (4, 12), (7, 9), (13, 8)] {
+            assert_eq!(original.query(u, v), restored.query(u, v));
+        }
+        assert_eq!(
+            original.stats().total_index_bytes(),
+            restored.stats().total_index_bytes()
+        );
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_answers_and_stats() {
+        let original = index();
+        let bytes = to_bytes_v2(&original).expect("serialize");
+        let restored = from_bytes_v2(&bytes).expect("deserialize");
         assert_eq!(original.landmarks(), restored.landmarks());
         assert_eq!(original.labelling(), restored.labelling());
         assert_eq!(original.meta_graph(), restored.meta_graph());
@@ -88,18 +289,97 @@ mod tests {
         assert!(from_bytes(&bytes).is_err());
         // Valid header but truncated body.
         let ok = to_bytes(&index()).expect("serialize");
-        assert!(from_bytes(&ok[..MAGIC.len() + 10]).is_err());
+        assert!(from_bytes(&ok[..MAGIC_V1.len() + 10]).is_err());
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn cross_version_errors_point_at_the_right_loader() {
+        let idx = index();
+        let v2 = to_bytes_v2(&idx).expect("serialize v2");
+        let err = from_bytes(&v2).unwrap_err();
+        assert!(err.to_string().contains("from_bytes_v2"), "{err}");
+
+        let v1 = to_bytes(&idx).expect("serialize v1");
+        let err = from_bytes_v2(&v1).unwrap_err();
+        assert!(err.to_string().contains("migrate"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_excerpts_are_truncated() {
+        let mut junk = vec![0xEEu8; 4096];
+        junk[0] = b'{';
+        let err = from_bytes(&junk).unwrap_err().to_string();
+        assert!(err.len() < 400, "error message is bounded: {err}");
+        assert!(err.contains("4096 bytes total"), "{err}");
+        let err2 = from_bytes_v2(&junk).unwrap_err().to_string();
+        assert!(err2.len() < 400, "error message is bounded: {err2}");
+
+        // A valid v1 header followed by garbage: the decoder error must be
+        // capped too.
+        let mut bytes = format!("{MAGIC_V1}\n").into_bytes();
+        bytes.extend(std::iter::repeat_n(b'x', 10_000));
+        let err3 = from_bytes(&bytes).unwrap_err().to_string();
+        assert!(err3.len() < 400, "decoder error is bounded: {err3}");
+    }
+
+    #[test]
+    fn excerpt_is_bounded_and_printable() {
+        assert_eq!(excerpt(b"abc"), "\"abc\"");
+        let long = excerpt(&vec![0u8; 1000]);
+        assert!(long.contains("1000 bytes total"));
+        assert!(long.len() < 4 * EXCERPT_LEN + 40);
+        assert!(excerpt(b"\xFF\x00").contains("\\x"));
+    }
+
+    #[test]
+    fn file_roundtrip_both_formats() {
         let dir = std::env::temp_dir().join("qbs_core_serialize_test");
         std::fs::create_dir_all(&dir).expect("mkdir");
-        let path = dir.join("figure4.qbs");
         let original = index();
-        save_to_file(&original, &path).expect("save");
-        let restored = load_from_file(&path).expect("load");
-        assert_eq!(original.query(6, 11), restored.query(6, 11));
+        for (format, name) in [
+            (IndexFormat::Json, "figure4.v1.qbs"),
+            (IndexFormat::Binary, "figure4.v2.qbs"),
+        ] {
+            let path = dir.join(name);
+            save_to_file_with(&original, &path, format).expect("save");
+            assert_eq!(detect_format(&path).expect("detect"), format);
+            let restored = load_from_file(&path).expect("load");
+            assert_eq!(original.query(6, 11), restored.query(6, 11));
+        }
         assert!(load_from_file(dir.join("missing.qbs")).is_err());
+
+        // Unrecognised files are rejected from the header alone.
+        let junk = dir.join("junk.qbs");
+        std::fs::write(&junk, vec![0x42u8; 1 << 16]).expect("write junk");
+        let err = load_from_file(&junk).unwrap_err().to_string();
+        assert!(err.contains("not a qbs index file"), "{err}");
+        assert!(err.len() < 400, "{err}");
+    }
+
+    #[test]
+    fn view_loading_from_file() {
+        let dir = std::env::temp_dir().join("qbs_core_serialize_view_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let original = index();
+        let v2 = dir.join("fig4.qbs2");
+        save_to_file_with(&original, &v2, IndexFormat::Binary).expect("save v2");
+        let view = load_view_from_file(&v2).expect("view");
+        assert_eq!(view.num_landmarks(), 3);
+        assert_eq!(
+            original.query(6, 11),
+            QbsIndex::from_view(&view).query(6, 11)
+        );
+
+        let v1 = dir.join("fig4.qbs1");
+        save_to_file_with(&original, &v1, IndexFormat::Json).expect("save v1");
+        let err = load_view_from_file(&v1).unwrap_err();
+        assert!(err.to_string().contains("re-save"), "{err}");
+    }
+
+    #[test]
+    fn format_display_names() {
+        assert_eq!(IndexFormat::Json.to_string(), "json");
+        assert_eq!(IndexFormat::Binary.to_string(), "binary");
+        assert_eq!(IndexFormat::default(), IndexFormat::Binary);
     }
 }

@@ -1,0 +1,263 @@
+//! Integration tests of the `qbs-index-v2` flat binary format: the golden
+//! fixture, cross-version guards, corruption guards, a generator-family
+//! identity property, and the differential guarantee that queries answered
+//! through a loaded view are bit-identical to the freshly built index.
+
+use proptest::prelude::*;
+
+use qbs_core::{serialize, QbsConfig, QbsIndex, QueryEngine};
+use qbs_gen::prelude::*;
+use qbs_graph::fixtures::figure4_graph;
+use qbs_graph::Graph;
+
+/// Path of the checked-in golden fixture (relative to the crate root).
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("figure4.qbs2")
+}
+
+/// The index every golden-fixture test is pinned to: the paper's Figure 4
+/// running example with the explicit landmark set {1, 2, 3}.
+fn figure4_index() -> QbsIndex {
+    QbsIndex::build(
+        figure4_graph(),
+        QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+    )
+}
+
+/// Regenerates the golden fixture. Run manually after an intentional format
+/// change (and update `docs/index-format.md` accordingly):
+///
+/// ```text
+/// cargo test -p qbs-core --test format_v2 -- --ignored regenerate_golden_fixture
+/// ```
+#[test]
+#[ignore = "writes the golden fixture; run explicitly after a format change"]
+fn regenerate_golden_fixture() {
+    let bytes = figure4_index().to_v2_bytes().expect("serialize");
+    std::fs::create_dir_all(fixture_path().parent().unwrap()).expect("mkdir");
+    std::fs::write(fixture_path(), bytes).expect("write fixture");
+}
+
+#[test]
+fn golden_fixture_is_byte_exact() {
+    let expected = std::fs::read(fixture_path())
+        .expect("golden fixture missing; run the ignored regenerate_golden_fixture test");
+    let actual = figure4_index().to_v2_bytes().expect("serialize");
+    assert_eq!(
+        actual, expected,
+        "the v2 writer no longer reproduces the checked-in fixture byte-for-byte; \
+         if the format change is intentional, regenerate the fixture and update \
+         docs/index-format.md"
+    );
+}
+
+#[test]
+fn golden_fixture_loads_and_answers_figure4_queries() {
+    let restored = serialize::load_from_file(fixture_path()).expect("load fixture");
+    let fresh = figure4_index();
+    assert_eq!(restored.landmarks(), &[1, 2, 3]);
+    assert_eq!(restored.labelling(), fresh.labelling());
+    assert_eq!(restored.meta_graph(), fresh.meta_graph());
+    // Figure 6(f): SPG(6, 11) has distance 5 and 13 edges.
+    let answer = restored.query(6, 11);
+    assert_eq!(answer.distance(), 5);
+    assert_eq!(answer.num_edges(), 13);
+}
+
+#[test]
+fn v1_files_still_load_and_carry_a_migration_path() {
+    let dir = std::env::temp_dir().join("qbs_format_v2_migration");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let v1_path = dir.join("figure4.v1.qbs");
+    let index = figure4_index();
+    serialize::save_to_file_with(&index, &v1_path, serialize::IndexFormat::Json).expect("save");
+
+    // Auto-upgrade on load: the dispatching loader reads v1 transparently.
+    let loaded = serialize::load_from_file(&v1_path).expect("v1 load");
+    assert_eq!(loaded.query(6, 11), index.query(6, 11));
+
+    // The v2-only entry points name the migration path instead of failing
+    // with a parse error.
+    let v1_bytes = std::fs::read(&v1_path).expect("read");
+    let err = serialize::from_bytes_v2(&v1_bytes).unwrap_err().to_string();
+    assert!(err.contains("v1 JSON"), "{err}");
+    assert!(err.contains("migrate") || err.contains("re-save"), "{err}");
+    let err = serialize::load_view_from_file(&v1_path)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("re-save"), "{err}");
+}
+
+#[test]
+fn truncated_and_bit_flipped_fixtures_are_corrupt_never_panic() {
+    let bytes = std::fs::read(fixture_path()).expect("fixture");
+
+    for len in 0..bytes.len() {
+        let result = std::panic::catch_unwind(|| serialize::from_bytes_v2(&bytes[..len]));
+        match result {
+            Ok(outcome) => assert!(
+                outcome.is_err(),
+                "truncation to {len} bytes must be rejected"
+            ),
+            Err(_) => panic!("truncation to {len} bytes caused a panic"),
+        }
+    }
+
+    for pos in 0..bytes.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= bit;
+            let result = std::panic::catch_unwind(|| serialize::from_bytes_v2(&corrupt));
+            match result {
+                Ok(outcome) => {
+                    let err = outcome.expect_err("every bit flip breaks the checksum");
+                    assert!(
+                        matches!(err, qbs_core::QbsError::Corrupt(_)),
+                        "bit flip at {pos} surfaced as {err:?}, expected Corrupt"
+                    );
+                }
+                Err(_) => panic!("bit flip at byte {pos} (mask {bit:#x}) caused a panic"),
+            }
+        }
+    }
+}
+
+/// One graph per generator family, sized by the proptest case.
+fn family_graph(family: u64, vertices: usize, seed: u64) -> Graph {
+    match family % 4 {
+        0 => barabasi_albert::generate(&BarabasiAlbertConfig {
+            vertices,
+            edges_per_vertex: 2,
+            seed,
+        }),
+        1 => erdos_renyi::generate(&ErdosRenyiConfig {
+            vertices,
+            edges: vertices * 2,
+            seed,
+        }),
+        2 => watts_strogatz::generate(&WattsStrogatzConfig {
+            vertices,
+            neighbors: 2,
+            rewire_probability: 0.2,
+            seed,
+        }),
+        _ => power_law::generate(&PowerLawConfig {
+            vertices,
+            edges: vertices * 2,
+            exponent: 2.5,
+            seed,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    // The writer/reader pair is an identity on every generator family:
+    // decode(encode(index)) reproduces all components, and re-encoding the
+    // decoded index reproduces the exact bytes.
+    #[test]
+    fn to_bytes_v2_from_bytes_v2_is_identity(
+        family in 0u64..4,
+        vertices in 24usize..120,
+        landmarks in 1usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let graph = family_graph(family, vertices, seed);
+        let index = QbsIndex::build(graph, QbsConfig::with_landmark_count(landmarks));
+        let bytes = index.to_v2_bytes().expect("serialize");
+        let restored = serialize::from_bytes_v2(&bytes).expect("deserialize");
+        prop_assert_eq!(index.landmarks(), restored.landmarks());
+        prop_assert_eq!(index.labelling(), restored.labelling());
+        prop_assert_eq!(index.meta_graph(), restored.meta_graph());
+        prop_assert_eq!(index.graph(), restored.graph());
+        let rebytes = restored.to_v2_bytes().expect("re-serialize");
+        prop_assert_eq!(bytes, rebytes, "encode ∘ decode ∘ encode is not stable");
+    }
+}
+
+/// The acceptance-criterion differential: every query answered through a
+/// view-loaded index is bit-identical to the freshly built index, across
+/// single queries, distance queries, and the batch engine.
+#[test]
+fn queries_through_from_view_are_bit_identical() {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: 4_000,
+        edges_per_vertex: 3,
+        seed: 99,
+    });
+    let pairs = QueryWorkload::sample(&graph, 300, 17).pairs().to_vec();
+    let built = QbsIndex::build(graph, QbsConfig::with_landmark_count(12));
+
+    let view = built.as_view();
+    let loaded = QbsIndex::from_view(&view);
+
+    assert_eq!(built.landmarks(), loaded.landmarks());
+    assert_eq!(built.labelling(), loaded.labelling());
+    assert_eq!(built.meta_graph(), loaded.meta_graph());
+    assert_eq!(built.graph(), loaded.graph());
+
+    for &(u, v) in &pairs {
+        let a = built.try_query(u, v).expect("built query");
+        let b = loaded.try_query(u, v).expect("loaded query");
+        assert_eq!(a.path_graph, b.path_graph, "SPG({u}, {v}) diverged");
+        assert_eq!(a.sketch, b.sketch, "sketch({u}, {v}) diverged");
+        assert_eq!(a.stats, b.stats, "search stats({u}, {v}) diverged");
+        assert_eq!(
+            built.distance(u, v).expect("built distance"),
+            loaded.distance(u, v).expect("loaded distance"),
+            "distance({u}, {v}) diverged"
+        );
+    }
+
+    // The batch engine sees the same answers on both indexes.
+    let engine_a = QueryEngine::with_threads(&built, 2).expect("engine");
+    let engine_b = QueryEngine::with_threads(&loaded, 2).expect("engine");
+    let batch_a = engine_a.query_batch(&pairs).expect("batch");
+    let batch_b = engine_b.query_batch(&pairs).expect("batch");
+    for ((a, b), &(u, v)) in batch_a.iter().zip(&batch_b).zip(&pairs) {
+        assert_eq!(a.path_graph, b.path_graph, "batch SPG({u}, {v}) diverged");
+    }
+}
+
+/// Zero-copy view accessors agree with the materialised structures on a
+/// non-trivial generated graph.
+#[test]
+fn view_accessors_match_materialised_index() {
+    let graph = erdos_renyi::generate(&ErdosRenyiConfig {
+        vertices: 500,
+        edges: 1_000,
+        seed: 5,
+    });
+    let index = QbsIndex::build(graph, QbsConfig::with_landmark_count(8));
+    let view = index.as_view();
+    assert_eq!(view.num_vertices(), index.graph().num_vertices());
+    assert_eq!(view.num_landmarks(), index.landmarks().len());
+    assert_eq!(
+        view.landmarks().collect::<Vec<_>>(),
+        index.landmarks().to_vec()
+    );
+    for v in index.graph().vertices() {
+        assert_eq!(
+            view.graph_neighbors(v).collect::<Vec<_>>(),
+            index.graph().neighbors(v),
+            "adjacency of {v}"
+        );
+        assert_eq!(
+            view.label_entries(v).collect::<Vec<_>>(),
+            index.labelling().entries(v).collect::<Vec<_>>(),
+            "labels of {v}"
+        );
+    }
+    assert_eq!(
+        view.meta_edges().collect::<Vec<_>>(),
+        index.meta_graph().edges().to_vec()
+    );
+    assert_eq!(
+        view.num_delta_edges(),
+        index.meta_graph().delta_total_edges()
+    );
+}

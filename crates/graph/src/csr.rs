@@ -169,6 +169,20 @@ impl Graph {
             + self.neighbors.len() * std::mem::size_of::<VertexId>()
     }
 
+    /// The raw CSR offset array (`offsets[v]..offsets[v+1]` indexes the
+    /// neighbour array). Exposed for flat binary serialisation.
+    #[inline]
+    pub fn csr_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbour array. Exposed for flat binary
+    /// serialisation.
+    #[inline]
+    pub fn csr_neighbors(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
     /// Eccentricity-bounded check that a distance value could be valid.
     ///
     /// A shortest-path distance in a connected graph never exceeds

@@ -19,7 +19,7 @@ pub fn bfs_distances<G: NeighborAccess>(graph: &G, source: VertexId) -> Vec<Dist
 }
 
 /// Computes BFS distances from `source` into a reusable epoch-stamped
-/// [`DistanceField`], reusing `queue` as scratch.
+/// [`crate::workspace::DistanceField`], reusing `queue` as scratch.
 ///
 /// The allocation-free sibling of [`bfs_distances`]: after the first call at
 /// a given graph size neither the field nor the queue reallocates, which is

@@ -151,7 +151,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// The result of [`vec`].
+        /// The result of [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: Range<usize>,

@@ -1,0 +1,36 @@
+//! Build an index, persist it in the flat `qbs-index-v2` binary format,
+//! reload it, and prove the answers are bit-identical — the README's
+//! persistence snippet as a runnable example.
+//!
+//! ```text
+//! cargo run --release --example persistence
+//! ```
+
+use qbs::core::serialize;
+use qbs::prelude::*;
+
+fn main() -> Result<(), qbs::core::QbsError> {
+    let graph = qbs::gen::barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: 2_000,
+        edges_per_vertex: 3,
+        seed: 42,
+    });
+    let index = QbsIndex::build(graph, QbsConfig::with_landmark_count(20));
+
+    let path = std::env::temp_dir().join("g.qbs");
+    serialize::save_to_file(&index, &path)?; //          v2 binary (the default)
+    let restored = serialize::load_from_file(&path)?; // reads both v1 and v2
+    assert_eq!(index.query(17, 1234), restored.query(17, 1234)); // bit-identical
+
+    // Zero-copy inspection without materialising the index:
+    let view = serialize::load_view_from_file(&path)?;
+    assert_eq!(view.num_landmarks(), 20);
+
+    println!(
+        "persisted {} bytes, reloaded bit-identically ({} vertices, {} landmarks)",
+        std::fs::metadata(&path)?.len(),
+        view.num_vertices(),
+        view.num_landmarks()
+    );
+    Ok(())
+}

@@ -56,10 +56,11 @@ pub use qbs_graph::{Graph, GraphBuilder, PathGraph, VertexId};
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use qbs_baselines::{BiBfs, GroundTruth, ParentPpl, Ppl, SpgEngine};
+    pub use qbs_core::serialize::IndexFormat;
     pub use qbs_core::verify::{is_exact, validate};
     pub use qbs_core::{
-        LandmarkStrategy, QbsConfig, QbsIndex, QueryAnswer, QueryEngine, QueryWorkspace,
-        SearchStats,
+        IndexView, LandmarkStrategy, QbsConfig, QbsIndex, QueryAnswer, QueryEngine, QueryWorkspace,
+        SearchStats, ViewBuf,
     };
     pub use qbs_gen::prelude::*;
     pub use qbs_graph::{Graph, GraphBuilder, PathGraph, VertexFilter, VertexId};
