@@ -40,7 +40,7 @@ fn bench_ablation(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("guided", "BA"), &pairs, |b, pairs| {
         b.iter(|| {
             for &(u, v) in pairs {
-                criterion::black_box(guided.query(u, v));
+                criterion::black_box(guided.query(u, v).expect("in range"));
             }
         });
     });
@@ -50,7 +50,7 @@ fn bench_ablation(c: &mut Criterion) {
         |b, pairs| {
             b.iter(|| {
                 for &(u, v) in pairs {
-                    criterion::black_box(random.query(u, v));
+                    criterion::black_box(random.query(u, v).expect("in range"));
                 }
             });
         },

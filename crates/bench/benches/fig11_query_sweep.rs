@@ -29,7 +29,7 @@ fn bench_query_sweep(c: &mut Criterion) {
             |b, index| {
                 b.iter(|| {
                     for &(u, v) in &pairs {
-                        criterion::black_box(index.query(u, v));
+                        criterion::black_box(index.query(u, v).expect("in range"));
                     }
                 });
             },

@@ -30,7 +30,7 @@ fn bench_query(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("QbS", id.abbrev()), &pairs, |b, pairs| {
             b.iter(|| {
                 for &(u, v) in pairs {
-                    criterion::black_box(qbs.query(u, v));
+                    criterion::black_box(qbs.query(u, v).expect("in range"));
                 }
             });
         });

@@ -1,0 +1,141 @@
+//! View-serving benchmarks: the owned-vs-view query latency comparison and
+//! the cold-start-to-first-answer race the `IndexStore` refactor exists
+//! for.
+//!
+//! A shard process restarting in production has one job: answer its first
+//! query as soon as possible. Two ways to get there from an index file:
+//!
+//! * **materialise** — read the file, parse + fully validate it, rebuild
+//!   every owned structure (`QbsIndex::from_view`), then query;
+//! * **map** — `mmap` the immutable file (`MapMode::Mmap`), wrap the
+//!   validated-geometry view in a `ViewStore`, and run the query straight
+//!   off the file bytes; pages fault in on demand.
+//!
+//! The acceptance bar for the PR is **map ≥ 10× faster to first answer**
+//! on the 120k-vertex benchmark graph; the run prints the measured ratio.
+//! The steady-state group then shows what the zero-copy path costs per
+//! query once warm (the view decodes labels/adjacency on the fly, so some
+//! per-query overhead vs the owned arrays is expected — that is the
+//! memory-footprint trade N shard processes sharing one mapped file make).
+//!
+//! Run with `cargo bench --bench view_query`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+use qbs_core::serialize::{self, MapMode};
+use qbs_core::{query_on, QbsConfig, QbsIndex, QueryEngine, QueryWorkspace};
+use qbs_gen::prelude::*;
+
+/// Vertex count of the benchmark graph (the acceptance regime: ≥ 100k).
+const VERTICES: usize = 120_000;
+const LANDMARKS: usize = 20;
+
+fn bench_view_query(c: &mut Criterion) {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: VERTICES,
+        edges_per_vertex: 4,
+        seed: 2021,
+    });
+    let workload = QueryWorkload::sample(&graph, 256, 77).pairs().to_vec();
+    let index = QbsIndex::build(graph, QbsConfig::with_landmark_count(LANDMARKS));
+
+    let dir = std::env::temp_dir().join("qbs_view_query_bench");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("ba120k.qbs2");
+    serialize::save_to_file(&index, &path).expect("save");
+    let file_len = std::fs::metadata(&path).expect("meta").len();
+    let first_pair = workload[0];
+
+    // ---- Cold start to first answer: materialise vs map. ----
+    let time_n = |n: usize, f: &dyn Fn()| -> Duration {
+        let t0 = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        t0.elapsed() / n as u32
+    };
+    let reps = 10;
+    let materialise = time_n(reps, &|| {
+        let owned = serialize::load_from_file(&path).expect("load");
+        let mut ws = QueryWorkspace::new();
+        criterion::black_box(query_on(&owned, &mut ws, first_pair.0, first_pair.1).expect("query"));
+    });
+    let mapped = time_n(reps, &|| {
+        let store = serialize::open_store_from_file(&path, MapMode::Mmap).expect("map");
+        let mut ws = QueryWorkspace::new();
+        criterion::black_box(query_on(&store, &mut ws, first_pair.0, first_pair.1).expect("query"));
+    });
+    let ratio = materialise.as_secs_f64() / mapped.as_secs_f64();
+    println!(
+        "cold start to first answer over a {file_len}-byte index ({VERTICES} vertices): \
+         from_view materialisation {:.3} ms, mmap view {:.3} ms => {ratio:.1}x \
+         (acceptance bar: >= 10x)",
+        materialise.as_secs_f64() * 1e3,
+        mapped.as_secs_f64() * 1e3,
+    );
+
+    let mut group = c.benchmark_group("view_query");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("cold_start/from_view_materialize", |b| {
+        b.iter(|| {
+            let owned = serialize::load_from_file(&path).expect("load");
+            let mut ws = QueryWorkspace::new();
+            query_on(&owned, &mut ws, first_pair.0, first_pair.1).expect("query")
+        });
+    });
+    group.bench_function("cold_start/mmap_view", |b| {
+        b.iter(|| {
+            let store = serialize::open_store_from_file(&path, MapMode::Mmap).expect("map");
+            let mut ws = QueryWorkspace::new();
+            query_on(&store, &mut ws, first_pair.0, first_pair.1).expect("query")
+        });
+    });
+
+    // ---- Steady state: per-query latency, one reused workspace. ----
+    let store = serialize::open_store_from_file(&path, MapMode::Mmap).expect("map");
+    group.bench_function("steady/owned_index", |b| {
+        let mut ws = QueryWorkspace::for_vertices(VERTICES);
+        b.iter(|| {
+            for &(u, v) in &workload {
+                criterion::black_box(query_on(&index, &mut ws, u, v).expect("query"));
+            }
+        });
+    });
+    group.bench_function("steady/mmap_view", |b| {
+        let mut ws = QueryWorkspace::for_vertices(VERTICES);
+        b.iter(|| {
+            for &(u, v) in &workload {
+                criterion::black_box(query_on(&store, &mut ws, u, v).expect("query"));
+            }
+        });
+    });
+
+    // ---- Batch engine over both backends (the serving configuration). ----
+    group.bench_function("engine_batch/owned_index", |b| {
+        let engine = QueryEngine::with_threads(&index, 4).expect("engine");
+        b.iter(|| criterion::black_box(engine.query_batch(&workload).expect("batch")));
+    });
+    group.bench_function("engine_batch/mmap_view", |b| {
+        let engine = QueryEngine::with_threads(&store, 4).expect("engine");
+        b.iter(|| criterion::black_box(engine.query_batch(&workload).expect("batch")));
+    });
+    group.finish();
+
+    // The two backends must agree — a benchmark that silently measured
+    // divergent answers would be worthless.
+    let owned_engine = QueryEngine::with_threads(&index, 2).expect("engine");
+    let view_engine = QueryEngine::with_threads(&store, 2).expect("engine");
+    assert_eq!(
+        owned_engine.query_batch(&workload).expect("owned"),
+        view_engine.query_batch(&workload).expect("view"),
+        "owned and view-backed engines diverged"
+    );
+}
+
+criterion_group!(benches, bench_view_query);
+criterion_main!(benches);

@@ -49,7 +49,7 @@ fn bench_workspace_reuse(c: &mut Criterion) {
     group.bench_function("query/fresh", |b| {
         b.iter(|| {
             for &(u, v) in &pairs {
-                criterion::black_box(index.query(u, v));
+                criterion::black_box(index.query(u, v).expect("in range"));
             }
         });
     });

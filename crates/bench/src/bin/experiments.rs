@@ -4,7 +4,7 @@
 //! experiments <which> [options]
 //!
 //! which:    table1 | table2 | table3 | fig7 | fig8 | fig9 | fig10 | fig11 |
-//!           traversal | ablation | all
+//!           traversal | ablation | viewserve | all
 //!
 //! options:
 //!   --scale tiny|small|medium|large   dataset scale          (default: small)
@@ -94,6 +94,21 @@ fn main() -> ExitCode {
         let r = experiments::ablation(&config);
         outputs.insert("ablation", (r.render(), serde_json::to_value(&r).unwrap()));
     }
+    // `viewserve` is an explicit-only pass/fail differential, not part of
+    // `all`: the smoke run would otherwise build the same indices twice
+    // (CI runs it as its own named step).
+    let mut view_drift = false;
+    if which == "viewserve" {
+        let r = match experiments::view_serving(&config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: viewserve failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        view_drift = !r.all_identical();
+        outputs.insert("viewserve", (r.render(), serde_json::to_value(&r).unwrap()));
+    }
 
     if outputs.is_empty() {
         eprintln!("error: unknown experiment '{which}'\n");
@@ -111,12 +126,19 @@ fn main() -> ExitCode {
             }
         }
     }
+    if view_drift {
+        eprintln!(
+            "error: viewserve detected owned-vs-view answer drift — the zero-copy serving \
+             path no longer matches the owned index"
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|all> \
+        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|viewserve|all> \
          [--scale tiny|small|medium|large] [--queries N] [--landmarks N] \
          [--sweep a,b,c] [--datasets DO,DB,...] [--out DIR]"
     );

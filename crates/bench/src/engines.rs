@@ -52,7 +52,9 @@ impl QbsEngine {
 
 impl SpgEngine for QbsEngine {
     fn query(&self, source: VertexId, target: VertexId) -> PathGraph {
-        self.index.query(source, target)
+        self.index
+            .query(source, target)
+            .expect("engine callers validate vertices")
     }
 
     fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<PathGraph> {

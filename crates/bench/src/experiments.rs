@@ -624,7 +624,11 @@ pub fn traversal(config: &ExperimentConfig) -> Traversal {
             let mut qbs_edges = 0usize;
             let mut bibfs_edges = 0usize;
             for &(u, v) in workload.pairs() {
-                qbs_edges += index.query_with_stats(u, v).stats.edges_traversed;
+                qbs_edges += index
+                    .query_with_stats(u, v)
+                    .expect("workload pairs are in range")
+                    .stats
+                    .edges_traversed;
                 bibfs_edges += bibfs.query_with_effort(u, v).effort.edges_traversed;
             }
             let n = workload.len().max(1) as f64;
@@ -642,6 +646,124 @@ pub fn traversal(config: &ExperimentConfig) -> Traversal {
         })
         .collect();
     Traversal { rows }
+}
+
+// ---------------------------------------------------------------------------
+// View serving — owned-vs-view engine differential (CI drift tripwire)
+// ---------------------------------------------------------------------------
+
+/// View-serving differential result for one dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ViewServingRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of workload pairs compared.
+    pub pairs: usize,
+    /// Average batch query time over the owned index (ms/query).
+    pub owned_ms: f64,
+    /// Average batch query time over the mmap-backed view store (ms/query).
+    pub view_ms: f64,
+    /// Whether every answer (path graph, sketch, stats) was bit-identical.
+    pub identical: bool,
+}
+
+/// The view-serving differential: the batch engine is run once over the
+/// owned index and once over an mmap-backed [`qbs_core::ViewStore`] of the
+/// same index written to disk, and every answer is compared. CI runs this
+/// at tiny scale so any owned-vs-view drift fails the pipeline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ViewServing {
+    /// One row per dataset.
+    pub rows: Vec<ViewServingRow>,
+}
+
+impl ViewServing {
+    /// Whether every dataset produced bit-identical answers.
+    pub fn all_identical(&self) -> bool {
+        self.rows.iter().all(|r| r.identical)
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "View serving: owned engine vs mmap-backed view engine",
+            &["Dataset", "pairs", "owned ms", "view ms", "identical"],
+        );
+        for r in &self.rows {
+            t.add_row(vec![
+                r.dataset.clone(),
+                fmt_count(r.pairs),
+                fmt_millis(r.owned_ms),
+                fmt_millis(r.view_ms),
+                if r.identical {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Runs the view-serving differential: build → save v2 → mmap → serve from
+/// the file, comparing every batch answer against the owned engine.
+pub fn view_serving(config: &ExperimentConfig) -> Result<ViewServing, QbsError> {
+    // Unique per-run directory: concurrent harness runs (or the unit test
+    // alongside a manual invocation) must never save into a file another
+    // process is about to mmap.
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qbs_bench_view_serving_{}_{nonce}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let rows = config
+        .specs()
+        .iter()
+        .map(|spec| {
+            let graph = config.graph_for(spec);
+            let workload = config.workload_for(&graph);
+            let pairs = workload.pairs();
+            let owned =
+                QbsIndex::try_build(graph, QbsConfig::with_landmark_count(config.landmark_count))?;
+            let path = dir.join(format!("{}.qbs2", spec.id.abbrev()));
+            qbs_core::serialize::save_to_file(&owned, &path)?;
+            let store = qbs_core::serialize::open_store_from_file(&path, qbs_core::MapMode::Mmap)?;
+
+            let owned_engine = qbs_core::QueryEngine::with_threads(&owned, 2)?;
+            let view_engine = qbs_core::QueryEngine::with_threads(&store, 2)?;
+            let t0 = Instant::now();
+            let owned_answers = owned_engine.query_batch(pairs)?;
+            let owned_ms = per_query_ms(t0.elapsed(), pairs.len());
+            let t0 = Instant::now();
+            let view_answers = view_engine.query_batch(pairs)?;
+            let view_ms = per_query_ms(t0.elapsed(), pairs.len());
+
+            let identical = owned_answers == view_answers;
+            std::fs::remove_file(&path).ok();
+            Ok(ViewServingRow {
+                dataset: spec.id.name().to_string(),
+                pairs: pairs.len(),
+                owned_ms,
+                view_ms,
+                identical,
+            })
+        })
+        .collect::<Result<Vec<_>, QbsError>>()?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(ViewServing { rows })
+}
+
+fn per_query_ms(elapsed: std::time::Duration, queries: usize) -> f64 {
+    if queries == 0 {
+        0.0
+    } else {
+        elapsed.as_secs_f64() * 1e3 / queries as f64
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -897,6 +1019,20 @@ mod tests {
             assert!(row.saving > 0.0);
         }
         assert!(t.render().contains("edges traversed"));
+    }
+
+    #[test]
+    fn view_serving_is_bit_identical_and_timed() {
+        let v = view_serving(&tiny_config()).expect("view serving runs");
+        assert_eq!(v.rows.len(), 2);
+        assert!(v.all_identical(), "{v:?}");
+        for row in &v.rows {
+            assert!(row.pairs > 0);
+            assert!(row.owned_ms >= 0.0 && row.view_ms >= 0.0);
+        }
+        let rendered = v.render();
+        assert!(rendered.contains("View serving"));
+        assert!(rendered.contains("yes"));
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub enum Command {
         pairs: Option<PathBuf>,
         /// Worker threads for batch execution (default: all cores).
         threads: Option<usize>,
+        /// Serve straight from the zero-copy index view (no owned-index
+        /// materialisation); requires a v2 binary index file.
+        from_view: bool,
+        /// With `--from-view`: memory-map the index file instead of reading
+        /// it to the heap — the O(1) cold-start path.
+        mmap: bool,
         /// Output format.
         json: bool,
     },
@@ -92,8 +98,8 @@ qbs-cli — Query-by-Sketch shortest path graph queries
 commands:
   generate --dataset <DO|DB|...|CW> [--scale tiny|small|medium|large] --out FILE
   build    --graph FILE [--landmarks N] [--sequential] [--format binary|json] --out FILE
-  query    --index FILE --source U --target V [--format text|json]
-  query    --index FILE --pairs FILE [--threads N] [--format text|json]
+  query    --index FILE --source U --target V [--from-view [--mmap]] [--format text|json]
+  query    --index FILE --pairs FILE [--threads N] [--from-view [--mmap]] [--format text|json]
   stats    --index FILE
   inspect  --index FILE
   convert  --from FILE --to FILE
@@ -102,6 +108,10 @@ commands:
 `build --format` picks the on-disk index format: `binary` writes the flat
 qbs-index-v2 layout (the default; loads with zero parsing), `json` writes
 the v1 compatibility format. `query`/`stats`/`inspect` read both.
+
+`query --from-view` serves straight from the flat v2 layout without
+materialising the owned index; adding `--mmap` memory-maps the file so a
+cold process answers its first query in the time it takes to map it.
 ";
 
 /// Parses an argument vector (excluding the program name).
@@ -150,6 +160,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     ))
                 }
             }
+            let from_view = options.contains_key("from-view");
+            let mmap = options.contains_key("mmap");
+            if mmap && !from_view {
+                return Err(ParseError(
+                    "query: --mmap requires --from-view (only the zero-copy view path maps \
+                     the index file)"
+                        .into(),
+                ));
+            }
             Ok(Command::Query {
                 index: PathBuf::from(require("index")?),
                 source,
@@ -158,6 +177,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 threads: get("threads")
                     .map(|s| parse_number(&s, "threads"))
                     .transpose()?,
+                from_view,
+                mmap,
                 json: match get("format").as_deref() {
                     None | Some("text") => false,
                     Some("json") => true,
@@ -187,7 +208,7 @@ fn collect_options(args: &[String]) -> Result<BTreeMap<String, String>, ParseErr
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| ParseError(format!("expected an option, found '{}'", args[i])))?;
-        let is_flag = key == "sequential";
+        let is_flag = matches!(key, "sequential" | "from-view" | "mmap");
         if is_flag {
             options.insert(key.to_string(), String::new());
             i += 1;
@@ -336,6 +357,8 @@ mod tests {
                 target: Some(7),
                 pairs: None,
                 threads: None,
+                from_view: false,
+                mmap: false,
                 json: true
             }
         );
@@ -358,6 +381,8 @@ mod tests {
                 target: None,
                 pairs: Some("p.txt".into()),
                 threads: Some(4),
+                from_view: false,
+                mmap: false,
                 json: false
             }
         );

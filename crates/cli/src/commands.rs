@@ -5,8 +5,8 @@ use std::fmt;
 use std::path::Path;
 use std::time::Instant;
 
-use qbs_core::serialize::{self, IndexFormat};
-use qbs_core::{QbsConfig, QbsIndex, QueryAnswer, QueryEngine};
+use qbs_core::serialize::{self, IndexFormat, MapMode};
+use qbs_core::{IndexStore, QbsConfig, QbsIndex, QueryAnswer, QueryEngine};
 use qbs_gen::catalog::Catalog;
 use qbs_graph::{io, Graph, VertexId};
 
@@ -114,26 +114,26 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             target,
             pairs,
             threads,
+            from_view,
+            mmap,
             json,
         } => {
-            let index = serialize::load_from_file(index)?;
-            let engine = match threads {
-                Some(n) => QueryEngine::with_threads(&index, *n)?,
-                None => QueryEngine::new(&index),
+            let request = QueryRequest {
+                source: *source,
+                target: *target,
+                pairs: pairs.as_deref(),
+                threads: *threads,
+                json: *json,
             };
-            match (pairs, source, target) {
-                (Some(pairs_path), _, _) => {
-                    let pairs = load_pairs(pairs_path)?;
-                    let start = Instant::now();
-                    let answers = engine.query_batch(&pairs)?;
-                    let elapsed = start.elapsed();
-                    render_batch(&pairs, &answers, elapsed, engine.threads(), *json)
-                }
-                (None, Some(source), Some(target)) => {
-                    let answer = engine.query(*source, *target)?;
-                    render_single(*source, *target, &answer, *json)
-                }
-                _ => unreachable!("argument parsing enforces single-or-batch"),
+            if *from_view {
+                // Serve straight from the flat index layout: no owned-index
+                // materialisation, and with --mmap no full file read either.
+                let mode = if *mmap { MapMode::Mmap } else { MapMode::Read };
+                let store = serialize::open_store_from_file(index, mode)?;
+                serve_queries(&store, &request)
+            } else {
+                let index = serialize::load_from_file(index)?;
+                serve_queries(&index, &request)
             }
         }
         Command::Stats { index } => {
@@ -180,9 +180,45 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
     }
 }
 
+/// One parsed `query` invocation, shared by the owned and view-backed
+/// serving paths.
+struct QueryRequest<'a> {
+    source: Option<u32>,
+    target: Option<u32>,
+    pairs: Option<&'a Path>,
+    threads: Option<usize>,
+    json: bool,
+}
+
+/// Runs a query request over any storage backend — the owned index and the
+/// zero-copy view store produce bit-identical reports.
+fn serve_queries<S: IndexStore>(
+    store: &S,
+    request: &QueryRequest<'_>,
+) -> Result<String, CommandError> {
+    let engine = match request.threads {
+        Some(n) => QueryEngine::with_threads(store, n)?,
+        None => QueryEngine::new(store),
+    };
+    match (request.pairs, request.source, request.target) {
+        (Some(pairs_path), _, _) => {
+            let pairs = load_pairs(pairs_path)?;
+            let start = Instant::now();
+            let answers = engine.query_batch(&pairs)?;
+            let elapsed = start.elapsed();
+            render_batch(&pairs, &answers, elapsed, engine.threads(), request.json)
+        }
+        (None, Some(source), Some(target)) => {
+            let answer = engine.query(source, target)?;
+            render_single(source, target, &answer, request.json)
+        }
+        _ => unreachable!("argument parsing enforces single-or-batch"),
+    }
+}
+
 /// Implements `inspect`: reports the on-disk format and, for v2 binary
-/// files, renders the section table from a zero-copy view (the index is
-/// never materialised).
+/// files, renders checksum verification status and the section table with
+/// per-section shares of the file (the index is never materialised).
 fn inspect_index(path: &Path) -> Result<String, CommandError> {
     match serialize::detect_format(path)? {
         IndexFormat::Json => Ok(format!(
@@ -192,7 +228,16 @@ fn inspect_index(path: &Path) -> Result<String, CommandError> {
             path.display()
         )),
         IndexFormat::Binary => {
-            let view = serialize::load_view_from_file(path)?;
+            let bytes = std::fs::read(path).map_err(CommandError::Io)?;
+            let report = qbs_core::format::inspect_v2(qbs_core::ViewBuf::Heap(bytes))?;
+            let checksum_line = if report.checksum_ok() {
+                format!("{:#018x} (word-wise fnv1a-64) ok", report.stored_checksum)
+            } else {
+                format!(
+                    "MISMATCH — stored {:#018x}, computed {:#018x} (file is corrupt)",
+                    report.stored_checksum, report.computed_checksum
+                )
+            };
             let mut out = format!(
                 "{}: qbs-index-v2 (flat binary)\n\
                  file size:       {} bytes\n\
@@ -201,26 +246,28 @@ fn inspect_index(path: &Path) -> Result<String, CommandError> {
                  graph arcs:      {}\n\
                  meta edges:      {}\n\
                  delta edges:     {}\n\
-                 checksum:        {:#018x} (word-wise fnv1a-64, verified)\n\n\
-                 {:<16} {:>12} {:>14}\n",
+                 checksum:        {}\n\n\
+                 {:<16} {:>12} {:>14} {:>10}\n",
                 path.display(),
-                view.file_len(),
-                view.num_vertices(),
-                view.num_landmarks(),
-                view.num_arcs(),
-                view.num_meta_edges(),
-                view.num_delta_edges(),
-                view.checksum(),
+                report.file_len,
+                report.num_vertices,
+                report.num_landmarks,
+                report.num_arcs,
+                report.num_meta_edges,
+                report.num_delta_edges,
+                checksum_line,
                 "section",
                 "offset",
                 "bytes",
+                "% of file",
             );
-            for record in view.sections() {
+            for record in &report.sections {
                 out.push_str(&format!(
-                    "{:<16} {:>12} {:>14}\n",
+                    "{:<16} {:>12} {:>14} {:>9.2}%\n",
                     record.kind.name(),
                     record.offset,
-                    record.len
+                    record.len,
+                    report.section_percent(record),
                 ));
             }
             Ok(out)
@@ -383,6 +430,8 @@ mod tests {
             target: Some(5),
             pairs: None,
             threads: None,
+            from_view: false,
+            mmap: false,
             json: false,
         })
         .expect("query");
@@ -394,6 +443,8 @@ mod tests {
             target: Some(5),
             pairs: None,
             threads: None,
+            from_view: false,
+            mmap: false,
             json: true,
         })
         .expect("json query");
@@ -461,6 +512,8 @@ mod tests {
                 target: Some(5),
                 pairs: None,
                 threads: None,
+                from_view: false,
+                mmap: false,
                 json: false,
             })
             .expect("query")
@@ -505,6 +558,8 @@ mod tests {
             target: None,
             pairs: Some(pairs_path.clone()),
             threads: Some(2),
+            from_view: false,
+            mmap: false,
             json: false,
         })
         .expect("batch query");
@@ -519,6 +574,8 @@ mod tests {
             target: None,
             pairs: Some(pairs_path),
             threads: None,
+            from_view: false,
+            mmap: false,
             json: true,
         })
         .expect("batch json");
@@ -532,6 +589,8 @@ mod tests {
             target: Some(5),
             pairs: None,
             threads: Some(0),
+            from_view: false,
+            mmap: false,
             json: false,
         });
         assert!(matches!(bad, Err(CommandError::Index(_))));
@@ -612,6 +671,8 @@ mod tests {
                 target: Some(u32::MAX),
                 pairs: None,
                 threads: None,
+                from_view: false,
+                mmap: false,
                 json: false
             }),
             Err(CommandError::Index(_))

@@ -80,7 +80,7 @@ pub fn classify_pair(index: &QbsIndex, u: VertexId, v: VertexId) -> PairCoverage
     if u == v {
         return PairCoverage::NotApplicable;
     }
-    let Ok(answer) = index.try_query(u, v) else {
+    let Ok(answer) = index.query_with_stats(u, v) else {
         return PairCoverage::NotApplicable;
     };
     if !answer.path_graph.is_reachable() {

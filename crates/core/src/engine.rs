@@ -1,13 +1,21 @@
 //! Concurrent batch query execution over a pool of reusable workspaces.
 //!
-//! A [`QueryEngine`] is the serving-side companion of [`QbsIndex`]: it owns
-//! a pool of [`QueryWorkspace`]s and fans batches of queries out over a
+//! A [`QueryEngine`] is the serving-side companion of the index: it owns a
+//! pool of [`QueryWorkspace`]s and fans batches of queries out over a
 //! scoped worker pool. Each worker checks one workspace out of the pool for
 //! the whole batch and pulls query indices from a shared atomic cursor in
 //! small chunks — a work-stealing discipline (idle workers keep claiming
 //! whatever work remains) that keeps all cores busy even when per-query
 //! cost is highly skewed, which it is: a query whose endpoints are far
 //! apart expands orders of magnitude more frontier than an adjacent pair.
+//!
+//! The engine is generic over its [`IndexStore`] backend:
+//! `QueryEngine<'_, QbsIndex>` (the default) serves the owned index, while
+//! `QueryEngine<'_, ViewStore>` serves **straight from a mapped index
+//! file** — a cold shard process maps one immutable file, wraps it in a
+//! [`crate::store::ViewStore`], and answers its first query without ever
+//! materialising the owned structures. Answers are bit-identical across
+//! backends.
 //!
 //! Because workspaces are returned to the pool after every batch, the
 //! steady state of a long-running engine performs **zero workspace
@@ -24,7 +32,7 @@
 //! let engine = QueryEngine::new(&index);
 //! let answers = engine.query_batch(&[(6, 11), (4, 12), (7, 9)]).unwrap();
 //! assert_eq!(answers.len(), 3);
-//! assert_eq!(answers[0].path_graph, index.query(6, 11));
+//! assert_eq!(answers[0].path_graph, index.query(6, 11).unwrap());
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -32,7 +40,8 @@ use std::sync::{Mutex, OnceLock};
 
 use qbs_graph::{Distance, VertexId};
 
-use crate::query::{QbsIndex, QueryAnswer};
+use crate::query::{self, QbsIndex, QueryAnswer};
+use crate::store::IndexStore;
 use crate::workspace::QueryWorkspace;
 use crate::QbsError;
 
@@ -41,9 +50,9 @@ use crate::QbsError;
 /// contended on microsecond queries.
 const CLAIM_CHUNK: usize = 16;
 
-/// A concurrent batch query engine over a borrowed [`QbsIndex`].
-pub struct QueryEngine<'idx> {
-    index: &'idx QbsIndex,
+/// A concurrent batch query engine over a borrowed [`IndexStore`].
+pub struct QueryEngine<'idx, S: IndexStore = QbsIndex> {
+    store: &'idx S,
     threads: usize,
     /// Checked-out-and-returned pool of per-worker workspaces. Check-in
     /// drops workspaces beyond `threads`, so even when multiple callers run
@@ -53,38 +62,38 @@ pub struct QueryEngine<'idx> {
     workspaces: Mutex<Vec<QueryWorkspace>>,
 }
 
-impl<'idx> QueryEngine<'idx> {
+impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
     /// Creates an engine using all available parallelism.
-    pub fn new(index: &'idx QbsIndex) -> Self {
+    pub fn new(store: &'idx S) -> Self {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Self::build(index, threads)
+        Self::build(store, threads)
     }
 
     /// Creates an engine with an explicit worker count.
     ///
     /// Fails with [`QbsError::ThreadPool`] when `threads` is zero.
-    pub fn with_threads(index: &'idx QbsIndex, threads: usize) -> crate::Result<Self> {
+    pub fn with_threads(store: &'idx S, threads: usize) -> crate::Result<Self> {
         if threads == 0 {
             return Err(QbsError::ThreadPool(
                 "QueryEngine requires at least one worker thread".into(),
             ));
         }
-        Ok(Self::build(index, threads))
+        Ok(Self::build(store, threads))
     }
 
-    fn build(index: &'idx QbsIndex, threads: usize) -> Self {
+    fn build(store: &'idx S, threads: usize) -> Self {
         QueryEngine {
-            index,
+            store,
             threads,
             workspaces: Mutex::new(Vec::new()),
         }
     }
 
-    /// The wrapped index.
-    pub fn index(&self) -> &'idx QbsIndex {
-        self.index
+    /// The wrapped storage backend.
+    pub fn store(&self) -> &'idx S {
+        self.store
     }
 
     /// The configured worker count.
@@ -104,7 +113,7 @@ impl<'idx> QueryEngine<'idx> {
     /// Answers a single query on a pooled workspace.
     pub fn query(&self, source: VertexId, target: VertexId) -> crate::Result<QueryAnswer> {
         let mut ws = self.checkout();
-        let result = self.index.query_with(&mut ws, source, target);
+        let result = query::query_on(self.store, &mut ws, source, target);
         self.checkin(ws);
         result
     }
@@ -112,13 +121,13 @@ impl<'idx> QueryEngine<'idx> {
     /// Answers a batch of queries, in input order.
     ///
     /// Vertices are validated up front, so the parallel phase is
-    /// infallible; an out-of-range pair fails the whole batch before any
-    /// search runs. Answers are bit-identical to calling
-    /// [`QbsIndex::query`] per pair.
+    /// infallible; an out-of-range pair fails the whole batch with
+    /// [`QbsError::VertexOutOfRange`] before any search runs. Answers are
+    /// bit-identical to calling [`QbsIndex::query`] per pair — on any
+    /// backend.
     pub fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> crate::Result<Vec<QueryAnswer>> {
-        self.run_batch(pairs, |index, ws, (u, v)| {
-            index
-                .query_with(ws, u, v)
+        self.run_batch(pairs, |store, ws, (u, v)| {
+            query::query_on(store, ws, u, v)
                 .expect("batch pairs validated before the parallel phase")
         })
     }
@@ -126,9 +135,8 @@ impl<'idx> QueryEngine<'idx> {
     /// Computes only the distances of a batch of queries, in input order —
     /// the cheapest serving path (no path-graph materialisation at all).
     pub fn distance_batch(&self, pairs: &[(VertexId, VertexId)]) -> crate::Result<Vec<Distance>> {
-        self.run_batch(pairs, |index, ws, (u, v)| {
-            index
-                .distance_with(ws, u, v)
+        self.run_batch(pairs, |store, ws, (u, v)| {
+            query::distance_on(store, ws, u, v)
                 .expect("batch pairs validated before the parallel phase")
         })
     }
@@ -137,9 +145,9 @@ impl<'idx> QueryEngine<'idx> {
     fn run_batch<R: Send + Sync>(
         &self,
         pairs: &[(VertexId, VertexId)],
-        op: impl Fn(&QbsIndex, &mut QueryWorkspace, (VertexId, VertexId)) -> R + Sync,
+        op: impl Fn(&S, &mut QueryWorkspace, (VertexId, VertexId)) -> R + Sync,
     ) -> crate::Result<Vec<R>> {
-        let n = self.index.graph().num_vertices() as u64;
+        let n = self.store.num_vertices() as u64;
         for &(u, v) in pairs {
             if u as u64 >= n || v as u64 >= n {
                 return Err(QbsError::VertexOutOfRange {
@@ -154,7 +162,7 @@ impl<'idx> QueryEngine<'idx> {
             let mut ws = self.checkout();
             let out = pairs
                 .iter()
-                .map(|&pair| op(self.index, &mut ws, pair))
+                .map(|&pair| op(self.store, &mut ws, pair))
                 .collect();
             self.checkin(ws);
             return Ok(out);
@@ -173,7 +181,7 @@ impl<'idx> QueryEngine<'idx> {
                         }
                         let end = (start + CLAIM_CHUNK).min(pairs.len());
                         for idx in start..end {
-                            let answer = op(self.index, &mut ws, pairs[idx]);
+                            let answer = op(self.store, &mut ws, pairs[idx]);
                             slots[idx]
                                 .set(answer)
                                 .unwrap_or_else(|_| panic!("slot {idx} filled twice"));
@@ -195,7 +203,7 @@ impl<'idx> QueryEngine<'idx> {
             .lock()
             .expect("workspace pool poisoned")
             .pop()
-            .unwrap_or_else(|| QueryWorkspace::for_vertices(self.index.graph().num_vertices()))
+            .unwrap_or_else(|| QueryWorkspace::for_vertices(self.store.num_vertices()))
     }
 
     fn checkin(&self, ws: QueryWorkspace) {
@@ -209,10 +217,19 @@ impl<'idx> QueryEngine<'idx> {
     }
 }
 
+impl<'idx> QueryEngine<'idx, QbsIndex> {
+    /// The wrapped index (alias of [`QueryEngine::store`] for the owned
+    /// backend).
+    pub fn index(&self) -> &'idx QbsIndex {
+        self.store
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::query::QbsConfig;
+    use crate::store::ViewStore;
     use qbs_graph::fixtures::{figure3_graph, figure4_graph};
 
     fn all_pairs(n: u32) -> Vec<(VertexId, VertexId)> {
@@ -233,13 +250,34 @@ mod tests {
         let answers = engine.query_batch(&pairs).expect("batch");
         assert_eq!(answers.len(), pairs.len());
         for (&(u, v), answer) in pairs.iter().zip(&answers) {
-            let expected = index.try_query(u, v).expect("single query");
+            let expected = index.query_with_stats(u, v).expect("single query");
             assert_eq!(
                 answer.path_graph, expected.path_graph,
                 "answer of ({u},{v})"
             );
             assert_eq!(answer.stats, expected.stats, "stats of ({u},{v})");
         }
+    }
+
+    #[test]
+    fn view_backed_engine_matches_owned_engine() {
+        let index = QbsIndex::build(figure4_graph(), QbsConfig::with_landmark_count(3));
+        let store = ViewStore::new(index.as_view());
+        let owned_engine = QueryEngine::with_threads(&index, 2).expect("engine");
+        let view_engine = QueryEngine::with_threads(&store, 2).expect("view engine");
+        let pairs = all_pairs(15);
+        let owned = owned_engine.query_batch(&pairs).expect("owned batch");
+        let viewed = view_engine.query_batch(&pairs).expect("view batch");
+        for ((a, b), &(u, v)) in owned.iter().zip(&viewed).zip(&pairs) {
+            assert_eq!(a, b, "batch answer of ({u},{v}) diverged across backends");
+        }
+        assert_eq!(
+            owned_engine
+                .distance_batch(&pairs)
+                .expect("owned distances"),
+            view_engine.distance_batch(&pairs).expect("view distances"),
+        );
+        assert_eq!(view_engine.store().view().num_landmarks(), 3);
     }
 
     #[test]

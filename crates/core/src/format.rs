@@ -11,12 +11,12 @@
 //! # File layout
 //!
 //! Everything is little-endian. Every section starts on an 8-byte boundary
-//! (zero padding in between), so a future mmap backend — whose mapping is
-//! page-aligned — could cast sections to typed slices directly. The
-//! current [`ViewBuf::Heap`] backend makes no base-pointer alignment
+//! (zero padding in between), so the [`ViewBuf::Mmap`] backend — whose
+//! mapping is page-aligned — could cast sections to typed slices directly.
+//! The [`ViewBuf::Heap`] backend makes no base-pointer alignment
 //! guarantee, so all in-tree accessors decode via `from_le_bytes`, which
-//! is alignment-agnostic. See `docs/index-format.md` for the normative
-//! specification.
+//! is alignment-agnostic and therefore correct on both. See
+//! `docs/index-format.md` for the normative specification.
 //!
 //! ```text
 //! header (48 bytes)
@@ -48,15 +48,23 @@
 //!
 //! # Loader abstraction
 //!
-//! [`IndexView`] wraps a [`ViewBuf`] — today always [`ViewBuf::Heap`], an
-//! owned buffer read from disk — and exposes typed accessors over
-//! the sections. An mmap-backed variant slots into the enum without
-//! touching any caller: every accessor goes through [`ViewBuf::as_slice`].
-//! [`crate::QbsIndex::from_view`] materialises the runtime structures from
-//! a validated view with a handful of bulk array builds (one per section),
-//! never a per-vertex or per-label allocation; all structural validation
-//! happens once in [`IndexView::parse`], so a corrupt or truncated file is
-//! reported as [`QbsError::Corrupt`] instead of panicking.
+//! [`IndexView`] wraps a [`ViewBuf`] — an owned heap buffer or a read-only
+//! file mapping — and exposes typed accessors over the sections; every
+//! accessor goes through [`ViewBuf::as_slice`], so the backends are
+//! interchangeable. Two consumers sit on top:
+//!
+//! * [`crate::QbsIndex::from_view`] materialises the runtime structures
+//!   from a validated view with a handful of bulk array builds (one per
+//!   section), never a per-vertex or per-label allocation;
+//! * [`crate::store::ViewStore`] serves queries **straight from the
+//!   view** with no materialisation at all, via the
+//!   [`crate::store::IndexStore`] abstraction.
+//!
+//! All structural validation happens in [`IndexView::parse`], so a corrupt
+//! or truncated file is reported as [`QbsError::Corrupt`] instead of
+//! panicking; [`IndexView::parse_trusted`] defers the `O(file)` integrity
+//! scans for the map-speed serving cold start (see
+//! [`crate::serialize::MapMode`]).
 
 use qbs_graph::{Distance, Graph, VertexId};
 
@@ -162,13 +170,22 @@ pub struct SectionRecord {
 
 /// The buffer behind an [`IndexView`].
 ///
-/// Today the only backend is an owned heap buffer; an `Mmap` variant can be
-/// added here without touching any view accessor or caller, because all
-/// reads go through [`ViewBuf::as_slice`].
+/// Every view accessor reads through [`ViewBuf::as_slice`], so the two
+/// backends are interchangeable:
+///
+/// * [`ViewBuf::Heap`] — an owned copy of the file contents (the ingest /
+///   inspection path, and the only possible backend for in-memory buffers);
+/// * [`ViewBuf::Mmap`] — a read-only mapping of the index file itself
+///   ([`crate::mmap::MmapRegion`]), shared behind an [`std::sync::Arc`] so
+///   cloning a view never duplicates the file. N shard processes mapping the same
+///   immutable file share one physical copy of the index through the page
+///   cache.
 #[derive(Clone, Debug)]
 pub enum ViewBuf {
     /// An owned, heap-allocated copy of the file contents.
     Heap(Vec<u8>),
+    /// A read-only memory mapping of the file (see [`crate::mmap`]).
+    Mmap(std::sync::Arc<crate::mmap::MmapRegion>),
 }
 
 impl ViewBuf {
@@ -177,6 +194,7 @@ impl ViewBuf {
     pub fn as_slice(&self) -> &[u8] {
         match self {
             ViewBuf::Heap(bytes) => bytes,
+            ViewBuf::Mmap(region) => region.as_slice(),
         }
     }
 
@@ -202,17 +220,80 @@ impl ViewBuf {
 /// like slices: passing a vertex or landmark index outside the ranges the
 /// header declares (`< num_vertices()` / `< num_landmarks()`) is a caller
 /// bug and panics, exactly as `Graph::neighbors` does.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct IndexView {
     buf: ViewBuf,
     sections: Vec<SectionRecord>,
     num_vertices: usize,
     num_landmarks: usize,
+    /// Whether the `O(file)` integrity validation has passed (atomically
+    /// flipped by a successful [`IndexView::verify`], so shared views can
+    /// record it through `&self`).
+    verified: std::sync::atomic::AtomicBool,
+}
+
+impl Clone for IndexView {
+    fn clone(&self) -> Self {
+        IndexView {
+            buf: self.buf.clone(),
+            sections: self.sections.clone(),
+            num_vertices: self.num_vertices,
+            num_landmarks: self.num_landmarks,
+            verified: std::sync::atomic::AtomicBool::new(self.is_verified()),
+        }
+    }
 }
 
 impl IndexView {
     /// Parses and fully validates a v2 buffer.
     pub fn parse(buf: ViewBuf) -> Result<IndexView> {
+        let view = Self::parse_geometry(buf)?;
+        view.verify()?;
+        Ok(view)
+    }
+
+    /// Parses a v2 buffer validating only its **geometry** — magic, version,
+    /// section-table layout, and every section length the header implies —
+    /// while deferring the `O(file)` integrity work (checksum and the
+    /// structural scans) that [`IndexView::parse`] performs eagerly.
+    ///
+    /// This is the serving-path constructor: opening an immutable index
+    /// file this way costs microseconds regardless of index size, because
+    /// nothing beyond the header and section table is read until a query
+    /// touches it. It is meant for files of **trusted provenance** — ones
+    /// your own build pipeline wrote and verified (the writer checksums
+    /// every file, and `qbs inspect` / [`IndexView::verify`] re-verify on
+    /// demand). Feeding it a file that *would have failed* full validation
+    /// trades the up-front `Corrupt` error for a deferred panic (an
+    /// out-of-bounds slice index) or a wrong answer — never memory
+    /// unsafety, since every accessor performs bounds-checked reads.
+    pub fn parse_trusted(buf: ViewBuf) -> Result<IndexView> {
+        Self::parse_geometry(buf)
+    }
+
+    /// Whether full integrity validation (checksum + structural scans) has
+    /// passed on this view — `true` for [`IndexView::parse`], `false` for
+    /// [`IndexView::parse_trusted`] until a successful
+    /// [`IndexView::verify`] flips it.
+    pub fn is_verified(&self) -> bool {
+        self.verified.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Runs the deferred integrity validation of a
+    /// [`IndexView::parse_trusted`] view: the checksum plus every
+    /// structural invariant. On success the view is marked verified
+    /// ([`IndexView::is_verified`]). Idempotent; views opened with
+    /// [`IndexView::parse`] have already passed it.
+    pub fn verify(&self) -> Result<()> {
+        self.verify_checksum()?;
+        self.validate_structure()?;
+        self.verified
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Geometry-only parse shared by both constructors.
+    fn parse_geometry(buf: ViewBuf) -> Result<IndexView> {
         let data = buf.as_slice();
         check_magic_and_version(data)?;
 
@@ -296,9 +377,9 @@ impl IndexView {
             sections,
             num_vertices,
             num_landmarks,
+            verified: std::sync::atomic::AtomicBool::new(false),
         };
-        view.verify_checksum()?;
-        view.validate_structure()?;
+        view.validate_lengths()?;
         Ok(view)
     }
 
@@ -323,6 +404,11 @@ impl IndexView {
     /// The parsed section table, in file order.
     pub fn sections(&self) -> &[SectionRecord] {
         &self.sections
+    }
+
+    /// The buffer backend behind this view (heap copy or file mapping).
+    pub fn buf(&self) -> &ViewBuf {
+        &self.buf
     }
 
     /// The stored checksum ([`checksum64`] of every byte before its section).
@@ -418,6 +504,62 @@ impl IndexView {
         self.section(SectionKind::DeltaEdges).len as usize / 8
     }
 
+    /// The label distance of `v` towards landmark column `landmark_idx`,
+    /// decoded straight from the packed label section (`None` when the pair
+    /// has no entry). The per-vertex entry list is short (at most `|R|`),
+    /// so a linear scan beats any index structure here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v as usize >= num_vertices()`.
+    pub fn label_distance(&self, v: VertexId, landmark_idx: usize) -> Option<Distance> {
+        self.label_entries(v)
+            .find(|&(idx, _)| idx == landmark_idx)
+            .map(|(_, d)| d)
+    }
+
+    /// `d_M(i, j)` straight from the stored APSP matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is `>= num_landmarks()`.
+    #[inline]
+    pub fn meta_distance(&self, i: usize, j: usize) -> Distance {
+        le_u32(
+            self.section_bytes(SectionKind::MetaApsp),
+            (i * self.num_landmarks + j) * 4,
+        )
+    }
+
+    /// The `k`-th meta edge `(i, j, σ)` in stored order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= num_meta_edges()`.
+    #[inline]
+    pub fn meta_edge(&self, k: usize) -> (usize, usize, Distance) {
+        let bytes = self.section_bytes(SectionKind::MetaEdges);
+        (
+            le_u32(bytes, k * 12) as usize,
+            le_u32(bytes, k * 12 + 4) as usize,
+            le_u32(bytes, k * 12 + 8),
+        )
+    }
+
+    /// Iterator over the Δ path-graph edges of meta edge `k`, decoded
+    /// straight from the delta CSR sections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= num_meta_edges()`.
+    pub fn delta_edges(&self, k: usize) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        let offsets = self.section_bytes(SectionKind::DeltaOffsets);
+        let lo = le_u64(offsets, k * 8) as usize;
+        let hi = le_u64(offsets, (k + 1) * 8) as usize;
+        let edges = self.section_bytes(SectionKind::DeltaEdges);
+        (lo..hi).map(move |e| (le_u32(edges, e * 8), le_u32(edges, e * 8 + 4)))
+    }
+
     fn section(&self, kind: SectionKind) -> SectionRecord {
         // The table is stored in `SectionKind::ALL` order by construction.
         self.sections[kind as usize - 1]
@@ -443,10 +585,13 @@ impl IndexView {
         Ok(())
     }
 
-    /// Validates every structural invariant the typed accessors and the
-    /// materialisers rely on, so no later code path can panic on a file
-    /// that passed the checksum (e.g. one crafted rather than corrupted).
-    fn validate_structure(&self) -> Result<()> {
+    /// The cheap `O(section-count)` length checks: every section length the
+    /// header implies, with checked arithmetic. These run in **both** parse
+    /// modes, so even a [`IndexView::parse_trusted`] view has structurally
+    /// sane array bounds (a crafted header with an absurd vertex count must
+    /// fail here, not wrap around and slip past the section-length
+    /// comparison).
+    fn validate_lengths(&self) -> Result<()> {
         let n = self.num_vertices;
         let r = self.num_landmarks;
         if r > u16::MAX as usize {
@@ -454,9 +599,6 @@ impl IndexView {
                 "v2 stores landmark indices in 16 bits; {r} landmarks exceed the limit"
             )));
         }
-        // Expected lengths are computed with checked arithmetic: a crafted
-        // header with an absurd vertex count must fail here, not wrap
-        // around and slip past the section-length comparison.
         let offsets_len = (n as u64)
             .checked_add(1)
             .and_then(|c| c.checked_mul(8))
@@ -485,6 +627,22 @@ impl IndexView {
             SectionKind::DeltaOffsets,
             (self.num_meta_edges() as u64 + 1) * 8,
         )?;
+        if self.section(SectionKind::Checksum).len != 8 {
+            return Err(QbsError::Corrupt(format!(
+                "checksum section must be 8 bytes, found {}",
+                self.section(SectionKind::Checksum).len
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validates every `O(file)` structural invariant the typed accessors
+    /// and the materialisers rely on, so no later code path can panic on a
+    /// file that passed the checksum (e.g. one crafted rather than
+    /// corrupted). Deferred by [`IndexView::parse_trusted`].
+    fn validate_structure(&self) -> Result<()> {
+        let n = self.num_vertices;
+        let r = self.num_landmarks;
 
         for v in u32_iter(self.section_bytes(SectionKind::Landmarks)) {
             if v as usize >= n {
@@ -749,6 +907,69 @@ pub fn write_v2(index: &QbsIndex) -> Result<Vec<u8>> {
     out.extend_from_slice(&checksum.to_le_bytes());
     debug_assert_eq!(out.len() as u64, file_size);
     Ok(out)
+}
+
+/// Everything `qbs inspect` reports about a v2 file, computed without
+/// requiring the checksum to match — a corrupt-but-geometrically-sane file
+/// is *inspectable* (that is the whole point of the tool), it just reports
+/// `checksum_ok() == false`.
+#[derive(Clone, Debug)]
+pub struct FileInspection {
+    /// `|V|` from the header.
+    pub num_vertices: usize,
+    /// `|R|` from the header.
+    pub num_landmarks: usize,
+    /// Total file length in bytes.
+    pub file_len: usize,
+    /// The parsed section table, in file order.
+    pub sections: Vec<SectionRecord>,
+    /// Checksum stored in the file.
+    pub stored_checksum: u64,
+    /// Checksum recomputed over the file contents.
+    pub computed_checksum: u64,
+    /// Directed arc count implied by the graph-neighbors section.
+    pub num_arcs: usize,
+    /// Meta-edge count implied by the meta-edges section.
+    pub num_meta_edges: usize,
+    /// Δ edge count implied by the delta-edges section.
+    pub num_delta_edges: usize,
+}
+
+impl FileInspection {
+    /// Whether the stored checksum matches the recomputed one.
+    pub fn checksum_ok(&self) -> bool {
+        self.stored_checksum == self.computed_checksum
+    }
+
+    /// A section's payload share of the whole file, in percent.
+    pub fn section_percent(&self, record: &SectionRecord) -> f64 {
+        if self.file_len == 0 {
+            return 0.0;
+        }
+        record.len as f64 * 100.0 / self.file_len as f64
+    }
+}
+
+/// Inspects a v2 buffer: geometry must parse (otherwise the `Corrupt` error
+/// is returned), but checksum and structural validity are *reported*, not
+/// enforced, so `qbs inspect` can diagnose a bit-rotted file. Takes the
+/// buffer by value so inspecting a multi-GB index never holds two copies
+/// of it — pass `ViewBuf::Heap(std::fs::read(path)?)` or a mapped buffer.
+pub fn inspect_v2(buf: ViewBuf) -> Result<FileInspection> {
+    let view = IndexView::parse_trusted(buf)?;
+    let checksum_offset = view.section(SectionKind::Checksum).offset as usize;
+    let computed_checksum = checksum64(&view.buf().as_slice()[..checksum_offset]);
+    Ok(FileInspection {
+        num_vertices: view.num_vertices(),
+        num_landmarks: view.num_landmarks(),
+        file_len: view.file_len(),
+        sections: view.sections().to_vec(),
+        stored_checksum: view.checksum(),
+        computed_checksum,
+        num_arcs: view.num_arcs(),
+        num_meta_edges: view.num_meta_edges(),
+        num_delta_edges: view.num_delta_edges(),
+    })
 }
 
 /// Validates the magic and version of a candidate v2 buffer, with a clear
@@ -1104,6 +1325,66 @@ mod tests {
             flipped[pos] ^= 1;
             assert_ne!(checksum64(&flipped), base, "flip at byte {pos}");
         }
+    }
+
+    #[test]
+    fn trusted_parse_defers_integrity_but_validates_geometry() {
+        let bytes = write_v2(&index()).expect("write");
+
+        // Valid buffer: geometry passes, integrity is deferred, verify() ok.
+        let view = IndexView::parse_trusted(ViewBuf::Heap(bytes.clone())).expect("parse");
+        assert!(!view.is_verified());
+        view.verify().expect("valid file verifies");
+        assert!(IndexView::parse(ViewBuf::Heap(bytes.clone()))
+            .expect("full parse")
+            .is_verified());
+
+        // A payload bit flip sails through the trusted parse (that is the
+        // documented trade) but is caught by the deferred verify().
+        let view_ok = IndexView::parse_trusted(ViewBuf::Heap(bytes.clone())).expect("parse");
+        let payload_pos = view_ok.section(SectionKind::GraphNeighbors).offset as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[payload_pos] ^= 0x01;
+        let trusted = IndexView::parse_trusted(ViewBuf::Heap(corrupt)).expect("geometry ok");
+        assert!(trusted.verify().is_err(), "bit flip must fail verify()");
+
+        // Geometry damage is still rejected eagerly, even in trusted mode.
+        assert!(IndexView::parse_trusted(ViewBuf::Heap(bytes[..HEADER_LEN].to_vec())).is_err());
+        let mut absurd = bytes.clone();
+        absurd[16..24].copy_from_slice(&(1u64 << 61).to_le_bytes());
+        assert!(IndexView::parse_trusted(ViewBuf::Heap(absurd)).is_err());
+    }
+
+    #[test]
+    fn inspection_reports_checksum_status_without_refusing_corrupt_files() {
+        let bytes = write_v2(&index()).expect("write");
+        let report = inspect_v2(ViewBuf::Heap(bytes.clone())).expect("inspect");
+        assert!(report.checksum_ok());
+        assert_eq!(report.num_vertices, 15);
+        assert_eq!(report.num_landmarks, 3);
+        assert_eq!(report.file_len, bytes.len());
+        assert_eq!(report.sections.len(), SECTION_COUNT);
+        let total_pct: f64 = report
+            .sections
+            .iter()
+            .map(|s| report.section_percent(s))
+            .sum();
+        assert!(
+            total_pct > 50.0 && total_pct <= 100.0,
+            "payload share {total_pct}"
+        );
+
+        // Corrupt one payload byte: inspection still works and reports the
+        // mismatch instead of erroring out.
+        let payload_pos = report.sections[4].offset as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[payload_pos] ^= 0x20;
+        let report = inspect_v2(ViewBuf::Heap(corrupt)).expect("inspect corrupt");
+        assert!(!report.checksum_ok());
+        assert_ne!(report.stored_checksum, report.computed_checksum);
+
+        // Geometry-destroying corruption is still an error.
+        assert!(inspect_v2(ViewBuf::Heap(bytes[..10].to_vec())).is_err());
     }
 
     #[test]

@@ -33,12 +33,15 @@
 //! let index = QbsIndex::build(graph, QbsConfig::with_explicit_landmarks(vec![1, 2, 3]));
 //!
 //! // Figure 6(f): SPG(6, 11) has distance 5 and 13 edges.
-//! let answer = index.query(6, 11);
+//! let answer = index.query(6, 11).unwrap();
 //! assert_eq!(answer.distance(), 5);
 //! assert_eq!(answer.num_edges(), 13);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the single exception is the tiny
+// `mmap` shim (raw `mmap(2)`/`munmap(2)` bindings, reviewed in isolation),
+// which opts back in with a module-level `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coverage;
@@ -48,12 +51,14 @@ pub mod format;
 pub mod labelling;
 pub mod landmark;
 pub mod meta_graph;
+pub mod mmap;
 pub mod parallel;
 pub mod query;
 pub mod search;
 pub mod serialize;
 pub mod sketch;
 pub mod stats;
+pub mod store;
 pub mod verify;
 pub mod workspace;
 
@@ -63,10 +68,12 @@ pub use format::{IndexView, ViewBuf};
 pub use labelling::{LabellingScheme, PathLabelling, NO_LABEL};
 pub use landmark::LandmarkStrategy;
 pub use meta_graph::MetaGraph;
-pub use query::{QbsConfig, QbsIndex, QueryAnswer};
+pub use query::{query_on, sketch_on, QbsConfig, QbsIndex, QueryAnswer};
 pub use search::SearchStats;
+pub use serialize::MapMode;
 pub use sketch::{Sketch, SketchBounds};
 pub use stats::IndexStats;
+pub use store::{IndexStore, ViewStore};
 pub use workspace::QueryWorkspace;
 
 /// Result alias for fallible QbS operations.

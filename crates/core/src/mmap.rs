@@ -1,0 +1,243 @@
+//! A minimal read-only memory-mapping shim.
+//!
+//! The offline build environment has no `memmap2`/`libc` crates, so this
+//! module binds `mmap(2)`/`munmap(2)` directly via `extern "C"` on 64-bit
+//! Unix targets. Everywhere else (and whenever the mapping syscall fails at
+//! the OS level) callers fall back to reading the file into a heap buffer —
+//! [`crate::serialize::load_view_from_file`] hides the distinction behind
+//! [`crate::serialize::MapMode`].
+//!
+//! This is the **only** module in the workspace allowed to use `unsafe`
+//! (the crate root is `#![deny(unsafe_code)]`); the surface is deliberately
+//! tiny: map a whole file read-only, expose it as `&[u8]`, unmap on drop.
+//!
+//! # Mapping contract
+//!
+//! A mapped index file must be treated as **immutable** for the lifetime of
+//! the mapping. Truncating or rewriting it from another process while it is
+//! mapped can deliver `SIGBUS` on access — the classic mmap caveat, and the
+//! reason the serving story deals in write-once, atomically-renamed index
+//! files (see `docs/index-format.md`).
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// A read-only mapping (or heap copy, on fallback targets) of a whole file.
+pub struct MmapRegion(imp::Region);
+
+impl MmapRegion {
+    /// Maps `path` read-only in its entirety.
+    ///
+    /// On targets without the raw `mmap` binding (non-Unix, or 32-bit
+    /// pointer widths where the raw `off_t` ABI is not portably
+    /// declarable), this transparently reads the file into a heap buffer
+    /// instead, so callers never need a `cfg`.
+    pub fn map_file<P: AsRef<Path>>(path: P) -> io::Result<MmapRegion> {
+        let file = File::open(path)?;
+        imp::map(&file).map(MmapRegion)
+    }
+
+    /// Whether this region is a true kernel mapping (`false` means the
+    /// heap-read fallback was used).
+    pub fn is_mapped(&self) -> bool {
+        imp::IS_REAL_MMAP
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        self.0.as_slice()
+    }
+
+    /// Length of the mapping in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl std::fmt::Debug for MmapRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapRegion")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod imp {
+    use std::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    pub(super) const IS_REAL_MMAP: bool = true;
+
+    // Raw bindings; the values below are identical on every 64-bit Unix we
+    // target (Linux, macOS, the BSDs). `off_t` is 64-bit on all of them.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+    const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    pub(super) struct Region {
+        /// Null iff the file was empty (mmap rejects zero-length maps).
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the region is a private, read-only mapping; the pointer is
+    // never handed out mutably, so concurrent `&self` access from multiple
+    // threads only performs aliased reads.
+    unsafe impl Send for Region {}
+    unsafe impl Sync for Region {}
+
+    pub(super) fn map(file: &File) -> io::Result<Region> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        if len == 0 {
+            return Ok(Region {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: length is the exact non-zero file size, the fd is open for
+        // reading, and a PROT_READ | MAP_PRIVATE whole-file mapping has no
+        // aliasing preconditions. The fd may be closed after mmap returns;
+        // the mapping stays valid until munmap.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Region { ptr, len })
+    }
+
+    impl Region {
+        #[inline]
+        pub(super) fn as_slice(&self) -> &[u8] {
+            if self.ptr.is_null() {
+                return &[];
+            }
+            // SAFETY: `ptr` points at a live PROT_READ mapping of exactly
+            // `len` bytes, valid until `Drop` runs; `&self` ties the slice
+            // lifetime to the region.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Region {
+        fn drop(&mut self) {
+            if !self.ptr.is_null() {
+                // SAFETY: `ptr`/`len` came from a successful mmap and are
+                // unmapped exactly once.
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(all(unix, target_pointer_width = "64")))]
+mod imp {
+    use std::fs::File;
+    use std::io::{self, Read};
+
+    pub(super) const IS_REAL_MMAP: bool = false;
+
+    pub(super) struct Region(Vec<u8>);
+
+    pub(super) fn map(file: &File) -> io::Result<Region> {
+        let mut buf = Vec::new();
+        let mut file = file;
+        file.read_to_end(&mut buf)?;
+        Ok(Region(buf))
+    }
+
+    impl Region {
+        #[inline]
+        pub(super) fn as_slice(&self) -> &[u8] {
+            &self.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qbs_core_mmap_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn mapping_reflects_file_contents() {
+        let path = temp_path("data.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &payload).expect("write");
+        let region = MmapRegion::map_file(&path).expect("map");
+        assert_eq!(region.len(), payload.len());
+        assert_eq!(region.as_slice(), &payload[..]);
+        assert!(!region.is_empty());
+        assert!(format!("{region:?}").contains("len"));
+    }
+
+    #[test]
+    fn empty_files_map_to_empty_slices() {
+        let path = temp_path("empty.bin");
+        std::fs::write(&path, b"").expect("write");
+        let region = MmapRegion::map_file(&path).expect("map");
+        assert!(region.is_empty());
+        assert_eq!(region.as_slice(), b"");
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        assert!(MmapRegion::map_file(temp_path("missing.bin")).is_err());
+    }
+
+    #[test]
+    fn regions_are_shareable_across_threads() {
+        let path = temp_path("shared.bin");
+        std::fs::write(&path, vec![7u8; 4096]).expect("write");
+        let region = std::sync::Arc::new(MmapRegion::map_file(&path).expect("map"));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = std::sync::Arc::clone(&region);
+                scope.spawn(move || assert!(r.as_slice().iter().all(|&b| b == 7)));
+            }
+        });
+    }
+}

@@ -10,9 +10,10 @@ use crate::labelling::{self, LabellingScheme, PathLabelling};
 use crate::landmark::LandmarkStrategy;
 use crate::meta_graph::MetaGraph;
 use crate::parallel;
-use crate::search::{SearchContext, SearchStats};
+use crate::search::{self, SearchStats};
 use crate::sketch::{self, Sketch};
 use crate::stats::IndexStats;
+use crate::store::IndexStore;
 use crate::workspace::QueryWorkspace;
 use crate::QbsError;
 
@@ -276,41 +277,32 @@ impl QbsIndex {
     /// Computes the sketch for a query (Algorithm 3) without running the
     /// search — used by the Figure 8 coverage analysis and by callers that
     /// only need the distance upper bound.
+    ///
+    /// Returns [`QbsError::VertexOutOfRange`] for endpoints outside the
+    /// indexed graph.
     pub fn sketch(&self, source: VertexId, target: VertexId) -> crate::Result<Sketch> {
-        self.check_vertex(source)?;
-        self.check_vertex(target)?;
-        Ok(sketch::compute(
-            &self.meta,
-            source,
-            target,
-            &self.effective_label(source),
-            &self.effective_label(target),
-        ))
+        sketch_on(self, source, target)
     }
 
-    /// Answers `SPG(source, target)`.
+    /// Answers `SPG(source, target)` on a throwaway workspace.
     ///
-    /// # Panics
-    ///
-    /// Panics if either vertex is out of range; use [`QbsIndex::try_query`]
-    /// for a fallible variant.
-    pub fn query(&self, source: VertexId, target: VertexId) -> PathGraph {
-        self.try_query(source, target)
-            .expect("query vertices out of range")
-            .path_graph
+    /// Returns [`QbsError::VertexOutOfRange`] for endpoints outside the
+    /// indexed graph. Hot loops should hold a [`QueryWorkspace`] (or use a
+    /// [`crate::engine::QueryEngine`]) and call [`QbsIndex::query_with`].
+    pub fn query(&self, source: VertexId, target: VertexId) -> crate::Result<PathGraph> {
+        Ok(self.query_with_stats(source, target)?.path_graph)
     }
 
     /// Answers `SPG(source, target)`, returning the sketch and search
     /// statistics alongside the path graph.
-    pub fn query_with_stats(&self, source: VertexId, target: VertexId) -> QueryAnswer {
-        self.try_query(source, target)
-            .expect("query vertices out of range")
-    }
-
-    /// Fallible query returning the full [`QueryAnswer`], on a throwaway
-    /// workspace. Hot loops should hold a [`QueryWorkspace`] (or use a
-    /// [`crate::engine::QueryEngine`]) and call [`QbsIndex::query_with`].
-    pub fn try_query(&self, source: VertexId, target: VertexId) -> crate::Result<QueryAnswer> {
+    ///
+    /// Returns [`QbsError::VertexOutOfRange`] for endpoints outside the
+    /// indexed graph.
+    pub fn query_with_stats(
+        &self,
+        source: VertexId,
+        target: VertexId,
+    ) -> crate::Result<QueryAnswer> {
         let mut ws = QueryWorkspace::new();
         self.query_with(&mut ws, source, target)
     }
@@ -322,39 +314,14 @@ impl QbsIndex {
     /// itself performs no `O(|V|)` allocations or clears — the only heap
     /// activity is the storage owned by the returned [`QueryAnswer`]
     /// (answer edges and sketch hops). Results are bit-identical to
-    /// [`QbsIndex::try_query`].
+    /// [`QbsIndex::query`].
     pub fn query_with(
         &self,
         ws: &mut QueryWorkspace,
         source: VertexId,
         target: VertexId,
     ) -> crate::Result<QueryAnswer> {
-        self.check_vertex(source)?;
-        self.check_vertex(target)?;
-        if source == target {
-            ws.record_query();
-            let sketch = Sketch::unreachable(source, target);
-            let stats = SearchStats {
-                distance: 0,
-                ..SearchStats::default()
-            };
-            return Ok(QueryAnswer {
-                path_graph: PathGraph::trivial(source),
-                sketch,
-                stats,
-            });
-        }
-        self.fill_effective_label(source, &mut ws.src_label);
-        self.fill_effective_label(target, &mut ws.tgt_label);
-        let sketch = sketch::compute(&self.meta, source, target, &ws.src_label, &ws.tgt_label);
-        let (path_graph, stats) = self
-            .context()
-            .guided_search_with(ws, source, target, &sketch);
-        Ok(QueryAnswer {
-            path_graph,
-            sketch,
-            stats,
-        })
+        query_on(self, ws, source, target)
     }
 
     /// Shortest-path distance between two vertices (a by-product of the
@@ -377,42 +344,179 @@ impl QbsIndex {
         source: VertexId,
         target: VertexId,
     ) -> crate::Result<Distance> {
-        self.check_vertex(source)?;
-        self.check_vertex(target)?;
-        if source == target {
-            ws.record_query();
-            return Ok(0);
-        }
-        self.fill_effective_label(source, &mut ws.src_label);
-        self.fill_effective_label(target, &mut ws.tgt_label);
-        let bounds = sketch::compute_bounds(&self.meta, &ws.src_label, &ws.tgt_label);
-        let (distance, _) = self
-            .context()
-            .guided_distance_with(ws, source, target, &bounds);
-        Ok(distance)
+        distance_on(self, ws, source, target)
+    }
+}
+
+/// The owned index *is* a storage backend: every accessor reads the
+/// materialised structures. [`crate::store::ViewStore`] provides the same
+/// interface over a raw `qbs-index-v2` buffer; [`query_on`] and friends
+/// accept either.
+impl IndexStore for QbsIndex {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
     }
 
-    /// The borrowed search context over this index's pieces.
-    pub(crate) fn context(&self) -> SearchContext<'_> {
-        SearchContext {
-            graph: &self.graph,
-            meta: &self.meta,
-            labelling: &self.labelling,
-            landmark_filter: &self.landmark_filter,
-            landmark_column: &self.landmark_column,
+    #[inline]
+    fn num_landmarks(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    #[inline]
+    fn landmark(&self, idx: usize) -> VertexId {
+        self.landmarks[idx]
+    }
+
+    #[inline]
+    fn landmark_filter(&self) -> &VertexFilter {
+        &self.landmark_filter
+    }
+
+    #[inline]
+    fn landmark_column(&self, v: VertexId) -> Option<usize> {
+        match self.landmark_column[v as usize] {
+            u32::MAX => None,
+            col => Some(col as usize),
         }
     }
 
-    fn check_vertex(&self, v: VertexId) -> crate::Result<()> {
-        if (v as usize) < self.graph.num_vertices() {
-            Ok(())
-        } else {
-            Err(QbsError::VertexOutOfRange {
-                vertex: v as u64,
-                num_vertices: self.graph.num_vertices() as u64,
-            })
+    #[inline]
+    fn is_landmark(&self, v: VertexId) -> bool {
+        QbsIndex::is_landmark(self, v)
+    }
+
+    #[inline]
+    fn label_distance(&self, v: VertexId, landmark_idx: usize) -> Option<Distance> {
+        self.labelling.get(v, landmark_idx)
+    }
+
+    fn fill_label_entries(&self, v: VertexId, out: &mut Vec<(usize, Distance)>) {
+        out.extend(self.labelling.entries(v));
+    }
+
+    #[inline]
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, mut visit: F) {
+        for &w in self.graph.neighbors(v) {
+            visit(w);
         }
     }
+
+    #[inline]
+    fn meta_distance(&self, i: usize, j: usize) -> Distance {
+        self.meta.distance(i, j)
+    }
+
+    #[inline]
+    fn num_meta_edges(&self) -> usize {
+        self.meta.edges().len()
+    }
+
+    #[inline]
+    fn meta_edge(&self, k: usize) -> (usize, usize, Distance) {
+        self.meta.edges()[k]
+    }
+
+    #[inline]
+    fn meta_edge_index(&self, i: usize, j: usize) -> Option<usize> {
+        self.meta.edge_index(i, j)
+    }
+
+    fn for_each_delta_edge<F: FnMut(VertexId, VertexId)>(&self, k: usize, mut visit: F) {
+        for &(a, b) in self.meta.delta_edges(k) {
+            visit(a, b);
+        }
+    }
+}
+
+/// Rejects query endpoints outside the store's vertex range with
+/// [`QbsError::VertexOutOfRange`] — the bounds check shared by every public
+/// query entry point, owned and view-backed alike.
+fn check_vertex<S: IndexStore>(store: &S, v: VertexId) -> crate::Result<()> {
+    if (v as usize) < store.num_vertices() {
+        Ok(())
+    } else {
+        Err(QbsError::VertexOutOfRange {
+            vertex: v as u64,
+            num_vertices: store.num_vertices() as u64,
+        })
+    }
+}
+
+/// Answers `SPG(source, target)` on any [`IndexStore`] backend, reusing the
+/// buffers of `ws`.
+///
+/// This is the backend-generic workhorse: [`QbsIndex::query_with`] is a
+/// thin wrapper over it, and [`crate::engine::QueryEngine`] calls it
+/// directly so a view-backed engine serves queries with **zero** index
+/// materialisation. Answers are bit-identical across backends.
+pub fn query_on<S: IndexStore>(
+    store: &S,
+    ws: &mut QueryWorkspace,
+    source: VertexId,
+    target: VertexId,
+) -> crate::Result<QueryAnswer> {
+    check_vertex(store, source)?;
+    check_vertex(store, target)?;
+    if source == target {
+        ws.record_query();
+        let sketch = Sketch::unreachable(source, target);
+        let stats = SearchStats {
+            distance: 0,
+            ..SearchStats::default()
+        };
+        return Ok(QueryAnswer {
+            path_graph: PathGraph::trivial(source),
+            sketch,
+            stats,
+        });
+    }
+    store.fill_effective_label(source, &mut ws.src_label);
+    store.fill_effective_label(target, &mut ws.tgt_label);
+    let sketch = sketch::compute(store, source, target, &ws.src_label, &ws.tgt_label);
+    let (path_graph, stats) = search::guided_search_with(store, ws, source, target, &sketch);
+    Ok(QueryAnswer {
+        path_graph,
+        sketch,
+        stats,
+    })
+}
+
+/// Shortest-path distance on any [`IndexStore`] backend, reusing the
+/// buffers of `ws` (the allocation-free sibling of [`query_on`]).
+pub fn distance_on<S: IndexStore>(
+    store: &S,
+    ws: &mut QueryWorkspace,
+    source: VertexId,
+    target: VertexId,
+) -> crate::Result<Distance> {
+    check_vertex(store, source)?;
+    check_vertex(store, target)?;
+    if source == target {
+        ws.record_query();
+        return Ok(0);
+    }
+    store.fill_effective_label(source, &mut ws.src_label);
+    store.fill_effective_label(target, &mut ws.tgt_label);
+    let bounds = sketch::compute_bounds(store, &ws.src_label, &ws.tgt_label);
+    let (distance, _) = search::guided_distance_with(store, ws, source, target, &bounds);
+    Ok(distance)
+}
+
+/// Computes the sketch of a query on any [`IndexStore`] backend without
+/// running the search.
+pub fn sketch_on<S: IndexStore>(
+    store: &S,
+    source: VertexId,
+    target: VertexId,
+) -> crate::Result<Sketch> {
+    check_vertex(store, source)?;
+    check_vertex(store, target)?;
+    let mut src = Vec::new();
+    let mut tgt = Vec::new();
+    store.fill_effective_label(source, &mut src);
+    store.fill_effective_label(target, &mut tgt);
+    Ok(sketch::compute(store, source, target, &src, &tgt))
 }
 
 #[cfg(test)]
@@ -427,7 +531,7 @@ mod tests {
             QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
         );
         assert_eq!(index.landmarks(), &[1, 2, 3]);
-        let answer = index.query_with_stats(6, 11);
+        let answer = index.query_with_stats(6, 11).expect("in range");
         assert_eq!(answer.path_graph.distance(), 5);
         assert_eq!(
             answer.path_graph,
@@ -455,18 +559,19 @@ mod tests {
         assert_eq!(a.labelling(), b.labelling());
         assert_eq!(a.meta_graph(), b.meta_graph());
         for (u, v) in [(3u32, 7u32), (1, 7), (4, 6)] {
-            assert_eq!(a.query(u, v), b.query(u, v));
+            assert_eq!(a.query(u, v).unwrap(), b.query(u, v).unwrap());
         }
     }
 
     #[test]
     fn trivial_and_error_cases() {
         let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(2));
-        assert_eq!(index.query(5, 5).distance(), 0);
-        assert!(index.try_query(0, 99).is_err());
+        assert_eq!(index.query(5, 5).unwrap().distance(), 0);
+        assert!(index.query(0, 99).is_err());
         assert!(index.sketch(99, 0).is_err());
+        assert!(index.distance(0, 99).is_err());
         assert!(matches!(
-            index.try_query(99, 0).unwrap_err(),
+            index.query_with_stats(99, 0).unwrap_err(),
             QbsError::VertexOutOfRange { .. }
         ));
     }
@@ -497,6 +602,6 @@ mod tests {
         // landmarks than vertices must clamp, not panic.
         let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(100));
         assert_eq!(index.landmarks().len(), figure3_graph().num_vertices());
-        assert_eq!(index.query(3, 7).distance(), 4);
+        assert_eq!(index.query(3, 7).unwrap().distance(), 4);
     }
 }

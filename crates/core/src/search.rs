@@ -23,23 +23,22 @@
 //! formulation (labels are only defined on `V \ R`) without changing any of
 //! its guarantees.
 //!
-//! All mutable search state lives in a caller-provided [`QueryWorkspace`]
-//! ([`SearchContext::guided_search_with`]): the per-vertex depth fields and
-//! visited sets are epoch-stamped, so repeated queries perform **zero
-//! `O(|V|)` allocations or clears** — the convenience entry point
-//! [`SearchContext::guided_search`] simply runs on a throwaway workspace.
+//! Every index read goes through the [`IndexStore`] trait, so the same
+//! search serves the owned [`crate::QbsIndex`] and a zero-copy
+//! [`crate::store::ViewStore`] over an index file — answers are
+//! bit-identical across backends. All mutable search state lives in a
+//! caller-provided [`QueryWorkspace`] ([`guided_search_with`]): the
+//! per-vertex depth fields and visited sets are epoch-stamped, so repeated
+//! queries perform **zero `O(|V|)` allocations or clears**.
 
 use serde::{Deserialize, Serialize};
 
 use qbs_graph::view::NeighborAccess;
 use qbs_graph::workspace::{DistanceField, VisitedSet};
-use qbs_graph::{
-    Distance, FilteredGraph, Graph, PathGraph, VertexFilter, VertexId, INFINITE_DISTANCE,
-};
+use qbs_graph::{Distance, PathGraph, VertexFilter, VertexId, INFINITE_DISTANCE};
 
-use crate::labelling::PathLabelling;
-use crate::meta_graph::MetaGraph;
 use crate::sketch::{Sketch, SketchBounds};
+use crate::store::{IndexStore, SparsifiedStore};
 use crate::workspace::{QueryWorkspace, SideState};
 
 /// Work counters and intermediate quantities of one guided search, used by
@@ -68,356 +67,342 @@ pub struct SearchStats {
     pub used_recover_search: bool,
 }
 
-/// Borrowed view of the index pieces the guided search needs.
-#[derive(Clone, Copy)]
-pub struct SearchContext<'a> {
-    /// The indexed graph.
-    pub graph: &'a Graph,
-    /// Meta-graph with APSP and Δ.
-    pub meta: &'a MetaGraph,
-    /// The path labelling.
-    pub labelling: &'a PathLabelling,
-    /// Filter marking every landmark (the removal set of `G⁻`).
-    pub landmark_filter: &'a VertexFilter,
-    /// Per-vertex landmark column (`u32::MAX` for non-landmarks).
-    pub landmark_column: &'a [u32],
+/// Answers `SPG(source, target)` guided by `sketch` (Algorithm 4) on a
+/// throwaway workspace.
+///
+/// The caller guarantees `source != target` and that both vertices exist.
+/// Hot query loops should hold a [`QueryWorkspace`] and call
+/// [`guided_search_with`] instead.
+pub fn guided_search<S: IndexStore>(
+    store: &S,
+    source: VertexId,
+    target: VertexId,
+    sketch: &Sketch,
+) -> (PathGraph, SearchStats) {
+    let mut ws = QueryWorkspace::new();
+    guided_search_with(store, &mut ws, source, target, sketch)
 }
 
-impl<'a> SearchContext<'a> {
-    /// Answers `SPG(source, target)` guided by `sketch` (Algorithm 4) on a
-    /// throwaway workspace.
-    ///
-    /// The caller guarantees `source != target` and that both vertices
-    /// exist. Hot query loops should hold a [`QueryWorkspace`] and call
-    /// [`SearchContext::guided_search_with`] instead.
-    pub fn guided_search(
-        &self,
-        source: VertexId,
-        target: VertexId,
-        sketch: &Sketch,
-    ) -> (PathGraph, SearchStats) {
-        let mut ws = QueryWorkspace::new();
-        self.guided_search_with(&mut ws, source, target, sketch)
-    }
+/// Answers `SPG(source, target)` guided by `sketch`, reusing every buffer
+/// in `ws`. Results are bit-identical to [`guided_search`], and identical
+/// across [`IndexStore`] backends.
+pub fn guided_search_with<S: IndexStore>(
+    store: &S,
+    ws: &mut QueryWorkspace,
+    source: VertexId,
+    target: VertexId,
+    sketch: &Sketch,
+) -> (PathGraph, SearchStats) {
+    let n = store.num_vertices();
+    ws.record_query();
+    let mut stats = SearchStats {
+        upper_bound: sketch.upper_bound,
+        sparsified_distance: INFINITE_DISTANCE,
+        distance: INFINITE_DISTANCE,
+        ..SearchStats::default()
+    };
 
-    /// Answers `SPG(source, target)` guided by `sketch`, reusing every
-    /// buffer in `ws`. Results are bit-identical to
-    /// [`SearchContext::guided_search`].
-    pub fn guided_search_with(
-        &self,
-        ws: &mut QueryWorkspace,
-        source: VertexId,
-        target: VertexId,
-        sketch: &Sketch,
-    ) -> (PathGraph, SearchStats) {
-        let n = self.graph.num_vertices();
-        ws.record_query();
-        let mut stats = SearchStats {
-            upper_bound: sketch.upper_bound,
-            sparsified_distance: INFINITE_DISTANCE,
-            distance: INFINITE_DISTANCE,
-            ..SearchStats::default()
-        };
+    let QueryWorkspace {
+        fwd,
+        bwd,
+        visited,
+        stack,
+        walk_visited,
+        walk_stack,
+        meeting,
+        edges,
+        scratch_filter,
+        ..
+    } = &mut *ws;
 
-        let QueryWorkspace {
+    let view = sparsified_view(store, scratch_filter, source, target);
+
+    let d_top = sketch.upper_bound;
+
+    // ---- Stage 1: guided bidirectional search on G⁻ (lines 6-15). ----
+    fwd.begin(n, source);
+    bwd.begin(n, target);
+    let meeting_distance = bidirectional_stage(
+        &view,
+        fwd,
+        bwd,
+        d_top,
+        sketch.source_budget(),
+        sketch.target_budget(),
+        &mut stats,
+    );
+    stats.sparsified_distance = meeting_distance;
+
+    // ---- Stage 2/3: combine per Eq. 5. ----
+    edges.clear();
+    let distance;
+    if meeting_distance < d_top {
+        // Every shortest path avoids the landmarks.
+        distance = meeting_distance;
+        stats.used_reverse_search = true;
+        reverse_search(&view, distance, fwd, bwd, visited, stack, meeting, edges);
+    } else if meeting_distance == d_top && d_top != INFINITE_DISTANCE {
+        distance = d_top;
+        stats.used_reverse_search = true;
+        stats.used_recover_search = true;
+        reverse_search(&view, distance, fwd, bwd, visited, stack, meeting, edges);
+        recover_search(
+            store,
+            sketch,
+            &view,
             fwd,
             bwd,
-            visited,
-            stack,
             walk_visited,
             walk_stack,
-            meeting,
+            stack,
             edges,
-            scratch_filter,
-            ..
-        } = &mut *ws;
-
-        let view = self.query_view(scratch_filter, source, target);
-
-        let d_top = sketch.upper_bound;
-
-        // ---- Stage 1: guided bidirectional search on G⁻ (lines 6-15). ----
-        fwd.begin(n, source);
-        bwd.begin(n, target);
-        let meeting_distance = bidirectional_stage(
+        );
+    } else if d_top != INFINITE_DISTANCE {
+        // d_{G⁻} > d⊤: every shortest path passes a landmark.
+        distance = d_top;
+        stats.used_recover_search = true;
+        recover_search(
+            store,
+            sketch,
             &view,
             fwd,
             bwd,
-            d_top,
-            sketch.source_budget(),
-            sketch.target_budget(),
-            &mut stats,
+            walk_visited,
+            walk_stack,
+            stack,
+            edges,
         );
-        stats.sparsified_distance = meeting_distance;
-
-        // ---- Stage 2/3: combine per Eq. 5. ----
-        edges.clear();
-        let distance;
-        if meeting_distance < d_top {
-            // Every shortest path avoids the landmarks.
-            distance = meeting_distance;
-            stats.used_reverse_search = true;
-            reverse_search(&view, distance, fwd, bwd, visited, stack, meeting, edges);
-        } else if meeting_distance == d_top && d_top != INFINITE_DISTANCE {
-            distance = d_top;
-            stats.used_reverse_search = true;
-            stats.used_recover_search = true;
-            reverse_search(&view, distance, fwd, bwd, visited, stack, meeting, edges);
-            self.recover_search(
-                sketch,
-                &view,
-                fwd,
-                bwd,
-                walk_visited,
-                walk_stack,
-                stack,
-                edges,
-            );
-        } else if d_top != INFINITE_DISTANCE {
-            // d_{G⁻} > d⊤: every shortest path passes a landmark.
-            distance = d_top;
-            stats.used_recover_search = true;
-            self.recover_search(
-                sketch,
-                &view,
-                fwd,
-                bwd,
-                walk_visited,
-                walk_stack,
-                stack,
-                edges,
-            );
-        } else {
-            // No landmark route and no G⁻ route: disconnected.
-            stats.distance = INFINITE_DISTANCE;
-            return (PathGraph::unreachable(source, target), stats);
-        }
-        stats.distance = distance;
-        (
-            PathGraph::from_edges(source, target, distance, edges.iter().copied()),
-            stats,
-        )
+    } else {
+        // No landmark route and no G⁻ route: disconnected.
+        stats.distance = INFINITE_DISTANCE;
+        return (PathGraph::unreachable(source, target), stats);
     }
+    stats.distance = distance;
+    (
+        PathGraph::from_edges(source, target, distance, edges.iter().copied()),
+        stats,
+    )
+}
 
-    /// Computes only the query *distance* (Eq. 5: `min(d_{G⁻}, d⊤)`),
-    /// skipping the reverse/recover materialisation entirely.
-    ///
-    /// This is the fully allocation-free hot path: with a warmed-up
-    /// workspace it touches no heap at all.
-    pub fn guided_distance_with(
-        &self,
-        ws: &mut QueryWorkspace,
-        source: VertexId,
-        target: VertexId,
-        bounds: &SketchBounds,
-    ) -> (Distance, SearchStats) {
-        let n = self.graph.num_vertices();
-        ws.record_query();
-        let mut stats = SearchStats {
-            upper_bound: bounds.upper_bound,
-            sparsified_distance: INFINITE_DISTANCE,
-            distance: INFINITE_DISTANCE,
-            ..SearchStats::default()
-        };
+/// Computes only the query *distance* (Eq. 5: `min(d_{G⁻}, d⊤)`), skipping
+/// the reverse/recover materialisation entirely.
+///
+/// This is the fully allocation-free hot path: with a warmed-up workspace
+/// it touches no heap at all.
+pub fn guided_distance_with<S: IndexStore>(
+    store: &S,
+    ws: &mut QueryWorkspace,
+    source: VertexId,
+    target: VertexId,
+    bounds: &SketchBounds,
+) -> (Distance, SearchStats) {
+    let n = store.num_vertices();
+    ws.record_query();
+    let mut stats = SearchStats {
+        upper_bound: bounds.upper_bound,
+        sparsified_distance: INFINITE_DISTANCE,
+        distance: INFINITE_DISTANCE,
+        ..SearchStats::default()
+    };
 
-        let QueryWorkspace {
+    let QueryWorkspace {
+        fwd,
+        bwd,
+        scratch_filter,
+        ..
+    } = &mut *ws;
+    let view = sparsified_view(store, scratch_filter, source, target);
+
+    fwd.begin(n, source);
+    bwd.begin(n, target);
+    let meeting_distance = bidirectional_stage(
+        &view,
+        fwd,
+        bwd,
+        bounds.upper_bound,
+        bounds.source_budget,
+        bounds.target_budget,
+        &mut stats,
+    );
+    stats.sparsified_distance = meeting_distance;
+    let distance = meeting_distance.min(bounds.upper_bound);
+    stats.distance = distance;
+    (distance, stats)
+}
+
+/// The sparsified view for one query: all landmarks removed, except a query
+/// endpoint that happens to be a landmark itself. The common
+/// (non-landmark-endpoint) case borrows the store's filter directly; the
+/// rare case copies it into the workspace's scratch filter, so neither path
+/// allocates in the steady state. Shared by the full search and the
+/// distance-only path so the endpoint rule lives in exactly one place.
+fn sparsified_view<'v, S: IndexStore>(
+    store: &'v S,
+    scratch_filter: &'v mut VertexFilter,
+    source: VertexId,
+    target: VertexId,
+) -> SparsifiedStore<'v, S> {
+    let landmark_filter = store.landmark_filter();
+    let endpoint_is_landmark = landmark_filter.contains(source) || landmark_filter.contains(target);
+    let query_filter: &VertexFilter = if endpoint_is_landmark {
+        scratch_filter.copy_from(landmark_filter);
+        scratch_filter.remove(source);
+        scratch_filter.remove(target);
+        scratch_filter
+    } else {
+        landmark_filter
+    };
+    SparsifiedStore::new(store, query_filter)
+}
+
+/// Recover search (Algorithm 4, lines 18-24): materialises the shortest
+/// paths that pass through at least one landmark.
+#[allow(clippy::too_many_arguments)]
+fn recover_search<S: IndexStore>(
+    store: &S,
+    sketch: &Sketch,
+    view: &SparsifiedStore<'_, S>,
+    fwd: &SideState,
+    bwd: &SideState,
+    walk_visited: &mut VisitedSet,
+    walk_stack: &mut Vec<(VertexId, Distance)>,
+    stack: &mut Vec<VertexId>,
+    edges: &mut Vec<(VertexId, VertexId)>,
+) {
+    // Landmark-to-landmark segments: splice in the precomputed Δ path
+    // graph of every sketch meta edge.
+    for &(i, j, _) in &sketch.meta_edges {
+        if let Some(k) = store.meta_edge_index(i, j) {
+            store.for_each_delta_edge(k, |a, b| edges.push((a, b)));
+        }
+    }
+    // Endpoint-to-landmark segments on both sides.
+    for hop in &sketch.source_hops {
+        recover_side(
+            store,
+            hop.landmark_idx,
+            hop.distance,
             fwd,
-            bwd,
-            scratch_filter,
-            ..
-        } = &mut *ws;
-        let view = self.query_view(scratch_filter, source, target);
-
-        fwd.begin(n, source);
-        bwd.begin(n, target);
-        let meeting_distance = bidirectional_stage(
-            &view,
-            fwd,
-            bwd,
-            bounds.upper_bound,
-            bounds.source_budget,
-            bounds.target_budget,
-            &mut stats,
+            view,
+            walk_visited,
+            walk_stack,
+            stack,
+            edges,
         );
-        stats.sparsified_distance = meeting_distance;
-        let distance = meeting_distance.min(bounds.upper_bound);
-        stats.distance = distance;
-        (distance, stats)
     }
+    for hop in &sketch.target_hops {
+        recover_side(
+            store,
+            hop.landmark_idx,
+            hop.distance,
+            bwd,
+            view,
+            walk_visited,
+            walk_stack,
+            stack,
+            edges,
+        );
+    }
+}
 
-    /// The sparsified view for one query: all landmarks removed, except a
-    /// query endpoint that happens to be a landmark itself. The common
-    /// (non-landmark-endpoint) case borrows the index's filter directly;
-    /// the rare case copies it into the workspace's scratch filter, so
-    /// neither path allocates in the steady state. Shared by the full
-    /// search and the distance-only path so the endpoint rule lives in
-    /// exactly one place.
-    fn query_view<'v>(
-        &'v self,
-        scratch_filter: &'v mut VertexFilter,
-        source: VertexId,
-        target: VertexId,
-    ) -> FilteredGraph<'v> {
-        let endpoint_is_landmark =
-            self.landmark_filter.contains(source) || self.landmark_filter.contains(target);
-        let query_filter: &VertexFilter = if endpoint_is_landmark {
-            scratch_filter.copy_from(self.landmark_filter);
-            scratch_filter.remove(source);
-            scratch_filter.remove(target);
-            scratch_filter
+/// Recovers the shortest paths between one query endpoint and one sketch
+/// landmark: finds the frontier vertices `Z` of Algorithm 4 (lines 19-23),
+/// then label-walks from them to the landmark and depth-walks from them
+/// back to the endpoint.
+#[allow(clippy::too_many_arguments)]
+fn recover_side<S: IndexStore>(
+    store: &S,
+    landmark_idx: usize,
+    sigma: Distance,
+    side: &SideState,
+    view: &SparsifiedStore<'_, S>,
+    walk_visited: &mut VisitedSet,
+    walk_stack: &mut Vec<(VertexId, Distance)>,
+    stack: &mut Vec<VertexId>,
+    edges: &mut Vec<(VertexId, VertexId)>,
+) {
+    if sigma == 0 {
+        return; // the endpoint is this landmark; nothing to recover
+    }
+    let landmark = store.landmark(landmark_idx);
+    let dm = (sigma - 1).min(side.level);
+    let needed_label = sigma - dm;
+    let Some(level) = side.levels.get(dm as usize) else {
+        return;
+    };
+    for &w in level {
+        let matches = if store.is_landmark(w) {
+            // An endpoint that is itself a landmark only matches its own
+            // synthetic zero label.
+            w == landmark && needed_label == 0
         } else {
-            self.landmark_filter
+            store.label_distance(w, landmark_idx) == Some(needed_label)
         };
-        FilteredGraph::new(self.graph, query_filter)
+        if !matches {
+            continue;
+        }
+        // w → landmark via the labels.
+        label_walk(
+            store,
+            w,
+            landmark_idx,
+            landmark,
+            needed_label,
+            walk_visited,
+            walk_stack,
+            edges,
+        );
+        // endpoint → w via the search depths.
+        depth_walk(view, w, &side.depth, walk_visited, stack, edges);
     }
+}
 
-    /// Recover search (Algorithm 4, lines 18-24): materialises the shortest
-    /// paths that pass through at least one landmark.
-    #[allow(clippy::too_many_arguments)]
-    fn recover_search(
-        &self,
-        sketch: &Sketch,
-        view: &FilteredGraph<'_>,
-        fwd: &SideState,
-        bwd: &SideState,
-        walk_visited: &mut VisitedSet,
-        walk_stack: &mut Vec<(VertexId, Distance)>,
-        stack: &mut Vec<VertexId>,
-        edges: &mut Vec<(VertexId, VertexId)>,
-    ) {
-        // Landmark-to-landmark segments: splice in the precomputed Δ path
-        // graph of every sketch meta edge.
-        for &(i, j, _) in &sketch.meta_edges {
-            if let Some(k) = self.meta.edge_index(i, j) {
-                edges.extend_from_slice(self.meta.delta_edges(k));
-            }
-        }
-        // Endpoint-to-landmark segments on both sides.
-        for hop in &sketch.source_hops {
-            self.recover_side(
-                hop.landmark_idx,
-                hop.distance,
-                fwd,
-                view,
-                walk_visited,
-                walk_stack,
-                stack,
-                edges,
-            );
-        }
-        for hop in &sketch.target_hops {
-            self.recover_side(
-                hop.landmark_idx,
-                hop.distance,
-                bwd,
-                view,
-                walk_visited,
-                walk_stack,
-                stack,
-                edges,
-            );
-        }
+/// Walks from `start` (whose label towards the landmark is
+/// `start_distance`) down to the landmark, following neighbours whose label
+/// decreases by exactly one; every traversed edge lies on a shortest path
+/// between `start` and the landmark that avoids all other landmarks.
+#[allow(clippy::too_many_arguments)]
+fn label_walk<S: IndexStore>(
+    store: &S,
+    start: VertexId,
+    landmark_idx: usize,
+    landmark: VertexId,
+    start_distance: Distance,
+    walk_visited: &mut VisitedSet,
+    walk_stack: &mut Vec<(VertexId, Distance)>,
+    edges: &mut Vec<(VertexId, VertexId)>,
+) {
+    if start_distance == 0 {
+        return;
     }
-
-    /// Recovers the shortest paths between one query endpoint and one sketch
-    /// landmark: finds the frontier vertices `Z` of Algorithm 4 (lines
-    /// 19-23), then label-walks from them to the landmark and depth-walks
-    /// from them back to the endpoint.
-    #[allow(clippy::too_many_arguments)]
-    fn recover_side(
-        &self,
-        landmark_idx: usize,
-        sigma: Distance,
-        side: &SideState,
-        view: &FilteredGraph<'_>,
-        walk_visited: &mut VisitedSet,
-        walk_stack: &mut Vec<(VertexId, Distance)>,
-        stack: &mut Vec<VertexId>,
-        edges: &mut Vec<(VertexId, VertexId)>,
-    ) {
-        if sigma == 0 {
-            return; // the endpoint is this landmark; nothing to recover
+    walk_visited.reset(store.num_vertices());
+    walk_visited.insert(start);
+    walk_stack.clear();
+    walk_stack.push((start, start_distance));
+    while let Some((x, dx)) = walk_stack.pop() {
+        if dx == 1 {
+            edges.push((x, landmark));
+            continue;
         }
-        let landmark = self.meta.landmarks()[landmark_idx];
-        let dm = (sigma - 1).min(side.level);
-        let needed_label = sigma - dm;
-        let Some(level) = side.levels.get(dm as usize) else {
-            return;
-        };
-        for &w in level {
-            let matches = if self.landmark_filter.contains(w) {
-                // An endpoint that is itself a landmark only matches its own
-                // synthetic zero label.
-                w == landmark && needed_label == 0
-            } else {
-                self.labelling.get(w, landmark_idx) == Some(needed_label)
-            };
-            if !matches {
-                continue;
+        store.for_each_neighbor(x, |y| {
+            if store.is_landmark(y) {
+                return; // other landmarks cannot be interior vertices
             }
-            // w → landmark via the labels.
-            self.label_walk(
-                w,
-                landmark_idx,
-                landmark,
-                needed_label,
-                walk_visited,
-                walk_stack,
-                edges,
-            );
-            // endpoint → w via the search depths.
-            depth_walk(view, w, &side.depth, walk_visited, stack, edges);
-        }
-    }
-
-    /// Walks from `start` (whose label towards the landmark is
-    /// `start_distance`) down to the landmark, following neighbours whose
-    /// label decreases by exactly one; every traversed edge lies on a
-    /// shortest path between `start` and the landmark that avoids all other
-    /// landmarks.
-    #[allow(clippy::too_many_arguments)]
-    fn label_walk(
-        &self,
-        start: VertexId,
-        landmark_idx: usize,
-        landmark: VertexId,
-        start_distance: Distance,
-        walk_visited: &mut VisitedSet,
-        walk_stack: &mut Vec<(VertexId, Distance)>,
-        edges: &mut Vec<(VertexId, VertexId)>,
-    ) {
-        if start_distance == 0 {
-            return;
-        }
-        walk_visited.reset(self.graph.num_vertices());
-        walk_visited.insert(start);
-        walk_stack.clear();
-        walk_stack.push((start, start_distance));
-        while let Some((x, dx)) = walk_stack.pop() {
-            if dx == 1 {
-                edges.push((x, landmark));
-                continue;
-            }
-            for &y in self.graph.neighbors(x) {
-                if self.landmark_column[y as usize] != u32::MAX {
-                    continue; // other landmarks cannot be interior vertices
-                }
-                if self.labelling.get(y, landmark_idx) == Some(dx - 1) {
-                    edges.push((x, y));
-                    if walk_visited.insert(y) {
-                        walk_stack.push((y, dx - 1));
-                    }
+            if store.label_distance(y, landmark_idx) == Some(dx - 1) {
+                edges.push((x, y));
+                if walk_visited.insert(y) {
+                    walk_stack.push((y, dx - 1));
                 }
             }
-        }
+        });
     }
 }
 
 /// Stage 1 of Algorithm 4: the alternating, budget-steered bidirectional
 /// level expansion on the sparsified view. Returns the meeting distance
 /// (`d_{G⁻}(u, v)` when it is `≤ d⊤`, [`INFINITE_DISTANCE`] otherwise).
-fn bidirectional_stage(
-    view: &FilteredGraph<'_>,
+fn bidirectional_stage<V: NeighborAccess>(
+    view: &V,
     fwd: &mut SideState,
     bwd: &mut SideState,
     d_top: Distance,
@@ -488,8 +473,8 @@ fn bidirectional_stage(
 /// fresh-allocation implementation would), so the whole phase is
 /// proportional to the work of the search, not to the graph size.
 #[allow(clippy::too_many_arguments)]
-fn reverse_search(
-    view: &FilteredGraph<'_>,
+fn reverse_search<V: NeighborAccess>(
+    view: &V,
     distance: Distance,
     fwd: &SideState,
     bwd: &SideState,
@@ -546,8 +531,8 @@ fn reverse_search(
 /// Walks from `start` back to the search origin following strictly
 /// decreasing depths, collecting the traversed edges (the endpoint-to-`Z`
 /// part of the recover search).
-fn depth_walk(
-    view: &FilteredGraph<'_>,
+fn depth_walk<V: NeighborAccess>(
+    view: &V,
     start: VertexId,
     depth: &DistanceField,
     visited: &mut VisitedSet,
@@ -580,65 +565,55 @@ fn depth_walk(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::labelling::{build_sequential, landmark_column_map};
+    use crate::query::{QbsConfig, QbsIndex};
     use crate::sketch;
-    use qbs_graph::fixtures::{figure4_graph, figure4_landmarks, figure4_spg_6_11_edges};
+    use crate::store::ViewStore;
+    use qbs_graph::fixtures::{figure4_graph, figure4_spg_6_11_edges};
+    use qbs_graph::Graph;
 
+    /// The figure-4 running example indexed with the paper's landmark set,
+    /// queried through the generic search entry points — once over the
+    /// owned store and once over a zero-copy view store, so every unit test
+    /// here exercises both backends.
     struct Fixture {
         graph: Graph,
-        meta: MetaGraph,
-        labelling: PathLabelling,
-        landmarks: Vec<VertexId>,
-        filter: VertexFilter,
-        columns: Vec<u32>,
+        owned: QbsIndex,
+        view: ViewStore,
     }
 
     impl Fixture {
         fn figure4() -> Self {
             let graph = figure4_graph();
-            let landmarks = figure4_landmarks();
-            let scheme = build_sequential(&graph, &landmarks);
-            let meta = MetaGraph::build(&graph, &landmarks, &scheme.meta_edges);
-            let filter =
-                VertexFilter::from_vertices(graph.num_vertices(), landmarks.iter().copied());
-            let columns = landmark_column_map(&graph, &landmarks);
-            Fixture {
-                graph,
-                meta,
-                labelling: scheme.labelling,
-                landmarks,
-                filter,
-                columns,
-            }
-        }
-
-        fn context(&self) -> SearchContext<'_> {
-            SearchContext {
-                graph: &self.graph,
-                meta: &self.meta,
-                labelling: &self.labelling,
-                landmark_filter: &self.filter,
-                landmark_column: &self.columns,
-            }
-        }
-
-        fn effective_label(&self, v: VertexId) -> Vec<(usize, Distance)> {
-            if let Some(idx) = self.landmarks.iter().position(|&r| r == v) {
-                vec![(idx, 0)]
-            } else {
-                self.labelling.entries(v).collect()
-            }
-        }
-
-        fn query(&self, u: VertexId, v: VertexId) -> (PathGraph, SearchStats) {
-            let sk = sketch::compute(
-                &self.meta,
-                u,
-                v,
-                &self.effective_label(u),
-                &self.effective_label(v),
+            let owned = QbsIndex::build(
+                graph.clone(),
+                QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
             );
-            self.context().guided_search(u, v, &sk)
+            let view = ViewStore::new(owned.as_view());
+            Fixture { graph, owned, view }
+        }
+
+        fn query_store<S: IndexStore>(
+            store: &S,
+            u: VertexId,
+            v: VertexId,
+        ) -> (PathGraph, SearchStats) {
+            let mut src = Vec::new();
+            let mut tgt = Vec::new();
+            store.fill_effective_label(u, &mut src);
+            store.fill_effective_label(v, &mut tgt);
+            let sk = sketch::compute(store, u, v, &src, &tgt);
+            guided_search(store, u, v, &sk)
+        }
+
+        /// Queries both backends, asserts they agree, returns the answer.
+        fn query(&self, u: VertexId, v: VertexId) -> (PathGraph, SearchStats) {
+            let from_owned = Self::query_store(&self.owned, u, v);
+            let from_view = Self::query_store(&self.view, u, v);
+            assert_eq!(
+                from_owned, from_view,
+                "store backends diverged on ({u},{v})"
+            );
+            from_owned
         }
 
         fn query_with(
@@ -647,14 +622,12 @@ mod tests {
             u: VertexId,
             v: VertexId,
         ) -> (PathGraph, SearchStats) {
-            let sk = sketch::compute(
-                &self.meta,
-                u,
-                v,
-                &self.effective_label(u),
-                &self.effective_label(v),
-            );
-            self.context().guided_search_with(ws, u, v, &sk)
+            let mut src = Vec::new();
+            let mut tgt = Vec::new();
+            self.owned.fill_effective_label(u, &mut src);
+            self.owned.fill_effective_label(v, &mut tgt);
+            let sk = sketch::compute(&self.owned, u, v, &src, &tgt);
+            guided_search_with(&self.owned, ws, u, v, &sk)
         }
     }
 
@@ -712,20 +685,24 @@ mod tests {
     fn distance_only_path_agrees_with_full_search() {
         let fx = Fixture::figure4();
         let mut ws = QueryWorkspace::new();
+        let mut src = Vec::new();
+        let mut tgt = Vec::new();
         for u in 1..15u32 {
             for v in 1..15u32 {
                 if u == v {
                     continue;
                 }
                 let (full, _) = fx.query(u, v);
-                let bounds = sketch::compute_bounds(
-                    &fx.meta,
-                    &fx.effective_label(u),
-                    &fx.effective_label(v),
-                );
-                let (d, stats) = fx.context().guided_distance_with(&mut ws, u, v, &bounds);
+                fx.owned.fill_effective_label(u, &mut src);
+                fx.owned.fill_effective_label(v, &mut tgt);
+                let bounds = sketch::compute_bounds(&fx.owned, &src, &tgt);
+                let (d, stats) = guided_distance_with(&fx.owned, &mut ws, u, v, &bounds);
                 assert_eq!(d, full.distance(), "distance of ({u},{v})");
                 assert_eq!(stats.distance, d);
+                // The view-backed distance path agrees bit-for-bit.
+                let (dv, stats_v) = guided_distance_with(&fx.view, &mut ws, u, v, &bounds);
+                assert_eq!(dv, d, "view distance of ({u},{v})");
+                assert_eq!(stats_v, stats, "view stats of ({u},{v})");
             }
         }
     }

@@ -144,13 +144,81 @@ pub fn load_from_file<P: AsRef<Path>>(path: P) -> Result<QbsIndex> {
     }
 }
 
-/// Opens a v2 index file as a validated zero-copy [`IndexView`] without
-/// materialising the runtime structures — the entry point for callers that
-/// only need section metadata (e.g. `qbs-cli inspect`) or the raw label /
-/// adjacency accessors.
-pub fn load_view_from_file<P: AsRef<Path>>(path: P) -> Result<IndexView> {
-    let (head, file) = read_header(path.as_ref())?;
-    if sniff_format(&head)? != IndexFormat::Binary {
+/// How [`load_view_from_file`] acquires (and vets) the index bytes.
+///
+/// The two modes are the two halves of the serving story:
+///
+/// * [`MapMode::Read`] — copy the file into a heap buffer and run **full**
+///   integrity validation (checksum + structural scans). The ingest /
+///   inspection path: use it for files of unknown provenance.
+/// * [`MapMode::Mmap`] — memory-map the immutable index file
+///   ([`crate::mmap`]) and validate only the **geometry** (header, section
+///   table, every array length the header implies), deferring the
+///   `O(file)` checksum and structural scans. Opening is `O(1)` in the
+///   index size — pages stream in on demand as queries touch them — which
+///   is what lets a cold shard process answer its first query in the time
+///   it takes to map one file. Intended for immutable files your own build
+///   pipeline wrote (the writer checksums every file); run
+///   [`IndexView::verify`] — or `qbs inspect` — when provenance is in
+///   doubt. On targets without the mmap shim the bytes are transparently
+///   read to the heap instead, with the same deferred-validation
+///   semantics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MapMode {
+    /// Heap copy + full validation (the safe default).
+    #[default]
+    Read,
+    /// Memory-map + geometry-only validation (the serving fast path).
+    Mmap,
+}
+
+impl std::fmt::Display for MapMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapMode::Read => write!(f, "read"),
+            MapMode::Mmap => write!(f, "mmap"),
+        }
+    }
+}
+
+/// Opens a v2 index file as a zero-copy [`IndexView`] without materialising
+/// the runtime structures — the entry point for callers that only need
+/// section metadata or the raw label / adjacency accessors, and (wrapped in
+/// a [`crate::store::ViewStore`]) for serving queries straight from the
+/// file. See [`MapMode`] for the buffer-acquisition and validation
+/// semantics of the two modes.
+pub fn load_view_from_file<P: AsRef<Path>>(path: P, mode: MapMode) -> Result<IndexView> {
+    let path = path.as_ref();
+    match mode {
+        MapMode::Read => {
+            let (head, file) = read_header(path)?;
+            reject_non_binary(&head)?;
+            IndexView::parse(ViewBuf::Heap(read_rest(head, file)?))
+        }
+        MapMode::Mmap => {
+            let region = crate::mmap::MmapRegion::map_file(path)?;
+            reject_non_binary(region.as_slice())?;
+            IndexView::parse_trusted(ViewBuf::Mmap(std::sync::Arc::new(region)))
+        }
+    }
+}
+
+/// Opens a v2 index file as a ready-to-serve [`crate::store::ViewStore`]:
+/// [`load_view_from_file`] plus the store wrapper. With [`MapMode::Mmap`]
+/// this is the whole cold-start path of a shard process — map, wrap, serve.
+pub fn open_store_from_file<P: AsRef<Path>>(
+    path: P,
+    mode: MapMode,
+) -> Result<crate::store::ViewStore> {
+    Ok(crate::store::ViewStore::new(load_view_from_file(
+        path, mode,
+    )?))
+}
+
+/// Rejects v1 (and unrecognised) headers on the view path with a
+/// migration hint instead of a parse error.
+fn reject_non_binary(head: &[u8]) -> Result<()> {
+    if sniff_format(head)? != IndexFormat::Binary {
         return Err(QbsError::Corrupt(
             "this is a qbs-index-v1 JSON index; only v2 binary files support zero-copy \
              views — load it with load_from_file and re-save with the binary format to \
@@ -158,7 +226,7 @@ pub fn load_view_from_file<P: AsRef<Path>>(path: P) -> Result<IndexView> {
                 .into(),
         ));
     }
-    IndexView::parse(ViewBuf::Heap(read_rest(head, file)?))
+    Ok(())
 }
 
 /// Identifies the on-disk format of `path` from its magic bytes, reading
@@ -255,7 +323,7 @@ mod tests {
         assert_eq!(original.labelling(), restored.labelling());
         assert_eq!(original.meta_graph(), restored.meta_graph());
         for (u, v) in [(6u32, 11u32), (4, 12), (7, 9), (13, 8)] {
-            assert_eq!(original.query(u, v), restored.query(u, v));
+            assert_eq!(original.query(u, v).unwrap(), restored.query(u, v).unwrap());
         }
         assert_eq!(
             original.stats().total_index_bytes(),
@@ -272,7 +340,7 @@ mod tests {
         assert_eq!(original.labelling(), restored.labelling());
         assert_eq!(original.meta_graph(), restored.meta_graph());
         for (u, v) in [(6u32, 11u32), (4, 12), (7, 9), (13, 8)] {
-            assert_eq!(original.query(u, v), restored.query(u, v));
+            assert_eq!(original.query(u, v).unwrap(), restored.query(u, v).unwrap());
         }
         assert_eq!(
             original.stats().total_index_bytes(),
@@ -344,7 +412,10 @@ mod tests {
             save_to_file_with(&original, &path, format).expect("save");
             assert_eq!(detect_format(&path).expect("detect"), format);
             let restored = load_from_file(&path).expect("load");
-            assert_eq!(original.query(6, 11), restored.query(6, 11));
+            assert_eq!(
+                original.query(6, 11).unwrap(),
+                restored.query(6, 11).unwrap()
+            );
         }
         assert!(load_from_file(dir.join("missing.qbs")).is_err());
 
@@ -363,17 +434,37 @@ mod tests {
         let original = index();
         let v2 = dir.join("fig4.qbs2");
         save_to_file_with(&original, &v2, IndexFormat::Binary).expect("save v2");
-        let view = load_view_from_file(&v2).expect("view");
+        let view = load_view_from_file(&v2, MapMode::Read).expect("view");
+        assert!(view.is_verified());
         assert_eq!(view.num_landmarks(), 3);
         assert_eq!(
-            original.query(6, 11),
-            QbsIndex::from_view(&view).query(6, 11)
+            original.query(6, 11).unwrap(),
+            QbsIndex::from_view(&view).query(6, 11).unwrap()
         );
+
+        // The mmap mode serves identical bytes with deferred validation.
+        let mapped = load_view_from_file(&v2, MapMode::Mmap).expect("mmap view");
+        assert!(!mapped.is_verified());
+        mapped.verify().expect("deferred verification passes");
+        assert!(matches!(mapped.buf(), ViewBuf::Mmap(_)));
+        assert_eq!(
+            QbsIndex::from_view(&mapped).query(6, 11).unwrap(),
+            original.query(6, 11).unwrap()
+        );
+
+        // Serving stores open through the same dispatcher.
+        let store = open_store_from_file(&v2, MapMode::Mmap).expect("store");
+        assert_eq!(store.view().num_landmarks(), 3);
 
         let v1 = dir.join("fig4.qbs1");
         save_to_file_with(&original, &v1, IndexFormat::Json).expect("save v1");
-        let err = load_view_from_file(&v1).unwrap_err();
-        assert!(err.to_string().contains("re-save"), "{err}");
+        for mode in [MapMode::Read, MapMode::Mmap] {
+            let err = load_view_from_file(&v1, mode).unwrap_err();
+            assert!(err.to_string().contains("re-save"), "{mode}: {err}");
+        }
+        assert_eq!(MapMode::Read.to_string(), "read");
+        assert_eq!(MapMode::Mmap.to_string(), "mmap");
+        assert_eq!(MapMode::default(), MapMode::Read);
     }
 
     #[test]

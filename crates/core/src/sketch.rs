@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use qbs_graph::{Distance, VertexId, INFINITE_DISTANCE};
 
-use crate::meta_graph::MetaGraph;
+use crate::store::IndexStore;
 
 /// One endpoint-side sketch edge: the query vertex hops to a landmark.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -107,9 +107,11 @@ impl Sketch {
 ///
 /// `source_label` and `target_label` are the effective labels of the two
 /// endpoints as `(landmark_idx, distance)` pairs — for a landmark endpoint
-/// the caller passes the synthetic label `[(its own column, 0)]`.
-pub fn compute(
-    meta: &MetaGraph,
+/// the caller passes the synthetic label `[(its own column, 0)]`. The
+/// meta-graph is read through the [`IndexStore`] abstraction, so the same
+/// sketcher serves the owned index and a zero-copy index-file view.
+pub fn compute<S: IndexStore>(
+    store: &S,
     source: VertexId,
     target: VertexId,
     source_label: &[(usize, Distance)],
@@ -119,7 +121,7 @@ pub fn compute(
     let mut upper_bound = INFINITE_DISTANCE;
     for &(r, du) in source_label {
         for &(rp, dv) in target_label {
-            let dm = meta.distance(r, rp);
+            let dm = store.meta_distance(r, rp);
             if dm == INFINITE_DISTANCE {
                 continue;
             }
@@ -140,7 +142,7 @@ pub fn compute(
     let mut meta_edges: Vec<(usize, usize, Distance)> = Vec::new();
     for &(r, du) in source_label {
         for &(rp, dv) in target_label {
-            let dm = meta.distance(r, rp);
+            let dm = store.meta_distance(r, rp);
             if dm == INFINITE_DISTANCE || du + dm + dv != upper_bound {
                 continue;
             }
@@ -158,11 +160,11 @@ pub fn compute(
                     distance: dv,
                 },
             );
-            for edge in meta.shortest_path_meta_edges(r, rp) {
+            store.for_each_shortest_meta_edge(r, rp, |edge| {
                 if !meta_edges.contains(&edge) {
                     meta_edges.push(edge);
                 }
-            }
+            });
         }
     }
     meta_edges.sort_unstable();
@@ -188,7 +190,7 @@ fn push_unique_hop(hops: &mut Vec<SketchHop>, hop: SketchHop) {
 ///
 /// [`compute_bounds`] derives these with zero heap allocation, which makes
 /// them the input of choice for the distance-only hot path
-/// (`SearchContext::guided_distance_with`) where the full [`Sketch`] —
+/// ([`crate::search::guided_distance_with`]) where the full [`Sketch`] —
 /// whose vectors exist to drive the recover search — would be wasted work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SketchBounds {
@@ -217,15 +219,15 @@ impl SketchBounds {
 /// Agrees with [`compute`]: `compute_bounds(...).upper_bound ==
 /// compute(...).upper_bound` and likewise for the budgets (asserted by the
 /// unit tests below).
-pub fn compute_bounds(
-    meta: &MetaGraph,
+pub fn compute_bounds<S: IndexStore>(
+    store: &S,
     source_label: &[(usize, Distance)],
     target_label: &[(usize, Distance)],
 ) -> SketchBounds {
     let mut upper_bound = INFINITE_DISTANCE;
     for &(r, du) in source_label {
         for &(rp, dv) in target_label {
-            let dm = meta.distance(r, rp);
+            let dm = store.meta_distance(r, rp);
             if dm == INFINITE_DISTANCE {
                 continue;
             }
@@ -240,7 +242,7 @@ pub fn compute_bounds(
     let mut max_tgt_hop = 0;
     for &(r, du) in source_label {
         for &(rp, dv) in target_label {
-            let dm = meta.distance(r, rp);
+            let dm = store.meta_distance(r, rp);
             if dm != INFINITE_DISTANCE && du + dm + dv == upper_bound {
                 max_src_hop = max_src_hop.max(du);
                 max_tgt_hop = max_tgt_hop.max(dv);
@@ -257,27 +259,28 @@ pub fn compute_bounds(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::labelling::build_sequential;
-    use crate::meta_graph::MetaGraph;
+    use crate::query::{QbsConfig, QbsIndex};
+    use crate::store::ViewStore;
     use qbs_graph::fixtures::{figure4_graph, figure4_landmarks};
     use qbs_graph::Graph;
 
-    fn setup() -> (Graph, MetaGraph, crate::labelling::LabellingScheme) {
+    fn setup() -> (Graph, QbsIndex) {
         let g = figure4_graph();
-        let landmarks = figure4_landmarks();
-        let scheme = build_sequential(&g, &landmarks);
-        let meta = MetaGraph::build(&g, &landmarks, &scheme.meta_edges);
-        (g, meta, scheme)
+        let index = QbsIndex::build(
+            g.clone(),
+            QbsConfig::with_explicit_landmarks(figure4_landmarks()),
+        );
+        (g, index)
     }
 
-    fn label_of(scheme: &crate::labelling::LabellingScheme, v: VertexId) -> Vec<(usize, Distance)> {
-        scheme.labelling.entries(v).collect()
+    fn label_of(index: &QbsIndex, v: VertexId) -> Vec<(usize, Distance)> {
+        index.labelling().entries(v).collect()
     }
 
     #[test]
     fn example_4_7_sketch_for_query_6_11() {
-        let (_, meta, scheme) = setup();
-        let sketch = compute(&meta, 6, 11, &label_of(&scheme, 6), &label_of(&scheme, 11));
+        let (_, meta) = setup();
+        let sketch = compute(&meta, 6, 11, &label_of(&meta, 6), &label_of(&meta, 11));
         // d⊤(6,11) = 5 = d_G(6,11).
         assert_eq!(sketch.upper_bound, 5);
         assert!(sketch.is_reachable_via_landmarks());
@@ -308,11 +311,11 @@ mod tests {
     #[test]
     fn upper_bound_is_an_upper_bound_on_the_true_distance() {
         // Corollary 4.6 on every labelled pair of the figure graph.
-        let (g, meta, scheme) = setup();
+        let (g, meta) = setup();
         for u in g.vertices() {
             for v in g.vertices() {
-                let lu = label_of(&scheme, u);
-                let lv = label_of(&scheme, v);
+                let lu = label_of(&meta, u);
+                let lv = label_of(&meta, v);
                 if lu.is_empty() || lv.is_empty() || u == v {
                     continue;
                 }
@@ -329,18 +332,18 @@ mod tests {
 
     #[test]
     fn tight_bound_when_a_shortest_path_passes_a_landmark() {
-        let (_, meta, scheme) = setup();
+        let (_, meta) = setup();
         // d(4, 9) = 3 via 4-3-2-9 (through landmarks 3 and 2) — the sketch
         // must find exactly 3.
-        let sketch = compute(&meta, 4, 9, &label_of(&scheme, 4), &label_of(&scheme, 9));
+        let sketch = compute(&meta, 4, 9, &label_of(&meta, 4), &label_of(&meta, 9));
         assert_eq!(sketch.upper_bound, 3);
     }
 
     #[test]
     fn landmark_endpoint_uses_synthetic_zero_label() {
-        let (_, meta, scheme) = setup();
+        let (_, meta) = setup();
         // Query from landmark 1 (column 0) to vertex 11.
-        let sketch = compute(&meta, 1, 11, &[(0, 0)], &label_of(&scheme, 11));
+        let sketch = compute(&meta, 1, 11, &[(0, 0)], &label_of(&meta, 11));
         // d(1, 11) = 4 (1-2-9-10-11 or 1-4-3-12-11); through landmarks it is
         // also 4 (e.g. meta path 1→3 of length 2 plus δ(11,3)=2).
         assert_eq!(sketch.upper_bound, 4);
@@ -349,7 +352,7 @@ mod tests {
 
     #[test]
     fn unreachable_sketch_when_labels_do_not_connect() {
-        let (_, meta, _) = setup();
+        let (_, meta) = setup();
         let sketch = compute(&meta, 6, 0, &[(0, 1)], &[]);
         assert!(!sketch.is_reachable_via_landmarks());
         assert_eq!(sketch.upper_bound, INFINITE_DISTANCE);
@@ -359,11 +362,11 @@ mod tests {
 
     #[test]
     fn bounds_agree_with_full_sketch_on_all_pairs() {
-        let (g, meta, scheme) = setup();
+        let (g, meta) = setup();
         for u in g.vertices() {
             for v in g.vertices() {
-                let lu = label_of(&scheme, u);
-                let lv = label_of(&scheme, v);
+                let lu = label_of(&meta, u);
+                let lv = label_of(&meta, v);
                 let sketch = compute(&meta, u, v, &lu, &lv);
                 let bounds = compute_bounds(&meta, &lu, &lv);
                 assert_eq!(bounds.upper_bound, sketch.upper_bound, "d⊤ of ({u},{v})");
@@ -386,11 +389,33 @@ mod tests {
     }
 
     #[test]
-    fn sketch_never_duplicates_hops_or_meta_edges() {
-        let (g, meta, scheme) = setup();
+    fn sketches_agree_between_owned_and_view_stores() {
+        let (g, owned) = setup();
+        let view = ViewStore::new(owned.as_view());
         for u in g.vertices() {
             for v in g.vertices() {
-                let sketch = compute(&meta, u, v, &label_of(&scheme, u), &label_of(&scheme, v));
+                let lu = label_of(&owned, u);
+                let lv = label_of(&owned, v);
+                assert_eq!(
+                    compute(&owned, u, v, &lu, &lv),
+                    compute(&view, u, v, &lu, &lv),
+                    "sketch of ({u},{v}) diverged between store backends"
+                );
+                assert_eq!(
+                    compute_bounds(&owned, &lu, &lv),
+                    compute_bounds(&view, &lu, &lv),
+                    "bounds of ({u},{v}) diverged between store backends"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_never_duplicates_hops_or_meta_edges() {
+        let (g, meta) = setup();
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let sketch = compute(&meta, u, v, &label_of(&meta, u), &label_of(&meta, v));
                 let mut hops: Vec<usize> =
                     sketch.source_hops.iter().map(|h| h.landmark_idx).collect();
                 hops.sort_unstable();

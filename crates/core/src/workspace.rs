@@ -20,7 +20,7 @@
 //! let mut ws = QueryWorkspace::new();
 //! for (u, v) in [(6, 11), (4, 12), (7, 9)] {
 //!     let answer = index.query_with(&mut ws, u, v).unwrap();
-//!     assert_eq!(answer.path_graph, index.query(u, v));
+//!     assert_eq!(answer.path_graph, index.query(u, v).unwrap());
 //! }
 //! assert_eq!(ws.queries_served(), 3);
 //! ```
@@ -31,7 +31,7 @@
 
 use qbs_graph::view::NeighborAccess;
 use qbs_graph::workspace::{DistanceField, VisitedSet};
-use qbs_graph::{Distance, FilteredGraph, VertexFilter, VertexId};
+use qbs_graph::{Distance, VertexFilter, VertexId};
 
 use crate::search::SearchStats;
 
@@ -76,8 +76,10 @@ impl SideState {
     }
 
     /// Expands the current frontier one level on the view; returns the
-    /// number of newly settled vertices.
-    pub(crate) fn expand(&mut self, view: &FilteredGraph<'_>, stats: &mut SearchStats) -> usize {
+    /// number of newly settled vertices. Generic over the adjacency source
+    /// so the same search runs on an owned CSR ([`FilteredGraph`]) and on a
+    /// sparsified zero-copy store view alike.
+    pub(crate) fn expand<V: NeighborAccess>(&mut self, view: &V, stats: &mut SearchStats) -> usize {
         let next_depth = self.level + 1;
         if self.levels.len() <= next_depth as usize {
             self.levels.push(Vec::new());
@@ -166,7 +168,7 @@ impl QueryWorkspace {
 mod tests {
     use super::*;
     use qbs_graph::fixtures::figure4_graph;
-    use qbs_graph::INFINITE_DISTANCE;
+    use qbs_graph::{FilteredGraph, INFINITE_DISTANCE};
 
     #[test]
     fn side_state_reuses_level_buffers() {

@@ -62,7 +62,7 @@ fn golden_fixture_loads_and_answers_figure4_queries() {
     assert_eq!(restored.labelling(), fresh.labelling());
     assert_eq!(restored.meta_graph(), fresh.meta_graph());
     // Figure 6(f): SPG(6, 11) has distance 5 and 13 edges.
-    let answer = restored.query(6, 11);
+    let answer = restored.query(6, 11).unwrap();
     assert_eq!(answer.distance(), 5);
     assert_eq!(answer.num_edges(), 13);
 }
@@ -77,7 +77,7 @@ fn v1_files_still_load_and_carry_a_migration_path() {
 
     // Auto-upgrade on load: the dispatching loader reads v1 transparently.
     let loaded = serialize::load_from_file(&v1_path).expect("v1 load");
-    assert_eq!(loaded.query(6, 11), index.query(6, 11));
+    assert_eq!(loaded.query(6, 11).unwrap(), index.query(6, 11).unwrap());
 
     // The v2-only entry points name the migration path instead of failing
     // with a parse error.
@@ -85,7 +85,7 @@ fn v1_files_still_load_and_carry_a_migration_path() {
     let err = serialize::from_bytes_v2(&v1_bytes).unwrap_err().to_string();
     assert!(err.contains("v1 JSON"), "{err}");
     assert!(err.contains("migrate") || err.contains("re-save"), "{err}");
-    let err = serialize::load_view_from_file(&v1_path)
+    let err = serialize::load_view_from_file(&v1_path, serialize::MapMode::Read)
         .unwrap_err()
         .to_string();
     assert!(err.contains("re-save"), "{err}");
@@ -201,8 +201,8 @@ fn queries_through_from_view_are_bit_identical() {
     assert_eq!(built.graph(), loaded.graph());
 
     for &(u, v) in &pairs {
-        let a = built.try_query(u, v).expect("built query");
-        let b = loaded.try_query(u, v).expect("loaded query");
+        let a = built.query_with_stats(u, v).expect("built query");
+        let b = loaded.query_with_stats(u, v).expect("loaded query");
         assert_eq!(a.path_graph, b.path_graph, "SPG({u}, {v}) diverged");
         assert_eq!(a.sketch, b.sketch, "sketch({u}, {v}) diverged");
         assert_eq!(a.stats, b.stats, "search stats({u}, {v}) diverged");

@@ -14,7 +14,7 @@ fn check(graph: &Graph, config: QbsConfig, queries: usize, seed: u64, tag: &str)
     let truth = GroundTruth::new(graph.clone());
     let workload = QueryWorkload::sample(graph, queries, seed);
     for &(u, v) in workload.pairs() {
-        let answer = index.query_with_stats(u, v);
+        let answer = index.query_with_stats(u, v).unwrap();
         let expected = truth.query(u, v);
         assert_eq!(answer.path_graph, expected, "{tag}: query ({u},{v})");
         // The per-query statistics must be internally consistent.
@@ -158,7 +158,7 @@ fn coverage_and_sketch_are_consistent_with_answers() {
             continue;
         }
         let class = qbs_core::coverage::classify_pair(&index, u, v);
-        let d = index.query(u, v).distance();
+        let d = index.query(u, v).unwrap().distance();
         let view = qbs_graph::FilteredGraph::new(&graph, &filter);
         let sparsified = qbs_graph::bibfs::bidirectional_distance(&view, u, v).distance;
         match class {

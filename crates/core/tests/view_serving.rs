@@ -1,0 +1,189 @@
+//! Differential coverage of the view-serving path: batch-engine answers
+//! computed over a [`ViewStore`] — including one backed by a
+//! `ViewBuf::Mmap` mapping of a real file — must be **bit-identical** to
+//! the owned-`QbsIndex` answers, on the checked-in golden fixture and on a
+//! proptest-generated graph family. The serving flow under test never
+//! calls `QbsIndex::from_view`: the whole query stack runs over the raw
+//! index-file bytes.
+
+use proptest::prelude::*;
+
+use qbs_core::serialize::{self, MapMode};
+use qbs_core::{QbsConfig, QbsIndex, QueryEngine, ViewBuf, ViewStore};
+use qbs_gen::prelude::*;
+use qbs_graph::{Graph, VertexId};
+
+/// Path of the checked-in golden fixture (shared with `format_v2.rs`).
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("figure4.qbs2")
+}
+
+fn all_pairs(n: u32) -> Vec<(VertexId, VertexId)> {
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            pairs.push((u, v));
+        }
+    }
+    pairs
+}
+
+/// Runs `pairs` through batch engines over both backends and asserts the
+/// full answers (path graph, sketch, stats) and distances are identical.
+fn assert_bit_identical(owned: &QbsIndex, store: &ViewStore, pairs: &[(VertexId, VertexId)]) {
+    let owned_engine = QueryEngine::with_threads(owned, 2).expect("owned engine");
+    let view_engine = QueryEngine::with_threads(store, 2).expect("view engine");
+
+    let owned_answers = owned_engine.query_batch(pairs).expect("owned batch");
+    let view_answers = view_engine.query_batch(pairs).expect("view batch");
+    for ((a, b), &(u, v)) in owned_answers.iter().zip(&view_answers).zip(pairs) {
+        assert_eq!(a.path_graph, b.path_graph, "SPG({u}, {v}) diverged");
+        assert_eq!(a.sketch, b.sketch, "sketch({u}, {v}) diverged");
+        assert_eq!(a.stats, b.stats, "stats({u}, {v}) diverged");
+    }
+
+    assert_eq!(
+        owned_engine.distance_batch(pairs).expect("owned distances"),
+        view_engine.distance_batch(pairs).expect("view distances"),
+        "distance batch diverged"
+    );
+}
+
+/// The golden fixture, memory-mapped and served without materialisation,
+/// answers every figure-4 pair exactly like the owned index.
+#[test]
+fn mmap_backed_engine_matches_owned_index_on_golden_fixture() {
+    let store = ViewStore::new(
+        serialize::load_view_from_file(fixture_path(), MapMode::Mmap).expect("map fixture"),
+    );
+    assert!(
+        matches!(store.view().buf(), ViewBuf::Mmap(_)),
+        "fixture must be served from the mapped buffer"
+    );
+    // Deferred integrity validation passes on the checked-in fixture.
+    store.view().verify().expect("fixture integrity");
+
+    let owned = QbsIndex::build(
+        qbs_graph::fixtures::figure4_graph(),
+        QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+    );
+    assert_bit_identical(&owned, &store, &all_pairs(15));
+}
+
+/// Engine answers over an mmap-backed store of a generated graph written to
+/// disk — the full build → save → map → serve pipeline.
+#[test]
+fn mmap_serving_roundtrip_on_generated_graph() {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: 3_000,
+        edges_per_vertex: 3,
+        seed: 2024,
+    });
+    let pairs = QueryWorkload::sample(&graph, 256, 7).pairs().to_vec();
+    let owned = QbsIndex::build(graph, QbsConfig::with_landmark_count(10));
+
+    let dir = std::env::temp_dir().join("qbs_view_serving_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("ba3000.qbs2");
+    serialize::save_to_file(&owned, &path).expect("save");
+
+    let store = serialize::open_store_from_file(&path, MapMode::Mmap).expect("open store");
+    assert!(matches!(store.view().buf(), ViewBuf::Mmap(_)));
+    assert!(!store.view().is_verified(), "mmap mode defers validation");
+    assert_bit_identical(&owned, &store, &pairs);
+
+    // MapMode::Read over the same file is equally bit-identical (and
+    // eagerly verified).
+    let read_store = serialize::open_store_from_file(&path, MapMode::Read).expect("read store");
+    assert!(read_store.view().is_verified());
+    assert_bit_identical(&owned, &read_store, &pairs);
+}
+
+/// One graph per generator family, sized by the proptest case.
+fn family_graph(family: u64, vertices: usize, seed: u64) -> Graph {
+    match family % 4 {
+        0 => barabasi_albert::generate(&BarabasiAlbertConfig {
+            vertices,
+            edges_per_vertex: 2,
+            seed,
+        }),
+        1 => erdos_renyi::generate(&ErdosRenyiConfig {
+            vertices,
+            edges: vertices * 2,
+            seed,
+        }),
+        2 => watts_strogatz::generate(&WattsStrogatzConfig {
+            vertices,
+            neighbors: 2,
+            rewire_probability: 0.2,
+            seed,
+        }),
+        _ => power_law::generate(&PowerLawConfig {
+            vertices,
+            edges: vertices * 2,
+            exponent: 2.5,
+            seed,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    // Across generator families: an mmap-backed view store written to disk
+    // and an owned index answer a sampled workload identically, through
+    // the batch engine.
+    #[test]
+    fn view_engine_is_bit_identical_across_generator_families(
+        family in 0u64..4,
+        vertices in 24usize..100,
+        landmarks in 1usize..7,
+        seed in 0u64..1_000,
+    ) {
+        let graph = family_graph(family, vertices, seed);
+        let owned = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
+
+        let dir = std::env::temp_dir().join("qbs_view_serving_proptest");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(format!("case_{family}_{vertices}_{landmarks}_{seed}.qbs2"));
+        serialize::save_to_file(&owned, &path).expect("save");
+        let store = serialize::open_store_from_file(&path, MapMode::Mmap).expect("open");
+
+        let pairs = QueryWorkload::sample(&graph, 48, seed ^ 0xABCD).pairs().to_vec();
+        let owned_engine = QueryEngine::with_threads(&owned, 2).expect("owned engine");
+        let view_engine = QueryEngine::with_threads(&store, 2).expect("view engine");
+        let a = owned_engine.query_batch(&pairs).expect("owned batch");
+        let b = view_engine.query_batch(&pairs).expect("view batch");
+        for ((x, y), &(u, v)) in a.iter().zip(&b).zip(&pairs) {
+            prop_assert_eq!(x, y, "answer of ({}, {}) diverged", u, v);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The view path enforces the same public bounds checks as the owned one.
+#[test]
+fn view_store_rejects_out_of_range_vertices() {
+    let owned = QbsIndex::build(
+        qbs_graph::fixtures::figure4_graph(),
+        QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+    );
+    let store = ViewStore::new(owned.as_view());
+    let engine = QueryEngine::with_threads(&store, 1).expect("engine");
+    let err = engine.query(0, 99).unwrap_err();
+    assert!(matches!(
+        err,
+        qbs_core::QbsError::VertexOutOfRange { vertex: 99, .. }
+    ));
+    let err = engine.query_batch(&[(0, 1), (200, 0)]).unwrap_err();
+    assert!(matches!(
+        err,
+        qbs_core::QbsError::VertexOutOfRange { vertex: 200, .. }
+    ));
+    let mut ws = qbs_core::QueryWorkspace::new();
+    assert!(qbs_core::query_on(&store, &mut ws, 77, 0).is_err());
+    assert!(qbs_core::sketch_on(&store, 0, 77).is_err());
+}

@@ -79,7 +79,7 @@ fn workspace_reuse_is_bit_identical_to_fresh_queries() {
 
         let mut ws = QueryWorkspace::new();
         for &(u, v) in &pairs {
-            let fresh = index.try_query(u, v).expect("fresh query");
+            let fresh = index.query_with_stats(u, v).expect("fresh query");
             let reused = index.query_with(&mut ws, u, v).expect("workspace query");
             assert_eq!(
                 reused.path_graph, fresh.path_graph,
@@ -102,7 +102,7 @@ fn query_batch_is_bit_identical_to_fresh_queries() {
             let answers = engine.query_batch(&pairs).expect("batch");
             assert_eq!(answers.len(), pairs.len());
             for (&(u, v), answer) in pairs.iter().zip(&answers) {
-                let fresh = index.try_query(u, v).expect("fresh query");
+                let fresh = index.query_with_stats(u, v).expect("fresh query");
                 assert_eq!(
                     answer.path_graph, fresh.path_graph,
                     "{name}/threads={threads}: answer of ({u},{v})"

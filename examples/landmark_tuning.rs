@@ -50,7 +50,7 @@ fn main() {
 
         let t0 = Instant::now();
         for &(u, v) in workload.pairs() {
-            std::hint::black_box(index.query(u, v));
+            std::hint::black_box(index.query(u, v).unwrap());
         }
         let query_ms = t0.elapsed().as_secs_f64() * 1e3 / workload.len() as f64;
 
@@ -80,7 +80,7 @@ fn main() {
         let coverage = classify_workload(&index, workload.pairs()).pair_coverage_ratio();
         let t0 = Instant::now();
         for &(u, v) in workload.pairs() {
-            std::hint::black_box(index.query(u, v));
+            std::hint::black_box(index.query(u, v).unwrap());
         }
         let query_ms = t0.elapsed().as_secs_f64() * 1e3 / workload.len() as f64;
         println!("  {label:<24} coverage {coverage:.2}, avg query {query_ms:.3} ms");

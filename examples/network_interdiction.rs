@@ -41,7 +41,7 @@ fn main() {
     //    disrupt every shortest route between two monitored hosts?
     let monitored = QueryWorkload::sample_connected(&graph, 6, 5);
     for &(u, v) in monitored.pairs() {
-        let answer = index.query(u, v);
+        let answer = index.query(u, v).unwrap();
         let cut = minimal_interdiction_size(&graph, &answer);
         println!(
             "pair ({u:>5}, {v:>5}): distance {}, {} shortest-path edges, minimal interdiction set = {} edge(s)",
@@ -55,7 +55,7 @@ fn main() {
     let traffic = QueryWorkload::sample_connected(&graph, 2_000, 77);
     let mut load: HashMap<(VertexId, VertexId), usize> = HashMap::new();
     for &(u, v) in traffic.pairs() {
-        for &edge in index.query(u, v).edges() {
+        for &edge in index.query(u, v).unwrap().edges() {
             *load.entry(edge).or_insert(0) += 1;
         }
     }

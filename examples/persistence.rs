@@ -20,11 +20,17 @@ fn main() -> Result<(), qbs::core::QbsError> {
     let path = std::env::temp_dir().join("g.qbs");
     serialize::save_to_file(&index, &path)?; //          v2 binary (the default)
     let restored = serialize::load_from_file(&path)?; // reads both v1 and v2
-    assert_eq!(index.query(17, 1234), restored.query(17, 1234)); // bit-identical
+    assert_eq!(index.query(17, 1234)?, restored.query(17, 1234)?); // bit-identical
 
     // Zero-copy inspection without materialising the index:
-    let view = serialize::load_view_from_file(&path)?;
+    let view = serialize::load_view_from_file(&path, MapMode::Read)?;
     assert_eq!(view.num_landmarks(), 20);
+
+    // ... and zero-materialisation serving straight from the mapped file:
+    // a cold process maps the immutable index and answers immediately.
+    let store = serialize::open_store_from_file(&path, MapMode::Mmap)?;
+    let engine = QueryEngine::new(&store);
+    assert_eq!(engine.query(17, 1234)?.path_graph, index.query(17, 1234)?);
 
     println!(
         "persisted {} bytes, reloaded bit-identically ({} vertices, {} landmarks)",

@@ -40,7 +40,7 @@ fn main() {
     let oracle = GroundTruth::new(graph.clone());
     let workload = QueryWorkload::sample_connected(&graph, 5, 7);
     for &(u, v) in workload.pairs() {
-        let answer = index.query_with_stats(u, v);
+        let answer = index.query_with_stats(u, v).unwrap();
         let spg = &answer.path_graph;
         println!(
             "SPG({u}, {v}): distance {}, {} vertices, {} edges, d⊤ = {}, reverse = {}, recover = {}",
@@ -60,7 +60,7 @@ fn main() {
     let pairs = QueryWorkload::sample_connected(&graph, 200, 11);
     let t = std::time::Instant::now();
     for &(u, v) in pairs.pairs() {
-        std::hint::black_box(index.query(u, v));
+        std::hint::black_box(index.query(u, v).unwrap());
     }
     let qbs_time = t.elapsed();
     let bibfs = BiBfs::new(graph);

@@ -43,7 +43,7 @@ fn main() {
     let mut inter = Vec::new();
     for &(u, v) in workload.pairs() {
         let same = community::community_of(&config, u) == community::community_of(&config, v);
-        let answer = index.query(u, v);
+        let answer = index.query(u, v).unwrap();
         if !answer.is_reachable() || answer.distance() != 3 {
             continue; // fix the distance so only the structure differs
         }
@@ -89,7 +89,7 @@ fn main() {
         .iter()
         .find(|&&(u, v)| community::community_of(&config, u) != community::community_of(&config, v))
     {
-        let answer = index.query(u, v);
+        let answer = index.query(u, v).unwrap();
         let truth = GroundTruth::new(graph.clone());
         assert_eq!(answer, truth.query(u, v));
         let bridges = critical_vertices(&graph, &answer);

@@ -28,7 +28,7 @@
 //!
 //! // Ask for the shortest path graph between two vertices and validate it
 //! // against the definition (it contains exactly all shortest paths).
-//! let answer = index.query(17, 1234);
+//! let answer = index.query(17, 1234).unwrap();
 //! assert!(is_exact(&graph, &answer));
 //! assert_eq!(answer, GroundTruth::new(graph.clone()).query(17, 1234));
 //!
@@ -59,8 +59,8 @@ pub mod prelude {
     pub use qbs_core::serialize::IndexFormat;
     pub use qbs_core::verify::{is_exact, validate};
     pub use qbs_core::{
-        IndexView, LandmarkStrategy, QbsConfig, QbsIndex, QueryAnswer, QueryEngine, QueryWorkspace,
-        SearchStats, ViewBuf,
+        IndexStore, IndexView, LandmarkStrategy, MapMode, QbsConfig, QbsIndex, QueryAnswer,
+        QueryEngine, QueryWorkspace, SearchStats, ViewBuf, ViewStore,
     };
     pub use qbs_gen::prelude::*;
     pub use qbs_graph::{Graph, GraphBuilder, PathGraph, VertexFilter, VertexId};

@@ -39,9 +39,13 @@ fn assert_all_engines_agree(
     let mut ws = QueryWorkspace::new();
     for &(u, v) in workload.pairs() {
         let expected = truth.query(u, v);
-        assert_eq!(qbs.query(u, v), expected, "QbS mismatch on ({u},{v})");
         assert_eq!(
-            qbs_seq.query(u, v),
+            qbs.query(u, v).unwrap(),
+            expected,
+            "QbS mismatch on ({u},{v})"
+        );
+        assert_eq!(
+            qbs_seq.query(u, v).unwrap(),
             expected,
             "QbS (sequential) mismatch on ({u},{v})"
         );
@@ -119,7 +123,7 @@ fn all_engines_agree_on_structured_graphs() {
             let qbs = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
             for &(u, v) in workload.pairs() {
                 assert_eq!(
-                    qbs.query(u, v),
+                    qbs.query(u, v).unwrap(),
                     truth.query(u, v),
                     "{name} with {landmarks} landmarks, query ({u},{v})"
                 );
@@ -150,9 +154,13 @@ fn qbs_handles_disconnected_graphs() {
     let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(8));
 
     for (u, v) in [(0u32, 29u32), (31, 45), (3, 42), (40, 10), (35, 35)] {
-        assert_eq!(index.query(u, v), truth.query(u, v), "query ({u},{v})");
+        assert_eq!(
+            index.query(u, v).unwrap(),
+            truth.query(u, v),
+            "query ({u},{v})"
+        );
     }
-    assert!(!index.query(5, 35).is_reachable());
+    assert!(!index.query(5, 35).unwrap().is_reachable());
 }
 
 #[test]
@@ -168,12 +176,12 @@ fn qbs_matches_oracle_with_landmark_endpoints_on_catalog_graph() {
     for &r in index.landmarks() {
         for &(x, _) in others.pairs() {
             assert_eq!(
-                index.query(r, x),
+                index.query(r, x).unwrap(),
                 truth.query(r, x),
                 "landmark query ({r},{x})"
             );
             assert_eq!(
-                index.query(x, r),
+                index.query(x, r).unwrap(),
                 truth.query(x, r),
                 "landmark query ({x},{r})"
             );
@@ -184,7 +192,7 @@ fn qbs_matches_oracle_with_landmark_endpoints_on_catalog_graph() {
     for &a in &landmarks {
         for &b in &landmarks {
             assert_eq!(
-                index.query(a, b),
+                index.query(a, b).unwrap(),
                 truth.query(a, b),
                 "landmark pair ({a},{b})"
             );
@@ -203,6 +211,6 @@ fn serialized_index_answers_like_the_original() {
     .expect("deserialize");
     let workload = QueryWorkload::sample_connected(&graph, 40, 9);
     for &(u, v) in workload.pairs() {
-        assert_eq!(index.query(u, v), restored.query(u, v));
+        assert_eq!(index.query(u, v).unwrap(), restored.query(u, v).unwrap());
     }
 }

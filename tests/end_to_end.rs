@@ -72,12 +72,12 @@ fn qbs_beats_bibfs_on_a_hub_dominated_standin() {
 
     // Warm both paths once, then time.
     let (u0, v0) = workload.pairs()[0];
-    assert_eq!(index.query(u0, v0), bibfs.query(u0, v0));
+    assert_eq!(index.query(u0, v0).unwrap(), bibfs.query(u0, v0));
 
     let t = std::time::Instant::now();
     let mut qbs_edges = 0usize;
     for &(u, v) in workload.pairs() {
-        qbs_edges += index.query_with_stats(u, v).stats.edges_traversed;
+        qbs_edges += index.query_with_stats(u, v).unwrap().stats.edges_traversed;
     }
     let qbs_time = t.elapsed();
 
@@ -137,7 +137,7 @@ fn persisted_index_round_trips_through_disk() {
     let oracle = GroundTruth::new(graph.clone());
     let workload = QueryWorkload::sample_connected(&graph, 50, 23);
     for &(u, v) in workload.pairs() {
-        assert_eq!(restored.query(u, v), oracle.query(u, v));
+        assert_eq!(restored.query(u, v).unwrap(), oracle.query(u, v));
     }
 }
 

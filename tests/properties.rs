@@ -42,7 +42,7 @@ proptest! {
         v in 0u32..60,
     ) {
         let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
-        let answer = index.query(u, v);
+        let answer = index.query(u, v).unwrap();
         prop_assert_eq!(&answer, &oracle(&graph, u, v));
         // Definition 2.2 holds structurally as well.
         prop_assert!(qbs::core::verify::is_exact(&graph, &answer));
@@ -55,8 +55,8 @@ proptest! {
         v in 0u32..50,
     ) {
         let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(6));
-        let forward = index.query(u, v);
-        let backward = index.query(v, u);
+        let forward = index.query(u, v).unwrap();
+        let backward = index.query(v, u).unwrap();
         prop_assert_eq!(forward.edges(), backward.edges());
         prop_assert_eq!(forward.distance(), backward.distance());
     }
@@ -76,7 +76,7 @@ proptest! {
         }
         // And the guided search always reports the exact distance.
         if u != v {
-            let stats = index.query_with_stats(u, v).stats;
+            let stats = index.query_with_stats(u, v).unwrap().stats;
             prop_assert_eq!(stats.distance, d);
             prop_assert!(stats.upper_bound >= stats.distance || stats.distance == INFINITE_DISTANCE);
         }
@@ -166,7 +166,7 @@ proptest! {
         v in 0u32..45,
     ) {
         let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(5));
-        let answer = index.query(u, v);
+        let answer = index.query(u, v).unwrap();
         let du = qbs::graph::traversal::bfs_distances(&graph, u);
         let dv = qbs::graph::traversal::bfs_distances(&graph, v);
         for &(a, b) in answer.edges() {
