@@ -79,6 +79,10 @@ impl SpgEngine for GroundTruth {
         self.shortest_path_graph(source, target)
     }
 
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
     fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<PathGraph> {
         let mut ws = BfsWorkspace::new();
         pairs

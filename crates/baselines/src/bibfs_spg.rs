@@ -102,6 +102,10 @@ impl SpgEngine for BiBfs {
         compute(&self.graph, source, target).spg
     }
 
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
     fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<PathGraph> {
         let mut ws = BiBfsWorkspace::new();
         pairs

@@ -37,6 +37,32 @@ pub use bibfs_spg::BiBfs;
 pub use parent_ppl::ParentPpl;
 pub use ppl::Ppl;
 
+/// A per-query failure of the checked [`SpgEngine`] batch API: the
+/// requested endpoint does not exist in the engine's graph.
+///
+/// Mirrors the per-request error semantics of `qbs_core`'s typed request
+/// pipeline (`QueryOutcome::Error`): one bad pair in a batch yields one
+/// `Err` slot, never a panic or an aborted batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpgQueryError {
+    /// The offending vertex.
+    pub vertex: qbs_graph::VertexId,
+    /// Number of vertices of the engine's graph.
+    pub num_vertices: usize,
+}
+
+impl std::fmt::Display for SpgQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "vertex {} out of range for graph with {} vertices",
+            self.vertex, self.num_vertices
+        )
+    }
+}
+
+impl std::error::Error for SpgQueryError {}
+
 /// A shortest-path-graph query engine: anything that can answer
 /// `SPG(u, v)` queries over a fixed graph.
 ///
@@ -45,11 +71,38 @@ pub use ppl::Ppl;
 /// uniformly.
 pub trait SpgEngine {
     /// Answers the query `SPG(source, target)`.
+    ///
+    /// May panic on out-of-range endpoints, exactly like slice indexing;
+    /// serving callers should prefer [`SpgEngine::try_query`] /
+    /// [`SpgEngine::try_query_batch`].
     fn query(
         &self,
         source: qbs_graph::VertexId,
         target: qbs_graph::VertexId,
     ) -> qbs_graph::PathGraph;
+
+    /// Number of vertices of the engine's graph — the valid endpoint range
+    /// of [`SpgEngine::try_query`].
+    fn num_vertices(&self) -> usize;
+
+    /// Answers `SPG(source, target)` with endpoint validation: an
+    /// out-of-range endpoint is an `Err`, never a panic.
+    fn try_query(
+        &self,
+        source: qbs_graph::VertexId,
+        target: qbs_graph::VertexId,
+    ) -> Result<qbs_graph::PathGraph, SpgQueryError> {
+        let n = self.num_vertices();
+        for v in [source, target] {
+            if v as usize >= n {
+                return Err(SpgQueryError {
+                    vertex: v,
+                    num_vertices: n,
+                });
+            }
+        }
+        Ok(self.query(source, target))
+    }
 
     /// Answers a batch of queries, in input order.
     ///
@@ -62,6 +115,17 @@ pub trait SpgEngine {
         pairs: &[(qbs_graph::VertexId, qbs_graph::VertexId)],
     ) -> Vec<qbs_graph::PathGraph> {
         pairs.iter().map(|&(u, v)| self.query(u, v)).collect()
+    }
+
+    /// Answers a batch with **per-request** results: an out-of-range pair
+    /// yields an `Err` slot and every other pair is answered normally —
+    /// the partial-failure semantics of `qbs_core::QueryEngine::submit`,
+    /// available uniformly across baselines for the differential harness.
+    fn try_query_batch(
+        &self,
+        pairs: &[(qbs_graph::VertexId, qbs_graph::VertexId)],
+    ) -> Vec<Result<qbs_graph::PathGraph, SpgQueryError>> {
+        pairs.iter().map(|&(u, v)| self.try_query(u, v)).collect()
     }
 
     /// A short human-readable name for reports ("QbS", "PPL", "Bi-BFS", …).

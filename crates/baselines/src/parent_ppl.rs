@@ -214,6 +214,10 @@ impl SpgEngine for ParentPpl {
         self.shortest_path_graph(source, target)
     }
 
+    fn num_vertices(&self) -> usize {
+        self.ppl.graph().num_vertices()
+    }
+
     fn name(&self) -> &'static str {
         "ParentPPL"
     }

@@ -271,6 +271,10 @@ impl SpgEngine for Ppl {
         self.shortest_path_graph(source, target)
     }
 
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
     fn name(&self) -> &'static str {
         "PPL"
     }

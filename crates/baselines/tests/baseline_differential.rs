@@ -139,3 +139,42 @@ fn labelling_size_ordering() {
         "avg label {avg_label}"
     );
 }
+
+/// The checked batch API isolates per-request failures uniformly across
+/// every baseline: a poisoned pair mid-batch yields one `Err` slot while
+/// the surrounding pairs are answered exactly as before.
+#[test]
+fn try_query_batch_isolates_poisoned_pairs() {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: 200,
+        edges_per_vertex: 3,
+        seed: 99,
+    });
+    let n = graph.num_vertices() as u32;
+    let truth = GroundTruth::new(graph.clone());
+    let engines: Vec<Box<dyn SpgEngine>> = vec![
+        Box::new(GroundTruth::new(graph.clone())),
+        Box::new(BiBfs::new(graph.clone())),
+        Box::new(Ppl::build(graph.clone())),
+        Box::new(ParentPpl::build(graph.clone())),
+    ];
+    let batch = [(0u32, 5u32), (3, n), (7, 9), (n + 4, 1), (2, 8)];
+    for engine in &engines {
+        assert_eq!(engine.num_vertices(), graph.num_vertices());
+        let outcomes = engine.try_query_batch(&batch);
+        assert_eq!(outcomes.len(), batch.len());
+        for (slot, (&(u, v), outcome)) in batch.iter().zip(&outcomes).enumerate() {
+            if u >= n || v >= n {
+                let err = outcome.as_ref().expect_err("poisoned slot fails");
+                assert_eq!(err.num_vertices, graph.num_vertices());
+                assert_eq!(err.vertex, if u >= n { u } else { v });
+                assert!(err.to_string().contains("out of range"));
+            } else {
+                let answer = outcome.as_ref().unwrap_or_else(|e| {
+                    panic!("{}: slot {slot} unexpectedly failed: {e}", engine.name())
+                });
+                assert_eq!(answer, &truth.query(u, v), "{}: ({u},{v})", engine.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Request-pipeline benchmarks: per-mode throughput and answer-cache
+//! warm/cold behaviour of `QueryEngine::submit`, with a drift tripwire
+//! against the legacy `query_batch` path.
+//!
+//! The redesign's acceptance bars on the 120k-vertex benchmark graph:
+//!
+//! * **distance-only mode ≥ 1.3× the throughput of full path-graph
+//!   answers** — the mode split exists because the two cost profiles
+//!   genuinely differ (no sketch edge lists, no reverse/recover
+//!   materialisation);
+//! * **warm-cache path-graph hits ≥ 1.3× the cold (uncached) run** — an
+//!   LRU hit replaces the whole guided search with a hash lookup plus one
+//!   clone.
+//!
+//! The run prints both measured ratios. Run with
+//! `cargo bench --bench request_pipeline`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+use qbs_core::request::QueryRequest;
+use qbs_core::{CacheConfig, QbsConfig, QbsIndex, QueryEngine};
+use qbs_gen::prelude::*;
+
+/// Vertex count of the benchmark graph (the acceptance regime: ≥ 100k).
+const VERTICES: usize = 120_000;
+const LANDMARKS: usize = 20;
+const THREADS: usize = 4;
+
+fn bench_request_pipeline(c: &mut Criterion) {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: VERTICES,
+        edges_per_vertex: 4,
+        seed: 2021,
+    });
+    let workload = QueryWorkload::sample(&graph, 256, 77).pairs().to_vec();
+    let index = QbsIndex::build(graph, QbsConfig::with_landmark_count(LANDMARKS));
+
+    let distance_reqs: Vec<QueryRequest> = workload
+        .iter()
+        .map(|&(u, v)| QueryRequest::distance(u, v))
+        .collect();
+    let path_reqs: Vec<QueryRequest> = workload
+        .iter()
+        .map(|&(u, v)| QueryRequest::path_graph(u, v))
+        .collect();
+    let sketch_reqs: Vec<QueryRequest> = workload
+        .iter()
+        .map(|&(u, v)| QueryRequest::sketch(u, v))
+        .collect();
+    let mixed_reqs: Vec<QueryRequest> = workload
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v))| match i % 3 {
+            0 => QueryRequest::distance(u, v),
+            1 => QueryRequest::path_graph(u, v),
+            _ => QueryRequest::sketch(u, v),
+        })
+        .collect();
+
+    let engine = QueryEngine::with_threads(&index, THREADS).expect("engine");
+
+    // ---- Acceptance ratios, measured directly. ----
+    let time_reps = |reps: usize, f: &dyn Fn()| -> Duration {
+        f(); // warm up pools and page cache
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t0.elapsed() / reps as u32
+    };
+    let reps = 20;
+    let path_cold = time_reps(reps, &|| {
+        criterion::black_box(engine.submit(&path_reqs));
+    });
+    let distance_cold = time_reps(reps, &|| {
+        criterion::black_box(engine.submit(&distance_reqs));
+    });
+    let distance_ratio = path_cold.as_secs_f64() / distance_cold.as_secs_f64();
+
+    // Admit everything: the bench measures hit speed, not admission policy.
+    let cached_engine = QueryEngine::with_threads(&index, THREADS)
+        .expect("engine")
+        .with_answer_cache(CacheConfig::with_capacity(4 * workload.len()).admit_above(0));
+    cached_engine.submit(&path_reqs); // fill
+    let path_warm = time_reps(reps, &|| {
+        criterion::black_box(cached_engine.submit(&path_reqs));
+    });
+    let cache_ratio = path_cold.as_secs_f64() / path_warm.as_secs_f64();
+    let cache_stats = cached_engine.cache_stats().expect("cache");
+    println!(
+        "request pipeline over {VERTICES}-vertex graph, {} queries/batch on {THREADS} threads:\n\
+         \x20 full path-graph batch {:.3} ms, distance-only {:.3} ms => {distance_ratio:.2}x \
+         (acceptance bar: >= 1.3x)\n\
+         \x20 warm-cache path batch {:.3} ms => {cache_ratio:.2}x over cold \
+         (acceptance bar: >= 1.3x; hit rate {:.0}%)",
+        workload.len(),
+        path_cold.as_secs_f64() * 1e3,
+        distance_cold.as_secs_f64() * 1e3,
+        path_warm.as_secs_f64() * 1e3,
+        cache_stats.hit_ratio() * 100.0,
+    );
+
+    // ---- Criterion groups. ----
+    let mut group = c.benchmark_group("request_pipeline");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("submit/distance_only", |b| {
+        b.iter(|| criterion::black_box(engine.submit(&distance_reqs)));
+    });
+    group.bench_function("submit/path_graph", |b| {
+        b.iter(|| criterion::black_box(engine.submit(&path_reqs)));
+    });
+    group.bench_function("submit/sketch_only", |b| {
+        b.iter(|| criterion::black_box(engine.submit(&sketch_reqs)));
+    });
+    group.bench_function("submit/mixed_modes", |b| {
+        b.iter(|| criterion::black_box(engine.submit(&mixed_reqs)));
+    });
+    group.bench_function("cache/cold_uncached", |b| {
+        b.iter(|| criterion::black_box(engine.submit(&path_reqs)));
+    });
+    group.bench_function("cache/warm_hits", |b| {
+        b.iter(|| criterion::black_box(cached_engine.submit(&path_reqs)));
+    });
+    group.bench_function("legacy/query_batch", |b| {
+        b.iter(|| criterion::black_box(engine.query_batch(&workload).expect("batch")));
+    });
+    group.finish();
+
+    // ---- Drift tripwire against the legacy batch path. ----
+    // submit's path+stats outcomes must carry exactly the answers
+    // query_batch produces, and warm cache hits must not drift either.
+    let stats_reqs: Vec<QueryRequest> = workload
+        .iter()
+        .map(|&(u, v)| QueryRequest::path_graph(u, v).with_stats())
+        .collect();
+    let legacy = engine.query_batch(&workload).expect("legacy batch");
+    for (engine_under_test, tag) in [(&engine, "uncached"), (&cached_engine, "warm cache")] {
+        let outcomes = engine_under_test.submit(&stats_reqs);
+        for ((outcome, expected), &(u, v)) in outcomes.iter().zip(&legacy).zip(&workload) {
+            assert_eq!(
+                outcome.answer(),
+                Some(expected),
+                "{tag}: request pipeline drifted from query_batch on ({u}, {v})"
+            );
+        }
+    }
+    let distances = engine.distance_batch(&workload).expect("legacy distances");
+    for ((outcome, expected), &(u, v)) in engine
+        .submit(&distance_reqs)
+        .iter()
+        .zip(&distances)
+        .zip(&workload)
+    {
+        assert_eq!(
+            outcome.distance(),
+            Some(*expected),
+            "distance mode drifted from distance_batch on ({u}, {v})"
+        );
+    }
+}
+
+criterion_group!(benches, bench_request_pipeline);
+criterion_main!(benches);

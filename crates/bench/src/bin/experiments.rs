@@ -4,7 +4,7 @@
 //! experiments <which> [options]
 //!
 //! which:    table1 | table2 | table3 | fig7 | fig8 | fig9 | fig10 | fig11 |
-//!           traversal | ablation | viewserve | all
+//!           traversal | ablation | viewserve | mixedbatch | all
 //!
 //! options:
 //!   --scale tiny|small|medium|large   dataset scale          (default: small)
@@ -94,10 +94,10 @@ fn main() -> ExitCode {
         let r = experiments::ablation(&config);
         outputs.insert("ablation", (r.render(), serde_json::to_value(&r).unwrap()));
     }
-    // `viewserve` is an explicit-only pass/fail differential, not part of
-    // `all`: the smoke run would otherwise build the same indices twice
-    // (CI runs it as its own named step).
-    let mut view_drift = false;
+    // `viewserve` and `mixedbatch` are explicit-only pass/fail
+    // differentials, not part of `all`: the smoke run would otherwise
+    // build the same indices twice (CI runs each as its own named step).
+    let mut drift = false;
     if which == "viewserve" {
         let r = match experiments::view_serving(&config) {
             Ok(r) => r,
@@ -106,8 +106,22 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        view_drift = !r.all_identical();
+        drift |= !r.all_identical();
         outputs.insert("viewserve", (r.render(), serde_json::to_value(&r).unwrap()));
+    }
+    if which == "mixedbatch" {
+        let r = match experiments::mixed_batch(&config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: mixedbatch failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        drift |= !r.all_identical();
+        outputs.insert(
+            "mixedbatch",
+            (r.render(), serde_json::to_value(&r).unwrap()),
+        );
     }
 
     if outputs.is_empty() {
@@ -126,10 +140,10 @@ fn main() -> ExitCode {
             }
         }
     }
-    if view_drift {
+    if drift {
         eprintln!(
-            "error: viewserve detected owned-vs-view answer drift — the zero-copy serving \
-             path no longer matches the owned index"
+            "error: differential detected answer drift — the serving path under test no \
+             longer matches its reference (see the table above)"
         );
         return ExitCode::FAILURE;
     }
@@ -138,7 +152,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|viewserve|all> \
+        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|viewserve|mixedbatch|all> \
          [--scale tiny|small|medium|large] [--queries N] [--landmarks N] \
          [--sweep a,b,c] [--datasets DO,DB,...] [--out DIR]"
     );

@@ -57,6 +57,10 @@ impl SpgEngine for QbsEngine {
             .expect("engine callers validate vertices")
     }
 
+    fn num_vertices(&self) -> usize {
+        self.index.graph().num_vertices()
+    }
+
     fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> Vec<PathGraph> {
         // Sequential loop over one long-lived workspace: Table 2 compares
         // *single-threaded* per-query latency across methods, so QbS must
@@ -175,6 +179,16 @@ impl SpgEngine for AnyEngine {
             AnyEngine::ParentPpl(e) => e.query_batch(pairs),
             AnyEngine::BiBfs(e) => e.query_batch(pairs),
             AnyEngine::GroundTruth(e) => e.query_batch(pairs),
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        match self {
+            AnyEngine::Qbs(e) => e.num_vertices(),
+            AnyEngine::Ppl(e) => e.num_vertices(),
+            AnyEngine::ParentPpl(e) => e.num_vertices(),
+            AnyEngine::BiBfs(e) => e.num_vertices(),
+            AnyEngine::GroundTruth(e) => e.num_vertices(),
         }
     }
 

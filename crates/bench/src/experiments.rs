@@ -767,6 +767,213 @@ fn per_query_ms(elapsed: std::time::Duration, queries: usize) -> f64 {
 }
 
 // ---------------------------------------------------------------------------
+// Mixed-batch — request-pipeline differential (CI drift tripwire)
+// ---------------------------------------------------------------------------
+
+/// Mixed-batch differential result for one dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MixedBatchRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of requests in the heterogeneous batch (incl. the poisoned
+    /// pair).
+    pub requests: usize,
+    /// Error outcomes observed (must be exactly 1: the poisoned pair).
+    pub error_slots: usize,
+    /// Whether every outcome matched: owned vs mmap-view backends, the
+    /// legacy per-query entry points, and warm-cache vs cold answers.
+    pub identical: bool,
+    /// Cold (uncached) batch time, ms/request.
+    pub cold_ms: f64,
+    /// Warm-cache batch time, ms/request.
+    pub warm_ms: f64,
+    /// Cache hit rate of the warm pass.
+    pub cache_hit_rate: f64,
+}
+
+/// The mixed-batch differential: a heterogeneous distance/path/sketch
+/// batch (with one poisoned pair mid-batch) is submitted through the
+/// request pipeline over both storage backends and checked slot-by-slot
+/// against the legacy entry points; a cache-enabled engine then re-runs
+/// the batch warm and must produce bit-identical outcomes. CI runs this at
+/// tiny scale and fails the pipeline on any drift.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MixedBatch {
+    /// One row per dataset.
+    pub rows: Vec<MixedBatchRow>,
+}
+
+impl MixedBatch {
+    /// Whether every dataset's batch was fully consistent.
+    pub fn all_identical(&self) -> bool {
+        self.rows.iter().all(|r| r.identical && r.error_slots == 1)
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Mixed batch: request pipeline vs legacy paths (+ cache warm/cold)",
+            &[
+                "Dataset",
+                "requests",
+                "errors",
+                "cold ms",
+                "warm ms",
+                "speedup",
+                "hit rate",
+                "identical",
+            ],
+        );
+        for r in &self.rows {
+            let speedup = if r.warm_ms > 0.0 {
+                r.cold_ms / r.warm_ms
+            } else {
+                0.0
+            };
+            t.add_row(vec![
+                r.dataset.clone(),
+                fmt_count(r.requests),
+                fmt_count(r.error_slots),
+                fmt_millis(r.cold_ms),
+                fmt_millis(r.warm_ms),
+                format!("{speedup:.1}x"),
+                format!("{:.0}%", r.cache_hit_rate * 100.0),
+                if r.identical {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Builds the heterogeneous request batch of one dataset: modes cycle over
+/// the workload, one out-of-range pair is spliced into the middle.
+fn mixed_requests(
+    pairs: &[(qbs_graph::VertexId, qbs_graph::VertexId)],
+    num_vertices: usize,
+) -> Vec<qbs_core::QueryRequest> {
+    use qbs_core::QueryRequest;
+    let mut requests: Vec<QueryRequest> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v))| match i % 4 {
+            0 => QueryRequest::distance(u, v),
+            1 => QueryRequest::path_graph(u, v),
+            2 => QueryRequest::path_graph(u, v).with_stats(),
+            _ => QueryRequest::sketch(u, v),
+        })
+        .collect();
+    let poison = num_vertices as qbs_graph::VertexId;
+    requests.insert(requests.len() / 2, QueryRequest::distance(poison, 0));
+    requests
+}
+
+/// Checks one submit run slot-by-slot against the legacy single-query
+/// entry points; returns `false` on any mismatch.
+fn outcomes_match_legacy(
+    index: &QbsIndex,
+    requests: &[qbs_core::QueryRequest],
+    outcomes: &[qbs_core::QueryOutcome],
+) -> bool {
+    use qbs_core::QueryMode;
+    if requests.len() != outcomes.len() {
+        return false;
+    }
+    requests.iter().zip(outcomes).all(|(req, outcome)| {
+        let in_range = (req.source as usize) < index.graph().num_vertices()
+            && (req.target as usize) < index.graph().num_vertices();
+        if !in_range {
+            return outcome.is_error();
+        }
+        match req.mode {
+            QueryMode::Distance => {
+                outcome.distance() == Some(index.distance(req.source, req.target).expect("range"))
+            }
+            QueryMode::PathGraph => {
+                let expected = index
+                    .query_with_stats(req.source, req.target)
+                    .expect("range");
+                outcome.path_graph() == Some(&expected.path_graph)
+                    && (!req.opts.collect_stats || outcome.answer() == Some(&expected))
+            }
+            QueryMode::Sketch => {
+                outcome.sketch() == Some(&index.sketch(req.source, req.target).expect("range"))
+            }
+        }
+    })
+}
+
+/// Runs the mixed-batch differential: build → save v2 → mmap → submit the
+/// heterogeneous batch over both backends → compare against the legacy
+/// entry points → re-run warm through the answer cache.
+pub fn mixed_batch(config: &ExperimentConfig) -> Result<MixedBatch, QbsError> {
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qbs_bench_mixed_batch_{}_{nonce}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let rows = config
+        .specs()
+        .iter()
+        .map(|spec| {
+            let graph = config.graph_for(spec);
+            let workload = config.workload_for(&graph);
+            let owned =
+                QbsIndex::try_build(graph, QbsConfig::with_landmark_count(config.landmark_count))?;
+            let requests = mixed_requests(workload.pairs(), owned.graph().num_vertices());
+            let path = dir.join(format!("{}.qbs2", spec.id.abbrev()));
+            qbs_core::serialize::save_to_file(&owned, &path)?;
+            let store = qbs_core::serialize::open_store_from_file(&path, qbs_core::MapMode::Mmap)?;
+
+            let owned_engine = qbs_core::QueryEngine::with_threads(&owned, 2)?;
+            let view_engine = qbs_core::QueryEngine::with_threads(&store, 2)?;
+            let t0 = Instant::now();
+            let owned_outcomes = owned_engine.submit(&requests);
+            let cold_ms = per_query_ms(t0.elapsed(), requests.len());
+            let view_outcomes = view_engine.submit(&requests);
+
+            let error_slots = owned_outcomes.iter().filter(|o| o.is_error()).count();
+            let mut identical = owned_outcomes == view_outcomes
+                && outcomes_match_legacy(&owned, &requests, &owned_outcomes);
+
+            // Cache pass: cold fill, then a warm run that must be
+            // bit-identical to the uncached outcomes.
+            let cached_engine = qbs_core::QueryEngine::with_threads(&owned, 2)?
+                .with_answer_cache(qbs_core::CacheConfig::default().admit_above(0));
+            let cold_cached = cached_engine.submit(&requests);
+            let t0 = Instant::now();
+            let warm = cached_engine.submit(&requests);
+            let warm_ms = per_query_ms(t0.elapsed(), requests.len());
+            identical &= cold_cached == owned_outcomes && warm == owned_outcomes;
+            let cache_hit_rate = cached_engine
+                .cache_stats()
+                .map(|s| s.hit_ratio())
+                .unwrap_or(0.0);
+
+            std::fs::remove_file(&path).ok();
+            Ok(MixedBatchRow {
+                dataset: spec.id.name().to_string(),
+                requests: requests.len(),
+                error_slots,
+                identical,
+                cold_ms,
+                warm_ms,
+                cache_hit_rate,
+            })
+        })
+        .collect::<Result<Vec<_>, QbsError>>()?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(MixedBatch { rows })
+}
+
+// ---------------------------------------------------------------------------
 // Ablations — landmark strategy and parallel speed-up
 // ---------------------------------------------------------------------------
 
@@ -1032,6 +1239,21 @@ mod tests {
         }
         let rendered = v.render();
         assert!(rendered.contains("View serving"));
+        assert!(rendered.contains("yes"));
+    }
+
+    #[test]
+    fn mixed_batch_is_consistent_and_counts_one_error() {
+        let m = mixed_batch(&tiny_config()).expect("mixed batch runs");
+        assert_eq!(m.rows.len(), 2);
+        assert!(m.all_identical(), "{m:?}");
+        for row in &m.rows {
+            assert_eq!(row.error_slots, 1, "exactly the poisoned pair fails");
+            assert!(row.requests > 1);
+            assert!(row.cache_hit_rate > 0.0, "warm pass hit the cache");
+        }
+        let rendered = m.render();
+        assert!(rendered.contains("Mixed batch"));
         assert!(rendered.contains("yes"));
     }
 

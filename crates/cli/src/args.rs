@@ -5,6 +5,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 use qbs_core::serialize::IndexFormat;
+use qbs_core::QueryMode;
 use qbs_gen::catalog::{DatasetId, Scale};
 
 /// A parsed CLI invocation.
@@ -53,6 +54,13 @@ pub enum Command {
         /// With `--from-view`: memory-map the index file instead of reading
         /// it to the heap — the O(1) cold-start path.
         mmap: bool,
+        /// Query mode: full path graph (default), distance-only, or
+        /// sketch-only.
+        mode: QueryMode,
+        /// Include the sketch and search statistics in path-graph reports.
+        stats: bool,
+        /// Answer-cache capacity; `None` serves uncached.
+        cache: Option<usize>,
         /// Output format.
         json: bool,
     },
@@ -98,12 +106,19 @@ qbs-cli — Query-by-Sketch shortest path graph queries
 commands:
   generate --dataset <DO|DB|...|CW> [--scale tiny|small|medium|large] --out FILE
   build    --graph FILE [--landmarks N] [--sequential] [--format binary|json] --out FILE
-  query    --index FILE --source U --target V [--from-view [--mmap]] [--format text|json]
-  query    --index FILE --pairs FILE [--threads N] [--from-view [--mmap]] [--format text|json]
+  query    --index FILE --source U --target V [query options]
+  query    --index FILE --pairs FILE [--threads N] [query options]
   stats    --index FILE
   inspect  --index FILE
   convert  --from FILE --to FILE
   help
+
+query options:
+  --mode path|distance|sketch   what to compute per pair (default: path)
+  --stats                       include sketch + search statistics (path mode)
+  --cache N                     serve through an N-entry LRU answer cache
+  --from-view [--mmap]          serve from the zero-copy view; --mmap maps the file
+  --format text|json            output format
 
 `build --format` picks the on-disk index format: `binary` writes the flat
 qbs-index-v2 layout (the default; loads with zero parsing), `json` writes
@@ -111,7 +126,9 @@ the v1 compatibility format. `query`/`stats`/`inspect` read both.
 
 `query --from-view` serves straight from the flat v2 layout without
 materialising the owned index; adding `--mmap` memory-maps the file so a
-cold process answers its first query in the time it takes to map it.
+cold process answers its first query in the time it takes to map it. In
+`--pairs` batches each pair is answered independently: an out-of-range
+pair reports an error for that line only.
 ";
 
 /// Parses an argument vector (excluding the program name).
@@ -179,6 +196,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .transpose()?,
                 from_view,
                 mmap,
+                mode: parse_query_mode(get("mode").as_deref().unwrap_or("path"))?,
+                stats: options.contains_key("stats"),
+                cache: get("cache")
+                    .map(|s| parse_number(&s, "cache capacity"))
+                    .transpose()?,
                 json: match get("format").as_deref() {
                     None | Some("text") => false,
                     Some("json") => true,
@@ -208,7 +230,7 @@ fn collect_options(args: &[String]) -> Result<BTreeMap<String, String>, ParseErr
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| ParseError(format!("expected an option, found '{}'", args[i])))?;
-        let is_flag = matches!(key, "sequential" | "from-view" | "mmap");
+        let is_flag = matches!(key, "sequential" | "from-view" | "mmap" | "stats");
         if is_flag {
             options.insert(key.to_string(), String::new());
             i += 1;
@@ -238,6 +260,17 @@ fn parse_scale(token: &str) -> Result<Scale, ParseError> {
         "medium" => Ok(Scale::Medium),
         "large" => Ok(Scale::Large),
         other => Err(ParseError(format!("unknown scale '{other}'"))),
+    }
+}
+
+fn parse_query_mode(token: &str) -> Result<QueryMode, ParseError> {
+    match token {
+        "path" | "path-graph" | "spg" => Ok(QueryMode::PathGraph),
+        "distance" | "dist" => Ok(QueryMode::Distance),
+        "sketch" => Ok(QueryMode::Sketch),
+        other => Err(ParseError(format!(
+            "unknown query mode '{other}' (expected path, distance or sketch)"
+        ))),
     }
 }
 
@@ -359,6 +392,9 @@ mod tests {
                 threads: None,
                 from_view: false,
                 mmap: false,
+                mode: QueryMode::PathGraph,
+                stats: false,
+                cache: None,
                 json: true
             }
         );
@@ -383,6 +419,9 @@ mod tests {
                 threads: Some(4),
                 from_view: false,
                 mmap: false,
+                mode: QueryMode::PathGraph,
+                stats: false,
+                cache: None,
                 json: false
             }
         );
@@ -407,6 +446,59 @@ mod tests {
                 to: "b.qbsg".into()
             }
         );
+    }
+
+    #[test]
+    fn parses_query_mode_stats_and_cache() {
+        let cmd = parse(&args(&[
+            "query", "--index", "i.qbs", "--pairs", "p.txt", "--mode", "distance", "--cache",
+            "4096",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                mode: QueryMode::Distance,
+                cache: Some(4096),
+                stats: false,
+                ..
+            }
+        ));
+
+        let cmd = parse(&args(&[
+            "query", "--index", "i.qbs", "--source", "1", "--target", "2", "--mode", "sketch",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                mode: QueryMode::Sketch,
+                ..
+            }
+        ));
+
+        // `--stats` is a bare flag; mode aliases parse; junk is rejected.
+        let cmd = parse(&args(&[
+            "query", "--index", "i.qbs", "--source", "1", "--target", "2", "--stats", "--mode",
+            "spg",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                mode: QueryMode::PathGraph,
+                stats: true,
+                ..
+            }
+        ));
+        assert!(parse(&args(&[
+            "query", "--index", "i", "--source", "1", "--target", "2", "--mode", "teleport",
+        ]))
+        .is_err());
+        assert!(parse(&args(&[
+            "query", "--index", "i", "--source", "1", "--target", "2", "--cache", "lots",
+        ]))
+        .is_err());
     }
 
     #[test]

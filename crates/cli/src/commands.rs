@@ -6,7 +6,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use qbs_core::serialize::{self, IndexFormat, MapMode};
-use qbs_core::{IndexStore, QbsConfig, QbsIndex, QueryAnswer, QueryEngine};
+use qbs_core::{CacheConfig, Qbs, QbsConfig, QbsIndex, QueryMode, QueryOutcome, QueryRequest};
 use qbs_gen::catalog::Catalog;
 use qbs_graph::{io, Graph, VertexId};
 
@@ -116,25 +116,39 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             threads,
             from_view,
             mmap,
+            mode,
+            stats,
+            cache,
             json,
         } => {
-            let request = QueryRequest {
+            let spec = ServeSpec {
                 source: *source,
                 target: *target,
                 pairs: pairs.as_deref(),
-                threads: *threads,
+                mode: *mode,
+                stats: *stats,
                 json: *json,
             };
-            if *from_view {
-                // Serve straight from the flat index layout: no owned-index
-                // materialisation, and with --mmap no full file read either.
-                let mode = if *mmap { MapMode::Mmap } else { MapMode::Read };
-                let store = serialize::open_store_from_file(index, mode)?;
-                serve_queries(&store, &request)
+            // The Qbs session façade hides the backend choice: --from-view
+            // opens the flat layout zero-copy (--mmap maps it, the O(1)
+            // cold-start path), otherwise the owned index is materialised.
+            // --from-view is an explicit request for the zero-copy path, so
+            // a v1 JSON index is rejected with the migration hint rather
+            // than silently materialised (which is what Qbs::open's
+            // transparent fallback would do).
+            let mut qbs = if *from_view {
+                let map_mode = if *mmap { MapMode::Mmap } else { MapMode::Read };
+                Qbs::from_view_store(serialize::open_store_from_file(index, map_mode)?)
             } else {
-                let index = serialize::load_from_file(index)?;
-                serve_queries(&index, &request)
+                Qbs::load(index)?
+            };
+            if let Some(n) = threads {
+                qbs = qbs.with_threads(*n)?;
             }
+            if let Some(capacity) = cache {
+                qbs = qbs.with_cache(CacheConfig::with_capacity(*capacity));
+            }
+            serve_queries(&qbs, &spec)
         }
         Command::Stats { index } => {
             let index = serialize::load_from_file(index)?;
@@ -180,37 +194,52 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
     }
 }
 
-/// One parsed `query` invocation, shared by the owned and view-backed
-/// serving paths.
-struct QueryRequest<'a> {
+/// One parsed `query` invocation (mode, stats, output shape), shared by
+/// the single and batch serving paths.
+struct ServeSpec<'a> {
     source: Option<u32>,
     target: Option<u32>,
     pairs: Option<&'a Path>,
-    threads: Option<usize>,
+    mode: QueryMode,
+    stats: bool,
     json: bool,
 }
 
-/// Runs a query request over any storage backend — the owned index and the
-/// zero-copy view store produce bit-identical reports.
-fn serve_queries<S: IndexStore>(
-    store: &S,
-    request: &QueryRequest<'_>,
-) -> Result<String, CommandError> {
-    let engine = match request.threads {
-        Some(n) => QueryEngine::with_threads(store, n)?,
-        None => QueryEngine::new(store),
-    };
-    match (request.pairs, request.source, request.target) {
+impl ServeSpec<'_> {
+    /// The typed request for one pair. Path-graph requests always collect
+    /// stats internally (they are free); `--stats` only controls whether
+    /// the report prints them.
+    fn request(&self, u: VertexId, v: VertexId) -> QueryRequest {
+        let req = QueryRequest::new(u, v, self.mode);
+        if self.mode == QueryMode::PathGraph {
+            req.with_stats()
+        } else {
+            req
+        }
+    }
+}
+
+/// Runs a query invocation over a session — owned and view-backed sessions
+/// produce bit-identical reports.
+fn serve_queries(qbs: &Qbs, spec: &ServeSpec<'_>) -> Result<String, CommandError> {
+    match (spec.pairs, spec.source, spec.target) {
         (Some(pairs_path), _, _) => {
             let pairs = load_pairs(pairs_path)?;
+            let requests: Vec<QueryRequest> =
+                pairs.iter().map(|&(u, v)| spec.request(u, v)).collect();
             let start = Instant::now();
-            let answers = engine.query_batch(&pairs)?;
+            let outcomes = qbs.submit(&requests);
             let elapsed = start.elapsed();
-            render_batch(&pairs, &answers, elapsed, engine.threads(), request.json)
+            render_batch(qbs, &pairs, &outcomes, elapsed, spec)
         }
         (None, Some(source), Some(target)) => {
-            let answer = engine.query(source, target)?;
-            render_single(source, target, &answer, request.json)
+            // A single bad query is a command error, exactly as before the
+            // request pipeline.
+            let outcome = qbs.execute(&spec.request(source, target)).into_result()?;
+            if spec.json {
+                return Ok(render_outcome_json(&outcome));
+            }
+            Ok(render_outcome_text(source, target, &outcome, true))
         }
         _ => unreachable!("argument parsing enforces single-or-batch"),
     }
@@ -275,71 +304,117 @@ fn inspect_index(path: &Path) -> Result<String, CommandError> {
     }
 }
 
-/// Renders a single query answer in the requested format.
-fn render_single(
-    source: VertexId,
-    target: VertexId,
-    answer: &QueryAnswer,
-    json: bool,
-) -> Result<String, CommandError> {
-    if json {
-        return Ok(serde_json::to_string_pretty(&answer.path_graph)
-            .unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}")));
-    }
-    let spg = &answer.path_graph;
-    let mut out = format!(
-        "SPG({source}, {target}): distance {}, {} vertices, {} edges\n",
-        spg.distance(),
-        spg.num_vertices(),
-        spg.num_edges()
-    );
-    for (a, b) in spg.edges() {
-        out.push_str(&format!("  {a} -- {b}\n"));
-    }
-    out.push_str(&format!(
-        "sketch upper bound d⊤ = {}, reverse search = {}, recover search = {}\n",
-        answer.sketch.upper_bound,
-        answer.stats.used_reverse_search,
-        answer.stats.used_recover_search
-    ));
-    Ok(out)
+/// Renders one outcome as JSON. Path-graph answers serialise the path
+/// graph itself (the shape the pre-pipeline CLI emitted), distances a bare
+/// number, sketches the sketch object, and per-request failures an
+/// `{"error": ...}` object.
+fn render_outcome_json(outcome: &QueryOutcome) -> String {
+    let value = match outcome {
+        QueryOutcome::Distance(d) => serde_json::to_string_pretty(d),
+        QueryOutcome::PathGraph(pg) => serde_json::to_string_pretty(pg),
+        QueryOutcome::PathGraphWithStats(ans) => serde_json::to_string_pretty(&ans.path_graph),
+        QueryOutcome::Sketch(s) => serde_json::to_string_pretty(s),
+        QueryOutcome::Error(e) => {
+            return format!("{{\"error\": \"{e}\"}}");
+        }
+    };
+    value.unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
 }
 
-/// Renders a batch result: one summary line per pair plus throughput.
+/// Renders one outcome as text. `verbose` additionally prints the answer
+/// edges and the sketch/search statistics of path-graph answers (single
+/// queries and `--stats` batches).
+fn render_outcome_text(
+    source: VertexId,
+    target: VertexId,
+    outcome: &QueryOutcome,
+    verbose: bool,
+) -> String {
+    match outcome {
+        QueryOutcome::Distance(d) => format!("d({source}, {target}) = {d}\n"),
+        QueryOutcome::PathGraph(_) | QueryOutcome::PathGraphWithStats(_) => {
+            let spg = outcome.path_graph().expect("path-graph outcome");
+            let mut out = format!(
+                "SPG({source}, {target}): distance {}, {} vertices, {} edges\n",
+                spg.distance(),
+                spg.num_vertices(),
+                spg.num_edges()
+            );
+            if verbose {
+                for (a, b) in spg.edges() {
+                    out.push_str(&format!("  {a} -- {b}\n"));
+                }
+                if let Some(answer) = outcome.answer() {
+                    out.push_str(&format!(
+                        "sketch upper bound d⊤ = {}, reverse search = {}, recover search = {}\n",
+                        answer.sketch.upper_bound,
+                        answer.stats.used_reverse_search,
+                        answer.stats.used_recover_search
+                    ));
+                }
+            }
+            out
+        }
+        QueryOutcome::Sketch(s) => format!(
+            "sketch({source}, {target}): d⊤ = {}, {} source hops, {} target hops, {} meta edges\n",
+            s.upper_bound,
+            s.source_hops.len(),
+            s.target_hops.len(),
+            s.meta_edges.len()
+        ),
+        QueryOutcome::Error(e) => format!("query ({source}, {target}): error: {e}\n"),
+    }
+}
+
+/// Renders a batch result: one line per request plus throughput and (when
+/// caching) cache counters. Error outcomes render as error lines — they
+/// never abort the report.
 fn render_batch(
+    qbs: &Qbs,
     pairs: &[(VertexId, VertexId)],
-    answers: &[QueryAnswer],
+    outcomes: &[QueryOutcome],
     elapsed: std::time::Duration,
-    threads: usize,
-    json: bool,
+    spec: &ServeSpec<'_>,
 ) -> Result<String, CommandError> {
-    if json {
-        let spgs: Vec<_> = answers.iter().map(|a| &a.path_graph).collect();
-        return Ok(serde_json::to_string_pretty(&spgs)
-            .unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}")));
+    if spec.json {
+        let items: Vec<String> = outcomes.iter().map(render_outcome_json).collect();
+        return Ok(format!("[\n{}\n]", items.join(",\n")));
     }
     let mut out = String::new();
-    for (&(u, v), answer) in pairs.iter().zip(answers) {
-        let spg = &answer.path_graph;
-        out.push_str(&format!(
-            "SPG({u}, {v}): distance {}, {} vertices, {} edges\n",
-            spg.distance(),
-            spg.num_vertices(),
-            spg.num_edges()
-        ));
+    let mut failed = 0usize;
+    for (&(u, v), outcome) in pairs.iter().zip(outcomes) {
+        if outcome.is_error() {
+            failed += 1;
+        }
+        out.push_str(&render_outcome_text(u, v, outcome, spec.stats));
     }
     let qps = if elapsed.as_secs_f64() > 0.0 {
         pairs.len() as f64 / elapsed.as_secs_f64()
     } else {
         f64::INFINITY
     };
+    let failures = if failed > 0 {
+        format!(" ({failed} failed)")
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "answered {} queries in {:.3}ms on {} threads ({:.0} queries/s)\n",
+        "answered {} queries{failures} in {:.3}ms on {} threads ({:.0} queries/s)\n",
         pairs.len(),
         elapsed.as_secs_f64() * 1e3,
-        threads,
+        qbs.threads(),
         qps
     ));
+    if let Some(stats) = qbs.cache_stats() {
+        out.push_str(&format!(
+            "cache: {} hits / {} misses ({:.0}% hit rate), {} entries, {} evictions\n",
+            stats.hits,
+            stats.misses,
+            stats.hit_ratio() * 100.0,
+            stats.len,
+            stats.evictions
+        ));
+    }
     Ok(out)
 }
 
@@ -432,6 +507,9 @@ mod tests {
             threads: None,
             from_view: false,
             mmap: false,
+            mode: QueryMode::PathGraph,
+            stats: false,
+            cache: None,
             json: false,
         })
         .expect("query");
@@ -445,6 +523,9 @@ mod tests {
             threads: None,
             from_view: false,
             mmap: false,
+            mode: QueryMode::PathGraph,
+            stats: false,
+            cache: None,
             json: true,
         })
         .expect("json query");
@@ -514,11 +595,14 @@ mod tests {
                 threads: None,
                 from_view: false,
                 mmap: false,
+                mode: QueryMode::PathGraph,
+                stats: false,
+                cache: None,
                 json: false,
             })
             .expect("query")
         };
-        assert_eq!(q(bin_path), q(json_path));
+        assert_eq!(q(bin_path), q(json_path.clone()));
 
         // Inspecting garbage fails cleanly.
         let junk = dir.join("junk.qbs");
@@ -527,6 +611,25 @@ mod tests {
             run(&Command::Inspect { index: junk }),
             Err(CommandError::Index(_))
         ));
+
+        // --from-view explicitly asks for the zero-copy path, so a v1 JSON
+        // index is rejected with the migration hint instead of silently
+        // materialised.
+        let err = run(&Command::Query {
+            index: json_path,
+            source: Some(1),
+            target: Some(5),
+            pairs: None,
+            threads: None,
+            from_view: true,
+            mmap: false,
+            mode: QueryMode::PathGraph,
+            stats: false,
+            cache: None,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("re-save"), "{err}");
     }
 
     #[test]
@@ -560,6 +663,9 @@ mod tests {
             threads: Some(2),
             from_view: false,
             mmap: false,
+            mode: QueryMode::PathGraph,
+            stats: false,
+            cache: None,
             json: false,
         })
         .expect("batch query");
@@ -576,6 +682,9 @@ mod tests {
             threads: None,
             from_view: false,
             mmap: false,
+            mode: QueryMode::PathGraph,
+            stats: false,
+            cache: None,
             json: true,
         })
         .expect("batch json");
@@ -591,6 +700,9 @@ mod tests {
             threads: Some(0),
             from_view: false,
             mmap: false,
+            mode: QueryMode::PathGraph,
+            stats: false,
+            cache: None,
             json: false,
         });
         assert!(matches!(bad, Err(CommandError::Index(_))));
@@ -599,6 +711,112 @@ mod tests {
         let bad_pairs = dir.join("bad.txt");
         std::fs::write(&bad_pairs, "1 5\nnot a pair\n").expect("write");
         assert!(load_pairs(&bad_pairs).is_err());
+    }
+
+    #[test]
+    fn query_modes_cache_and_partial_failure_batches() {
+        let dir = temp_dir("modes");
+        let graph_path = dir.join("g.qbsg");
+        let index_path = dir.join("g.qbs");
+        run(&Command::Generate {
+            dataset: DatasetId::Douban,
+            scale: Scale::Tiny,
+            out: graph_path.clone(),
+        })
+        .expect("generate");
+        run(&Command::Build {
+            graph: graph_path,
+            landmarks: 8,
+            sequential: false,
+            out: index_path.clone(),
+            format: IndexFormat::Binary,
+        })
+        .expect("build");
+
+        // A poisoned pair mid-batch fails alone: the report keeps every
+        // other answer and counts the failure.
+        let pairs_path = dir.join("pairs.txt");
+        std::fs::write(&pairs_path, "1 5\n999999 0\n2 9\n").expect("write pairs");
+        let query = |mode: QueryMode, stats: bool, cache: Option<usize>, from_view: bool| {
+            run(&Command::Query {
+                index: index_path.clone(),
+                source: None,
+                target: None,
+                pairs: Some(pairs_path.clone()),
+                threads: Some(2),
+                from_view,
+                mmap: from_view,
+                mode,
+                stats,
+                cache,
+                json: false,
+            })
+            .expect("batch")
+        };
+        let report = query(QueryMode::PathGraph, true, None, false);
+        assert!(report.contains("SPG(1, 5)"));
+        assert!(report.contains("error: vertex 999999 out of range"));
+        assert!(report.contains("SPG(2, 9)"));
+        assert!(report.contains("answered 3 queries (1 failed)"));
+        assert!(report.contains("sketch upper bound"), "--stats prints d⊤");
+
+        // Distance mode renders distances; the view-backed session renders
+        // the identical report (modulo timing lines).
+        let owned = query(QueryMode::Distance, false, None, false);
+        assert!(owned.contains("d(1, 5) = "));
+        let viewed = query(QueryMode::Distance, false, None, true);
+        assert_eq!(
+            owned.lines().take(3).collect::<Vec<_>>(),
+            viewed.lines().take(3).collect::<Vec<_>>(),
+            "owned and view-backed reports agree per line"
+        );
+
+        // Sketch mode reports the landmark summary.
+        let sketch = query(QueryMode::Sketch, false, None, false);
+        assert!(sketch.contains("sketch(1, 5): d⊤ = "));
+
+        // Caching prints the counter line and keeps answers identical.
+        let cached = query(QueryMode::PathGraph, false, Some(1024), false);
+        assert!(cached.contains("cache: "), "{cached}");
+        let uncached = query(QueryMode::PathGraph, false, None, false);
+        assert_eq!(
+            cached.lines().take(3).collect::<Vec<_>>(),
+            uncached.lines().take(3).collect::<Vec<_>>(),
+        );
+
+        // A single out-of-range query is still a hard command error.
+        let single = run(&Command::Query {
+            index: index_path.clone(),
+            source: Some(1),
+            target: Some(999_999),
+            pairs: None,
+            threads: None,
+            from_view: false,
+            mmap: false,
+            mode: QueryMode::Distance,
+            stats: false,
+            cache: None,
+            json: false,
+        });
+        assert!(matches!(single, Err(CommandError::Index(_))));
+
+        // JSON batch with an error slot stays valid JSON.
+        let json = run(&Command::Query {
+            index: index_path,
+            source: None,
+            target: None,
+            pairs: Some(pairs_path),
+            threads: None,
+            from_view: false,
+            mmap: false,
+            mode: QueryMode::Distance,
+            stats: false,
+            cache: None,
+            json: true,
+        })
+        .expect("json batch");
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert!(parsed.get_index(1).is_some(), "error slot serialised");
     }
 
     #[test]
@@ -673,6 +891,9 @@ mod tests {
                 threads: None,
                 from_view: false,
                 mmap: false,
+                mode: QueryMode::PathGraph,
+                stats: false,
+                cache: None,
                 json: false
             }),
             Err(CommandError::Index(_))

@@ -24,23 +24,46 @@
 //! [`crate::workspace`]). The only remaining heap traffic is the storage
 //! owned by the returned answers.
 //!
+//! The serving entry point is the typed request pipeline
+//! ([`crate::request`]): [`QueryEngine::submit`] executes a heterogeneous
+//! batch of [`QueryRequest`]s — distance, path-graph and sketch modes mix
+//! freely — with **per-request** outcomes, so one out-of-range pair yields
+//! one [`QueryOutcome::Error`] slot instead of poisoning the batch. An
+//! optional sharded LRU [`AnswerCache`] slots in front of the executor
+//! ([`QueryEngine::with_answer_cache`]). The legacy homogeneous
+//! `query_batch`/`distance_batch` wrappers are kept for compatibility.
+//!
 //! ```
+//! use qbs_core::request::QueryRequest;
 //! use qbs_core::{QbsConfig, QbsIndex, QueryEngine};
 //! use qbs_graph::fixtures::figure4_graph;
 //!
 //! let index = QbsIndex::build(figure4_graph(), QbsConfig::with_landmark_count(3));
 //! let engine = QueryEngine::new(&index);
+//! // Heterogeneous batch: a distance probe, a full answer, a bad request.
+//! let outcomes = engine.submit(&[
+//!     QueryRequest::distance(6, 11),
+//!     QueryRequest::path_graph(4, 12),
+//!     QueryRequest::distance(6, 999),
+//! ]);
+//! assert_eq!(outcomes[0].distance(), Some(5));
+//! assert!(outcomes[1].path_graph().is_some());
+//! assert!(outcomes[2].is_error()); // that slot only — the batch survived
+//!
+//! // Legacy homogeneous wrapper, unchanged:
 //! let answers = engine.query_batch(&[(6, 11), (4, 12), (7, 9)]).unwrap();
 //! assert_eq!(answers.len(), 3);
 //! assert_eq!(answers[0].path_graph, index.query(6, 11).unwrap());
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use qbs_graph::{Distance, VertexId};
 
+use crate::cache::{AnswerCache, CacheConfig, CacheStats};
 use crate::query::{self, QbsIndex, QueryAnswer};
+use crate::request::{execute_cached_on, QueryOutcome, QueryRequest};
 use crate::store::IndexStore;
 use crate::workspace::QueryWorkspace;
 use crate::QbsError;
@@ -60,6 +83,12 @@ pub struct QueryEngine<'idx, S: IndexStore = QbsIndex> {
     /// scoped workers), the retained memory stays bounded at `threads`
     /// workspaces; the surplus is freed instead of pooled.
     workspaces: Mutex<Vec<QueryWorkspace>>,
+    /// Optional answer cache consulted by the request pipeline
+    /// ([`QueryEngine::submit`] / [`QueryEngine::execute`]). `Arc` so a
+    /// session façade (or several engines over the same store) can share
+    /// one cache. The legacy `query_batch`/`distance_batch` wrappers never
+    /// touch it.
+    cache: Option<Arc<AnswerCache>>,
 }
 
 impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
@@ -88,7 +117,65 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
             store,
             threads,
             workspaces: Mutex::new(Vec::new()),
+            cache: None,
         }
+    }
+
+    /// Builds an engine that already owns a warm workspace pool and
+    /// (optionally) a shared cache — the session façade's way of keeping
+    /// its steady state across transient engines.
+    pub(crate) fn with_pool(
+        store: &'idx S,
+        threads: usize,
+        pool: Vec<QueryWorkspace>,
+        cache: Option<Arc<AnswerCache>>,
+    ) -> Self {
+        QueryEngine {
+            store,
+            threads,
+            workspaces: Mutex::new(pool),
+            cache,
+        }
+    }
+
+    /// Takes the workspace pool back out of the engine (façade pool
+    /// handoff; see [`QueryEngine::with_pool`]).
+    pub(crate) fn into_pool(self) -> Vec<QueryWorkspace> {
+        self.workspaces
+            .into_inner()
+            .expect("workspace pool poisoned")
+    }
+
+    /// Attaches a fresh answer cache with the given configuration
+    /// (builder style). See [`crate::cache`] for the admission and
+    /// identity rules.
+    pub fn with_answer_cache(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(Arc::new(AnswerCache::new(config)));
+        self
+    }
+
+    /// Attaches an existing (possibly shared) answer cache.
+    ///
+    /// Cache keys are `(u, v, mode)` with **no store identity**, so every
+    /// engine sharing one cache MUST serve the same logical index
+    /// (identical graph + landmark set — e.g. the owned index and a view
+    /// of its own serialised bytes, or several engines over one store).
+    /// Sharing a cache across *different* indexes silently serves answers
+    /// from the wrong graph.
+    pub fn with_shared_cache(mut self, cache: Arc<AnswerCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached answer cache, if any.
+    pub fn answer_cache(&self) -> Option<&Arc<AnswerCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Counter snapshot of the attached cache (`None` when the engine runs
+    /// uncached).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// The wrapped storage backend.
@@ -118,35 +205,67 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
         result
     }
 
+    /// Executes a single typed request on a pooled workspace, through the
+    /// cache when one is attached.
+    pub fn execute(&self, request: &QueryRequest) -> QueryOutcome {
+        let mut ws = self.checkout();
+        let outcome = execute_cached_on(self.store, &mut ws, request, self.cache.as_deref());
+        self.checkin(ws);
+        outcome
+    }
+
+    /// Executes a heterogeneous batch of typed requests, in input order —
+    /// the serving entry point of the request pipeline.
+    ///
+    /// Unlike the legacy [`QueryEngine::query_batch`], `submit` never
+    /// fails as a whole: each slot resolves independently, so a request
+    /// with an out-of-range endpoint yields [`QueryOutcome::Error`] *for
+    /// that slot only* while every other request is answered normally.
+    /// Distance, path-graph and sketch requests mix freely in one batch,
+    /// and requests with [`crate::request::QueryOptions::use_cache`] go
+    /// through the attached answer cache. Outcomes are bit-identical
+    /// across storage backends.
+    pub fn submit(&self, requests: &[QueryRequest]) -> Vec<QueryOutcome> {
+        self.fan_out(requests, |store, ws, req| {
+            execute_cached_on(store, ws, req, self.cache.as_deref())
+        })
+    }
+
     /// Answers a batch of queries, in input order.
     ///
-    /// Vertices are validated up front, so the parallel phase is
-    /// infallible; an out-of-range pair fails the whole batch with
-    /// [`QbsError::VertexOutOfRange`] before any search runs. Answers are
-    /// bit-identical to calling [`QbsIndex::query`] per pair — on any
-    /// backend.
+    /// **Compatibility wrapper** over the request pipeline: vertices are
+    /// validated up front, so an out-of-range pair fails the whole batch
+    /// with [`QbsError::VertexOutOfRange`] before any search runs. Callers
+    /// who want per-request failure isolation (one bad pair must not
+    /// poison the batch) should build [`QueryRequest`]s and call
+    /// [`QueryEngine::submit`] instead. The wrapper never consults the
+    /// answer cache. Answers are bit-identical to calling
+    /// [`QbsIndex::query`] per pair — on any backend.
     pub fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> crate::Result<Vec<QueryAnswer>> {
-        self.run_batch(pairs, |store, ws, (u, v)| {
+        self.validate(pairs)?;
+        Ok(self.fan_out(pairs, |store, ws, &(u, v)| {
             query::query_on(store, ws, u, v)
                 .expect("batch pairs validated before the parallel phase")
-        })
+        }))
     }
 
     /// Computes only the distances of a batch of queries, in input order —
     /// the cheapest serving path (no path-graph materialisation at all).
+    ///
+    /// **Compatibility wrapper**: same validation and caching rules as
+    /// [`QueryEngine::query_batch`]; the typed equivalent is a
+    /// [`QueryEngine::submit`] batch of
+    /// [`QueryRequest::distance`] requests.
     pub fn distance_batch(&self, pairs: &[(VertexId, VertexId)]) -> crate::Result<Vec<Distance>> {
-        self.run_batch(pairs, |store, ws, (u, v)| {
+        self.validate(pairs)?;
+        Ok(self.fan_out(pairs, |store, ws, &(u, v)| {
             query::distance_on(store, ws, u, v)
                 .expect("batch pairs validated before the parallel phase")
-        })
+        }))
     }
 
-    /// Shared batch driver: validates, then fans `op` out over the workers.
-    fn run_batch<R: Send + Sync>(
-        &self,
-        pairs: &[(VertexId, VertexId)],
-        op: impl Fn(&S, &mut QueryWorkspace, (VertexId, VertexId)) -> R + Sync,
-    ) -> crate::Result<Vec<R>> {
+    /// Up-front endpoint validation of the legacy whole-batch wrappers.
+    fn validate(&self, pairs: &[(VertexId, VertexId)]) -> crate::Result<()> {
         let n = self.store.num_vertices() as u64;
         for &(u, v) in pairs {
             if u as u64 >= n || v as u64 >= n {
@@ -156,32 +275,43 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
                 });
             }
         }
+        Ok(())
+    }
 
-        let workers = self.threads.min(pairs.len().div_ceil(CLAIM_CHUNK)).max(1);
+    /// Shared batch driver: fans `op` out over the scoped worker pool with
+    /// the chunked work-stealing cursor, one result slot per item, in
+    /// input order. `op` must be infallible — per-item failures are
+    /// values (see [`QueryOutcome`]), not panics.
+    fn fan_out<T: Sync, R: Send + Sync>(
+        &self,
+        items: &[T],
+        op: impl Fn(&S, &mut QueryWorkspace, &T) -> R + Sync,
+    ) -> Vec<R> {
+        let workers = self.threads.min(items.len().div_ceil(CLAIM_CHUNK)).max(1);
         if workers == 1 {
             let mut ws = self.checkout();
-            let out = pairs
+            let out = items
                 .iter()
-                .map(|&pair| op(self.store, &mut ws, pair))
+                .map(|item| op(self.store, &mut ws, item))
                 .collect();
             self.checkin(ws);
-            return Ok(out);
+            return out;
         }
 
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<R>> = (0..pairs.len()).map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<R>> = (0..items.len()).map(|_| OnceLock::new()).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut ws = self.checkout();
                     loop {
                         let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
-                        if start >= pairs.len() {
+                        if start >= items.len() {
                             break;
                         }
-                        let end = (start + CLAIM_CHUNK).min(pairs.len());
+                        let end = (start + CLAIM_CHUNK).min(items.len());
                         for idx in start..end {
-                            let answer = op(self.store, &mut ws, pairs[idx]);
+                            let answer = op(self.store, &mut ws, &items[idx]);
                             slots[idx]
                                 .set(answer)
                                 .unwrap_or_else(|_| panic!("slot {idx} filled twice"));
@@ -192,10 +322,10 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
             }
         });
 
-        Ok(slots
+        slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("every slot filled by the workers"))
-            .collect())
+            .collect()
     }
 
     fn checkout(&self) -> QueryWorkspace {
@@ -214,14 +344,6 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
         if pool.len() < self.threads {
             pool.push(ws);
         }
-    }
-}
-
-impl<'idx> QueryEngine<'idx, QbsIndex> {
-    /// The wrapped index (alias of [`QueryEngine::store`] for the owned
-    /// backend).
-    pub fn index(&self) -> &'idx QbsIndex {
-        self.store
     }
 }
 
@@ -334,6 +456,56 @@ mod tests {
         let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(2));
         let engine = QueryEngine::new(&index);
         assert!(engine.query_batch(&[]).expect("empty").is_empty());
-        assert_eq!(engine.index().graph().num_vertices(), 8);
+        assert!(engine.submit(&[]).is_empty());
+        assert_eq!(engine.store().graph().num_vertices(), 8);
+    }
+
+    #[test]
+    fn submit_mixes_modes_and_isolates_per_request_errors() {
+        let index = QbsIndex::build(figure4_graph(), QbsConfig::with_landmark_count(3));
+        let engine = QueryEngine::with_threads(&index, 3).expect("engine");
+        let requests = vec![
+            QueryRequest::distance(6, 11),
+            QueryRequest::path_graph(6, 11).with_stats(),
+            QueryRequest::new(99, 0, crate::request::QueryMode::Sketch),
+            QueryRequest::sketch(6, 11),
+            QueryRequest::path_graph(4, 12),
+        ];
+        let outcomes = engine.submit(&requests);
+        assert_eq!(outcomes.len(), 5);
+        assert_eq!(outcomes[0].distance(), Some(5));
+        assert_eq!(
+            outcomes[1].answer().unwrap().path_graph,
+            index.query(6, 11).unwrap()
+        );
+        assert!(outcomes[2].is_error(), "poisoned slot fails alone");
+        assert_eq!(outcomes[3].sketch().unwrap(), &index.sketch(6, 11).unwrap());
+        assert_eq!(
+            outcomes[4].path_graph().unwrap(),
+            &index.query(4, 12).unwrap()
+        );
+    }
+
+    #[test]
+    fn engine_cache_serves_bit_identical_answers() {
+        let index = QbsIndex::build(figure4_graph(), QbsConfig::with_landmark_count(3));
+        let uncached = QueryEngine::with_threads(&index, 2).expect("engine");
+        let cached = QueryEngine::with_threads(&index, 2)
+            .expect("engine")
+            .with_answer_cache(crate::cache::CacheConfig::default().admit_above(0));
+        assert!(uncached.cache_stats().is_none());
+
+        let requests: Vec<QueryRequest> = all_pairs(15)
+            .into_iter()
+            .map(|(u, v)| QueryRequest::path_graph(u, v).with_stats())
+            .collect();
+        let cold = cached.submit(&requests);
+        let warm = cached.submit(&requests);
+        let fresh = uncached.submit(&requests);
+        assert_eq!(cold, fresh, "cold cached run matches uncached run");
+        assert_eq!(warm, fresh, "warm cache hits are bit-identical");
+        let stats = cached.cache_stats().expect("cache attached");
+        assert!(stats.hits > 0, "{stats:?}");
+        assert!(cached.answer_cache().is_some());
     }
 }

@@ -44,6 +44,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod coverage;
 pub mod engine;
 pub mod error;
@@ -54,23 +55,31 @@ pub mod meta_graph;
 pub mod mmap;
 pub mod parallel;
 pub mod query;
+pub mod request;
 pub mod search;
 pub mod serialize;
+pub mod session;
 pub mod sketch;
 pub mod stats;
 pub mod store;
 pub mod verify;
 pub mod workspace;
 
+pub use cache::{AnswerCache, CacheConfig, CacheStats};
 pub use engine::QueryEngine;
 pub use error::QbsError;
 pub use format::{IndexView, ViewBuf};
 pub use labelling::{LabellingScheme, PathLabelling, NO_LABEL};
 pub use landmark::LandmarkStrategy;
 pub use meta_graph::MetaGraph;
-pub use query::{query_on, sketch_on, QbsConfig, QbsIndex, QueryAnswer};
+pub use query::{distance_on, query_on, sketch_on, QbsConfig, QbsIndex, QueryAnswer};
+pub use request::{
+    execute_cached_on, execute_on, QueryMode, QueryOptions, QueryOutcome, QueryRequest,
+    RequestError,
+};
 pub use search::SearchStats;
 pub use serialize::MapMode;
+pub use session::{Qbs, QbsBackend};
 pub use sketch::{Sketch, SketchBounds};
 pub use stats::IndexStats;
 pub use store::{IndexStore, ViewStore};

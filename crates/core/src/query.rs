@@ -286,9 +286,15 @@ impl QbsIndex {
 
     /// Answers `SPG(source, target)` on a throwaway workspace.
     ///
+    /// Thin wrapper over the request pipeline's [`query_on`] executor —
+    /// the typed equivalent is
+    /// `execute_on(&index, ws, &QueryRequest::path_graph(u, v))` (see
+    /// [`crate::request`] and the migration table in `docs/api.md`).
     /// Returns [`QbsError::VertexOutOfRange`] for endpoints outside the
     /// indexed graph. Hot loops should hold a [`QueryWorkspace`] (or use a
-    /// [`crate::engine::QueryEngine`]) and call [`QbsIndex::query_with`].
+    /// [`crate::engine::QueryEngine`]) and call [`QbsIndex::query_with`];
+    /// serving deployments should prefer the [`crate::session::Qbs`]
+    /// façade.
     pub fn query(&self, source: VertexId, target: VertexId) -> crate::Result<PathGraph> {
         Ok(self.query_with_stats(source, target)?.path_graph)
     }
@@ -326,7 +332,9 @@ impl QbsIndex {
 
     /// Shortest-path distance between two vertices (a by-product of the
     /// guided search; exposed because distance queries are the classic use
-    /// of 2-hop labellings).
+    /// of 2-hop labellings). Thin wrapper over the pipeline's
+    /// [`distance_on`] executor — the typed equivalent is
+    /// [`crate::request::QueryRequest::distance`].
     pub fn distance(&self, source: VertexId, target: VertexId) -> crate::Result<Distance> {
         let mut ws = QueryWorkspace::new();
         self.distance_with(&mut ws, source, target)
@@ -490,17 +498,36 @@ pub fn distance_on<S: IndexStore>(
     source: VertexId,
     target: VertexId,
 ) -> crate::Result<Distance> {
+    Ok(distance_with_bounds_on(store, ws, source, target)?.0)
+}
+
+/// [`distance_on`] that also surfaces the sketch bounds it computed — the
+/// request pipeline uses the upper bound `d⊤` as its cache-admission cost
+/// hint without paying for a second label intersection.
+pub(crate) fn distance_with_bounds_on<S: IndexStore>(
+    store: &S,
+    ws: &mut QueryWorkspace,
+    source: VertexId,
+    target: VertexId,
+) -> crate::Result<(Distance, sketch::SketchBounds)> {
     check_vertex(store, source)?;
     check_vertex(store, target)?;
     if source == target {
         ws.record_query();
-        return Ok(0);
+        return Ok((
+            0,
+            sketch::SketchBounds {
+                upper_bound: 0,
+                source_budget: 0,
+                target_budget: 0,
+            },
+        ));
     }
     store.fill_effective_label(source, &mut ws.src_label);
     store.fill_effective_label(target, &mut ws.tgt_label);
     let bounds = sketch::compute_bounds(store, &ws.src_label, &ws.tgt_label);
     let (distance, _) = search::guided_distance_with(store, ws, source, target, &bounds);
-    Ok(distance)
+    Ok((distance, bounds))
 }
 
 /// Computes the sketch of a query on any [`IndexStore`] backend without

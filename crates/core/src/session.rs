@@ -1,0 +1,530 @@
+//! The [`Qbs`] session façade: one handle that hides the owned-vs-view
+//! backend choice.
+//!
+//! Production serving has two ways to get an index into memory — build it
+//! (or load + materialise it) as an owned [`QbsIndex`], or map an
+//! immutable `qbs-index-v2` file and serve straight from the bytes
+//! through a [`ViewStore`]. Every query API in this crate is generic over
+//! that choice, but downstream code should not have to be: a [`Qbs`]
+//! session wraps either backend behind one type, carries the session's
+//! thread budget and optional [`AnswerCache`], and keeps a persistent
+//! workspace pool so its steady state allocates nothing per query.
+//!
+//! ```
+//! use qbs_core::request::QueryRequest;
+//! use qbs_core::{CacheConfig, Qbs, QbsConfig};
+//! use qbs_graph::fixtures::figure4_graph;
+//!
+//! let qbs = Qbs::build(figure4_graph(), QbsConfig::with_landmark_count(3))
+//!     .unwrap()
+//!     .with_cache(CacheConfig::default());
+//! assert_eq!(qbs.distance(6, 11).unwrap(), 5);
+//! let outcomes = qbs.submit(&[
+//!     QueryRequest::distance(6, 11),
+//!     QueryRequest::path_graph(4, 12),
+//! ]);
+//! assert!(outcomes.iter().all(|o| o.is_ok()));
+//! ```
+//!
+//! Opening a session from a file picks the backend from the file itself:
+//! a v2 binary index is served zero-copy through a view (with
+//! [`MapMode::Mmap`], open is `O(1)` in the index size), while a v1 JSON
+//! index — which has no flat layout to point into — is materialised as an
+//! owned index. See `docs/api.md` for the migration table from the
+//! pre-façade entry points.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use qbs_graph::{Distance, Graph, PathGraph, VertexFilter, VertexId};
+
+use crate::cache::{AnswerCache, CacheConfig, CacheStats};
+use crate::engine::QueryEngine;
+use crate::query::{QbsConfig, QbsIndex, QueryAnswer};
+use crate::request::{execute_cached_on, QueryOutcome, QueryRequest};
+use crate::serialize::{self, IndexFormat, MapMode};
+use crate::sketch::Sketch;
+use crate::stats::IndexStats;
+use crate::store::{IndexStore, ViewStore};
+use crate::workspace::QueryWorkspace;
+use crate::QbsError;
+
+/// The storage backend of a [`Qbs`] session.
+#[derive(Debug)]
+pub enum QbsBackend {
+    /// Heap-materialised index (built in process or loaded from v1/v2).
+    /// Boxed: the owned index is an order of magnitude larger than the
+    /// view wrapper, and sessions move through builder methods.
+    Owned(Box<QbsIndex>),
+    /// Zero-copy view over a `qbs-index-v2` buffer (heap or mmap).
+    View(ViewStore),
+}
+
+impl QbsBackend {
+    /// A short name for reports: `"owned"` or `"view"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QbsBackend::Owned(_) => "owned",
+            QbsBackend::View(_) => "view",
+        }
+    }
+}
+
+/// A ready-to-serve QbS session over either storage backend.
+///
+/// `Qbs` implements [`IndexStore`] itself (by delegation), so it plugs
+/// into every generic API in the crate — including borrowing it as the
+/// store of a [`QueryEngine`].
+#[derive(Debug)]
+pub struct Qbs {
+    backend: QbsBackend,
+    threads: usize,
+    cache: Option<Arc<AnswerCache>>,
+    /// Persistent workspace pool handed to the transient engines behind
+    /// [`Qbs::submit`], so repeated batches reuse warm scratch state.
+    pool: Mutex<Vec<QueryWorkspace>>,
+}
+
+impl Qbs {
+    fn from_backend(backend: QbsBackend) -> Self {
+        Qbs {
+            backend,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cache: None,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Builds an owned index over `graph` and wraps it in a session.
+    pub fn build(graph: Graph, config: QbsConfig) -> crate::Result<Self> {
+        Ok(Self::from_backend(QbsBackend::Owned(Box::new(
+            QbsIndex::try_build(graph, config)?,
+        ))))
+    }
+
+    /// Wraps an already-built index in a session.
+    pub fn from_index(index: QbsIndex) -> Self {
+        Self::from_backend(QbsBackend::Owned(Box::new(index)))
+    }
+
+    /// Wraps an already-opened view store in a session — for callers that
+    /// require the zero-copy backend and want format mismatches to fail
+    /// loudly (pair with [`crate::serialize::open_store_from_file`], which
+    /// rejects v1 files with a migration hint), rather than [`Qbs::open`]'s
+    /// transparent owned fallback.
+    pub fn from_view_store(store: ViewStore) -> Self {
+        Self::from_backend(QbsBackend::View(store))
+    }
+
+    /// Opens an index file for serving, picking the backend from the file
+    /// format: a v2 binary index is served zero-copy through a
+    /// [`ViewStore`] (with [`MapMode::Mmap`] this is the `O(1)` cold-start
+    /// path — map, wrap, serve), while a v1 JSON index is materialised as
+    /// an owned index (`mode` is irrelevant then; re-save as binary to
+    /// migrate).
+    pub fn open<P: AsRef<Path>>(path: P, mode: MapMode) -> crate::Result<Self> {
+        let path = path.as_ref();
+        let backend = match serialize::detect_format(path)? {
+            IndexFormat::Binary => QbsBackend::View(serialize::open_store_from_file(path, mode)?),
+            IndexFormat::Json => QbsBackend::Owned(Box::new(serialize::load_from_file(path)?)),
+        };
+        Ok(Self::from_backend(backend))
+    }
+
+    /// Opens an index file and materialises the owned index regardless of
+    /// format — the choice for long-lived processes that prefer the owned
+    /// arrays' per-query speed over the view's `O(1)` start-up.
+    pub fn load<P: AsRef<Path>>(path: P) -> crate::Result<Self> {
+        Ok(Self::from_backend(QbsBackend::Owned(Box::new(
+            serialize::load_from_file(path)?,
+        ))))
+    }
+
+    /// Sets the worker-thread budget of [`Qbs::submit`] batches.
+    ///
+    /// Fails with [`QbsError::ThreadPool`] when `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> crate::Result<Self> {
+        if threads == 0 {
+            return Err(QbsError::ThreadPool(
+                "a Qbs session requires at least one worker thread".into(),
+            ));
+        }
+        self.threads = threads;
+        Ok(self)
+    }
+
+    /// Attaches a sharded LRU answer cache to the session (see
+    /// [`crate::cache`]).
+    pub fn with_cache(mut self, config: CacheConfig) -> Self {
+        self.cache = Some(Arc::new(AnswerCache::new(config)));
+        self
+    }
+
+    /// The session's storage backend.
+    pub fn backend(&self) -> &QbsBackend {
+        &self.backend
+    }
+
+    /// The owned index, when this session serves one (`None` on a
+    /// view-backed session).
+    pub fn index(&self) -> Option<&QbsIndex> {
+        match &self.backend {
+            QbsBackend::Owned(index) => Some(index),
+            QbsBackend::View(_) => None,
+        }
+    }
+
+    /// The view store, when this session serves straight from an index
+    /// buffer (`None` on an owned session).
+    pub fn view_store(&self) -> Option<&ViewStore> {
+        match &self.backend {
+            QbsBackend::Owned(_) => None,
+            QbsBackend::View(store) => Some(store),
+        }
+    }
+
+    /// Size/timing statistics — owned sessions only (a view never
+    /// materialises the structures the report measures).
+    pub fn stats(&self) -> Option<IndexStats> {
+        self.index().map(QbsIndex::stats)
+    }
+
+    /// The configured worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The attached answer cache, if any.
+    pub fn cache(&self) -> Option<&AnswerCache> {
+        self.cache.as_deref()
+    }
+
+    /// Counter snapshot of the attached cache.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Executes one typed request on a pooled workspace, through the
+    /// session cache when attached.
+    ///
+    /// The backend is resolved **once per call**, so the search's inner
+    /// loops run over the concrete monomorphised store, not through the
+    /// façade's per-accessor delegation.
+    pub fn execute(&self, request: &QueryRequest) -> QueryOutcome {
+        let mut ws = self.checkout();
+        let cache = self.cache.as_deref();
+        let outcome = match &self.backend {
+            QbsBackend::Owned(s) => execute_cached_on(s.as_ref(), &mut ws, request, cache),
+            QbsBackend::View(s) => execute_cached_on(s, &mut ws, request, cache),
+        };
+        self.checkin(ws);
+        outcome
+    }
+
+    /// Executes a heterogeneous batch of typed requests over the worker
+    /// pool, with per-request outcomes ([`QueryEngine::submit`] semantics:
+    /// one bad request fails alone). The session's workspace pool persists
+    /// across calls, so repeated batches run allocation-free; concurrent
+    /// `submit` calls merge their recovered pools (bounded at the thread
+    /// budget) instead of clobbering each other's warm workspaces. The
+    /// backend is resolved once per batch, so the workers run over the
+    /// concrete monomorphised store.
+    pub fn submit(&self, requests: &[QueryRequest]) -> Vec<QueryOutcome> {
+        let pool = std::mem::take(&mut *self.pool.lock().expect("workspace pool poisoned"));
+        let (outcomes, recovered) = match &self.backend {
+            QbsBackend::Owned(s) => {
+                let engine =
+                    QueryEngine::with_pool(s.as_ref(), self.threads, pool, self.cache.clone());
+                let outcomes = engine.submit(requests);
+                (outcomes, engine.into_pool())
+            }
+            QbsBackend::View(s) => {
+                let engine = QueryEngine::with_pool(s, self.threads, pool, self.cache.clone());
+                let outcomes = engine.submit(requests);
+                (outcomes, engine.into_pool())
+            }
+        };
+        let mut pool = self.pool.lock().expect("workspace pool poisoned");
+        pool.extend(recovered);
+        pool.truncate(self.threads);
+        outcomes
+    }
+
+    /// Answers `SPG(source, target)` — the façade sibling of
+    /// [`QbsIndex::query`], served from either backend.
+    pub fn query(&self, source: VertexId, target: VertexId) -> crate::Result<PathGraph> {
+        match self.execute(&QueryRequest::path_graph(source, target)) {
+            QueryOutcome::PathGraph(pg) => Ok(*pg),
+            outcome => Err(expect_error(outcome)),
+        }
+    }
+
+    /// Answers `SPG(source, target)` with the sketch and search
+    /// statistics behind it.
+    pub fn query_with_stats(
+        &self,
+        source: VertexId,
+        target: VertexId,
+    ) -> crate::Result<QueryAnswer> {
+        match self.execute(&QueryRequest::path_graph(source, target).with_stats()) {
+            QueryOutcome::PathGraphWithStats(answer) => Ok(*answer),
+            outcome => Err(expect_error(outcome)),
+        }
+    }
+
+    /// Shortest-path distance between two vertices.
+    pub fn distance(&self, source: VertexId, target: VertexId) -> crate::Result<Distance> {
+        match self.execute(&QueryRequest::distance(source, target)) {
+            QueryOutcome::Distance(d) => Ok(d),
+            outcome => Err(expect_error(outcome)),
+        }
+    }
+
+    /// The sketch of a query (no search).
+    pub fn sketch(&self, source: VertexId, target: VertexId) -> crate::Result<Sketch> {
+        match self.execute(&QueryRequest::sketch(source, target)) {
+            QueryOutcome::Sketch(s) => Ok(*s),
+            outcome => Err(expect_error(outcome)),
+        }
+    }
+
+    fn checkout(&self) -> QueryWorkspace {
+        self.pool
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_else(|| QueryWorkspace::for_vertices(IndexStore::num_vertices(self)))
+    }
+
+    fn checkin(&self, ws: QueryWorkspace) {
+        let mut pool = self.pool.lock().expect("workspace pool poisoned");
+        if pool.len() < self.threads {
+            pool.push(ws);
+        }
+    }
+}
+
+/// Converts a non-matching outcome of a mode-specific façade method into
+/// its error. The executor returns exactly the outcome variant the
+/// request's mode asked for, so anything else must be the error variant.
+fn expect_error(outcome: QueryOutcome) -> QbsError {
+    match outcome {
+        QueryOutcome::Error(e) => e.into(),
+        other => unreachable!("executor returned a mismatched outcome variant: {other:?}"),
+    }
+}
+
+/// The session is itself a storage backend: every accessor delegates to
+/// the wrapped owned index or view store, so `Qbs` slots into any
+/// `S: IndexStore` API (including a borrowed [`QueryEngine`]).
+impl IndexStore for Qbs {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.num_vertices(),
+            QbsBackend::View(s) => s.num_vertices(),
+        }
+    }
+
+    #[inline]
+    fn num_landmarks(&self) -> usize {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.num_landmarks(),
+            QbsBackend::View(s) => s.num_landmarks(),
+        }
+    }
+
+    #[inline]
+    fn landmark(&self, idx: usize) -> VertexId {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.landmark(idx),
+            QbsBackend::View(s) => s.landmark(idx),
+        }
+    }
+
+    #[inline]
+    fn landmark_filter(&self) -> &VertexFilter {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.landmark_filter(),
+            QbsBackend::View(s) => s.landmark_filter(),
+        }
+    }
+
+    #[inline]
+    fn landmark_column(&self, v: VertexId) -> Option<usize> {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.landmark_column(v),
+            QbsBackend::View(s) => s.landmark_column(v),
+        }
+    }
+
+    #[inline]
+    fn is_landmark(&self, v: VertexId) -> bool {
+        match &self.backend {
+            QbsBackend::Owned(s) => IndexStore::is_landmark(s.as_ref(), v),
+            QbsBackend::View(s) => s.is_landmark(v),
+        }
+    }
+
+    #[inline]
+    fn label_distance(&self, v: VertexId, landmark_idx: usize) -> Option<Distance> {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.label_distance(v, landmark_idx),
+            QbsBackend::View(s) => s.label_distance(v, landmark_idx),
+        }
+    }
+
+    fn fill_label_entries(&self, v: VertexId, out: &mut Vec<(usize, Distance)>) {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.fill_label_entries(v, out),
+            QbsBackend::View(s) => s.fill_label_entries(v, out),
+        }
+    }
+
+    #[inline]
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, visit: F) {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.for_each_neighbor(v, visit),
+            QbsBackend::View(s) => s.for_each_neighbor(v, visit),
+        }
+    }
+
+    #[inline]
+    fn meta_distance(&self, i: usize, j: usize) -> Distance {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.meta_distance(i, j),
+            QbsBackend::View(s) => s.meta_distance(i, j),
+        }
+    }
+
+    #[inline]
+    fn num_meta_edges(&self) -> usize {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.num_meta_edges(),
+            QbsBackend::View(s) => s.num_meta_edges(),
+        }
+    }
+
+    #[inline]
+    fn meta_edge(&self, k: usize) -> (usize, usize, Distance) {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.meta_edge(k),
+            QbsBackend::View(s) => s.meta_edge(k),
+        }
+    }
+
+    #[inline]
+    fn meta_edge_index(&self, i: usize, j: usize) -> Option<usize> {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.meta_edge_index(i, j),
+            QbsBackend::View(s) => s.meta_edge_index(i, j),
+        }
+    }
+
+    fn for_each_delta_edge<F: FnMut(VertexId, VertexId)>(&self, k: usize, visit: F) {
+        match &self.backend {
+            QbsBackend::Owned(s) => s.for_each_delta_edge(k, visit),
+            QbsBackend::View(s) => s.for_each_delta_edge(k, visit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::QueryMode;
+    use qbs_graph::fixtures::figure4_graph;
+
+    fn session() -> Qbs {
+        Qbs::build(
+            figure4_graph(),
+            QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+        )
+        .expect("build")
+    }
+
+    #[test]
+    fn facade_answers_match_the_index() {
+        let qbs = session();
+        assert_eq!(qbs.backend().name(), "owned");
+        let index = qbs.index().expect("owned backend").clone();
+        assert!(qbs.view_store().is_none());
+        assert_eq!(qbs.query(6, 11).unwrap(), index.query(6, 11).unwrap());
+        assert_eq!(qbs.distance(6, 11).unwrap(), 5);
+        assert_eq!(qbs.sketch(6, 11).unwrap(), index.sketch(6, 11).unwrap());
+        assert_eq!(
+            qbs.query_with_stats(6, 11).unwrap(),
+            index.query_with_stats(6, 11).unwrap()
+        );
+        assert!(qbs.stats().is_some());
+        assert!(qbs.query(0, 99).is_err());
+        assert!(qbs.distance(99, 0).is_err());
+    }
+
+    #[test]
+    fn open_picks_the_backend_from_the_file() {
+        let dir = std::env::temp_dir().join("qbs_session_open_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let index = session().index().unwrap().clone();
+
+        let v2 = dir.join("fig4.qbs2");
+        serialize::save_to_file_with(&index, &v2, IndexFormat::Binary).expect("save v2");
+        for mode in [MapMode::Read, MapMode::Mmap] {
+            let qbs = Qbs::open(&v2, mode).expect("open v2");
+            assert_eq!(qbs.backend().name(), "view");
+            assert!(qbs.stats().is_none(), "views have no materialised stats");
+            assert_eq!(qbs.query(6, 11).unwrap(), index.query(6, 11).unwrap());
+        }
+        let owned = Qbs::load(&v2).expect("load materialised");
+        assert_eq!(owned.backend().name(), "owned");
+
+        let v1 = dir.join("fig4.qbs1");
+        serialize::save_to_file_with(&index, &v1, IndexFormat::Json).expect("save v1");
+        let qbs = Qbs::open(&v1, MapMode::Mmap).expect("open v1 falls back to owned");
+        assert_eq!(qbs.backend().name(), "owned");
+        assert_eq!(qbs.distance(6, 11).unwrap(), 5);
+
+        assert!(Qbs::open(dir.join("missing.qbs"), MapMode::Read).is_err());
+    }
+
+    #[test]
+    fn submit_persists_the_workspace_pool_and_cache() {
+        let qbs = session()
+            .with_threads(2)
+            .expect("threads")
+            .with_cache(CacheConfig::default().admit_above(0));
+        assert_eq!(qbs.threads(), 2);
+        let requests: Vec<QueryRequest> = (0..15u32)
+            .flat_map(|u| (0..15u32).map(move |v| QueryRequest::new(u, v, QueryMode::PathGraph)))
+            .collect();
+        let first = qbs.submit(&requests);
+        let second = qbs.submit(&requests);
+        assert_eq!(first, second, "cache hits are bit-identical");
+        assert!(
+            !qbs.pool.lock().unwrap().is_empty(),
+            "workspace pool survives across submits"
+        );
+        let stats = qbs.cache_stats().expect("cache attached");
+        assert!(stats.hits > 0 && stats.insertions > 0, "{stats:?}");
+        assert!(qbs.cache().is_some());
+        assert!(Qbs::from_index(session().index().unwrap().clone())
+            .with_threads(0)
+            .is_err());
+    }
+
+    #[test]
+    fn session_is_an_index_store() {
+        let qbs = session();
+        let index = qbs.index().unwrap().clone();
+        let engine = QueryEngine::with_threads(&qbs, 2).expect("engine over the façade");
+        let answers = engine.query_batch(&[(6, 11), (4, 12)]).expect("batch");
+        assert_eq!(answers[0].path_graph, index.query(6, 11).unwrap());
+        assert_eq!(IndexStore::num_vertices(&qbs), 15);
+        assert_eq!(qbs.num_landmarks(), 3);
+        assert!(IndexStore::is_landmark(&qbs, 1));
+        assert_eq!(qbs.landmark_column(2), Some(1));
+        assert_eq!(qbs.meta_edge_index(0, 1), index.meta_edge_index(0, 1));
+    }
+}

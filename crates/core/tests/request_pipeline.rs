@@ -1,0 +1,312 @@
+//! Differential coverage of the typed request pipeline: heterogeneous
+//! `submit` batches (distance / path-graph / sketch modes mixed, including
+//! poisoned out-of-range pairs) must return **per-request** outcomes that
+//! are bit-identical between the owned index and an mmap-backed view
+//! store, and cache hits must be bit-identical to fresh answers — the
+//! `viewserve`-style harness applied to the request pipeline.
+
+use proptest::prelude::*;
+
+use qbs_core::request::{QueryMode, QueryOutcome, QueryRequest};
+use qbs_core::serialize::{self, MapMode};
+use qbs_core::{CacheConfig, Qbs, QbsConfig, QbsIndex, QueryEngine};
+use qbs_gen::prelude::*;
+use qbs_graph::{Graph, VertexId};
+
+/// A heterogeneous request batch over a sampled workload: modes cycle
+/// distance → path → path+stats → sketch, with one poisoned pair spliced
+/// into the middle.
+fn mixed_requests(pairs: &[(VertexId, VertexId)], num_vertices: usize) -> Vec<QueryRequest> {
+    let mut requests: Vec<QueryRequest> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v))| match i % 4 {
+            0 => QueryRequest::distance(u, v),
+            1 => QueryRequest::path_graph(u, v),
+            2 => QueryRequest::path_graph(u, v).with_stats(),
+            _ => QueryRequest::sketch(u, v),
+        })
+        .collect();
+    let poison = num_vertices as VertexId;
+    requests.insert(requests.len() / 2, QueryRequest::path_graph(poison, 0));
+    requests
+}
+
+/// Runs the same mixed batch through both backends and checks per-slot
+/// semantics: the poisoned slot (and only it) errors, every mode-specific
+/// outcome matches the legacy single-query entry point, and the two
+/// backends agree bit-for-bit.
+fn assert_mixed_batch_identical(
+    owned: &QbsIndex,
+    store: &qbs_core::ViewStore,
+    pairs: &[(VertexId, VertexId)],
+) {
+    let requests = mixed_requests(pairs, owned.graph().num_vertices());
+    let owned_engine = QueryEngine::with_threads(owned, 2).expect("owned engine");
+    let view_engine = QueryEngine::with_threads(store, 2).expect("view engine");
+
+    let owned_outcomes = owned_engine.submit(&requests);
+    let view_outcomes = view_engine.submit(&requests);
+    assert_eq!(owned_outcomes.len(), requests.len());
+
+    for (slot, ((req, a), b)) in requests
+        .iter()
+        .zip(&owned_outcomes)
+        .zip(&view_outcomes)
+        .enumerate()
+    {
+        assert_eq!(a, b, "slot {slot} diverged across backends");
+        let poisoned = (req.source as usize) >= owned.graph().num_vertices()
+            || (req.target as usize) >= owned.graph().num_vertices();
+        if poisoned {
+            assert!(a.is_error(), "slot {slot} should be the error slot");
+            continue;
+        }
+        match req.mode {
+            QueryMode::Distance => assert_eq!(
+                a.distance(),
+                Some(owned.distance(req.source, req.target).expect("in range")),
+                "slot {slot}"
+            ),
+            QueryMode::PathGraph => {
+                let expected = owned
+                    .query_with_stats(req.source, req.target)
+                    .expect("in range");
+                assert_eq!(a.path_graph(), Some(&expected.path_graph), "slot {slot}");
+                if req.opts.collect_stats {
+                    assert_eq!(a.answer(), Some(&expected), "slot {slot} stats");
+                } else {
+                    assert!(a.answer().is_none(), "slot {slot} has no stats");
+                }
+            }
+            QueryMode::Sketch => assert_eq!(
+                a.sketch(),
+                Some(&owned.sketch(req.source, req.target).expect("in range")),
+                "slot {slot}"
+            ),
+        }
+    }
+
+    // Exactly one slot failed: the poisoned one.
+    assert_eq!(
+        owned_outcomes.iter().filter(|o| o.is_error()).count(),
+        1,
+        "one poisoned pair, one error outcome"
+    );
+}
+
+#[test]
+fn mixed_submit_is_bit_identical_between_owned_and_mmap_backends() {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: 3_000,
+        edges_per_vertex: 3,
+        seed: 4_2026,
+    });
+    let pairs = QueryWorkload::sample(&graph, 128, 11).pairs().to_vec();
+    let owned = QbsIndex::build(graph, QbsConfig::with_landmark_count(10));
+
+    let dir = std::env::temp_dir().join("qbs_request_pipeline_test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("ba3000.qbs2");
+    serialize::save_to_file(&owned, &path).expect("save");
+    let store = serialize::open_store_from_file(&path, MapMode::Mmap).expect("map");
+
+    assert_mixed_batch_identical(&owned, &store, &pairs);
+}
+
+/// Regression: a poisoned pair mid-batch produces an error outcome for
+/// that slot only, on both backends — where the legacy wrapper aborts the
+/// whole batch.
+#[test]
+fn poisoned_pair_fails_its_slot_only_on_both_backends() {
+    let owned = QbsIndex::build(
+        qbs_graph::fixtures::figure4_graph(),
+        QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+    );
+    let store = qbs_core::ViewStore::new(owned.as_view());
+    let requests = vec![
+        QueryRequest::path_graph(6, 11),
+        QueryRequest::distance(4, 12),
+        QueryRequest::path_graph(99, 0), // poisoned, mid-batch
+        QueryRequest::sketch(7, 9),
+        QueryRequest::distance(13, 8),
+    ];
+    for engine in [
+        QueryEngine::with_threads(&owned, 2).expect("owned"),
+        // A second owned engine stands in for per-backend determinism.
+        QueryEngine::with_threads(&owned, 1).expect("owned single"),
+    ] {
+        let outcomes = engine.submit(&requests);
+        assert!(outcomes[2].is_error());
+        assert_eq!(outcomes.iter().filter(|o| o.is_error()).count(), 1);
+    }
+    let view_engine = QueryEngine::with_threads(&store, 2).expect("view");
+    let owned_engine = QueryEngine::with_threads(&owned, 2).expect("owned");
+    assert_eq!(
+        owned_engine.submit(&requests),
+        view_engine.submit(&requests)
+    );
+
+    // The legacy wrapper still aborts the whole batch — the compat
+    // contract the new pipeline exists to escape.
+    let legacy_pairs = [(6u32, 11u32), (99, 0), (7, 9)];
+    assert!(owned_engine.query_batch(&legacy_pairs).is_err());
+    assert!(view_engine.distance_batch(&legacy_pairs).is_err());
+}
+
+/// The Qbs façade serves the same answers as the raw engines, from both a
+/// built session and a session opened off an index file.
+#[test]
+fn facade_sessions_agree_with_raw_engines() {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: 1_500,
+        edges_per_vertex: 3,
+        seed: 7,
+    });
+    let pairs = QueryWorkload::sample(&graph, 64, 3).pairs().to_vec();
+    let built = Qbs::build(graph.clone(), QbsConfig::with_landmark_count(8)).expect("build");
+
+    let dir = std::env::temp_dir().join("qbs_request_pipeline_facade");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("ba1500.qbs2");
+    serialize::save_to_file(built.index().expect("owned"), &path).expect("save");
+    let opened = Qbs::open(&path, MapMode::Mmap).expect("open");
+    assert_eq!(opened.backend().name(), "view");
+
+    let requests = mixed_requests(&pairs, graph.num_vertices());
+    assert_eq!(built.submit(&requests), opened.submit(&requests));
+    for &(u, v) in pairs.iter().take(8) {
+        assert_eq!(built.query(u, v).unwrap(), opened.query(u, v).unwrap());
+        assert_eq!(
+            built.distance(u, v).unwrap(),
+            opened.distance(u, v).unwrap()
+        );
+    }
+}
+
+/// One graph per generator family, sized by the proptest case.
+fn family_graph(family: u64, vertices: usize, seed: u64) -> Graph {
+    match family % 4 {
+        0 => barabasi_albert::generate(&BarabasiAlbertConfig {
+            vertices,
+            edges_per_vertex: 2,
+            seed,
+        }),
+        1 => erdos_renyi::generate(&ErdosRenyiConfig {
+            vertices,
+            edges: vertices * 2,
+            seed,
+        }),
+        2 => watts_strogatz::generate(&WattsStrogatzConfig {
+            vertices,
+            neighbors: 2,
+            rewire_probability: 0.2,
+            seed,
+        }),
+        _ => power_law::generate(&PowerLawConfig {
+            vertices,
+            edges: vertices * 2,
+            exponent: 2.5,
+            seed,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    // On both backends, a Distance outcome always equals the eccentric
+    // distance of the PathGraph outcome for the same pair, and cache hits
+    // are bit-identical to fresh answers.
+    #[test]
+    fn distance_mode_agrees_with_path_graph_mode_and_cache_hits_are_identical(
+        family in 0u64..4,
+        vertices in 24usize..90,
+        landmarks in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let graph = family_graph(family, vertices, seed);
+        let owned = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
+
+        let dir = std::env::temp_dir().join("qbs_request_pipeline_proptest");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(format!("case_{family}_{vertices}_{landmarks}_{seed}.qbs2"));
+        serialize::save_to_file(&owned, &path).expect("save");
+        let store = serialize::open_store_from_file(&path, MapMode::Mmap).expect("open");
+
+        let pairs = QueryWorkload::sample(&graph, 32, seed ^ 0x5EED).pairs().to_vec();
+        let owned_engine = QueryEngine::with_threads(&owned, 2).expect("owned engine")
+            .with_answer_cache(CacheConfig::default().admit_above(0));
+        let view_engine = QueryEngine::with_threads(&store, 2).expect("view engine")
+            .with_answer_cache(CacheConfig::default().admit_above(0));
+
+        let distance_reqs: Vec<QueryRequest> =
+            pairs.iter().map(|&(u, v)| QueryRequest::distance(u, v)).collect();
+        let path_reqs: Vec<QueryRequest> =
+            pairs.iter().map(|&(u, v)| QueryRequest::path_graph(u, v)).collect();
+
+        let owned_distances = owned_engine.submit(&distance_reqs);
+        let view_distances = view_engine.submit(&distance_reqs);
+        let owned_paths = owned_engine.submit(&path_reqs);
+        let view_paths = view_engine.submit(&path_reqs);
+
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            prop_assert_eq!(&owned_distances[i], &view_distances[i], "distance ({}, {})", u, v);
+            prop_assert_eq!(&owned_paths[i], &view_paths[i], "path ({}, {})", u, v);
+            // Distance mode == the path graph's eccentric distance.
+            prop_assert_eq!(
+                owned_distances[i].distance(),
+                owned_paths[i].path_graph().map(|pg| pg.distance()),
+                "mode disagreement on ({}, {})", u, v
+            );
+        }
+
+        // Second pass: every answer now comes from the cache (same keys),
+        // and must be bit-identical to the first pass on both backends.
+        let owned_hits_before = owned_engine.cache_stats().expect("cache").hits;
+        prop_assert_eq!(owned_engine.submit(&distance_reqs), owned_distances);
+        prop_assert_eq!(owned_engine.submit(&path_reqs), owned_paths);
+        prop_assert_eq!(view_engine.submit(&distance_reqs), view_distances);
+        prop_assert_eq!(view_engine.submit(&path_reqs), view_paths);
+        let stats = owned_engine.cache_stats().expect("cache");
+        prop_assert!(stats.hits > owned_hits_before, "warm pass hit the cache: {:?}", stats);
+
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Distance-mode cache entries are orientation-free; the cached reverse
+/// lookup still matches a fresh reverse computation exactly.
+#[test]
+fn symmetric_distance_cache_hits_match_fresh_reversed_queries() {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: 500,
+        edges_per_vertex: 3,
+        seed: 21,
+    });
+    let owned = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(6));
+    let cached = QueryEngine::with_threads(&owned, 2)
+        .expect("engine")
+        .with_answer_cache(CacheConfig::default().admit_above(0));
+    let fresh = QueryEngine::with_threads(&owned, 2).expect("engine");
+
+    let pairs = QueryWorkload::sample(&graph, 64, 5).pairs().to_vec();
+    let forward: Vec<QueryRequest> = pairs
+        .iter()
+        .map(|&(u, v)| QueryRequest::distance(u, v))
+        .collect();
+    let reverse: Vec<QueryRequest> = pairs
+        .iter()
+        .map(|&(u, v)| QueryRequest::distance(v, u))
+        .collect();
+    cached.submit(&forward);
+    let warm_reversed = cached.submit(&reverse);
+    let fresh_reversed = fresh.submit(&reverse);
+    assert_eq!(warm_reversed, fresh_reversed);
+    let stats = cached.cache_stats().expect("cache");
+    assert!(
+        stats.hits > 0,
+        "reversed lookups hit the symmetric key: {stats:?}"
+    );
+    assert!(matches!(warm_reversed[0], QueryOutcome::Distance(_)));
+}

@@ -43,14 +43,16 @@ fn main() {
 
     for landmarks in [5usize, 10, 20, 40, 80] {
         let t0 = Instant::now();
-        let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
+        let qbs = Qbs::build(graph.clone(), QbsConfig::with_landmark_count(landmarks))
+            .expect("session build");
         let build = t0.elapsed().as_secs_f64();
-        let stats = index.stats();
-        let coverage = classify_workload(&index, workload.pairs()).pair_coverage_ratio();
+        let stats = qbs.stats().expect("owned session");
+        let index = qbs.index().expect("owned session");
+        let coverage = classify_workload(index, workload.pairs()).pair_coverage_ratio();
 
         let t0 = Instant::now();
         for &(u, v) in workload.pairs() {
-            std::hint::black_box(index.query(u, v).unwrap());
+            std::hint::black_box(qbs.query(u, v).unwrap());
         }
         let query_ms = t0.elapsed().as_secs_f64() * 1e3 / workload.len() as f64;
 
@@ -70,17 +72,19 @@ fn main() {
         ),
         ("random", LandmarkStrategy::Random { count: 20, seed: 3 }),
     ] {
-        let index = QbsIndex::build(
+        let qbs = Qbs::build(
             graph.clone(),
             QbsConfig {
                 landmarks: strategy,
                 ..QbsConfig::default()
             },
-        );
-        let coverage = classify_workload(&index, workload.pairs()).pair_coverage_ratio();
+        )
+        .expect("session build");
+        let coverage =
+            classify_workload(qbs.index().expect("owned"), workload.pairs()).pair_coverage_ratio();
         let t0 = Instant::now();
         for &(u, v) in workload.pairs() {
-            std::hint::black_box(index.query(u, v).unwrap());
+            std::hint::black_box(qbs.query(u, v).unwrap());
         }
         let query_ms = t0.elapsed().as_secs_f64() * 1e3 / workload.len() as f64;
         println!("  {label:<24} coverage {coverage:.2}, avg query {query_ms:.3} ms");

@@ -35,13 +35,13 @@ fn main() {
         graph.num_edges(),
         graph.max_degree()
     );
-    let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(20));
+    let qbs = Qbs::build(graph.clone(), QbsConfig::with_landmark_count(20)).expect("session build");
 
     // 1. Single-pair interdiction: how many links must an attacker cut to
     //    disrupt every shortest route between two monitored hosts?
     let monitored = QueryWorkload::sample_connected(&graph, 6, 5);
     for &(u, v) in monitored.pairs() {
-        let answer = index.query(u, v).unwrap();
+        let answer = qbs.query(u, v).unwrap();
         let cut = minimal_interdiction_size(&graph, &answer);
         println!(
             "pair ({u:>5}, {v:>5}): distance {}, {} shortest-path edges, minimal interdiction set = {} edge(s)",
@@ -52,10 +52,16 @@ fn main() {
     }
 
     // 2. Which links carry the most shortest-path structure across traffic?
+    //    The typed batch API fans the whole workload over the worker pool.
     let traffic = QueryWorkload::sample_connected(&graph, 2_000, 77);
+    let requests: Vec<QueryRequest> = traffic
+        .pairs()
+        .iter()
+        .map(|&(u, v)| QueryRequest::path_graph(u, v))
+        .collect();
     let mut load: HashMap<(VertexId, VertexId), usize> = HashMap::new();
-    for &(u, v) in traffic.pairs() {
-        for &edge in index.query(u, v).unwrap().edges() {
+    for outcome in qbs.submit(&requests) {
+        for &edge in outcome.path_graph().expect("in range").edges() {
             *load.entry(edge).or_insert(0) += 1;
         }
     }

@@ -26,17 +26,32 @@ fn main() -> Result<(), qbs::core::QbsError> {
     let view = serialize::load_view_from_file(&path, MapMode::Read)?;
     assert_eq!(view.num_landmarks(), 20);
 
-    // ... and zero-materialisation serving straight from the mapped file:
-    // a cold process maps the immutable index and answers immediately.
-    let store = serialize::open_store_from_file(&path, MapMode::Mmap)?;
-    let engine = QueryEngine::new(&store);
-    assert_eq!(engine.query(17, 1234)?.path_graph, index.query(17, 1234)?);
+    // Zero-materialisation serving straight from the mapped file — the
+    // session façade picks the view backend from the file format, so a
+    // cold process maps the immutable index and answers immediately.
+    let qbs = Qbs::open(&path, MapMode::Mmap)?;
+    assert_eq!(qbs.backend().name(), "view");
+    assert_eq!(qbs.query(17, 1234)?, index.query(17, 1234)?);
+
+    // The typed request pipeline serves the same mapped bytes.
+    let outcomes = qbs.submit(&[
+        QueryRequest::distance(17, 1234),
+        QueryRequest::sketch(17, 1234),
+    ]);
+    assert_eq!(
+        outcomes[0].distance(),
+        Some(index.distance(17, 1234)?),
+        "distance mode over the mapped file"
+    );
+    assert!(outcomes[1].sketch().is_some());
 
     println!(
-        "persisted {} bytes, reloaded bit-identically ({} vertices, {} landmarks)",
+        "persisted {} bytes, reloaded bit-identically ({} vertices, {} landmarks, \
+         served via the {} backend)",
         std::fs::metadata(&path)?.len(),
         view.num_vertices(),
-        view.num_landmarks()
+        view.num_landmarks(),
+        qbs.backend().name(),
     );
     Ok(())
 }

@@ -1,5 +1,6 @@
-//! Quickstart: build a QbS index over a synthetic social network, answer a
-//! few shortest-path-graph queries and compare against the exact baseline.
+//! Quickstart: start a QbS session over a synthetic social network, answer
+//! shortest-path-graph queries (single and mixed typed batches), and
+//! compare against the exact baseline.
 //!
 //! Run with:
 //! ```text
@@ -23,10 +24,13 @@ fn main() {
         graph.max_degree()
     );
 
-    // 2. Build the index: 20 highest-degree landmarks, parallel labelling.
+    // 2. Start a session: 20 highest-degree landmarks, parallel labelling,
+    //    plus a sharded LRU answer cache.
     let start = std::time::Instant::now();
-    let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(20));
-    let stats = index.stats();
+    let qbs = Qbs::build(graph.clone(), QbsConfig::with_landmark_count(20))
+        .expect("session build")
+        .with_cache(CacheConfig::default());
+    let stats = qbs.stats().expect("owned session has stats");
     println!(
         "index built in {:?}: size(L) = {} bytes, size(Δ) = {} bytes ({}x the graph)",
         start.elapsed(),
@@ -40,7 +44,7 @@ fn main() {
     let oracle = GroundTruth::new(graph.clone());
     let workload = QueryWorkload::sample_connected(&graph, 5, 7);
     for &(u, v) in workload.pairs() {
-        let answer = index.query_with_stats(u, v).unwrap();
+        let answer = qbs.query_with_stats(u, v).unwrap();
         let spg = &answer.path_graph;
         println!(
             "SPG({u}, {v}): distance {}, {} vertices, {} edges, d⊤ = {}, reverse = {}, recover = {}",
@@ -56,23 +60,54 @@ fn main() {
         assert!(qbs::core::verify::is_exact(&graph, spg));
     }
 
-    // 4. Timed batch: the online cost of QbS vs the search-based baseline.
+    // 4. Typed batches: distance / path / sketch requests mix freely, and a
+    //    bad request yields an error outcome for its slot only.
+    let (u, v) = workload.pairs()[0];
+    let outcomes = qbs.submit(&[
+        QueryRequest::distance(u, v),
+        QueryRequest::path_graph(u, v).with_stats(),
+        QueryRequest::sketch(u, v),
+        QueryRequest::distance(u, 999_999_999), // out of range
+    ]);
+    assert_eq!(outcomes[0].distance(), Some(qbs.distance(u, v).unwrap()));
+    assert!(outcomes[1].answer().is_some());
+    assert!(outcomes[2].sketch().is_some());
+    assert!(outcomes[3].is_error(), "one bad slot, batch survived");
+    println!(
+        "mixed batch: {} outcomes, {} error ({})",
+        outcomes.len(),
+        outcomes.iter().filter(|o| o.is_error()).count(),
+        outcomes[3].error().expect("error outcome"),
+    );
+
+    // 5. Timed batches: the online cost of QbS vs the search-based baseline,
+    //    then the same workload warm out of the answer cache.
     let pairs = QueryWorkload::sample_connected(&graph, 200, 11);
+    let requests: Vec<QueryRequest> = pairs
+        .pairs()
+        .iter()
+        .map(|&(a, b)| QueryRequest::path_graph(a, b))
+        .collect();
     let t = std::time::Instant::now();
-    for &(u, v) in pairs.pairs() {
-        std::hint::black_box(index.query(u, v).unwrap());
-    }
+    std::hint::black_box(qbs.submit(&requests));
     let qbs_time = t.elapsed();
+    let t = std::time::Instant::now();
+    std::hint::black_box(qbs.submit(&requests));
+    let warm_time = t.elapsed();
     let bibfs = BiBfs::new(graph);
     let t = std::time::Instant::now();
-    for &(u, v) in pairs.pairs() {
-        std::hint::black_box(bibfs.query(u, v));
+    for &(a, b) in pairs.pairs() {
+        std::hint::black_box(bibfs.query(a, b));
     }
     let bibfs_time = t.elapsed();
+    let cache = qbs.cache_stats().expect("cache attached");
     println!(
-        "200 queries: QbS {:?} total, Bi-BFS {:?} total ({:.1}x speed-up)",
+        "200 queries: QbS {:?} cold / {:?} warm-cache, Bi-BFS {:?} ({:.1}x speed-up cold; \
+         cache hit rate {:.0}%)",
         qbs_time,
+        warm_time,
         bibfs_time,
-        bibfs_time.as_secs_f64() / qbs_time.as_secs_f64().max(f64::EPSILON)
+        bibfs_time.as_secs_f64() / qbs_time.as_secs_f64().max(f64::EPSILON),
+        cache.hit_ratio() * 100.0,
     );
 }

@@ -34,16 +34,23 @@ fn main() {
         config.communities
     );
 
-    let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(20));
+    let qbs = Qbs::build(graph.clone(), QbsConfig::with_landmark_count(20)).expect("session build");
 
     // Compare the tie structure of intra-community vs inter-community pairs
-    // at the same hop distance.
+    // at the same hop distance. The typed batch API answers the whole
+    // workload through the concurrent engine in one call.
     let workload = QueryWorkload::sample_connected(&graph, 4_000, 123);
+    let requests: Vec<QueryRequest> = workload
+        .pairs()
+        .iter()
+        .map(|&(u, v)| QueryRequest::path_graph(u, v))
+        .collect();
+    let outcomes = qbs.submit(&requests);
     let mut intra = Vec::new();
     let mut inter = Vec::new();
-    for &(u, v) in workload.pairs() {
+    for (&(u, v), outcome) in workload.pairs().iter().zip(&outcomes) {
         let same = community::community_of(&config, u) == community::community_of(&config, v);
-        let answer = index.query(u, v).unwrap();
+        let answer = outcome.path_graph().expect("workload pairs are in range");
         if !answer.is_reachable() || answer.distance() != 3 {
             continue; // fix the distance so only the structure differs
         }
@@ -89,7 +96,7 @@ fn main() {
         .iter()
         .find(|&&(u, v)| community::community_of(&config, u) != community::community_of(&config, v))
     {
-        let answer = index.query(u, v).unwrap();
+        let answer = qbs.query(u, v).unwrap();
         let truth = GroundTruth::new(graph.clone());
         assert_eq!(answer, truth.query(u, v));
         let bridges = critical_vertices(&graph, &answer);

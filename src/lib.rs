@@ -15,32 +15,48 @@
 //!
 //! # Quickstart
 //!
+//! A [`Qbs`] session is the one-stop entry point: it wraps either an
+//! owned index ([`Qbs::build`]) or a zero-copy view of an index file
+//! ([`Qbs::open`]) behind the same API, executes typed [`QueryRequest`]
+//! batches with per-request outcomes, and can carry a sharded LRU answer
+//! cache.
+//!
 //! ```
 //! use qbs::prelude::*;
 //!
-//! // Build a small scale-free network and index it with 20 landmarks.
+//! // Build a small scale-free network and start a session over it with
+//! // 20 landmarks and an answer cache.
 //! let graph = qbs::gen::barabasi_albert::generate(&BarabasiAlbertConfig {
 //!     vertices: 2_000,
 //!     edges_per_vertex: 3,
 //!     seed: 42,
 //! });
-//! let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(20));
+//! let qbs = Qbs::build(graph.clone(), QbsConfig::with_landmark_count(20))
+//!     .unwrap()
+//!     .with_cache(CacheConfig::default());
 //!
 //! // Ask for the shortest path graph between two vertices and validate it
 //! // against the definition (it contains exactly all shortest paths).
-//! let answer = index.query(17, 1234).unwrap();
+//! let answer = qbs.query(17, 1234).unwrap();
 //! assert!(is_exact(&graph, &answer));
 //! assert_eq!(answer, GroundTruth::new(graph.clone()).query(17, 1234));
 //!
-//! // Serving loops reuse an epoch-stamped workspace (zero O(|V|) work per
-//! // query) or fan batches out over the concurrent engine.
-//! let mut ws = QueryWorkspace::new();
-//! assert_eq!(index.query_with(&mut ws, 17, 1234).unwrap().path_graph, answer);
-//! let engine = QueryEngine::new(&index);
-//! assert_eq!(engine.query_batch(&[(17, 1234)]).unwrap()[0].path_graph, answer);
+//! // Serving batches mix modes freely; a bad request fails alone.
+//! let outcomes = qbs.submit(&[
+//!     QueryRequest::distance(17, 1234),
+//!     QueryRequest::path_graph(17, 1234).with_stats(),
+//!     QueryRequest::sketch(17, 1234),
+//!     QueryRequest::distance(17, 999_999),
+//! ]);
+//! assert_eq!(outcomes[0].distance(), Some(answer.distance()));
+//! assert_eq!(outcomes[1].path_graph(), Some(&answer));
+//! assert!(outcomes[2].sketch().is_some());
+//! assert!(outcomes[3].is_error()); // that slot only — the batch survived
 //! ```
 //!
-//! (See `examples/quickstart.rs` for a larger runnable version.)
+//! (See `examples/quickstart.rs` for a larger runnable version, and
+//! `docs/api.md` for the migration table from the pre-session entry
+//! points.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,17 +66,18 @@ pub use qbs_core as core;
 pub use qbs_gen as gen;
 pub use qbs_graph as graph;
 
-pub use qbs_core::{QbsConfig, QbsIndex, QueryAnswer};
+pub use qbs_core::{Qbs, QbsConfig, QbsIndex, QueryAnswer, QueryMode, QueryOutcome, QueryRequest};
 pub use qbs_graph::{Graph, GraphBuilder, PathGraph, VertexId};
 
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
-    pub use qbs_baselines::{BiBfs, GroundTruth, ParentPpl, Ppl, SpgEngine};
+    pub use qbs_baselines::{BiBfs, GroundTruth, ParentPpl, Ppl, SpgEngine, SpgQueryError};
     pub use qbs_core::serialize::IndexFormat;
     pub use qbs_core::verify::{is_exact, validate};
     pub use qbs_core::{
-        IndexStore, IndexView, LandmarkStrategy, MapMode, QbsConfig, QbsIndex, QueryAnswer,
-        QueryEngine, QueryWorkspace, SearchStats, ViewBuf, ViewStore,
+        AnswerCache, CacheConfig, CacheStats, IndexStore, IndexView, LandmarkStrategy, MapMode,
+        Qbs, QbsBackend, QbsConfig, QbsIndex, QueryAnswer, QueryEngine, QueryMode, QueryOptions,
+        QueryOutcome, QueryRequest, QueryWorkspace, RequestError, SearchStats, ViewBuf, ViewStore,
     };
     pub use qbs_gen::prelude::*;
     pub use qbs_graph::{Graph, GraphBuilder, PathGraph, VertexFilter, VertexId};
