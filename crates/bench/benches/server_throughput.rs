@@ -1,0 +1,176 @@
+//! Serving-layer benchmark: requests/sec through the framed TCP server
+//! vs. client count, and the protocol's overhead vs. in-process
+//! `Qbs::submit` on the same workload.
+//!
+//! The serving tentpole's measurement contract:
+//!
+//! * **throughput must not collapse under concurrency** — each batch
+//!   already fans out over the session's worker pool, so extra clients
+//!   mostly contend for the same cores; the sweep records the whole
+//!   curve and asserts the peak is at least the single-client rate;
+//! * **the wire overhead is bounded** — a loopback round trip adds
+//!   framing + syscalls on top of the in-process batch path; the run
+//!   prints the measured multiple so the trajectory is tracked per PR
+//!   (the `netserve` experiment records the same numbers into the
+//!   bench-smoke JSON artifact at tiny scale).
+//!
+//! Run with `cargo bench --bench server_throughput`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+
+use qbs_core::serialize::{self, IndexFormat, MapMode};
+use qbs_core::{Qbs, QbsConfig, QbsIndex, QueryRequest};
+use qbs_gen::prelude::*;
+use qbs_server::{QbsClient, QbsServer, ServerConfig};
+
+/// Vertex count of the benchmark graph (the acceptance regime: ≥ 100k).
+const VERTICES: usize = 120_000;
+const LANDMARKS: usize = 20;
+/// Requests per batch frame — a realistic serving batch.
+const BATCH: usize = 64;
+/// Batches each client submits per measured round.
+const ROUNDS: usize = 24;
+
+/// Connects with the client library's bounded retry (absorbs the
+/// retryable refusals of a server whose handlers are mid-teardown).
+fn connect_ready(addr: &str) -> QbsClient {
+    QbsClient::connect_retry(addr, std::time::Duration::from_secs(10)).expect("server ready")
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: VERTICES,
+        edges_per_vertex: 4,
+        seed: 2021,
+    });
+    let workload = QueryWorkload::sample(&graph, BATCH * 4, 77)
+        .pairs()
+        .to_vec();
+    let index = QbsIndex::build(graph, QbsConfig::with_landmark_count(LANDMARKS));
+
+    // Serve the way production would: v2 file, mmap'd view session.
+    let dir = std::env::temp_dir().join(format!("qbs_bench_server_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("index.qbs2");
+    serialize::save_to_file_with(&index, &path, IndexFormat::Binary).expect("save");
+    let qbs = Arc::new(
+        Qbs::open(&path, MapMode::Mmap)
+            .expect("open")
+            .with_threads(4)
+            .expect("threads"),
+    );
+    // One handler per swept client, so the 8-client point measures 8-way
+    // concurrency rather than two serial waves over a 4-handler default.
+    let server_config = ServerConfig {
+        handler_threads: 8,
+        ..ServerConfig::default()
+    };
+    let mut server = QbsServer::start(Arc::clone(&qbs), server_config).expect("start");
+    let addr = server.local_addr().to_string();
+
+    let batches: Vec<Vec<QueryRequest>> = workload
+        .chunks(BATCH)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&(u, v)| QueryRequest::distance(u, v))
+                .collect()
+        })
+        .collect();
+
+    // In-process baseline: the same batches straight through the session.
+    let total_requests = (ROUNDS * batches.len().min(4) * BATCH) as f64;
+    let inprocess_secs = {
+        for batch in &batches {
+            qbs.submit(batch); // warm the workspace pool
+        }
+        let t0 = Instant::now();
+        for _ in 0..ROUNDS {
+            for batch in batches.iter().take(4) {
+                criterion::black_box(qbs.submit(batch));
+            }
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let inprocess_rps = total_requests / inprocess_secs;
+
+    // Loopback sweep: the same per-client work, 1..=8 concurrent clients.
+    let mut sweep = Vec::new();
+    for clients in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                let addr = addr.clone();
+                let batches = &batches;
+                scope.spawn(move || {
+                    let mut client = connect_ready(&addr);
+                    for _ in 0..ROUNDS {
+                        for batch in batches.iter().take(4) {
+                            let reply = client.submit(batch).expect("submit");
+                            assert!(reply.outcomes().is_some(), "benchmark server must not shed");
+                        }
+                    }
+                });
+            }
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        sweep.push((clients, clients as f64 * total_requests / secs));
+    }
+
+    // Sanity: served answers match the in-process pipeline bit-for-bit.
+    {
+        let mut client = connect_ready(&addr);
+        let reply = client.submit(&batches[0]).expect("submit");
+        assert_eq!(
+            reply.outcomes().expect("admitted"),
+            &qbs.submit(&batches[0])[..],
+            "served answers must be bit-identical to in-process submit"
+        );
+    }
+
+    let best = sweep.iter().map(|&(_, rps)| rps).fold(f64::MIN, f64::max);
+    println!(
+        "server throughput over a {VERTICES}-vertex graph ({BATCH}-request distance batches):\n\
+         \x20 in-process submit        {inprocess_rps:>10.0} req/s\n{}\
+         \x20 peak loopback throughput {best:>10.0} req/s \
+         ({:.1}x the wire +concurrency overhead vs in-process)",
+        sweep
+            .iter()
+            .map(|&(clients, rps)| format!(
+                "\x20 {clients} loopback client{}       {rps:>10.0} req/s\n",
+                if clients == 1 { " " } else { "s" }
+            ))
+            .collect::<String>(),
+        inprocess_rps / best.max(f64::MIN_POSITIVE),
+    );
+    let single = sweep[0].1;
+    let multi_best = sweep[1..]
+        .iter()
+        .map(|&(_, rps)| rps)
+        .fold(f64::MIN, f64::max);
+    assert!(
+        multi_best * 3.0 >= single,
+        "multi-client throughput collapsed (1 client {single:.0} req/s vs best concurrent \
+         {multi_best:.0} req/s)"
+    );
+
+    // Criterion group: one-batch round trip, in-process vs loopback.
+    let mut group = c.benchmark_group("server_throughput");
+    group.bench_function("inprocess_submit_64", |b| {
+        b.iter(|| criterion::black_box(qbs.submit(&batches[0])))
+    });
+    let mut client = connect_ready(&addr);
+    group.bench_function("loopback_submit_64", |b| {
+        b.iter(|| criterion::black_box(client.submit(&batches[0]).expect("submit")))
+    });
+    group.finish();
+
+    drop(client);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! experiments <which> [options]
 //!
 //! which:    table1 | table2 | table3 | fig7 | fig8 | fig9 | fig10 | fig11 |
-//!           traversal | ablation | viewserve | mixedbatch | all
+//!           traversal | ablation | viewserve | mixedbatch | netserve | all
 //!
 //! options:
 //!   --scale tiny|small|medium|large   dataset scale          (default: small)
@@ -123,6 +123,17 @@ fn main() -> ExitCode {
             (r.render(), serde_json::to_value(&r).unwrap()),
         );
     }
+    if which == "netserve" {
+        let r = match experiments::net_serving(&config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: netserve failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        drift |= !r.all_ok();
+        outputs.insert("netserve", (r.render(), serde_json::to_value(&r).unwrap()));
+    }
 
     if outputs.is_empty() {
         eprintln!("error: unknown experiment '{which}'\n");
@@ -152,7 +163,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|viewserve|mixedbatch|all> \
+        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|viewserve|mixedbatch|netserve|all> \
          [--scale tiny|small|medium|large] [--queries N] [--landmarks N] \
          [--sweep a,b,c] [--datasets DO,DB,...] [--out DIR]"
     );

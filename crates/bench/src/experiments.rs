@@ -974,6 +974,250 @@ pub fn mixed_batch(config: &ExperimentConfig) -> Result<MixedBatch, QbsError> {
 }
 
 // ---------------------------------------------------------------------------
+// Net serving — framed-TCP server differential + throughput (CI tripwire)
+// ---------------------------------------------------------------------------
+
+/// Network-serving result for one dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetServingRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Concurrent loopback clients in the differential phase.
+    pub clients: usize,
+    /// Requests served per client (incl. the poisoned pair).
+    pub requests_per_client: usize,
+    /// Whether every served outcome was bit-identical to local
+    /// `Qbs::submit` (poisoned pair included).
+    pub identical: bool,
+    /// Whether an over-`max_inflight` batch was shed with a typed `Busy`
+    /// (not a hang or dropped connection).
+    pub busy_typed: bool,
+    /// Loopback serving throughput, requests/sec (all clients combined).
+    pub loopback_rps: f64,
+    /// In-process `Qbs::submit` throughput on the same batches, req/sec.
+    pub inprocess_rps: f64,
+}
+
+/// The network-serving differential + throughput record: a real
+/// `qbs-server` on an ephemeral loopback port, mmap-backed, hit by
+/// concurrent clients with mixed batches (one poisoned pair each), checked
+/// bit-for-bit against local `Qbs::submit`; one deliberately over-bound
+/// batch must earn a typed `Busy`. CI runs this at tiny scale and fails
+/// the pipeline on any drift; the JSON lands in the bench-smoke artifact
+/// so serving-layer numbers are tracked alongside index-load, view-query
+/// and request-pipeline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetServing {
+    /// One row per dataset.
+    pub rows: Vec<NetServingRow>,
+}
+
+impl NetServing {
+    /// Whether every dataset served identically and shed typedly.
+    pub fn all_ok(&self) -> bool {
+        self.rows.iter().all(|r| r.identical && r.busy_typed)
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Net serving: framed TCP server vs local Qbs::submit",
+            &[
+                "Dataset",
+                "clients",
+                "req/client",
+                "loopback rps",
+                "in-proc rps",
+                "overhead",
+                "busy typed",
+                "identical",
+            ],
+        );
+        for r in &self.rows {
+            let overhead = if r.loopback_rps > 0.0 {
+                r.inprocess_rps / r.loopback_rps
+            } else {
+                0.0
+            };
+            t.add_row(vec![
+                r.dataset.clone(),
+                fmt_count(r.clients),
+                fmt_count(r.requests_per_client),
+                format!("{:.0}", r.loopback_rps),
+                format!("{:.0}", r.inprocess_rps),
+                format!("{overhead:.1}x"),
+                if r.busy_typed {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+                if r.identical {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Runs the network-serving differential: build → save v2 → mmap → serve
+/// over loopback TCP → concurrent mixed-batch clients diffed against local
+/// submit → an over-bound batch that must get a typed `Busy`.
+pub fn net_serving(config: &ExperimentConfig) -> Result<NetServing, QbsError> {
+    use qbs_server::{AdmissionConfig, BatchReply, BusyReason, QbsServer, ServerConfig};
+
+    const CLIENTS: usize = 4;
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qbs_bench_net_serving_{}_{nonce}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let rows = config
+        .specs()
+        .iter()
+        .map(|spec| {
+            let graph = config.graph_for(spec);
+            let workload = config.workload_for(&graph);
+            let owned =
+                QbsIndex::try_build(graph, QbsConfig::with_landmark_count(config.landmark_count))?;
+            let num_vertices = owned.graph().num_vertices();
+            let requests = mixed_requests(workload.pairs(), num_vertices);
+            let path = dir.join(format!("{}.qbs2", spec.id.abbrev()));
+            qbs_core::serialize::save_to_file(&owned, &path)?;
+
+            // The in-flight bound must sit above everything the
+            // differential phase can legitimately have executing at once
+            // (all CLIENTS batches overlapping), so the only shed the run
+            // can observe is the deliberate oversized batch below —
+            // otherwise scheduling overlap would flake the tripwire.
+            let max_inflight = 2 * CLIENTS * requests.len();
+            let qbs = std::sync::Arc::new(
+                qbs_core::Qbs::open(&path, qbs_core::MapMode::Mmap)?.with_threads(2)?,
+            );
+            let mut server = QbsServer::start(
+                std::sync::Arc::clone(&qbs),
+                ServerConfig {
+                    admission: AdmissionConfig {
+                        max_inflight,
+                        // The oversized probe must clear the batch-size cap
+                        // so it reaches (and trips) the in-flight bound.
+                        max_batch: max_inflight + 1,
+                        ..AdmissionConfig::default()
+                    },
+                    ..ServerConfig::default()
+                },
+            )
+            .map_err(QbsError::Io)?;
+            let addr = server.local_addr().to_string();
+
+            // Local reference outcomes (separate session over the same
+            // file, so no state is shared with the server) with the same
+            // thread budget as the served session — the overhead column
+            // must measure the wire, not a thread-count mismatch.
+            let local = qbs_core::Qbs::open(&path, qbs_core::MapMode::Mmap)?.with_threads(2)?;
+            let expected = local.submit(&requests);
+
+            // Differential phase: concurrent clients, every reply diffed.
+            // Each worker times only its submit span (connection setup is
+            // excluded — the metric is serving throughput, not dial
+            // latency); the concurrent phase lasts as long as the slowest
+            // worker.
+            let outcomes_timed: Vec<Option<(bool, f64)>> = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..CLIENTS)
+                    .map(|_| {
+                        let addr = addr.clone();
+                        let requests = &requests;
+                        let expected = &expected;
+                        scope.spawn(move || {
+                            let mut client = connect_ready(&addr)?;
+                            let t0 = Instant::now();
+                            let reply = client.submit(requests).ok()?;
+                            let secs = t0.elapsed().as_secs_f64();
+                            Some((reply.outcomes()? == &expected[..], secs))
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().unwrap_or(None))
+                    .collect()
+            });
+            let identical = outcomes_timed.iter().all(|r| matches!(r, Some((true, _))));
+            let loopback_secs = outcomes_timed
+                .iter()
+                .flatten()
+                .map(|&(_, secs)| secs)
+                .fold(0.0f64, f64::max);
+            let loopback_rps = if loopback_secs > 0.0 {
+                (CLIENTS * requests.len()) as f64 / loopback_secs
+            } else {
+                0.0
+            };
+
+            // In-process baseline on the same batch shape.
+            let t0 = Instant::now();
+            for _ in 0..CLIENTS {
+                local.submit(&requests);
+            }
+            let inprocess_secs = t0.elapsed().as_secs_f64();
+            let inprocess_rps = if inprocess_secs > 0.0 {
+                (CLIENTS * requests.len()) as f64 / inprocess_secs
+            } else {
+                0.0
+            };
+
+            // Admission phase: one batch wider than max_inflight must be
+            // shed with the typed overload reason.
+            let oversized: Vec<qbs_core::QueryRequest> = (0..max_inflight as u32 + 1)
+                .map(|i| {
+                    qbs_core::QueryRequest::distance(
+                        i % num_vertices as u32,
+                        (i + 1) % num_vertices as u32,
+                    )
+                })
+                .collect();
+            let mut client = connect_ready(&addr)
+                .ok_or_else(|| QbsError::Io(std::io::Error::other("no handler within 10s")))?;
+            let busy_typed = matches!(
+                client.submit(&oversized).map_err(protocol_to_qbs)?,
+                BatchReply::Busy(BusyReason::Overloaded { .. })
+            );
+
+            server.shutdown();
+            std::fs::remove_file(&path).ok();
+            Ok(NetServingRow {
+                dataset: spec.id.name().to_string(),
+                clients: CLIENTS,
+                requests_per_client: requests.len(),
+                identical,
+                busy_typed,
+                loopback_rps,
+                inprocess_rps,
+            })
+        })
+        .collect::<Result<Vec<_>, QbsError>>()?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(NetServing { rows })
+}
+
+/// Maps a client-side protocol failure into the harness error type.
+fn protocol_to_qbs(err: qbs_server::ProtocolError) -> QbsError {
+    QbsError::Io(std::io::Error::other(err.to_string()))
+}
+
+/// Connects with the client library's bounded retry (absorbs the
+/// retryable refusals of a server whose handlers are mid-teardown).
+fn connect_ready(addr: &str) -> Option<qbs_server::QbsClient> {
+    qbs_server::QbsClient::connect_retry(addr, std::time::Duration::from_secs(10)).ok()
+}
+
+// ---------------------------------------------------------------------------
 // Ablations — landmark strategy and parallel speed-up
 // ---------------------------------------------------------------------------
 
@@ -1254,6 +1498,25 @@ mod tests {
         }
         let rendered = m.render();
         assert!(rendered.contains("Mixed batch"));
+        assert!(rendered.contains("yes"));
+    }
+
+    #[test]
+    fn net_serving_is_bit_identical_and_sheds_typedly() {
+        let config = ExperimentConfig {
+            datasets: vec![DatasetId::Douban],
+            query_count: 24,
+            ..ExperimentConfig::smoke()
+        };
+        let n = net_serving(&config).expect("net serving runs");
+        assert_eq!(n.rows.len(), 1);
+        assert!(n.all_ok(), "{n:?}");
+        let row = &n.rows[0];
+        assert_eq!(row.clients, 4);
+        assert!(row.requests_per_client > 1);
+        assert!(row.loopback_rps > 0.0 && row.inprocess_rps > 0.0);
+        let rendered = n.render();
+        assert!(rendered.contains("Net serving"));
         assert!(rendered.contains("yes"));
     }
 

@@ -64,6 +64,36 @@ pub enum Command {
         /// Output format.
         json: bool,
     },
+    /// Serve an index over the framed TCP protocol (`qbs-server`) until a
+    /// SIGINT/SIGTERM or a client `Shutdown` frame drains it.
+    Serve {
+        /// Index path produced by `build`.
+        index: PathBuf,
+        /// Memory-map the index file (v2 binary only) instead of reading
+        /// it to the heap — the O(1) cold-start path.
+        mmap: bool,
+        /// Bind address (`--port P` is shorthand for `127.0.0.1:P`).
+        addr: String,
+        /// Worker threads per batch (default: all cores).
+        threads: Option<usize>,
+        /// Connection-handler threads (default 4).
+        handlers: Option<usize>,
+        /// Admission bound on concurrently executing requests.
+        max_inflight: usize,
+        /// Admission cap on requests per batch frame.
+        max_batch: usize,
+        /// Admission bound on concurrently served connections.
+        max_connections: usize,
+        /// Answer-cache capacity; `None` serves uncached.
+        cache: Option<usize>,
+    },
+    /// Talk to a running `qbs serve` instance.
+    Client {
+        /// Server address (`host:port`).
+        addr: String,
+        /// What to do on the connection.
+        action: ClientAction,
+    },
     /// Print size/timing statistics of a built index.
     Stats {
         /// Index path produced by `build`.
@@ -87,6 +117,34 @@ pub enum Command {
     Help,
 }
 
+/// What a `qbs client` invocation does with its connection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientAction {
+    /// Submit queries (a `--pairs` batch or one `--source`/`--target`
+    /// pair) and render the outcomes exactly like a local `query`.
+    Query {
+        /// Query source vertex (absent when `--pairs` drives a batch).
+        source: Option<u32>,
+        /// Query target vertex (absent when `--pairs` drives a batch).
+        target: Option<u32>,
+        /// File of whitespace-separated `u v` lines.
+        pairs: Option<PathBuf>,
+        /// Query mode per pair.
+        mode: QueryMode,
+        /// Include sketch + search statistics in path-graph reports.
+        stats: bool,
+        /// Output format.
+        json: bool,
+    },
+    /// Fetch and print the server's serving + admission counters
+    /// (`--stats` with no query arguments).
+    Stats,
+    /// Measure one protocol round trip (`--ping`).
+    Ping,
+    /// Ask the server to drain and exit (`--shutdown`).
+    Shutdown,
+}
+
 /// Errors produced while parsing the command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -108,6 +166,12 @@ commands:
   build    --graph FILE [--landmarks N] [--sequential] [--format binary|json] --out FILE
   query    --index FILE --source U --target V [query options]
   query    --index FILE --pairs FILE [--threads N] [query options]
+  serve    --index FILE [--mmap] [--addr H:P | --port P] [--threads N]
+           [--handlers H] [--max-inflight M] [--max-batch B]
+           [--max-connections C] [--cache N]
+  client   --addr H:P --pairs FILE [--mode M] [--stats] [--format F]
+  client   --addr H:P --source U --target V [--mode M] [--format F]
+  client   --addr H:P (--stats | --ping | --shutdown)
   stats    --index FILE
   inspect  --index FILE
   convert  --from FILE --to FILE
@@ -129,7 +193,21 @@ materialising the owned index; adding `--mmap` memory-maps the file so a
 cold process answers its first query in the time it takes to map it. In
 `--pairs` batches each pair is answered independently: an out-of-range
 pair reports an error for that line only.
+
+`serve` runs the framed TCP server (spec: docs/protocol.md) over one
+shared session; Ctrl-C or `client --shutdown` drains in-flight batches
+and tears down cleanly. Work beyond `--max-inflight`/`--max-batch` gets
+a typed busy reply, never a hang. `client` submits batches against a
+running server with the same rendering as a local `query`; `--stats`
+alone prints the server's serving and admission counters.
 ";
+
+/// Default bind host for `serve --port`.
+const DEFAULT_HOST: &str = "127.0.0.1";
+
+/// Default `serve` bind address when neither `--addr` nor `--port` is
+/// given.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7411";
 
 /// Parses an argument vector (excluding the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
@@ -208,6 +286,104 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 },
             })
         }
+        "serve" => {
+            let addr = match (get("addr"), get("port")) {
+                (Some(_), Some(_)) => {
+                    return Err(ParseError("serve: pass --addr or --port, not both".into()))
+                }
+                (Some(addr), None) => addr,
+                (None, Some(port)) => {
+                    format!("{DEFAULT_HOST}:{}", parse_number(&port, "port")?)
+                }
+                (None, None) => DEFAULT_SERVE_ADDR.to_string(),
+            };
+            Ok(Command::Serve {
+                index: PathBuf::from(require("index")?),
+                mmap: options.contains_key("mmap"),
+                addr,
+                threads: get("threads")
+                    .map(|s| parse_number(&s, "threads"))
+                    .transpose()?,
+                handlers: get("handlers")
+                    .map(|s| parse_number(&s, "handlers"))
+                    .transpose()?,
+                max_inflight: get("max-inflight")
+                    .map(|s| parse_number(&s, "max-inflight"))
+                    .transpose()?
+                    .unwrap_or(4_096),
+                max_batch: get("max-batch")
+                    .map(|s| parse_number(&s, "max-batch"))
+                    .transpose()?
+                    .unwrap_or(4_096),
+                max_connections: get("max-connections")
+                    .map(|s| parse_number(&s, "max-connections"))
+                    .transpose()?
+                    .unwrap_or(128),
+                cache: get("cache")
+                    .map(|s| parse_number(&s, "cache capacity"))
+                    .transpose()?,
+            })
+        }
+        "client" => {
+            let addr = require("addr")?;
+            let source = get("source")
+                .map(|s| parse_number(&s, "source").map(|n| n as u32))
+                .transpose()?;
+            let target = get("target")
+                .map(|s| parse_number(&s, "target").map(|n| n as u32))
+                .transpose()?;
+            let pairs = get("pairs").map(PathBuf::from);
+            let stats = options.contains_key("stats");
+            let has_query = pairs.is_some() || source.is_some() || target.is_some();
+            let control_flags = [
+                options.contains_key("ping"),
+                options.contains_key("shutdown"),
+                stats && !has_query,
+            ];
+            if control_flags.iter().filter(|&&f| f).count() > 1 {
+                return Err(ParseError(
+                    "client: --ping, --shutdown and bare --stats are mutually exclusive".into(),
+                ));
+            }
+            let action = if options.contains_key("ping") {
+                ensure_no_query(has_query, "--ping")?;
+                ClientAction::Ping
+            } else if options.contains_key("shutdown") {
+                ensure_no_query(has_query, "--shutdown")?;
+                ClientAction::Shutdown
+            } else if stats && !has_query {
+                ClientAction::Stats
+            } else {
+                match (&pairs, source, target) {
+                    (None, Some(_), Some(_)) | (Some(_), None, None) => {}
+                    (None, _, _) => {
+                        return Err(ParseError(
+                            "client: pass --source and --target, or --pairs FILE, or one of \
+                             --stats/--ping/--shutdown"
+                                .into(),
+                        ))
+                    }
+                    (Some(_), _, _) => {
+                        return Err(ParseError(
+                            "client: --pairs cannot be combined with --source/--target".into(),
+                        ))
+                    }
+                }
+                ClientAction::Query {
+                    source,
+                    target,
+                    pairs,
+                    mode: parse_query_mode(get("mode").as_deref().unwrap_or("path"))?,
+                    stats,
+                    json: match get("format").as_deref() {
+                        None | Some("text") => false,
+                        Some("json") => true,
+                        Some(other) => return Err(ParseError(format!("unknown format '{other}'"))),
+                    },
+                }
+            };
+            Ok(Command::Client { addr, action })
+        }
         "stats" => Ok(Command::Stats {
             index: PathBuf::from(require("index")?),
         }),
@@ -230,7 +406,10 @@ fn collect_options(args: &[String]) -> Result<BTreeMap<String, String>, ParseErr
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| ParseError(format!("expected an option, found '{}'", args[i])))?;
-        let is_flag = matches!(key, "sequential" | "from-view" | "mmap" | "stats");
+        let is_flag = matches!(
+            key,
+            "sequential" | "from-view" | "mmap" | "stats" | "ping" | "shutdown"
+        );
         if is_flag {
             options.insert(key.to_string(), String::new());
             i += 1;
@@ -243,6 +422,16 @@ fn collect_options(args: &[String]) -> Result<BTreeMap<String, String>, ParseErr
         }
     }
     Ok(options)
+}
+
+/// Rejects query arguments combined with a control flag.
+fn ensure_no_query(has_query: bool, flag: &str) -> Result<(), ParseError> {
+    if has_query {
+        return Err(ParseError(format!(
+            "client: {flag} cannot be combined with query arguments"
+        )));
+    }
+    Ok(())
 }
 
 fn parse_dataset(token: &str) -> Result<DatasetId, ParseError> {
@@ -497,6 +686,139 @@ mod tests {
         .is_err());
         assert!(parse(&args(&[
             "query", "--index", "i", "--source", "1", "--target", "2", "--cache", "lots",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cmd = parse(&args(&[
+            "serve",
+            "--index",
+            "i.qbs2",
+            "--mmap",
+            "--port",
+            "7411",
+            "--threads",
+            "2",
+            "--max-inflight",
+            "64",
+            "--max-batch",
+            "16",
+            "--max-connections",
+            "8",
+            "--cache",
+            "1024",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                index: "i.qbs2".into(),
+                mmap: true,
+                addr: "127.0.0.1:7411".into(),
+                threads: Some(2),
+                handlers: None,
+                max_inflight: 64,
+                max_batch: 16,
+                max_connections: 8,
+                cache: Some(1024),
+            }
+        );
+        // Defaults, explicit --addr, and the addr/port conflict.
+        let cmd = parse(&args(&["serve", "--index", "i.qbs2"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                mmap: false,
+                max_inflight: 4096,
+                max_batch: 4096,
+                max_connections: 128,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&args(&["serve", "--index", "i", "--addr", "0.0.0.0:9"])).unwrap(),
+            Command::Serve { addr, .. } if addr == "0.0.0.0:9"
+        ));
+        assert!(parse(&args(&[
+            "serve", "--index", "i", "--addr", "h:1", "--port", "2"
+        ]))
+        .is_err());
+        assert!(parse(&args(&["serve"])).is_err(), "index is required");
+    }
+
+    #[test]
+    fn parses_client_actions() {
+        let cmd = parse(&args(&[
+            "client", "--addr", "h:1", "--pairs", "p.txt", "--mode", "distance", "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Client {
+                addr: "h:1".into(),
+                action: ClientAction::Query {
+                    source: None,
+                    target: None,
+                    pairs: Some("p.txt".into()),
+                    mode: QueryMode::Distance,
+                    stats: true,
+                    json: false,
+                },
+            }
+        );
+        let single = parse(&args(&[
+            "client", "--addr", "h:1", "--source", "1", "--target", "2", "--format", "json",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            single,
+            Command::Client {
+                action: ClientAction::Query {
+                    source: Some(1),
+                    target: Some(2),
+                    json: true,
+                    ..
+                },
+                ..
+            }
+        ));
+        // Bare --stats is the server-stats action; control flags exclude
+        // query arguments and each other.
+        assert!(matches!(
+            parse(&args(&["client", "--addr", "h:1", "--stats"])).unwrap(),
+            Command::Client {
+                action: ClientAction::Stats,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&args(&["client", "--addr", "h:1", "--ping"])).unwrap(),
+            Command::Client {
+                action: ClientAction::Ping,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&args(&["client", "--addr", "h:1", "--shutdown"])).unwrap(),
+            Command::Client {
+                action: ClientAction::Shutdown,
+                ..
+            }
+        ));
+        assert!(parse(&args(&["client", "--addr", "h:1"])).is_err());
+        assert!(
+            parse(&args(&["client", "--pairs", "p.txt"])).is_err(),
+            "addr required"
+        );
+        assert!(parse(&args(&["client", "--addr", "h:1", "--ping", "--shutdown"])).is_err());
+        assert!(parse(&args(&[
+            "client", "--addr", "h:1", "--ping", "--source", "1", "--target", "2"
+        ]))
+        .is_err());
+        assert!(parse(&args(&[
+            "client", "--addr", "h:1", "--pairs", "p", "--source", "1", "--target", "2"
         ]))
         .is_err());
     }

@@ -2,15 +2,24 @@
 //! as a `String` so it can be unit-tested without a subprocess.
 
 use std::fmt;
+use std::io::Write as _;
 use std::path::Path;
-use std::time::Instant;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use qbs_core::serialize::{self, IndexFormat, MapMode};
-use qbs_core::{CacheConfig, Qbs, QbsConfig, QbsIndex, QueryMode, QueryOutcome, QueryRequest};
+use qbs_core::{
+    CacheConfig, CacheStats, Qbs, QbsConfig, QbsIndex, QueryMode, QueryOutcome, QueryRequest,
+};
 use qbs_gen::catalog::Catalog;
 use qbs_graph::{io, Graph, VertexId};
+use qbs_server::{
+    signal, AdmissionConfig, BatchReply, ProtocolError, QbsClient, QbsServer, ServerConfig,
+    ServerHandle,
+};
 
-use crate::args::{Command, USAGE};
+use crate::args::{ClientAction, Command, USAGE};
 
 /// Errors produced while executing a command.
 #[derive(Debug)]
@@ -22,6 +31,8 @@ pub enum CommandError {
     Graph(qbs_graph::GraphError),
     /// An index could not be built, loaded or queried.
     Index(qbs_core::QbsError),
+    /// A network serving operation failed (handshake, framing, transport).
+    Protocol(ProtocolError),
     /// Generic I/O failure.
     Io(std::io::Error),
 }
@@ -32,6 +43,7 @@ impl fmt::Display for CommandError {
             CommandError::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
             CommandError::Graph(e) => write!(f, "graph error: {e}"),
             CommandError::Index(e) => write!(f, "index error: {e}"),
+            CommandError::Protocol(e) => write!(f, "protocol error: {e}"),
             CommandError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -54,6 +66,12 @@ impl From<qbs_core::QbsError> for CommandError {
 impl From<std::io::Error> for CommandError {
     fn from(e: std::io::Error) -> Self {
         CommandError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for CommandError {
+    fn from(e: ProtocolError) -> Self {
+        CommandError::Protocol(e)
     }
 }
 
@@ -150,6 +168,70 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             }
             serve_queries(&qbs, &spec)
         }
+        Command::Serve { .. } => {
+            let (mut handle, _qbs) = start_server(command)?;
+            // The banner must reach scripts (and humans) *before* the
+            // blocking wait, so it is printed here rather than returned.
+            // `writeln!` (not `println!`): a closed stdout pipe must not
+            // panic a running server (Rust ignores SIGPIPE).
+            let _ = writeln!(
+                std::io::stdout(),
+                "qbs-server listening on {}",
+                handle.local_addr()
+            );
+            std::io::stdout().flush().ok();
+            // Block until Ctrl-C/SIGTERM or a client Shutdown frame; both
+            // run the same graceful drain, so the mmap'd index is always
+            // unmapped cleanly instead of the old hard process exit.
+            let termination = signal::termination_flag();
+            let latch = handle.signal();
+            while !latch.is_shutdown() && !termination.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            handle.shutdown();
+            let stats = handle.stats();
+            Ok(format!("server drained and stopped\n{stats}"))
+        }
+        Command::Client { addr, action } => {
+            let mut client = QbsClient::connect(addr)?;
+            match action {
+                ClientAction::Ping => {
+                    let latency = client.ping()?;
+                    Ok(format!(
+                        "pong from {addr} in {:.3}ms",
+                        latency.as_secs_f64() * 1e3
+                    ))
+                }
+                ClientAction::Shutdown => {
+                    client.shutdown_server()?;
+                    Ok(format!(
+                        "{addr} acknowledged shutdown; in-flight batches are draining"
+                    ))
+                }
+                ClientAction::Stats => {
+                    let stats = client.stats()?;
+                    Ok(format!("server stats for {addr}:\n{stats}"))
+                }
+                ClientAction::Query {
+                    source,
+                    target,
+                    pairs,
+                    mode,
+                    stats,
+                    json,
+                } => {
+                    let spec = ServeSpec {
+                        source: *source,
+                        target: *target,
+                        pairs: pairs.as_deref(),
+                        mode: *mode,
+                        stats: *stats,
+                        json: *json,
+                    };
+                    serve_queries_remote(&mut client, &spec)
+                }
+            }
+        }
         Command::Stats { index } => {
             let index = serialize::load_from_file(index)?;
             let stats = index.stats();
@@ -230,7 +312,14 @@ fn serve_queries(qbs: &Qbs, spec: &ServeSpec<'_>) -> Result<String, CommandError
             let start = Instant::now();
             let outcomes = qbs.submit(&requests);
             let elapsed = start.elapsed();
-            render_batch(qbs, &pairs, &outcomes, elapsed, spec)
+            render_batch(
+                &pairs,
+                &outcomes,
+                elapsed,
+                spec,
+                Some(qbs.threads()),
+                qbs.cache_stats(),
+            )
         }
         (None, Some(source), Some(target)) => {
             // A single bad query is a command error, exactly as before the
@@ -243,6 +332,104 @@ fn serve_queries(qbs: &Qbs, spec: &ServeSpec<'_>) -> Result<String, CommandError
         }
         _ => unreachable!("argument parsing enforces single-or-batch"),
     }
+}
+
+/// The network sibling of [`serve_queries`]: the same request shaping and
+/// rendering, but executed through a [`QbsClient`] connection. Admission
+/// shedding renders as a `server busy:` report (an actionable outcome, not
+/// a command failure), so scripts can observe and retry.
+fn serve_queries_remote(
+    client: &mut QbsClient,
+    spec: &ServeSpec<'_>,
+) -> Result<String, CommandError> {
+    match (spec.pairs, spec.source, spec.target) {
+        (Some(pairs_path), _, _) => {
+            let pairs = load_pairs(pairs_path)?;
+            let requests: Vec<QueryRequest> =
+                pairs.iter().map(|&(u, v)| spec.request(u, v)).collect();
+            let start = Instant::now();
+            let reply = client.submit(&requests)?;
+            let elapsed = start.elapsed();
+            match reply {
+                BatchReply::Busy(reason) => Ok(render_busy(&reason, spec.json)),
+                BatchReply::Outcomes(outcomes) => {
+                    render_batch(&pairs, &outcomes, elapsed, spec, None, None)
+                }
+            }
+        }
+        (None, Some(source), Some(target)) => {
+            match client.submit(&[spec.request(source, target)])? {
+                BatchReply::Busy(reason) => Ok(render_busy(&reason, spec.json)),
+                BatchReply::Outcomes(outcomes) => {
+                    let outcome = outcomes
+                        .into_iter()
+                        .next()
+                        .ok_or(CommandError::Protocol(ProtocolError::UnexpectedFrame(
+                            "empty batch",
+                        )))?
+                        .into_result()?;
+                    if spec.json {
+                        return Ok(render_outcome_json(&outcome));
+                    }
+                    Ok(render_outcome_text(source, target, &outcome, true))
+                }
+            }
+        }
+        _ => unreachable!("argument parsing enforces single-or-batch"),
+    }
+}
+
+/// Renders an admission shed: a `server busy:` line, or (under
+/// `--format json`) a parseable object so scripted consumers can
+/// distinguish a retryable shed from corrupt output.
+fn render_busy(reason: &qbs_server::BusyReason, json: bool) -> String {
+    if json {
+        let quoted =
+            serde_json::to_string(&reason.to_string()).unwrap_or_else(|_| "\"busy\"".to_string());
+        format!("{{\"busy\": {quoted}}}")
+    } else {
+        format!("server busy: {reason}\n")
+    }
+}
+
+/// Opens the session and starts the TCP server for a [`Command::Serve`]
+/// invocation. Split from `run` so tests can drive a real server on an
+/// ephemeral port without going through the blocking wait loop.
+pub fn start_server(command: &Command) -> Result<(ServerHandle, Arc<Qbs>), CommandError> {
+    let Command::Serve {
+        index,
+        mmap,
+        addr,
+        threads,
+        handlers,
+        max_inflight,
+        max_batch,
+        max_connections,
+        cache,
+    } = command
+    else {
+        unreachable!("start_server is only called with Command::Serve");
+    };
+    let map_mode = if *mmap { MapMode::Mmap } else { MapMode::Read };
+    let mut qbs = Qbs::open(index, map_mode)?;
+    if let Some(n) = threads {
+        qbs = qbs.with_threads(*n)?;
+    }
+    if let Some(capacity) = cache {
+        qbs = qbs.with_cache(CacheConfig::with_capacity(*capacity));
+    }
+    let qbs = Arc::new(qbs);
+    let config = ServerConfig {
+        addr: addr.clone(),
+        handler_threads: handlers.unwrap_or(4),
+        admission: AdmissionConfig {
+            max_inflight: *max_inflight,
+            max_batch: *max_batch,
+            max_connections: *max_connections,
+        },
+    };
+    let handle = QbsServer::start(Arc::clone(&qbs), config).map_err(CommandError::Io)?;
+    Ok((handle, qbs))
 }
 
 /// Implements `inspect`: reports the on-disk format and, for v2 binary
@@ -366,15 +553,18 @@ fn render_outcome_text(
     }
 }
 
-/// Renders a batch result: one line per request plus throughput and (when
-/// caching) cache counters. Error outcomes render as error lines — they
-/// never abort the report.
+/// Renders a batch result: one line per request plus throughput, the
+/// thread count when known (local sessions; a remote server's threads are
+/// its own) and cache counters when attached. Error outcomes render as
+/// error lines — they never abort the report. Shared verbatim by the local
+/// `query` and network `client` paths so their reports stay diffable.
 fn render_batch(
-    qbs: &Qbs,
     pairs: &[(VertexId, VertexId)],
     outcomes: &[QueryOutcome],
     elapsed: std::time::Duration,
     spec: &ServeSpec<'_>,
+    threads: Option<usize>,
+    cache: Option<CacheStats>,
 ) -> Result<String, CommandError> {
     if spec.json {
         let items: Vec<String> = outcomes.iter().map(render_outcome_json).collect();
@@ -398,22 +588,17 @@ fn render_batch(
     } else {
         String::new()
     };
+    let on_threads = threads
+        .map(|n| format!(" on {n} threads"))
+        .unwrap_or_default();
     out.push_str(&format!(
-        "answered {} queries{failures} in {:.3}ms on {} threads ({:.0} queries/s)\n",
+        "answered {} queries{failures} in {:.3}ms{on_threads} ({:.0} queries/s)\n",
         pairs.len(),
         elapsed.as_secs_f64() * 1e3,
-        qbs.threads(),
         qps
     ));
-    if let Some(stats) = qbs.cache_stats() {
-        out.push_str(&format!(
-            "cache: {} hits / {} misses ({:.0}% hit rate), {} entries, {} evictions\n",
-            stats.hits,
-            stats.misses,
-            stats.hit_ratio() * 100.0,
-            stats.len,
-            stats.evictions
-        ));
+    if let Some(stats) = cache {
+        out.push_str(&format!("{stats}\n"));
     }
     Ok(out)
 }
@@ -817,6 +1002,170 @@ mod tests {
         .expect("json batch");
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
         assert!(parsed.get_index(1).is_some(), "error slot serialised");
+    }
+
+    #[test]
+    fn serve_and_client_roundtrip_over_loopback() {
+        let dir = temp_dir("serve");
+        let graph_path = dir.join("g.qbsg");
+        let index_path = dir.join("g.qbs2");
+        run(&Command::Generate {
+            dataset: DatasetId::Douban,
+            scale: Scale::Tiny,
+            out: graph_path.clone(),
+        })
+        .expect("generate");
+        run(&Command::Build {
+            graph: graph_path,
+            landmarks: 8,
+            sequential: false,
+            out: index_path.clone(),
+            format: IndexFormat::Binary,
+        })
+        .expect("build");
+        let pairs_path = dir.join("pairs.txt");
+        std::fs::write(&pairs_path, "1 5\n999999 0\n2 9\n0 3\n").expect("write pairs");
+
+        // Start a real server on an ephemeral port (mmap-backed session,
+        // tight admission bounds so the sheds are testable).
+        let serve = Command::Serve {
+            index: index_path.clone(),
+            mmap: true,
+            addr: "127.0.0.1:0".into(),
+            threads: Some(2),
+            handlers: Some(2),
+            max_inflight: 64,
+            max_batch: 4,
+            max_connections: 8,
+            cache: Some(1024),
+        };
+        let (mut handle, qbs) = start_server(&serve).expect("start server");
+        assert_eq!(qbs.backend().name(), "view", "serve --mmap uses the view");
+        let addr = handle.local_addr().to_string();
+
+        // Remote batch answers line-for-line identical to the local query
+        // path (poisoned pair included); only the summary/thread suffix
+        // lines differ.
+        let client_batch = |mode: QueryMode| {
+            run(&Command::Client {
+                addr: addr.clone(),
+                action: ClientAction::Query {
+                    source: None,
+                    target: None,
+                    pairs: Some(pairs_path.clone()),
+                    mode,
+                    stats: false,
+                    json: false,
+                },
+            })
+            .expect("client batch")
+        };
+        let remote = client_batch(QueryMode::PathGraph);
+        let local = run(&Command::Query {
+            index: index_path.clone(),
+            source: None,
+            target: None,
+            pairs: Some(pairs_path.clone()),
+            threads: Some(2),
+            from_view: true,
+            mmap: true,
+            mode: QueryMode::PathGraph,
+            stats: false,
+            cache: None,
+            json: false,
+        })
+        .expect("local batch");
+        let answers = |report: &str| -> Vec<String> {
+            report
+                .lines()
+                .filter(|l| !l.starts_with("answered") && !l.starts_with("cache:"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(answers(&remote), answers(&local), "served answers diverged");
+        assert!(remote.contains("error: vertex 999999 out of range"));
+        assert!(remote.contains("answered 4 queries (1 failed)"));
+
+        // An over-limit batch (5 > --max-batch 4) gets the typed busy
+        // report, and the connection-level state stays serviceable.
+        std::fs::write(dir.join("big.txt"), "1 2\n3 4\n5 6\n7 8\n0 1\n").expect("write");
+        let busy = run(&Command::Client {
+            addr: addr.clone(),
+            action: ClientAction::Query {
+                source: None,
+                target: None,
+                pairs: Some(dir.join("big.txt")),
+                mode: QueryMode::Distance,
+                stats: false,
+                json: false,
+            },
+        })
+        .expect("busy report");
+        assert!(busy.contains("server busy:"), "{busy}");
+        assert!(busy.contains("exceeds the 4-request cap"), "{busy}");
+
+        // Single remote query, JSON batch, ping, server stats.
+        let single = run(&Command::Client {
+            addr: addr.clone(),
+            action: ClientAction::Query {
+                source: Some(1),
+                target: Some(5),
+                pairs: None,
+                mode: QueryMode::Distance,
+                stats: false,
+                json: false,
+            },
+        })
+        .expect("single");
+        assert!(single.starts_with("d(1, 5) = "), "{single}");
+        let json = run(&Command::Client {
+            addr: addr.clone(),
+            action: ClientAction::Query {
+                source: None,
+                target: None,
+                pairs: Some(pairs_path.clone()),
+                mode: QueryMode::Distance,
+                stats: false,
+                json: true,
+            },
+        })
+        .expect("json batch");
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert!(parsed.get_index(3).is_some(), "four slots serialised");
+
+        let pong = run(&Command::Client {
+            addr: addr.clone(),
+            action: ClientAction::Ping,
+        })
+        .expect("ping");
+        assert!(pong.starts_with("pong from "), "{pong}");
+
+        let stats = run(&Command::Client {
+            addr: addr.clone(),
+            action: ClientAction::Stats,
+        })
+        .expect("stats");
+        assert!(stats.contains("admission:"), "{stats}");
+        assert!(stats.contains("view"), "{stats}");
+        assert!(
+            stats.contains("cache:"),
+            "--cache attaches a cache: {stats}"
+        );
+
+        // Shutdown via the protocol drains the server; afterwards the
+        // port refuses connections.
+        let ack = run(&Command::Client {
+            addr: addr.clone(),
+            action: ClientAction::Shutdown,
+        })
+        .expect("shutdown");
+        assert!(ack.contains("acknowledged shutdown"), "{ack}");
+        handle.shutdown();
+        let refused = run(&Command::Client {
+            addr: addr.clone(),
+            action: ClientAction::Ping,
+        });
+        assert!(matches!(refused, Err(CommandError::Protocol(_))));
     }
 
     #[test]

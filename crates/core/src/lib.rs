@@ -63,6 +63,7 @@ pub mod sketch;
 pub mod stats;
 pub mod store;
 pub mod verify;
+pub mod wire;
 pub mod workspace;
 
 pub use cache::{AnswerCache, CacheConfig, CacheStats};
@@ -79,10 +80,11 @@ pub use request::{
 };
 pub use search::SearchStats;
 pub use serialize::MapMode;
-pub use session::{Qbs, QbsBackend};
+pub use session::{EngineStats, Qbs, QbsBackend};
 pub use sketch::{Sketch, SketchBounds};
 pub use stats::IndexStats;
 pub use store::{IndexStore, ViewStore};
+pub use wire::{Wire, WireError};
 pub use workspace::QueryWorkspace;
 
 /// Result alias for fallible QbS operations.

@@ -33,7 +33,9 @@
 //! owned index. See `docs/api.md` for the migration table from the
 //! pre-façade entry points.
 
+use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use qbs_graph::{Distance, Graph, PathGraph, VertexFilter, VertexId};
@@ -70,6 +72,52 @@ impl QbsBackend {
     }
 }
 
+/// A stable snapshot of a session's serving counters — the payload of the
+/// network protocol's `Stats` frame and of `qbs client --stats`, with a
+/// canonical byte encoding in [`crate::wire`] (so the CLI and the server
+/// share one struct instead of ad-hoc printing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Vertices in the served index.
+    pub num_vertices: u64,
+    /// Landmarks in the served index.
+    pub num_landmarks: u64,
+    /// Configured worker-thread budget.
+    pub threads: u64,
+    /// Whether the session serves from a zero-copy view (vs owned index).
+    pub view_backed: bool,
+    /// Typed requests executed (single and batched).
+    pub requests: u64,
+    /// [`Qbs::submit`] batches executed.
+    pub batches: u64,
+    /// Requests that resolved to a per-request error outcome.
+    pub errors: u64,
+    /// Counter snapshot of the attached answer cache, if any.
+    pub cache: Option<CacheStats>,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "backend:   {} ({} vertices, {} landmarks)",
+            if self.view_backed { "view" } else { "owned" },
+            self.num_vertices,
+            self.num_landmarks
+        )?;
+        writeln!(f, "threads:   {}", self.threads)?;
+        write!(
+            f,
+            "requests:  {} in {} batches ({} errors)",
+            self.requests, self.batches, self.errors
+        )?;
+        match &self.cache {
+            Some(cache) => write!(f, "\n{cache}"),
+            None => write!(f, "\ncache:     none attached"),
+        }
+    }
+}
+
 /// A ready-to-serve QbS session over either storage backend.
 ///
 /// `Qbs` implements [`IndexStore`] itself (by delegation), so it plugs
@@ -83,6 +131,10 @@ pub struct Qbs {
     /// Persistent workspace pool handed to the transient engines behind
     /// [`Qbs::submit`], so repeated batches reuse warm scratch state.
     pool: Mutex<Vec<QueryWorkspace>>,
+    /// Serving counters behind [`Qbs::engine_stats`].
+    requests: AtomicU64,
+    batches: AtomicU64,
+    errors: AtomicU64,
 }
 
 impl Qbs {
@@ -94,6 +146,9 @@ impl Qbs {
                 .unwrap_or(1),
             cache: None,
             pool: Mutex::new(Vec::new()),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
         }
     }
 
@@ -206,6 +261,31 @@ impl Qbs {
         self.cache.as_ref().map(|c| c.stats())
     }
 
+    /// A consistent snapshot of the session's serving counters — shared by
+    /// the network `Stats` protocol frame and `qbs client --stats`.
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            num_vertices: IndexStore::num_vertices(self) as u64,
+            num_landmarks: self.num_landmarks() as u64,
+            threads: self.threads as u64,
+            view_backed: matches!(self.backend, QbsBackend::View(_)),
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache: self.cache_stats(),
+        }
+    }
+
+    /// Folds one executed batch into the serving counters.
+    fn count_outcomes(&self, outcomes: &[QueryOutcome]) {
+        self.requests
+            .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
+        let errors = outcomes.iter().filter(|o| o.is_error()).count() as u64;
+        if errors > 0 {
+            self.errors.fetch_add(errors, Ordering::Relaxed);
+        }
+    }
+
     /// Executes one typed request on a pooled workspace, through the
     /// session cache when attached.
     ///
@@ -220,6 +300,7 @@ impl Qbs {
             QbsBackend::View(s) => execute_cached_on(s, &mut ws, request, cache),
         };
         self.checkin(ws);
+        self.count_outcomes(std::slice::from_ref(&outcome));
         outcome
     }
 
@@ -249,6 +330,9 @@ impl Qbs {
         let mut pool = self.pool.lock().expect("workspace pool poisoned");
         pool.extend(recovered);
         pool.truncate(self.threads);
+        drop(pool);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.count_outcomes(&outcomes);
         outcomes
     }
 
@@ -512,6 +596,33 @@ mod tests {
         assert!(Qbs::from_index(session().index().unwrap().clone())
             .with_threads(0)
             .is_err());
+    }
+
+    #[test]
+    fn engine_stats_count_requests_batches_and_errors() {
+        let qbs = session().with_cache(CacheConfig::default().admit_above(0));
+        let fresh = qbs.engine_stats();
+        assert_eq!((fresh.requests, fresh.batches, fresh.errors), (0, 0, 0));
+        assert!(!fresh.view_backed);
+        assert_eq!(fresh.num_vertices, 15);
+        assert_eq!(fresh.num_landmarks, 3);
+
+        qbs.submit(&[
+            QueryRequest::distance(6, 11),
+            QueryRequest::path_graph(4, 12),
+            QueryRequest::distance(99, 0),
+        ]);
+        let _ = qbs.execute(&QueryRequest::sketch(6, 11));
+        let stats = qbs.engine_stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.batches, 1, "execute is not a batch");
+        assert_eq!(stats.errors, 1, "the poisoned pair counts once");
+        assert!(stats.cache.is_some());
+        let rendered = stats.to_string();
+        assert!(rendered.contains("requests:  4"), "{rendered}");
+        assert!(rendered.contains("owned"), "{rendered}");
+        let uncached = session().engine_stats().to_string();
+        assert!(uncached.contains("none attached"), "{uncached}");
     }
 
     #[test]

@@ -1,0 +1,520 @@
+//! Admission control: the server's first-class load-shedding layer.
+//!
+//! A serving process in front of a microsecond-latency index dies from
+//! *acceptance*, not from work: unbounded in-flight requests blow the
+//! memory budget, unbounded connections starve the handler pool, and an
+//! unbounded accept backlog turns overload into client-side hangs. This
+//! module makes all three bounds explicit and **sheds instead of
+//! queueing**: work beyond a bound is answered with a typed
+//! [`BusyReason`] (carried in the protocol's `Busy` frame) the moment it
+//! arrives, so a client always gets a fast, actionable answer — never a
+//! stalled socket.
+//!
+//! Three independent bounds ([`AdmissionConfig`]):
+//!
+//! * **in-flight requests** — a counting semaphore over the *requests*
+//!   (not batches) currently executing; a batch atomically acquires one
+//!   permit per request or is shed whole ([`BusyReason::Overloaded`]);
+//! * **batch size** — a per-connection cap on requests per batch frame
+//!   ([`BusyReason::BatchTooLarge`]); oversized batches are refused
+//!   before touching the semaphore;
+//! * **connections** — a cap on concurrently served connections
+//!   ([`BusyReason::TooManyConnections`]); the listener completes the
+//!   handshake, sends the `Busy` frame and closes, so a shed client sees
+//!   a typed refusal instead of an accept queue that never drains.
+//!
+//! All counters are exported as [`AdmissionStats`] through the `Stats`
+//! protocol frame.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use qbs_core::wire::{Wire, WireError, WireReader};
+
+/// Bounds enforced by [`Admission`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum requests executing concurrently across all connections.
+    pub max_inflight: usize,
+    /// Maximum requests in one batch frame.
+    pub max_batch: usize,
+    /// Maximum concurrently served connections. The server's handler
+    /// pool is the physical ceiling — this bound only bites when set
+    /// below `handler_threads`, turning a silent pool limit into a typed
+    /// [`BusyReason::TooManyConnections`] shed.
+    pub max_connections: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight: 4_096,
+            max_batch: 4_096,
+            max_connections: 128,
+        }
+    }
+}
+
+/// Why a batch or connection was shed — the payload of the protocol's
+/// `Busy` response frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BusyReason {
+    /// Admitting the batch would exceed the in-flight request bound.
+    Overloaded {
+        /// The configured in-flight bound.
+        limit: u64,
+        /// Requests already in flight when the batch arrived.
+        inflight: u64,
+        /// Size of the refused batch.
+        got: u64,
+    },
+    /// The batch exceeds the per-batch request cap.
+    BatchTooLarge {
+        /// The configured cap.
+        limit: u64,
+        /// Size of the refused batch.
+        got: u64,
+    },
+    /// The server is at its connection bound.
+    TooManyConnections {
+        /// The configured bound.
+        limit: u64,
+    },
+    /// The listener found no idle connection handler to hand this
+    /// connection to — every handler is inside a session, so the
+    /// connection is refused instead of parked without a handshake.
+    NoIdleHandler {
+        /// The configured handler-pool size (the actionable knob).
+        handlers: u64,
+    },
+}
+
+impl std::fmt::Display for BusyReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BusyReason::Overloaded {
+                limit,
+                inflight,
+                got,
+            } => write!(
+                f,
+                "overloaded: {got} requests would exceed the in-flight bound \
+                 ({inflight}/{limit} already executing)"
+            ),
+            BusyReason::BatchTooLarge { limit, got } => {
+                write!(f, "batch of {got} requests exceeds the {limit}-request cap")
+            }
+            BusyReason::TooManyConnections { limit } => {
+                write!(
+                    f,
+                    "connection bound reached ({limit} concurrent connections)"
+                )
+            }
+            BusyReason::NoIdleHandler { handlers } => {
+                write!(
+                    f,
+                    "no idle connection handler ({handlers}-handler pool saturated)"
+                )
+            }
+        }
+    }
+}
+
+impl Wire for BusyReason {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BusyReason::Overloaded {
+                limit,
+                inflight,
+                got,
+            } => {
+                out.push(0);
+                out.extend_from_slice(&limit.to_le_bytes());
+                out.extend_from_slice(&inflight.to_le_bytes());
+                out.extend_from_slice(&got.to_le_bytes());
+            }
+            BusyReason::BatchTooLarge { limit, got } => {
+                out.push(1);
+                out.extend_from_slice(&limit.to_le_bytes());
+                out.extend_from_slice(&got.to_le_bytes());
+            }
+            BusyReason::TooManyConnections { limit } => {
+                out.push(2);
+                out.extend_from_slice(&limit.to_le_bytes());
+            }
+            BusyReason::NoIdleHandler { handlers } => {
+                out.push(3);
+                out.extend_from_slice(&handlers.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8("busy reason")? {
+            0 => Ok(BusyReason::Overloaded {
+                limit: r.u64("inflight limit")?,
+                inflight: r.u64("inflight now")?,
+                got: r.u64("batch size")?,
+            }),
+            1 => Ok(BusyReason::BatchTooLarge {
+                limit: r.u64("batch limit")?,
+                got: r.u64("batch size")?,
+            }),
+            2 => Ok(BusyReason::TooManyConnections {
+                limit: r.u64("connection limit")?,
+            }),
+            3 => Ok(BusyReason::NoIdleHandler {
+                handlers: r.u64("handler pool size")?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "busy reason",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+/// Counter snapshot of an [`Admission`] instance (part of the `Stats`
+/// protocol frame).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Batches admitted past all bounds.
+    pub admitted_batches: u64,
+    /// Requests inside admitted batches.
+    pub admitted_requests: u64,
+    /// Batches shed by the in-flight bound.
+    pub shed_overload: u64,
+    /// Batches shed by the per-batch cap.
+    pub shed_batch_size: u64,
+    /// Connections shed before service — by the connection bound or by
+    /// the saturated accept path ([`BusyReason::NoIdleHandler`]).
+    pub shed_connections: u64,
+    /// Requests executing right now.
+    pub inflight: u64,
+    /// Connections served right now.
+    pub connections: u64,
+}
+
+impl std::fmt::Display for AdmissionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admission: {} batches / {} requests admitted, shed {} overload + {} oversized + \
+             {} connections ({} in flight, {} connected)",
+            self.admitted_batches,
+            self.admitted_requests,
+            self.shed_overload,
+            self.shed_batch_size,
+            self.shed_connections,
+            self.inflight,
+            self.connections
+        )
+    }
+}
+
+impl Wire for AdmissionStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.admitted_batches,
+            self.admitted_requests,
+            self.shed_overload,
+            self.shed_batch_size,
+            self.shed_connections,
+            self.inflight,
+            self.connections,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(AdmissionStats {
+            admitted_batches: r.u64("admitted batches")?,
+            admitted_requests: r.u64("admitted requests")?,
+            shed_overload: r.u64("shed overload")?,
+            shed_batch_size: r.u64("shed batch size")?,
+            shed_connections: r.u64("shed connections")?,
+            inflight: r.u64("inflight")?,
+            connections: r.u64("connections")?,
+        })
+    }
+}
+
+/// Live admission counters protected by one mutex (permits are only
+/// touched at batch/connection boundaries, never per query).
+#[derive(Debug, Default)]
+struct Counts {
+    inflight: usize,
+    connections: usize,
+}
+
+/// The admission controller shared by the listener and every handler.
+#[derive(Debug)]
+pub struct Admission {
+    config: AdmissionConfig,
+    counts: Mutex<Counts>,
+    /// Signalled whenever permits are released, so [`Admission::drain`]
+    /// can wait for the in-flight count to reach zero.
+    drained: Condvar,
+    admitted_batches: AtomicU64,
+    admitted_requests: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_batch_size: AtomicU64,
+    shed_connections: AtomicU64,
+}
+
+impl Admission {
+    /// Creates a controller over the given bounds.
+    pub fn new(config: AdmissionConfig) -> Self {
+        Admission {
+            config,
+            counts: Mutex::new(Counts::default()),
+            drained: Condvar::new(),
+            admitted_batches: AtomicU64::new(0),
+            admitted_requests: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            shed_batch_size: AtomicU64::new(0),
+            shed_connections: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Tries to admit a batch of `requests` requests: the per-batch cap is
+    /// checked first, then one in-flight permit per request is acquired
+    /// atomically. Sheds (with the precise [`BusyReason`]) instead of
+    /// blocking. The returned guard releases the permits on drop.
+    pub fn admit_batch(&self, requests: usize) -> Result<InflightGuard<'_>, BusyReason> {
+        if requests > self.config.max_batch {
+            self.shed_batch_size.fetch_add(1, Ordering::Relaxed);
+            return Err(BusyReason::BatchTooLarge {
+                limit: self.config.max_batch as u64,
+                got: requests as u64,
+            });
+        }
+        let mut counts = self.counts.lock().expect("admission counts poisoned");
+        if counts.inflight + requests > self.config.max_inflight {
+            let inflight = counts.inflight as u64;
+            drop(counts);
+            self.shed_overload.fetch_add(1, Ordering::Relaxed);
+            return Err(BusyReason::Overloaded {
+                limit: self.config.max_inflight as u64,
+                inflight,
+                got: requests as u64,
+            });
+        }
+        counts.inflight += requests;
+        drop(counts);
+        self.admitted_batches.fetch_add(1, Ordering::Relaxed);
+        self.admitted_requests
+            .fetch_add(requests as u64, Ordering::Relaxed);
+        Ok(InflightGuard {
+            admission: self,
+            requests,
+        })
+    }
+
+    /// Tries to claim a connection slot; sheds at the bound.
+    pub fn admit_connection(&self) -> Result<ConnectionGuard<'_>, BusyReason> {
+        let mut counts = self.counts.lock().expect("admission counts poisoned");
+        if counts.connections >= self.config.max_connections {
+            drop(counts);
+            self.shed_connections.fetch_add(1, Ordering::Relaxed);
+            return Err(BusyReason::TooManyConnections {
+                limit: self.config.max_connections as u64,
+            });
+        }
+        counts.connections += 1;
+        Ok(ConnectionGuard { admission: self })
+    }
+
+    /// Counts a connection shed *before* slot accounting — the listener's
+    /// bounded accept backlog refusing an arrival outright.
+    pub fn record_backlog_shed(&self) {
+        self.shed_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Blocks until no requests are in flight — the shutdown drain.
+    pub fn drain(&self) {
+        let counts = self.counts.lock().expect("admission counts poisoned");
+        let _unused = self
+            .drained
+            .wait_while(counts, |c| c.inflight > 0)
+            .expect("admission counts poisoned");
+    }
+
+    /// A consistent snapshot of the admission counters.
+    pub fn stats(&self) -> AdmissionStats {
+        let (inflight, connections) = {
+            let counts = self.counts.lock().expect("admission counts poisoned");
+            (counts.inflight as u64, counts.connections as u64)
+        };
+        AdmissionStats {
+            admitted_batches: self.admitted_batches.load(Ordering::Relaxed),
+            admitted_requests: self.admitted_requests.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            shed_batch_size: self.shed_batch_size.load(Ordering::Relaxed),
+            shed_connections: self.shed_connections.load(Ordering::Relaxed),
+            inflight,
+            connections,
+        }
+    }
+}
+
+/// RAII permit over a batch's in-flight requests.
+#[derive(Debug)]
+pub struct InflightGuard<'a> {
+    admission: &'a Admission,
+    requests: usize,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut counts = self
+            .admission
+            .counts
+            .lock()
+            .expect("admission counts poisoned");
+        counts.inflight -= self.requests;
+        if counts.inflight == 0 {
+            self.admission.drained.notify_all();
+        }
+    }
+}
+
+/// RAII permit over one served connection.
+#[derive(Debug)]
+pub struct ConnectionGuard<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        let mut counts = self
+            .admission
+            .counts
+            .lock()
+            .expect("admission counts poisoned");
+        counts.connections -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_core::wire::{from_bytes, to_bytes};
+
+    fn config(max_inflight: usize, max_batch: usize, max_connections: usize) -> AdmissionConfig {
+        AdmissionConfig {
+            max_inflight,
+            max_batch,
+            max_connections,
+        }
+    }
+
+    #[test]
+    fn batches_acquire_one_permit_per_request() {
+        let admission = Admission::new(config(10, 8, 4));
+        let a = admission.admit_batch(6).expect("fits");
+        assert_eq!(admission.stats().inflight, 6);
+        let err = admission.admit_batch(5).expect_err("would exceed 10");
+        assert_eq!(
+            err,
+            BusyReason::Overloaded {
+                limit: 10,
+                inflight: 6,
+                got: 5
+            }
+        );
+        let b = admission.admit_batch(4).expect("exactly fills the bound");
+        assert_eq!(admission.stats().inflight, 10);
+        drop(a);
+        assert_eq!(admission.stats().inflight, 4);
+        drop(b);
+        let stats = admission.stats();
+        assert_eq!(stats.inflight, 0);
+        assert_eq!(stats.admitted_batches, 2);
+        assert_eq!(stats.admitted_requests, 10);
+        assert_eq!(stats.shed_overload, 1);
+    }
+
+    #[test]
+    fn oversized_batches_are_refused_before_the_semaphore() {
+        let admission = Admission::new(config(100, 8, 4));
+        let err = admission.admit_batch(9).expect_err("over the cap");
+        assert_eq!(err, BusyReason::BatchTooLarge { limit: 8, got: 9 });
+        let stats = admission.stats();
+        assert_eq!(stats.shed_batch_size, 1);
+        assert_eq!(stats.inflight, 0, "no permits were consumed");
+        // Empty batches are always admissible.
+        let _g = admission.admit_batch(0).expect("empty batch");
+    }
+
+    #[test]
+    fn connection_slots_are_bounded() {
+        let admission = Admission::new(config(10, 8, 2));
+        let a = admission.admit_connection().expect("slot 1");
+        let _b = admission.admit_connection().expect("slot 2");
+        let err = admission.admit_connection().expect_err("bound reached");
+        assert_eq!(err, BusyReason::TooManyConnections { limit: 2 });
+        drop(a);
+        let _c = admission.admit_connection().expect("slot freed");
+        assert_eq!(admission.stats().shed_connections, 1);
+        assert_eq!(admission.stats().connections, 2);
+    }
+
+    #[test]
+    fn drain_waits_for_inflight_to_empty() {
+        let admission = Admission::new(config(10, 8, 4));
+        let guard = admission.admit_batch(3).expect("admit");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                drop(guard);
+            });
+            admission.drain();
+            assert_eq!(admission.stats().inflight, 0);
+        });
+        // Draining an idle controller returns immediately.
+        admission.drain();
+    }
+
+    #[test]
+    fn busy_reasons_and_stats_roundtrip_the_wire() {
+        for reason in [
+            BusyReason::Overloaded {
+                limit: 64,
+                inflight: 60,
+                got: 8,
+            },
+            BusyReason::BatchTooLarge { limit: 16, got: 40 },
+            BusyReason::TooManyConnections { limit: 2 },
+            BusyReason::NoIdleHandler { handlers: 4 },
+        ] {
+            assert_eq!(
+                from_bytes::<BusyReason>(&to_bytes(&reason)).unwrap(),
+                reason
+            );
+            assert!(!reason.to_string().is_empty());
+        }
+        assert!(from_bytes::<BusyReason>(&[7]).is_err());
+
+        let stats = AdmissionStats {
+            admitted_batches: 1,
+            admitted_requests: 2,
+            shed_overload: 3,
+            shed_batch_size: 4,
+            shed_connections: 5,
+            inflight: 6,
+            connections: 7,
+        };
+        assert_eq!(
+            from_bytes::<AdmissionStats>(&to_bytes(&stats)).unwrap(),
+            stats
+        );
+        assert!(stats.to_string().contains("shed 3 overload"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The blocking client library for the framed TCP protocol.
+//!
+//! A [`QbsClient`] holds one connection: `connect` performs the
+//! magic+version handshake, after which [`QbsClient::submit`] ships
+//! [`QueryRequest`] batches and returns the server's per-request
+//! [`QueryOutcome`]s — bit-identical to what a local
+//! [`qbs_core::Qbs::submit`] over the same index would produce. Admission
+//! shedding is a first-class reply ([`BatchReply::Busy`]), not an error:
+//! the connection stays healthy and the caller decides whether to retry.
+//!
+//! ```no_run
+//! use qbs_core::QueryRequest;
+//! use qbs_server::{BatchReply, QbsClient};
+//!
+//! let mut client = QbsClient::connect("127.0.0.1:7411").unwrap();
+//! match client.submit(&[QueryRequest::distance(6, 11)]).unwrap() {
+//!     BatchReply::Outcomes(outcomes) => println!("{:?}", outcomes[0].distance()),
+//!     BatchReply::Busy(reason) => eprintln!("shed: {reason}"),
+//! }
+//! ```
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use qbs_core::{QueryOutcome, QueryRequest};
+
+use crate::admission::BusyReason;
+use crate::protocol::{self, ProtocolError, RequestFrame, ResponseFrame, ServerStats};
+
+/// Reply to one submitted batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchReply {
+    /// Per-request outcomes, in input order.
+    Outcomes(Vec<QueryOutcome>),
+    /// The server shed the batch; retry later on the same connection.
+    Busy(BusyReason),
+}
+
+impl BatchReply {
+    /// The outcomes, when the batch was admitted.
+    pub fn outcomes(&self) -> Option<&[QueryOutcome]> {
+        match self {
+            BatchReply::Outcomes(outcomes) => Some(outcomes),
+            BatchReply::Busy(_) => None,
+        }
+    }
+
+    /// The shed reason, when the batch was refused.
+    pub fn busy(&self) -> Option<&BusyReason> {
+        match self {
+            BatchReply::Busy(reason) => Some(reason),
+            BatchReply::Outcomes(_) => None,
+        }
+    }
+}
+
+/// A blocking connection to a `qbs-server`.
+#[derive(Debug)]
+pub struct QbsClient {
+    stream: TcpStream,
+    /// Remembered dial target for [`QbsClient::reconnect`].
+    addr: String,
+}
+
+/// Default per-operation socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl QbsClient {
+    /// Connects and performs the protocol handshake.
+    pub fn connect(addr: &str) -> Result<QbsClient, ProtocolError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let mut client = QbsClient {
+            stream,
+            addr: addr.to_string(),
+        };
+        protocol::write_preamble(&mut client.stream)?;
+        protocol::read_preamble(&mut client.stream)?;
+        Ok(client)
+    }
+
+    /// Connects with bounded retries, ping-verifying the connection is
+    /// actually being served. This is how well-behaved clients absorb the
+    /// retryable refusals — a server still starting, or a connection shed
+    /// while a handler tears down its previous session — instead of
+    /// treating them as hard failures.
+    pub fn connect_retry(addr: &str, timeout: Duration) -> Result<QbsClient, ProtocolError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let attempt = QbsClient::connect(addr).and_then(|mut client| {
+                client.ping()?;
+                Ok(client)
+            });
+            match attempt {
+                Ok(client) => return Ok(client),
+                Err(err) if Instant::now() >= deadline => return Err(err),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Drops the current connection and dials the same address again —
+    /// the recovery path after an [`ProtocolError::Io`] (server restart,
+    /// idle timeout, network blip).
+    pub fn reconnect(&mut self) -> Result<(), ProtocolError> {
+        *self = QbsClient::connect(&self.addr)?;
+        Ok(())
+    }
+
+    /// The address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Submits a batch of typed requests; outcomes arrive in input order
+    /// and are bit-identical to a local `Qbs::submit` over the same index.
+    ///
+    /// [`BatchReply::Busy`] is reserved for *batch-level* sheds, where the
+    /// connection genuinely stays usable; a `Busy` frame carrying a
+    /// connection-level reason (the connection was refused at accept time
+    /// and this is its queued farewell) surfaces as
+    /// [`ProtocolError::Shed`] instead — retrying on this socket would
+    /// only hit a closed connection.
+    pub fn submit(&mut self, requests: &[QueryRequest]) -> Result<BatchReply, ProtocolError> {
+        protocol::write_frame(&mut self.stream, &protocol::encode_batch_body(requests))?;
+        match self.read()? {
+            ResponseFrame::Batch(outcomes) => Ok(BatchReply::Outcomes(outcomes)),
+            ResponseFrame::Busy(
+                reason @ (BusyReason::TooManyConnections { .. } | BusyReason::NoIdleHandler { .. }),
+            ) => Err(ProtocolError::Shed(reason)),
+            ResponseFrame::Busy(reason) => Ok(BatchReply::Busy(reason)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the server's serving + admission counter snapshot.
+    pub fn stats(&mut self) -> Result<ServerStats, ProtocolError> {
+        protocol::write_request(&mut self.stream, &RequestFrame::Stats)?;
+        match self.read()? {
+            ResponseFrame::Stats(stats) => Ok(stats),
+            ResponseFrame::Busy(reason) => Err(busy_error(reason)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Round-trip liveness probe; returns the measured latency.
+    pub fn ping(&mut self) -> Result<Duration, ProtocolError> {
+        let start = Instant::now();
+        protocol::write_request(&mut self.stream, &RequestFrame::Ping)?;
+        match self.read()? {
+            ResponseFrame::Pong => Ok(start.elapsed()),
+            ResponseFrame::Busy(reason) => Err(busy_error(reason)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to drain in-flight batches and exit; returns once
+    /// the drain has been acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), ProtocolError> {
+        protocol::write_request(&mut self.stream, &RequestFrame::Shutdown)?;
+        match self.read()? {
+            ResponseFrame::ShutdownAck => Ok(()),
+            ResponseFrame::Busy(reason) => Err(busy_error(reason)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn read(&mut self) -> Result<ResponseFrame, ProtocolError> {
+        match protocol::read_response(&mut self.stream)? {
+            ResponseFrame::Error(fault) => Err(ProtocolError::Remote(fault)),
+            frame => Ok(frame),
+        }
+    }
+}
+
+fn unexpected(frame: ResponseFrame) -> ProtocolError {
+    ProtocolError::UnexpectedFrame(match frame {
+        ResponseFrame::Batch(_) => "batch",
+        ResponseFrame::Stats(_) => "stats",
+        ResponseFrame::Pong => "pong",
+        ResponseFrame::ShutdownAck => "shutdown-ack",
+        ResponseFrame::Busy(_) => "busy",
+        ResponseFrame::Error(_) => "error",
+    })
+}
+
+/// A `Busy` reply to a control frame (stats/ping/shutdown). The protocol
+/// never sheds control frames, so this only occurs when the *connection*
+/// was refused at accept time and the queued `Busy` is the first frame
+/// read back.
+fn busy_error(reason: BusyReason) -> ProtocolError {
+    ProtocolError::Shed(reason)
+}

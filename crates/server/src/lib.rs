@@ -1,0 +1,63 @@
+//! # qbs-server
+//!
+//! The network serving subsystem: a long-running framed TCP server and the
+//! matching blocking client over one shared [`qbs_core::Qbs`] session —
+//! the layer that turns microsecond index lookups (Wang et al., SIGMOD
+//! 2021) into a service many concurrent clients can hit.
+//!
+//! The crate is **std-only** (the build environment has no crates.io
+//! access): framing is length-prefixed binary over `TcpStream`, the
+//! handler pool is plain scoped-ownership threads, and admission control
+//! is a counting semaphore — see the module docs:
+//!
+//! * [`protocol`] — magic + version handshake, length-prefixed frames,
+//!   typed [`ProtocolError`]s (spec in `docs/protocol.md`);
+//! * [`admission`] — first-class load shedding: in-flight request
+//!   semaphore, per-batch cap, bounded accept backlog, typed `Busy`;
+//! * [`server`] — listener thread + bounded handler pool over an
+//!   `Arc<Qbs>` (N connections share one mmap'd index, workspace pool and
+//!   answer cache), graceful `Shutdown`-frame / SIGINT teardown;
+//! * [`client`] — blocking [`QbsClient`]: connect/reconnect, batch
+//!   submit, stats, ping, shutdown;
+//! * [`signal`] — the SIGINT/SIGTERM latch the CLI wires into the serve
+//!   loop.
+//!
+//! Server answers are **bit-identical** to local [`qbs_core::Qbs::submit`]
+//! outcomes — the loopback differential tests and the CI `serve-smoke`
+//! step enforce it.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qbs_core::{Qbs, QbsConfig, QueryRequest};
+//! use qbs_server::{BatchReply, QbsClient, QbsServer, ServerConfig};
+//! use qbs_graph::fixtures::figure4_graph;
+//!
+//! let qbs = Arc::new(
+//!     Qbs::build(figure4_graph(), QbsConfig::with_landmark_count(3)).unwrap(),
+//! );
+//! let mut server = QbsServer::start(Arc::clone(&qbs), ServerConfig::default()).unwrap();
+//! let mut client = QbsClient::connect(&server.local_addr().to_string()).unwrap();
+//! let reply = client.submit(&[QueryRequest::distance(6, 11)]).unwrap();
+//! match reply {
+//!     BatchReply::Outcomes(outcomes) => assert_eq!(outcomes[0].distance(), Some(5)),
+//!     BatchReply::Busy(reason) => panic!("unloaded server shed a batch: {reason}"),
+//! }
+//! server.shutdown();
+//! ```
+
+// `unsafe` is denied crate-wide; the single exception is the tiny
+// `signal(2)` latch (reviewed in isolation), which opts back in with a
+// module-level `allow` — exactly the `qbs-core::mmap` pattern.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionStats, BusyReason};
+pub use client::{BatchReply, QbsClient};
+pub use protocol::{ProtocolError, ServerStats, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use server::{QbsServer, ServerConfig, ServerHandle, ShutdownSignal};

@@ -1,0 +1,532 @@
+//! The framed wire protocol: handshake, length-prefixed frames, and the
+//! typed request/response frame enums.
+//!
+//! The byte layout is specified normatively in `docs/protocol.md`. In
+//! short: a connection opens with an 8-byte preamble from each side
+//! (`"QBSP"` magic + `u16` protocol version + reserved `u16`), after which
+//! both directions carry frames
+//!
+//! ```text
+//! [len: u32 LE][tag: u8][payload: len-1 bytes]
+//! ```
+//!
+//! Payloads reuse the canonical little-endian encodings of
+//! [`qbs_core::wire`], so a server response decodes into exactly the
+//! [`QueryOutcome`] values a local [`qbs_core::Qbs::submit`] call would
+//! return. Every malformed input — bad magic, foreign version, oversized
+//! frame, unknown tag, truncated or corrupt payload — surfaces as a typed
+//! [`ProtocolError`], never a panic; the robustness test suite sweeps
+//! truncations and bit flips over every frame kind to enforce it.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use qbs_core::wire::{Wire, WireError, WireReader};
+use qbs_core::{EngineStats, QueryOutcome, QueryRequest};
+
+use crate::admission::{AdmissionStats, BusyReason};
+
+/// Magic bytes opening every connection preamble.
+pub const PROTOCOL_MAGIC: [u8; 4] = *b"QBSP";
+
+/// Protocol version spoken by this build. The handshake rejects any other
+/// version with [`ProtocolError::VersionMismatch`]; additions bump this.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard cap on one frame's length field. Large enough for a 4096-request
+/// batch of path-graph answers on real graphs; small enough that a
+/// corrupted length can never drive an allocation bomb.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Byte length of the connection preamble each side sends.
+pub const PREAMBLE_LEN: usize = 8;
+
+/// A client-to-server frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestFrame {
+    /// Execute a heterogeneous batch of typed requests.
+    Batch(Vec<QueryRequest>),
+    /// Snapshot the server's serving/admission counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to drain in-flight batches and exit.
+    Shutdown,
+}
+
+/// A server-to-client frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResponseFrame {
+    /// Per-request outcomes of a [`RequestFrame::Batch`], in input order.
+    Batch(Vec<QueryOutcome>),
+    /// Reply to [`RequestFrame::Stats`].
+    Stats(ServerStats),
+    /// Reply to [`RequestFrame::Ping`].
+    Pong,
+    /// Reply to [`RequestFrame::Shutdown`]: the drain has begun.
+    ShutdownAck,
+    /// The batch was shed by admission control; retry later (the
+    /// connection stays healthy).
+    Busy(BusyReason),
+    /// A typed protocol-level failure; the server closes the connection
+    /// after sending it.
+    Error(WireFault),
+}
+
+/// Counter snapshot returned by the `Stats` frame: the session's serving
+/// counters plus the admission-control counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServerStats {
+    /// Engine/session counters (requests, batches, errors, cache).
+    pub engine: EngineStats,
+    /// Admission counters (admitted, shed, in-flight).
+    pub admission: AdmissionStats,
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n{}", self.engine, self.admission)
+    }
+}
+
+impl Wire for ServerStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.engine.encode(out);
+        self.admission.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ServerStats {
+            engine: EngineStats::decode(r)?,
+            admission: AdmissionStats::decode(r)?,
+        })
+    }
+}
+
+/// Stable error codes carried by [`ResponseFrame::Error`] — the remote
+/// half of [`ProtocolError`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireFault {
+    /// Stable numeric code (see `docs/protocol.md`).
+    pub code: u8,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Error codes used in [`WireFault::code`].
+pub mod fault_code {
+    /// The peer spoke a different protocol version.
+    pub const VERSION_MISMATCH: u8 = 1;
+    /// A frame payload failed to decode.
+    pub const MALFORMED: u8 = 2;
+    /// A frame carried an unknown tag.
+    pub const UNKNOWN_TAG: u8 = 3;
+    /// A frame length exceeded [`super::MAX_FRAME_LEN`].
+    pub const FRAME_TOO_LARGE: u8 = 4;
+    /// The server is shutting down and will not accept more work.
+    pub const SHUTTING_DOWN: u8 = 5;
+}
+
+impl Wire for WireFault {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.code);
+        self.message.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(WireFault {
+            code: r.u8("fault code")?,
+            message: String::decode(r)?,
+        })
+    }
+}
+
+/// Everything that can go wrong on a protocol endpoint (client or server
+/// side): transport failures, handshake rejections, and malformed frames.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying socket failure (includes clean EOF mid-frame).
+    Io(std::io::Error),
+    /// The preamble did not start with [`PROTOCOL_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Version of this endpoint.
+        ours: u16,
+        /// Version announced by the peer.
+        theirs: u16,
+    },
+    /// A frame announced a length above [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The announced length.
+        len: u32,
+    },
+    /// A frame carried a tag this endpoint does not know.
+    UnknownTag(u8),
+    /// A frame payload failed to decode.
+    Malformed(WireError),
+    /// The peer reported a typed fault and closed the connection.
+    Remote(WireFault),
+    /// The connection itself was shed by admission control (the server
+    /// refused it at accept time with a `Busy` frame).
+    Shed(BusyReason),
+    /// The peer answered with a frame kind the request cannot produce.
+    UnexpectedFrame(&'static str),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtocolError::BadMagic(magic) => {
+                write!(f, "bad protocol magic {magic:02x?} (expected \"QBSP\")")
+            }
+            ProtocolError::VersionMismatch { ours, theirs } => {
+                write!(
+                    f,
+                    "protocol version mismatch: we speak {ours}, peer speaks {theirs}"
+                )
+            }
+            ProtocolError::FrameTooLarge { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            ProtocolError::UnknownTag(tag) => write!(f, "unknown frame tag {tag:#04x}"),
+            ProtocolError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
+            ProtocolError::Remote(fault) => {
+                write!(f, "peer fault {}: {}", fault.code, fault.message)
+            }
+            ProtocolError::Shed(reason) => {
+                write!(f, "connection shed by admission control: {reason}")
+            }
+            ProtocolError::UnexpectedFrame(what) => {
+                write!(f, "peer answered with an unexpected {what} frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            ProtocolError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Malformed(e)
+    }
+}
+
+// Frame tags. Requests use the low range, responses the high range, so a
+// desynchronised endpoint fails with `UnknownTag` instead of misparsing.
+const TAG_BATCH: u8 = 0x01;
+const TAG_STATS: u8 = 0x02;
+const TAG_PING: u8 = 0x03;
+const TAG_SHUTDOWN: u8 = 0x04;
+const TAG_RESP_BATCH: u8 = 0x81;
+const TAG_RESP_STATS: u8 = 0x82;
+const TAG_RESP_PONG: u8 = 0x83;
+const TAG_RESP_SHUTDOWN_ACK: u8 = 0x84;
+const TAG_RESP_BUSY: u8 = 0x90;
+const TAG_RESP_ERROR: u8 = 0x91;
+
+/// Encodes a `Batch` frame body straight from a request slice — byte-equal
+/// to `RequestFrame::Batch(requests.to_vec()).encode_body()` without the
+/// intermediate clone (the client's hot path).
+pub fn encode_batch_body(requests: &[QueryRequest]) -> Vec<u8> {
+    let mut out = vec![TAG_BATCH];
+    out.extend_from_slice(&(requests.len() as u32).to_le_bytes());
+    for request in requests {
+        request.encode(&mut out);
+    }
+    out
+}
+
+impl RequestFrame {
+    /// Encodes the frame body (tag + payload, without the length prefix).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            RequestFrame::Batch(requests) => {
+                out.push(TAG_BATCH);
+                requests.encode(&mut out);
+            }
+            RequestFrame::Stats => out.push(TAG_STATS),
+            RequestFrame::Ping => out.push(TAG_PING),
+            RequestFrame::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes a frame body (tag + payload). Malformed bodies yield typed
+    /// errors, never panics.
+    pub fn decode_body(body: &[u8]) -> Result<RequestFrame, ProtocolError> {
+        let mut r = WireReader::new(body);
+        let tag = r.u8("frame tag").map_err(ProtocolError::Malformed)?;
+        let frame = match tag {
+            TAG_BATCH => RequestFrame::Batch(Vec::<QueryRequest>::decode(&mut r)?),
+            TAG_STATS => RequestFrame::Stats,
+            TAG_PING => RequestFrame::Ping,
+            TAG_SHUTDOWN => RequestFrame::Shutdown,
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        r.finish().map_err(ProtocolError::Malformed)?;
+        Ok(frame)
+    }
+}
+
+impl ResponseFrame {
+    /// Encodes the frame body (tag + payload, without the length prefix).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ResponseFrame::Batch(outcomes) => {
+                out.push(TAG_RESP_BATCH);
+                outcomes.encode(&mut out);
+            }
+            ResponseFrame::Stats(stats) => {
+                out.push(TAG_RESP_STATS);
+                stats.encode(&mut out);
+            }
+            ResponseFrame::Pong => out.push(TAG_RESP_PONG),
+            ResponseFrame::ShutdownAck => out.push(TAG_RESP_SHUTDOWN_ACK),
+            ResponseFrame::Busy(reason) => {
+                out.push(TAG_RESP_BUSY);
+                reason.encode(&mut out);
+            }
+            ResponseFrame::Error(fault) => {
+                out.push(TAG_RESP_ERROR);
+                fault.encode(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame body (tag + payload).
+    pub fn decode_body(body: &[u8]) -> Result<ResponseFrame, ProtocolError> {
+        let mut r = WireReader::new(body);
+        let tag = r.u8("frame tag").map_err(ProtocolError::Malformed)?;
+        let frame = match tag {
+            TAG_RESP_BATCH => ResponseFrame::Batch(Vec::<QueryOutcome>::decode(&mut r)?),
+            TAG_RESP_STATS => ResponseFrame::Stats(ServerStats::decode(&mut r)?),
+            TAG_RESP_PONG => ResponseFrame::Pong,
+            TAG_RESP_SHUTDOWN_ACK => ResponseFrame::ShutdownAck,
+            TAG_RESP_BUSY => ResponseFrame::Busy(BusyReason::decode(&mut r)?),
+            TAG_RESP_ERROR => ResponseFrame::Error(WireFault::decode(&mut r)?),
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        r.finish().map_err(ProtocolError::Malformed)?;
+        Ok(frame)
+    }
+}
+
+/// Writes the 8-byte connection preamble.
+pub fn write_preamble<W: Write>(w: &mut W) -> Result<(), ProtocolError> {
+    let mut preamble = [0u8; PREAMBLE_LEN];
+    preamble[..4].copy_from_slice(&PROTOCOL_MAGIC);
+    preamble[4..6].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    w.write_all(&preamble)?;
+    Ok(())
+}
+
+/// Reads and validates the peer's 8-byte preamble.
+pub fn read_preamble<R: Read>(r: &mut R) -> Result<(), ProtocolError> {
+    let mut preamble = [0u8; PREAMBLE_LEN];
+    r.read_exact(&mut preamble)?;
+    let magic: [u8; 4] = preamble[..4].try_into().expect("fixed split");
+    if magic != PROTOCOL_MAGIC {
+        return Err(ProtocolError::BadMagic(magic));
+    }
+    let theirs = u16::from_le_bytes([preamble[4], preamble[5]]);
+    if theirs != PROTOCOL_VERSION {
+        return Err(ProtocolError::VersionMismatch {
+            ours: PROTOCOL_VERSION,
+            theirs,
+        });
+    }
+    Ok(())
+}
+
+/// Writes one length-prefixed frame body.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> Result<(), ProtocolError> {
+    let len =
+        u32::try_from(body.len()).map_err(|_| ProtocolError::FrameTooLarge { len: u32::MAX })?;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge { len });
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame body. The length is validated against
+/// [`MAX_FRAME_LEN`] before any allocation.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, ProtocolError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge { len });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Convenience: write one request frame.
+pub fn write_request<W: Write>(w: &mut W, frame: &RequestFrame) -> Result<(), ProtocolError> {
+    write_frame(w, &frame.encode_body())
+}
+
+/// Convenience: write one response frame.
+pub fn write_response<W: Write>(w: &mut W, frame: &ResponseFrame) -> Result<(), ProtocolError> {
+    write_frame(w, &frame.encode_body())
+}
+
+/// Convenience: read one request frame.
+pub fn read_request<R: Read>(r: &mut R) -> Result<RequestFrame, ProtocolError> {
+    RequestFrame::decode_body(&read_frame(r)?)
+}
+
+/// Convenience: read one response frame.
+pub fn read_response<R: Read>(r: &mut R) -> Result<ResponseFrame, ProtocolError> {
+    ResponseFrame::decode_body(&read_frame(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbs_core::RequestError;
+
+    fn roundtrip_request(frame: RequestFrame) {
+        let body = frame.encode_body();
+        assert_eq!(RequestFrame::decode_body(&body).unwrap(), frame);
+    }
+
+    fn roundtrip_response(frame: ResponseFrame) {
+        let body = frame.encode_body();
+        assert_eq!(ResponseFrame::decode_body(&body).unwrap(), frame);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let batch = vec![
+            QueryRequest::distance(1, 2),
+            QueryRequest::path_graph(3, 4).with_stats(),
+            QueryRequest::sketch(5, 6).uncached(),
+        ];
+        assert_eq!(
+            encode_batch_body(&batch),
+            RequestFrame::Batch(batch.clone()).encode_body(),
+            "the slice fast path is byte-equal to the enum encoder"
+        );
+        roundtrip_request(RequestFrame::Batch(batch));
+        roundtrip_request(RequestFrame::Batch(Vec::new()));
+        roundtrip_request(RequestFrame::Stats);
+        roundtrip_request(RequestFrame::Ping);
+        roundtrip_request(RequestFrame::Shutdown);
+
+        roundtrip_response(ResponseFrame::Batch(vec![
+            QueryOutcome::Distance(5),
+            QueryOutcome::Error(RequestError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 4,
+            }),
+        ]));
+        roundtrip_response(ResponseFrame::Stats(ServerStats::default()));
+        roundtrip_response(ResponseFrame::Pong);
+        roundtrip_response(ResponseFrame::ShutdownAck);
+        roundtrip_response(ResponseFrame::Busy(BusyReason::BatchTooLarge {
+            limit: 16,
+            got: 40,
+        }));
+        roundtrip_response(ResponseFrame::Error(WireFault {
+            code: fault_code::MALFORMED,
+            message: "truncated".into(),
+        }));
+    }
+
+    #[test]
+    fn preamble_rejects_foreign_magic_and_version() {
+        let mut buf = Vec::new();
+        write_preamble(&mut buf).unwrap();
+        assert_eq!(buf.len(), PREAMBLE_LEN);
+        read_preamble(&mut &buf[..]).unwrap();
+
+        let mut wrong_magic = buf.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            read_preamble(&mut &wrong_magic[..]),
+            Err(ProtocolError::BadMagic(_))
+        ));
+
+        let mut wrong_version = buf.clone();
+        wrong_version[4] = 99;
+        assert!(matches!(
+            read_preamble(&mut &wrong_version[..]),
+            Err(ProtocolError::VersionMismatch { theirs: 99, .. })
+        ));
+
+        assert!(matches!(
+            read_preamble(&mut &buf[..4]),
+            Err(ProtocolError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn frame_lengths_are_capped() {
+        let mut oversized = ((MAX_FRAME_LEN + 1).to_le_bytes()).to_vec();
+        oversized.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            read_frame(&mut &oversized[..]),
+            Err(ProtocolError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_typed_errors() {
+        assert!(matches!(
+            RequestFrame::decode_body(&[0x7F]),
+            Err(ProtocolError::UnknownTag(0x7F))
+        ));
+        assert!(matches!(
+            ResponseFrame::decode_body(&[0x01]),
+            Err(ProtocolError::UnknownTag(0x01)),
+        ));
+        // A ping with a stray payload byte is malformed, not silently ok.
+        assert!(matches!(
+            RequestFrame::decode_body(&[TAG_PING, 0]),
+            Err(ProtocolError::Malformed(WireError::Trailing { extra: 1 }))
+        ));
+        assert!(matches!(
+            RequestFrame::decode_body(&[]),
+            Err(ProtocolError::Malformed(WireError::Truncated { .. }))
+        ));
+        let display = ProtocolError::UnknownTag(0x7F).to_string();
+        assert!(display.contains("0x7f"), "{display}");
+    }
+
+    #[test]
+    fn frame_io_roundtrips_over_a_stream() {
+        let frame = RequestFrame::Batch(vec![QueryRequest::distance(1, 2)]);
+        let mut buf = Vec::new();
+        write_request(&mut buf, &frame).unwrap();
+        assert_eq!(read_request(&mut &buf[..]).unwrap(), frame);
+
+        let response = ResponseFrame::Batch(vec![QueryOutcome::Distance(1)]);
+        let mut buf = Vec::new();
+        write_response(&mut buf, &response).unwrap();
+        assert_eq!(read_response(&mut &buf[..]).unwrap(), response);
+    }
+}

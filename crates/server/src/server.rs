@@ -1,0 +1,588 @@
+//! The long-running TCP server: a listener thread plus a bounded
+//! connection-handler pool over one shared [`Qbs`] session.
+//!
+//! Architecture (one process, N connections, one mmap'd index):
+//!
+//! ```text
+//! listener thread ──claim idle──▶ handoff channel ──▶ handler pool (H threads)
+//!        │  (no idle handler → preamble + Busy + close)       │
+//!        ▼                                                    ▼
+//!   ShutdownSignal ◀─── Shutdown frame / SIGINT        Arc<Qbs>::submit
+//!                                                      (admission-gated)
+//! ```
+//!
+//! Every handler serves one connection at a time: handshake, then a frame
+//! loop that executes `Batch` frames through [`Qbs::submit`] (so all
+//! connections share the session's workspace pool and answer cache),
+//! answers `Stats`/`Ping`, and honours `Shutdown`. Admission control
+//! ([`crate::admission`]) gates every batch; shed work is answered with a
+//! typed `Busy` frame, never a hang.
+//!
+//! Shutdown is graceful from either direction — a `Shutdown` frame or
+//! [`ServerHandle::shutdown`] (which the CLI wires to SIGINT): the signal
+//! flag flips, the polling listener observes it and exits, handlers
+//! finish the batch they are executing (in-flight work is drained,
+//! responses are written) and close their connections, and `shutdown`
+//! joins every thread before returning, so the process can unmap the
+//! index file cleanly.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qbs_core::Qbs;
+
+use crate::admission::{Admission, AdmissionConfig, BusyReason};
+use crate::protocol::{
+    self, fault_code, ProtocolError, RequestFrame, ResponseFrame, ServerStats, WireFault,
+    MAX_FRAME_LEN,
+};
+
+/// How often an idle handler re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// How often the listener polls its non-blocking accept for new
+/// connections and the shutdown flag. Short: this is first-connect
+/// latency for every client (the poll is a sleep, so an idle listener
+/// still costs ~nothing).
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// How long a handler will wait for the rest of a frame once its first
+/// byte has arrived (a stalled half-frame must not pin a handler forever).
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Configuration of a [`QbsServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Connection-handler threads — the physical bound on concurrently
+    /// *served* connections. [`AdmissionConfig::max_connections`] only
+    /// bites when set *below* this (it sheds with a typed reason instead
+    /// of silently limiting).
+    pub handler_threads: usize,
+    /// Admission bounds (in-flight requests, batch size, connections).
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            handler_threads: 4,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// The shutdown latch shared by the listener, the handlers, and external
+/// triggers (the CLI's SIGINT handler, the `Shutdown` protocol frame).
+/// The listener polls a non-blocking accept against this flag, so a
+/// trigger never depends on being able to dial the server's own address.
+#[derive(Debug)]
+pub struct ShutdownSignal {
+    flag: AtomicBool,
+}
+
+impl ShutdownSignal {
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown. Idempotent; observed by the listener within its
+    /// accept-poll interval and by idle handlers within theirs.
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Namespace for starting servers (see [`QbsServer::start`]).
+pub struct QbsServer;
+
+impl QbsServer {
+    /// Binds `config.addr` and starts serving `qbs` — returns immediately
+    /// with a handle owning the listener and handler threads.
+    pub fn start(qbs: Arc<Qbs>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let signal = Arc::new(ShutdownSignal {
+            flag: AtomicBool::new(false),
+        });
+        let admission = Arc::new(Admission::new(config.admission));
+        let dispatch = Arc::new(Dispatch::default());
+        let pool_size = config.handler_threads.max(1);
+        // The channel only ever holds claim-matched connections (see
+        // [`Dispatch`]), so one slot per handler is always enough.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(pool_size);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let handlers: Vec<JoinHandle<()>> = (0..pool_size)
+            .map(|_| {
+                let qbs = Arc::clone(&qbs);
+                let dispatch = Arc::clone(&dispatch);
+                let admission = Arc::clone(&admission);
+                let signal = Arc::clone(&signal);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || handler_loop(&qbs, &dispatch, &admission, &signal, &rx))
+            })
+            .collect();
+
+        let listener_thread = {
+            let admission = Arc::clone(&admission);
+            let signal = Arc::clone(&signal);
+            let dispatch = Arc::clone(&dispatch);
+            std::thread::spawn(move || {
+                listener_loop(listener, tx, pool_size, &dispatch, &admission, &signal)
+            })
+        };
+
+        // Don't return (and invite connections) until at least one handler
+        // has parked — otherwise a connect racing the handler spawns would
+        // be shed from a server that is merely still starting.
+        let ready_deadline = std::time::Instant::now() + Duration::from_secs(1);
+        while dispatch.idle_handlers.load(Ordering::SeqCst) == 0
+            && std::time::Instant::now() < ready_deadline
+        {
+            std::thread::yield_now();
+        }
+
+        Ok(ServerHandle {
+            addr,
+            signal,
+            admission,
+            qbs,
+            listener: Some(listener_thread),
+            handlers,
+        })
+    }
+}
+
+/// A running server: owns its threads, joins them on
+/// [`ServerHandle::shutdown`] or drop.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    signal: Arc<ShutdownSignal>,
+    admission: Arc<Admission>,
+    qbs: Arc<Qbs>,
+    listener: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown latch — share it with a signal handler or watchdog;
+    /// [`ShutdownSignal::trigger`] from anywhere initiates the same
+    /// graceful drain as a `Shutdown` protocol frame.
+    pub fn signal(&self) -> Arc<ShutdownSignal> {
+        Arc::clone(&self.signal)
+    }
+
+    /// The served session (shared with every handler).
+    pub fn qbs(&self) -> &Arc<Qbs> {
+        &self.qbs
+    }
+
+    /// A snapshot of the server's serving + admission counters — the same
+    /// value a `Stats` protocol frame returns.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            engine: self.qbs.engine_stats(),
+            admission: self.admission.stats(),
+        }
+    }
+
+    /// Triggers shutdown (idempotent), drains in-flight batches, joins the
+    /// listener and every handler, and returns once the server is fully
+    /// torn down — after this the process holds no serving threads and can
+    /// drop the session (unmapping the index) safely.
+    pub fn shutdown(&mut self) {
+        self.signal.trigger();
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        // The listener owned the channel sender; with it joined, handlers
+        // drain the queued connections and exit their recv loop.
+        for handler in self.handlers.drain(..) {
+            let _ = handler.join();
+        }
+        // All handlers are joined, so this returns immediately; it is the
+        // documented invariant (no in-flight work survives shutdown).
+        self.admission.drain();
+    }
+
+    /// Blocks until the shutdown latch flips (a `Shutdown` frame arrived
+    /// or [`ShutdownSignal::trigger`] was called elsewhere), then tears the
+    /// server down as [`ServerHandle::shutdown`] does.
+    pub fn wait(mut self) {
+        while !self.signal.is_shutdown() {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Listener/handler coordination counters. `idle_handlers` counts parked
+/// **and unclaimed** handlers: a handler increments it when it parks on
+/// the channel, and the *listener* decrements it when it claims one by
+/// queueing a connection — a claim-then-send protocol, so two arrivals can
+/// never both be queued against one idle handler (the TOCTOU a plain
+/// "is anyone idle?" load would allow, parking the loser un-handshaken
+/// behind a long session). `shed_threads` bounds the refusal helpers so a
+/// connection flood cannot spawn threads without bound.
+#[derive(Debug, Default)]
+struct Dispatch {
+    idle_handlers: AtomicUsize,
+    shed_threads: AtomicUsize,
+}
+
+impl Dispatch {
+    /// Claims one unclaimed idle handler; `false` means shed.
+    fn claim_idle_handler(&self) -> bool {
+        self.idle_handlers
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// Cap on concurrent shed-refusal threads; refusals beyond it are dropped
+/// outright (plain close) — under a flood, bounded resources beat
+/// delivering every courtesy reply.
+const MAX_SHED_THREADS: usize = 8;
+
+/// Sheds a refused connection on a bounded helper thread. `refuse` paces
+/// at the client's speed (preamble drain + linger), so it must never run
+/// on the listener thread.
+fn shed_detached(dispatch: &Arc<Dispatch>, stream: TcpStream, reason: BusyReason) {
+    if dispatch.shed_threads.fetch_add(1, Ordering::SeqCst) >= MAX_SHED_THREADS {
+        dispatch.shed_threads.fetch_sub(1, Ordering::SeqCst);
+        return; // flood regime: close without the courtesy frame
+    }
+    let worker = Arc::clone(dispatch);
+    let spawned = std::thread::Builder::new()
+        .name("qbs-shed".into())
+        .spawn(move || {
+            shed(stream, reason);
+            worker.shed_threads.fetch_sub(1, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        // Spawn failure (resource exhaustion): the stream was dropped with
+        // the unrun closure; release the slot it claimed.
+        dispatch.shed_threads.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Accept loop: polls a non-blocking accept (so a shutdown trigger is
+/// observed within [`ACCEPT_POLL`] regardless of traffic) and hands each
+/// connection to a claimed idle handler. A connection is shed with a typed
+/// `Busy` the moment no handler is idle — queueing it would park the
+/// client without a handshake until some unrelated session ends, which is
+/// exactly the hang the protocol forbids. Accept errors back off instead
+/// of busy-spinning — a flood-induced EMFILE must not peg a core.
+fn listener_loop(
+    listener: TcpListener,
+    tx: SyncSender<TcpStream>,
+    pool_size: usize,
+    dispatch: &Arc<Dispatch>,
+    admission: &Admission,
+    signal: &ShutdownSignal,
+) {
+    loop {
+        if signal.is_shutdown() {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The accepted socket may inherit non-blocking mode on
+                // some platforms; handlers expect blocking semantics.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                stream
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(_) => {
+                // Transient (EMFILE under a connection flood, ...): retry
+                // after a beat rather than spinning.
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+        };
+        if !dispatch.claim_idle_handler() {
+            admission.record_backlog_shed();
+            shed_detached(
+                dispatch,
+                stream,
+                BusyReason::NoIdleHandler {
+                    handlers: pool_size as u64,
+                },
+            );
+            continue;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                // Unreachable in practice: claims never exceed parked
+                // handlers and the channel has one slot per handler. Kept
+                // as a defensive shed — return the claim first.
+                dispatch.idle_handlers.fetch_add(1, Ordering::SeqCst);
+                admission.record_backlog_shed();
+                shed_detached(
+                    dispatch,
+                    stream,
+                    BusyReason::NoIdleHandler {
+                        handlers: pool_size as u64,
+                    },
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+/// Writes `preamble + Busy(reason)` to a connection being refused.
+fn shed(stream: TcpStream, reason: BusyReason) {
+    refuse(stream, ResponseFrame::Busy(reason));
+}
+
+/// Refuses a connection with one typed response frame, with short timeouts
+/// so a slow client cannot stall the caller. The client's own preamble is
+/// drained first and the close lingers, so the refusal is delivered as
+/// orderly data + FIN — never lost to a reset.
+fn refuse(mut stream: TcpStream, frame: ResponseFrame) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut hello = [0u8; protocol::PREAMBLE_LEN];
+    let _ = std::io::Read::read_exact(&mut stream, &mut hello);
+    let _ = protocol::write_preamble(&mut stream);
+    let _ = protocol::write_response(&mut stream, &frame);
+    linger_close(stream);
+}
+
+/// Half-closes the write side and drains whatever the client still sends,
+/// so a close after a queued reply can never turn into a TCP reset that
+/// destroys the un-read reply. The drain is bounded by a hard deadline
+/// (not just per-read timeouts): a client uploading forever gets its FIN
+/// and then a plain close, it cannot pin the draining thread.
+fn linger_close(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let deadline = std::time::Instant::now() + Duration::from_millis(500);
+    let mut sink = [0u8; 512];
+    while std::time::Instant::now() < deadline {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Handler thread body: pull connections off the shared channel until it
+/// closes, serving each to completion.
+fn handler_loop(
+    qbs: &Qbs,
+    dispatch: &Dispatch,
+    admission: &Admission,
+    signal: &ShutdownSignal,
+    rx: &Mutex<Receiver<TcpStream>>,
+) {
+    loop {
+        // Park: advertise this handler as idle. The matching decrement is
+        // the listener's claim (see [`Dispatch`]), not ours.
+        dispatch.idle_handlers.fetch_add(1, Ordering::SeqCst);
+        let stream = {
+            let rx = rx.lock().expect("connection channel poisoned");
+            rx.recv()
+        };
+        let Ok(stream) = stream else {
+            break; // listener gone, queue drained
+        };
+        if signal.is_shutdown() {
+            // A connection queued behind the shutdown: refuse it cleanly.
+            refuse(
+                stream,
+                ResponseFrame::Error(WireFault {
+                    code: fault_code::SHUTTING_DOWN,
+                    message: "server is shutting down".into(),
+                }),
+            );
+            continue;
+        }
+        let mut stream = stream;
+        match admission.admit_connection() {
+            Ok(_guard) => {
+                // Errors end the connection, not the server.
+                let _ = serve_connection(qbs, admission, signal, &mut stream);
+                linger_close(stream);
+            }
+            Err(reason) => shed(stream, reason),
+        }
+    }
+}
+
+/// Serves one connection: handshake, then the frame loop.
+fn serve_connection(
+    qbs: &Qbs,
+    admission: &Admission,
+    signal: &ShutdownSignal,
+    stream: &mut TcpStream,
+) -> Result<(), ProtocolError> {
+    stream.set_nodelay(true).ok();
+    stream.set_write_timeout(Some(FRAME_TIMEOUT))?;
+    stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
+
+    // The client speaks first; a foreign version earns a typed fault frame
+    // (we still announce our preamble so the client can decode it), bad
+    // magic just closes — the byte stream cannot be trusted for framing.
+    match protocol::read_preamble(&mut *stream) {
+        Ok(()) => protocol::write_preamble(&mut *stream)?,
+        Err(ProtocolError::VersionMismatch { ours, theirs }) => {
+            protocol::write_preamble(&mut *stream)?;
+            protocol::write_response(
+                &mut *stream,
+                &ResponseFrame::Error(WireFault {
+                    code: fault_code::VERSION_MISMATCH,
+                    message: format!("server speaks version {ours}, client sent {theirs}"),
+                }),
+            )?;
+            return Ok(());
+        }
+        Err(e) => return Err(e),
+    }
+
+    loop {
+        // Idle wait: peek (without consuming) so a poll timeout can never
+        // desynchronise the framing, re-checking the shutdown flag between
+        // polls. Once bytes are available the frame is read blocking (with
+        // the stalled-frame timeout).
+        match wait_for_data(stream, signal)? {
+            DataEvent::Shutdown | DataEvent::Eof => return Ok(()),
+            DataEvent::Ready => {}
+        }
+        let frame = match protocol::read_request(&mut *stream) {
+            Ok(frame) => frame,
+            Err(err) => {
+                // Typed refusal on the way out; the connection is closed
+                // because framing can no longer be trusted.
+                let fault = match &err {
+                    ProtocolError::FrameTooLarge { len } => WireFault {
+                        code: fault_code::FRAME_TOO_LARGE,
+                        message: format!("frame length {len} exceeds the cap"),
+                    },
+                    ProtocolError::UnknownTag(tag) => WireFault {
+                        code: fault_code::UNKNOWN_TAG,
+                        message: format!("unknown request tag {tag:#04x}"),
+                    },
+                    other => WireFault {
+                        code: fault_code::MALFORMED,
+                        message: other.to_string(),
+                    },
+                };
+                let _ = protocol::write_response(&mut *stream, &ResponseFrame::Error(fault));
+                return Err(err);
+            }
+        };
+        match frame {
+            RequestFrame::Batch(requests) => {
+                let response = match admission.admit_batch(requests.len()) {
+                    Ok(_permit) => ResponseFrame::Batch(qbs.submit(&requests)),
+                    Err(reason) => ResponseFrame::Busy(reason),
+                };
+                send_response(stream, &response)?;
+            }
+            RequestFrame::Stats => {
+                let stats = ServerStats {
+                    engine: qbs.engine_stats(),
+                    admission: admission.stats(),
+                };
+                send_response(stream, &ResponseFrame::Stats(stats))?;
+            }
+            RequestFrame::Ping => {
+                send_response(stream, &ResponseFrame::Pong)?;
+            }
+            RequestFrame::Shutdown => {
+                // Flip the latch before acking, so a client that saw the
+                // ack can rely on the drain having begun.
+                signal.trigger();
+                protocol::write_response(&mut *stream, &ResponseFrame::ShutdownAck)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Encodes and writes one response. A response that encodes past the
+/// frame cap (a huge admitted batch of path-graph answers) is downgraded
+/// to a typed `Error` frame — the client sees code 4 immediately and can
+/// split the batch, instead of hanging on a silently closed connection —
+/// and the connection is then closed (framing stays trustworthy, but the
+/// request/response rhythm does not).
+fn send_response(stream: &mut TcpStream, response: &ResponseFrame) -> Result<(), ProtocolError> {
+    let body = response.encode_body();
+    if body.len() > MAX_FRAME_LEN as usize {
+        let _ = protocol::write_response(
+            stream,
+            &ResponseFrame::Error(WireFault {
+                code: fault_code::FRAME_TOO_LARGE,
+                message: format!(
+                    "encoded response ({} bytes) exceeds the {MAX_FRAME_LEN}-byte frame cap; \
+                     split the batch",
+                    body.len()
+                ),
+            }),
+        );
+        return Err(ProtocolError::FrameTooLarge {
+            len: u32::try_from(body.len()).unwrap_or(u32::MAX),
+        });
+    }
+    protocol::write_frame(&mut *stream, &body)
+}
+
+enum DataEvent {
+    Ready,
+    Eof,
+    Shutdown,
+}
+
+/// Waits until the connection has readable bytes, the peer closed, or
+/// shutdown was requested — without consuming anything from the stream.
+fn wait_for_data(stream: &TcpStream, signal: &ShutdownSignal) -> std::io::Result<DataEvent> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut probe = [0u8; 1];
+    let event = loop {
+        if signal.is_shutdown() {
+            break DataEvent::Shutdown;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => break DataEvent::Eof,
+            Ok(_) => break DataEvent::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    };
+    stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
+    Ok(event)
+}

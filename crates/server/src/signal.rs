@@ -1,0 +1,86 @@
+//! A tiny SIGINT/SIGTERM latch for graceful CLI teardown.
+//!
+//! The offline build environment has no `signal-hook`/`ctrlc` crates, so
+//! this module binds `signal(2)` directly via `extern "C"` on Unix —
+//! mirroring the `mmap` shim in `qbs-core` ([`qbs_core::mmap`]), it is the
+//! only code in this crate allowed to use `unsafe`. The handler does the
+//! one async-signal-safe thing possible: it stores into a process-global
+//! [`AtomicBool`]. The serve loop polls that flag and runs the same
+//! graceful drain as a protocol-level `Shutdown` frame, so Ctrl-C always
+//! unmaps and flushes cleanly instead of hard-killing the process
+//! mid-batch.
+//!
+//! On non-Unix targets the installer is a no-op returning a flag that
+//! never fires (the default abrupt Ctrl-C behaviour applies there).
+#![allow(unsafe_code)]
+
+use std::sync::atomic::AtomicBool;
+
+/// The process-global termination flag set by the signal handler.
+static TERMINATION_FLAG: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGINT + SIGTERM handlers (once; further calls just return the
+/// flag) and returns the flag they set. Safe to call from any thread.
+pub fn termination_flag() -> &'static AtomicBool {
+    imp::install();
+    &TERMINATION_FLAG
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::ffi::c_int;
+    use std::sync::Once;
+
+    use super::TERMINATION_FLAG;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    // `sighandler_t` is a function pointer on every Unix we target; the
+    // return value (the previous handler) is ignored, declared as a raw
+    // pointer-sized integer to stay ABI-compatible without naming it.
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    extern "C" fn on_terminate(_signum: c_int) {
+        // Atomic store is async-signal-safe; everything else (joining
+        // threads, unmapping) happens on the polling thread.
+        TERMINATION_FLAG.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    static INSTALL: Once = Once::new();
+
+    pub(super) fn install() {
+        INSTALL.call_once(|| {
+            // SAFETY: `on_terminate` is an `extern "C" fn(c_int)` matching
+            // the sighandler_t ABI and only performs an atomic store, which
+            // is async-signal-safe. `signal` itself has no memory-safety
+            // preconditions.
+            unsafe {
+                signal(SIGINT, on_terminate);
+                signal(SIGTERM, on_terminate);
+            }
+        });
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn installer_is_idempotent_and_returns_the_flag() {
+        let flag = termination_flag();
+        let again = termination_flag();
+        assert!(std::ptr::eq(flag, again));
+        // The flag must start clear in a process that received no signal.
+        // (Other tests never raise SIGINT/SIGTERM.)
+        assert!(!flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,310 @@
+//! Loopback integration tests: the served answers must be bit-identical
+//! to local `Qbs::submit`, admission must shed with typed `Busy` replies
+//! (never hangs or dropped connections), and shutdown must drain cleanly.
+
+use std::sync::Arc;
+
+use qbs_core::serialize::{self, IndexFormat, MapMode};
+use qbs_core::{CacheConfig, Qbs, QbsConfig, QbsIndex, QueryRequest};
+use qbs_gen::catalog::{Catalog, DatasetId, Scale};
+use qbs_server::{
+    AdmissionConfig, BatchReply, BusyReason, QbsClient, QbsServer, ServerConfig, ShutdownSignal,
+};
+
+/// Builds the shared test index (a tiny Douban stand-in), saves it as a v2
+/// file, and returns an mmap-backed session over it plus the file path.
+fn mmap_session(tag: &str) -> (Arc<Qbs>, std::path::PathBuf) {
+    let dir =
+        std::env::temp_dir().join(format!("qbs_server_loopback_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let graph = Catalog::paper_table1()
+        .get(DatasetId::Douban)
+        .expect("catalog")
+        .generate(Scale::Tiny);
+    let index = QbsIndex::try_build(graph, QbsConfig::with_landmark_count(8)).expect("build");
+    let path = dir.join("index.qbs2");
+    serialize::save_to_file_with(&index, &path, IndexFormat::Binary).expect("save");
+    let qbs = Qbs::open(&path, MapMode::Mmap).expect("open mmap");
+    assert_eq!(qbs.backend().name(), "view", "test serves the mmap path");
+    (Arc::new(qbs.with_threads(2).expect("threads")), path)
+}
+
+/// A mixed Distance/PathGraph/Sketch workload with one poisoned pair
+/// spliced into the middle.
+fn mixed_requests(num_vertices: u32, salt: u32) -> Vec<QueryRequest> {
+    let mut requests: Vec<QueryRequest> = (0..40u32)
+        .map(|i| {
+            let u = (i * 7 + salt) % num_vertices;
+            let v = (i * 13 + 3 * salt + 1) % num_vertices;
+            match i % 4 {
+                0 => QueryRequest::distance(u, v),
+                1 => QueryRequest::path_graph(u, v),
+                2 => QueryRequest::path_graph(u, v).with_stats(),
+                _ => QueryRequest::sketch(u, v),
+            }
+        })
+        .collect();
+    requests.insert(requests.len() / 2, QueryRequest::distance(num_vertices, 0));
+    requests
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_answers() {
+    let (qbs, path) = mmap_session("differential");
+    let num_vertices = qbs_core::IndexStore::num_vertices(qbs.as_ref()) as u32;
+    let mut server = QbsServer::start(Arc::clone(&qbs), ServerConfig::default()).expect("start");
+    let addr = server.local_addr().to_string();
+
+    // The local reference is a *separate* session over the same file, so
+    // the comparison cannot be satisfied by shared state.
+    let local = Qbs::open(&path, MapMode::Mmap).expect("local reference");
+
+    std::thread::scope(|scope| {
+        for salt in 0..4u32 {
+            let addr = addr.clone();
+            let local = &local;
+            scope.spawn(move || {
+                // connect_retry: a client racing the handler spawns right
+                // after start() may be refused with a retryable shed.
+                let mut client =
+                    QbsClient::connect_retry(&addr, std::time::Duration::from_secs(10))
+                        .expect("connect");
+                for round in 0..3u32 {
+                    let requests = mixed_requests(num_vertices, salt + 4 * round);
+                    let reply = client.submit(&requests).expect("submit");
+                    let outcomes = reply.outcomes().expect("unloaded server never sheds");
+                    let expected = local.submit(&requests);
+                    assert_eq!(
+                        outcomes,
+                        &expected[..],
+                        "client {salt} round {round}: served answers diverged from local submit"
+                    );
+                    let poisoned = &outcomes[requests.len() / 2];
+                    assert!(poisoned.is_error(), "poisoned pair fails alone");
+                    assert_eq!(
+                        outcomes.iter().filter(|o| o.is_error()).count(),
+                        1,
+                        "exactly the poisoned slot errors"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.admission.admitted_batches, 12);
+    assert_eq!(stats.engine.batches, 12);
+    assert_eq!(stats.engine.errors, 12, "one poisoned pair per batch");
+    server.shutdown();
+}
+
+#[test]
+fn cache_hits_are_bit_identical_across_the_wire() {
+    let (_warmup, path) = mmap_session("cache");
+    // Rebuild the session with a cache attached (admit everything).
+    let qbs = Arc::new(
+        Qbs::open(&path, MapMode::Mmap)
+            .expect("open")
+            .with_threads(2)
+            .expect("threads")
+            .with_cache(CacheConfig::default().admit_above(0)),
+    );
+    let num_vertices = qbs_core::IndexStore::num_vertices(qbs.as_ref()) as u32;
+    let mut server = QbsServer::start(Arc::clone(&qbs), ServerConfig::default()).expect("start");
+    let mut client = QbsClient::connect(&server.local_addr().to_string()).expect("connect");
+
+    let requests = mixed_requests(num_vertices, 1);
+    let cold = client.submit(&requests).expect("cold");
+    let warm = client.submit(&requests).expect("warm");
+    assert_eq!(cold, warm, "warm-cache replies are bit-identical");
+
+    let stats = client.stats().expect("stats");
+    let cache = stats.engine.cache.expect("cache attached");
+    assert!(cache.hits > 0, "second round hit the cache: {cache:?}");
+    assert_eq!(stats.engine.requests, 2 * requests.len() as u64);
+    server.shutdown();
+}
+
+#[test]
+fn exceeding_max_inflight_yields_typed_busy_not_a_hang() {
+    let (qbs, _path) = mmap_session("busy");
+    let num_vertices = qbs_core::IndexStore::num_vertices(qbs.as_ref()) as u32;
+    let config = ServerConfig {
+        admission: AdmissionConfig {
+            max_inflight: 8,
+            max_batch: 16,
+            max_connections: 8,
+        },
+        ..ServerConfig::default()
+    };
+    let mut server = QbsServer::start(Arc::clone(&qbs), config).expect("start");
+    let mut client = QbsClient::connect(&server.local_addr().to_string()).expect("connect");
+
+    // A batch over the per-batch cap: typed Busy, connection stays usable.
+    let oversized: Vec<QueryRequest> = (0..17u32)
+        .map(|i| QueryRequest::distance(i % num_vertices, (i + 1) % num_vertices))
+        .collect();
+    match client.submit(&oversized).expect("reply") {
+        BatchReply::Busy(BusyReason::BatchTooLarge { limit: 16, got: 17 }) => {}
+        other => panic!("expected BatchTooLarge, got {other:?}"),
+    }
+
+    // A batch over the in-flight bound (9 > 8): typed Busy.
+    let wide: Vec<QueryRequest> = (0..9u32)
+        .map(|i| QueryRequest::distance(i % num_vertices, (i + 2) % num_vertices))
+        .collect();
+    match client.submit(&wide).expect("reply") {
+        BatchReply::Busy(BusyReason::Overloaded {
+            limit: 8, got: 9, ..
+        }) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // The same connection still serves admissible work afterwards.
+    let ok: Vec<QueryRequest> = (0..8u32)
+        .map(|i| QueryRequest::distance(i % num_vertices, (i + 3) % num_vertices))
+        .collect();
+    let reply = client.submit(&ok).expect("admissible batch");
+    assert_eq!(reply.outcomes().expect("admitted").len(), 8);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.admission.shed_batch_size, 1);
+    assert_eq!(stats.admission.shed_overload, 1);
+    assert_eq!(stats.admission.admitted_requests, 8);
+    server.shutdown();
+}
+
+#[test]
+fn connection_bound_sheds_with_busy() {
+    let (qbs, _path) = mmap_session("connections");
+    let config = ServerConfig {
+        handler_threads: 2,
+        admission: AdmissionConfig {
+            max_connections: 1,
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let mut server = QbsServer::start(Arc::clone(&qbs), config).expect("start");
+    let addr = server.local_addr().to_string();
+
+    let mut first = QbsClient::connect(&addr).expect("first connection");
+    first.ping().expect("first connection is live");
+    // The second connection is over the bound: its first exchange reads
+    // back the typed Busy the handler queued before closing.
+    let mut second = QbsClient::connect(&addr).expect("tcp connect succeeds");
+    match second.ping() {
+        Err(qbs_server::ProtocolError::Shed(BusyReason::TooManyConnections { limit: 1 })) => {}
+        other => panic!("expected a typed connection shed, got {other:?}"),
+    }
+    drop(second);
+    first.ping().expect("surviving connection unaffected");
+    server.shutdown();
+}
+
+#[test]
+fn saturated_handler_pool_sheds_at_accept_instead_of_parking() {
+    let (qbs, _path) = mmap_session("saturated");
+    let config = ServerConfig {
+        handler_threads: 1,
+        ..ServerConfig::default()
+    };
+    let mut server = QbsServer::start(Arc::clone(&qbs), config).expect("start");
+    let addr = server.local_addr().to_string();
+
+    let mut first = QbsClient::connect(&addr).expect("first");
+    first.ping().expect("served");
+
+    // The only handler is now parked inside the first connection's frame
+    // loop; a second arrival must be refused promptly with a typed shed —
+    // never parked without a handshake until the first session ends.
+    let started = std::time::Instant::now();
+    let mut second = QbsClient::connect(&addr).expect("tcp connect");
+    match second.ping() {
+        Err(qbs_server::ProtocolError::Shed(BusyReason::NoIdleHandler { .. })) => {}
+        other => panic!("expected an accept-time shed, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "the shed must be prompt, not a parked-connection timeout"
+    );
+    drop(second);
+    first.ping().expect("surviving connection unaffected");
+
+    // Freeing the pool makes the server serve new connections again.
+    drop(first);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if let Ok(mut third) = QbsClient::connect(&addr) {
+            if third.ping().is_ok() {
+                break;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "handler never returned to the idle pool"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    assert!(server.stats().admission.shed_connections >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_frame_drains_and_stops_the_server() {
+    let (qbs, _path) = mmap_session("shutdown");
+    let num_vertices = qbs_core::IndexStore::num_vertices(qbs.as_ref()) as u32;
+    let server = QbsServer::start(Arc::clone(&qbs), ServerConfig::default()).expect("start");
+    let addr = server.local_addr().to_string();
+    let signal: Arc<ShutdownSignal> = server.signal();
+
+    let mut client = QbsClient::connect(&addr).expect("connect");
+    let reply = client
+        .submit(&[QueryRequest::path_graph(1 % num_vertices, 5 % num_vertices)])
+        .expect("pre-shutdown batch");
+    assert!(reply.outcomes().is_some());
+    client.shutdown_server().expect("acknowledged");
+    assert!(signal.is_shutdown(), "shutdown frame flipped the latch");
+
+    // wait() joins every thread; afterwards new connections are refused.
+    server.wait();
+    assert!(
+        QbsClient::connect(&addr).is_err(),
+        "a drained server accepts no new connections"
+    );
+}
+
+#[test]
+fn ping_reconnect_and_version_handshake() {
+    let (qbs, _path) = mmap_session("handshake");
+    let mut server = QbsServer::start(Arc::clone(&qbs), ServerConfig::default()).expect("start");
+    let addr = server.local_addr().to_string();
+
+    let mut client = QbsClient::connect(&addr).expect("connect");
+    assert!(client.ping().expect("pong").as_secs() < 5);
+    client.reconnect().expect("reconnect to the same server");
+    client.ping().expect("pong after reconnect");
+    assert_eq!(client.addr(), addr);
+
+    // A client speaking a foreign version gets the typed fault frame.
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(&addr).expect("tcp");
+    let mut preamble = [0u8; 8];
+    preamble[..4].copy_from_slice(b"QBSP");
+    preamble[4..6].copy_from_slice(&999u16.to_le_bytes());
+    raw.write_all(&preamble).expect("send foreign version");
+    let mut reply = [0u8; 8];
+    raw.read_exact(&mut reply).expect("server preamble");
+    let frame = qbs_server::protocol::read_response(&mut raw).expect("fault frame");
+    match frame {
+        qbs_server::protocol::ResponseFrame::Error(fault) => {
+            assert_eq!(
+                fault.code,
+                qbs_server::protocol::fault_code::VERSION_MISMATCH
+            );
+            assert!(fault.message.contains("999"), "{}", fault.message);
+        }
+        other => panic!("expected a version fault, got {other:?}"),
+    }
+    server.shutdown();
+}

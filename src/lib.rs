@@ -11,7 +11,10 @@
 //!   catalog and query workloads;
 //! * [`core`] — the QbS index: labelling, sketching and guided searching;
 //! * [`baselines`] — the exact baselines (ground-truth BFS, Bi-BFS, PPL and
-//!   ParentPPL) used by the paper's evaluation.
+//!   ParentPPL) used by the paper's evaluation;
+//! * [`server`] — the framed TCP serving subsystem: protocol, admission
+//!   control, the long-running server and the blocking client (spec in
+//!   `docs/protocol.md`).
 //!
 //! # Quickstart
 //!
@@ -65,6 +68,7 @@ pub use qbs_baselines as baselines;
 pub use qbs_core as core;
 pub use qbs_gen as gen;
 pub use qbs_graph as graph;
+pub use qbs_server as server;
 
 pub use qbs_core::{Qbs, QbsConfig, QbsIndex, QueryAnswer, QueryMode, QueryOutcome, QueryRequest};
 pub use qbs_graph::{Graph, GraphBuilder, PathGraph, VertexId};
@@ -75,10 +79,14 @@ pub mod prelude {
     pub use qbs_core::serialize::IndexFormat;
     pub use qbs_core::verify::{is_exact, validate};
     pub use qbs_core::{
-        AnswerCache, CacheConfig, CacheStats, IndexStore, IndexView, LandmarkStrategy, MapMode,
-        Qbs, QbsBackend, QbsConfig, QbsIndex, QueryAnswer, QueryEngine, QueryMode, QueryOptions,
-        QueryOutcome, QueryRequest, QueryWorkspace, RequestError, SearchStats, ViewBuf, ViewStore,
+        AnswerCache, CacheConfig, CacheStats, EngineStats, IndexStore, IndexView, LandmarkStrategy,
+        MapMode, Qbs, QbsBackend, QbsConfig, QbsIndex, QueryAnswer, QueryEngine, QueryMode,
+        QueryOptions, QueryOutcome, QueryRequest, QueryWorkspace, RequestError, SearchStats,
+        ViewBuf, ViewStore,
     };
     pub use qbs_gen::prelude::*;
     pub use qbs_graph::{Graph, GraphBuilder, PathGraph, VertexFilter, VertexId};
+    pub use qbs_server::{
+        AdmissionConfig, BatchReply, BusyReason, QbsClient, QbsServer, ServerConfig, ServerStats,
+    };
 }
