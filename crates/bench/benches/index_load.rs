@@ -9,6 +9,10 @@
 //!   bulk materialisation (`IndexView::parse` + `QbsIndex::from_view`);
 //! * `load/v2_view_only` — parsing/validating the zero-copy view (plus
 //!   one buffer clone, isolated by `load/buffer_clone`);
+//! * `load/v3_binary` — the compact path: varint decode + full heap
+//!   materialisation (`CompactView::parse` + `QbsIndex::from_compact_view`);
+//! * `load/v3_view_only` — parsing/validating the compact zero-copy view
+//!   (same buffer-clone caveat);
 //! * `build/from_scratch` — rebuilding the labelling, for scale.
 //!
 //! The PR acceptance bar is v2 ≥ 10× faster than v1 on this workload.
@@ -18,7 +22,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-use qbs_core::format::{IndexView, ViewBuf};
+use qbs_core::format::{CompactView, IndexView, ViewBuf};
 use qbs_core::{serialize, QbsConfig, QbsIndex};
 use qbs_gen::prelude::*;
 
@@ -36,11 +40,15 @@ fn bench_index_load(c: &mut Criterion) {
     let index = QbsIndex::build(graph.clone(), config.clone());
     let v1 = serialize::to_bytes(&index).expect("v1 serialise");
     let v2 = serialize::to_bytes_v2(&index).expect("v2 serialise");
+    let v3 = serialize::to_bytes_v3(&index).expect("v3 serialise");
     println!(
-        "index over {VERTICES} vertices / {} edges: v1 json = {} bytes, v2 binary = {} bytes",
+        "index over {VERTICES} vertices / {} edges: v1 json = {} bytes, v2 binary = {} bytes, \
+         v3 compact = {} bytes ({:.1}% saved vs v2)",
         graph.num_edges(),
         v1.len(),
-        v2.len()
+        v2.len(),
+        v3.len(),
+        100.0 * (1.0 - v3.len() as f64 / v2.len() as f64)
     );
 
     let mut group = c.benchmark_group("index_load");
@@ -66,6 +74,14 @@ fn bench_index_load(c: &mut Criterion) {
     });
     group.bench_function("load/buffer_clone", |b| {
         b.iter(|| criterion::black_box(&v2).clone());
+    });
+    group.bench_function("load/v3_binary", |b| {
+        b.iter(|| serialize::from_bytes_v3(criterion::black_box(&v3)).expect("v3 load"));
+    });
+    group.bench_function("load/v3_view_only", |b| {
+        b.iter(|| {
+            CompactView::parse(ViewBuf::Heap(criterion::black_box(&v3).clone())).expect("view")
+        });
     });
     group.bench_function("build/from_scratch", |b| {
         b.iter(|| QbsIndex::build(graph.clone(), config.clone()));

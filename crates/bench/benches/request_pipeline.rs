@@ -12,14 +12,20 @@
 //!   LRU hit replaces the whole guided search with a hash lookup plus one
 //!   clone.
 //!
-//! The run prints both measured ratios. Run with
+//! The compact-profile addendum serves the same distance workload from
+//! mmap-backed v2 (wide) and v3 (compact) files and prints the measured
+//! throughput ratio and the file-size saving next to the qbs-index-v3
+//! acceptance bars (≥ 1.3× distance throughput or ≥ 40% smaller files,
+//! bit-identical answers either way).
+//!
+//! The run prints all measured ratios. Run with
 //! `cargo bench --bench request_pipeline`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::{Duration, Instant};
 
 use qbs_core::request::QueryRequest;
-use qbs_core::{CacheConfig, QbsConfig, QbsIndex, QueryEngine};
+use qbs_core::{serialize, CacheConfig, MapMode, QbsConfig, QbsIndex, QueryEngine};
 use qbs_gen::prelude::*;
 
 /// Vertex count of the benchmark graph (the acceptance regime: ≥ 100k).
@@ -101,6 +107,49 @@ fn bench_request_pipeline(c: &mut Criterion) {
         cache_stats.hit_ratio() * 100.0,
     );
 
+    // ---- Wide vs compact profile: mmap-served distance throughput. ----
+    let dir = std::env::temp_dir().join(format!(
+        "qbs_bench_request_pipeline_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let wide_path = dir.join("bench.qbs2");
+    let compact_path = dir.join("bench.qbs3");
+    serialize::save_to_file(&index, &wide_path).expect("save wide");
+    serialize::save_to_file_with_profile(
+        &index,
+        &compact_path,
+        serialize::IndexFormat::Binary,
+        serialize::IndexProfile::Compact,
+    )
+    .expect("save compact");
+    let wide_bytes = std::fs::metadata(&wide_path).expect("stat").len();
+    let compact_bytes = std::fs::metadata(&compact_path).expect("stat").len();
+    let wide_store = serialize::open_store_from_file(&wide_path, MapMode::Mmap).expect("wide mmap");
+    let compact_store =
+        serialize::open_compact_store_from_file(&compact_path, MapMode::Mmap).expect("v3 mmap");
+    let wide_engine = QueryEngine::with_threads(&wide_store, THREADS).expect("engine");
+    let compact_engine = QueryEngine::with_threads(&compact_store, THREADS).expect("engine");
+    let wide_dist = time_reps(reps, &|| {
+        criterion::black_box(wide_engine.distance_batch(&workload).expect("batch"));
+    });
+    let compact_dist = time_reps(reps, &|| {
+        criterion::black_box(compact_engine.distance_batch(&workload).expect("batch"));
+    });
+    let throughput_ratio = wide_dist.as_secs_f64() / compact_dist.as_secs_f64();
+    let size_saved = 100.0 * (1.0 - compact_bytes as f64 / wide_bytes as f64);
+    println!(
+        "compact profile (mmap-served): wide distance batch {:.3} ms, compact {:.3} ms => \
+         {throughput_ratio:.2}x; file {wide_bytes} -> {compact_bytes} bytes ({size_saved:.1}% \
+         saved) (acceptance bar: >= 1.3x throughput or >= 40% smaller)",
+        wide_dist.as_secs_f64() * 1e3,
+        compact_dist.as_secs_f64() * 1e3,
+    );
+
     // ---- Criterion groups. ----
     let mut group = c.benchmark_group("request_pipeline");
     group
@@ -128,6 +177,12 @@ fn bench_request_pipeline(c: &mut Criterion) {
     });
     group.bench_function("legacy/query_batch", |b| {
         b.iter(|| criterion::black_box(engine.query_batch(&workload).expect("batch")));
+    });
+    group.bench_function("profile/wide_mmap_distance", |b| {
+        b.iter(|| criterion::black_box(wide_engine.distance_batch(&workload).expect("batch")));
+    });
+    group.bench_function("profile/compact_mmap_distance", |b| {
+        b.iter(|| criterion::black_box(compact_engine.distance_batch(&workload).expect("batch")));
     });
     group.finish();
 
@@ -162,6 +217,22 @@ fn bench_request_pipeline(c: &mut Criterion) {
             "distance mode drifted from distance_batch on ({u}, {v})"
         );
     }
+    // Both mmap-served profiles must agree with the owned index bit for bit.
+    assert_eq!(
+        distances,
+        wide_engine.distance_batch(&workload).expect("batch"),
+        "wide profile drifted from the owned index on the distance workload"
+    );
+    assert_eq!(
+        distances,
+        compact_engine.distance_batch(&workload).expect("batch"),
+        "compact profile drifted from the owned index on the distance workload"
+    );
+    drop(wide_engine);
+    drop(compact_engine);
+    drop(wide_store);
+    drop(compact_store);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 criterion_group!(benches, bench_request_pipeline);

@@ -767,6 +767,190 @@ fn per_query_ms(elapsed: std::time::Duration, queries: usize) -> f64 {
 }
 
 // ---------------------------------------------------------------------------
+// Compact serving — wide-vs-compact profile differential (CI drift tripwire)
+// ---------------------------------------------------------------------------
+
+/// Compact-serving differential result for one dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CompactServingRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Number of workload pairs compared.
+    pub pairs: usize,
+    /// On-disk size of the wide `qbs-index-v2` file (bytes).
+    pub wide_bytes: u64,
+    /// On-disk size of the compact `qbs-index-v3` file (bytes).
+    pub compact_bytes: u64,
+    /// Bytes saved by the compact profile, as a percentage of the wide file.
+    pub percent_saved: f64,
+    /// Average batch query time over the owned index (ms/query).
+    pub owned_ms: f64,
+    /// Average batch query time over the mmap-backed compact store
+    /// (ms/query).
+    pub compact_ms: f64,
+    /// Distance-batch throughput over the mmap-backed wide store
+    /// (queries/s).
+    pub wide_dist_qps: f64,
+    /// Distance-batch throughput over the mmap-backed compact store
+    /// (queries/s).
+    pub compact_dist_qps: f64,
+    /// Whether every answer (path graphs and distances, wide and compact,
+    /// owned and mmap) was bit-identical.
+    pub identical: bool,
+}
+
+/// The compact-serving differential: the same index is written in both
+/// binary profiles, both files are mmapped back, and the batch engine's
+/// answers plus distance batches are compared across owned / wide-view /
+/// compact-view serving. CI runs this at tiny scale so any wide-vs-compact
+/// drift fails the pipeline; the row also records the file-size saving and
+/// the distance throughput of both profiles.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CompactServing {
+    /// One row per dataset.
+    pub rows: Vec<CompactServingRow>,
+}
+
+impl CompactServing {
+    /// Whether every dataset produced bit-identical answers.
+    pub fn all_identical(&self) -> bool {
+        self.rows.iter().all(|r| r.identical)
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Compact serving: wide vs compact profile (both mmap-backed)",
+            &[
+                "Dataset",
+                "pairs",
+                "wide B",
+                "compact B",
+                "saved",
+                "wide dist q/s",
+                "compact dist q/s",
+                "identical",
+            ],
+        );
+        for r in &self.rows {
+            t.add_row(vec![
+                r.dataset.clone(),
+                fmt_count(r.pairs),
+                fmt_count(r.wide_bytes as usize),
+                fmt_count(r.compact_bytes as usize),
+                format!("{:.1}%", r.percent_saved),
+                fmt_count(r.wide_dist_qps as usize),
+                fmt_count(r.compact_dist_qps as usize),
+                if r.identical {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Runs the compact-serving differential: build → save v2 and v3 → mmap
+/// both → serve from the files, comparing every batch answer and distance
+/// against the owned engine and recording size and throughput.
+pub fn compact_serving(config: &ExperimentConfig) -> Result<CompactServing, QbsError> {
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qbs_bench_compact_serving_{}_{nonce}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let rows = config
+        .specs()
+        .iter()
+        .map(|spec| {
+            let graph = config.graph_for(spec);
+            let workload = config.workload_for(&graph);
+            let pairs = workload.pairs();
+            let owned =
+                QbsIndex::try_build(graph, QbsConfig::with_landmark_count(config.landmark_count))?;
+            let wide_path = dir.join(format!("{}.qbs2", spec.id.abbrev()));
+            let compact_path = dir.join(format!("{}.qbs3", spec.id.abbrev()));
+            qbs_core::serialize::save_to_file(&owned, &wide_path)?;
+            qbs_core::serialize::save_to_file_with_profile(
+                &owned,
+                &compact_path,
+                qbs_core::serialize::IndexFormat::Binary,
+                qbs_core::IndexProfile::Compact,
+            )?;
+            let wide_bytes = std::fs::metadata(&wide_path)?.len();
+            let compact_bytes = std::fs::metadata(&compact_path)?.len();
+
+            let wide_store =
+                qbs_core::serialize::open_store_from_file(&wide_path, qbs_core::MapMode::Mmap)?;
+            let compact_store = qbs_core::serialize::open_compact_store_from_file(
+                &compact_path,
+                qbs_core::MapMode::Mmap,
+            )?;
+
+            let owned_engine = qbs_core::QueryEngine::with_threads(&owned, 2)?;
+            let wide_engine = qbs_core::QueryEngine::with_threads(&wide_store, 2)?;
+            let compact_engine = qbs_core::QueryEngine::with_threads(&compact_store, 2)?;
+
+            let t0 = Instant::now();
+            let owned_answers = owned_engine.query_batch(pairs)?;
+            let owned_ms = per_query_ms(t0.elapsed(), pairs.len());
+            let t0 = Instant::now();
+            let compact_answers = compact_engine.query_batch(pairs)?;
+            let compact_ms = per_query_ms(t0.elapsed(), pairs.len());
+            let wide_answers = wide_engine.query_batch(pairs)?;
+
+            let t0 = Instant::now();
+            let wide_dists = wide_engine.distance_batch(pairs)?;
+            let wide_dist_qps = qps(t0.elapsed(), pairs.len());
+            let t0 = Instant::now();
+            let compact_dists = compact_engine.distance_batch(pairs)?;
+            let compact_dist_qps = qps(t0.elapsed(), pairs.len());
+            let owned_dists = owned_engine.distance_batch(pairs)?;
+
+            let identical = owned_answers == compact_answers
+                && owned_answers == wide_answers
+                && owned_dists == compact_dists
+                && owned_dists == wide_dists;
+            std::fs::remove_file(&wide_path).ok();
+            std::fs::remove_file(&compact_path).ok();
+            Ok(CompactServingRow {
+                dataset: spec.id.name().to_string(),
+                pairs: pairs.len(),
+                wide_bytes,
+                compact_bytes,
+                percent_saved: if wide_bytes > 0 {
+                    100.0 * (1.0 - compact_bytes as f64 / wide_bytes as f64)
+                } else {
+                    0.0
+                },
+                owned_ms,
+                compact_ms,
+                wide_dist_qps,
+                compact_dist_qps,
+                identical,
+            })
+        })
+        .collect::<Result<Vec<_>, QbsError>>()?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(CompactServing { rows })
+}
+
+fn qps(elapsed: std::time::Duration, queries: usize) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        queries as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Mixed-batch — request-pipeline differential (CI drift tripwire)
 // ---------------------------------------------------------------------------
 
@@ -1483,6 +1667,22 @@ mod tests {
         }
         let rendered = v.render();
         assert!(rendered.contains("View serving"));
+        assert!(rendered.contains("yes"));
+    }
+
+    #[test]
+    fn compact_serving_is_bit_identical_and_smaller() {
+        let c = compact_serving(&tiny_config()).expect("compact serving runs");
+        assert_eq!(c.rows.len(), 2);
+        assert!(c.all_identical(), "{c:?}");
+        for row in &c.rows {
+            assert!(row.pairs > 0);
+            assert!(row.wide_bytes > row.compact_bytes, "{row:?}");
+            assert!(row.percent_saved > 0.0, "{row:?}");
+            assert!(row.wide_dist_qps > 0.0 && row.compact_dist_qps > 0.0);
+        }
+        let rendered = c.render();
+        assert!(rendered.contains("Compact serving"));
         assert!(rendered.contains("yes"));
     }
 

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
 
-use qbs_core::serialize::IndexFormat;
+use qbs_core::serialize::{IndexFormat, IndexProfile};
 use qbs_core::QueryMode;
 use qbs_gen::catalog::{DatasetId, Scale};
 
@@ -30,9 +30,12 @@ pub enum Command {
         sequential: bool,
         /// Output index path.
         out: PathBuf,
-        /// On-disk index format (`binary` = qbs-index-v2, the default;
+        /// On-disk index format (`binary` = the flat layout, the default;
         /// `json` = the v1 compatibility format).
         format: IndexFormat,
+        /// Width profile of the binary layout (`wide` = qbs-index-v2, the
+        /// default; `compact` = qbs-index-v3). Ignored for `json`.
+        profile: IndexProfile,
     },
     /// Answer shortest-path-graph queries against a built index — a single
     /// `--source`/`--target` pair or a whole `--pairs` batch.
@@ -163,7 +166,8 @@ qbs-cli — Query-by-Sketch shortest path graph queries
 
 commands:
   generate --dataset <DO|DB|...|CW> [--scale tiny|small|medium|large] --out FILE
-  build    --graph FILE [--landmarks N] [--sequential] [--format binary|json] --out FILE
+  build    --graph FILE [--landmarks N] [--sequential] [--format binary|json]
+           [--profile wide|compact] --out FILE
   query    --index FILE --source U --target V [query options]
   query    --index FILE --pairs FILE [--threads N] [query options]
   serve    --index FILE [--mmap] [--addr H:P | --port P] [--threads N]
@@ -185,8 +189,13 @@ query options:
   --format text|json            output format
 
 `build --format` picks the on-disk index format: `binary` writes the flat
-qbs-index-v2 layout (the default; loads with zero parsing), `json` writes
-the v1 compatibility format. `query`/`stats`/`inspect` read both.
+layout (the default; loads with zero parsing), `json` writes the v1
+compatibility format. `build --profile` picks the binary width profile:
+`wide` is qbs-index-v2 (fixed 32/64-bit fields), `compact` is
+qbs-index-v3 (narrow widths + front-coded varint runs — typically well
+under half the size, same answers). `query`/`stats`/`inspect` read every
+version; `convert` also converts an index file between the two binary
+profiles (direction inferred from the source file's magic).
 
 `query --from-view` serves straight from the flat v2 layout without
 materialising the owned index; adding `--mmap` memory-maps the file so a
@@ -227,13 +236,25 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             scale: parse_scale(get("scale").as_deref().unwrap_or("small"))?,
             out: PathBuf::from(require("out")?),
         }),
-        "build" => Ok(Command::Build {
-            graph: PathBuf::from(require("graph")?),
-            landmarks: parse_number(get("landmarks").as_deref().unwrap_or("20"), "landmarks")?,
-            sequential: options.contains_key("sequential"),
-            out: PathBuf::from(require("out")?),
-            format: parse_index_format(get("format").as_deref().unwrap_or("binary"))?,
-        }),
+        "build" => {
+            let format = parse_index_format(get("format").as_deref().unwrap_or("binary"))?;
+            let profile = parse_index_profile(get("profile").as_deref().unwrap_or("wide"))?;
+            if format == IndexFormat::Json && profile == IndexProfile::Compact {
+                return Err(ParseError(
+                    "build: --profile compact requires --format binary (the JSON format has \
+                     exactly one layout)"
+                        .into(),
+                ));
+            }
+            Ok(Command::Build {
+                graph: PathBuf::from(require("graph")?),
+                landmarks: parse_number(get("landmarks").as_deref().unwrap_or("20"), "landmarks")?,
+                sequential: options.contains_key("sequential"),
+                out: PathBuf::from(require("out")?),
+                format,
+                profile,
+            })
+        }
         "query" => {
             let source = get("source")
                 .map(|s| parse_number(&s, "source").map(|n| n as u32))
@@ -463,6 +484,16 @@ fn parse_query_mode(token: &str) -> Result<QueryMode, ParseError> {
     }
 }
 
+fn parse_index_profile(token: &str) -> Result<IndexProfile, ParseError> {
+    match token {
+        "wide" => Ok(IndexProfile::Wide),
+        "compact" => Ok(IndexProfile::Compact),
+        other => Err(ParseError(format!(
+            "unknown index profile '{other}' (expected wide or compact)"
+        ))),
+    }
+}
+
 fn parse_index_format(token: &str) -> Result<IndexFormat, ParseError> {
     match token {
         "binary" => Ok(IndexFormat::Binary),
@@ -546,7 +577,8 @@ mod tests {
                 landmarks: 32,
                 sequential: true,
                 out: "i.qbs".into(),
-                format: IndexFormat::Binary
+                format: IndexFormat::Binary,
+                profile: IndexProfile::Wide
             }
         );
 
@@ -559,11 +591,54 @@ mod tests {
             cmd,
             Command::Build {
                 format: IndexFormat::Json,
+                profile: IndexProfile::Wide,
                 ..
             }
         ));
         assert!(parse(&args(&[
             "build", "--graph", "g.qbsg", "--out", "i.qbs", "--format", "xml",
+        ]))
+        .is_err());
+
+        // The compact profile parses, defaults to wide, and refuses JSON.
+        let cmd = parse(&args(&[
+            "build",
+            "--graph",
+            "g.qbsg",
+            "--out",
+            "i.qbs3",
+            "--profile",
+            "compact",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Build {
+                format: IndexFormat::Binary,
+                profile: IndexProfile::Compact,
+                ..
+            }
+        ));
+        assert!(parse(&args(&[
+            "build",
+            "--graph",
+            "g.qbsg",
+            "--out",
+            "i.qbs",
+            "--profile",
+            "narrow",
+        ]))
+        .is_err());
+        assert!(parse(&args(&[
+            "build",
+            "--graph",
+            "g.qbsg",
+            "--out",
+            "i.qbs",
+            "--format",
+            "json",
+            "--profile",
+            "compact",
         ]))
         .is_err());
 

@@ -8,7 +8,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use qbs_core::serialize::{self, IndexFormat, MapMode};
+use qbs_core::serialize::{self, IndexFormat, IndexProfile, MapMode};
 use qbs_core::{
     CacheConfig, CacheStats, Qbs, QbsConfig, QbsIndex, QueryMode, QueryOutcome, QueryRequest,
 };
@@ -105,6 +105,7 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             sequential,
             out,
             format,
+            profile,
         } => {
             let graph = load_graph(graph)?;
             let mut config = QbsConfig::with_landmark_count(*landmarks);
@@ -112,11 +113,15 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
                 config = config.sequential();
             }
             let index = QbsIndex::try_build(graph, config)?;
-            serialize::save_to_file_with(&index, out, *format)?;
+            serialize::save_to_file_with_profile(&index, out, *format, *profile)?;
             let stats = index.stats();
+            let layout = match format {
+                IndexFormat::Json => format!("{format} format"),
+                IndexFormat::Binary => format!("{format} format, {profile} profile"),
+            };
             Ok(format!(
                 "built index over {} vertices / {} edges with {} landmarks in {:.3}s \
-                 (size(L)={} bytes, size(Δ)={} bytes) -> {} ({format} format)",
+                 (size(L)={} bytes, size(Δ)={} bytes) -> {} ({layout})",
                 stats.num_vertices,
                 stats.num_edges,
                 stats.num_landmarks,
@@ -263,6 +268,12 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
         }
         Command::Inspect { index } => inspect_index(index),
         Command::Convert { from, to } => {
+            // An index file (recognised by its magic) converts between the
+            // binary width profiles (v2 ↔ v3; a v1 JSON index migrates to
+            // compact); anything else goes through the graph formats.
+            if serialize::detect_format(from).is_ok() {
+                return convert_index(from, to);
+            }
             let graph = load_graph(from)?;
             store_graph(&graph, to)?;
             Ok(format!(
@@ -432,9 +443,44 @@ pub fn start_server(command: &Command) -> Result<(ServerHandle, Arc<Qbs>), Comma
     Ok((handle, qbs))
 }
 
-/// Implements `inspect`: reports the on-disk format and, for v2 binary
-/// files, renders checksum verification status and the section table with
-/// per-section shares of the file (the index is never materialised).
+/// Implements the index arm of `convert`: materialises the source index
+/// (any version) and re-saves it in the *other* binary width profile, so
+/// `convert` migrates v2 → v3 and v3 → v2 (and a v1 JSON index straight to
+/// compact) without a rebuild.
+fn convert_index(from: &Path, to: &Path) -> Result<String, CommandError> {
+    let source = serialize::detect_profile(from)?;
+    let target = match source {
+        IndexProfile::Wide => IndexProfile::Compact,
+        IndexProfile::Compact => IndexProfile::Wide,
+    };
+    let index = serialize::load_from_file(from)?;
+    serialize::save_to_file_with_profile(&index, to, IndexFormat::Binary, target)?;
+    let from_len = std::fs::metadata(from).map(|m| m.len()).unwrap_or(0);
+    let to_len = std::fs::metadata(to).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "converted index {} ({source} profile, {from_len} bytes) -> {} \
+         ({target} profile, {to_len} bytes)",
+        from.display(),
+        to.display(),
+    ))
+}
+
+/// The `bytes/vertex` + `bytes/label-entry` summary shared by both binary
+/// inspect arms — the size wins readable without a calculator.
+fn density_lines(file_len: u64, num_vertices: u64, label_bytes: u64, label_entries: u64) -> String {
+    let per_vertex = file_len as f64 / (num_vertices.max(1)) as f64;
+    let per_entry = label_bytes as f64 / (label_entries.max(1)) as f64;
+    format!(
+        "bytes/vertex:    {per_vertex:.2} (whole file)\n\
+         bytes/label-entry: {per_entry:.2} ({label_bytes} label bytes / {label_entries} entries)\n"
+    )
+}
+
+/// Implements `inspect`: reports the on-disk format and, for binary files,
+/// renders checksum verification status and the section table with
+/// per-section shares of the file (the index is never materialised). v3
+/// compact files additionally show each section's wide (v2-equivalent)
+/// size and the percentage saved.
 fn inspect_index(path: &Path) -> Result<String, CommandError> {
     match serialize::detect_format(path)? {
         IndexFormat::Json => Ok(format!(
@@ -443,52 +489,168 @@ fn inspect_index(path: &Path) -> Result<String, CommandError> {
              to migrate to the flat qbs-index-v2 layout\n",
             path.display()
         )),
-        IndexFormat::Binary => {
-            let bytes = std::fs::read(path).map_err(CommandError::Io)?;
-            let report = qbs_core::format::inspect_v2(qbs_core::ViewBuf::Heap(bytes))?;
-            let checksum_line = if report.checksum_ok() {
-                format!("{:#018x} (word-wise fnv1a-64) ok", report.stored_checksum)
-            } else {
-                format!(
-                    "MISMATCH — stored {:#018x}, computed {:#018x} (file is corrupt)",
-                    report.stored_checksum, report.computed_checksum
-                )
-            };
-            let mut out = format!(
-                "{}: qbs-index-v2 (flat binary)\n\
-                 file size:       {} bytes\n\
-                 vertices:        {}\n\
-                 landmarks:       {}\n\
-                 graph arcs:      {}\n\
-                 meta edges:      {}\n\
-                 delta edges:     {}\n\
-                 checksum:        {}\n\n\
-                 {:<16} {:>12} {:>14} {:>10}\n",
-                path.display(),
-                report.file_len,
-                report.num_vertices,
-                report.num_landmarks,
-                report.num_arcs,
-                report.num_meta_edges,
-                report.num_delta_edges,
-                checksum_line,
-                "section",
-                "offset",
-                "bytes",
-                "% of file",
-            );
-            for record in &report.sections {
-                out.push_str(&format!(
-                    "{:<16} {:>12} {:>14} {:>9.2}%\n",
-                    record.kind.name(),
-                    record.offset,
-                    record.len,
-                    report.section_percent(record),
-                ));
-            }
-            Ok(out)
-        }
+        IndexFormat::Binary => match serialize::detect_profile(path)? {
+            IndexProfile::Wide => inspect_wide(path),
+            IndexProfile::Compact => inspect_compact(path),
+        },
     }
+}
+
+/// The v2 (wide) arm of `inspect`.
+fn inspect_wide(path: &Path) -> Result<String, CommandError> {
+    let bytes = std::fs::read(path).map_err(CommandError::Io)?;
+    let report = qbs_core::format::inspect_v2(qbs_core::ViewBuf::Heap(bytes))?;
+    let checksum_line = if report.checksum_ok() {
+        format!("{:#018x} (word-wise fnv1a-64) ok", report.stored_checksum)
+    } else {
+        format!(
+            "MISMATCH — stored {:#018x}, computed {:#018x} (file is corrupt)",
+            report.stored_checksum, report.computed_checksum
+        )
+    };
+    let label_bytes = report
+        .sections
+        .iter()
+        .find(|r| r.kind == qbs_core::format::SectionKind::LabelEntries)
+        .map(|r| r.len)
+        .unwrap_or(0);
+    let mut out = format!(
+        "{}: qbs-index-v2 (flat binary, wide profile)\n\
+         file size:       {} bytes\n\
+         vertices:        {}\n\
+         landmarks:       {}\n\
+         graph arcs:      {}\n\
+         meta edges:      {}\n\
+         delta edges:     {}\n\
+         checksum:        {}\n",
+        path.display(),
+        report.file_len,
+        report.num_vertices,
+        report.num_landmarks,
+        report.num_arcs,
+        report.num_meta_edges,
+        report.num_delta_edges,
+        checksum_line,
+    );
+    out.push_str(&density_lines(
+        report.file_len as u64,
+        report.num_vertices as u64,
+        label_bytes,
+        label_bytes / 4,
+    ));
+    out.push_str(&format!(
+        "\n{:<16} {:>12} {:>14} {:>10}\n",
+        "section", "offset", "bytes", "% of file",
+    ));
+    for record in &report.sections {
+        out.push_str(&format!(
+            "{:<16} {:>12} {:>14} {:>9.2}%\n",
+            record.kind.name(),
+            record.offset,
+            record.len,
+            report.section_percent(record),
+        ));
+    }
+    Ok(out)
+}
+
+/// The v3 (compact) arm of `inspect`: the v2 report plus the width
+/// profile and a per-section comparison against the wide layout.
+fn inspect_compact(path: &Path) -> Result<String, CommandError> {
+    let bytes = std::fs::read(path).map_err(CommandError::Io)?;
+    let report = qbs_core::format::inspect_v3(qbs_core::ViewBuf::Heap(bytes))?;
+    let checksum_line = if report.checksum_ok() {
+        format!("{:#018x} (word-wise fnv1a-64) ok", report.stored_checksum)
+    } else {
+        format!(
+            "MISMATCH — stored {:#018x}, computed {:#018x} (file is corrupt)",
+            report.stored_checksum, report.computed_checksum
+        )
+    };
+    let counts_line = match &report.counts {
+        Some(c) => format!(
+            "graph arcs:      {}\n\
+             label entries:   {}\n\
+             delta edges:     {}\n",
+            c.num_arcs, c.label_entries, c.num_delta_edges
+        ),
+        None => "counts:          unavailable (varint streams are corrupt)\n".to_string(),
+    };
+    let mut out = format!(
+        "{}: qbs-index-v3 (flat binary, compact profile)\n\
+         file size:       {} bytes\n\
+         vertices:        {}\n\
+         landmarks:       {}\n\
+         meta edges:      {}\n\
+         {counts_line}\
+         id width:        4 bytes\n\
+         dist width:      {} byte(s)\n\
+         offset width:    {} byte(s)\n\
+         max label dist:  {}\n\
+         checksum:        {}\n",
+        path.display(),
+        report.file_len,
+        report.num_vertices,
+        report.num_landmarks,
+        report.num_meta_edges,
+        report.dist_width,
+        report.offset_width,
+        report.max_label_distance,
+        checksum_line,
+    );
+    let label_record = report
+        .sections
+        .iter()
+        .find(|r| r.kind == qbs_core::format::SectionKind::LabelEntries);
+    out.push_str(&density_lines(
+        report.file_len as u64,
+        report.num_vertices as u64,
+        label_record.map(|r| r.len).unwrap_or(0),
+        report
+            .counts
+            .as_ref()
+            .map(|c| c.label_entries as u64)
+            .unwrap_or(0),
+    ));
+    out.push_str(&format!(
+        "\n{:<16} {:>12} {:>14} {:>14} {:>10}\n",
+        "section", "offset", "bytes", "wide bytes", "% saved",
+    ));
+    let mut compact_total = 0u64;
+    let mut wide_total = 0u64;
+    for record in &report.sections {
+        let wide = report.wide_section_len(record.kind);
+        compact_total += record.len;
+        let (wide_cell, saved_cell) = match wide {
+            Some(w) => {
+                wide_total += w;
+                let saved = if w > 0 {
+                    100.0 * (1.0 - record.len as f64 / w as f64)
+                } else {
+                    0.0
+                };
+                (w.to_string(), format!("{saved:.2}%"))
+            }
+            None => ("?".to_string(), "?".to_string()),
+        };
+        out.push_str(&format!(
+            "{:<16} {:>12} {:>14} {:>14} {:>10}\n",
+            record.kind.name(),
+            record.offset,
+            record.len,
+            wide_cell,
+            saved_cell,
+        ));
+    }
+    if wide_total > 0 {
+        out.push_str(&format!(
+            "total sections:  {} bytes vs {} wide-equivalent ({:.2}% saved)\n",
+            compact_total,
+            wide_total,
+            100.0 * (1.0 - compact_total as f64 / wide_total as f64),
+        ));
+    }
+    Ok(out)
 }
 
 /// Renders one outcome as JSON. Path-graph answers serialise the path
@@ -680,6 +842,7 @@ mod tests {
             sequential: false,
             out: index_path.clone(),
             format: IndexFormat::Binary,
+            profile: IndexProfile::Wide,
         })
         .expect("build");
         assert!(report.contains("10 landmarks"));
@@ -740,6 +903,7 @@ mod tests {
             sequential: false,
             out: bin_path.clone(),
             format: IndexFormat::Binary,
+            profile: IndexProfile::Wide,
         })
         .expect("build binary");
         assert!(report.contains("binary format"));
@@ -761,6 +925,7 @@ mod tests {
             sequential: false,
             out: json_path.clone(),
             format: IndexFormat::Json,
+            profile: IndexProfile::Wide,
         })
         .expect("build json");
         let inspect = run(&Command::Inspect {
@@ -834,6 +999,7 @@ mod tests {
             sequential: false,
             out: index_path.clone(),
             format: IndexFormat::Binary,
+            profile: IndexProfile::Wide,
         })
         .expect("build");
 
@@ -915,6 +1081,7 @@ mod tests {
             sequential: false,
             out: index_path.clone(),
             format: IndexFormat::Binary,
+            profile: IndexProfile::Wide,
         })
         .expect("build");
 
@@ -1021,6 +1188,7 @@ mod tests {
             sequential: false,
             out: index_path.clone(),
             format: IndexFormat::Binary,
+            profile: IndexProfile::Wide,
         })
         .expect("build");
         let pairs_path = dir.join("pairs.txt");
@@ -1195,6 +1363,117 @@ mod tests {
     }
 
     #[test]
+    fn compact_profile_build_inspect_convert_roundtrip() {
+        let dir = temp_dir("compact");
+        let graph_path = dir.join("g.qbsg");
+        run(&Command::Generate {
+            dataset: DatasetId::Douban,
+            scale: Scale::Tiny,
+            out: graph_path.clone(),
+        })
+        .expect("generate");
+
+        // Build straight into the compact profile.
+        let v3_path = dir.join("g.qbs3");
+        let report = run(&Command::Build {
+            graph: graph_path.clone(),
+            landmarks: 8,
+            sequential: false,
+            out: v3_path.clone(),
+            format: IndexFormat::Binary,
+            profile: IndexProfile::Compact,
+        })
+        .expect("build compact");
+        assert!(report.contains("compact profile"), "{report}");
+
+        // Inspect renders the width profile, the wide comparison and the
+        // satellite density lines.
+        let inspect = run(&Command::Inspect {
+            index: v3_path.clone(),
+        })
+        .expect("inspect v3");
+        assert!(inspect.contains("qbs-index-v3"), "{inspect}");
+        assert!(inspect.contains("dist width"), "{inspect}");
+        assert!(inspect.contains("wide bytes"), "{inspect}");
+        assert!(inspect.contains("% saved"), "{inspect}");
+        assert!(inspect.contains("bytes/vertex"), "{inspect}");
+        assert!(inspect.contains("bytes/label-entry"), "{inspect}");
+
+        // The wide arm prints the density summary too.
+        let v2_path = dir.join("g.qbs2");
+        run(&Command::Build {
+            graph: graph_path,
+            landmarks: 8,
+            sequential: false,
+            out: v2_path.clone(),
+            format: IndexFormat::Binary,
+            profile: IndexProfile::Wide,
+        })
+        .expect("build wide");
+        let inspect_v2 = run(&Command::Inspect {
+            index: v2_path.clone(),
+        })
+        .expect("inspect v2");
+        assert!(inspect_v2.contains("wide profile"), "{inspect_v2}");
+        assert!(inspect_v2.contains("bytes/vertex"), "{inspect_v2}");
+        assert!(inspect_v2.contains("bytes/label-entry"), "{inspect_v2}");
+
+        // The compact file is smaller than the wide one.
+        let wide_len = std::fs::metadata(&v2_path).unwrap().len();
+        let compact_len = std::fs::metadata(&v3_path).unwrap().len();
+        assert!(
+            compact_len < wide_len,
+            "compact {compact_len} vs wide {wide_len}"
+        );
+
+        // convert flips the profile in both directions; answers survive.
+        let back_to_wide = dir.join("g_back.qbs2");
+        let report = run(&Command::Convert {
+            from: v3_path.clone(),
+            to: back_to_wide.clone(),
+        })
+        .expect("convert v3 -> v2");
+        assert!(report.contains("wide profile"), "{report}");
+        assert_eq!(
+            serialize::detect_profile(&back_to_wide).unwrap(),
+            IndexProfile::Wide
+        );
+        let to_compact = dir.join("g_conv.qbs3");
+        let report = run(&Command::Convert {
+            from: v2_path,
+            to: to_compact.clone(),
+        })
+        .expect("convert v2 -> v3");
+        assert!(report.contains("compact profile"), "{report}");
+        assert_eq!(
+            serialize::detect_profile(&to_compact).unwrap(),
+            IndexProfile::Compact
+        );
+
+        // Every file answers the same query identically (v3 ones serve
+        // through the compact store under Qbs::open/load).
+        let q = |index: std::path::PathBuf| {
+            run(&Command::Query {
+                index,
+                source: Some(1),
+                target: Some(5),
+                pairs: None,
+                threads: None,
+                from_view: false,
+                mmap: false,
+                mode: QueryMode::PathGraph,
+                stats: false,
+                cache: None,
+                json: false,
+            })
+            .expect("query")
+        };
+        let wide_answer = q(back_to_wide);
+        assert_eq!(wide_answer, q(v3_path));
+        assert_eq!(wide_answer, q(to_compact));
+    }
+
+    #[test]
     fn helpful_errors_for_missing_files_and_bad_queries() {
         let dir = temp_dir("errors");
         assert!(matches!(
@@ -1210,6 +1489,7 @@ mod tests {
                 sequential: true,
                 out: dir.join("out.qbs"),
                 format: IndexFormat::Binary,
+                profile: IndexProfile::Wide,
             }),
             Err(CommandError::Graph(_))
         ));
@@ -1229,6 +1509,7 @@ mod tests {
             sequential: true,
             out: index_path.clone(),
             format: IndexFormat::Binary,
+            profile: IndexProfile::Wide,
         })
         .expect("build");
         assert!(matches!(

@@ -218,6 +218,31 @@ impl QbsIndex {
         QbsIndex::from_parts(graph, landmarks, labelling, meta)
     }
 
+    /// Serialises the index into a `qbs-index-v3` compact binary buffer
+    /// (see [`crate::format`]): header-declared width profile, front-coded
+    /// varint label/adjacency runs, narrow APSP/Δ tables.
+    pub fn to_v3_bytes(&self) -> crate::Result<Vec<u8>> {
+        crate::format::write_v3(self)
+    }
+
+    /// The index as a parsed [`crate::format::CompactView`]: serialises
+    /// into a fresh heap buffer in the compact v3 profile and re-opens it
+    /// as a validated zero-copy view.
+    pub fn as_compact_view(&self) -> crate::Result<crate::format::CompactView> {
+        let bytes = self.to_v3_bytes()?;
+        crate::format::CompactView::parse(crate::format::ViewBuf::Heap(bytes))
+    }
+
+    /// Restores an index from a validated v3 compact view.
+    ///
+    /// The compact profile is lossless: the materialised index is
+    /// bit-identical (labels, adjacency, meta-graph, Δ edge order) to the
+    /// one that produced the view.
+    pub fn from_compact_view(view: &crate::format::CompactView) -> Self {
+        let (graph, landmarks, labelling, meta) = view.materialize();
+        QbsIndex::from_parts(graph, landmarks, labelling, meta)
+    }
+
     /// The indexed graph.
     pub fn graph(&self) -> &Graph {
         &self.graph

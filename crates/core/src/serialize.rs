@@ -9,18 +9,24 @@
 //!   full heap reconstruction.
 //! * **v2** (`qbs-index-v2`, [`crate::format`]): a flat little-endian
 //!   binary layout with an aligned section table and checksum, loaded by a
-//!   single buffer read plus typed views — the production format.
+//!   single buffer read plus typed views — the *wide* binary profile.
+//! * **v3** (`qbs-index-v3`, [`crate::format`]): the *compact* binary
+//!   profile — same section table and checksum discipline as v2, but with
+//!   a header-declared width profile, front-coded varint label/adjacency
+//!   runs and narrow APSP/Δ tables. Typically well under half the size of
+//!   v2 and served zero-copy through [`crate::store::CompactStore`].
 //!
-//! [`load_from_file`] dispatches on the magic bytes and reads either
-//! version, so old v1 files keep working; re-save with
-//! [`IndexFormat::Binary`] to migrate. Corrupt inputs are always reported
-//! as [`QbsError::Corrupt`] — never a panic — and error messages embed at
-//! most an [`EXCERPT_LEN`]-byte excerpt of the offending data.
+//! [`load_from_file`] dispatches on the magic bytes and reads every
+//! version, so old v1/v2 files keep working; re-save with
+//! [`IndexFormat::Binary`] (and pick an [`IndexProfile`]) to migrate.
+//! Corrupt inputs are always reported as [`QbsError::Corrupt`] — never a
+//! panic — and error messages embed at most an [`EXCERPT_LEN`]-byte
+//! excerpt of the offending data.
 
 use std::io::Read;
 use std::path::Path;
 
-use crate::format::{self, IndexView, ViewBuf};
+use crate::format::{self, CompactView, IndexView, ViewBuf};
 use crate::query::QbsIndex;
 use crate::{QbsError, Result};
 
@@ -50,6 +56,27 @@ impl std::fmt::Display for IndexFormat {
     }
 }
 
+/// Width profile of the binary index layout: which of the two binary
+/// versions ([`IndexFormat::Binary`]) a writer emits. Orthogonal to the
+/// JSON/binary split — v1 JSON has no profile.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexProfile {
+    /// v2: fixed 32/64-bit fields throughout — the compatibility default.
+    #[default]
+    Wide,
+    /// v3: header-declared narrow widths, front-coded varint runs.
+    Compact,
+}
+
+impl std::fmt::Display for IndexProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexProfile::Wide => write!(f, "wide"),
+            IndexProfile::Compact => write!(f, "compact"),
+        }
+    }
+}
+
 /// Serialises the index to a self-describing v1 JSON byte buffer.
 pub fn to_bytes(index: &QbsIndex) -> Result<Vec<u8>> {
     let body = serde_json::to_vec(index)
@@ -71,6 +98,13 @@ pub fn from_bytes(data: &[u8]) -> Result<QbsIndex> {
         return Err(QbsError::Corrupt(
             "this is a qbs-index-v2 binary index; decode it with from_bytes_v2 or \
              load_from_file (which reads both versions)"
+                .into(),
+        ));
+    }
+    if data.starts_with(&format::MAGIC_V3) {
+        return Err(QbsError::Corrupt(
+            "this is a qbs-index-v3 compact binary index; decode it with from_bytes_v3 or \
+             load_from_file (which reads every version)"
                 .into(),
         ));
     }
@@ -99,27 +133,62 @@ pub fn from_bytes_v2(data: &[u8]) -> Result<QbsIndex> {
     Ok(QbsIndex::from_view(&view))
 }
 
-/// Serialises the index in the requested format.
+/// Serialises the index to a v3 compact binary buffer ([`crate::format`]).
+pub fn to_bytes_v3(index: &QbsIndex) -> Result<Vec<u8>> {
+    format::write_v3(index)
+}
+
+/// Restores an index from a v3 buffer produced by [`to_bytes_v3`].
+pub fn from_bytes_v3(data: &[u8]) -> Result<QbsIndex> {
+    let view = CompactView::parse(ViewBuf::Heap(data.to_vec()))?;
+    Ok(QbsIndex::from_compact_view(&view))
+}
+
+/// Serialises the index in the requested format (binary output uses the
+/// wide v2 profile; see [`to_bytes_with_profile`]).
 pub fn to_bytes_with(index: &QbsIndex, format: IndexFormat) -> Result<Vec<u8>> {
-    match format {
-        IndexFormat::Json => to_bytes(index),
-        IndexFormat::Binary => to_bytes_v2(index),
+    to_bytes_with_profile(index, format, IndexProfile::Wide)
+}
+
+/// Serialises the index in the requested format and (for binary output)
+/// width profile. The profile is ignored for [`IndexFormat::Json`], which
+/// has exactly one layout.
+pub fn to_bytes_with_profile(
+    index: &QbsIndex,
+    format: IndexFormat,
+    profile: IndexProfile,
+) -> Result<Vec<u8>> {
+    match (format, profile) {
+        (IndexFormat::Json, _) => to_bytes(index),
+        (IndexFormat::Binary, IndexProfile::Wide) => to_bytes_v2(index),
+        (IndexFormat::Binary, IndexProfile::Compact) => to_bytes_v3(index),
     }
 }
 
-/// Writes the index to a file in the default ([`IndexFormat::Binary`])
-/// format.
+/// Writes the index to a file in the default ([`IndexFormat::Binary`],
+/// wide profile) format.
 pub fn save_to_file<P: AsRef<Path>>(index: &QbsIndex, path: P) -> Result<()> {
     save_to_file_with(index, path, IndexFormat::default())
 }
 
-/// Writes the index to a file in the requested format.
+/// Writes the index to a file in the requested format (wide profile for
+/// binary output).
 pub fn save_to_file_with<P: AsRef<Path>>(
     index: &QbsIndex,
     path: P,
     format: IndexFormat,
 ) -> Result<()> {
-    std::fs::write(path, to_bytes_with(index, format)?)?;
+    save_to_file_with_profile(index, path, format, IndexProfile::Wide)
+}
+
+/// Writes the index to a file in the requested format and width profile.
+pub fn save_to_file_with_profile<P: AsRef<Path>>(
+    index: &QbsIndex,
+    path: P,
+    format: IndexFormat,
+    profile: IndexProfile,
+) -> Result<()> {
+    std::fs::write(path, to_bytes_with_profile(index, format, profile)?)?;
     Ok(())
 }
 
@@ -134,10 +203,14 @@ pub fn load_from_file<P: AsRef<Path>>(path: P) -> Result<QbsIndex> {
     let (head, file) = read_header(path.as_ref())?;
     match sniff_format(&head)? {
         IndexFormat::Json => from_bytes(&read_rest(head, file)?),
+        // Hand the file buffer to the view directly — unlike the
+        // `from_bytes_*` entry points (which serve borrowed slices and
+        // must copy), this path never duplicates the buffer.
+        IndexFormat::Binary if head.starts_with(&format::MAGIC_V3) => {
+            let view = CompactView::parse(ViewBuf::Heap(read_rest(head, file)?))?;
+            Ok(QbsIndex::from_compact_view(&view))
+        }
         IndexFormat::Binary => {
-            // Hand the file buffer to the view directly — unlike
-            // `from_bytes_v2` (which serves borrowed slices and must
-            // copy), this path never duplicates the buffer.
             let view = IndexView::parse(ViewBuf::Heap(read_rest(head, file)?))?;
             Ok(QbsIndex::from_view(&view))
         }
@@ -215,6 +288,38 @@ pub fn open_store_from_file<P: AsRef<Path>>(
     )?))
 }
 
+/// Opens a v3 compact index file as a zero-copy
+/// [`CompactView`] — the v3 twin of [`load_view_from_file`], with the same
+/// [`MapMode`] semantics (`Read` = heap copy + full validation, `Mmap` =
+/// map + geometry-only validation with [`CompactView::verify`] deferred).
+pub fn load_compact_view_from_file<P: AsRef<Path>>(path: P, mode: MapMode) -> Result<CompactView> {
+    let path = path.as_ref();
+    match mode {
+        MapMode::Read => {
+            let (head, file) = read_header(path)?;
+            reject_non_compact(&head)?;
+            CompactView::parse(ViewBuf::Heap(read_rest(head, file)?))
+        }
+        MapMode::Mmap => {
+            let region = crate::mmap::MmapRegion::map_file(path)?;
+            reject_non_compact(region.as_slice())?;
+            CompactView::parse_trusted(ViewBuf::Mmap(std::sync::Arc::new(region)))
+        }
+    }
+}
+
+/// Opens a v3 compact index file as a ready-to-serve
+/// [`crate::store::CompactStore`]: [`load_compact_view_from_file`] plus the
+/// store wrapper. The compact twin of [`open_store_from_file`].
+pub fn open_compact_store_from_file<P: AsRef<Path>>(
+    path: P,
+    mode: MapMode,
+) -> Result<crate::store::CompactStore> {
+    Ok(crate::store::CompactStore::new(
+        load_compact_view_from_file(path, mode)?,
+    ))
+}
+
 /// Rejects v1 (and unrecognised) headers on the view path with a
 /// migration hint instead of a parse error.
 fn reject_non_binary(head: &[u8]) -> Result<()> {
@@ -229,11 +334,48 @@ fn reject_non_binary(head: &[u8]) -> Result<()> {
     Ok(())
 }
 
+/// Rejects everything but a v3 header on the compact-view path, with a
+/// version-specific migration hint.
+fn reject_non_compact(head: &[u8]) -> Result<()> {
+    if head.starts_with(&format::MAGIC_V3) {
+        Ok(())
+    } else if head.starts_with(&format::MAGIC_V2) {
+        Err(QbsError::Corrupt(
+            "this is a qbs-index-v2 wide index; open it with load_view_from_file, or \
+             convert it to the compact profile with `qbs convert` and re-open"
+                .into(),
+        ))
+    } else if head.starts_with(MAGIC_V1.as_bytes()) {
+        Err(QbsError::Corrupt(
+            "this is a qbs-index-v1 JSON index; only binary files support zero-copy \
+             views — load it with load_from_file and re-save with the compact profile \
+             to migrate"
+                .into(),
+        ))
+    } else {
+        sniff_format(head).map(|_| ())?;
+        unreachable!("sniff_format accepts only magics handled above")
+    }
+}
+
 /// Identifies the on-disk format of `path` from its magic bytes, reading
 /// only the header.
 pub fn detect_format<P: AsRef<Path>>(path: P) -> Result<IndexFormat> {
     let (head, _) = read_header(path.as_ref())?;
     sniff_format(&head)
+}
+
+/// Identifies the width profile of `path` from its magic bytes, reading
+/// only the header. v1 JSON and v2 files report [`IndexProfile::Wide`]
+/// (fixed-width layouts); v3 files report [`IndexProfile::Compact`].
+pub fn detect_profile<P: AsRef<Path>>(path: P) -> Result<IndexProfile> {
+    let (head, _) = read_header(path.as_ref())?;
+    sniff_format(&head)?;
+    if head.starts_with(&format::MAGIC_V3) {
+        Ok(IndexProfile::Compact)
+    } else {
+        Ok(IndexProfile::Wide)
+    }
 }
 
 /// Reads just enough of the file to dispatch on the magic bytes.
@@ -254,7 +396,7 @@ fn read_rest(mut head: Vec<u8>, mut file: std::fs::File) -> Result<Vec<u8>> {
 
 /// Dispatches on the magic bytes of a header excerpt.
 fn sniff_format(head: &[u8]) -> Result<IndexFormat> {
-    if head.starts_with(&format::MAGIC_V2) {
+    if head.starts_with(&format::MAGIC_V2) || head.starts_with(&format::MAGIC_V3) {
         Ok(IndexFormat::Binary)
     } else if head.starts_with(MAGIC_V1.as_bytes()) {
         Ok(IndexFormat::Json)
@@ -262,8 +404,8 @@ fn sniff_format(head: &[u8]) -> Result<IndexFormat> {
         // Only the header was read here; trim to the excerpt budget so the
         // message does not misreport the header length as the file size.
         Err(QbsError::Corrupt(format!(
-            "not a qbs index file: expected the '{MAGIC_V1}' or qbs-index-v2 magic, \
-             found {}",
+            "not a qbs index file: expected the '{MAGIC_V1}', qbs-index-v2 or \
+             qbs-index-v3 magic, found {}",
             excerpt(&head[..head.len().min(EXCERPT_LEN)])
         )))
     }
@@ -472,5 +614,101 @@ mod tests {
         assert_eq!(IndexFormat::Json.to_string(), "json");
         assert_eq!(IndexFormat::Binary.to_string(), "binary");
         assert_eq!(IndexFormat::default(), IndexFormat::Binary);
+        assert_eq!(IndexProfile::Wide.to_string(), "wide");
+        assert_eq!(IndexProfile::Compact.to_string(), "compact");
+        assert_eq!(IndexProfile::default(), IndexProfile::Wide);
+    }
+
+    #[test]
+    fn v3_roundtrip_and_dispatching_loader() {
+        let original = index();
+        let bytes = to_bytes_v3(&original).expect("serialize v3");
+        let restored = from_bytes_v3(&bytes).expect("deserialize v3");
+        assert_eq!(original.landmarks(), restored.landmarks());
+        assert_eq!(original.labelling(), restored.labelling());
+        assert_eq!(original.meta_graph(), restored.meta_graph());
+        for (u, v) in [(6u32, 11u32), (4, 12), (7, 9), (13, 8)] {
+            assert_eq!(original.query(u, v).unwrap(), restored.query(u, v).unwrap());
+        }
+
+        // File round trip through the profile-aware writer and the
+        // magic-sniffing loader.
+        let dir = std::env::temp_dir().join("qbs_core_serialize_v3_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("fig4.qbs3");
+        save_to_file_with_profile(&original, &path, IndexFormat::Binary, IndexProfile::Compact)
+            .expect("save v3");
+        assert_eq!(detect_format(&path).expect("detect"), IndexFormat::Binary);
+        assert_eq!(
+            detect_profile(&path).expect("profile"),
+            IndexProfile::Compact
+        );
+        let loaded = load_from_file(&path).expect("load v3");
+        assert_eq!(original.query(6, 11).unwrap(), loaded.query(6, 11).unwrap());
+
+        // A wide file reports the wide profile; v1 too.
+        let wide = dir.join("fig4.qbs2");
+        save_to_file_with(&original, &wide, IndexFormat::Binary).expect("save v2");
+        assert_eq!(detect_profile(&wide).expect("profile"), IndexProfile::Wide);
+        let json = dir.join("fig4.qbs1");
+        save_to_file_with(&original, &json, IndexFormat::Json).expect("save v1");
+        assert_eq!(detect_profile(&json).expect("profile"), IndexProfile::Wide);
+
+        // The profile is ignored for JSON output (one layout only).
+        let j = to_bytes_with_profile(&original, IndexFormat::Json, IndexProfile::Compact)
+            .expect("json bytes");
+        assert!(j.starts_with(MAGIC_V1.as_bytes()));
+    }
+
+    #[test]
+    fn compact_view_loading_from_file() {
+        let dir = std::env::temp_dir().join("qbs_core_serialize_compact_view_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let original = index();
+        let v3 = dir.join("fig4.qbs3");
+        save_to_file_with_profile(&original, &v3, IndexFormat::Binary, IndexProfile::Compact)
+            .expect("save v3");
+
+        let view = load_compact_view_from_file(&v3, MapMode::Read).expect("view");
+        assert!(view.is_verified());
+        assert_eq!(view.num_landmarks(), 3);
+        assert_eq!(
+            original.query(6, 11).unwrap(),
+            QbsIndex::from_compact_view(&view).query(6, 11).unwrap()
+        );
+
+        // The mmap mode serves identical bytes with deferred validation.
+        let mapped = load_compact_view_from_file(&v3, MapMode::Mmap).expect("mmap view");
+        assert!(!mapped.is_verified());
+        mapped.verify().expect("deferred verification passes");
+        assert!(matches!(mapped.buf(), ViewBuf::Mmap(_)));
+        assert_eq!(
+            QbsIndex::from_compact_view(&mapped).query(6, 11).unwrap(),
+            original.query(6, 11).unwrap()
+        );
+
+        // Serving stores open through the same dispatcher.
+        let store = open_compact_store_from_file(&v3, MapMode::Mmap).expect("store");
+        assert_eq!(store.view().num_landmarks(), 3);
+
+        // Wrong-version files are rejected with pointed hints, both modes.
+        let v2 = dir.join("fig4.qbs2");
+        save_to_file_with(&original, &v2, IndexFormat::Binary).expect("save v2");
+        let v1 = dir.join("fig4.qbs1");
+        save_to_file_with(&original, &v1, IndexFormat::Json).expect("save v1");
+        for mode in [MapMode::Read, MapMode::Mmap] {
+            let err = load_compact_view_from_file(&v2, mode).unwrap_err();
+            assert!(err.to_string().contains("qbs convert"), "{mode}: {err}");
+            let err = load_compact_view_from_file(&v1, mode).unwrap_err();
+            assert!(err.to_string().contains("re-save"), "{mode}: {err}");
+            // And the v2 view path points v3 files back the other way.
+            let err = load_view_from_file(&v3, mode).unwrap_err();
+            assert!(err.to_string().contains("compact"), "{mode}: {err}");
+        }
+
+        // v1 decoding of a v3 buffer names the right loader.
+        let v3_bytes = to_bytes_v3(&original).expect("serialize v3");
+        let err = from_bytes(&v3_bytes).unwrap_err();
+        assert!(err.to_string().contains("from_bytes_v3"), "{err}");
     }
 }

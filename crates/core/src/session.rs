@@ -27,11 +27,12 @@
 //! ```
 //!
 //! Opening a session from a file picks the backend from the file itself:
-//! a v2 binary index is served zero-copy through a view (with
-//! [`MapMode::Mmap`], open is `O(1)` in the index size), while a v1 JSON
-//! index — which has no flat layout to point into — is materialised as an
-//! owned index. See `docs/api.md` for the migration table from the
-//! pre-façade entry points.
+//! a v2 binary index is served zero-copy through a view, a v3 compact
+//! index through a [`CompactStore`] (with [`MapMode::Mmap`], open is
+//! `O(1)` in the index size for both), while a v1 JSON index — which has
+//! no flat layout to point into — is materialised as an owned index. See
+//! `docs/api.md` for the migration table from the pre-façade entry
+//! points.
 
 use std::fmt;
 use std::path::Path;
@@ -44,10 +45,10 @@ use crate::cache::{AnswerCache, CacheConfig, CacheStats};
 use crate::engine::QueryEngine;
 use crate::query::{QbsConfig, QbsIndex, QueryAnswer};
 use crate::request::{execute_cached_on, QueryOutcome, QueryRequest};
-use crate::serialize::{self, IndexFormat, MapMode};
+use crate::serialize::{self, IndexFormat, IndexProfile, MapMode};
 use crate::sketch::Sketch;
 use crate::stats::IndexStats;
-use crate::store::{IndexStore, ViewStore};
+use crate::store::{CompactStore, IndexStore, ViewStore};
 use crate::workspace::QueryWorkspace;
 use crate::QbsError;
 
@@ -60,14 +61,17 @@ pub enum QbsBackend {
     Owned(Box<QbsIndex>),
     /// Zero-copy view over a `qbs-index-v2` buffer (heap or mmap).
     View(ViewStore),
+    /// Zero-copy view over a `qbs-index-v3` compact buffer (heap or mmap).
+    Compact(CompactStore),
 }
 
 impl QbsBackend {
-    /// A short name for reports: `"owned"` or `"view"`.
+    /// A short name for reports: `"owned"`, `"view"` or `"compact"`.
     pub fn name(&self) -> &'static str {
         match self {
             QbsBackend::Owned(_) => "owned",
             QbsBackend::View(_) => "view",
+            QbsBackend::Compact(_) => "compact",
         }
     }
 }
@@ -154,9 +158,28 @@ impl Qbs {
 
     /// Builds an owned index over `graph` and wraps it in a session.
     pub fn build(graph: Graph, config: QbsConfig) -> crate::Result<Self> {
-        Ok(Self::from_backend(QbsBackend::Owned(Box::new(
-            QbsIndex::try_build(graph, config)?,
-        ))))
+        Self::build_with_profile(graph, config, IndexProfile::Wide)
+    }
+
+    /// Builds an index over `graph` and wraps it in a session serving the
+    /// requested width profile: [`IndexProfile::Wide`] keeps the owned
+    /// index, while [`IndexProfile::Compact`] re-serialises it into a
+    /// `qbs-index-v3` heap buffer and serves zero-copy from those bytes —
+    /// the in-process way to measure (or bank) the compact profile's
+    /// footprint without touching disk. Answers are bit-identical across
+    /// profiles.
+    pub fn build_with_profile(
+        graph: Graph,
+        config: QbsConfig,
+        profile: IndexProfile,
+    ) -> crate::Result<Self> {
+        let index = QbsIndex::try_build(graph, config)?;
+        Ok(match profile {
+            IndexProfile::Wide => Self::from_backend(QbsBackend::Owned(Box::new(index))),
+            IndexProfile::Compact => Self::from_backend(QbsBackend::Compact(CompactStore::new(
+                index.as_compact_view()?,
+            ))),
+        })
     }
 
     /// Wraps an already-built index in a session.
@@ -173,16 +196,30 @@ impl Qbs {
         Self::from_backend(QbsBackend::View(store))
     }
 
+    /// Wraps an already-opened compact store in a session — the v3 twin of
+    /// [`Qbs::from_view_store`] (pair with
+    /// [`crate::serialize::open_compact_store_from_file`]).
+    pub fn from_compact_store(store: CompactStore) -> Self {
+        Self::from_backend(QbsBackend::Compact(store))
+    }
+
     /// Opens an index file for serving, picking the backend from the file
-    /// format: a v2 binary index is served zero-copy through a
-    /// [`ViewStore`] (with [`MapMode::Mmap`] this is the `O(1)` cold-start
-    /// path — map, wrap, serve), while a v1 JSON index is materialised as
-    /// an owned index (`mode` is irrelevant then; re-save as binary to
-    /// migrate).
+    /// format *and profile*: a v2 binary index is served zero-copy through
+    /// a [`ViewStore`], a v3 compact index through a [`CompactStore`]
+    /// (with [`MapMode::Mmap`] either is the `O(1)` cold-start path — map,
+    /// wrap, serve), while a v1 JSON index is materialised as an owned
+    /// index (`mode` is irrelevant then; re-save as binary to migrate).
     pub fn open<P: AsRef<Path>>(path: P, mode: MapMode) -> crate::Result<Self> {
         let path = path.as_ref();
         let backend = match serialize::detect_format(path)? {
-            IndexFormat::Binary => QbsBackend::View(serialize::open_store_from_file(path, mode)?),
+            IndexFormat::Binary => match serialize::detect_profile(path)? {
+                IndexProfile::Wide => {
+                    QbsBackend::View(serialize::open_store_from_file(path, mode)?)
+                }
+                IndexProfile::Compact => {
+                    QbsBackend::Compact(serialize::open_compact_store_from_file(path, mode)?)
+                }
+            },
             IndexFormat::Json => QbsBackend::Owned(Box::new(serialize::load_from_file(path)?)),
         };
         Ok(Self::from_backend(backend))
@@ -227,16 +264,25 @@ impl Qbs {
     pub fn index(&self) -> Option<&QbsIndex> {
         match &self.backend {
             QbsBackend::Owned(index) => Some(index),
-            QbsBackend::View(_) => None,
+            QbsBackend::View(_) | QbsBackend::Compact(_) => None,
         }
     }
 
-    /// The view store, when this session serves straight from an index
-    /// buffer (`None` on an owned session).
+    /// The view store, when this session serves straight from a v2 index
+    /// buffer (`None` on an owned or compact session).
     pub fn view_store(&self) -> Option<&ViewStore> {
         match &self.backend {
-            QbsBackend::Owned(_) => None,
             QbsBackend::View(store) => Some(store),
+            QbsBackend::Owned(_) | QbsBackend::Compact(_) => None,
+        }
+    }
+
+    /// The compact store, when this session serves straight from a v3
+    /// index buffer (`None` on an owned or wide-view session).
+    pub fn compact_store(&self) -> Option<&CompactStore> {
+        match &self.backend {
+            QbsBackend::Compact(store) => Some(store),
+            QbsBackend::Owned(_) | QbsBackend::View(_) => None,
         }
     }
 
@@ -268,7 +314,7 @@ impl Qbs {
             num_vertices: IndexStore::num_vertices(self) as u64,
             num_landmarks: self.num_landmarks() as u64,
             threads: self.threads as u64,
-            view_backed: matches!(self.backend, QbsBackend::View(_)),
+            view_backed: !matches!(self.backend, QbsBackend::Owned(_)),
             requests: self.requests.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -298,6 +344,7 @@ impl Qbs {
         let outcome = match &self.backend {
             QbsBackend::Owned(s) => execute_cached_on(s.as_ref(), &mut ws, request, cache),
             QbsBackend::View(s) => execute_cached_on(s, &mut ws, request, cache),
+            QbsBackend::Compact(s) => execute_cached_on(s, &mut ws, request, cache),
         };
         self.checkin(ws);
         self.count_outcomes(std::slice::from_ref(&outcome));
@@ -322,6 +369,11 @@ impl Qbs {
                 (outcomes, engine.into_pool())
             }
             QbsBackend::View(s) => {
+                let engine = QueryEngine::with_pool(s, self.threads, pool, self.cache.clone());
+                let outcomes = engine.submit(requests);
+                (outcomes, engine.into_pool())
+            }
+            QbsBackend::Compact(s) => {
                 let engine = QueryEngine::with_pool(s, self.threads, pool, self.cache.clone());
                 let outcomes = engine.submit(requests);
                 (outcomes, engine.into_pool())
@@ -409,6 +461,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.num_vertices(),
             QbsBackend::View(s) => s.num_vertices(),
+            QbsBackend::Compact(s) => s.num_vertices(),
         }
     }
 
@@ -417,6 +470,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.num_landmarks(),
             QbsBackend::View(s) => s.num_landmarks(),
+            QbsBackend::Compact(s) => s.num_landmarks(),
         }
     }
 
@@ -425,6 +479,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.landmark(idx),
             QbsBackend::View(s) => s.landmark(idx),
+            QbsBackend::Compact(s) => s.landmark(idx),
         }
     }
 
@@ -433,6 +488,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.landmark_filter(),
             QbsBackend::View(s) => s.landmark_filter(),
+            QbsBackend::Compact(s) => s.landmark_filter(),
         }
     }
 
@@ -441,6 +497,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.landmark_column(v),
             QbsBackend::View(s) => s.landmark_column(v),
+            QbsBackend::Compact(s) => s.landmark_column(v),
         }
     }
 
@@ -449,6 +506,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => IndexStore::is_landmark(s.as_ref(), v),
             QbsBackend::View(s) => s.is_landmark(v),
+            QbsBackend::Compact(s) => s.is_landmark(v),
         }
     }
 
@@ -457,6 +515,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.label_distance(v, landmark_idx),
             QbsBackend::View(s) => s.label_distance(v, landmark_idx),
+            QbsBackend::Compact(s) => s.label_distance(v, landmark_idx),
         }
     }
 
@@ -464,6 +523,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.fill_label_entries(v, out),
             QbsBackend::View(s) => s.fill_label_entries(v, out),
+            QbsBackend::Compact(s) => s.fill_label_entries(v, out),
         }
     }
 
@@ -472,6 +532,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.for_each_neighbor(v, visit),
             QbsBackend::View(s) => s.for_each_neighbor(v, visit),
+            QbsBackend::Compact(s) => s.for_each_neighbor(v, visit),
         }
     }
 
@@ -480,6 +541,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.meta_distance(i, j),
             QbsBackend::View(s) => s.meta_distance(i, j),
+            QbsBackend::Compact(s) => s.meta_distance(i, j),
         }
     }
 
@@ -488,6 +550,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.num_meta_edges(),
             QbsBackend::View(s) => s.num_meta_edges(),
+            QbsBackend::Compact(s) => s.num_meta_edges(),
         }
     }
 
@@ -496,6 +559,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.meta_edge(k),
             QbsBackend::View(s) => s.meta_edge(k),
+            QbsBackend::Compact(s) => s.meta_edge(k),
         }
     }
 
@@ -504,6 +568,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.meta_edge_index(i, j),
             QbsBackend::View(s) => s.meta_edge_index(i, j),
+            QbsBackend::Compact(s) => s.meta_edge_index(i, j),
         }
     }
 
@@ -511,6 +576,7 @@ impl IndexStore for Qbs {
         match &self.backend {
             QbsBackend::Owned(s) => s.for_each_delta_edge(k, visit),
             QbsBackend::View(s) => s.for_each_delta_edge(k, visit),
+            QbsBackend::Compact(s) => s.for_each_delta_edge(k, visit),
         }
     }
 }
@@ -571,6 +637,54 @@ mod tests {
         assert_eq!(qbs.distance(6, 11).unwrap(), 5);
 
         assert!(Qbs::open(dir.join("missing.qbs"), MapMode::Read).is_err());
+    }
+
+    #[test]
+    fn compact_profile_serves_bit_identical_answers() {
+        let dir = std::env::temp_dir().join("qbs_session_compact_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let index = session().index().unwrap().clone();
+
+        // A v3 file opens onto the compact backend, both map modes.
+        let v3 = dir.join("fig4.qbs3");
+        serialize::save_to_file_with_profile(
+            &index,
+            &v3,
+            IndexFormat::Binary,
+            serialize::IndexProfile::Compact,
+        )
+        .expect("save v3");
+        for mode in [MapMode::Read, MapMode::Mmap] {
+            let qbs = Qbs::open(&v3, mode).expect("open v3");
+            assert_eq!(qbs.backend().name(), "compact");
+            assert!(qbs.index().is_none() && qbs.view_store().is_none());
+            assert!(qbs.compact_store().is_some());
+            assert!(qbs.stats().is_none());
+            assert!(qbs.engine_stats().view_backed);
+            assert_eq!(qbs.query(6, 11).unwrap(), index.query(6, 11).unwrap());
+            assert_eq!(qbs.distance(6, 11).unwrap(), 5);
+            assert_eq!(qbs.sketch(6, 11).unwrap(), index.sketch(6, 11).unwrap());
+            let outcomes = qbs.submit(&[
+                QueryRequest::distance(6, 11),
+                QueryRequest::path_graph(4, 12),
+            ]);
+            assert!(outcomes.iter().all(|o| o.is_ok()));
+        }
+
+        // The in-process profile knob serves from a heap v3 buffer.
+        let qbs = Qbs::build_with_profile(
+            figure4_graph(),
+            QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+            serialize::IndexProfile::Compact,
+        )
+        .expect("build compact");
+        assert_eq!(qbs.backend().name(), "compact");
+        assert_eq!(qbs.query(6, 11).unwrap(), index.query(6, 11).unwrap());
+        let direct = Qbs::from_compact_store(
+            serialize::open_compact_store_from_file(&v3, MapMode::Read).expect("store"),
+        );
+        assert_eq!(direct.backend().name(), "compact");
+        assert_eq!(direct.distance(6, 11).unwrap(), 5);
     }
 
     #[test]

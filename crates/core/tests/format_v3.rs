@@ -1,0 +1,399 @@
+//! Integration tests of the `qbs-index-v3` compact binary format: the golden
+//! fixture, cross-version guards, corruption guards, an encode ∘ decode
+//! identity property over both width profiles, and the differential
+//! guarantee that queries answered through a [`CompactStore`] — owned or
+//! memory-mapped — are bit-identical to the freshly built index.
+
+use proptest::prelude::*;
+
+use qbs_core::{
+    serialize, CompactStore, CompactView, MapMode, Qbs, QbsConfig, QbsIndex, QueryRequest, ViewBuf,
+};
+use qbs_gen::prelude::*;
+use qbs_graph::fixtures::figure4_graph;
+use qbs_graph::{Graph, GraphBuilder};
+
+/// Path of the checked-in golden fixture (relative to the crate root).
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("figure4.qbs3")
+}
+
+/// The index every golden-fixture test is pinned to: the paper's Figure 4
+/// running example with the explicit landmark set {1, 2, 3}.
+fn figure4_index() -> QbsIndex {
+    QbsIndex::build(
+        figure4_graph(),
+        QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+    )
+}
+
+/// A path graph long enough to push the maximum label distance past 255,
+/// forcing the encoder onto the two-byte distance profile.
+fn long_path_graph(vertices: usize) -> Graph {
+    let mut builder = GraphBuilder::new();
+    for v in 1..vertices as u32 {
+        builder.add_edge(v - 1, v);
+    }
+    builder.build()
+}
+
+/// Regenerates the golden fixture. Run manually after an intentional format
+/// change (and update `docs/index-format.md` accordingly):
+///
+/// ```text
+/// cargo test -p qbs-core --test format_v3 -- --ignored regenerate_golden_fixture
+/// ```
+#[test]
+#[ignore = "writes the golden fixture; run explicitly after a format change"]
+fn regenerate_golden_fixture() {
+    let bytes = figure4_index().to_v3_bytes().expect("serialize");
+    std::fs::create_dir_all(fixture_path().parent().unwrap()).expect("mkdir");
+    std::fs::write(fixture_path(), bytes).expect("write fixture");
+}
+
+#[test]
+fn golden_fixture_is_byte_exact() {
+    let expected = std::fs::read(fixture_path())
+        .expect("golden fixture missing; run the ignored regenerate_golden_fixture test");
+    let actual = figure4_index().to_v3_bytes().expect("serialize");
+    assert_eq!(
+        actual, expected,
+        "the v3 writer no longer reproduces the checked-in fixture byte-for-byte; \
+         if the format change is intentional, regenerate the fixture and update \
+         docs/index-format.md"
+    );
+}
+
+#[test]
+fn golden_fixture_loads_and_answers_figure4_queries() {
+    let restored = serialize::load_from_file(fixture_path()).expect("load fixture");
+    let fresh = figure4_index();
+    assert_eq!(restored.landmarks(), &[1, 2, 3]);
+    assert_eq!(restored.labelling(), fresh.labelling());
+    assert_eq!(restored.meta_graph(), fresh.meta_graph());
+    // Figure 6(f): SPG(6, 11) has distance 5 and 13 edges.
+    let answer = restored.query(6, 11).unwrap();
+    assert_eq!(answer.distance(), 5);
+    assert_eq!(answer.num_edges(), 13);
+}
+
+#[test]
+fn figure4_fixture_uses_the_narrow_width_profile() {
+    let bytes = std::fs::read(fixture_path()).expect("fixture");
+    let view = CompactView::parse(ViewBuf::Heap(bytes)).expect("parse");
+    assert_eq!(view.dist_width(), 1, "tiny graph distances fit one byte");
+    assert_eq!(view.offset_width(), 4, "tiny sections fit u32 offsets");
+    let max = view.max_label_distance();
+    assert!(max > 0 && max < 256, "recorded max {max}");
+}
+
+#[test]
+fn long_paths_widen_the_distance_column() {
+    let index = QbsIndex::build(long_path_graph(600), QbsConfig::with_landmark_count(2));
+    let view = index.as_compact_view().expect("compact view");
+    assert!(
+        view.max_label_distance() > 255,
+        "a 600-vertex path must produce labels past one byte, got {}",
+        view.max_label_distance()
+    );
+    assert_eq!(view.dist_width(), 2, "distances must widen to two bytes");
+    // The widened file still decodes to the identical index.
+    let restored = QbsIndex::from_compact_view(&view);
+    assert_eq!(index.labelling(), restored.labelling());
+    assert_eq!(index.meta_graph(), restored.meta_graph());
+    assert_eq!(index.graph(), restored.graph());
+}
+
+#[test]
+fn cross_version_entry_points_name_the_conversion_path() {
+    let index = figure4_index();
+    let v2 = index.to_v2_bytes().expect("v2");
+    let v3 = index.to_v3_bytes().expect("v3");
+
+    // Wide bytes through the v3 door: points at `qbs convert`.
+    let err = serialize::from_bytes_v3(&v2).unwrap_err().to_string();
+    assert!(err.contains("wide"), "{err}");
+    assert!(err.contains("qbs convert"), "{err}");
+
+    // Compact bytes through the v2 door: names the compact entry points.
+    let err = serialize::from_bytes_v2(&v3).unwrap_err().to_string();
+    assert!(err.contains("compact"), "{err}");
+    assert!(err.contains("from_bytes_v3"), "{err}");
+
+    // The dispatching loader takes both without ceremony.
+    let a = serialize::from_bytes_v2(&v2).expect("v2 load");
+    let b = serialize::from_bytes_v3(&v3).expect("v3 load");
+    assert_eq!(a.labelling(), b.labelling());
+    assert_eq!(a.graph(), b.graph());
+}
+
+#[test]
+fn truncated_and_bit_flipped_fixtures_are_corrupt_never_panic() {
+    let bytes = std::fs::read(fixture_path()).expect("fixture");
+
+    for len in 0..bytes.len() {
+        let result = std::panic::catch_unwind(|| serialize::from_bytes_v3(&bytes[..len]));
+        match result {
+            Ok(outcome) => assert!(
+                outcome.is_err(),
+                "truncation to {len} bytes must be rejected"
+            ),
+            Err(_) => panic!("truncation to {len} bytes caused a panic"),
+        }
+    }
+
+    for pos in 0..bytes.len() {
+        for bit in [0x01u8, 0x80] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= bit;
+            let result = std::panic::catch_unwind(|| serialize::from_bytes_v3(&corrupt));
+            match result {
+                Ok(outcome) => {
+                    let err = outcome.expect_err("every bit flip breaks the checksum");
+                    assert!(
+                        matches!(err, qbs_core::QbsError::Corrupt(_)),
+                        "bit flip at {pos} surfaced as {err:?}, expected Corrupt"
+                    );
+                }
+                Err(_) => panic!("bit flip at byte {pos} (mask {bit:#x}) caused a panic"),
+            }
+        }
+    }
+}
+
+#[test]
+fn distances_past_the_header_maximum_are_rejected() {
+    // Raise the distance byte of a label entry past the header's recorded
+    // maximum without touching the header: the decode-time tripwire (not
+    // just the checksum) must name the inconsistency.
+    let index = figure4_index();
+    let bytes = index.to_v3_bytes().expect("serialize");
+    let view = CompactView::parse(ViewBuf::Heap(bytes)).expect("parse");
+    let max = view.max_label_distance();
+    assert!(max < 255, "fixture max must leave headroom for the test");
+    // Find a byte inside the LabelEntries section whose bump changes a
+    // decoded distance beyond `max`; brute-force over the section and keep
+    // the flips that produce the targeted error.
+    let section = view
+        .sections()
+        .iter()
+        .find(|s| s.kind == qbs_core::format::SectionKind::LabelEntries)
+        .copied()
+        .expect("label section");
+    let checksum_offset = view
+        .sections()
+        .iter()
+        .find(|s| s.kind == qbs_core::format::SectionKind::Checksum)
+        .expect("checksum section")
+        .offset as usize;
+    let original = view.buf().as_slice().to_vec();
+    let mut saw_tripwire = false;
+    for pos in section.offset as usize..(section.offset + section.len) as usize {
+        let mut corrupt = original.clone();
+        corrupt[pos] = 0x7F; // large one-byte value, also a valid final varint byte
+        if corrupt[pos] == original[pos] {
+            continue;
+        }
+        // Re-seal the checksum so only the structural guard can object.
+        let fresh = qbs_core::format::checksum64(&corrupt[..checksum_offset]);
+        corrupt[checksum_offset..checksum_offset + 8].copy_from_slice(&fresh.to_le_bytes());
+        let parsed = CompactView::parse(ViewBuf::Heap(corrupt));
+        if let Err(err) = parsed {
+            let msg = err.to_string();
+            if msg.contains("exceeds the header's recorded maximum") {
+                saw_tripwire = true;
+                break;
+            }
+        }
+    }
+    assert!(
+        saw_tripwire,
+        "no label-section byte flip triggered the max-distance tripwire"
+    );
+}
+
+/// One graph per generator family, sized by the proptest case. Families 0–3
+/// match the v2 suite; family 4 is a long path whose labels overflow one
+/// byte, exercising the two-byte distance profile.
+fn family_graph(family: u64, vertices: usize, seed: u64) -> Graph {
+    match family % 5 {
+        0 => barabasi_albert::generate(&BarabasiAlbertConfig {
+            vertices,
+            edges_per_vertex: 2,
+            seed,
+        }),
+        1 => erdos_renyi::generate(&ErdosRenyiConfig {
+            vertices,
+            edges: vertices * 2,
+            seed,
+        }),
+        2 => watts_strogatz::generate(&WattsStrogatzConfig {
+            vertices,
+            neighbors: 2,
+            rewire_probability: 0.2,
+            seed,
+        }),
+        3 => power_law::generate(&PowerLawConfig {
+            vertices,
+            edges: vertices * 2,
+            exponent: 2.5,
+            seed,
+        }),
+        _ => long_path_graph(vertices * 5),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    // The writer/reader pair is an identity on every generator family and
+    // both width profiles: decode(encode(index)) reproduces all components,
+    // and re-encoding the decoded index reproduces the exact bytes.
+    #[test]
+    fn to_bytes_v3_from_bytes_v3_is_identity(
+        family in 0u64..5,
+        vertices in 24usize..120,
+        landmarks in 1usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let graph = family_graph(family, vertices, seed);
+        let index = QbsIndex::build(graph, QbsConfig::with_landmark_count(landmarks));
+        let bytes = index.to_v3_bytes().expect("serialize");
+        let restored = serialize::from_bytes_v3(&bytes).expect("deserialize");
+        prop_assert_eq!(index.landmarks(), restored.landmarks());
+        prop_assert_eq!(index.labelling(), restored.labelling());
+        prop_assert_eq!(index.meta_graph(), restored.meta_graph());
+        prop_assert_eq!(index.graph(), restored.graph());
+        let rebytes = restored.to_v3_bytes().expect("re-serialize");
+        prop_assert_eq!(bytes, rebytes, "encode ∘ decode ∘ encode is not stable");
+    }
+}
+
+/// The acceptance-criterion differential: every query answered through a
+/// [`CompactStore`] — owned heap bytes or a memory-mapped file — is
+/// bit-identical to the freshly built index, across single queries,
+/// distances, sketches, mixed batches, and cached re-execution.
+#[test]
+fn queries_through_compact_store_are_bit_identical() {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: 4_000,
+        edges_per_vertex: 3,
+        seed: 99,
+    });
+    let pairs = QueryWorkload::sample(&graph, 300, 17).pairs().to_vec();
+    let built = QbsIndex::build(graph, QbsConfig::with_landmark_count(12));
+
+    // Owned compact store over heap bytes.
+    let owned_view = built.as_compact_view().expect("compact view");
+    let compact = Qbs::from_compact_store(CompactStore::new(owned_view));
+
+    // Memory-mapped compact store over a real file.
+    let dir = std::env::temp_dir().join(format!(
+        "qbs_format_v3_diff_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("diff.qbs3");
+    std::fs::write(&path, built.to_v3_bytes().expect("serialize")).expect("write");
+    let mapped = Qbs::open(&path, MapMode::Mmap).expect("open mmap");
+    assert_eq!(mapped.backend().name(), "compact");
+
+    let baseline = Qbs::from_index(built);
+
+    for &(u, v) in &pairs {
+        let a = baseline.query_with_stats(u, v).expect("baseline query");
+        for qbs in [&compact, &mapped] {
+            let b = qbs.query_with_stats(u, v).expect("compact query");
+            assert_eq!(a.path_graph, b.path_graph, "SPG({u}, {v}) diverged");
+            assert_eq!(a.sketch, b.sketch, "sketch({u}, {v}) diverged");
+            assert_eq!(a.stats, b.stats, "search stats({u}, {v}) diverged");
+            assert_eq!(
+                baseline.distance(u, v).expect("baseline distance"),
+                qbs.distance(u, v).expect("compact distance"),
+                "distance({u}, {v}) diverged"
+            );
+        }
+    }
+
+    // Mixed batches through the session engine, plus a cached re-run: the
+    // second submission is answered from the LRU cache and must still be
+    // outcome-identical.
+    let requests: Vec<QueryRequest> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v))| match i % 3 {
+            0 => QueryRequest::distance(u, v),
+            1 => QueryRequest::path_graph(u, v).with_stats(),
+            _ => QueryRequest::sketch(u, v),
+        })
+        .collect();
+    let cached_baseline = baseline.with_cache(qbs_core::CacheConfig::default());
+    let cached_compact = compact.with_cache(qbs_core::CacheConfig::default());
+    let expected = cached_baseline.submit(&requests);
+    for qbs in [&cached_compact, &mapped] {
+        let got = qbs.submit(&requests);
+        assert_eq!(expected, got, "batch outcomes diverged");
+    }
+    let rerun = cached_compact.submit(&requests);
+    assert_eq!(expected, rerun, "cache-served outcomes diverged");
+    assert!(
+        cached_compact
+            .cache_stats()
+            .map(|s| s.hits > 0)
+            .unwrap_or(false),
+        "the re-run was expected to hit the cache"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Zero-copy compact accessors agree with the materialised structures on a
+/// non-trivial generated graph.
+#[test]
+fn compact_view_accessors_match_materialised_index() {
+    let graph = erdos_renyi::generate(&ErdosRenyiConfig {
+        vertices: 500,
+        edges: 1_000,
+        seed: 5,
+    });
+    let index = QbsIndex::build(graph, QbsConfig::with_landmark_count(8));
+    let view = index.as_compact_view().expect("compact view");
+    let wide = index.as_view();
+    assert_eq!(view.num_vertices(), index.graph().num_vertices());
+    assert_eq!(view.num_landmarks(), index.landmarks().len());
+    assert_eq!(
+        view.landmarks().collect::<Vec<_>>(),
+        index.landmarks().to_vec()
+    );
+    for v in index.graph().vertices() {
+        assert_eq!(
+            view.graph_neighbors(v).collect::<Vec<_>>(),
+            index.graph().neighbors(v),
+            "adjacency of {v}"
+        );
+        assert_eq!(
+            view.label_entries(v).collect::<Vec<_>>(),
+            index.labelling().entries(v).collect::<Vec<_>>(),
+            "labels of {v}"
+        );
+    }
+    assert_eq!(
+        view.meta_edges().collect::<Vec<_>>(),
+        index.meta_graph().edges().to_vec()
+    );
+    // Δ rows keep the exact order the wide view serves, edge for edge.
+    for k in 0..view.num_meta_edges() {
+        assert_eq!(
+            view.delta_edges(k).collect::<Vec<_>>(),
+            wide.delta_edges(k).collect::<Vec<_>>(),
+            "delta row {k}"
+        );
+    }
+}
