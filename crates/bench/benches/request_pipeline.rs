@@ -1,6 +1,6 @@
 //! Request-pipeline benchmarks: per-mode throughput and answer-cache
 //! warm/cold behaviour of `QueryEngine::submit`, with a drift tripwire
-//! against the legacy `query_batch` path.
+//! against fresh single-query answers.
 //!
 //! The redesign's acceptance bars on the 120k-vertex benchmark graph:
 //!
@@ -135,10 +135,10 @@ fn bench_request_pipeline(c: &mut Criterion) {
     let wide_engine = QueryEngine::with_threads(&wide_store, THREADS).expect("engine");
     let compact_engine = QueryEngine::with_threads(&compact_store, THREADS).expect("engine");
     let wide_dist = time_reps(reps, &|| {
-        criterion::black_box(wide_engine.distance_batch(&workload).expect("batch"));
+        criterion::black_box(wide_engine.submit(&distance_reqs));
     });
     let compact_dist = time_reps(reps, &|| {
-        criterion::black_box(compact_engine.distance_batch(&workload).expect("batch"));
+        criterion::black_box(compact_engine.submit(&distance_reqs));
     });
     let throughput_ratio = wide_dist.as_secs_f64() / compact_dist.as_secs_f64();
     let size_saved = 100.0 * (1.0 - compact_bytes as f64 / wide_bytes as f64);
@@ -175,57 +175,52 @@ fn bench_request_pipeline(c: &mut Criterion) {
     group.bench_function("cache/warm_hits", |b| {
         b.iter(|| criterion::black_box(cached_engine.submit(&path_reqs)));
     });
-    group.bench_function("legacy/query_batch", |b| {
-        b.iter(|| criterion::black_box(engine.query_batch(&workload).expect("batch")));
-    });
     group.bench_function("profile/wide_mmap_distance", |b| {
-        b.iter(|| criterion::black_box(wide_engine.distance_batch(&workload).expect("batch")));
+        b.iter(|| criterion::black_box(wide_engine.submit(&distance_reqs)));
     });
     group.bench_function("profile/compact_mmap_distance", |b| {
-        b.iter(|| criterion::black_box(compact_engine.distance_batch(&workload).expect("batch")));
+        b.iter(|| criterion::black_box(compact_engine.submit(&distance_reqs)));
     });
     group.finish();
 
-    // ---- Drift tripwire against the legacy batch path. ----
-    // submit's path+stats outcomes must carry exactly the answers
-    // query_batch produces, and warm cache hits must not drift either.
+    // ---- Drift tripwire against fresh single queries. ----
+    // submit's path+stats outcomes must carry exactly the answers the
+    // per-query path produces, and warm cache hits must not drift either.
     let stats_reqs: Vec<QueryRequest> = workload
         .iter()
         .map(|&(u, v)| QueryRequest::path_graph(u, v).with_stats())
         .collect();
-    let legacy = engine.query_batch(&workload).expect("legacy batch");
+    let fresh: Vec<_> = workload
+        .iter()
+        .map(|&(u, v)| index.query_with_stats(u, v).expect("fresh query"))
+        .collect();
     for (engine_under_test, tag) in [(&engine, "uncached"), (&cached_engine, "warm cache")] {
         let outcomes = engine_under_test.submit(&stats_reqs);
-        for ((outcome, expected), &(u, v)) in outcomes.iter().zip(&legacy).zip(&workload) {
+        for ((outcome, expected), &(u, v)) in outcomes.iter().zip(&fresh).zip(&workload) {
             assert_eq!(
                 outcome.answer(),
                 Some(expected),
-                "{tag}: request pipeline drifted from query_batch on ({u}, {v})"
+                "{tag}: request pipeline drifted from the per-query path on ({u}, {v})"
             );
         }
     }
-    let distances = engine.distance_batch(&workload).expect("legacy distances");
-    for ((outcome, expected), &(u, v)) in engine
-        .submit(&distance_reqs)
-        .iter()
-        .zip(&distances)
-        .zip(&workload)
-    {
+    let distances = engine.submit(&distance_reqs);
+    for ((outcome, expected), &(u, v)) in distances.iter().zip(&fresh).zip(&workload) {
         assert_eq!(
             outcome.distance(),
-            Some(*expected),
-            "distance mode drifted from distance_batch on ({u}, {v})"
+            Some(expected.path_graph.distance()),
+            "distance mode drifted from the path-graph answers on ({u}, {v})"
         );
     }
     // Both mmap-served profiles must agree with the owned index bit for bit.
     assert_eq!(
         distances,
-        wide_engine.distance_batch(&workload).expect("batch"),
+        wide_engine.submit(&distance_reqs),
         "wide profile drifted from the owned index on the distance workload"
     );
     assert_eq!(
         distances,
-        compact_engine.distance_batch(&workload).expect("batch"),
+        compact_engine.submit(&distance_reqs),
         "compact profile drifted from the owned index on the distance workload"
     );
     drop(wide_engine);

@@ -1,8 +1,9 @@
 //! Serving-layer benchmark: requests/sec through the framed TCP server
-//! vs. client count, and the protocol's overhead vs. in-process
-//! `Qbs::submit` on the same workload.
+//! vs. client count, the protocol's overhead vs. in-process
+//! `Qbs::submit`, the cost of hundreds of parked idle connections, and
+//! the payoff of v2 pipelining over one connection.
 //!
-//! The serving tentpole's measurement contract:
+//! The reactor tentpole's measurement contract:
 //!
 //! * **throughput must not collapse under concurrency** — each batch
 //!   already fans out over the session's worker pool, so extra clients
@@ -12,7 +13,12 @@
 //!   framing + syscalls on top of the in-process batch path; the run
 //!   prints the measured multiple so the trajectory is tracked per PR
 //!   (the `netserve` experiment records the same numbers into the
-//!   bench-smoke JSON artifact at tiny scale).
+//!   bench-smoke JSON artifact at tiny scale);
+//! * **idle connections are cheap** — ≥512 parked sockets on the one
+//!   reactor thread must not dent a busy client's throughput;
+//! * **pipelining pays** — with single-request frames, depth 16 must
+//!   clear 2× the depth-1 rate on one connection: round-trip latency,
+//!   not server work, dominates small frames.
 //!
 //! Run with `cargo bench --bench server_throughput`.
 
@@ -61,12 +67,9 @@ fn bench_server_throughput(c: &mut Criterion) {
             .with_threads(4)
             .expect("threads"),
     );
-    // One handler per swept client, so the 8-client point measures 8-way
-    // concurrency rather than two serial waves over a 4-handler default.
-    let server_config = ServerConfig {
-        handler_threads: 8,
-        ..ServerConfig::default()
-    };
+    // One worker per swept client, so the 8-client point measures 8-way
+    // concurrency rather than two serial waves over a 4-worker default.
+    let server_config = ServerConfig::default().workers(8);
     let mut server = QbsServer::start(Arc::clone(&qbs), server_config).expect("start");
     let addr = server.local_addr().to_string();
 
@@ -154,6 +157,79 @@ fn bench_server_throughput(c: &mut Criterion) {
         multi_best * 3.0 >= single,
         "multi-client throughput collapsed (1 client {single:.0} req/s vs best concurrent \
          {multi_best:.0} req/s)"
+    );
+
+    // ---- Many-idle-connection scenario: ≥512 parked sockets. ----
+    // Park handshaken-but-silent connections on the reactor, then push
+    // the single-client workload through them. The reactor thread count
+    // is fixed; the busy client's rate must not collapse.
+    let parked: Vec<QbsClient> = (0..512).map(|_| connect_ready(&addr)).collect();
+    let idle_rps = {
+        let mut client = connect_ready(&addr);
+        let t0 = Instant::now();
+        for _ in 0..ROUNDS {
+            for batch in batches.iter().take(4) {
+                let reply = client.submit(batch).expect("submit");
+                assert!(reply.outcomes().is_some(), "benchmark server must not shed");
+            }
+        }
+        total_requests / t0.elapsed().as_secs_f64()
+    };
+    println!(
+        "idle-connection scenario: {} parked sockets on {} reactor thread(s), \
+         busy client {idle_rps:.0} req/s (vs {:.0} req/s unparked)",
+        parked.len(),
+        server.reactor_threads(),
+        sweep[0].1,
+    );
+    assert_eq!(
+        server.reactor_threads(),
+        1,
+        "the poll set lives on one thread"
+    );
+    drop(parked);
+
+    // ---- Pipelining-depth sweep: 1 / 4 / 16 over one connection. ----
+    // Single-request frames in the latency-bound regime pipelining exists
+    // for: near-free self-pair distances, so the round trip — not the
+    // search — is the dominant per-frame cost. (With sampled pairs the
+    // single reactor core saturates on query work at depth 1 already and
+    // no pipelining depth could beat it.)
+    let single_reqs: Vec<QueryRequest> = workload
+        .iter()
+        .map(|&(u, _)| QueryRequest::distance(u, u))
+        .collect();
+    let mut depth_sweep = Vec::new();
+    for depth in [1usize, 4, 16] {
+        let mut client = connect_ready(&addr);
+        let t0 = Instant::now();
+        let mut window = std::collections::VecDeque::new();
+        for req in &single_reqs {
+            if window.len() >= depth {
+                client
+                    .recv(window.pop_front().expect("window"))
+                    .expect("recv");
+            }
+            window.push_back(client.send(std::slice::from_ref(req)).expect("send"));
+        }
+        while let Some(ticket) = window.pop_front() {
+            client.recv(ticket).expect("recv");
+        }
+        depth_sweep.push((depth, single_reqs.len() as f64 / t0.elapsed().as_secs_f64()));
+    }
+    println!(
+        "pipelining-depth sweep (single-request frames, one connection):\n{}",
+        depth_sweep
+            .iter()
+            .map(|&(depth, rps)| format!("\x20 depth {depth:>2} {rps:>10.0} req/s\n"))
+            .collect::<String>(),
+    );
+    let depth1 = depth_sweep[0].1;
+    let depth16 = depth_sweep[2].1;
+    assert!(
+        depth16 >= 2.0 * depth1,
+        "depth-16 pipelining must at least double depth-1 throughput \
+         ({depth1:.0} vs {depth16:.0} req/s)"
     );
 
     // Criterion group: one-batch round trip, in-process vs loopback.

@@ -24,7 +24,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::{Duration, Instant};
 
 use qbs_core::serialize::{self, MapMode};
-use qbs_core::{query_on, QbsConfig, QbsIndex, QueryEngine, QueryWorkspace};
+use qbs_core::{query_on, QbsConfig, QbsIndex, QueryEngine, QueryRequest, QueryWorkspace};
 use qbs_gen::prelude::*;
 
 /// Vertex count of the benchmark graph (the acceptance regime: ≥ 100k).
@@ -116,13 +116,17 @@ fn bench_view_query(c: &mut Criterion) {
     });
 
     // ---- Batch engine over both backends (the serving configuration). ----
+    let requests: Vec<QueryRequest> = workload
+        .iter()
+        .map(|&(u, v)| QueryRequest::path_graph(u, v).with_stats())
+        .collect();
     group.bench_function("engine_batch/owned_index", |b| {
         let engine = QueryEngine::with_threads(&index, 4).expect("engine");
-        b.iter(|| criterion::black_box(engine.query_batch(&workload).expect("batch")));
+        b.iter(|| criterion::black_box(engine.submit(&requests)));
     });
     group.bench_function("engine_batch/mmap_view", |b| {
         let engine = QueryEngine::with_threads(&store, 4).expect("engine");
-        b.iter(|| criterion::black_box(engine.query_batch(&workload).expect("batch")));
+        b.iter(|| criterion::black_box(engine.submit(&requests)));
     });
     group.finish();
 
@@ -131,8 +135,8 @@ fn bench_view_query(c: &mut Criterion) {
     let owned_engine = QueryEngine::with_threads(&index, 2).expect("engine");
     let view_engine = QueryEngine::with_threads(&store, 2).expect("engine");
     assert_eq!(
-        owned_engine.query_batch(&workload).expect("owned"),
-        view_engine.query_batch(&workload).expect("view"),
+        owned_engine.submit(&requests),
+        view_engine.submit(&requests),
         "owned and view-backed engines diverged"
     );
 }

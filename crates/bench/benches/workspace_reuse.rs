@@ -7,7 +7,7 @@
 //!    fresh-allocation path, because the `O(|V|)` depth/visited arrays are
 //!    reset by bumping an epoch instead of being reallocated and rezeroed
 //!    per query (`query/fresh` vs `query/reused` vs `distance/reused`).
-//! 2. **Scaling** — `QueryEngine::query_batch` distributes a workload over
+//! 2. **Scaling** — `QueryEngine::submit` distributes a workload over
 //!    worker threads with one workspace per worker, scaling near-linearly
 //!    on a ≥100k-vertex synthetic graph (`batch/threads=N`).
 //!
@@ -16,7 +16,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use qbs_core::{QbsConfig, QbsIndex, QueryEngine, QueryWorkspace};
+use qbs_core::{QbsConfig, QbsIndex, QueryEngine, QueryRequest, QueryWorkspace};
 use qbs_gen::prelude::*;
 
 /// Vertex count of the scaling graph — large enough that per-query `O(|V|)`
@@ -79,7 +79,11 @@ fn bench_workspace_reuse(c: &mut Criterion) {
 fn bench_batch_scaling(c: &mut Criterion) {
     let (index, pairs) = build_index();
 
-    let mut group = c.benchmark_group("query_batch");
+    let requests: Vec<QueryRequest> = pairs
+        .iter()
+        .map(|&(u, v)| QueryRequest::path_graph(u, v).with_stats())
+        .collect();
+    let mut group = c.benchmark_group("submit_batch");
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
@@ -101,7 +105,7 @@ fn bench_batch_scaling(c: &mut Criterion) {
             BenchmarkId::new("threads", threads),
             &engine,
             |b, engine| {
-                b.iter(|| criterion::black_box(engine.query_batch(&pairs).expect("in range")));
+                b.iter(|| criterion::black_box(engine.submit(&requests)));
             },
         );
     }

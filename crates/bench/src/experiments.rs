@@ -736,11 +736,12 @@ pub fn view_serving(config: &ExperimentConfig) -> Result<ViewServing, QbsError> 
 
             let owned_engine = qbs_core::QueryEngine::with_threads(&owned, 2)?;
             let view_engine = qbs_core::QueryEngine::with_threads(&store, 2)?;
+            let requests = path_graph_requests(pairs);
             let t0 = Instant::now();
-            let owned_answers = owned_engine.query_batch(pairs)?;
+            let owned_answers = owned_engine.submit(&requests);
             let owned_ms = per_query_ms(t0.elapsed(), pairs.len());
             let t0 = Instant::now();
-            let view_answers = view_engine.query_batch(pairs)?;
+            let view_answers = view_engine.submit(&requests);
             let view_ms = per_query_ms(t0.elapsed(), pairs.len());
 
             let identical = owned_answers == view_answers;
@@ -756,6 +757,20 @@ pub fn view_serving(config: &ExperimentConfig) -> Result<ViewServing, QbsError> 
         .collect::<Result<Vec<_>, QbsError>>()?;
     std::fs::remove_dir_all(&dir).ok();
     Ok(ViewServing { rows })
+}
+
+fn path_graph_requests(pairs: &[(u32, u32)]) -> Vec<qbs_core::QueryRequest> {
+    pairs
+        .iter()
+        .map(|&(u, v)| qbs_core::QueryRequest::path_graph(u, v).with_stats())
+        .collect()
+}
+
+fn distance_requests(pairs: &[(u32, u32)]) -> Vec<qbs_core::QueryRequest> {
+    pairs
+        .iter()
+        .map(|&(u, v)| qbs_core::QueryRequest::distance(u, v))
+        .collect()
 }
 
 fn per_query_ms(elapsed: std::time::Duration, queries: usize) -> f64 {
@@ -897,21 +912,23 @@ pub fn compact_serving(config: &ExperimentConfig) -> Result<CompactServing, QbsE
             let wide_engine = qbs_core::QueryEngine::with_threads(&wide_store, 2)?;
             let compact_engine = qbs_core::QueryEngine::with_threads(&compact_store, 2)?;
 
+            let requests = path_graph_requests(pairs);
+            let dist_requests = distance_requests(pairs);
             let t0 = Instant::now();
-            let owned_answers = owned_engine.query_batch(pairs)?;
+            let owned_answers = owned_engine.submit(&requests);
             let owned_ms = per_query_ms(t0.elapsed(), pairs.len());
             let t0 = Instant::now();
-            let compact_answers = compact_engine.query_batch(pairs)?;
+            let compact_answers = compact_engine.submit(&requests);
             let compact_ms = per_query_ms(t0.elapsed(), pairs.len());
-            let wide_answers = wide_engine.query_batch(pairs)?;
+            let wide_answers = wide_engine.submit(&requests);
 
             let t0 = Instant::now();
-            let wide_dists = wide_engine.distance_batch(pairs)?;
+            let wide_dists = wide_engine.submit(&dist_requests);
             let wide_dist_qps = qps(t0.elapsed(), pairs.len());
             let t0 = Instant::now();
-            let compact_dists = compact_engine.distance_batch(pairs)?;
+            let compact_dists = compact_engine.submit(&dist_requests);
             let compact_dist_qps = qps(t0.elapsed(), pairs.len());
-            let owned_dists = owned_engine.distance_batch(pairs)?;
+            let owned_dists = owned_engine.submit(&dist_requests);
 
             let identical = owned_answers == compact_answers
                 && owned_answers == wide_answers
@@ -1176,10 +1193,26 @@ pub struct NetServingRow {
     /// Whether an over-`max_inflight` batch was shed with a typed `Busy`
     /// (not a hang or dropped connection).
     pub busy_typed: bool,
+    /// Whether a single pipelined connection (small frames in flight at
+    /// once, replies redeemed out of order) served outcomes bit-identical
+    /// to local `Qbs::submit`.
+    pub pipelined_identical: bool,
+    /// Idle connections parked on the reactor while the pipelined phase
+    /// ran (the many-idle-socket scenario).
+    pub idle_connections: usize,
+    /// Reactor threads serving the whole socket set (fixed by design).
+    pub reactor_threads: usize,
     /// Loopback serving throughput, requests/sec (all clients combined).
     pub loopback_rps: f64,
     /// In-process `Qbs::submit` throughput on the same batches, req/sec.
     pub inprocess_rps: f64,
+    /// Pipelining-depth sweep over one connection, single-request frames:
+    /// requests/sec at depth 1.
+    pub depth1_rps: f64,
+    /// Requests/sec at pipelining depth 4.
+    pub depth4_rps: f64,
+    /// Requests/sec at pipelining depth 16.
+    pub depth16_rps: f64,
 }
 
 /// The network-serving differential + throughput record: a real
@@ -1197,9 +1230,12 @@ pub struct NetServing {
 }
 
 impl NetServing {
-    /// Whether every dataset served identically and shed typedly.
+    /// Whether every dataset served identically (sequential and
+    /// pipelined) and shed typedly.
     pub fn all_ok(&self) -> bool {
-        self.rows.iter().all(|r| r.identical && r.busy_typed)
+        self.rows
+            .iter()
+            .all(|r| r.identical && r.busy_typed && r.pipelined_identical)
     }
 
     /// Renders the comparison.
@@ -1212,14 +1248,16 @@ impl NetServing {
                 "req/client",
                 "loopback rps",
                 "in-proc rps",
-                "overhead",
+                "idle conns",
+                "d16/d1",
                 "busy typed",
                 "identical",
+                "pipelined",
             ],
         );
         for r in &self.rows {
-            let overhead = if r.loopback_rps > 0.0 {
-                r.inprocess_rps / r.loopback_rps
+            let depth_gain = if r.depth1_rps > 0.0 {
+                r.depth16_rps / r.depth1_rps
             } else {
                 0.0
             };
@@ -1229,13 +1267,19 @@ impl NetServing {
                 fmt_count(r.requests_per_client),
                 format!("{:.0}", r.loopback_rps),
                 format!("{:.0}", r.inprocess_rps),
-                format!("{overhead:.1}x"),
+                format!("{} @ {} reactor", r.idle_connections, r.reactor_threads),
+                format!("{depth_gain:.1}x"),
                 if r.busy_typed {
                     "yes".into()
                 } else {
                     "NO".into()
                 },
                 if r.identical {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+                if r.pipelined_identical {
                     "yes".into()
                 } else {
                     "NO".into()
@@ -1373,6 +1417,63 @@ pub fn net_serving(config: &ExperimentConfig) -> Result<NetServing, QbsError> {
                 BatchReply::Busy(BusyReason::Overloaded { .. })
             );
 
+            // Many-idle-socket scenario: park hundreds of handshaken but
+            // silent connections on the reactor, then run the pipelined
+            // differential and the depth sweep *through* them — the fixed
+            // reactor/worker thread set must keep serving regardless.
+            let parked: Vec<_> = (0..512)
+                .filter_map(|_| qbs_server::QbsClient::connect(&addr).ok())
+                .collect();
+            let idle_connections = parked.len();
+            let reactor_threads = server.reactor_threads();
+
+            // Pipelined phase: small frames, all in flight on one
+            // connection, replies redeemed in *reverse* order — the
+            // reassembled outcomes must still match local submit.
+            let frames: Vec<&[qbs_core::QueryRequest]> = requests.chunks(2).collect();
+            let mut tickets = Vec::with_capacity(frames.len());
+            for frame in &frames {
+                tickets.push(client.send(frame).map_err(protocol_to_qbs)?);
+            }
+            let mut slots: Vec<Option<Vec<qbs_core::QueryOutcome>>> = vec![None; frames.len()];
+            for (i, ticket) in tickets.into_iter().enumerate().rev() {
+                let reply = client.recv(ticket).map_err(protocol_to_qbs)?;
+                slots[i] = reply.outcomes().map(|o| o.to_vec());
+            }
+            let pipelined_identical = slots.iter().all(Option::is_some)
+                && slots
+                    .into_iter()
+                    .flatten()
+                    .flatten()
+                    .collect::<Vec<qbs_core::QueryOutcome>>()
+                    == expected;
+
+            // Pipelining-depth sweep: single-request frames through one
+            // connection with 1 / 4 / 16 tickets outstanding.
+            let mut depth_rps = [0.0f64; 3];
+            for (slot, depth) in depth_rps.iter_mut().zip([1usize, 4, 16]) {
+                let mut sweep_client = connect_ready(&addr).ok_or_else(|| {
+                    QbsError::Io(std::io::Error::other("no connection for depth sweep"))
+                })?;
+                let t0 = Instant::now();
+                let mut window = std::collections::VecDeque::new();
+                for req in &requests {
+                    if window.len() >= depth {
+                        let ticket = window.pop_front().expect("window");
+                        sweep_client.recv(ticket).map_err(protocol_to_qbs)?;
+                    }
+                    let ticket = sweep_client
+                        .send(std::slice::from_ref(req))
+                        .map_err(protocol_to_qbs)?;
+                    window.push_back(ticket);
+                }
+                while let Some(ticket) = window.pop_front() {
+                    sweep_client.recv(ticket).map_err(protocol_to_qbs)?;
+                }
+                *slot = requests.len() as f64 / t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+            }
+            drop(parked);
+
             server.shutdown();
             std::fs::remove_file(&path).ok();
             Ok(NetServingRow {
@@ -1381,8 +1482,14 @@ pub fn net_serving(config: &ExperimentConfig) -> Result<NetServing, QbsError> {
                 requests_per_client: requests.len(),
                 identical,
                 busy_typed,
+                pipelined_identical,
+                idle_connections,
+                reactor_threads,
                 loopback_rps,
                 inprocess_rps,
+                depth1_rps: depth_rps[0],
+                depth4_rps: depth_rps[1],
+                depth16_rps: depth_rps[2],
             })
         })
         .collect::<Result<Vec<_>, QbsError>>()?;
@@ -1715,6 +1822,12 @@ mod tests {
         assert_eq!(row.clients, 4);
         assert!(row.requests_per_client > 1);
         assert!(row.loopback_rps > 0.0 && row.inprocess_rps > 0.0);
+        assert_eq!(
+            row.idle_connections, 512,
+            "the parked sockets all connected"
+        );
+        assert_eq!(row.reactor_threads, 1, "one reactor thread serves them all");
+        assert!(row.depth1_rps > 0.0 && row.depth4_rps > 0.0 && row.depth16_rps > 0.0);
         let rendered = n.render();
         assert!(rendered.contains("Net serving"));
         assert!(rendered.contains("yes"));

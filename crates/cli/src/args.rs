@@ -79,8 +79,8 @@ pub enum Command {
         addr: String,
         /// Worker threads per batch (default: all cores).
         threads: Option<usize>,
-        /// Connection-handler threads (default 4).
-        handlers: Option<usize>,
+        /// Reactor worker threads executing decoded batches (default 4).
+        workers: Option<usize>,
         /// Admission bound on concurrently executing requests.
         max_inflight: usize,
         /// Admission cap on requests per batch frame.
@@ -94,6 +94,9 @@ pub enum Command {
     Client {
         /// Server address (`host:port`).
         addr: String,
+        /// Pin the connection to protocol v1 (`--protocol v1`) instead of
+        /// negotiating up to v2.
+        force_v1: bool,
         /// What to do on the connection.
         action: ClientAction,
     },
@@ -171,11 +174,12 @@ commands:
   query    --index FILE --source U --target V [query options]
   query    --index FILE --pairs FILE [--threads N] [query options]
   serve    --index FILE [--mmap] [--addr H:P | --port P] [--threads N]
-           [--handlers H] [--max-inflight M] [--max-batch B]
+           [--workers W] [--max-inflight M] [--max-batch B]
            [--max-connections C] [--cache N]
   client   --addr H:P --pairs FILE [--mode M] [--stats] [--format F]
   client   --addr H:P --source U --target V [--mode M] [--format F]
   client   --addr H:P (--stats | --ping | --shutdown)
+  client options also accept [--protocol v1|v2] (default: negotiate v2)
   stats    --index FILE
   inspect  --index FILE
   convert  --from FILE --to FILE
@@ -203,12 +207,16 @@ cold process answers its first query in the time it takes to map it. In
 `--pairs` batches each pair is answered independently: an out-of-range
 pair reports an error for that line only.
 
-`serve` runs the framed TCP server (spec: docs/protocol.md) over one
-shared session; Ctrl-C or `client --shutdown` drains in-flight batches
-and tears down cleanly. Work beyond `--max-inflight`/`--max-batch` gets
-a typed busy reply, never a hang. `client` submits batches against a
-running server with the same rendering as a local `query`; `--stats`
-alone prints the server's serving and admission counters.
+`serve` runs the framed TCP server (spec: docs/protocol.md): one poll(2)
+reactor thread multiplexes every connection and `--workers W` threads
+(default 4; `--handlers` is accepted as the old spelling) execute the
+decoded batches over one shared session. Ctrl-C or `client --shutdown`
+drains in-flight batches and tears down cleanly. Work beyond
+`--max-inflight`/`--max-batch` gets a typed busy reply, never a hang.
+`client` submits batches against a running server with the same
+rendering as a local `query`; `--stats` alone prints the server's
+serving and admission counters. `--protocol v1` pins the connection to
+the FIFO v1 framing instead of negotiating up to the pipelined v2.
 ";
 
 /// Default bind host for `serve --port`.
@@ -325,9 +333,19 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 threads: get("threads")
                     .map(|s| parse_number(&s, "threads"))
                     .transpose()?,
-                handlers: get("handlers")
-                    .map(|s| parse_number(&s, "handlers"))
-                    .transpose()?,
+                workers: match (get("workers"), get("handlers")) {
+                    (Some(_), Some(_)) => {
+                        return Err(ParseError(
+                            "serve: pass --workers or --handlers (its old name), not both".into(),
+                        ))
+                    }
+                    // `--handlers` is the pre-reactor spelling, kept as an
+                    // alias so existing service files keep starting.
+                    (workers, handlers) => workers
+                        .or(handlers)
+                        .map(|s| parse_number(&s, "workers"))
+                        .transpose()?,
+                },
                 max_inflight: get("max-inflight")
                     .map(|s| parse_number(&s, "max-inflight"))
                     .transpose()?
@@ -347,6 +365,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "client" => {
             let addr = require("addr")?;
+            let force_v1 = match get("protocol").as_deref() {
+                None | Some("v2") => false,
+                Some("v1") => true,
+                Some(other) => {
+                    return Err(ParseError(format!(
+                        "client: unknown protocol '{other}' (expected v1 or v2)"
+                    )))
+                }
+            };
             let source = get("source")
                 .map(|s| parse_number(&s, "source").map(|n| n as u32))
                 .transpose()?;
@@ -403,7 +430,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     },
                 }
             };
-            Ok(Command::Client { addr, action })
+            Ok(Command::Client {
+                addr,
+                force_v1,
+                action,
+            })
         }
         "stats" => Ok(Command::Stats {
             index: PathBuf::from(require("index")?),
@@ -793,7 +824,7 @@ mod tests {
                 mmap: true,
                 addr: "127.0.0.1:7411".into(),
                 threads: Some(2),
-                handlers: None,
+                workers: None,
                 max_inflight: 64,
                 max_batch: 16,
                 max_connections: 8,
@@ -806,12 +837,39 @@ mod tests {
             cmd,
             Command::Serve {
                 mmap: false,
+                workers: None,
                 max_inflight: 4096,
                 max_batch: 4096,
                 max_connections: 128,
                 ..
             }
         ));
+        // Reactor workers: the new spelling, the pre-reactor alias, and
+        // the conflict between the two.
+        assert!(matches!(
+            parse(&args(&["serve", "--index", "i", "--workers", "6"])).unwrap(),
+            Command::Serve {
+                workers: Some(6),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&args(&["serve", "--index", "i", "--handlers", "3"])).unwrap(),
+            Command::Serve {
+                workers: Some(3),
+                ..
+            }
+        ));
+        assert!(parse(&args(&[
+            "serve",
+            "--index",
+            "i",
+            "--workers",
+            "2",
+            "--handlers",
+            "3"
+        ]))
+        .is_err());
         assert!(matches!(
             parse(&args(&["serve", "--index", "i", "--addr", "0.0.0.0:9"])).unwrap(),
             Command::Serve { addr, .. } if addr == "0.0.0.0:9"
@@ -833,6 +891,7 @@ mod tests {
             cmd,
             Command::Client {
                 addr: "h:1".into(),
+                force_v1: false,
                 action: ClientAction::Query {
                     source: None,
                     target: None,
@@ -843,6 +902,43 @@ mod tests {
                 },
             }
         );
+        // `--protocol` pins or confirms the wire version; junk is rejected.
+        assert!(matches!(
+            parse(&args(&[
+                "client",
+                "--addr",
+                "h:1",
+                "--ping",
+                "--protocol",
+                "v1"
+            ]))
+            .unwrap(),
+            Command::Client { force_v1: true, .. }
+        ));
+        assert!(matches!(
+            parse(&args(&[
+                "client",
+                "--addr",
+                "h:1",
+                "--ping",
+                "--protocol",
+                "v2"
+            ]))
+            .unwrap(),
+            Command::Client {
+                force_v1: false,
+                ..
+            }
+        ));
+        assert!(parse(&args(&[
+            "client",
+            "--addr",
+            "h:1",
+            "--ping",
+            "--protocol",
+            "v3"
+        ]))
+        .is_err());
         let single = parse(&args(&[
             "client", "--addr", "h:1", "--source", "1", "--target", "2", "--format", "json",
         ]))

@@ -15,8 +15,8 @@ use qbs_core::{
 use qbs_gen::catalog::Catalog;
 use qbs_graph::{io, Graph, VertexId};
 use qbs_server::{
-    signal, AdmissionConfig, BatchReply, ProtocolError, QbsClient, QbsServer, ServerConfig,
-    ServerHandle,
+    signal, AdmissionConfig, BatchReply, ClientConfig, ProtocolError, QbsClient, QbsServer,
+    ServerConfig, ServerHandle,
 };
 
 use crate::args::{ClientAction, Command, USAGE};
@@ -197,8 +197,13 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             let stats = handle.stats();
             Ok(format!("server drained and stopped\n{stats}"))
         }
-        Command::Client { addr, action } => {
-            let mut client = QbsClient::connect(addr)?;
+        Command::Client {
+            addr,
+            force_v1,
+            action,
+        } => {
+            let config = ClientConfig::default().force_v1(*force_v1);
+            let mut client = QbsClient::connect_with(addr, config)?;
             match action {
                 ClientAction::Ping => {
                     let latency = client.ping()?;
@@ -412,7 +417,7 @@ pub fn start_server(command: &Command) -> Result<(ServerHandle, Arc<Qbs>), Comma
         mmap,
         addr,
         threads,
-        handlers,
+        workers,
         max_inflight,
         max_batch,
         max_connections,
@@ -432,7 +437,7 @@ pub fn start_server(command: &Command) -> Result<(ServerHandle, Arc<Qbs>), Comma
     let qbs = Arc::new(qbs);
     let config = ServerConfig {
         addr: addr.clone(),
-        handler_threads: handlers.unwrap_or(4),
+        workers: workers.unwrap_or(4),
         admission: AdmissionConfig {
             max_inflight: *max_inflight,
             max_batch: *max_batch,
@@ -1201,7 +1206,7 @@ mod tests {
             mmap: true,
             addr: "127.0.0.1:0".into(),
             threads: Some(2),
-            handlers: Some(2),
+            workers: Some(2),
             max_inflight: 64,
             max_batch: 4,
             max_connections: 8,
@@ -1217,6 +1222,7 @@ mod tests {
         let client_batch = |mode: QueryMode| {
             run(&Command::Client {
                 addr: addr.clone(),
+                force_v1: false,
                 action: ClientAction::Query {
                     source: None,
                     target: None,
@@ -1259,6 +1265,7 @@ mod tests {
         std::fs::write(dir.join("big.txt"), "1 2\n3 4\n5 6\n7 8\n0 1\n").expect("write");
         let busy = run(&Command::Client {
             addr: addr.clone(),
+            force_v1: false,
             action: ClientAction::Query {
                 source: None,
                 target: None,
@@ -1275,6 +1282,7 @@ mod tests {
         // Single remote query, JSON batch, ping, server stats.
         let single = run(&Command::Client {
             addr: addr.clone(),
+            force_v1: false,
             action: ClientAction::Query {
                 source: Some(1),
                 target: Some(5),
@@ -1288,6 +1296,7 @@ mod tests {
         assert!(single.starts_with("d(1, 5) = "), "{single}");
         let json = run(&Command::Client {
             addr: addr.clone(),
+            force_v1: false,
             action: ClientAction::Query {
                 source: None,
                 target: None,
@@ -1303,6 +1312,7 @@ mod tests {
 
         let pong = run(&Command::Client {
             addr: addr.clone(),
+            force_v1: false,
             action: ClientAction::Ping,
         })
         .expect("ping");
@@ -1310,6 +1320,7 @@ mod tests {
 
         let stats = run(&Command::Client {
             addr: addr.clone(),
+            force_v1: false,
             action: ClientAction::Stats,
         })
         .expect("stats");
@@ -1324,6 +1335,7 @@ mod tests {
         // port refuses connections.
         let ack = run(&Command::Client {
             addr: addr.clone(),
+            force_v1: false,
             action: ClientAction::Shutdown,
         })
         .expect("shutdown");
@@ -1331,6 +1343,7 @@ mod tests {
         handle.shutdown();
         let refused = run(&Command::Client {
             addr: addr.clone(),
+            force_v1: false,
             action: ClientAction::Ping,
         });
         assert!(matches!(refused, Err(CommandError::Protocol(_))));

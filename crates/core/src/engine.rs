@@ -30,8 +30,9 @@
 //! freely — with **per-request** outcomes, so one out-of-range pair yields
 //! one [`QueryOutcome::Error`] slot instead of poisoning the batch. An
 //! optional sharded LRU [`AnswerCache`] slots in front of the executor
-//! ([`QueryEngine::with_answer_cache`]). The legacy homogeneous
-//! `query_batch`/`distance_batch` wrappers are kept for compatibility.
+//! ([`QueryEngine::with_answer_cache`]). This is the *only* batch surface:
+//! the old homogeneous `query_batch`/`distance_batch` wrappers (whole-batch
+//! failure, no cache) are gone — build `QueryRequest`s instead.
 //!
 //! ```
 //! use qbs_core::request::QueryRequest;
@@ -49,17 +50,12 @@
 //! assert_eq!(outcomes[0].distance(), Some(5));
 //! assert!(outcomes[1].path_graph().is_some());
 //! assert!(outcomes[2].is_error()); // that slot only — the batch survived
-//!
-//! // Legacy homogeneous wrapper, unchanged:
-//! let answers = engine.query_batch(&[(6, 11), (4, 12), (7, 9)]).unwrap();
-//! assert_eq!(answers.len(), 3);
-//! assert_eq!(answers[0].path_graph, index.query(6, 11).unwrap());
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use qbs_graph::{Distance, VertexId};
+use qbs_graph::VertexId;
 
 use crate::cache::{AnswerCache, CacheConfig, CacheStats};
 use crate::query::{self, QbsIndex, QueryAnswer};
@@ -86,8 +82,7 @@ pub struct QueryEngine<'idx, S: IndexStore = QbsIndex> {
     /// Optional answer cache consulted by the request pipeline
     /// ([`QueryEngine::submit`] / [`QueryEngine::execute`]). `Arc` so a
     /// session façade (or several engines over the same store) can share
-    /// one cache. The legacy `query_batch`/`distance_batch` wrappers never
-    /// touch it.
+    /// one cache.
     cache: Option<Arc<AnswerCache>>,
 }
 
@@ -215,67 +210,20 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
     }
 
     /// Executes a heterogeneous batch of typed requests, in input order —
-    /// the serving entry point of the request pipeline.
+    /// the serving entry point of the request pipeline, and the only
+    /// batch API.
     ///
-    /// Unlike the legacy [`QueryEngine::query_batch`], `submit` never
-    /// fails as a whole: each slot resolves independently, so a request
-    /// with an out-of-range endpoint yields [`QueryOutcome::Error`] *for
-    /// that slot only* while every other request is answered normally.
-    /// Distance, path-graph and sketch requests mix freely in one batch,
-    /// and requests with [`crate::request::QueryOptions::use_cache`] go
-    /// through the attached answer cache. Outcomes are bit-identical
-    /// across storage backends.
+    /// `submit` never fails as a whole: each slot resolves independently,
+    /// so a request with an out-of-range endpoint yields
+    /// [`QueryOutcome::Error`] *for that slot only* while every other
+    /// request is answered normally. Distance, path-graph and sketch
+    /// requests mix freely in one batch, and requests with
+    /// [`crate::request::QueryOptions::use_cache`] go through the attached
+    /// answer cache. Outcomes are bit-identical across storage backends.
     pub fn submit(&self, requests: &[QueryRequest]) -> Vec<QueryOutcome> {
         self.fan_out(requests, |store, ws, req| {
             execute_cached_on(store, ws, req, self.cache.as_deref())
         })
-    }
-
-    /// Answers a batch of queries, in input order.
-    ///
-    /// **Compatibility wrapper** over the request pipeline: vertices are
-    /// validated up front, so an out-of-range pair fails the whole batch
-    /// with [`QbsError::VertexOutOfRange`] before any search runs. Callers
-    /// who want per-request failure isolation (one bad pair must not
-    /// poison the batch) should build [`QueryRequest`]s and call
-    /// [`QueryEngine::submit`] instead. The wrapper never consults the
-    /// answer cache. Answers are bit-identical to calling
-    /// [`QbsIndex::query`] per pair — on any backend.
-    pub fn query_batch(&self, pairs: &[(VertexId, VertexId)]) -> crate::Result<Vec<QueryAnswer>> {
-        self.validate(pairs)?;
-        Ok(self.fan_out(pairs, |store, ws, &(u, v)| {
-            query::query_on(store, ws, u, v)
-                .expect("batch pairs validated before the parallel phase")
-        }))
-    }
-
-    /// Computes only the distances of a batch of queries, in input order —
-    /// the cheapest serving path (no path-graph materialisation at all).
-    ///
-    /// **Compatibility wrapper**: same validation and caching rules as
-    /// [`QueryEngine::query_batch`]; the typed equivalent is a
-    /// [`QueryEngine::submit`] batch of
-    /// [`QueryRequest::distance`] requests.
-    pub fn distance_batch(&self, pairs: &[(VertexId, VertexId)]) -> crate::Result<Vec<Distance>> {
-        self.validate(pairs)?;
-        Ok(self.fan_out(pairs, |store, ws, &(u, v)| {
-            query::distance_on(store, ws, u, v)
-                .expect("batch pairs validated before the parallel phase")
-        }))
-    }
-
-    /// Up-front endpoint validation of the legacy whole-batch wrappers.
-    fn validate(&self, pairs: &[(VertexId, VertexId)]) -> crate::Result<()> {
-        let n = self.store.num_vertices() as u64;
-        for &(u, v) in pairs {
-            if u as u64 >= n || v as u64 >= n {
-                return Err(QbsError::VertexOutOfRange {
-                    vertex: if u as u64 >= n { u as u64 } else { v as u64 },
-                    num_vertices: n,
-                });
-            }
-        }
-        Ok(())
     }
 
     /// Shared batch driver: fans `op` out over the scoped worker pool with
@@ -364,14 +312,22 @@ mod tests {
         pairs
     }
 
+    fn path_graph_requests(pairs: &[(VertexId, VertexId)]) -> Vec<QueryRequest> {
+        pairs
+            .iter()
+            .map(|&(u, v)| QueryRequest::path_graph(u, v).with_stats())
+            .collect()
+    }
+
     #[test]
     fn batch_answers_match_single_queries_in_order() {
         let index = QbsIndex::build(figure4_graph(), QbsConfig::with_landmark_count(3));
         let engine = QueryEngine::with_threads(&index, 4).expect("engine");
         let pairs = all_pairs(15);
-        let answers = engine.query_batch(&pairs).expect("batch");
-        assert_eq!(answers.len(), pairs.len());
-        for (&(u, v), answer) in pairs.iter().zip(&answers) {
+        let outcomes = engine.submit(&path_graph_requests(&pairs));
+        assert_eq!(outcomes.len(), pairs.len());
+        for (&(u, v), outcome) in pairs.iter().zip(&outcomes) {
+            let answer = outcome.answer().expect("in-range pair");
             let expected = index.query_with_stats(u, v).expect("single query");
             assert_eq!(
                 answer.path_graph, expected.path_graph,
@@ -388,29 +344,40 @@ mod tests {
         let owned_engine = QueryEngine::with_threads(&index, 2).expect("engine");
         let view_engine = QueryEngine::with_threads(&store, 2).expect("view engine");
         let pairs = all_pairs(15);
-        let owned = owned_engine.query_batch(&pairs).expect("owned batch");
-        let viewed = view_engine.query_batch(&pairs).expect("view batch");
+        let requests = path_graph_requests(&pairs);
+        let owned = owned_engine.submit(&requests);
+        let viewed = view_engine.submit(&requests);
         for ((a, b), &(u, v)) in owned.iter().zip(&viewed).zip(&pairs) {
             assert_eq!(a, b, "batch answer of ({u},{v}) diverged across backends");
         }
+        let distances: Vec<QueryRequest> = pairs
+            .iter()
+            .map(|&(u, v)| QueryRequest::distance(u, v))
+            .collect();
         assert_eq!(
-            owned_engine
-                .distance_batch(&pairs)
-                .expect("owned distances"),
-            view_engine.distance_batch(&pairs).expect("view distances"),
+            owned_engine.submit(&distances),
+            view_engine.submit(&distances),
         );
         assert_eq!(view_engine.store().view().num_landmarks(), 3);
     }
 
     #[test]
-    fn distance_batch_matches_query_batch() {
+    fn distance_requests_match_path_graph_answers() {
         let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(2));
         let engine = QueryEngine::with_threads(&index, 2).expect("engine");
         let pairs = all_pairs(8);
-        let answers = engine.query_batch(&pairs).expect("batch");
-        let distances = engine.distance_batch(&pairs).expect("distances");
+        let answers = engine.submit(&path_graph_requests(&pairs));
+        let distances: Vec<QueryRequest> = pairs
+            .iter()
+            .map(|&(u, v)| QueryRequest::distance(u, v))
+            .collect();
+        let distances = engine.submit(&distances);
         for ((answer, d), &(u, v)) in answers.iter().zip(&distances).zip(&pairs) {
-            assert_eq!(answer.path_graph.distance(), *d, "distance of ({u},{v})");
+            assert_eq!(
+                answer.answer().expect("in range").path_graph.distance(),
+                d.distance().expect("in range"),
+                "distance of ({u},{v})"
+            );
         }
     }
 
@@ -420,7 +387,7 @@ mod tests {
         let engine = QueryEngine::with_threads(&index, 3).expect("engine");
         assert_eq!(engine.pooled_workspaces(), 0);
         for _ in 0..5 {
-            engine.query_batch(&all_pairs(15)).expect("batch");
+            engine.submit(&path_graph_requests(&all_pairs(15)));
         }
         let pooled = engine.pooled_workspaces();
         assert!((1..=3).contains(&pooled), "pool holds {pooled} workspaces");
@@ -432,11 +399,15 @@ mod tests {
     }
 
     #[test]
-    fn batch_validates_vertices_up_front() {
+    fn out_of_range_requests_fail_their_slot_only() {
         let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(2));
         let engine = QueryEngine::new(&index);
-        let err = engine.query_batch(&[(0, 1), (99, 0)]).unwrap_err();
-        assert!(matches!(err, QbsError::VertexOutOfRange { vertex: 99, .. }));
+        let outcomes = engine.submit(&[
+            QueryRequest::path_graph(0, 1),
+            QueryRequest::path_graph(99, 0),
+        ]);
+        assert!(!outcomes[0].is_error(), "good slot unaffected");
+        assert!(outcomes[1].is_error(), "bad slot fails alone");
         assert!(engine.query(0, 99).is_err());
         assert_eq!(engine.query(3, 7).unwrap().path_graph.distance(), 4);
     }
@@ -455,7 +426,6 @@ mod tests {
     fn empty_batch_is_fine() {
         let index = QbsIndex::build(figure3_graph(), QbsConfig::with_landmark_count(2));
         let engine = QueryEngine::new(&index);
-        assert!(engine.query_batch(&[]).expect("empty").is_empty());
         assert!(engine.submit(&[]).is_empty());
         assert_eq!(engine.store().graph().num_vertices(), 8);
     }

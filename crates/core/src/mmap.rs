@@ -7,8 +7,9 @@
 //! [`crate::serialize::load_view_from_file`] hides the distinction behind
 //! [`crate::serialize::MapMode`].
 //!
-//! This is the **only** module in the workspace allowed to use `unsafe`
-//! (the crate root is `#![deny(unsafe_code)]`); the surface is deliberately
+//! This is one of the few syscall-shim modules in the workspace allowed to
+//! use `unsafe` (each crate root is `#![deny(unsafe_code)]`; the others are
+//! `qbs-server`'s `signal` and `poll` shims); the surface is deliberately
 //! tiny: map a whole file read-only, expose it as `&[u8]`, unmap on drop.
 //!
 //! # Mapping contract

@@ -19,9 +19,9 @@
 //! [`crate::engine::QueryEngine::submit`] fans slices of requests out over
 //! the concurrent worker pool, and [`crate::cache::AnswerCache`] slots in
 //! between the request and the executor (see [`execute_cached_on`]). The
-//! legacy entry points (`QbsIndex::query`, `QueryEngine::query_batch`,
-//! ...) are thin wrappers over the same internals — see `docs/api.md` for
-//! the migration table.
+//! single-query entry points (`QbsIndex::query` and friends) are thin
+//! wrappers over the same internals — see `docs/api.md` for the
+//! migration table.
 //!
 //! ```
 //! use qbs_core::request::{execute_on, QueryMode, QueryRequest};

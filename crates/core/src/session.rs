@@ -744,8 +744,12 @@ mod tests {
         let qbs = session();
         let index = qbs.index().unwrap().clone();
         let engine = QueryEngine::with_threads(&qbs, 2).expect("engine over the façade");
-        let answers = engine.query_batch(&[(6, 11), (4, 12)]).expect("batch");
-        assert_eq!(answers[0].path_graph, index.query(6, 11).unwrap());
+        let outcomes = engine.submit(&[
+            QueryRequest::path_graph(6, 11),
+            QueryRequest::path_graph(4, 12),
+        ]);
+        let answer = outcomes[0].path_graph().expect("in range");
+        assert_eq!(*answer, index.query(6, 11).unwrap());
         assert_eq!(IndexStore::num_vertices(&qbs), 15);
         assert_eq!(qbs.num_landmarks(), 3);
         assert!(IndexStore::is_landmark(&qbs, 1));

@@ -658,6 +658,52 @@ impl Wire for EngineStats {
     }
 }
 
+/// A per-connection request identifier, carried in the protocol-v2 frame
+/// envelope (`[len][id][tag][payload]`) so responses can complete out of
+/// order. IDs are scoped to one connection and assigned by the client;
+/// the server echoes them verbatim. [`RequestId::CONNECTION`] (zero) is
+/// reserved for connection-scoped frames — faults that poison the whole
+/// stream rather than one request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u32);
+
+impl RequestId {
+    /// The reserved connection-scoped ID (never assigned to a request).
+    pub const CONNECTION: RequestId = RequestId(0);
+
+    /// Whether this is the reserved connection-scoped ID.
+    pub fn is_connection_scoped(self) -> bool {
+        self == RequestId::CONNECTION
+    }
+
+    /// The next ID a client should assign after this one — wraps past
+    /// `u32::MAX` but never lands on the reserved zero.
+    pub fn next(self) -> RequestId {
+        match self.0.wrapping_add(1) {
+            0 => RequestId(1),
+            n => RequestId(n),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl Wire for RequestId {
+    const MIN_ENCODED_LEN: usize = 4;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RequestId(r.u32("request id")?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -875,5 +921,23 @@ mod tests {
         assert!(WireError::Invalid("utf-8 string")
             .to_string()
             .contains("utf-8"));
+    }
+
+    #[test]
+    fn request_ids_roundtrip_and_skip_the_reserved_zero() {
+        for id in [RequestId(1), RequestId(7), RequestId(u32::MAX)] {
+            assert_eq!(from_bytes::<RequestId>(&to_bytes(&id)).unwrap(), id);
+        }
+        assert_eq!(to_bytes(&RequestId(5)), 5u32.to_le_bytes());
+        assert!(RequestId::CONNECTION.is_connection_scoped());
+        assert!(!RequestId(1).is_connection_scoped());
+        assert_eq!(RequestId(1).next(), RequestId(2));
+        // Wrapping past u32::MAX never produces the reserved zero.
+        assert_eq!(RequestId(u32::MAX).next(), RequestId(1));
+        assert_eq!(RequestId(3).to_string(), "#3");
+        assert!(matches!(
+            from_bytes::<RequestId>(&[0, 0]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 }

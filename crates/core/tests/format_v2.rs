@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use qbs_core::{serialize, QbsConfig, QbsIndex, QueryEngine};
+use qbs_core::{serialize, QbsConfig, QbsIndex, QueryEngine, QueryRequest};
 use qbs_gen::prelude::*;
 use qbs_graph::fixtures::figure4_graph;
 use qbs_graph::Graph;
@@ -216,10 +216,18 @@ fn queries_through_from_view_are_bit_identical() {
     // The batch engine sees the same answers on both indexes.
     let engine_a = QueryEngine::with_threads(&built, 2).expect("engine");
     let engine_b = QueryEngine::with_threads(&loaded, 2).expect("engine");
-    let batch_a = engine_a.query_batch(&pairs).expect("batch");
-    let batch_b = engine_b.query_batch(&pairs).expect("batch");
+    let requests: Vec<QueryRequest> = pairs
+        .iter()
+        .map(|&(u, v)| QueryRequest::path_graph(u, v))
+        .collect();
+    let batch_a = engine_a.submit(&requests);
+    let batch_b = engine_b.submit(&requests);
     for ((a, b), &(u, v)) in batch_a.iter().zip(&batch_b).zip(&pairs) {
-        assert_eq!(a.path_graph, b.path_graph, "batch SPG({u}, {v}) diverged");
+        assert_eq!(
+            a.path_graph().expect("in range"),
+            b.path_graph().expect("in range"),
+            "batch SPG({u}, {v}) diverged"
+        );
     }
 }
 

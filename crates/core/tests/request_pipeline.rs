@@ -147,11 +147,14 @@ fn poisoned_pair_fails_its_slot_only_on_both_backends() {
         view_engine.submit(&requests)
     );
 
-    // The legacy wrapper still aborts the whole batch — the compat
-    // contract the new pipeline exists to escape.
-    let legacy_pairs = [(6u32, 11u32), (99, 0), (7, 9)];
-    assert!(owned_engine.query_batch(&legacy_pairs).is_err());
-    assert!(view_engine.distance_batch(&legacy_pairs).is_err());
+    // `into_result` restores the legacy fail-fast shape for callers that
+    // still want one error to abort their whole batch.
+    let failed = owned_engine
+        .submit(&requests)
+        .into_iter()
+        .map(qbs_core::QueryOutcome::into_result)
+        .collect::<Result<Vec<_>, _>>();
+    assert!(failed.is_err(), "the poisoned slot surfaces as QbsError");
 }
 
 /// The Qbs façade serves the same answers as the raw engines, from both a

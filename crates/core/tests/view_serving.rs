@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 use qbs_core::serialize::{self, MapMode};
-use qbs_core::{QbsConfig, QbsIndex, QueryEngine, ViewBuf, ViewStore};
+use qbs_core::{QbsConfig, QbsIndex, QueryEngine, QueryRequest, ViewBuf, ViewStore};
 use qbs_gen::prelude::*;
 use qbs_graph::{Graph, VertexId};
 
@@ -37,17 +37,27 @@ fn assert_bit_identical(owned: &QbsIndex, store: &ViewStore, pairs: &[(VertexId,
     let owned_engine = QueryEngine::with_threads(owned, 2).expect("owned engine");
     let view_engine = QueryEngine::with_threads(store, 2).expect("view engine");
 
-    let owned_answers = owned_engine.query_batch(pairs).expect("owned batch");
-    let view_answers = view_engine.query_batch(pairs).expect("view batch");
-    for ((a, b), &(u, v)) in owned_answers.iter().zip(&view_answers).zip(pairs) {
+    let requests: Vec<QueryRequest> = pairs
+        .iter()
+        .map(|&(u, v)| QueryRequest::path_graph(u, v).with_stats())
+        .collect();
+    let owned_answers = owned_engine.submit(&requests);
+    let view_answers = view_engine.submit(&requests);
+    for ((x, y), &(u, v)) in owned_answers.iter().zip(&view_answers).zip(pairs) {
+        let a = x.answer().expect("in range");
+        let b = y.answer().expect("in range");
         assert_eq!(a.path_graph, b.path_graph, "SPG({u}, {v}) diverged");
         assert_eq!(a.sketch, b.sketch, "sketch({u}, {v}) diverged");
         assert_eq!(a.stats, b.stats, "stats({u}, {v}) diverged");
     }
 
+    let distances: Vec<QueryRequest> = pairs
+        .iter()
+        .map(|&(u, v)| QueryRequest::distance(u, v))
+        .collect();
     assert_eq!(
-        owned_engine.distance_batch(pairs).expect("owned distances"),
-        view_engine.distance_batch(pairs).expect("view distances"),
+        owned_engine.submit(&distances),
+        view_engine.submit(&distances),
         "distance batch diverged"
     );
 }
@@ -155,8 +165,12 @@ proptest! {
         let pairs = QueryWorkload::sample(&graph, 48, seed ^ 0xABCD).pairs().to_vec();
         let owned_engine = QueryEngine::with_threads(&owned, 2).expect("owned engine");
         let view_engine = QueryEngine::with_threads(&store, 2).expect("view engine");
-        let a = owned_engine.query_batch(&pairs).expect("owned batch");
-        let b = view_engine.query_batch(&pairs).expect("view batch");
+        let requests: Vec<QueryRequest> = pairs
+            .iter()
+            .map(|&(u, v)| QueryRequest::path_graph(u, v).with_stats())
+            .collect();
+        let a = owned_engine.submit(&requests);
+        let b = view_engine.submit(&requests);
         for ((x, y), &(u, v)) in a.iter().zip(&b).zip(&pairs) {
             prop_assert_eq!(x, y, "answer of ({}, {}) diverged", u, v);
         }
@@ -178,9 +192,13 @@ fn view_store_rejects_out_of_range_vertices() {
         err,
         qbs_core::QbsError::VertexOutOfRange { vertex: 99, .. }
     ));
-    let err = engine.query_batch(&[(0, 1), (200, 0)]).unwrap_err();
+    let outcomes = engine.submit(&[
+        QueryRequest::path_graph(0, 1),
+        QueryRequest::path_graph(200, 0),
+    ]);
+    assert!(!outcomes[0].is_error(), "good slot unaffected");
     assert!(matches!(
-        err,
+        outcomes[1].clone().into_result().unwrap_err(),
         qbs_core::QbsError::VertexOutOfRange { vertex: 200, .. }
     ));
     let mut ws = qbs_core::QueryWorkspace::new();

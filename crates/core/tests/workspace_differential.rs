@@ -1,7 +1,7 @@
 //! Differential tests for the workspace-based query path.
 //!
 //! Asserts that `QbsIndex::query_with` (one epoch-stamped workspace reused
-//! across hundreds of mixed queries) and `QueryEngine::query_batch` (the
+//! across hundreds of mixed queries) and `QueryEngine::submit` (the
 //! concurrent batch API) return results **bit-identical** to the
 //! fresh-allocation `QbsIndex::query` path, across Erdős–Rényi,
 //! Barabási–Albert and Watts–Strogatz graphs and multiple seeds — the
@@ -9,7 +9,7 @@
 //! would corrupt a later query's answer.
 
 use qbs_baselines::{GroundTruth, SpgEngine};
-use qbs_core::{QbsConfig, QbsIndex, QueryEngine, QueryWorkspace};
+use qbs_core::{QbsConfig, QbsIndex, QueryEngine, QueryRequest, QueryWorkspace};
 use qbs_gen::prelude::*;
 use qbs_gen::QueryWorkload;
 use qbs_graph::Graph;
@@ -93,15 +93,20 @@ fn workspace_reuse_is_bit_identical_to_fresh_queries() {
 }
 
 #[test]
-fn query_batch_is_bit_identical_to_fresh_queries() {
+fn submitted_batches_are_bit_identical_to_fresh_queries() {
     for (name, graph) in generator_suite() {
         let index = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(8));
         let pairs = mixed_workload(&graph, &index, 99);
+        let requests: Vec<QueryRequest> = pairs
+            .iter()
+            .map(|&(u, v)| QueryRequest::path_graph(u, v).with_stats())
+            .collect();
         for threads in [1usize, 3] {
             let engine = QueryEngine::with_threads(&index, threads).expect("engine");
-            let answers = engine.query_batch(&pairs).expect("batch");
-            assert_eq!(answers.len(), pairs.len());
-            for (&(u, v), answer) in pairs.iter().zip(&answers) {
+            let outcomes = engine.submit(&requests);
+            assert_eq!(outcomes.len(), pairs.len());
+            for (&(u, v), outcome) in pairs.iter().zip(&outcomes) {
+                let answer = outcome.answer().expect("in range");
                 let fresh = index.query_with_stats(u, v).expect("fresh query");
                 assert_eq!(
                     answer.path_graph, fresh.path_graph,
@@ -113,11 +118,15 @@ fn query_batch_is_bit_identical_to_fresh_queries() {
                 );
             }
             // Distance-only batches agree with the materialised answers.
-            let distances = engine.distance_batch(&pairs).expect("distances");
-            for ((d, answer), &(u, v)) in distances.iter().zip(&answers).zip(&pairs) {
+            let distance_requests: Vec<QueryRequest> = pairs
+                .iter()
+                .map(|&(u, v)| QueryRequest::distance(u, v))
+                .collect();
+            let distances = engine.submit(&distance_requests);
+            for ((d, outcome), &(u, v)) in distances.iter().zip(&outcomes).zip(&pairs) {
                 assert_eq!(
-                    *d,
-                    answer.path_graph.distance(),
+                    d.distance().expect("in range"),
+                    outcome.answer().expect("in range").path_graph.distance(),
                     "{name}/threads={threads}: distance of ({u},{v})"
                 );
             }

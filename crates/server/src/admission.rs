@@ -27,7 +27,7 @@
 //! protocol frame.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use qbs_core::wire::{Wire, WireError, WireReader};
 
@@ -38,10 +38,11 @@ pub struct AdmissionConfig {
     pub max_inflight: usize,
     /// Maximum requests in one batch frame.
     pub max_batch: usize,
-    /// Maximum concurrently served connections. The server's handler
-    /// pool is the physical ceiling — this bound only bites when set
-    /// below `handler_threads`, turning a silent pool limit into a typed
-    /// [`BusyReason::TooManyConnections`] shed.
+    /// Maximum concurrently served connections. The reactor parks idle
+    /// connections for the cost of a pollfd entry, so this defaults high;
+    /// it exists to keep a connection flood below the process's fd limit,
+    /// shedding the excess with a typed
+    /// [`BusyReason::TooManyConnections`].
     pub max_connections: usize,
 }
 
@@ -50,7 +51,7 @@ impl Default for AdmissionConfig {
         AdmissionConfig {
             max_inflight: 4_096,
             max_batch: 4_096,
-            max_connections: 128,
+            max_connections: 1_024,
         }
     }
 }
@@ -81,8 +82,10 @@ pub enum BusyReason {
         limit: u64,
     },
     /// The listener found no idle connection handler to hand this
-    /// connection to — every handler is inside a session, so the
-    /// connection is refused instead of parked without a handshake.
+    /// connection to. Pre-v2 servers (one thread per connection) shed
+    /// with this reason when their handler pool saturated; the reactor
+    /// parks idle connections instead and never emits it. The variant is
+    /// kept so clients can still decode the frame from old servers.
     NoIdleHandler {
         /// The configured handler-pool size (the actionable knob).
         handlers: u64,
@@ -283,11 +286,9 @@ impl Admission {
         &self.config
     }
 
-    /// Tries to admit a batch of `requests` requests: the per-batch cap is
-    /// checked first, then one in-flight permit per request is acquired
-    /// atomically. Sheds (with the precise [`BusyReason`]) instead of
-    /// blocking. The returned guard releases the permits on drop.
-    pub fn admit_batch(&self, requests: usize) -> Result<InflightGuard<'_>, BusyReason> {
+    /// The bound-checking core of batch admission; acquires the permits
+    /// without constructing a guard.
+    fn try_admit_batch(&self, requests: usize) -> Result<(), BusyReason> {
         if requests > self.config.max_batch {
             self.shed_batch_size.fetch_add(1, Ordering::Relaxed);
             return Err(BusyReason::BatchTooLarge {
@@ -311,14 +312,11 @@ impl Admission {
         self.admitted_batches.fetch_add(1, Ordering::Relaxed);
         self.admitted_requests
             .fetch_add(requests as u64, Ordering::Relaxed);
-        Ok(InflightGuard {
-            admission: self,
-            requests,
-        })
+        Ok(())
     }
 
-    /// Tries to claim a connection slot; sheds at the bound.
-    pub fn admit_connection(&self) -> Result<ConnectionGuard<'_>, BusyReason> {
+    /// The bound-checking core of connection admission.
+    fn try_admit_connection(&self) -> Result<(), BusyReason> {
         let mut counts = self.counts.lock().expect("admission counts poisoned");
         if counts.connections >= self.config.max_connections {
             drop(counts);
@@ -328,7 +326,63 @@ impl Admission {
             });
         }
         counts.connections += 1;
+        Ok(())
+    }
+
+    /// Tries to admit a batch of `requests` requests: the per-batch cap is
+    /// checked first, then one in-flight permit per request is acquired
+    /// atomically. Sheds (with the precise [`BusyReason`]) instead of
+    /// blocking. The returned guard releases the permits on drop.
+    pub fn admit_batch(&self, requests: usize) -> Result<InflightGuard<'_>, BusyReason> {
+        self.try_admit_batch(requests)?;
+        Ok(InflightGuard {
+            admission: self,
+            requests,
+        })
+    }
+
+    /// [`Admission::admit_batch`] with an owning guard: the permit can
+    /// travel with the decoded batch from the reactor thread to whichever
+    /// worker executes it, releasing when the response is handed back.
+    pub fn admit_batch_owned(
+        self: &Arc<Self>,
+        requests: usize,
+    ) -> Result<OwnedInflightGuard, BusyReason> {
+        self.try_admit_batch(requests)?;
+        Ok(OwnedInflightGuard {
+            admission: Arc::clone(self),
+            requests,
+        })
+    }
+
+    /// Tries to claim a connection slot; sheds at the bound.
+    pub fn admit_connection(&self) -> Result<ConnectionGuard<'_>, BusyReason> {
+        self.try_admit_connection()?;
         Ok(ConnectionGuard { admission: self })
+    }
+
+    /// [`Admission::admit_connection`] with an owning guard, stored
+    /// inside the reactor's per-connection state.
+    pub fn admit_connection_owned(self: &Arc<Self>) -> Result<OwnedConnectionGuard, BusyReason> {
+        self.try_admit_connection()?;
+        Ok(OwnedConnectionGuard {
+            admission: Arc::clone(self),
+        })
+    }
+
+    /// Releases a batch's in-flight permits (the guards' drop path).
+    fn release_batch(&self, requests: usize) {
+        let mut counts = self.counts.lock().expect("admission counts poisoned");
+        counts.inflight -= requests;
+        if counts.inflight == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Releases a connection slot (the guards' drop path).
+    fn release_connection(&self) {
+        let mut counts = self.counts.lock().expect("admission counts poisoned");
+        counts.connections -= 1;
     }
 
     /// Counts a connection shed *before* slot accounting — the listener's
@@ -373,15 +427,21 @@ pub struct InflightGuard<'a> {
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        let mut counts = self
-            .admission
-            .counts
-            .lock()
-            .expect("admission counts poisoned");
-        counts.inflight -= self.requests;
-        if counts.inflight == 0 {
-            self.admission.drained.notify_all();
-        }
+        self.admission.release_batch(self.requests);
+    }
+}
+
+/// Owning variant of [`InflightGuard`]: holds the controller by `Arc` so
+/// the permit can cross threads with the work it covers.
+#[derive(Debug)]
+pub struct OwnedInflightGuard {
+    admission: Arc<Admission>,
+    requests: usize,
+}
+
+impl Drop for OwnedInflightGuard {
+    fn drop(&mut self) {
+        self.admission.release_batch(self.requests);
     }
 }
 
@@ -393,12 +453,20 @@ pub struct ConnectionGuard<'a> {
 
 impl Drop for ConnectionGuard<'_> {
     fn drop(&mut self) {
-        let mut counts = self
-            .admission
-            .counts
-            .lock()
-            .expect("admission counts poisoned");
-        counts.connections -= 1;
+        self.admission.release_connection();
+    }
+}
+
+/// Owning variant of [`ConnectionGuard`], stored in per-connection state
+/// that outlives any one stack frame.
+#[derive(Debug)]
+pub struct OwnedConnectionGuard {
+    admission: Arc<Admission>,
+}
+
+impl Drop for OwnedConnectionGuard {
+    fn drop(&mut self) {
+        self.admission.release_connection();
     }
 }
 
@@ -464,6 +532,27 @@ mod tests {
         let _c = admission.admit_connection().expect("slot freed");
         assert_eq!(admission.stats().shed_connections, 1);
         assert_eq!(admission.stats().connections, 2);
+    }
+
+    #[test]
+    fn owned_guards_release_across_threads() {
+        let admission = Arc::new(Admission::new(config(10, 8, 2)));
+        let batch = admission.admit_batch_owned(4).expect("admit");
+        let conn = admission.admit_connection_owned().expect("slot");
+        assert_eq!(admission.stats().inflight, 4);
+        assert_eq!(admission.stats().connections, 1);
+        let handle = std::thread::spawn(move || {
+            drop(batch);
+            drop(conn);
+        });
+        handle.join().unwrap();
+        assert_eq!(admission.stats().inflight, 0);
+        assert_eq!(admission.stats().connections, 0);
+        // Owned admission hits the same bounds as the borrowed form.
+        let _a = admission.admit_connection_owned().expect("slot 1");
+        let _b = admission.admit_connection_owned().expect("slot 2");
+        assert!(admission.admit_connection_owned().is_err());
+        assert!(admission.admit_batch_owned(9).is_err());
     }
 
     #[test]

@@ -1,27 +1,47 @@
-//! The blocking client library for the framed TCP protocol.
+//! The blocking client library for the framed TCP protocol, with a
+//! pipelined v2 surface.
 //!
 //! A [`QbsClient`] holds one connection: `connect` performs the
-//! magic+version handshake, after which [`QbsClient::submit`] ships
-//! [`QueryRequest`] batches and returns the server's per-request
-//! [`QueryOutcome`]s — bit-identical to what a local
-//! [`qbs_core::Qbs::submit`] over the same index would produce. Admission
-//! shedding is a first-class reply ([`BatchReply::Busy`]), not an error:
-//! the connection stays healthy and the caller decides whether to retry.
+//! magic+version handshake (negotiating the protocol version; see
+//! [`ClientConfig::force_v1`]), after which batches travel two ways:
+//!
+//! * **One-shot**: [`QbsClient::submit`] ships a batch and blocks for its
+//!   reply — exactly the old API, now implemented as `send` + `recv`.
+//! * **Pipelined**: [`QbsClient::send`] ships a batch and returns a
+//!   [`Ticket`] immediately; any number of batches can be in flight, and
+//!   [`QbsClient::recv`] blocks for one ticket's reply. Under protocol v2
+//!   the server executes them concurrently and answers in *completion*
+//!   order — the client re-pairs replies to tickets by request ID, so
+//!   tickets may be redeemed in any order. Under v1 the wire is strictly
+//!   FIFO and the client pairs replies positionally; pipelining still
+//!   works, it just cannot overtake.
+//!
+//! Outcomes are bit-identical to what a local [`qbs_core::Qbs::submit`]
+//! over the same index would produce, whatever the version or ordering.
+//! Admission shedding is a first-class reply ([`BatchReply::Busy`]), not
+//! an error: the connection stays healthy and the caller decides whether
+//! to retry.
 //!
 //! ```no_run
 //! use qbs_core::QueryRequest;
 //! use qbs_server::{BatchReply, QbsClient};
 //!
 //! let mut client = QbsClient::connect("127.0.0.1:7411").unwrap();
-//! match client.submit(&[QueryRequest::distance(6, 11)]).unwrap() {
+//! // Pipelined: both batches are on the wire before either reply.
+//! let a = client.send(&[QueryRequest::distance(6, 11)]).unwrap();
+//! let b = client.send(&[QueryRequest::path_graph(2, 9)]).unwrap();
+//! match client.recv(b).unwrap() {
 //!     BatchReply::Outcomes(outcomes) => println!("{:?}", outcomes[0].distance()),
 //!     BatchReply::Busy(reason) => eprintln!("shed: {reason}"),
 //! }
+//! let _ = client.recv(a).unwrap();
 //! ```
 
-use std::net::TcpStream;
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use qbs_core::wire::RequestId;
 use qbs_core::{QueryOutcome, QueryRequest};
 
 use crate::admission::BusyReason;
@@ -54,43 +74,187 @@ impl BatchReply {
     }
 }
 
+/// Claim on one in-flight batch, issued by [`QbsClient::send`] and
+/// redeemed (once) by [`QbsClient::recv`]. Tickets from the same
+/// connection may be redeemed in any order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ticket(RequestId);
+
+impl Ticket {
+    /// The wire-level request ID this ticket rides on (v2 connections;
+    /// under v1 the ID is client-side bookkeeping only).
+    pub fn request_id(&self) -> RequestId {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ticket {}", self.0)
+    }
+}
+
+/// Configuration of a [`QbsClient`] — built fluently and shared by the
+/// CLI, tests and benches:
+///
+/// ```
+/// use std::time::Duration;
+/// use qbs_server::ClientConfig;
+/// let config = ClientConfig::default()
+///     .connect_timeout(Duration::from_millis(250))
+///     .force_v1(true);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Socket read/write timeout for established-connection operations.
+    pub io_timeout: Duration,
+    /// Bound on **one** dial + handshake attempt. This is what keeps a
+    /// single unresponsive accept (a server mid-start, a half-open
+    /// listener) from eating the whole retry budget of
+    /// [`QbsClient::connect_retry`].
+    pub connect_timeout: Duration,
+    /// Announce protocol v1 in the handshake instead of the newest
+    /// version. The server then serves this connection byte-identically
+    /// to a pre-v2 build — the escape hatch for wire-level debugging and
+    /// differential tests.
+    pub force_v1: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            io_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(5),
+            force_v1: false,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Sets the per-operation socket timeout.
+    pub fn io_timeout(mut self, io_timeout: Duration) -> ClientConfig {
+        self.io_timeout = io_timeout;
+        self
+    }
+
+    /// Sets the per-attempt dial + handshake bound.
+    pub fn connect_timeout(mut self, connect_timeout: Duration) -> ClientConfig {
+        self.connect_timeout = connect_timeout;
+        self
+    }
+
+    /// Forces the handshake to announce protocol v1.
+    pub fn force_v1(mut self, force_v1: bool) -> ClientConfig {
+        self.force_v1 = force_v1;
+        self
+    }
+}
+
 /// A blocking connection to a `qbs-server`.
 #[derive(Debug)]
 pub struct QbsClient {
     stream: TcpStream,
     /// Remembered dial target for [`QbsClient::reconnect`].
     addr: String,
+    config: ClientConfig,
+    /// Version negotiated in the handshake.
+    version: u16,
+    /// Last issued request ID (tickets and control frames share the
+    /// counter; 0 is reserved for connection-scoped frames).
+    last_id: RequestId,
+    /// IDs of requests written and not yet answered, in wire order —
+    /// under v1 this is how replies are paired; under v2 it guards
+    /// against redeeming a ticket that was never issued.
+    outstanding: VecDeque<RequestId>,
+    /// Replies that arrived while waiting for a different ID.
+    stash: HashMap<RequestId, ResponseFrame>,
 }
 
-/// Default per-operation socket timeout.
-const IO_TIMEOUT: Duration = Duration::from_secs(30);
-
 impl QbsClient {
-    /// Connects and performs the protocol handshake.
+    /// Connects with [`ClientConfig::default`] and performs the protocol
+    /// handshake.
     pub fn connect(addr: &str) -> Result<QbsClient, ProtocolError> {
-        let stream = TcpStream::connect(addr)?;
+        QbsClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects under an explicit configuration. The dial *and* the
+    /// handshake are bounded by [`ClientConfig::connect_timeout`]; once
+    /// the preambles have been exchanged the socket switches to
+    /// [`ClientConfig::io_timeout`].
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<QbsClient, ProtocolError> {
+        let target = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| -> ProtocolError {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("{addr}: no usable socket address"),
+                )
+                .into()
+            })?;
+        let stream = TcpStream::connect_timeout(&target, config.connect_timeout)?;
         stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(IO_TIMEOUT))?;
-        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        // The handshake runs under the connect budget: a server that
+        // accepted but never answers costs one attempt, not io_timeout.
+        stream.set_read_timeout(Some(config.connect_timeout))?;
+        stream.set_write_timeout(Some(config.connect_timeout))?;
         let mut client = QbsClient {
             stream,
             addr: addr.to_string(),
+            config,
+            version: 0,
+            last_id: RequestId::CONNECTION,
+            outstanding: VecDeque::new(),
+            stash: HashMap::new(),
         };
-        protocol::write_preamble(&mut client.stream)?;
-        protocol::read_preamble(&mut client.stream)?;
+        let announced = if config.force_v1 {
+            protocol::MIN_PROTOCOL_VERSION
+        } else {
+            protocol::PROTOCOL_VERSION
+        };
+        protocol::write_preamble_version(&mut client.stream, announced)?;
+        let theirs = protocol::read_preamble(&mut client.stream)?;
+        // The server replies with the negotiated version (≤ what we
+        // announced); a newer server's announcement still lands on the
+        // version we asked for.
+        client.version = theirs.min(announced);
+        client.stream.set_read_timeout(Some(config.io_timeout))?;
+        client.stream.set_write_timeout(Some(config.io_timeout))?;
         Ok(client)
     }
 
     /// Connects with bounded retries, ping-verifying the connection is
     /// actually being served. This is how well-behaved clients absorb the
     /// retryable refusals — a server still starting, or a connection shed
-    /// while a handler tears down its previous session — instead of
-    /// treating them as hard failures.
+    /// under a flood — instead of treating them as hard failures. Each
+    /// individual attempt is additionally bounded by
+    /// [`ClientConfig::connect_timeout`], so one hung accept or stalled
+    /// handshake cannot consume the whole budget.
     pub fn connect_retry(addr: &str, timeout: Duration) -> Result<QbsClient, ProtocolError> {
+        QbsClient::connect_retry_with(addr, timeout, ClientConfig::default())
+    }
+
+    /// [`QbsClient::connect_retry`] under an explicit configuration.
+    pub fn connect_retry_with(
+        addr: &str,
+        timeout: Duration,
+        config: ClientConfig,
+    ) -> Result<QbsClient, ProtocolError> {
         let deadline = Instant::now() + timeout;
         loop {
-            let attempt = QbsClient::connect(addr).and_then(|mut client| {
+            // Clip the attempt budget to what remains of the total, so
+            // the last attempt cannot overshoot the caller's deadline.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let attempt_config = config.connect_timeout(
+                config
+                    .connect_timeout
+                    .min(remaining.max(Duration::from_millis(1))),
+            );
+            let attempt = QbsClient::connect_with(addr, attempt_config).and_then(|mut client| {
                 client.ping()?;
+                // The handshake ran under the clipped budget; remember
+                // the caller's configuration for reconnects.
+                client.config = config;
                 Ok(client)
             });
             match attempt {
@@ -103,9 +267,10 @@ impl QbsClient {
 
     /// Drops the current connection and dials the same address again —
     /// the recovery path after an [`ProtocolError::Io`] (server restart,
-    /// idle timeout, network blip).
+    /// idle timeout, network blip). In-flight tickets die with the old
+    /// connection.
     pub fn reconnect(&mut self) -> Result<(), ProtocolError> {
-        *self = QbsClient::connect(&self.addr)?;
+        *self = QbsClient::connect_with(&self.addr, self.config)?;
         Ok(())
     }
 
@@ -114,8 +279,36 @@ impl QbsClient {
         &self.addr
     }
 
-    /// Submits a batch of typed requests; outcomes arrive in input order
-    /// and are bit-identical to a local `Qbs::submit` over the same index.
+    /// The protocol version negotiated with the server (1 or 2).
+    pub fn protocol_version(&self) -> u16 {
+        self.version
+    }
+
+    /// Number of sent-but-unredeemed tickets (and unanswered control
+    /// frames) on the wire.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len() + self.stash.len()
+    }
+
+    /// Ships a batch without waiting for its reply and returns the
+    /// [`Ticket`] to redeem with [`QbsClient::recv`]. Any number of
+    /// batches can be pipelined; under v2 the server executes them
+    /// concurrently and the replies may complete out of order.
+    pub fn send(&mut self, requests: &[QueryRequest]) -> Result<Ticket, ProtocolError> {
+        let id = self.issue_id();
+        let body = protocol::encode_batch_body(requests);
+        if self.version >= 2 {
+            protocol::write_frame(&mut self.stream, &protocol::encode_envelope(id, &body))?;
+        } else {
+            protocol::write_frame(&mut self.stream, &body)?;
+        }
+        self.outstanding.push_back(id);
+        Ok(Ticket(id))
+    }
+
+    /// Blocks until `ticket`'s reply is available and returns it. Replies
+    /// for *other* tickets read along the way are stashed and returned by
+    /// their own `recv` calls — redeem in any order.
     ///
     /// [`BatchReply::Busy`] is reserved for *batch-level* sheds, where the
     /// connection genuinely stays usable; a `Busy` frame carrying a
@@ -123,9 +316,8 @@ impl QbsClient {
     /// and this is its queued farewell) surfaces as
     /// [`ProtocolError::Shed`] instead — retrying on this socket would
     /// only hit a closed connection.
-    pub fn submit(&mut self, requests: &[QueryRequest]) -> Result<BatchReply, ProtocolError> {
-        protocol::write_frame(&mut self.stream, &protocol::encode_batch_body(requests))?;
-        match self.read()? {
+    pub fn recv(&mut self, ticket: Ticket) -> Result<BatchReply, ProtocolError> {
+        match self.await_reply(ticket.0)? {
             ResponseFrame::Batch(outcomes) => Ok(BatchReply::Outcomes(outcomes)),
             ResponseFrame::Busy(
                 reason @ (BusyReason::TooManyConnections { .. } | BusyReason::NoIdleHandler { .. }),
@@ -135,10 +327,17 @@ impl QbsClient {
         }
     }
 
+    /// Submits a batch and blocks for its reply (`send` + `recv`);
+    /// outcomes arrive in input order and are bit-identical to a local
+    /// `Qbs::submit` over the same index.
+    pub fn submit(&mut self, requests: &[QueryRequest]) -> Result<BatchReply, ProtocolError> {
+        let ticket = self.send(requests)?;
+        self.recv(ticket)
+    }
+
     /// Fetches the server's serving + admission counter snapshot.
     pub fn stats(&mut self) -> Result<ServerStats, ProtocolError> {
-        protocol::write_request(&mut self.stream, &RequestFrame::Stats)?;
-        match self.read()? {
+        match self.control(&RequestFrame::Stats)? {
             ResponseFrame::Stats(stats) => Ok(stats),
             ResponseFrame::Busy(reason) => Err(busy_error(reason)),
             other => Err(unexpected(other)),
@@ -148,8 +347,7 @@ impl QbsClient {
     /// Round-trip liveness probe; returns the measured latency.
     pub fn ping(&mut self) -> Result<Duration, ProtocolError> {
         let start = Instant::now();
-        protocol::write_request(&mut self.stream, &RequestFrame::Ping)?;
-        match self.read()? {
+        match self.control(&RequestFrame::Ping)? {
             ResponseFrame::Pong => Ok(start.elapsed()),
             ResponseFrame::Busy(reason) => Err(busy_error(reason)),
             other => Err(unexpected(other)),
@@ -159,16 +357,72 @@ impl QbsClient {
     /// Asks the server to drain in-flight batches and exit; returns once
     /// the drain has been acknowledged.
     pub fn shutdown_server(&mut self) -> Result<(), ProtocolError> {
-        protocol::write_request(&mut self.stream, &RequestFrame::Shutdown)?;
-        match self.read()? {
+        match self.control(&RequestFrame::Shutdown)? {
             ResponseFrame::ShutdownAck => Ok(()),
             ResponseFrame::Busy(reason) => Err(busy_error(reason)),
             other => Err(unexpected(other)),
         }
     }
 
-    fn read(&mut self) -> Result<ResponseFrame, ProtocolError> {
-        match protocol::read_response(&mut self.stream)? {
+    /// Allocates the next request ID (skipping the reserved 0).
+    fn issue_id(&mut self) -> RequestId {
+        self.last_id = self.last_id.next();
+        self.last_id
+    }
+
+    /// Writes a control frame and blocks for its own reply, stashing any
+    /// pipelined batch replies that arrive first.
+    fn control(&mut self, frame: &RequestFrame) -> Result<ResponseFrame, ProtocolError> {
+        let id = self.issue_id();
+        if self.version >= 2 {
+            protocol::write_request_v2(&mut self.stream, id, frame)?;
+        } else {
+            protocol::write_request(&mut self.stream, frame)?;
+        }
+        self.outstanding.push_back(id);
+        self.await_reply(id)
+    }
+
+    /// Blocks until the reply for `want` is available, reading (and
+    /// stashing) replies for other outstanding requests along the way.
+    fn await_reply(&mut self, want: RequestId) -> Result<ResponseFrame, ProtocolError> {
+        loop {
+            if let Some(frame) = self.stash.remove(&want) {
+                return self.resolve(frame);
+            }
+            if !self.outstanding.contains(&want) {
+                return Err(ProtocolError::UnknownTicket(want));
+            }
+            let (id, frame) = if self.version >= 2 {
+                let (id, frame) = protocol::read_response_v2(&mut self.stream)?;
+                if id.is_connection_scoped() {
+                    // Connection-scoped frames (faults, accept-time Busy)
+                    // concern the socket, not one request: fail now.
+                    return self.resolve(frame);
+                }
+                (id, frame)
+            } else {
+                // v1 wire is strictly FIFO: this frame answers the oldest
+                // outstanding request.
+                let frame = protocol::read_response(&mut self.stream)?;
+                match self.outstanding.front().copied() {
+                    Some(oldest) => (oldest, frame),
+                    // Nothing outstanding: connection-scoped (a farewell
+                    // Busy/fault from the server).
+                    None => return self.resolve(frame),
+                }
+            };
+            self.outstanding.retain(|&o| o != id);
+            if id == want {
+                return self.resolve(frame);
+            }
+            self.stash.insert(id, frame);
+        }
+    }
+
+    /// Final per-frame triage shared by all read paths.
+    fn resolve(&mut self, frame: ResponseFrame) -> Result<ResponseFrame, ProtocolError> {
+        match frame {
             ResponseFrame::Error(fault) => Err(ProtocolError::Remote(fault)),
             frame => Ok(frame),
         }

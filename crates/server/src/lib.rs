@@ -7,24 +7,31 @@
 //!
 //! The crate is **std-only** (the build environment has no crates.io
 //! access): framing is length-prefixed binary over `TcpStream`, the
-//! handler pool is plain scoped-ownership threads, and admission control
-//! is a counting semaphore — see the module docs:
+//! server is a single `poll(2)` reactor thread plus a fixed worker pool,
+//! and admission control is a counting semaphore — see the module docs:
 //!
-//! * [`protocol`] — magic + version handshake, length-prefixed frames,
-//!   typed [`ProtocolError`]s (spec in `docs/protocol.md`);
+//! * [`protocol`] — magic + version handshake with **version
+//!   negotiation** (v1: one frame per round trip; v2: request-ID
+//!   envelopes for pipelining), length-prefixed frames, typed
+//!   [`ProtocolError`]s (spec in `docs/protocol.md`);
 //! * [`admission`] — first-class load shedding: in-flight request
-//!   semaphore, per-batch cap, bounded accept backlog, typed `Busy`;
-//! * [`server`] — listener thread + bounded handler pool over an
-//!   `Arc<Qbs>` (N connections share one mmap'd index, workspace pool and
-//!   answer cache), graceful `Shutdown`-frame / SIGINT teardown;
-//! * [`client`] — blocking [`QbsClient`]: connect/reconnect, batch
-//!   submit, stats, ping, shutdown;
+//!   semaphore, per-batch cap, connection bound, typed `Busy`;
+//! * [`server`] — one reactor thread multiplexing every connection over
+//!   [`poll`], plus a fixed worker pool over an `Arc<Qbs>` (thousands of
+//!   idle connections park on one thread; N connections share one mmap'd
+//!   index, workspace pool and answer cache), graceful `Shutdown`-frame /
+//!   SIGINT teardown;
+//! * [`client`] — blocking [`QbsClient`]: connect/reconnect, one-shot
+//!   `submit` plus the pipelined `send`/`recv` [`Ticket`] surface, stats,
+//!   ping, shutdown;
+//! * [`poll`] — the `poll(2)` + wake-pipe shim the reactor stands on;
 //! * [`signal`] — the SIGINT/SIGTERM latch the CLI wires into the serve
 //!   loop.
 //!
 //! Server answers are **bit-identical** to local [`qbs_core::Qbs::submit`]
-//! outcomes — the loopback differential tests and the CI `serve-smoke`
-//! step enforce it.
+//! outcomes — whether the connection negotiated v1 or v2, and whatever
+//! order pipelined replies complete in. The loopback differential tests
+//! and the CI `serve-smoke` step enforce it.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -45,19 +52,23 @@
 //! server.shutdown();
 //! ```
 
-// `unsafe` is denied crate-wide; the single exception is the tiny
-// `signal(2)` latch (reviewed in isolation), which opts back in with a
-// module-level `allow` — exactly the `qbs-core::mmap` pattern.
+// `unsafe` is denied crate-wide; the exceptions are the two tiny
+// syscall shims (reviewed in isolation) that opt back in with a
+// module-level `allow`, exactly the `qbs-core::mmap` pattern: the
+// `signal(2)` latch and the `poll(2)`/`pipe(2)` reactor primitives.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod client;
+pub mod poll;
 pub mod protocol;
 pub mod server;
 pub mod signal;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionStats, BusyReason};
-pub use client::{BatchReply, QbsClient};
-pub use protocol::{ProtocolError, ServerStats, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use client::{BatchReply, ClientConfig, QbsClient, Ticket};
+pub use protocol::{
+    ProtocolError, ServerStats, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 pub use server::{QbsServer, ServerConfig, ServerHandle, ShutdownSignal};

@@ -1,0 +1,372 @@
+//! A minimal `poll(2)` + self-pipe shim for the reactor.
+//!
+//! The offline build environment has no `libc`/`mio` crates, so this
+//! module binds `poll(2)`, `pipe(2)` and the raw fd `read`/`write`/`close`
+//! directly via `extern "C"` on Unix targets — the same pattern as
+//! `qbs_core::mmap` and [`crate::signal`]. The surface is deliberately
+//! tiny: build a pollfd set, block until something is ready, and a
+//! [`WakePipe`] that lets worker threads interrupt the blocked reactor.
+//!
+//! On non-Unix targets the shim degrades to a short-sleep emulation that
+//! reports every descriptor ready: the reactor's reads and writes are all
+//! non-blocking, so spurious readiness only costs a `WouldBlock` and a
+//! re-park — correctness is preserved, efficiency is Unix-only.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Readable-data event bit (also set on EOF by the kernel).
+pub const POLLIN: i16 = 0x1;
+/// Writable-space event bit.
+pub const POLLOUT: i16 = 0x4;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x8;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x10;
+/// Invalid descriptor (revents only).
+pub const POLLNVAL: i16 = 0x20;
+
+/// A raw descriptor as `poll(2)` sees it. Negative values are legal and
+/// ignored by the kernel (POSIX), which is how the non-Unix [`WakePipe`]
+/// placeholder rides through a uniform poll set.
+pub type RawSocket = i32;
+
+/// One entry of a `poll(2)` set. The layout matches the C `struct pollfd`
+/// on every platform we bind (int + short + short).
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    fd: RawSocket,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events` (a bitmask of [`POLLIN`] /
+    /// [`POLLOUT`]).
+    pub fn new(fd: RawSocket, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The watched descriptor.
+    pub fn fd(&self) -> RawSocket {
+        self.fd
+    }
+
+    /// Whether the descriptor has readable data, hit EOF, or errored —
+    /// all states where a read will make progress (possibly `Ok(0)`).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Whether a write can make progress (including failing fast on a
+    /// reset connection).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+/// Blocks until at least one entry is ready or `timeout_ms` elapses.
+/// Returns the number of ready entries (0 on timeout). `EINTR` is
+/// reported as a zero-ready wakeup, so callers simply re-loop.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    imp::poll(fds, timeout_ms)
+}
+
+/// The raw descriptor of a listener, for a poll set.
+pub fn listener_fd(listener: &TcpListener) -> RawSocket {
+    imp::listener_fd(listener)
+}
+
+/// The raw descriptor of a stream, for a poll set.
+pub fn stream_fd(stream: &TcpStream) -> RawSocket {
+    imp::stream_fd(stream)
+}
+
+/// A self-pipe that lets any thread wake a reactor blocked in [`poll`].
+///
+/// The byte protocol keeps the pipe from ever filling (so [`WakePipe::wake`]
+/// never blocks, even though the descriptors stay in blocking mode): a
+/// waker writes one byte only when it flips the pending flag from false to
+/// true, and the reactor clears the flag *before* consuming one byte. Every
+/// written byte is therefore matched by a drain, and the pipe never holds
+/// more than a couple of bytes.
+#[derive(Debug)]
+pub struct WakePipe {
+    pending: AtomicBool,
+    ends: imp::PipeEnds,
+}
+
+impl WakePipe {
+    /// Opens the pipe. On non-Unix targets this is a flag-only stand-in
+    /// whose [`WakePipe::poll_fd`] is ignored by the emulated poll.
+    pub fn new() -> io::Result<WakePipe> {
+        Ok(WakePipe {
+            pending: AtomicBool::new(false),
+            ends: imp::PipeEnds::new()?,
+        })
+    }
+
+    /// The read end as a poll entry (watch it with [`POLLIN`]).
+    pub fn poll_fd(&self) -> PollFd {
+        PollFd::new(self.ends.read_fd(), POLLIN)
+    }
+
+    /// Wakes the reactor. Cheap when a wake is already pending (one
+    /// atomic swap, no syscall); never blocks.
+    pub fn wake(&self) {
+        if !self.pending.swap(true, Ordering::SeqCst) {
+            self.ends.write_byte();
+        }
+    }
+
+    /// Consumes one pending wake after [`poll`] reported the read end
+    /// readable. Clears the flag first so a wake racing the drain writes
+    /// a fresh byte (and is observed by the next poll) instead of being
+    /// lost.
+    pub fn drain(&self) {
+        self.pending.store(false, Ordering::SeqCst);
+        self.ends.read_byte();
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::ffi::c_int;
+    use std::io;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    use super::{PollFd, RawSocket};
+
+    // Raw bindings. `nfds_t` is declared as `usize`: it is `unsigned
+    // long` on Linux and `unsigned int` on the BSDs/macOS, and every
+    // realistic set size fits both; the count we pass is bounded by the
+    // process fd limit. The buffer pointers are 1-byte locals.
+    extern "C" {
+        #[link_name = "poll"]
+        fn sys_poll(fds: *mut PollFd, nfds: usize, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    pub(super) fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `PollFd` is `repr(C)` with the `struct pollfd` layout,
+        // the pointer/length pair denotes exactly the caller's slice, and
+        // poll(2) writes only within it (the `revents` fields).
+        let ready = unsafe { sys_poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+        if ready >= 0 {
+            return Ok(ready as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            // A signal landed mid-wait; report an empty wakeup and let
+            // the caller re-loop (the CLI's SIGINT latch is checked there).
+            return Ok(0);
+        }
+        Err(err)
+    }
+
+    pub(super) fn listener_fd(listener: &TcpListener) -> RawSocket {
+        listener.as_raw_fd()
+    }
+
+    pub(super) fn stream_fd(stream: &TcpStream) -> RawSocket {
+        stream.as_raw_fd()
+    }
+
+    /// The two ends of a `pipe(2)`, closed on drop.
+    #[derive(Debug)]
+    pub(super) struct PipeEnds {
+        read_fd: c_int,
+        write_fd: c_int,
+    }
+
+    impl PipeEnds {
+        pub(super) fn new() -> io::Result<PipeEnds> {
+            let mut fds = [0 as c_int; 2];
+            // SAFETY: `fds` is a writable 2-element array, exactly what
+            // pipe(2) fills.
+            if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(PipeEnds {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+
+        pub(super) fn read_fd(&self) -> RawSocket {
+            self.read_fd
+        }
+
+        pub(super) fn write_byte(&self) {
+            let byte = 1u8;
+            // SAFETY: writes one byte from a live local into an open pipe
+            // end owned by `self`. The wake protocol bounds outstanding
+            // bytes far below the pipe buffer, so this cannot block.
+            let _ = unsafe { write(self.write_fd, &byte, 1) };
+        }
+
+        pub(super) fn read_byte(&self) {
+            let mut byte = 0u8;
+            // SAFETY: reads one byte into a live local from an open pipe
+            // end owned by `self`; poll(2) reported it readable.
+            let _ = unsafe { read(self.read_fd, &mut byte, 1) };
+        }
+    }
+
+    impl Drop for PipeEnds {
+        fn drop(&mut self) {
+            // SAFETY: the fds came from a successful pipe(2) and are
+            // closed exactly once.
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::io;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    use super::{RawSocket, POLLIN, POLLOUT};
+
+    /// Emulated poll: sleep briefly, then claim every watched event is
+    /// ready. Non-blocking I/O turns false positives into `WouldBlock`.
+    pub(super) fn poll(fds: &mut [super::PollFd], timeout_ms: i32) -> io::Result<usize> {
+        let cap = if timeout_ms < 0 { 1 } else { timeout_ms.min(1) };
+        std::thread::sleep(Duration::from_millis(cap.max(0) as u64));
+        let mut ready = 0;
+        for fd in fds.iter_mut() {
+            if fd.fd < 0 {
+                fd.revents = 0;
+                continue;
+            }
+            fd.revents = fd.events & (POLLIN | POLLOUT);
+            ready += 1;
+        }
+        Ok(ready)
+    }
+
+    pub(super) fn listener_fd(_listener: &TcpListener) -> RawSocket {
+        0
+    }
+
+    pub(super) fn stream_fd(_stream: &TcpStream) -> RawSocket {
+        0
+    }
+
+    /// Flag-only stand-in: the emulated poll returns within ~1ms anyway,
+    /// so a wake is observed without any descriptor to signal.
+    #[derive(Debug)]
+    pub(super) struct PipeEnds;
+
+    impl PipeEnds {
+        pub(super) fn new() -> io::Result<PipeEnds> {
+            Ok(PipeEnds)
+        }
+
+        pub(super) fn read_fd(&self) -> RawSocket {
+            -1
+        }
+
+        pub(super) fn write_byte(&self) {}
+
+        pub(super) fn read_byte(&self) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poll_times_out_on_an_idle_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        let (_server_side, _) = listener.accept().unwrap();
+        let mut fds = [PollFd::new(stream_fd(&stream), POLLIN)];
+        // Nothing was sent: a bounded wait must return (ready or not —
+        // the emulated fallback claims readiness, the real poll times
+        // out), never hang.
+        let _ = poll(&mut fds, 50).unwrap();
+    }
+
+    #[test]
+    fn poll_reports_data_and_eof_as_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        client.write_all(b"x").unwrap();
+        client.flush().unwrap();
+        let mut fds = [PollFd::new(stream_fd(&server_side), POLLIN)];
+        let ready = poll(&mut fds, 2_000).unwrap();
+        assert!(ready >= 1);
+        assert!(fds[0].readable());
+        let mut server_side = server_side;
+        let mut byte = [0u8; 1];
+        server_side.read_exact(&mut byte).unwrap();
+        assert_eq!(&byte, b"x");
+
+        drop(client);
+        let mut fds = [PollFd::new(stream_fd(&server_side), POLLIN)];
+        let ready = poll(&mut fds, 2_000).unwrap();
+        assert!(ready >= 1);
+        assert!(fds[0].readable(), "EOF surfaces as readable");
+    }
+
+    #[test]
+    fn wake_pipe_interrupts_a_blocked_poll() {
+        let wake = std::sync::Arc::new(WakePipe::new().unwrap());
+        let waker = std::sync::Arc::clone(&wake);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            waker.wake();
+            waker.wake(); // coalesces: the flag is already pending
+        });
+        let start = std::time::Instant::now();
+        loop {
+            let mut fds = [wake.poll_fd()];
+            let _ = poll(&mut fds, 5_000).unwrap();
+            if fds[0].fd() < 0 {
+                // Non-Unix stand-in: no descriptor; the emulated poll
+                // returns promptly regardless.
+                break;
+            }
+            if fds[0].readable() {
+                wake.drain();
+                break;
+            }
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(5),
+                "wake never arrived"
+            );
+        }
+        handle.join().unwrap();
+        // A second wake after the drain writes a fresh byte.
+        wake.wake();
+        let mut fds = [wake.poll_fd()];
+        let _ = poll(&mut fds, 2_000).unwrap();
+        if fds[0].fd() >= 0 {
+            assert!(fds[0].readable());
+            wake.drain();
+        }
+    }
+}

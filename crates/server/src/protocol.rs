@@ -3,11 +3,22 @@
 //!
 //! The byte layout is specified normatively in `docs/protocol.md`. In
 //! short: a connection opens with an 8-byte preamble from each side
-//! (`"QBSP"` magic + `u16` protocol version + reserved `u16`), after which
-//! both directions carry frames
+//! (`"QBSP"` magic + `u16` protocol version + reserved `u16`). The
+//! versions are **negotiated** (see [`negotiate`]): the server answers a
+//! v1 client with v1 and anything newer with the highest version it
+//! speaks, so old clients keep working bit-identically. After the
+//! handshake both directions carry frames — under v1
 //!
 //! ```text
 //! [len: u32 LE][tag: u8][payload: len-1 bytes]
+//! ```
+//!
+//! and under v2 every frame additionally opens with a request ID
+//! ([`qbs_core::wire::RequestId`]) so responses can be pipelined and
+//! complete out of order:
+//!
+//! ```text
+//! [len: u32 LE][id: u32 LE][tag: u8][payload: len-5 bytes]
 //! ```
 //!
 //! Payloads reuse the canonical little-endian encodings of
@@ -21,7 +32,7 @@
 use std::fmt;
 use std::io::{Read, Write};
 
-use qbs_core::wire::{Wire, WireError, WireReader};
+use qbs_core::wire::{RequestId, Wire, WireError, WireReader};
 use qbs_core::{EngineStats, QueryOutcome, QueryRequest};
 
 use crate::admission::{AdmissionStats, BusyReason};
@@ -29,9 +40,29 @@ use crate::admission::{AdmissionStats, BusyReason};
 /// Magic bytes opening every connection preamble.
 pub const PROTOCOL_MAGIC: [u8; 4] = *b"QBSP";
 
-/// Protocol version spoken by this build. The handshake rejects any other
-/// version with [`ProtocolError::VersionMismatch`]; additions bump this.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Highest protocol version spoken by this build. The handshake
+/// negotiates down to the peer's version when it is older (see
+/// [`negotiate`]); additions bump this.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest protocol version this build still speaks. v1 connections are
+/// served byte-identically to pre-v2 builds.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
+
+/// Resolves the version to speak with a peer that announced `theirs`.
+///
+/// The rule is monotone and forward-compatible: a peer announcing a
+/// version this build does not know yet is assumed to also speak
+/// everything older (exactly how this build treats v1), so the connection
+/// proceeds at [`PROTOCOL_VERSION`]. Only versions below
+/// [`MIN_PROTOCOL_VERSION`] are unspeakable.
+pub fn negotiate(theirs: u16) -> Option<u16> {
+    if theirs < MIN_PROTOCOL_VERSION {
+        None
+    } else {
+        Some(theirs.min(PROTOCOL_VERSION))
+    }
+}
 
 /// Hard cap on one frame's length field. Large enough for a 4096-request
 /// batch of path-graph answers on real graphs; small enough that a
@@ -172,6 +203,9 @@ pub enum ProtocolError {
     Shed(BusyReason),
     /// The peer answered with a frame kind the request cannot produce.
     UnexpectedFrame(&'static str),
+    /// A [`crate::Ticket`] was redeemed twice, or never issued by this
+    /// connection (client-side bookkeeping error, nothing read).
+    UnknownTicket(RequestId),
 }
 
 impl fmt::Display for ProtocolError {
@@ -200,6 +234,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::UnexpectedFrame(what) => {
                 write!(f, "peer answered with an unexpected {what} frame")
+            }
+            ProtocolError::UnknownTicket(id) => {
+                write!(f, "ticket {id} was never issued or already redeemed")
             }
         }
     }
@@ -330,17 +367,26 @@ impl ResponseFrame {
     }
 }
 
-/// Writes the 8-byte connection preamble.
+/// Writes the 8-byte connection preamble announcing [`PROTOCOL_VERSION`].
 pub fn write_preamble<W: Write>(w: &mut W) -> Result<(), ProtocolError> {
+    write_preamble_version(w, PROTOCOL_VERSION)
+}
+
+/// Writes the 8-byte connection preamble announcing a specific version —
+/// the server's negotiated reply, or a client forcing v1.
+pub fn write_preamble_version<W: Write>(w: &mut W, version: u16) -> Result<(), ProtocolError> {
     let mut preamble = [0u8; PREAMBLE_LEN];
     preamble[..4].copy_from_slice(&PROTOCOL_MAGIC);
-    preamble[4..6].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    preamble[4..6].copy_from_slice(&version.to_le_bytes());
     w.write_all(&preamble)?;
     Ok(())
 }
 
-/// Reads and validates the peer's 8-byte preamble.
-pub fn read_preamble<R: Read>(r: &mut R) -> Result<(), ProtocolError> {
+/// Reads the peer's 8-byte preamble, validating the magic, and returns
+/// the version the peer announced. A version below
+/// [`MIN_PROTOCOL_VERSION`] (i.e. 0, which no build has ever spoken) is
+/// rejected here; everything else is the caller's [`negotiate`] decision.
+pub fn read_preamble<R: Read>(r: &mut R) -> Result<u16, ProtocolError> {
     let mut preamble = [0u8; PREAMBLE_LEN];
     r.read_exact(&mut preamble)?;
     let magic: [u8; 4] = preamble[..4].try_into().expect("fixed split");
@@ -348,13 +394,39 @@ pub fn read_preamble<R: Read>(r: &mut R) -> Result<(), ProtocolError> {
         return Err(ProtocolError::BadMagic(magic));
     }
     let theirs = u16::from_le_bytes([preamble[4], preamble[5]]);
-    if theirs != PROTOCOL_VERSION {
+    if theirs < MIN_PROTOCOL_VERSION {
         return Err(ProtocolError::VersionMismatch {
             ours: PROTOCOL_VERSION,
             theirs,
         });
     }
-    Ok(())
+    Ok(theirs)
+}
+
+/// Prepends the v2 request-ID envelope to a frame body: the result is the
+/// `[id][tag][payload]` byte string a v2 frame's length prefix counts.
+pub fn encode_envelope(id: RequestId, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    id.encode(&mut out);
+    out.extend_from_slice(body);
+    out
+}
+
+/// Splits a v2 frame payload into its request ID and the enclosed frame
+/// body. A payload too short to carry the ID is a typed
+/// [`ProtocolError::Malformed`], never a panic.
+pub fn split_envelope(payload: &[u8]) -> Result<(RequestId, &[u8]), ProtocolError> {
+    if payload.len() < 4 {
+        return Err(ProtocolError::Malformed(WireError::Truncated {
+            what: "request id envelope",
+            needed: 4,
+            remaining: payload.len(),
+        }));
+    }
+    let id = RequestId(u32::from_le_bytes(
+        payload[..4].try_into().expect("fixed split"),
+    ));
+    Ok((id, &payload[4..]))
 }
 
 /// Writes one length-prefixed frame body.
@@ -384,24 +456,56 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, ProtocolError> {
     Ok(body)
 }
 
-/// Convenience: write one request frame.
+/// Convenience: write one v1 request frame.
 pub fn write_request<W: Write>(w: &mut W, frame: &RequestFrame) -> Result<(), ProtocolError> {
     write_frame(w, &frame.encode_body())
 }
 
-/// Convenience: write one response frame.
+/// Convenience: write one v1 response frame.
 pub fn write_response<W: Write>(w: &mut W, frame: &ResponseFrame) -> Result<(), ProtocolError> {
     write_frame(w, &frame.encode_body())
 }
 
-/// Convenience: read one request frame.
+/// Convenience: read one v1 request frame.
 pub fn read_request<R: Read>(r: &mut R) -> Result<RequestFrame, ProtocolError> {
     RequestFrame::decode_body(&read_frame(r)?)
 }
 
-/// Convenience: read one response frame.
+/// Convenience: read one v1 response frame.
 pub fn read_response<R: Read>(r: &mut R) -> Result<ResponseFrame, ProtocolError> {
     ResponseFrame::decode_body(&read_frame(r)?)
+}
+
+/// Convenience: write one v2 request frame under `id`'s envelope.
+pub fn write_request_v2<W: Write>(
+    w: &mut W,
+    id: RequestId,
+    frame: &RequestFrame,
+) -> Result<(), ProtocolError> {
+    write_frame(w, &encode_envelope(id, &frame.encode_body()))
+}
+
+/// Convenience: write one v2 response frame under `id`'s envelope.
+pub fn write_response_v2<W: Write>(
+    w: &mut W,
+    id: RequestId,
+    frame: &ResponseFrame,
+) -> Result<(), ProtocolError> {
+    write_frame(w, &encode_envelope(id, &frame.encode_body()))
+}
+
+/// Convenience: read one v2 request frame and its envelope ID.
+pub fn read_request_v2<R: Read>(r: &mut R) -> Result<(RequestId, RequestFrame), ProtocolError> {
+    let payload = read_frame(r)?;
+    let (id, body) = split_envelope(&payload)?;
+    Ok((id, RequestFrame::decode_body(body)?))
+}
+
+/// Convenience: read one v2 response frame and its envelope ID.
+pub fn read_response_v2<R: Read>(r: &mut R) -> Result<(RequestId, ResponseFrame), ProtocolError> {
+    let payload = read_frame(r)?;
+    let (id, body) = split_envelope(&payload)?;
+    Ok((id, ResponseFrame::decode_body(body)?))
 }
 
 #[cfg(test)]
@@ -458,11 +562,15 @@ mod tests {
     }
 
     #[test]
-    fn preamble_rejects_foreign_magic_and_version() {
+    fn preamble_carries_the_announced_version() {
         let mut buf = Vec::new();
         write_preamble(&mut buf).unwrap();
         assert_eq!(buf.len(), PREAMBLE_LEN);
-        read_preamble(&mut &buf[..]).unwrap();
+        assert_eq!(read_preamble(&mut &buf[..]).unwrap(), PROTOCOL_VERSION);
+
+        let mut v1 = Vec::new();
+        write_preamble_version(&mut v1, 1).unwrap();
+        assert_eq!(read_preamble(&mut &v1[..]).unwrap(), 1);
 
         let mut wrong_magic = buf.clone();
         wrong_magic[0] = b'X';
@@ -471,17 +579,63 @@ mod tests {
             Err(ProtocolError::BadMagic(_))
         ));
 
-        let mut wrong_version = buf.clone();
-        wrong_version[4] = 99;
+        // A future version is returned for negotiation, not rejected.
+        let mut future = buf.clone();
+        future[4..6].copy_from_slice(&99u16.to_le_bytes());
+        assert_eq!(read_preamble(&mut &future[..]).unwrap(), 99);
+
+        // Version 0 predates every build and is rejected at the read.
+        let mut zero = buf.clone();
+        zero[4..6].copy_from_slice(&0u16.to_le_bytes());
         assert!(matches!(
-            read_preamble(&mut &wrong_version[..]),
-            Err(ProtocolError::VersionMismatch { theirs: 99, .. })
+            read_preamble(&mut &zero[..]),
+            Err(ProtocolError::VersionMismatch { theirs: 0, .. })
         ));
 
         assert!(matches!(
             read_preamble(&mut &buf[..4]),
             Err(ProtocolError::Io(_))
         ));
+    }
+
+    #[test]
+    fn negotiation_is_monotone_and_forward_compatible() {
+        assert_eq!(negotiate(0), None);
+        assert_eq!(negotiate(1), Some(1));
+        assert_eq!(negotiate(2), Some(2));
+        // Unknown future versions speak everything older, so the
+        // connection proceeds at our highest version.
+        assert_eq!(negotiate(3), Some(PROTOCOL_VERSION));
+        assert_eq!(negotiate(u16::MAX), Some(PROTOCOL_VERSION));
+    }
+
+    #[test]
+    fn envelopes_roundtrip_and_reject_truncation() {
+        let frame = RequestFrame::Batch(vec![QueryRequest::distance(1, 2)]);
+        let body = frame.encode_body();
+        let enveloped = encode_envelope(RequestId(7), &body);
+        assert_eq!(enveloped.len(), body.len() + 4);
+        let (id, inner) = split_envelope(&enveloped).unwrap();
+        assert_eq!(id, RequestId(7));
+        assert_eq!(inner, &body[..]);
+
+        for cut in 0..4 {
+            assert!(matches!(
+                split_envelope(&enveloped[..cut]),
+                Err(ProtocolError::Malformed(WireError::Truncated { .. }))
+            ));
+        }
+
+        let mut buf = Vec::new();
+        write_request_v2(&mut buf, RequestId(9), &frame).unwrap();
+        let (id, decoded) = read_request_v2(&mut &buf[..]).unwrap();
+        assert_eq!((id, decoded), (RequestId(9), frame));
+
+        let response = ResponseFrame::Pong;
+        let mut buf = Vec::new();
+        write_response_v2(&mut buf, RequestId(9), &response).unwrap();
+        let (id, decoded) = read_response_v2(&mut &buf[..]).unwrap();
+        assert_eq!((id, decoded), (RequestId(9), response));
     }
 
     #[test]

@@ -1,70 +1,110 @@
-//! The long-running TCP server: a listener thread plus a bounded
-//! connection-handler pool over one shared [`Qbs`] session.
+//! The long-running TCP server: one poll(2) reactor thread multiplexing
+//! every connection, plus a fixed worker pool over one shared [`Qbs`]
+//! session.
 //!
-//! Architecture (one process, N connections, one mmap'd index):
+//! Architecture (one process, thousands of connections, fixed threads):
 //!
 //! ```text
-//! listener thread ──claim idle──▶ handoff channel ──▶ handler pool (H threads)
-//!        │  (no idle handler → preamble + Busy + close)       │
-//!        ▼                                                    ▼
-//!   ShutdownSignal ◀─── Shutdown frame / SIGINT        Arc<Qbs>::submit
-//!                                                      (admission-gated)
+//!                 ┌────────────────────────────────────────────┐
+//!                 │ reactor thread: poll(2) over listener +    │
+//!  accept ──────▶ │ every connection; nonblocking reads decode │
+//!                 │ frames, control frames answered inline     │
+//!                 └───────┬───────────────────────▲────────────┘
+//!                         │ Batch jobs            │ completions (wake pipe)
+//!                         ▼                       │
+//!                 ┌────────────────────────────────────────────┐
+//!                 │ worker pool (W threads): Qbs::submit,      │
+//!                 │ encode response, hand bytes back           │
+//!                 └────────────────────────────────────────────┘
 //! ```
 //!
-//! Every handler serves one connection at a time: handshake, then a frame
-//! loop that executes `Batch` frames through [`Qbs::submit`] (so all
-//! connections share the session's workspace pool and answer cache),
-//! answers `Stats`/`Ping`, and honours `Shutdown`. Admission control
-//! ([`crate::admission`]) gates every batch; shed work is answered with a
-//! typed `Busy` frame, never a hang.
+//! The reactor owns all connection state: handshake + version negotiation
+//! (v1 peers are served byte-identically to the pre-reactor server, v2
+//! peers get pipelined request-ID frames), per-connection read buffers
+//! and write queues, and the out-of-order completion path — a worker
+//! finishes a batch, pushes the encoded response, and wakes the reactor
+//! through [`crate::poll::WakePipe`]; the reactor writes it whenever that
+//! socket drains. Idle connections cost one pollfd entry, not a thread.
+//!
+//! Ordering: v1 connections get strictly in-order replies (one batch
+//! executes at a time per connection, control frames queue behind it —
+//! exactly the old thread-per-connection rhythm). v2 connections pipeline
+//! freely; responses carry the request's ID and may arrive in any order.
+//!
+//! Admission ([`crate::admission`]) still gates everything, but the shape
+//! changed with the reactor: connections are only shed at the configured
+//! connection bound (there is no handler pool to saturate — idle sockets
+//! park), and the in-flight request semaphore bounds work across all
+//! sockets. Shed work is answered with a typed `Busy` frame, never a
+//! hang.
 //!
 //! Shutdown is graceful from either direction — a `Shutdown` frame or
-//! [`ServerHandle::shutdown`] (which the CLI wires to SIGINT): the signal
-//! flag flips, the polling listener observes it and exits, handlers
-//! finish the batch they are executing (in-flight work is drained,
-//! responses are written) and close their connections, and `shutdown`
-//! joins every thread before returning, so the process can unmap the
-//! index file cleanly.
+//! [`ServerHandle::shutdown`] (which the CLI wires to SIGINT): the
+//! reactor stops accepting and reading, in-flight batches complete and
+//! their responses are flushed (bounded by a drain deadline), and
+//! `shutdown` joins the reactor and every worker before returning, so
+//! the process can unmap the index file cleanly.
 
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use qbs_core::Qbs;
+use qbs_core::wire::RequestId;
+use qbs_core::{Qbs, QueryRequest};
 
-use crate::admission::{Admission, AdmissionConfig, BusyReason};
+use crate::admission::{Admission, AdmissionConfig, OwnedInflightGuard};
+use crate::poll::{self, PollFd, WakePipe, POLLIN, POLLOUT};
 use crate::protocol::{
     self, fault_code, ProtocolError, RequestFrame, ResponseFrame, ServerStats, WireFault,
-    MAX_FRAME_LEN,
+    MAX_FRAME_LEN, PREAMBLE_LEN, PROTOCOL_MAGIC,
 };
 
-/// How often an idle handler re-checks the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// Reactor poll timeout — the backstop cadence for shutdown-flag checks
+/// and linger deadlines when no I/O or wake arrives.
+const POLL_TIMEOUT_MS: i32 = 100;
 
-/// How often the listener polls its non-blocking accept for new
-/// connections and the shutdown flag. Short: this is first-connect
-/// latency for every client (the poll is a sleep, so an idle listener
-/// still costs ~nothing).
-const ACCEPT_POLL: Duration = Duration::from_millis(1);
+/// How often [`ServerHandle::wait`] re-checks the shutdown latch.
+const WAIT_POLL: Duration = Duration::from_millis(100);
 
-/// How long a handler will wait for the rest of a frame once its first
-/// byte has arrived (a stalled half-frame must not pin a handler forever).
-const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+/// Size of the reactor's shared read scratch buffer.
+const READ_CHUNK: usize = 64 * 1024;
 
-/// Configuration of a [`QbsServer`].
+/// Largest batch the reactor executes inline instead of dispatching to
+/// the worker pool. Pipelined single-request frames arrive one per reply
+/// in steady state; routing each through a worker costs two context
+/// switches per request — more than the query itself on small graphs.
+const INLINE_BATCH_MAX: usize = 1;
+
+/// How long a faulted connection lingers (draining the peer's bytes so
+/// the queued fault frame survives the close) before being dropped.
+const FAULT_LINGER: Duration = Duration::from_millis(500);
+
+/// How long shutdown waits for a connection to flush its in-flight
+/// responses before force-dropping it.
+const SHUTDOWN_LINGER: Duration = Duration::from_secs(5);
+
+/// Configuration of a [`QbsServer`] — built fluently and shared by the
+/// CLI, tests and benches:
+///
+/// ```
+/// use qbs_server::ServerConfig;
+/// let config = ServerConfig::bind("127.0.0.1:0").workers(8).max_batch(256);
+/// ```
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port (see
     /// [`ServerHandle::local_addr`]).
     pub addr: String,
-    /// Connection-handler threads — the physical bound on concurrently
-    /// *served* connections. [`AdmissionConfig::max_connections`] only
-    /// bites when set *below* this (it sheds with a typed reason instead
-    /// of silently limiting).
-    pub handler_threads: usize,
+    /// Worker threads executing admitted batches. This bounds concurrent
+    /// *execution*, not connections — the reactor parks any number of
+    /// idle sockets (up to [`AdmissionConfig::max_connections`]) without
+    /// consuming a thread.
+    pub workers: usize,
     /// Admission bounds (in-flight requests, batch size, connections).
     pub admission: AdmissionConfig,
 }
@@ -73,15 +113,55 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            handler_threads: 4,
+            workers: 4,
             admission: AdmissionConfig::default(),
         }
     }
 }
 
-/// The shutdown latch shared by the listener, the handlers, and external
+impl ServerConfig {
+    /// Starts a config bound to `addr` (the rest defaulted).
+    pub fn bind(addr: impl Into<String>) -> ServerConfig {
+        ServerConfig {
+            addr: addr.into(),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Sets the worker-pool size (clamped to at least 1 at start).
+    pub fn workers(mut self, workers: usize) -> ServerConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the whole admission configuration.
+    pub fn admission(mut self, admission: AdmissionConfig) -> ServerConfig {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the in-flight request bound.
+    pub fn max_inflight(mut self, max_inflight: usize) -> ServerConfig {
+        self.admission.max_inflight = max_inflight;
+        self
+    }
+
+    /// Sets the per-batch request cap.
+    pub fn max_batch(mut self, max_batch: usize) -> ServerConfig {
+        self.admission.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the served-connection bound.
+    pub fn max_connections(mut self, max_connections: usize) -> ServerConfig {
+        self.admission.max_connections = max_connections;
+        self
+    }
+}
+
+/// The shutdown latch shared by the reactor, the workers, and external
 /// triggers (the CLI's SIGINT handler, the `Shutdown` protocol frame).
-/// The listener polls a non-blocking accept against this flag, so a
+/// The reactor polls with a bounded timeout against this flag, so a
 /// trigger never depends on being able to dial the server's own address.
 #[derive(Debug)]
 pub struct ShutdownSignal {
@@ -94,8 +174,8 @@ impl ShutdownSignal {
         self.flag.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown. Idempotent; observed by the listener within its
-    /// accept-poll interval and by idle handlers within theirs.
+    /// Requests shutdown. Idempotent; observed by the reactor within its
+    /// poll timeout.
     pub fn trigger(&self) {
         self.flag.store(true, Ordering::SeqCst);
     }
@@ -106,7 +186,7 @@ pub struct QbsServer;
 
 impl QbsServer {
     /// Binds `config.addr` and starts serving `qbs` — returns immediately
-    /// with a handle owning the listener and handler threads.
+    /// with a handle owning the reactor and worker threads.
     pub fn start(qbs: Arc<Qbs>, config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -115,50 +195,55 @@ impl QbsServer {
             flag: AtomicBool::new(false),
         });
         let admission = Arc::new(Admission::new(config.admission));
-        let dispatch = Arc::new(Dispatch::default());
-        let pool_size = config.handler_threads.max(1);
-        // The channel only ever holds claim-matched connections (see
-        // [`Dispatch`]), so one slot per handler is always enough.
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(pool_size);
-        let rx = Arc::new(Mutex::new(rx));
+        let wake = Arc::new(WakePipe::new()?);
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        let worker_count = config.workers.max(1);
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
 
-        let handlers: Vec<JoinHandle<()>> = (0..pool_size)
-            .map(|_| {
+        let workers: Vec<JoinHandle<()>> = (0..worker_count)
+            .map(|i| {
                 let qbs = Arc::clone(&qbs);
-                let dispatch = Arc::clone(&dispatch);
-                let admission = Arc::clone(&admission);
-                let signal = Arc::clone(&signal);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || handler_loop(&qbs, &dispatch, &admission, &signal, &rx))
+                let rx = Arc::clone(&jobs_rx);
+                let completions = Arc::clone(&completions);
+                let wake = Arc::clone(&wake);
+                std::thread::Builder::new()
+                    .name(format!("qbs-worker-{i}"))
+                    .spawn(move || worker_loop(&qbs, &rx, &completions, &wake))
+                    .expect("spawn worker thread")
             })
             .collect();
 
-        let listener_thread = {
+        let reactor = {
+            let qbs = Arc::clone(&qbs);
             let admission = Arc::clone(&admission);
             let signal = Arc::clone(&signal);
-            let dispatch = Arc::clone(&dispatch);
-            std::thread::spawn(move || {
-                listener_loop(listener, tx, pool_size, &dispatch, &admission, &signal)
-            })
+            let wake = Arc::clone(&wake);
+            let completions = Arc::clone(&completions);
+            std::thread::Builder::new()
+                .name("qbs-reactor".to_string())
+                .spawn(move || {
+                    reactor_loop(
+                        listener,
+                        &qbs,
+                        &admission,
+                        &signal,
+                        &wake,
+                        &completions,
+                        jobs_tx,
+                    )
+                })
+                .expect("spawn reactor thread")
         };
-
-        // Don't return (and invite connections) until at least one handler
-        // has parked — otherwise a connect racing the handler spawns would
-        // be shed from a server that is merely still starting.
-        let ready_deadline = std::time::Instant::now() + Duration::from_secs(1);
-        while dispatch.idle_handlers.load(Ordering::SeqCst) == 0
-            && std::time::Instant::now() < ready_deadline
-        {
-            std::thread::yield_now();
-        }
 
         Ok(ServerHandle {
             addr,
             signal,
             admission,
             qbs,
-            listener: Some(listener_thread),
-            handlers,
+            wake,
+            reactor: Some(reactor),
+            workers,
         })
     }
 }
@@ -171,8 +256,9 @@ pub struct ServerHandle {
     signal: Arc<ShutdownSignal>,
     admission: Arc<Admission>,
     qbs: Arc<Qbs>,
-    listener: Option<JoinHandle<()>>,
-    handlers: Vec<JoinHandle<()>>,
+    wake: Arc<WakePipe>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -188,9 +274,20 @@ impl ServerHandle {
         Arc::clone(&self.signal)
     }
 
-    /// The served session (shared with every handler).
+    /// The served session (shared with every worker).
     pub fn qbs(&self) -> &Arc<Qbs> {
         &self.qbs
+    }
+
+    /// Number of reactor threads — always exactly 1, independent of how
+    /// many connections are parked (the bench artifact records this).
+    pub fn reactor_threads(&self) -> usize {
+        1
+    }
+
+    /// Number of worker threads executing batches.
+    pub fn worker_threads(&self) -> usize {
+        self.workers.len()
     }
 
     /// A snapshot of the server's serving + admission counters — the same
@@ -203,20 +300,21 @@ impl ServerHandle {
     }
 
     /// Triggers shutdown (idempotent), drains in-flight batches, joins the
-    /// listener and every handler, and returns once the server is fully
+    /// reactor and every worker, and returns once the server is fully
     /// torn down — after this the process holds no serving threads and can
     /// drop the session (unmapping the index) safely.
     pub fn shutdown(&mut self) {
         self.signal.trigger();
-        if let Some(listener) = self.listener.take() {
-            let _ = listener.join();
+        self.wake.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
-        // The listener owned the channel sender; with it joined, handlers
-        // drain the queued connections and exit their recv loop.
-        for handler in self.handlers.drain(..) {
-            let _ = handler.join();
+        // The reactor owned the job sender; with it joined, workers drain
+        // the queued jobs and exit their recv loop.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
-        // All handlers are joined, so this returns immediately; it is the
+        // All workers are joined, so this returns immediately; it is the
         // documented invariant (no in-flight work survives shutdown).
         self.admission.drain();
     }
@@ -226,7 +324,7 @@ impl ServerHandle {
     /// server down as [`ServerHandle::shutdown`] does.
     pub fn wait(mut self) {
         while !self.signal.is_shutdown() {
-            std::thread::sleep(POLL_INTERVAL);
+            std::thread::sleep(WAIT_POLL);
         }
         self.shutdown();
     }
@@ -238,27 +336,672 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Listener/handler coordination counters. `idle_handlers` counts parked
-/// **and unclaimed** handlers: a handler increments it when it parks on
-/// the channel, and the *listener* decrements it when it claims one by
-/// queueing a connection — a claim-then-send protocol, so two arrivals can
-/// never both be queued against one idle handler (the TOCTOU a plain
-/// "is anyone idle?" load would allow, parking the loser un-handshaken
-/// behind a long session). `shed_threads` bounds the refusal helpers so a
-/// connection flood cannot spawn threads without bound.
-#[derive(Debug, Default)]
-struct Dispatch {
-    idle_handlers: AtomicUsize,
-    shed_threads: AtomicUsize,
+/// A decoded batch travelling from the reactor to a worker, carrying its
+/// admission permit.
+struct Job {
+    token: u64,
+    id: RequestId,
+    version: u16,
+    requests: Vec<QueryRequest>,
+    permit: OwnedInflightGuard,
 }
 
-impl Dispatch {
-    /// Claims one unclaimed idle handler; `false` means shed.
-    fn claim_idle_handler(&self) -> bool {
-        self.idle_handlers
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-            .is_ok()
+/// An encoded response travelling back from a worker to the reactor.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+    /// Close the connection after flushing (v1 over-cap downgrade —
+    /// the request/response rhythm is broken even though framing holds).
+    close: bool,
+}
+
+/// Worker thread body: execute batches, encode, hand back, wake.
+fn worker_loop(
+    qbs: &Qbs,
+    rx: &Mutex<Receiver<Job>>,
+    completions: &Mutex<Vec<Completion>>,
+    wake: &WakePipe,
+) {
+    loop {
+        let job = {
+            let rx = rx.lock().expect("job channel poisoned");
+            rx.recv()
+        };
+        let Ok(job) = job else {
+            break; // reactor gone, queue drained
+        };
+        let outcomes = qbs.submit(&job.requests);
+        // Release the permits before the response is queued — execution
+        // is what the in-flight bound meters, exactly as before.
+        drop(job.permit);
+        let (bytes, close) = wire_response(job.version, job.id, &ResponseFrame::Batch(outcomes));
+        completions
+            .lock()
+            .expect("completion queue poisoned")
+            .push(Completion {
+                token: job.token,
+                bytes,
+                close,
+            });
+        wake.wake();
     }
+}
+
+/// Encodes a response frame into on-the-wire bytes (length prefix
+/// included) for a connection speaking `version`. A response that encodes
+/// past the frame cap (a huge admitted batch of path-graph answers) is
+/// downgraded to a typed `Error` — under v2 it carries the request's ID
+/// and the connection survives (the client sees code 4 for that ticket
+/// and can split the batch); under v1 the connection is closed after the
+/// fault, exactly as the pre-reactor server did.
+fn wire_response(version: u16, id: RequestId, frame: &ResponseFrame) -> (Vec<u8>, bool) {
+    let body = frame.encode_body();
+    let payload = if version >= 2 {
+        protocol::encode_envelope(id, &body)
+    } else {
+        body
+    };
+    if payload.len() > MAX_FRAME_LEN as usize {
+        let fault = ResponseFrame::Error(WireFault {
+            code: fault_code::FRAME_TOO_LARGE,
+            message: format!(
+                "encoded response ({} bytes) exceeds the {MAX_FRAME_LEN}-byte frame cap; \
+                 split the batch",
+                payload.len()
+            ),
+        });
+        let fault_body = fault.encode_body();
+        let fault_payload = if version >= 2 {
+            protocol::encode_envelope(id, &fault_body)
+        } else {
+            fault_body
+        };
+        return (frame_bytes(&fault_payload), version < 2);
+    }
+    (frame_bytes(&payload), false)
+}
+
+/// Prepends the length prefix.
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// What the reactor still does with a connection's inbound bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ReadMode {
+    /// Parsing frames normally.
+    Frames,
+    /// Consuming and discarding (a fault is queued; draining the peer so
+    /// the close cannot reset the unread fault frame).
+    Discard,
+    /// Not reading (peer EOF, or server shutdown).
+    Stopped,
+}
+
+/// One queued unit of a v1 connection's strictly-ordered pipeline.
+enum PendingV1 {
+    /// An admitted batch waiting for its turn on the worker pool.
+    Batch(Vec<QueryRequest>, OwnedInflightGuard),
+    /// A control frame whose reply must not overtake earlier batches.
+    Control(RequestFrame),
+    /// An already-decided reply (a shed batch's `Busy`) waiting its turn.
+    Reply(ResponseFrame),
+}
+
+/// Per-connection reactor state.
+struct Conn {
+    stream: TcpStream,
+    _guard: crate::admission::OwnedConnectionGuard,
+    /// Negotiated protocol version; `None` until the client's preamble
+    /// arrives.
+    version: Option<u16>,
+    /// Unparsed inbound bytes.
+    rbuf: Vec<u8>,
+    /// Outbound frames; the front may be partially written.
+    wbuf: VecDeque<Vec<u8>>,
+    /// Write offset into the front of `wbuf`.
+    woff: usize,
+    /// Jobs dispatched to workers and not yet completed.
+    inflight: usize,
+    /// v1 in-order queue (empty for v2 connections).
+    pending: VecDeque<PendingV1>,
+    mode: ReadMode,
+    /// Finish outstanding work, flush, then close.
+    closing: bool,
+    /// Force-drop time once closing (fault linger / shutdown drain).
+    deadline: Option<Instant>,
+    /// Socket error or final close decision — reap this connection.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, guard: crate::admission::OwnedConnectionGuard) -> Conn {
+        Conn {
+            stream,
+            _guard: guard,
+            version: None,
+            rbuf: Vec::new(),
+            wbuf: VecDeque::new(),
+            woff: 0,
+            inflight: 0,
+            pending: VecDeque::new(),
+            mode: ReadMode::Frames,
+            closing: false,
+            deadline: None,
+            dead: false,
+        }
+    }
+
+    /// Whether every queued and in-flight piece of work has been written.
+    fn flushed(&self) -> bool {
+        self.wbuf.is_empty() && self.inflight == 0 && self.pending.is_empty()
+    }
+
+    /// Queues a fatal fault: the frame goes out, inbound bytes are
+    /// drained (not parsed) for a bounded linger, then the socket closes.
+    fn fault_close(&mut self, bytes: Vec<u8>) {
+        self.wbuf.push_back(bytes);
+        self.mode = ReadMode::Discard;
+        self.closing = true;
+        self.deadline = Some(Instant::now() + FAULT_LINGER);
+    }
+}
+
+/// Immutable context shared by the reactor's helper functions.
+struct Ctx<'a> {
+    qbs: &'a Qbs,
+    admission: &'a Arc<Admission>,
+    signal: &'a ShutdownSignal,
+    jobs: &'a Sender<Job>,
+}
+
+/// The reactor thread body.
+#[allow(clippy::too_many_arguments)]
+fn reactor_loop(
+    listener: TcpListener,
+    qbs: &Arc<Qbs>,
+    admission: &Arc<Admission>,
+    signal: &ShutdownSignal,
+    wake: &WakePipe,
+    completions: &Mutex<Vec<Completion>>,
+    jobs: Sender<Job>,
+) {
+    let ctx = Ctx {
+        qbs,
+        admission,
+        signal,
+        jobs: &jobs,
+    };
+    let shed_threads = Arc::new(AtomicUsize::new(0));
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut dispatched: usize = 0;
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut shutdown_seen = false;
+    let listener_fd = poll::listener_fd(&listener);
+
+    loop {
+        if signal.is_shutdown() && !shutdown_seen {
+            shutdown_seen = true;
+            // Stop reading everywhere; outstanding work flushes under a
+            // bounded drain deadline.
+            let deadline = Instant::now() + SHUTDOWN_LINGER;
+            for conn in conns.values_mut() {
+                conn.mode = ReadMode::Stopped;
+                conn.closing = true;
+                let conn_deadline = conn.deadline.get_or_insert(deadline);
+                *conn_deadline = (*conn_deadline).min(deadline);
+            }
+        }
+        if shutdown_seen && conns.is_empty() && dispatched == 0 {
+            break;
+        }
+
+        // Build the poll set: wake pipe, listener (while accepting), then
+        // one entry per connection, aligned with `order`.
+        let mut fds = Vec::with_capacity(2 + conns.len());
+        fds.push(wake.poll_fd());
+        let listener_slot = if shutdown_seen {
+            None
+        } else {
+            fds.push(PollFd::new(listener_fd, POLLIN));
+            Some(1)
+        };
+        let base = fds.len();
+        let order: Vec<u64> = conns.keys().copied().collect();
+        for token in &order {
+            let conn = &conns[token];
+            let mut events = 0i16;
+            if conn.mode != ReadMode::Stopped {
+                events |= POLLIN;
+            }
+            if !conn.wbuf.is_empty() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(poll::stream_fd(&conn.stream), events));
+        }
+
+        if poll::poll(&mut fds, POLL_TIMEOUT_MS).is_err() {
+            // EBADF and friends are reactor bugs; back off rather than
+            // spin so the process stays debuggable.
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        if fds[0].readable() {
+            wake.drain();
+        }
+
+        // Out-of-order completions: enqueue each response on its
+        // connection and try to write it immediately.
+        let done: Vec<Completion> = {
+            let mut queue = completions.lock().expect("completion queue poisoned");
+            std::mem::take(&mut *queue)
+        };
+        for completion in done {
+            dispatched -= 1;
+            let Some(conn) = conns.get_mut(&completion.token) else {
+                continue; // connection died while the batch executed
+            };
+            conn.inflight -= 1;
+            conn.wbuf.push_back(completion.bytes);
+            if completion.close {
+                conn.mode = ReadMode::Discard;
+                conn.closing = true;
+                conn.deadline = Some(Instant::now() + FAULT_LINGER);
+            }
+            // A v1 connection runs one batch at a time: its completion
+            // unblocks the next queued unit(s).
+            advance_pending(&ctx, conn, completion.token, &mut dispatched);
+            conn_write(conn);
+        }
+
+        if let Some(slot) = listener_slot {
+            if fds[slot].readable() {
+                accept_new(&listener, &ctx, &shed_threads, &mut conns, &mut next_token);
+            }
+        }
+
+        for (i, token) in order.iter().enumerate() {
+            let Some(conn) = conns.get_mut(token) else {
+                continue;
+            };
+            let fd = fds[base + i];
+            if fd.readable() && conn.mode != ReadMode::Stopped {
+                conn_read(&ctx, conn, *token, &mut scratch, &mut dispatched);
+            }
+            if fd.writable() && !conn.wbuf.is_empty() {
+                conn_write(conn);
+            }
+        }
+
+        // Reap finished and expired connections.
+        let now = Instant::now();
+        conns.retain(|_, conn| {
+            if conn.dead {
+                return false;
+            }
+            if conn.closing && conn.flushed() {
+                // Everything delivered. For Discard-mode (faulted)
+                // connections the periodic read path has been draining
+                // the peer; with the write queue empty the close is now
+                // an orderly FIN.
+                let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+                return false;
+            }
+            if let Some(deadline) = conn.deadline {
+                if now >= deadline {
+                    return false; // drain budget exhausted: force drop
+                }
+            }
+            true
+        });
+    }
+}
+
+/// Accepts every connection the backlog holds; admits or sheds each.
+fn accept_new(
+    listener: &TcpListener,
+    ctx: &Ctx<'_>,
+    shed_threads: &Arc<AtomicUsize>,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            // Transient (EMFILE under a connection flood, ...): the next
+            // poll tick retries rather than spinning here.
+            Err(_) => break,
+        };
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        stream.set_nodelay(true).ok();
+        match ctx.admission.admit_connection_owned() {
+            Ok(guard) => {
+                *next_token += 1;
+                conns.insert(*next_token, Conn::new(stream, guard));
+            }
+            Err(reason) => shed_detached(shed_threads, stream, ResponseFrame::Busy(reason)),
+        }
+    }
+}
+
+/// Nonblocking read pump: pull bytes, then parse what accumulated.
+fn conn_read(
+    ctx: &Ctx<'_>,
+    conn: &mut Conn,
+    token: u64,
+    scratch: &mut [u8],
+    dispatched: &mut usize,
+) {
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                // Peer finished sending. Keep the connection until its
+                // outstanding responses flush (a pipelining client may
+                // half-close after its last request), then close.
+                conn.mode = ReadMode::Stopped;
+                conn.closing = true;
+                break;
+            }
+            Ok(n) => {
+                if conn.mode == ReadMode::Frames {
+                    conn.rbuf.extend_from_slice(&scratch[..n]);
+                    process_rbuf(ctx, conn, token, dispatched);
+                }
+                // Discard mode: bytes vanish; the linger deadline bounds
+                // how long a firehosing peer keeps the socket alive.
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+        if conn.mode == ReadMode::Stopped {
+            break;
+        }
+    }
+}
+
+/// Parses everything complete in the read buffer: the handshake first,
+/// then frames.
+fn process_rbuf(ctx: &Ctx<'_>, conn: &mut Conn, token: u64, dispatched: &mut usize) {
+    if conn.version.is_none() {
+        if conn.rbuf.len() < PREAMBLE_LEN {
+            return;
+        }
+        let magic: [u8; 4] = conn.rbuf[..4].try_into().expect("fixed split");
+        if magic != PROTOCOL_MAGIC {
+            // The byte stream cannot be trusted for framing; close.
+            conn.dead = true;
+            return;
+        }
+        let theirs = u16::from_le_bytes([conn.rbuf[4], conn.rbuf[5]]);
+        conn.rbuf.drain(..PREAMBLE_LEN);
+        match protocol::negotiate(theirs) {
+            Some(version) => {
+                let mut preamble = Vec::with_capacity(PREAMBLE_LEN);
+                let _ = protocol::write_preamble_version(&mut preamble, version);
+                conn.wbuf.push_back(preamble);
+                conn.version = Some(version);
+            }
+            None => {
+                // A version-0 peer predates every build; answer with our
+                // preamble and a v1-framed typed fault, then close.
+                let mut reply = Vec::new();
+                let _ = protocol::write_preamble(&mut reply);
+                conn.wbuf.push_back(reply);
+                let fault = ResponseFrame::Error(WireFault {
+                    code: fault_code::VERSION_MISMATCH,
+                    message: format!(
+                        "server speaks versions {}..={}, client sent {theirs}",
+                        protocol::MIN_PROTOCOL_VERSION,
+                        protocol::PROTOCOL_VERSION
+                    ),
+                });
+                let (bytes, _) = wire_response(1, RequestId::CONNECTION, &fault);
+                conn.fault_close(bytes);
+                return;
+            }
+        }
+    }
+    let version = conn.version.expect("handshake complete");
+
+    while conn.mode == ReadMode::Frames {
+        if conn.rbuf.len() < 4 {
+            return;
+        }
+        let len = u32::from_le_bytes(conn.rbuf[..4].try_into().expect("fixed split"));
+        if len > MAX_FRAME_LEN {
+            let fault = ResponseFrame::Error(WireFault {
+                code: fault_code::FRAME_TOO_LARGE,
+                message: format!("frame length {len} exceeds the cap"),
+            });
+            let (bytes, _) = wire_response(version, RequestId::CONNECTION, &fault);
+            conn.fault_close(bytes);
+            return;
+        }
+        let total = 4 + len as usize;
+        if conn.rbuf.len() < total {
+            return;
+        }
+        let payload: Vec<u8> = conn.rbuf[4..total].to_vec();
+        conn.rbuf.drain(..total);
+        handle_frame(ctx, conn, token, version, &payload, dispatched);
+    }
+}
+
+/// Decodes and dispatches one complete frame payload.
+fn handle_frame(
+    ctx: &Ctx<'_>,
+    conn: &mut Conn,
+    token: u64,
+    version: u16,
+    payload: &[u8],
+    dispatched: &mut usize,
+) {
+    let (id, body) = if version >= 2 {
+        match protocol::split_envelope(payload) {
+            Ok((id, body)) if !id.is_connection_scoped() => (id, body),
+            // A truncated envelope (or the reserved ID) breaks the
+            // request/response pairing: connection-scoped fault.
+            _ => {
+                let fault = ResponseFrame::Error(WireFault {
+                    code: fault_code::MALFORMED,
+                    message: "v2 frame carried no usable request id".to_string(),
+                });
+                let (bytes, _) = wire_response(version, RequestId::CONNECTION, &fault);
+                conn.fault_close(bytes);
+                return;
+            }
+        }
+    } else {
+        (RequestId::CONNECTION, payload)
+    };
+
+    let frame = match RequestFrame::decode_body(body) {
+        Ok(frame) => frame,
+        Err(err) => {
+            let fault = match &err {
+                ProtocolError::UnknownTag(tag) => WireFault {
+                    code: fault_code::UNKNOWN_TAG,
+                    message: format!("unknown request tag {tag:#04x}"),
+                },
+                other => WireFault {
+                    code: fault_code::MALFORMED,
+                    message: other.to_string(),
+                },
+            };
+            if version >= 2 {
+                // Framing is intact (the length prefix consumed the whole
+                // frame): fault the request, keep the connection.
+                queue_reply(conn, version, id, &ResponseFrame::Error(fault));
+            } else {
+                let (bytes, _) = wire_response(version, id, &ResponseFrame::Error(fault));
+                conn.fault_close(bytes);
+            }
+            return;
+        }
+    };
+
+    // v1 connections are strictly ordered: while a batch is outstanding,
+    // everything (further batches, control frames) queues behind it.
+    if version < 2 && (conn.inflight > 0 || !conn.pending.is_empty()) {
+        match frame {
+            RequestFrame::Batch(requests) => {
+                match ctx.admission.admit_batch_owned(requests.len()) {
+                    Ok(permit) => conn.pending.push_back(PendingV1::Batch(requests, permit)),
+                    Err(reason) => conn
+                        .pending
+                        .push_back(PendingV1::Reply(ResponseFrame::Busy(reason))),
+                }
+            }
+            other => conn.pending.push_back(PendingV1::Control(other)),
+        }
+        return;
+    }
+
+    execute_frame(ctx, conn, token, version, id, frame, dispatched);
+}
+
+/// Executes a frame now: control frames inline, batches to the workers.
+fn execute_frame(
+    ctx: &Ctx<'_>,
+    conn: &mut Conn,
+    token: u64,
+    version: u16,
+    id: RequestId,
+    frame: RequestFrame,
+    dispatched: &mut usize,
+) {
+    match frame {
+        RequestFrame::Batch(requests) => match ctx.admission.admit_batch_owned(requests.len()) {
+            Ok(permit) => {
+                // Single-request frames execute inline on the reactor: a
+                // pipelined stream of tiny frames arrives one per reply in
+                // steady state, and bouncing each one through the worker
+                // pool costs two context switches per request — more than
+                // the query itself. Anything larger still goes to the
+                // workers so a heavy batch can't stall the poll loop.
+                if requests.len() <= INLINE_BATCH_MAX {
+                    let outcomes = ctx.qbs.submit(&requests);
+                    drop(permit);
+                    let frame = ResponseFrame::Batch(outcomes);
+                    queue_reply(conn, version, id, &frame);
+                    return;
+                }
+                conn.inflight += 1;
+                *dispatched += 1;
+                let _ = ctx.jobs.send(Job {
+                    token,
+                    id,
+                    version,
+                    requests,
+                    permit,
+                });
+            }
+            Err(reason) => queue_reply(conn, version, id, &ResponseFrame::Busy(reason)),
+        },
+        RequestFrame::Stats => {
+            let stats = ServerStats {
+                engine: ctx.qbs.engine_stats(),
+                admission: ctx.admission.stats(),
+            };
+            queue_reply(conn, version, id, &ResponseFrame::Stats(stats));
+        }
+        RequestFrame::Ping => queue_reply(conn, version, id, &ResponseFrame::Pong),
+        RequestFrame::Shutdown => {
+            // Flip the latch before acking, so a client that saw the ack
+            // can rely on the drain having begun.
+            ctx.signal.trigger();
+            queue_reply(conn, version, id, &ResponseFrame::ShutdownAck);
+            conn.mode = ReadMode::Stopped;
+            conn.closing = true;
+        }
+    }
+}
+
+/// After a v1 batch completes, run queued control frames and dispatch the
+/// next queued batch (at most one at a time).
+fn advance_pending(ctx: &Ctx<'_>, conn: &mut Conn, token: u64, dispatched: &mut usize) {
+    let version = conn.version.unwrap_or(1);
+    while conn.inflight == 0 && conn.mode != ReadMode::Stopped {
+        let Some(item) = conn.pending.pop_front() else {
+            break;
+        };
+        match item {
+            PendingV1::Batch(requests, permit) => {
+                conn.inflight += 1;
+                *dispatched += 1;
+                let _ = ctx.jobs.send(Job {
+                    token,
+                    id: RequestId::CONNECTION,
+                    version,
+                    requests,
+                    permit,
+                });
+            }
+            PendingV1::Control(frame) => {
+                execute_frame(
+                    ctx,
+                    conn,
+                    token,
+                    version,
+                    RequestId::CONNECTION,
+                    frame,
+                    dispatched,
+                );
+            }
+            PendingV1::Reply(frame) => {
+                queue_reply(conn, version, RequestId::CONNECTION, &frame);
+            }
+        }
+    }
+}
+
+/// Encodes a reply and queues it (the next write flush sends it).
+fn queue_reply(conn: &mut Conn, version: u16, id: RequestId, frame: &ResponseFrame) {
+    let (bytes, close) = wire_response(version, id, frame);
+    conn.wbuf.push_back(bytes);
+    if close {
+        conn.mode = ReadMode::Discard;
+        conn.closing = true;
+        conn.deadline = Some(Instant::now() + FAULT_LINGER);
+    }
+}
+
+/// Nonblocking write pump: flush the queue until it empties or the
+/// socket's send buffer fills.
+fn conn_write(conn: &mut Conn) {
+    while let Some(front) = conn.wbuf.front() {
+        match conn.stream.write(&front[conn.woff..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.woff += n;
+                if conn.woff >= front.len() {
+                    conn.wbuf.pop_front();
+                    conn.woff = 0;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    let _ = conn.stream.flush();
 }
 
 /// Cap on concurrent shed-refusal threads; refusals beyond it are dropped
@@ -268,113 +1011,47 @@ const MAX_SHED_THREADS: usize = 8;
 
 /// Sheds a refused connection on a bounded helper thread. `refuse` paces
 /// at the client's speed (preamble drain + linger), so it must never run
-/// on the listener thread.
-fn shed_detached(dispatch: &Arc<Dispatch>, stream: TcpStream, reason: BusyReason) {
-    if dispatch.shed_threads.fetch_add(1, Ordering::SeqCst) >= MAX_SHED_THREADS {
-        dispatch.shed_threads.fetch_sub(1, Ordering::SeqCst);
+/// on the reactor thread.
+fn shed_detached(shed_threads: &Arc<AtomicUsize>, stream: TcpStream, frame: ResponseFrame) {
+    if shed_threads.fetch_add(1, Ordering::SeqCst) >= MAX_SHED_THREADS {
+        shed_threads.fetch_sub(1, Ordering::SeqCst);
         return; // flood regime: close without the courtesy frame
     }
-    let worker = Arc::clone(dispatch);
+    let counter = Arc::clone(shed_threads);
     let spawned = std::thread::Builder::new()
         .name("qbs-shed".into())
         .spawn(move || {
-            shed(stream, reason);
-            worker.shed_threads.fetch_sub(1, Ordering::SeqCst);
+            refuse(stream, frame);
+            counter.fetch_sub(1, Ordering::SeqCst);
         });
     if spawned.is_err() {
         // Spawn failure (resource exhaustion): the stream was dropped with
         // the unrun closure; release the slot it claimed.
-        dispatch.shed_threads.fetch_sub(1, Ordering::SeqCst);
+        shed_threads.fetch_sub(1, Ordering::SeqCst);
     }
-}
-
-/// Accept loop: polls a non-blocking accept (so a shutdown trigger is
-/// observed within [`ACCEPT_POLL`] regardless of traffic) and hands each
-/// connection to a claimed idle handler. A connection is shed with a typed
-/// `Busy` the moment no handler is idle — queueing it would park the
-/// client without a handshake until some unrelated session ends, which is
-/// exactly the hang the protocol forbids. Accept errors back off instead
-/// of busy-spinning — a flood-induced EMFILE must not peg a core.
-fn listener_loop(
-    listener: TcpListener,
-    tx: SyncSender<TcpStream>,
-    pool_size: usize,
-    dispatch: &Arc<Dispatch>,
-    admission: &Admission,
-    signal: &ShutdownSignal,
-) {
-    loop {
-        if signal.is_shutdown() {
-            break;
-        }
-        let stream = match listener.accept() {
-            Ok((stream, _peer)) => {
-                // The accepted socket may inherit non-blocking mode on
-                // some platforms; handlers expect blocking semantics.
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                stream
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-                continue;
-            }
-            Err(_) => {
-                // Transient (EMFILE under a connection flood, ...): retry
-                // after a beat rather than spinning.
-                std::thread::sleep(ACCEPT_POLL);
-                continue;
-            }
-        };
-        if !dispatch.claim_idle_handler() {
-            admission.record_backlog_shed();
-            shed_detached(
-                dispatch,
-                stream,
-                BusyReason::NoIdleHandler {
-                    handlers: pool_size as u64,
-                },
-            );
-            continue;
-        }
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(stream)) => {
-                // Unreachable in practice: claims never exceed parked
-                // handlers and the channel has one slot per handler. Kept
-                // as a defensive shed — return the claim first.
-                dispatch.idle_handlers.fetch_add(1, Ordering::SeqCst);
-                admission.record_backlog_shed();
-                shed_detached(
-                    dispatch,
-                    stream,
-                    BusyReason::NoIdleHandler {
-                        handlers: pool_size as u64,
-                    },
-                );
-            }
-            Err(TrySendError::Disconnected(_)) => break,
-        }
-    }
-}
-
-/// Writes `preamble + Busy(reason)` to a connection being refused.
-fn shed(stream: TcpStream, reason: BusyReason) {
-    refuse(stream, ResponseFrame::Busy(reason));
 }
 
 /// Refuses a connection with one typed response frame, with short timeouts
-/// so a slow client cannot stall the caller. The client's own preamble is
-/// drained first and the close lingers, so the refusal is delivered as
-/// orderly data + FIN — never lost to a reset.
+/// so a slow client cannot stall the helper. The client's own preamble is
+/// drained first — and its announced version honoured in the reply, so v1
+/// clients decode the refusal too — and the close lingers, so the refusal
+/// is delivered as orderly data + FIN, never lost to a reset.
 fn refuse(mut stream: TcpStream, frame: ResponseFrame) {
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    let mut hello = [0u8; protocol::PREAMBLE_LEN];
-    let _ = std::io::Read::read_exact(&mut stream, &mut hello);
-    let _ = protocol::write_preamble(&mut stream);
-    let _ = protocol::write_response(&mut stream, &frame);
+    let mut hello = [0u8; PREAMBLE_LEN];
+    let version = match Read::read_exact(&mut stream, &mut hello) {
+        Ok(()) if hello[..4] == PROTOCOL_MAGIC => {
+            protocol::negotiate(u16::from_le_bytes([hello[4], hello[5]]))
+                .unwrap_or(protocol::MIN_PROTOCOL_VERSION)
+        }
+        // Garbage or truncated hello: best-effort v1-style refusal.
+        _ => protocol::MIN_PROTOCOL_VERSION,
+    };
+    let _ = protocol::write_preamble_version(&mut stream, version);
+    let (bytes, _) = wire_response(version, RequestId::CONNECTION, &frame);
+    let _ = stream.write_all(&bytes);
     linger_close(stream);
 }
 
@@ -386,203 +1063,12 @@ fn refuse(mut stream: TcpStream, frame: ResponseFrame) {
 fn linger_close(mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.shutdown(std::net::Shutdown::Write);
-    let deadline = std::time::Instant::now() + Duration::from_millis(500);
+    let deadline = Instant::now() + Duration::from_millis(500);
     let mut sink = [0u8; 512];
-    while std::time::Instant::now() < deadline {
-        match std::io::Read::read(&mut stream, &mut sink) {
+    while Instant::now() < deadline {
+        match Read::read(&mut stream, &mut sink) {
             Ok(0) | Err(_) => break,
             Ok(_) => {}
         }
     }
-}
-
-/// Handler thread body: pull connections off the shared channel until it
-/// closes, serving each to completion.
-fn handler_loop(
-    qbs: &Qbs,
-    dispatch: &Dispatch,
-    admission: &Admission,
-    signal: &ShutdownSignal,
-    rx: &Mutex<Receiver<TcpStream>>,
-) {
-    loop {
-        // Park: advertise this handler as idle. The matching decrement is
-        // the listener's claim (see [`Dispatch`]), not ours.
-        dispatch.idle_handlers.fetch_add(1, Ordering::SeqCst);
-        let stream = {
-            let rx = rx.lock().expect("connection channel poisoned");
-            rx.recv()
-        };
-        let Ok(stream) = stream else {
-            break; // listener gone, queue drained
-        };
-        if signal.is_shutdown() {
-            // A connection queued behind the shutdown: refuse it cleanly.
-            refuse(
-                stream,
-                ResponseFrame::Error(WireFault {
-                    code: fault_code::SHUTTING_DOWN,
-                    message: "server is shutting down".into(),
-                }),
-            );
-            continue;
-        }
-        let mut stream = stream;
-        match admission.admit_connection() {
-            Ok(_guard) => {
-                // Errors end the connection, not the server.
-                let _ = serve_connection(qbs, admission, signal, &mut stream);
-                linger_close(stream);
-            }
-            Err(reason) => shed(stream, reason),
-        }
-    }
-}
-
-/// Serves one connection: handshake, then the frame loop.
-fn serve_connection(
-    qbs: &Qbs,
-    admission: &Admission,
-    signal: &ShutdownSignal,
-    stream: &mut TcpStream,
-) -> Result<(), ProtocolError> {
-    stream.set_nodelay(true).ok();
-    stream.set_write_timeout(Some(FRAME_TIMEOUT))?;
-    stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
-
-    // The client speaks first; a foreign version earns a typed fault frame
-    // (we still announce our preamble so the client can decode it), bad
-    // magic just closes — the byte stream cannot be trusted for framing.
-    match protocol::read_preamble(&mut *stream) {
-        Ok(()) => protocol::write_preamble(&mut *stream)?,
-        Err(ProtocolError::VersionMismatch { ours, theirs }) => {
-            protocol::write_preamble(&mut *stream)?;
-            protocol::write_response(
-                &mut *stream,
-                &ResponseFrame::Error(WireFault {
-                    code: fault_code::VERSION_MISMATCH,
-                    message: format!("server speaks version {ours}, client sent {theirs}"),
-                }),
-            )?;
-            return Ok(());
-        }
-        Err(e) => return Err(e),
-    }
-
-    loop {
-        // Idle wait: peek (without consuming) so a poll timeout can never
-        // desynchronise the framing, re-checking the shutdown flag between
-        // polls. Once bytes are available the frame is read blocking (with
-        // the stalled-frame timeout).
-        match wait_for_data(stream, signal)? {
-            DataEvent::Shutdown | DataEvent::Eof => return Ok(()),
-            DataEvent::Ready => {}
-        }
-        let frame = match protocol::read_request(&mut *stream) {
-            Ok(frame) => frame,
-            Err(err) => {
-                // Typed refusal on the way out; the connection is closed
-                // because framing can no longer be trusted.
-                let fault = match &err {
-                    ProtocolError::FrameTooLarge { len } => WireFault {
-                        code: fault_code::FRAME_TOO_LARGE,
-                        message: format!("frame length {len} exceeds the cap"),
-                    },
-                    ProtocolError::UnknownTag(tag) => WireFault {
-                        code: fault_code::UNKNOWN_TAG,
-                        message: format!("unknown request tag {tag:#04x}"),
-                    },
-                    other => WireFault {
-                        code: fault_code::MALFORMED,
-                        message: other.to_string(),
-                    },
-                };
-                let _ = protocol::write_response(&mut *stream, &ResponseFrame::Error(fault));
-                return Err(err);
-            }
-        };
-        match frame {
-            RequestFrame::Batch(requests) => {
-                let response = match admission.admit_batch(requests.len()) {
-                    Ok(_permit) => ResponseFrame::Batch(qbs.submit(&requests)),
-                    Err(reason) => ResponseFrame::Busy(reason),
-                };
-                send_response(stream, &response)?;
-            }
-            RequestFrame::Stats => {
-                let stats = ServerStats {
-                    engine: qbs.engine_stats(),
-                    admission: admission.stats(),
-                };
-                send_response(stream, &ResponseFrame::Stats(stats))?;
-            }
-            RequestFrame::Ping => {
-                send_response(stream, &ResponseFrame::Pong)?;
-            }
-            RequestFrame::Shutdown => {
-                // Flip the latch before acking, so a client that saw the
-                // ack can rely on the drain having begun.
-                signal.trigger();
-                protocol::write_response(&mut *stream, &ResponseFrame::ShutdownAck)?;
-                return Ok(());
-            }
-        }
-    }
-}
-
-/// Encodes and writes one response. A response that encodes past the
-/// frame cap (a huge admitted batch of path-graph answers) is downgraded
-/// to a typed `Error` frame — the client sees code 4 immediately and can
-/// split the batch, instead of hanging on a silently closed connection —
-/// and the connection is then closed (framing stays trustworthy, but the
-/// request/response rhythm does not).
-fn send_response(stream: &mut TcpStream, response: &ResponseFrame) -> Result<(), ProtocolError> {
-    let body = response.encode_body();
-    if body.len() > MAX_FRAME_LEN as usize {
-        let _ = protocol::write_response(
-            stream,
-            &ResponseFrame::Error(WireFault {
-                code: fault_code::FRAME_TOO_LARGE,
-                message: format!(
-                    "encoded response ({} bytes) exceeds the {MAX_FRAME_LEN}-byte frame cap; \
-                     split the batch",
-                    body.len()
-                ),
-            }),
-        );
-        return Err(ProtocolError::FrameTooLarge {
-            len: u32::try_from(body.len()).unwrap_or(u32::MAX),
-        });
-    }
-    protocol::write_frame(&mut *stream, &body)
-}
-
-enum DataEvent {
-    Ready,
-    Eof,
-    Shutdown,
-}
-
-/// Waits until the connection has readable bytes, the peer closed, or
-/// shutdown was requested — without consuming anything from the stream.
-fn wait_for_data(stream: &TcpStream, signal: &ShutdownSignal) -> std::io::Result<DataEvent> {
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    let mut probe = [0u8; 1];
-    let event = loop {
-        if signal.is_shutdown() {
-            break DataEvent::Shutdown;
-        }
-        match stream.peek(&mut probe) {
-            Ok(0) => break DataEvent::Eof,
-            Ok(_) => break DataEvent::Ready,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) => {}
-            Err(e) => return Err(e),
-        }
-    };
-    stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
-    Ok(event)
 }

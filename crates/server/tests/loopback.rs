@@ -1,14 +1,18 @@
 //! Loopback integration tests: the served answers must be bit-identical
-//! to local `Qbs::submit`, admission must shed with typed `Busy` replies
-//! (never hangs or dropped connections), and shutdown must drain cleanly.
+//! to local `Qbs::submit` — under protocol v1 and v2, one-shot and
+//! pipelined, in-order and out-of-order — admission must shed with typed
+//! `Busy` replies (never hangs or dropped connections), idle connections
+//! must park on the reactor without consuming threads, and shutdown must
+//! drain cleanly.
 
 use std::sync::Arc;
 
 use qbs_core::serialize::{self, IndexFormat, MapMode};
-use qbs_core::{CacheConfig, Qbs, QbsConfig, QbsIndex, QueryRequest};
+use qbs_core::{CacheConfig, Qbs, QbsConfig, QbsIndex, QueryRequest, RequestId};
 use qbs_gen::catalog::{Catalog, DatasetId, Scale};
 use qbs_server::{
-    AdmissionConfig, BatchReply, BusyReason, QbsClient, QbsServer, ServerConfig, ShutdownSignal,
+    AdmissionConfig, BatchReply, BusyReason, ClientConfig, QbsClient, QbsServer, ServerConfig,
+    ShutdownSignal,
 };
 
 /// Builds the shared test index (a tiny Douban stand-in), saves it as a v2
@@ -177,14 +181,7 @@ fn exceeding_max_inflight_yields_typed_busy_not_a_hang() {
 #[test]
 fn connection_bound_sheds_with_busy() {
     let (qbs, _path) = mmap_session("connections");
-    let config = ServerConfig {
-        handler_threads: 2,
-        admission: AdmissionConfig {
-            max_connections: 1,
-            ..AdmissionConfig::default()
-        },
-        ..ServerConfig::default()
-    };
+    let config = ServerConfig::default().workers(2).max_connections(1);
     let mut server = QbsServer::start(Arc::clone(&qbs), config).expect("start");
     let addr = server.local_addr().to_string();
 
@@ -203,50 +200,29 @@ fn connection_bound_sheds_with_busy() {
 }
 
 #[test]
-fn saturated_handler_pool_sheds_at_accept_instead_of_parking() {
-    let (qbs, _path) = mmap_session("saturated");
-    let config = ServerConfig {
-        handler_threads: 1,
-        ..ServerConfig::default()
-    };
+fn hundreds_of_idle_connections_park_on_one_reactor_thread() {
+    let (qbs, _path) = mmap_session("parked");
+    // One worker: the pre-reactor design would shed every connection past
+    // the pool size. The reactor parks them all on a single thread.
+    let config = ServerConfig::default().workers(1);
     let mut server = QbsServer::start(Arc::clone(&qbs), config).expect("start");
     let addr = server.local_addr().to_string();
+    assert_eq!(server.reactor_threads(), 1);
+    assert_eq!(server.worker_threads(), 1);
 
-    let mut first = QbsClient::connect(&addr).expect("first");
-    first.ping().expect("served");
-
-    // The only handler is now parked inside the first connection's frame
-    // loop; a second arrival must be refused promptly with a typed shed —
-    // never parked without a handshake until the first session ends.
-    let started = std::time::Instant::now();
-    let mut second = QbsClient::connect(&addr).expect("tcp connect");
-    match second.ping() {
-        Err(qbs_server::ProtocolError::Shed(BusyReason::NoIdleHandler { .. })) => {}
-        other => panic!("expected an accept-time shed, got {other:?}"),
+    let mut clients: Vec<QbsClient> = (0..512)
+        .map(|i| QbsClient::connect(&addr).unwrap_or_else(|e| panic!("connection {i}: {e}")))
+        .collect();
+    // Every parked connection is live — none was shed or half-accepted.
+    for (i, client) in clients.iter_mut().enumerate() {
+        client
+            .ping()
+            .unwrap_or_else(|e| panic!("parked connection {i} not served: {e}"));
     }
-    assert!(
-        started.elapsed() < std::time::Duration::from_secs(5),
-        "the shed must be prompt, not a parked-connection timeout"
-    );
-    drop(second);
-    first.ping().expect("surviving connection unaffected");
-
-    // Freeing the pool makes the server serve new connections again.
-    drop(first);
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-    loop {
-        if let Ok(mut third) = QbsClient::connect(&addr) {
-            if third.ping().is_ok() {
-                break;
-            }
-        }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "handler never returned to the idle pool"
-        );
-        std::thread::sleep(std::time::Duration::from_millis(100));
-    }
-    assert!(server.stats().admission.shed_connections >= 1);
+    let stats = server.stats();
+    assert_eq!(stats.admission.connections, 512);
+    assert_eq!(stats.admission.shed_connections, 0);
+    drop(clients);
     server.shutdown();
 }
 
@@ -275,24 +251,50 @@ fn shutdown_frame_drains_and_stops_the_server() {
 }
 
 #[test]
-fn ping_reconnect_and_version_handshake() {
+fn ping_reconnect_and_version_negotiation() {
     let (qbs, _path) = mmap_session("handshake");
     let mut server = QbsServer::start(Arc::clone(&qbs), ServerConfig::default()).expect("start");
     let addr = server.local_addr().to_string();
 
     let mut client = QbsClient::connect(&addr).expect("connect");
+    assert_eq!(client.protocol_version(), qbs_server::PROTOCOL_VERSION);
     assert!(client.ping().expect("pong").as_secs() < 5);
     client.reconnect().expect("reconnect to the same server");
     client.ping().expect("pong after reconnect");
     assert_eq!(client.addr(), addr);
 
-    // A client speaking a foreign version gets the typed fault frame.
     use std::io::{Read, Write};
+
+    // A client announcing a future version negotiates down to the
+    // server's newest version and is served normally.
     let mut raw = std::net::TcpStream::connect(&addr).expect("tcp");
     let mut preamble = [0u8; 8];
     preamble[..4].copy_from_slice(b"QBSP");
     preamble[4..6].copy_from_slice(&999u16.to_le_bytes());
-    raw.write_all(&preamble).expect("send foreign version");
+    raw.write_all(&preamble).expect("send future version");
+    let mut reply = [0u8; 8];
+    raw.read_exact(&mut reply).expect("server preamble");
+    assert_eq!(&reply[..4], b"QBSP");
+    assert_eq!(
+        u16::from_le_bytes([reply[4], reply[5]]),
+        qbs_server::PROTOCOL_VERSION,
+        "the server replies with the negotiated version"
+    );
+    qbs_server::protocol::write_request_v2(
+        &mut raw,
+        RequestId(7),
+        &qbs_server::protocol::RequestFrame::Ping,
+    )
+    .expect("v2 ping");
+    let (id, frame) = qbs_server::protocol::read_response_v2(&mut raw).expect("v2 pong");
+    assert_eq!(id, RequestId(7));
+    assert_eq!(frame, qbs_server::protocol::ResponseFrame::Pong);
+
+    // Version 0 predates every build: typed fault, then close.
+    let mut raw = std::net::TcpStream::connect(&addr).expect("tcp");
+    let mut preamble = [0u8; 8];
+    preamble[..4].copy_from_slice(b"QBSP");
+    raw.write_all(&preamble).expect("send version 0");
     let mut reply = [0u8; 8];
     raw.read_exact(&mut reply).expect("server preamble");
     let frame = qbs_server::protocol::read_response(&mut raw).expect("fault frame");
@@ -302,9 +304,123 @@ fn ping_reconnect_and_version_handshake() {
                 fault.code,
                 qbs_server::protocol::fault_code::VERSION_MISMATCH
             );
-            assert!(fault.message.contains("999"), "{}", fault.message);
+            assert!(fault.message.contains("client sent 0"), "{}", fault.message);
         }
         other => panic!("expected a version fault, got {other:?}"),
     }
     server.shutdown();
+}
+
+#[test]
+fn v1_and_v2_clients_get_bit_identical_answers() {
+    let (qbs, path) = mmap_session("versions");
+    let num_vertices = qbs_core::IndexStore::num_vertices(qbs.as_ref()) as u32;
+    let mut server = QbsServer::start(Arc::clone(&qbs), ServerConfig::default()).expect("start");
+    let addr = server.local_addr().to_string();
+    let local = Qbs::open(&path, MapMode::Mmap).expect("local reference");
+
+    let mut v2 = QbsClient::connect(&addr).expect("v2 connect");
+    assert_eq!(v2.protocol_version(), 2);
+    let mut v1 =
+        QbsClient::connect_with(&addr, ClientConfig::default().force_v1(true)).expect("v1 connect");
+    assert_eq!(v1.protocol_version(), 1, "force_v1 pins the handshake");
+
+    for salt in 0..3u32 {
+        let requests = mixed_requests(num_vertices, salt);
+        let expected = local.submit(&requests);
+        for (name, client) in [("v2", &mut v2), ("v1", &mut v1)] {
+            let reply = client.submit(&requests).expect("submit");
+            assert_eq!(
+                reply.outcomes().expect("unloaded server never sheds"),
+                &expected[..],
+                "{name} client diverged from local submit (salt {salt})"
+            );
+        }
+    }
+
+    // A v1 connection pipelines too (the wire is FIFO; the client stash
+    // re-pairs replies): tickets redeemed in reverse order still match.
+    let batch_a = mixed_requests(num_vertices, 11);
+    let batch_b = mixed_requests(num_vertices, 12);
+    let expected_a = local.submit(&batch_a);
+    let expected_b = local.submit(&batch_b);
+    let ticket_a = v1.send(&batch_a).expect("send a");
+    let ticket_b = v1.send(&batch_b).expect("send b");
+    let reply_b = v1.recv(ticket_b).expect("recv b");
+    let reply_a = v1.recv(ticket_a).expect("recv a");
+    assert_eq!(reply_a.outcomes().expect("admitted"), &expected_a[..]);
+    assert_eq!(reply_b.outcomes().expect("admitted"), &expected_b[..]);
+
+    // Control frames interleave with pipelined batches on both versions.
+    let ticket = v2.send(&batch_a).expect("send");
+    v2.ping().expect("ping while a batch is in flight");
+    assert_eq!(
+        v2.recv(ticket).expect("recv").outcomes().expect("admitted"),
+        &expected_a[..]
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_batches_complete_out_of_order_and_match_local() {
+    let (qbs, path) = mmap_session("pipeline");
+    let num_vertices = qbs_core::IndexStore::num_vertices(qbs.as_ref()) as u32;
+    let mut server =
+        QbsServer::start(Arc::clone(&qbs), ServerConfig::default().workers(2)).expect("start");
+    let addr = server.local_addr().to_string();
+    let local = Qbs::open(&path, MapMode::Mmap).expect("local reference");
+
+    let mut client = QbsClient::connect(&addr).expect("connect");
+
+    // Depth-8 pipeline, redeemed in a scrambled order: with two workers
+    // the replies genuinely complete out of order on the wire, and every
+    // ticket must still pair with its own batch.
+    let batches: Vec<Vec<QueryRequest>> = (0..8u32)
+        .map(|salt| mixed_requests(num_vertices, 20 + salt))
+        .collect();
+    let expected: Vec<_> = batches.iter().map(|b| local.submit(b)).collect();
+    let tickets: Vec<_> = batches
+        .iter()
+        .map(|b| client.send(b).expect("send"))
+        .collect();
+    assert_eq!(client.in_flight(), 8);
+    // Redeem middle-out: 5, 2, 7, 0, 6, 1, 4, 3.
+    for &i in &[5usize, 2, 7, 0, 6, 1, 4, 3] {
+        let reply = client.recv(tickets[i]).expect("recv");
+        assert_eq!(
+            reply.outcomes().expect("admitted"),
+            &expected[i][..],
+            "pipelined batch {i} diverged from local submit"
+        );
+    }
+    assert_eq!(client.in_flight(), 0);
+
+    // A ticket cannot be redeemed twice.
+    match client.recv(tickets[3]) {
+        Err(qbs_server::ProtocolError::UnknownTicket(_)) => {}
+        other => panic!("expected UnknownTicket, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn connect_retry_bounds_each_attempt() {
+    // A listener that accepts but never handshakes: without a per-attempt
+    // deadline, one hung handshake would eat the entire retry budget (the
+    // old behaviour was a 30s io_timeout stall per attempt).
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let config = ClientConfig::default()
+        .connect_timeout(std::time::Duration::from_millis(200))
+        .io_timeout(std::time::Duration::from_secs(30));
+    let started = std::time::Instant::now();
+    let result =
+        QbsClient::connect_retry_with(&addr, std::time::Duration::from_millis(900), config);
+    let elapsed = started.elapsed();
+    assert!(result.is_err(), "nothing ever handshakes");
+    assert!(
+        elapsed < std::time::Duration::from_secs(10),
+        "retry loop must rotate attempts under the per-attempt bound, took {elapsed:?}"
+    );
+    drop(listener);
 }

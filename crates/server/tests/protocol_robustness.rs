@@ -7,12 +7,12 @@
 
 use qbs_core::wire::{from_bytes, to_bytes};
 use qbs_core::{
-    CacheConfig, EngineStats, Qbs, QbsConfig, QueryOutcome, QueryRequest, RequestError,
+    CacheConfig, EngineStats, Qbs, QbsConfig, QueryOutcome, QueryRequest, RequestError, RequestId,
 };
 use qbs_graph::fixtures::figure4_graph;
 use qbs_server::protocol::{
-    read_frame, read_preamble, RequestFrame, ResponseFrame, ServerStats, WireFault, MAX_FRAME_LEN,
-    PREAMBLE_LEN,
+    encode_envelope, negotiate, read_frame, read_preamble, split_envelope, RequestFrame,
+    ResponseFrame, ServerStats, WireFault, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, PREAMBLE_LEN,
 };
 use qbs_server::{AdmissionStats, BusyReason};
 
@@ -171,8 +171,10 @@ fn frame_reader_and_preamble_reject_corruption() {
     short.extend_from_slice(&[0u8; 10]);
     assert!(read_frame(&mut &short[..]).is_err());
 
-    // Preamble: every truncation and every single-bit flip of the magic
-    // and version fields must be rejected or (for reserved bits) ignored.
+    // Preamble: every truncation is rejected; every single-bit flip of
+    // the magic is rejected; a flipped *version* is either rejected (the
+    // unspeakable version 0) or comes back as a well-formed announcement
+    // that `negotiate` resolves to a version this build speaks.
     let mut good = Vec::new();
     qbs_server::protocol::write_preamble(&mut good).expect("preamble");
     assert_eq!(good.len(), PREAMBLE_LEN);
@@ -183,11 +185,72 @@ fn frame_reader_and_preamble_reject_corruption() {
     for byte in 0..6 {
         for bit in 0..8 {
             mutated[byte] ^= 1 << bit;
-            assert!(
-                read_preamble(&mut &mutated[..]).is_err(),
-                "flipped magic/version byte {byte} bit {bit} must be rejected"
-            );
+            let announced = u16::from_le_bytes([mutated[4], mutated[5]]);
+            match read_preamble(&mut &mutated[..]) {
+                Err(_) => assert!(
+                    byte < 4 || announced < MIN_PROTOCOL_VERSION,
+                    "byte {byte} bit {bit}: only magic damage and version 0 are rejected"
+                ),
+                Ok(theirs) => {
+                    assert!(byte >= 4, "flipped magic byte {byte} bit {bit} must fail");
+                    assert_eq!(theirs, announced);
+                    let speak = negotiate(theirs).expect("nonzero versions negotiate");
+                    assert!(
+                        (MIN_PROTOCOL_VERSION..=qbs_server::PROTOCOL_VERSION).contains(&speak),
+                        "negotiated {speak} is a version this build speaks"
+                    );
+                }
+            }
             mutated[byte] ^= 1 << bit;
+        }
+    }
+}
+
+/// The v2 request-ID envelope under the same adversarial treatment:
+/// truncations inside the ID are typed errors; truncations inside the
+/// enclosed body split cleanly but fail the body decode; bit flips in the
+/// ID only change the ID (the body is untouched and still decodes).
+#[test]
+fn v2_envelope_truncation_and_bit_flip_sweep() {
+    let id = RequestId(0x5A5A_A5A5);
+    let cases: Vec<(Vec<u8>, bool)> = request_bodies()
+        .into_iter()
+        .map(|b| (b, true))
+        .chain(response_bodies().into_iter().map(|b| (b, false)))
+        .collect();
+    for (body, is_request) in cases {
+        let decodes = |inner: &[u8]| -> bool {
+            if is_request {
+                RequestFrame::decode_body(inner).is_ok()
+            } else {
+                ResponseFrame::decode_body(inner).is_ok()
+            }
+        };
+        let enveloped = encode_envelope(id, &body);
+        assert_eq!(enveloped.len(), body.len() + 4);
+        let (split_id, inner) = split_envelope(&enveloped).expect("intact envelope");
+        assert_eq!(split_id, id);
+        assert!(decodes(inner), "intact body decodes through the envelope");
+
+        for cut in 0..enveloped.len() {
+            match split_envelope(&enveloped[..cut]) {
+                Err(_) => assert!(cut < 4, "cut {cut}: only ID truncation fails the split"),
+                Ok((split_id, inner)) => {
+                    assert_eq!(split_id, id);
+                    assert!(!decodes(inner), "cut {cut}: truncated body must not decode");
+                }
+            }
+        }
+
+        let mut mutated = enveloped.clone();
+        for byte in 0..4 {
+            for bit in 0..8 {
+                mutated[byte] ^= 1 << bit;
+                let (flipped_id, inner) = split_envelope(&mutated).expect("split still works");
+                assert_ne!(flipped_id, id, "byte {byte} bit {bit} changed the ID");
+                assert!(decodes(inner), "the enclosed body is untouched");
+                mutated[byte] ^= 1 << bit;
+            }
         }
     }
 }

@@ -71,13 +71,19 @@ fn assert_all_engines_agree(
     // The concurrent batch engine answers the whole workload identically,
     // and every engine's batch entry point agrees with its per-query path.
     let engine = QueryEngine::new(&qbs);
-    let answers = engine.query_batch(workload.pairs()).expect("batch");
+    let requests: Vec<QueryRequest> = workload
+        .pairs()
+        .iter()
+        .map(|&(u, v)| QueryRequest::path_graph(u, v))
+        .collect();
+    let answers = engine.submit(&requests);
     let bibfs_batch = bibfs.query_batch(workload.pairs());
     let truth_batch = truth.query_batch(workload.pairs());
     for (i, &(u, v)) in workload.pairs().iter().enumerate() {
         let expected = truth.query(u, v);
         assert_eq!(
-            answers[i].path_graph, expected,
+            *answers[i].path_graph().expect("in range"),
+            expected,
             "engine batch mismatch on ({u},{v})"
         );
         assert_eq!(
