@@ -36,7 +36,10 @@
 //! connection bound (there is no handler pool to saturate — idle sockets
 //! park), and the in-flight request semaphore bounds work across all
 //! sockets. Shed work is answered with a typed `Busy` frame, never a
-//! hang.
+//! hang. Frames parked in a v1 connection's in-order queue are
+//! admission-checked when their turn comes — not at arrival — matching
+//! the pre-reactor server, which only read a pipelined frame when the
+//! previous reply had been written.
 //!
 //! Shutdown is graceful from either direction — a `Shutdown` frame or
 //! [`ServerHandle::shutdown`] (which the CLI wires to SIGINT): the
@@ -55,7 +58,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qbs_core::wire::RequestId;
-use qbs_core::{Qbs, QueryRequest};
+use qbs_core::{Qbs, QueryMode, QueryRequest};
 
 use crate::admission::{Admission, AdmissionConfig, OwnedInflightGuard};
 use crate::poll::{self, PollFd, WakePipe, POLLIN, POLLOUT};
@@ -78,7 +81,25 @@ const READ_CHUNK: usize = 64 * 1024;
 /// the worker pool. Pipelined single-request frames arrive one per reply
 /// in steady state; routing each through a worker costs two context
 /// switches per request — more than the query itself on small graphs.
+/// Only `Distance`-mode requests qualify: they are the microsecond fast
+/// path, while a path-graph or sketch query on a large graph could add
+/// head-of-line latency to every connection the reactor serves.
 const INLINE_BATCH_MAX: usize = 1;
+
+/// How long the listener sits out of the poll set after a transient
+/// accept failure (EMFILE under a connection flood, ...). The listener
+/// fd stays readable until the backlog drains, so re-polling it
+/// immediately would spin the reactor at 100% CPU; a short pause turns
+/// that into a bounded retry cadence.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(100);
+
+/// v1 read backpressure: once this many frames are parked behind a v1
+/// connection's executing batch, the reactor stops reading that socket
+/// until the queue shrinks. The pre-reactor server got the same bound
+/// for free from the kernel socket buffer (it only read one frame at a
+/// time); without a cap a pipelining v1 client could balloon the
+/// decoded-frame queue without ever tripping admission.
+const V1_PENDING_MAX: usize = 32;
 
 /// How long a faulted connection lingers (draining the peer's bytes so
 /// the queued fault frame survives the close) before being dropped.
@@ -441,16 +462,6 @@ enum ReadMode {
     Stopped,
 }
 
-/// One queued unit of a v1 connection's strictly-ordered pipeline.
-enum PendingV1 {
-    /// An admitted batch waiting for its turn on the worker pool.
-    Batch(Vec<QueryRequest>, OwnedInflightGuard),
-    /// A control frame whose reply must not overtake earlier batches.
-    Control(RequestFrame),
-    /// An already-decided reply (a shed batch's `Busy`) waiting its turn.
-    Reply(ResponseFrame),
-}
-
 /// Per-connection reactor state.
 struct Conn {
     stream: TcpStream,
@@ -466,8 +477,12 @@ struct Conn {
     woff: usize,
     /// Jobs dispatched to workers and not yet completed.
     inflight: usize,
-    /// v1 in-order queue (empty for v2 connections).
-    pending: VecDeque<PendingV1>,
+    /// v1 in-order queue (empty for v2 connections): frames parked
+    /// behind an executing batch, admission-checked only when their turn
+    /// comes — the pre-reactor server's exact rhythm, where a pipelined
+    /// frame sat unread in the kernel buffer until the handler's next
+    /// read. No permits are held by queued frames.
+    pending: VecDeque<RequestFrame>,
     mode: ReadMode,
     /// Finish outstanding work, flush, then close.
     closing: bool,
@@ -502,8 +517,12 @@ impl Conn {
 
     /// Queues a fatal fault: the frame goes out, inbound bytes are
     /// drained (not parsed) for a bounded linger, then the socket closes.
+    /// Queued v1 frames are discarded — the stream's request/response
+    /// rhythm is broken, so their replies could never be paired (and a
+    /// non-empty queue would keep `flushed` false past the linger).
     fn fault_close(&mut self, bytes: Vec<u8>) {
         self.wbuf.push_back(bytes);
+        self.pending.clear();
         self.mode = ReadMode::Discard;
         self.closing = true;
         self.deadline = Some(Instant::now() + FAULT_LINGER);
@@ -541,6 +560,7 @@ fn reactor_loop(
     let mut dispatched: usize = 0;
     let mut scratch = vec![0u8; READ_CHUNK];
     let mut shutdown_seen = false;
+    let mut accept_pause: Option<Instant> = None;
     let listener_fd = poll::listener_fd(&listener);
 
     loop {
@@ -564,9 +584,15 @@ fn reactor_loop(
         // one entry per connection, aligned with `order`.
         let mut fds = Vec::with_capacity(2 + conns.len());
         fds.push(wake.poll_fd());
-        let listener_slot = if shutdown_seen {
+        // During an accept backoff the listener is left out of the poll
+        // set entirely: its fd stays readable while the backlog is
+        // nonempty, so polling it before the pause expires would return
+        // instantly and spin.
+        let accept_paused = accept_pause.is_some_and(|until| Instant::now() < until);
+        let listener_slot = if shutdown_seen || accept_paused {
             None
         } else {
+            accept_pause = None;
             fds.push(PollFd::new(listener_fd, POLLIN));
             Some(1)
         };
@@ -575,7 +601,10 @@ fn reactor_loop(
         for token in &order {
             let conn = &conns[token];
             let mut events = 0i16;
-            if conn.mode != ReadMode::Stopped {
+            // Backpressure: a v1 connection with a deep pending queue is
+            // not read further until completions drain it (its unread
+            // bytes wait in the kernel buffer, as they did pre-reactor).
+            if conn.mode != ReadMode::Stopped && conn.pending.len() < V1_PENDING_MAX {
                 events |= POLLIN;
             }
             if !conn.wbuf.is_empty() {
@@ -608,6 +637,7 @@ fn reactor_loop(
             conn.inflight -= 1;
             conn.wbuf.push_back(completion.bytes);
             if completion.close {
+                conn.pending.clear();
                 conn.mode = ReadMode::Discard;
                 conn.closing = true;
                 conn.deadline = Some(Instant::now() + FAULT_LINGER);
@@ -620,7 +650,8 @@ fn reactor_loop(
 
         if let Some(slot) = listener_slot {
             if fds[slot].readable() {
-                accept_new(&listener, &ctx, &shed_threads, &mut conns, &mut next_token);
+                accept_pause =
+                    accept_new(&listener, &ctx, &shed_threads, &mut conns, &mut next_token);
             }
         }
 
@@ -662,20 +693,23 @@ fn reactor_loop(
 }
 
 /// Accepts every connection the backlog holds; admits or sheds each.
+/// Returns the instant until which the reactor should stop polling the
+/// listener (set after a transient accept error such as EMFILE — the fd
+/// stays readable, so an immediate re-poll would spin).
 fn accept_new(
     listener: &TcpListener,
     ctx: &Ctx<'_>,
     shed_threads: &Arc<AtomicUsize>,
     conns: &mut HashMap<u64, Conn>,
     next_token: &mut u64,
-) {
+) -> Option<Instant> {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _peer)) => stream,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-            // Transient (EMFILE under a connection flood, ...): the next
-            // poll tick retries rather than spinning here.
-            Err(_) => break,
+            // Transient (EMFILE under a connection flood, ...): back the
+            // listener off for a beat, then retry — never spin.
+            Err(_) => return Some(Instant::now() + ACCEPT_BACKOFF),
         };
         if stream.set_nonblocking(true).is_err() {
             continue;
@@ -689,6 +723,7 @@ fn accept_new(
             Err(reason) => shed_detached(shed_threads, stream, ResponseFrame::Busy(reason)),
         }
     }
+    None
 }
 
 /// Nonblocking read pump: pull bytes, then parse what accumulated.
@@ -704,9 +739,16 @@ fn conn_read(
             Ok(0) => {
                 // Peer finished sending. Keep the connection until its
                 // outstanding responses flush (a pipelining client may
-                // half-close after its last request), then close.
+                // half-close after its last request), then close. The
+                // deadline is a backstop, not the expected path: it
+                // guarantees the connection is reaped — releasing its
+                // slot and any queued work — even if the flush stalls,
+                // and bounds the instant-wakeup poll ticks a fully
+                // closed peer's POLLHUP would otherwise cause forever.
                 conn.mode = ReadMode::Stopped;
                 conn.closing = true;
+                conn.deadline
+                    .get_or_insert(Instant::now() + SHUTDOWN_LINGER);
                 break;
             }
             Ok(n) => {
@@ -853,18 +895,13 @@ fn handle_frame(
 
     // v1 connections are strictly ordered: while a batch is outstanding,
     // everything (further batches, control frames) queues behind it.
+    // Admission runs when the frame's turn comes (`advance_pending`),
+    // not at arrival — exactly when the pre-reactor blocking server
+    // would have checked it — so a queued batch holds no permits while
+    // it merely waits, and a shed decision reflects the load at
+    // dispatch time rather than a snapshot frozen at arrival.
     if version < 2 && (conn.inflight > 0 || !conn.pending.is_empty()) {
-        match frame {
-            RequestFrame::Batch(requests) => {
-                match ctx.admission.admit_batch_owned(requests.len()) {
-                    Ok(permit) => conn.pending.push_back(PendingV1::Batch(requests, permit)),
-                    Err(reason) => conn
-                        .pending
-                        .push_back(PendingV1::Reply(ResponseFrame::Busy(reason))),
-                }
-            }
-            other => conn.pending.push_back(PendingV1::Control(other)),
-        }
+        conn.pending.push_back(frame);
         return;
     }
 
@@ -884,13 +921,18 @@ fn execute_frame(
     match frame {
         RequestFrame::Batch(requests) => match ctx.admission.admit_batch_owned(requests.len()) {
             Ok(permit) => {
-                // Single-request frames execute inline on the reactor: a
-                // pipelined stream of tiny frames arrives one per reply in
-                // steady state, and bouncing each one through the worker
-                // pool costs two context switches per request — more than
-                // the query itself. Anything larger still goes to the
-                // workers so a heavy batch can't stall the poll loop.
-                if requests.len() <= INLINE_BATCH_MAX {
+                // Single-request Distance frames execute inline on the
+                // reactor: a pipelined stream of tiny frames arrives one
+                // per reply in steady state, and bouncing each one through
+                // the worker pool costs two context switches per request —
+                // more than the query itself. Anything larger, and any
+                // non-Distance mode (path-graph/sketch materialisation can
+                // be arbitrarily heavy on a large graph), still goes to
+                // the workers so one slow query can't add head-of-line
+                // latency to every other connection's I/O.
+                if requests.len() <= INLINE_BATCH_MAX
+                    && requests.iter().all(|r| r.mode == QueryMode::Distance)
+                {
                     let outcomes = ctx.qbs.submit(&requests);
                     drop(permit);
                     let frame = ResponseFrame::Batch(outcomes);
@@ -919,50 +961,44 @@ fn execute_frame(
         RequestFrame::Ping => queue_reply(conn, version, id, &ResponseFrame::Pong),
         RequestFrame::Shutdown => {
             // Flip the latch before acking, so a client that saw the ack
-            // can rely on the drain having begun.
+            // can rely on the drain having begun. Frames the client
+            // pipelined behind the Shutdown are dropped, as the old
+            // server (which closed right after the ack) never read them.
             ctx.signal.trigger();
             queue_reply(conn, version, id, &ResponseFrame::ShutdownAck);
+            conn.pending.clear();
             conn.mode = ReadMode::Stopped;
             conn.closing = true;
         }
     }
 }
 
-/// After a v1 batch completes, run queued control frames and dispatch the
-/// next queued batch (at most one at a time).
+/// After a v1 batch completes, admit and run queued frames in order until
+/// one dispatches to the workers (at most one executes at a time) or the
+/// queue empties.
+///
+/// `ReadMode::Stopped` does NOT stop the drain: it only means no further
+/// bytes are read. Frames already queued were fully received before the
+/// EOF / shutdown and still get their replies — a pipelining client may
+/// half-close after its last request — and draining them is also what
+/// lets `Conn::flushed` become true so the connection is reaped instead
+/// of parked forever. `Discard` mode does stop it (framing broke; the
+/// fault path already cleared the queue), as does a dead socket.
 fn advance_pending(ctx: &Ctx<'_>, conn: &mut Conn, token: u64, dispatched: &mut usize) {
     let version = conn.version.unwrap_or(1);
-    while conn.inflight == 0 && conn.mode != ReadMode::Stopped {
-        let Some(item) = conn.pending.pop_front() else {
+    while conn.inflight == 0 && conn.mode != ReadMode::Discard && !conn.dead {
+        let Some(frame) = conn.pending.pop_front() else {
             break;
         };
-        match item {
-            PendingV1::Batch(requests, permit) => {
-                conn.inflight += 1;
-                *dispatched += 1;
-                let _ = ctx.jobs.send(Job {
-                    token,
-                    id: RequestId::CONNECTION,
-                    version,
-                    requests,
-                    permit,
-                });
-            }
-            PendingV1::Control(frame) => {
-                execute_frame(
-                    ctx,
-                    conn,
-                    token,
-                    version,
-                    RequestId::CONNECTION,
-                    frame,
-                    dispatched,
-                );
-            }
-            PendingV1::Reply(frame) => {
-                queue_reply(conn, version, RequestId::CONNECTION, &frame);
-            }
-        }
+        execute_frame(
+            ctx,
+            conn,
+            token,
+            version,
+            RequestId::CONNECTION,
+            frame,
+            dispatched,
+        );
     }
 }
 
@@ -971,6 +1007,10 @@ fn queue_reply(conn: &mut Conn, version: u16, id: RequestId, frame: &ResponseFra
     let (bytes, close) = wire_response(version, id, frame);
     conn.wbuf.push_back(bytes);
     if close {
+        // v1 over-cap downgrade: the request/response rhythm is broken,
+        // so queued frames can never be answered pairably — drop them
+        // and close once the fault frame flushes.
+        conn.pending.clear();
         conn.mode = ReadMode::Discard;
         conn.closing = true;
         conn.deadline = Some(Instant::now() + FAULT_LINGER);

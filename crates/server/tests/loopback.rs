@@ -362,6 +362,63 @@ fn v1_and_v2_clients_get_bit_identical_answers() {
 }
 
 #[test]
+fn v1_half_close_with_queued_batches_drains_and_releases_permits() {
+    let (qbs, path) = mmap_session("halfclose");
+    let num_vertices = qbs_core::IndexStore::num_vertices(qbs.as_ref()) as u32;
+    // One worker serialises execution, so the trailing batches are parked
+    // in the v1 in-order queue when the EOF arrives.
+    let mut server =
+        QbsServer::start(Arc::clone(&qbs), ServerConfig::default().workers(1)).expect("start");
+    let addr = server.local_addr().to_string();
+    let local = Qbs::open(&path, MapMode::Mmap).expect("local reference");
+
+    use qbs_server::protocol::{self, RequestFrame, ResponseFrame};
+    use std::io::Read;
+
+    let mut raw = std::net::TcpStream::connect(&addr).expect("tcp");
+    // A timeout turns the historical failure mode (replies never come,
+    // the connection leaks) into a clean assertion failure.
+    raw.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("timeout");
+    protocol::write_preamble_version(&mut raw, 1).expect("client hello");
+    assert_eq!(protocol::read_preamble(&mut raw).expect("server hello"), 1);
+
+    let batches: Vec<Vec<QueryRequest>> = (0..4u32)
+        .map(|salt| mixed_requests(num_vertices, 40 + salt))
+        .collect();
+    for batch in &batches {
+        protocol::write_request(&mut raw, &RequestFrame::Batch(batch.clone())).expect("send");
+    }
+    // Half-close after the last request, before any reply is read: the
+    // server must still answer every fully-received frame, in order,
+    // then close its own side — and must not pin the connection (or its
+    // admission permits) forever.
+    raw.shutdown(std::net::Shutdown::Write).expect("half-close");
+
+    for (i, batch) in batches.iter().enumerate() {
+        let expected = local.submit(batch);
+        match protocol::read_response(&mut raw).expect("reply after half-close") {
+            ResponseFrame::Batch(outcomes) => {
+                assert_eq!(outcomes, expected, "batch {i} diverged after half-close")
+            }
+            other => panic!("batch {i}: expected outcomes, got {other:?}"),
+        }
+    }
+    let mut sink = [0u8; 1];
+    assert_eq!(
+        raw.read(&mut sink).expect("server FIN"),
+        0,
+        "orderly close after the last reply"
+    );
+
+    // Every permit the queued batches needed was released on completion.
+    let stats = server.stats();
+    assert_eq!(stats.admission.inflight, 0);
+    assert_eq!(stats.admission.admitted_batches, 4);
+    server.shutdown();
+}
+
+#[test]
 fn pipelined_batches_complete_out_of_order_and_match_local() {
     let (qbs, path) = mmap_session("pipeline");
     let num_vertices = qbs_core::IndexStore::num_vertices(qbs.as_ref()) as u32;
