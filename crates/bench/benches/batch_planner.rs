@@ -1,0 +1,194 @@
+//! Batch execution planner benchmark: batched distance throughput with
+//! the planner on vs off, on uniform and Zipf-skewed 256-query batches
+//! over the acceptance-regime graph (120k vertices), across all three
+//! backends (owned, mmap view, compact).
+//!
+//! The planner's measurement contract:
+//!
+//! * **skew pays** — on the Zipf batch (exponent 1.5: hot sources repeat,
+//!   whole pairs duplicate) the planner must clear **≥1.5×** the
+//!   planner-off throughput on every backend;
+//! * **outcomes are bit-identical** — planner on/off and all three
+//!   backends agree slot for slot, asserted on every measured batch;
+//! * **uniform traffic is not pessimised** — the uniform sweep is
+//!   printed so the no-redundancy regime is tracked per PR (coalescing
+//!   finds nothing; the planner must stay within noise of the fan-out).
+//!
+//! `QBS_BENCH_NO_ASSERT=1` downgrades the ratio assertion to a warning
+//! for heavily-shared machines where wall-clock ratios are untrustworthy.
+//!
+//! Run with `cargo bench --bench batch_planner`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use qbs_core::serialize::{self, MapMode};
+use qbs_core::store::IndexStore;
+use qbs_core::{CompactStore, QbsConfig, QbsIndex, QueryEngine, QueryRequest};
+use qbs_gen::prelude::*;
+
+/// Vertex count of the benchmark graph (the acceptance regime: ≥ 100k).
+const VERTICES: usize = 120_000;
+const LANDMARKS: usize = 20;
+/// Requests per batch — a realistic serving batch.
+const BATCH: usize = 256;
+/// Batches per measured round.
+const ROUNDS: usize = 12;
+const THREADS: usize = 4;
+/// Zipf exponent of the skewed workload: the hot-key serving regime the
+/// planner targets — the head rank absorbs ≈51% of draws, so a
+/// 256-query batch repeats sources (and whole pairs) many times over.
+const ZIPF_EXPONENT: f64 = 1.75;
+
+/// Best-of-3 requests/sec for one engine over the batch set.
+fn measure<S: IndexStore>(engine: &QueryEngine<'_, S>, batches: &[Vec<QueryRequest>]) -> f64 {
+    for batch in batches {
+        engine.submit(batch); // warm the workspace pool and page cache
+    }
+    let total = (ROUNDS * batches.len() * BATCH) as f64;
+    let mut best = f64::MIN;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..ROUNDS {
+            for batch in batches {
+                criterion::black_box(engine.submit(batch));
+            }
+        }
+        best = best.max(total / t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn distance_batches(pairs: &[(u32, u32)]) -> Vec<Vec<QueryRequest>> {
+    pairs
+        .chunks(BATCH)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&(u, v)| QueryRequest::distance(u, v))
+                .collect()
+        })
+        .collect()
+}
+
+struct BackendRow {
+    name: &'static str,
+    uniform_off: f64,
+    uniform_on: f64,
+    zipf_off: f64,
+    zipf_on: f64,
+}
+
+fn run_backend<S: IndexStore>(
+    name: &'static str,
+    store: &S,
+    uniform: &[Vec<QueryRequest>],
+    zipf: &[Vec<QueryRequest>],
+    reference: &[Vec<qbs_core::QueryOutcome>],
+) -> BackendRow {
+    let planned = QueryEngine::with_threads(store, THREADS).expect("engine");
+    let vanilla = QueryEngine::with_threads(store, THREADS)
+        .expect("engine")
+        .with_planner(false);
+
+    // Bit-identity first: planner on/off and the owned reference agree on
+    // every measured Zipf batch, slot for slot.
+    for (batch, expected) in zipf.iter().zip(reference) {
+        let on = planned.submit(batch);
+        assert_eq!(&on, expected, "{name}: planner-on diverged from reference");
+        assert_eq!(on, vanilla.submit(batch), "{name}: planner on/off diverged");
+    }
+
+    BackendRow {
+        name,
+        uniform_off: measure(&vanilla, uniform),
+        uniform_on: measure(&planned, uniform),
+        zipf_off: measure(&vanilla, zipf),
+        zipf_on: measure(&planned, zipf),
+    }
+}
+
+fn bench_batch_planner(c: &mut Criterion) {
+    let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+        vertices: VERTICES,
+        edges_per_vertex: 4,
+        seed: 2021,
+    });
+    let uniform = distance_batches(QueryWorkload::sample(&graph, BATCH * 4, 77).pairs());
+    let zipf =
+        distance_batches(QueryWorkload::sample_zipf(&graph, BATCH * 4, 77, ZIPF_EXPONENT).pairs());
+    let owned = QbsIndex::build(graph, QbsConfig::with_landmark_count(LANDMARKS));
+
+    // Owned reference outcomes for the cross-backend bit-identity check.
+    let reference: Vec<_> = {
+        let engine = QueryEngine::with_threads(&owned, THREADS).expect("engine");
+        zipf.iter().map(|batch| engine.submit(batch)).collect()
+    };
+
+    let dir = std::env::temp_dir().join(format!("qbs_bench_batch_planner_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("index.qbs2");
+    serialize::save_to_file(&owned, &path).expect("save");
+    let view = serialize::open_store_from_file(&path, MapMode::Mmap).expect("map");
+    let compact = CompactStore::new(owned.as_compact_view().expect("compact view"));
+
+    let rows = [
+        run_backend("owned", &owned, &uniform, &zipf, &reference),
+        run_backend("view", &view, &uniform, &zipf, &reference),
+        run_backend("compact", &compact, &uniform, &zipf, &reference),
+    ];
+
+    println!(
+        "batch planner over a {VERTICES}-vertex graph ({BATCH}-request distance batches, \
+         {THREADS} workers, Zipf exponent {ZIPF_EXPONENT}):"
+    );
+    for row in &rows {
+        println!(
+            "\x20 {:<8} uniform {:>9.0} -> {:>9.0} req/s ({:.2}x)   \
+             zipf {:>9.0} -> {:>9.0} req/s ({:.2}x)",
+            row.name,
+            row.uniform_off,
+            row.uniform_on,
+            row.uniform_on / row.uniform_off.max(f64::MIN_POSITIVE),
+            row.zipf_off,
+            row.zipf_on,
+            row.zipf_on / row.zipf_off.max(f64::MIN_POSITIVE),
+        );
+    }
+
+    // The acceptance tripwire: ≥1.5× on the skewed batch, every backend.
+    for row in &rows {
+        let ratio = row.zipf_on / row.zipf_off.max(f64::MIN_POSITIVE);
+        if ratio < 1.5 {
+            let msg = format!(
+                "planner must clear 1.5x on the Zipf batch over the {} backend \
+                 ({:.0} vs {:.0} req/s = {ratio:.2}x)",
+                row.name, row.zipf_off, row.zipf_on
+            );
+            if std::env::var_os("QBS_BENCH_NO_ASSERT").is_some() {
+                eprintln!("warning (QBS_BENCH_NO_ASSERT set): {msg}");
+            } else {
+                panic!("{msg}");
+            }
+        }
+    }
+
+    // Criterion group: one Zipf batch through the planner vs the fan-out.
+    let planned = QueryEngine::with_threads(&owned, THREADS).expect("engine");
+    let vanilla = QueryEngine::with_threads(&owned, THREADS)
+        .expect("engine")
+        .with_planner(false);
+    let mut group = c.benchmark_group("batch_planner");
+    group.bench_function("zipf_256_planner_on", |b| {
+        b.iter(|| criterion::black_box(planned.submit(&zipf[0])))
+    });
+    group.bench_function("zipf_256_planner_off", |b| {
+        b.iter(|| criterion::black_box(vanilla.submit(&zipf[0])))
+    });
+    group.finish();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_batch_planner);
+criterion_main!(benches);

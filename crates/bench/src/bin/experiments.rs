@@ -5,7 +5,7 @@
 //!
 //! which:    table1 | table2 | table3 | fig7 | fig8 | fig9 | fig10 | fig11 |
 //!           traversal | ablation | viewserve | compactserve | mixedbatch |
-//!           netserve | all
+//!           batchplan | netserve | all
 //!
 //! options:
 //!   --scale tiny|small|medium|large   dataset scale          (default: small)
@@ -139,6 +139,17 @@ fn main() -> ExitCode {
             (r.render(), serde_json::to_value(&r).unwrap()),
         );
     }
+    if which == "batchplan" {
+        let r = match experiments::batch_plan(&config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: batchplan failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        drift |= !r.all_identical();
+        outputs.insert("batchplan", (r.render(), serde_json::to_value(&r).unwrap()));
+    }
     if which == "netserve" {
         let r = match experiments::net_serving(&config) {
             Ok(r) => r,
@@ -179,7 +190,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|viewserve|compactserve|mixedbatch|netserve|all> \
+        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|viewserve|compactserve|mixedbatch|batchplan|netserve|all> \
          [--scale tiny|small|medium|large] [--queries N] [--landmarks N] \
          [--sweep a,b,c] [--datasets DO,DB,...] [--out DIR]"
     );

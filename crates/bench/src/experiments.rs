@@ -1175,6 +1175,170 @@ pub fn mixed_batch(config: &ExperimentConfig) -> Result<MixedBatch, QbsError> {
 }
 
 // ---------------------------------------------------------------------------
+// Batch planner — planner on/off differential over all backends (CI tripwire)
+// ---------------------------------------------------------------------------
+
+/// Batch-planner differential result for one dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchPlanRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Requests in the Zipf-skewed batch (incl. duplicates).
+    pub requests: usize,
+    /// Whether planner-on outcomes matched planner-off outcomes on the
+    /// owned, mmap-view and compact backends, slot for slot.
+    pub identical: bool,
+    /// Planner-off batch throughput on the owned backend (req/s).
+    pub off_qps: f64,
+    /// Planner-on batch throughput on the owned backend (req/s).
+    pub on_qps: f64,
+    /// Duplicate slots coalesced by the planner.
+    pub dedup_hits: u64,
+    /// Label fetches served from the per-batch memo.
+    pub labels_memoized: u64,
+    /// Forward-BFS levels reused from retained same-source state.
+    pub fwd_levels_reused: u64,
+}
+
+/// The batch-planner differential: a Zipf-skewed distance batch is
+/// submitted with the planner on and off over all three backends; any
+/// slot-level disagreement is drift. CI runs this at tiny scale and fails
+/// the pipeline on any drift; throughput and reuse counters are recorded
+/// so the planner's payoff is tracked per PR.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchPlan {
+    /// One row per dataset.
+    pub rows: Vec<BatchPlanRow>,
+}
+
+impl BatchPlan {
+    /// Whether every dataset's planned batch was bit-identical.
+    pub fn all_identical(&self) -> bool {
+        self.rows.iter().all(|r| r.identical)
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Batch planner: planner on/off over owned + view + compact backends",
+            &[
+                "Dataset",
+                "requests",
+                "off q/s",
+                "on q/s",
+                "speedup",
+                "coalesced",
+                "labels memo",
+                "lvls reused",
+                "identical",
+            ],
+        );
+        for r in &self.rows {
+            let speedup = if r.off_qps > 0.0 {
+                r.on_qps / r.off_qps
+            } else {
+                0.0
+            };
+            t.add_row(vec![
+                r.dataset.clone(),
+                fmt_count(r.requests),
+                format!("{:.0}", r.off_qps),
+                format!("{:.0}", r.on_qps),
+                format!("{speedup:.2}x"),
+                fmt_count(r.dedup_hits as usize),
+                fmt_count(r.labels_memoized as usize),
+                fmt_count(r.fwd_levels_reused as usize),
+                if r.identical {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Runs the batch-planner differential: build → Zipf batch → planner
+/// on/off over owned, mmap-view and compact backends → slot-by-slot
+/// comparison (plus the one-at-a-time reference).
+pub fn batch_plan(config: &ExperimentConfig) -> Result<BatchPlan, QbsError> {
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qbs_bench_batch_plan_{}_{nonce}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let rows = config
+        .specs()
+        .iter()
+        .map(|spec| {
+            let graph = config.graph_for(spec);
+            let workload =
+                qbs_gen::QueryWorkload::sample_zipf(&graph, config.query_count, config.seed, 1.5);
+            let owned =
+                QbsIndex::try_build(graph, QbsConfig::with_landmark_count(config.landmark_count))?;
+            let requests: Vec<qbs_core::QueryRequest> = workload
+                .pairs()
+                .iter()
+                .map(|&(u, v)| qbs_core::QueryRequest::distance(u, v))
+                .collect();
+
+            let path = dir.join(format!("{}.qbs2", spec.id.abbrev()));
+            qbs_core::serialize::save_to_file(&owned, &path)?;
+            let view = qbs_core::serialize::open_store_from_file(&path, qbs_core::MapMode::Mmap)?;
+            let compact = qbs_core::CompactStore::new(owned.as_compact_view()?);
+
+            // One-at-a-time reference off the owned backend.
+            let mut ws = qbs_core::QueryWorkspace::new();
+            let reference: Vec<qbs_core::QueryOutcome> = requests
+                .iter()
+                .map(|req| qbs_core::execute_on(&owned, &mut ws, req))
+                .collect();
+
+            // One warmup submit per engine so the timed pass measures the
+            // planner, not workspace-pool allocation.
+            let planned = qbs_core::QueryEngine::with_threads(&owned, 2)?;
+            planned.submit(&requests);
+            let t0 = Instant::now();
+            let on = planned.submit(&requests);
+            let on_qps = qps(t0.elapsed(), requests.len());
+            let stats = planned.planner_stats();
+
+            let vanilla = qbs_core::QueryEngine::with_threads(&owned, 2)?.with_planner(false);
+            vanilla.submit(&requests);
+            let t0 = Instant::now();
+            let off = vanilla.submit(&requests);
+            let off_qps = qps(t0.elapsed(), requests.len());
+
+            let view_on = qbs_core::QueryEngine::with_threads(&view, 2)?.submit(&requests);
+            let compact_on = qbs_core::QueryEngine::with_threads(&compact, 2)?.submit(&requests);
+            let identical = on == reference
+                && off == reference
+                && view_on == reference
+                && compact_on == reference;
+
+            std::fs::remove_file(&path).ok();
+            Ok(BatchPlanRow {
+                dataset: spec.id.name().to_string(),
+                requests: requests.len(),
+                identical,
+                off_qps,
+                on_qps,
+                dedup_hits: stats.dedup_hits,
+                labels_memoized: stats.labels_memoized,
+                fwd_levels_reused: stats.fwd_levels_reused,
+            })
+        })
+        .collect::<Result<Vec<_>, QbsError>>()?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(BatchPlan { rows })
+}
+
+// ---------------------------------------------------------------------------
 // Net serving — framed-TCP server differential + throughput (CI tripwire)
 // ---------------------------------------------------------------------------
 

@@ -340,6 +340,14 @@ impl AnswerCache {
     /// only the `Arc` handle is cloned under the shard lock; the answer
     /// itself is shaped (cloned) after the lock is released.
     pub fn lookup(&self, req: &QueryRequest) -> Option<QueryOutcome> {
+        self.lookup_body(req).map(|body| body.shape(&req.opts))
+    }
+
+    /// The un-shaped half of [`AnswerCache::lookup`]: returns the cached
+    /// canonical body, counting one hit or one miss. The batch planner
+    /// uses this to shape one cached body into every coalesced slot while
+    /// still charging the counters exactly once per distinct key.
+    pub(crate) fn lookup_body(&self, req: &QueryRequest) -> Option<Arc<AnswerBody>> {
         let key = CacheKey::for_request(req);
         let body = {
             let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
@@ -349,7 +357,7 @@ impl AnswerCache {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
-        body.map(|body| body.shape(&req.opts))
+        body
     }
 
     /// Offers a freshly computed answer for admission. `hint` is the

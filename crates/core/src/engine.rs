@@ -58,6 +58,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use qbs_graph::VertexId;
 
 use crate::cache::{AnswerCache, CacheConfig, CacheStats};
+use crate::plan::{self, PlannerCounters, PlannerStats};
 use crate::query::{self, QbsIndex, QueryAnswer};
 use crate::request::{execute_cached_on, QueryOutcome, QueryRequest};
 use crate::store::IndexStore;
@@ -67,7 +68,7 @@ use crate::QbsError;
 /// How many query indices a worker claims per cursor fetch. Small enough
 /// that skewed batches still balance, large enough that the atomic is not
 /// contended on microsecond queries.
-const CLAIM_CHUNK: usize = 16;
+pub(crate) const CLAIM_CHUNK: usize = 16;
 
 /// A concurrent batch query engine over a borrowed [`IndexStore`].
 pub struct QueryEngine<'idx, S: IndexStore = QbsIndex> {
@@ -84,6 +85,12 @@ pub struct QueryEngine<'idx, S: IndexStore = QbsIndex> {
     /// session façade (or several engines over the same store) can share
     /// one cache.
     cache: Option<Arc<AnswerCache>>,
+    /// Whether [`QueryEngine::submit`] runs the batch execution planner
+    /// (`true` by default; see [`crate::plan`]).
+    planner: bool,
+    /// Planner effectiveness counters. `Arc` for the same reason as the
+    /// cache: the session façade accumulates across transient engines.
+    counters: Arc<PlannerCounters>,
 }
 
 impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
@@ -113,23 +120,28 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
             threads,
             workspaces: Mutex::new(Vec::new()),
             cache: None,
+            planner: true,
+            counters: Arc::new(PlannerCounters::default()),
         }
     }
 
     /// Builds an engine that already owns a warm workspace pool and
-    /// (optionally) a shared cache — the session façade's way of keeping
-    /// its steady state across transient engines.
+    /// (optionally) a shared cache plus planner counters — the session
+    /// façade's way of keeping its steady state across transient engines.
     pub(crate) fn with_pool(
         store: &'idx S,
         threads: usize,
         pool: Vec<QueryWorkspace>,
         cache: Option<Arc<AnswerCache>>,
+        counters: Arc<PlannerCounters>,
     ) -> Self {
         QueryEngine {
             store,
             threads,
             workspaces: Mutex::new(pool),
             cache,
+            planner: true,
+            counters,
         }
     }
 
@@ -160,6 +172,31 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
     pub fn with_shared_cache(mut self, cache: Arc<AnswerCache>) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Enables or disables the batch execution planner (enabled by
+    /// default). With the planner off, [`QueryEngine::submit`] executes
+    /// every slot independently — the pre-planner behaviour, kept for
+    /// differential testing and benchmarking; outcomes are bit-identical
+    /// either way.
+    pub fn with_planner(mut self, enabled: bool) -> Self {
+        self.planner = enabled;
+        self
+    }
+
+    /// Snapshot of the planner's effectiveness counters (coalesced
+    /// duplicate slots, memoized label fetches, reused forward-BFS
+    /// levels). All zero while the planner is disabled.
+    pub fn planner_stats(&self) -> PlannerStats {
+        self.counters.snapshot()
+    }
+
+    pub(crate) fn planner_counters(&self) -> &PlannerCounters {
+        &self.counters
+    }
+
+    pub(crate) fn cache_ref(&self) -> Option<&AnswerCache> {
+        self.cache.as_deref()
     }
 
     /// The attached answer cache, if any.
@@ -220,7 +257,17 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
     /// requests mix freely in one batch, and requests with
     /// [`crate::request::QueryOptions::use_cache`] go through the attached
     /// answer cache. Outcomes are bit-identical across storage backends.
+    ///
+    /// Batches of two or more requests run through the batch execution
+    /// planner ([`crate::plan`]): duplicate requests are coalesced onto
+    /// one computation, endpoint labels are memoized per batch, and
+    /// same-source distance runs share one forward BFS — all without
+    /// changing a single answered bit (disable with
+    /// [`QueryEngine::with_planner`] to compare).
     pub fn submit(&self, requests: &[QueryRequest]) -> Vec<QueryOutcome> {
+        if self.planner && requests.len() >= 2 {
+            return plan::submit_planned(self, requests);
+        }
         self.fan_out(requests, |store, ws, req| {
             execute_cached_on(store, ws, req, self.cache.as_deref())
         })
@@ -276,7 +323,7 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
             .collect()
     }
 
-    fn checkout(&self) -> QueryWorkspace {
+    pub(crate) fn checkout(&self) -> QueryWorkspace {
         self.workspaces
             .lock()
             .expect("workspace pool poisoned")
@@ -284,7 +331,7 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
             .unwrap_or_else(|| QueryWorkspace::for_vertices(self.store.num_vertices()))
     }
 
-    fn checkin(&self, ws: QueryWorkspace) {
+    pub(crate) fn checkin(&self, ws: QueryWorkspace) {
         let mut pool = self.workspaces.lock().expect("workspace pool poisoned");
         // Bound retained memory at one workspace per configured worker;
         // surplus workspaces (possible when several batches run on this

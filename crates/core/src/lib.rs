@@ -54,6 +54,7 @@ pub mod landmark;
 pub mod meta_graph;
 pub mod mmap;
 pub mod parallel;
+pub mod plan;
 pub mod query;
 pub mod request;
 pub mod search;
@@ -73,6 +74,7 @@ pub use format::{CompactView, IndexView, ViewBuf};
 pub use labelling::{LabellingScheme, PathLabelling, NO_LABEL};
 pub use landmark::LandmarkStrategy;
 pub use meta_graph::MetaGraph;
+pub use plan::PlannerStats;
 pub use query::{distance_on, query_on, sketch_on, QbsConfig, QbsIndex, QueryAnswer};
 pub use request::{
     execute_cached_on, execute_on, QueryMode, QueryOptions, QueryOutcome, QueryRequest,

@@ -356,7 +356,7 @@ impl AnswerBody {
 
     /// Shapes the body by move — the no-cache fast path, which clones
     /// nothing.
-    fn shape_into(self, opts: &QueryOptions) -> QueryOutcome {
+    pub(crate) fn shape_into(self, opts: &QueryOptions) -> QueryOutcome {
         match self {
             AnswerBody::Distance(d) => QueryOutcome::Distance(d),
             AnswerBody::PathGraph(ans) => {

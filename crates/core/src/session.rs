@@ -43,6 +43,7 @@ use qbs_graph::{Distance, Graph, PathGraph, VertexFilter, VertexId};
 
 use crate::cache::{AnswerCache, CacheConfig, CacheStats};
 use crate::engine::QueryEngine;
+use crate::plan::{PlannerCounters, PlannerStats};
 use crate::query::{QbsConfig, QbsIndex, QueryAnswer};
 use crate::request::{execute_cached_on, QueryOutcome, QueryRequest};
 use crate::serialize::{self, IndexFormat, IndexProfile, MapMode};
@@ -96,6 +97,8 @@ pub struct EngineStats {
     pub batches: u64,
     /// Requests that resolved to a per-request error outcome.
     pub errors: u64,
+    /// Batch execution planner counters (see [`crate::plan`]).
+    pub planner: PlannerStats,
     /// Counter snapshot of the attached answer cache, if any.
     pub cache: Option<CacheStats>,
 }
@@ -110,10 +113,15 @@ impl fmt::Display for EngineStats {
             self.num_landmarks
         )?;
         writeln!(f, "threads:   {}", self.threads)?;
-        write!(
+        writeln!(
             f,
             "requests:  {} in {} batches ({} errors)",
             self.requests, self.batches, self.errors
+        )?;
+        write!(
+            f,
+            "planner:   {} coalesced, {} labels memoized, {} fwd levels reused",
+            self.planner.dedup_hits, self.planner.labels_memoized, self.planner.fwd_levels_reused
         )?;
         match &self.cache {
             Some(cache) => write!(f, "\n{cache}"),
@@ -139,6 +147,9 @@ pub struct Qbs {
     requests: AtomicU64,
     batches: AtomicU64,
     errors: AtomicU64,
+    /// Batch-planner counters, shared with every transient engine so they
+    /// accumulate for the session's lifetime.
+    planner: Arc<PlannerCounters>,
 }
 
 impl Qbs {
@@ -153,6 +164,7 @@ impl Qbs {
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            planner: Arc::new(PlannerCounters::default()),
         }
     }
 
@@ -318,6 +330,7 @@ impl Qbs {
             requests: self.requests.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            planner: self.planner.snapshot(),
             cache: self.cache_stats(),
         }
     }
@@ -363,18 +376,35 @@ impl Qbs {
         let pool = std::mem::take(&mut *self.pool.lock().expect("workspace pool poisoned"));
         let (outcomes, recovered) = match &self.backend {
             QbsBackend::Owned(s) => {
-                let engine =
-                    QueryEngine::with_pool(s.as_ref(), self.threads, pool, self.cache.clone());
+                let engine = QueryEngine::with_pool(
+                    s.as_ref(),
+                    self.threads,
+                    pool,
+                    self.cache.clone(),
+                    Arc::clone(&self.planner),
+                );
                 let outcomes = engine.submit(requests);
                 (outcomes, engine.into_pool())
             }
             QbsBackend::View(s) => {
-                let engine = QueryEngine::with_pool(s, self.threads, pool, self.cache.clone());
+                let engine = QueryEngine::with_pool(
+                    s,
+                    self.threads,
+                    pool,
+                    self.cache.clone(),
+                    Arc::clone(&self.planner),
+                );
                 let outcomes = engine.submit(requests);
                 (outcomes, engine.into_pool())
             }
             QbsBackend::Compact(s) => {
-                let engine = QueryEngine::with_pool(s, self.threads, pool, self.cache.clone());
+                let engine = QueryEngine::with_pool(
+                    s,
+                    self.threads,
+                    pool,
+                    self.cache.clone(),
+                    Arc::clone(&self.planner),
+                );
                 let outcomes = engine.submit(requests);
                 (outcomes, engine.into_pool())
             }

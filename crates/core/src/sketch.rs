@@ -117,11 +117,15 @@ pub fn compute<S: IndexStore>(
     source_label: &[(usize, Distance)],
     target_label: &[(usize, Distance)],
 ) -> Sketch {
-    // Pass 1: find d⊤ = min over label pairs of δ_ur + d_M(r, r') + δ_r'v.
+    // Pass 1: find d⊤ = min over label pairs of δ_ur + d_M(r, r') + δ_r'v,
+    // memoising each pair's meta distance so pass 2 reads the scratch row
+    // instead of hitting the store a second time.
     let mut upper_bound = INFINITE_DISTANCE;
+    let mut meta_memo: Vec<Distance> = Vec::with_capacity(source_label.len() * target_label.len());
     for &(r, du) in source_label {
         for &(rp, dv) in target_label {
             let dm = store.meta_distance(r, rp);
+            meta_memo.push(dm);
             if dm == INFINITE_DISTANCE {
                 continue;
             }
@@ -136,13 +140,17 @@ pub fn compute<S: IndexStore>(
     }
 
     // Pass 2: collect every pair achieving the minimum and assemble the
-    // sketch edges (Algorithm 3, lines 7-13).
+    // sketch edges (Algorithm 3, lines 7-13). Meta edges are collected
+    // unconditionally and deduplicated once at the end — the final sorted
+    // unique list is the same as the old linear-scan dedupe produced,
+    // without its O(edges²) worst case.
     let mut source_hops: Vec<SketchHop> = Vec::new();
     let mut target_hops: Vec<SketchHop> = Vec::new();
     let mut meta_edges: Vec<(usize, usize, Distance)> = Vec::new();
+    let mut memo = meta_memo.iter();
     for &(r, du) in source_label {
         for &(rp, dv) in target_label {
-            let dm = store.meta_distance(r, rp);
+            let dm = *memo.next().expect("memo covers every label pair");
             if dm == INFINITE_DISTANCE || du + dm + dv != upper_bound {
                 continue;
             }
@@ -160,14 +168,11 @@ pub fn compute<S: IndexStore>(
                     distance: dv,
                 },
             );
-            store.for_each_shortest_meta_edge(r, rp, |edge| {
-                if !meta_edges.contains(&edge) {
-                    meta_edges.push(edge);
-                }
-            });
+            store.for_each_shortest_meta_edge(r, rp, |edge| meta_edges.push(edge));
         }
     }
     meta_edges.sort_unstable();
+    meta_edges.dedup();
 
     Sketch {
         source,

@@ -630,8 +630,8 @@ impl Wire for CacheStats {
 }
 
 impl Wire for EngineStats {
-    // six u64 counters + backend bool + cache presence byte.
-    const MIN_ENCODED_LEN: usize = 50;
+    // nine u64 counters + backend bool + cache presence byte.
+    const MIN_ENCODED_LEN: usize = 74;
 
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.num_vertices.to_le_bytes());
@@ -641,6 +641,9 @@ impl Wire for EngineStats {
         out.extend_from_slice(&self.requests.to_le_bytes());
         out.extend_from_slice(&self.batches.to_le_bytes());
         out.extend_from_slice(&self.errors.to_le_bytes());
+        out.extend_from_slice(&self.planner.dedup_hits.to_le_bytes());
+        out.extend_from_slice(&self.planner.labels_memoized.to_le_bytes());
+        out.extend_from_slice(&self.planner.fwd_levels_reused.to_le_bytes());
         self.cache.encode(out);
     }
 
@@ -653,6 +656,11 @@ impl Wire for EngineStats {
             requests: r.u64("engine requests")?,
             batches: r.u64("engine batches")?,
             errors: r.u64("engine errors")?,
+            planner: crate::plan::PlannerStats {
+                dedup_hits: r.u64("planner dedup hits")?,
+                labels_memoized: r.u64("planner labels memoized")?,
+                fwd_levels_reused: r.u64("planner fwd levels reused")?,
+            },
             cache: Option::<CacheStats>::decode(r)?,
         })
     }
@@ -771,6 +779,11 @@ mod tests {
             requests: 100,
             batches: 7,
             errors: 1,
+            planner: crate::plan::PlannerStats {
+                dedup_hits: 12,
+                labels_memoized: 34,
+                fwd_levels_reused: 56,
+            },
             cache: Some(cache),
         };
         assert_eq!(

@@ -1,0 +1,267 @@
+//! Differential coverage of the batch execution planner: for every
+//! generator family (shuffled-uniform, duplicated, source-clustered),
+//! `submit(batch)` with the planner enabled must be **bit-identical** to
+//! running the same requests one at a time on a fresh workspace, and to
+//! the planner-disabled fan-out — on the owned index, an mmap-backed
+//! `ViewStore`, and the compact `CompactStore`, with the answer cache
+//! cold and warm.
+
+use proptest::prelude::*;
+
+use qbs_core::request::{QueryOutcome, QueryRequest};
+use qbs_core::serialize::{self, MapMode};
+use qbs_core::store::IndexStore;
+use qbs_core::{CacheConfig, CompactStore, QbsConfig, QbsIndex, QueryEngine, QueryWorkspace};
+use qbs_gen::prelude::*;
+use qbs_graph::{Graph, VertexId};
+
+/// Deterministic mixing for the in-test shuffles — keeps the test free of
+/// any RNG dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The three batch generator families the planner must stay transparent
+/// on. Every family mixes query modes and splices one poisoned pair into
+/// the middle so the per-slot error path is always exercised.
+fn family_batch(family: u64, graph: &Graph, count: usize, seed: u64) -> Vec<QueryRequest> {
+    let n = graph.num_vertices();
+    let pairs = QueryWorkload::sample(graph, count.max(4), seed)
+        .pairs()
+        .to_vec();
+    let mut state = seed ^ 0xBADC_0FFE;
+    let mut requests: Vec<QueryRequest> = match family % 3 {
+        // Shuffled uniform: distinct pairs in adversarial (shuffled) order.
+        0 => {
+            let mut reqs: Vec<QueryRequest> = pairs
+                .iter()
+                .take(count)
+                .enumerate()
+                .map(|(i, &(u, v))| match i % 5 {
+                    0..=2 => QueryRequest::distance(u, v),
+                    3 => QueryRequest::path_graph(u, v),
+                    _ => QueryRequest::sketch(u, v),
+                })
+                .collect();
+            for i in (1..reqs.len()).rev() {
+                let j = (splitmix(&mut state) % (i as u64 + 1)) as usize;
+                reqs.swap(i, j);
+            }
+            reqs
+        }
+        // Duplicated: a handful of distinct pairs repeated many times,
+        // alternating orientation — the coalescer's home turf.
+        1 => {
+            let distinct: Vec<_> = pairs.iter().take((count / 4).max(1)).copied().collect();
+            (0..count)
+                .map(|i| {
+                    let (u, v) = distinct[i % distinct.len()];
+                    let (u, v) = if i % 2 == 0 { (u, v) } else { (v, u) };
+                    if i % 7 == 3 {
+                        QueryRequest::path_graph(u, v)
+                    } else {
+                        QueryRequest::distance(u, v)
+                    }
+                })
+                .collect()
+        }
+        // Source-clustered: a few hot sources fan out to many targets —
+        // the shared-forward-BFS's home turf.
+        _ => {
+            let hot: Vec<VertexId> = pairs.iter().take(3).map(|&(u, _)| u).collect();
+            (0..count)
+                .map(|i| {
+                    let s = hot[i % hot.len()];
+                    let mut t = pairs[(splitmix(&mut state) % pairs.len() as u64) as usize].1;
+                    if t == s {
+                        t = pairs[i % pairs.len()].0;
+                    }
+                    if t == s {
+                        t = if s == 0 { 1 } else { 0 };
+                    }
+                    // Half the cluster queries arrive target-first: the
+                    // planner must still root the group at the hot vertex.
+                    if i % 2 == 0 {
+                        QueryRequest::distance(s, t)
+                    } else {
+                        QueryRequest::distance(t, s)
+                    }
+                })
+                .collect()
+        }
+    };
+    let poison = n as VertexId;
+    requests.insert(requests.len() / 2, QueryRequest::distance(poison, 0));
+    requests.insert(requests.len() / 4, QueryRequest::path_graph(0, poison));
+    requests
+}
+
+/// One-at-a-time reference: a fresh engine-free execution per request.
+fn one_at_a_time<S: IndexStore>(store: &S, requests: &[QueryRequest]) -> Vec<QueryOutcome> {
+    let mut ws = QueryWorkspace::new();
+    requests
+        .iter()
+        .map(|req| qbs_core::execute_on(store, &mut ws, req))
+        .collect()
+}
+
+/// Planner-on and planner-off submits, cold and warm, must all match the
+/// one-at-a-time reference bit for bit.
+fn assert_planner_transparent<S: IndexStore>(store: &S, requests: &[QueryRequest], label: &str) {
+    let reference = one_at_a_time(store, requests);
+
+    for threads in [1usize, 3] {
+        let planned = QueryEngine::with_threads(store, threads).expect("engine");
+        let vanilla = QueryEngine::with_threads(store, threads)
+            .expect("engine")
+            .with_planner(false);
+        assert_eq!(
+            planned.submit(requests),
+            reference,
+            "{label}: planner-on diverged from one-at-a-time ({threads} threads)"
+        );
+        assert_eq!(
+            vanilla.submit(requests),
+            reference,
+            "{label}: planner-off diverged from one-at-a-time ({threads} threads)"
+        );
+    }
+
+    // Warm-cache pass: the first submit fills the cache, the second must
+    // serve bit-identical answers out of it through the planner.
+    let cached = QueryEngine::with_threads(store, 2)
+        .expect("engine")
+        .with_answer_cache(CacheConfig::default().admit_above(0));
+    assert_eq!(cached.submit(requests), reference, "{label}: cold cached");
+    assert_eq!(cached.submit(requests), reference, "{label}: warm cached");
+    let stats = cached.cache_stats().expect("cache attached");
+    assert!(
+        stats.hits > 0,
+        "{label}: warm pass hit the cache: {stats:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 18, ..ProptestConfig::default() })]
+
+    #[test]
+    fn planned_submit_is_bit_identical_across_families_and_backends(
+        family in 0u64..3,
+        vertices in 30usize..90,
+        landmarks in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let graph = barabasi_albert::generate(&BarabasiAlbertConfig {
+            vertices,
+            edges_per_vertex: 2,
+            seed,
+        });
+        let owned = QbsIndex::build(graph.clone(), QbsConfig::with_landmark_count(landmarks));
+        let requests = family_batch(family, &graph, 48, seed ^ 0xF00D);
+
+        // Owned backend.
+        assert_planner_transparent(&owned, &requests, "owned");
+
+        // Mmap view backend.
+        let dir = std::env::temp_dir().join(format!(
+            "qbs_batch_planner_{}_{}",
+            std::process::id(),
+            seed
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(format!("case_{family}_{vertices}_{landmarks}_{seed}.qbs2"));
+        serialize::save_to_file(&owned, &path).expect("save");
+        let view = serialize::open_store_from_file(&path, MapMode::Mmap).expect("map");
+        assert_planner_transparent(&view, &requests, "view");
+
+        // Compact backend.
+        let compact = CompactStore::new(owned.as_compact_view().expect("compact view"));
+        assert_planner_transparent(&compact, &requests, "compact");
+
+        // The three backends agree with each other, too.
+        let owned_outcomes = QueryEngine::with_threads(&owned, 2).expect("engine").submit(&requests);
+        prop_assert_eq!(
+            &owned_outcomes,
+            &QueryEngine::with_threads(&view, 2).expect("engine").submit(&requests)
+        );
+        prop_assert_eq!(
+            &owned_outcomes,
+            &QueryEngine::with_threads(&compact, 2).expect("engine").submit(&requests)
+        );
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+}
+
+/// Deterministic counter semantics on the paper's running example:
+/// duplicates are coalesced (and counted once per duplicate slot), labels
+/// of a hot source are memoized, and same-source runs reuse forward-BFS
+/// levels — while the answers stay exactly the vanilla ones.
+#[test]
+fn planner_counters_report_dedup_memoization_and_level_reuse() {
+    let owned = QbsIndex::build(
+        qbs_graph::fixtures::figure4_graph(),
+        QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+    );
+    // Source 6 is hot (appears in both orientations); (6, 11) repeats.
+    let requests = vec![
+        QueryRequest::distance(6, 11),
+        QueryRequest::distance(11, 6),
+        QueryRequest::distance(6, 11),
+        QueryRequest::distance(6, 12),
+        QueryRequest::distance(6, 13),
+        QueryRequest::distance(4, 6),
+        QueryRequest::sketch(7, 9),
+    ];
+    let engine = QueryEngine::with_threads(&owned, 1).expect("engine");
+    let outcomes = engine.submit(&requests);
+    assert_eq!(outcomes, one_at_a_time(&owned, &requests));
+
+    let stats = engine.planner_stats();
+    // (6,11), (11,6), (6,11) fold into one job: two duplicate slots.
+    assert_eq!(stats.dedup_hits, 2, "{stats:?}");
+    // Source 6 anchors a four-job run; its label is fetched once and
+    // memoized three times (the distinct targets never repeat).
+    assert!(stats.labels_memoized >= 3, "{stats:?}");
+    // Queries after the first in the run resume the retained forward BFS.
+    assert!(stats.fwd_levels_reused > 0, "{stats:?}");
+}
+
+/// Duplicate slots keep per-slot request accounting but the cache sees
+/// each distinct key once: one miss + one insertion cold, one hit warm —
+/// the documented duplicate-request stats rule.
+#[test]
+fn duplicate_slots_count_cache_traffic_once_per_distinct_key() {
+    let owned = QbsIndex::build(
+        qbs_graph::fixtures::figure4_graph(),
+        QbsConfig::with_explicit_landmarks(vec![1, 2, 3]),
+    );
+    let engine = QueryEngine::with_threads(&owned, 1)
+        .expect("engine")
+        .with_answer_cache(CacheConfig::default().admit_above(0));
+    let requests = vec![
+        QueryRequest::distance(6, 11),
+        QueryRequest::distance(11, 6),
+        QueryRequest::distance(6, 11),
+        QueryRequest::distance(6, 11),
+    ];
+    engine.submit(&requests);
+    let cold = engine.cache_stats().expect("cache");
+    assert_eq!(
+        (cold.hits, cold.misses, cold.insertions),
+        (0, 1, 1),
+        "four duplicate slots, one distinct key: {cold:?}"
+    );
+    engine.submit(&requests);
+    let warm = engine.cache_stats().expect("cache");
+    assert_eq!(
+        (warm.hits, warm.misses, warm.insertions),
+        (1, 1, 1),
+        "warm pass looks the key up once: {warm:?}"
+    );
+}

@@ -45,6 +45,54 @@ impl QueryWorkload {
         QueryWorkload { pairs, seed }
     }
 
+    /// Samples `count` pairs with Zipf-distributed endpoint popularity —
+    /// the skewed serving traffic the batch execution planner targets.
+    ///
+    /// Both endpoints are drawn independently from a Zipf distribution with
+    /// the given `exponent` over all vertices (endpoints forced to differ,
+    /// as in [`QueryWorkload::sample`]). Rank is decoupled from vertex id by
+    /// a seeded shuffle, so the hot head is a *random* set of vertices
+    /// rather than the low ids — on preferential-attachment graphs the low
+    /// ids are the hubs the landmark selection already absorbs, and a
+    /// popularity skew aligned with them would be the easy case.
+    ///
+    /// Exponents around `1.0` give a long-tailed workload; `1.5` makes the
+    /// head heavy enough that a 256-query batch repeats sources (and whole
+    /// pairs) many times over.
+    pub fn sample_zipf(graph: &Graph, count: usize, seed: u64, exponent: f64) -> Self {
+        let n = graph.num_vertices();
+        let mut rng = seeded_rng(seed);
+        let mut pairs = Vec::with_capacity(count);
+        if n >= 2 {
+            // Rank → vertex map: a Fisher–Yates shuffle of the id space.
+            let mut by_rank: Vec<VertexId> = (0..n as VertexId).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..i + 1);
+                by_rank.swap(i, j);
+            }
+            // Inverse-CDF table over harmonic weights rank^-exponent.
+            let mut cdf = Vec::with_capacity(n);
+            let mut total = 0.0f64;
+            for rank in 0..n {
+                total += ((rank + 1) as f64).powf(-exponent);
+                cdf.push(total);
+            }
+            let draw = |rng: &mut rand::rngs::SmallRng| -> VertexId {
+                let x = rng.gen_range(0.0..total);
+                let rank = cdf.partition_point(|&c| c <= x).min(n - 1);
+                by_rank[rank]
+            };
+            while pairs.len() < count {
+                let u = draw(&mut rng);
+                let v = draw(&mut rng);
+                if u != v {
+                    pairs.push((u, v));
+                }
+            }
+        }
+        QueryWorkload { pairs, seed }
+    }
+
     /// Samples `count` pairs that are connected in `graph`.
     ///
     /// Gives up (returning fewer pairs) if connected pairs are so rare that
@@ -144,6 +192,28 @@ mod tests {
             QueryWorkload::sample(&g, 100, 1),
             QueryWorkload::sample(&g, 100, 2)
         );
+    }
+
+    #[test]
+    fn zipf_sampling_is_skewed_deterministic_and_in_range() {
+        let g = structured::grid(30, 30);
+        let w = QueryWorkload::sample_zipf(&g, 512, 9, 1.5);
+        assert_eq!(w.len(), 512);
+        assert!(w.pairs().iter().all(|&(u, v)| u != v));
+        assert!(w
+            .pairs()
+            .iter()
+            .all(|&(u, v)| (u as usize) < g.num_vertices() && (v as usize) < g.num_vertices()));
+        assert_eq!(w, QueryWorkload::sample_zipf(&g, 512, 9, 1.5));
+        assert_ne!(w, QueryWorkload::sample_zipf(&g, 512, 10, 1.5));
+        // Exponent 1.5 puts ≈38% of the mass on the head rank; the hottest
+        // source must dominate far beyond the uniform expectation (≲3).
+        let mut counts = std::collections::HashMap::new();
+        for &(u, _) in w.pairs() {
+            *counts.entry(u).or_insert(0u32) += 1;
+        }
+        let hottest = counts.values().max().copied().unwrap();
+        assert!(hottest >= 64, "expected a hot head, got {hottest}/512");
     }
 
     #[test]

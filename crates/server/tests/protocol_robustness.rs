@@ -269,6 +269,11 @@ fn stats_payload_truncation_sweep() {
             requests: u64::MAX / 2,
             batches: 12_345,
             errors: 17,
+            planner: qbs_core::PlannerStats {
+                dedup_hits: 9,
+                labels_memoized: 8,
+                fwd_levels_reused: 7,
+            },
             cache: Some(qbs_core::CacheStats {
                 hits: 1,
                 misses: 2,
