@@ -5,7 +5,7 @@
 //!
 //! which:    table1 | table2 | table3 | fig7 | fig8 | fig9 | fig10 | fig11 |
 //!           traversal | ablation | viewserve | compactserve | mixedbatch |
-//!           batchplan | netserve | all
+//!           batchplan | netserve | routed | all
 //!
 //! options:
 //!   --scale tiny|small|medium|large   dataset scale          (default: small)
@@ -161,6 +161,17 @@ fn main() -> ExitCode {
         drift |= !r.all_ok();
         outputs.insert("netserve", (r.render(), serde_json::to_value(&r).unwrap()));
     }
+    if which == "routed" {
+        let r = match experiments::routed_serving(&config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: routed failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        drift |= !r.all_ok();
+        outputs.insert("routed", (r.render(), serde_json::to_value(&r).unwrap()));
+    }
 
     if outputs.is_empty() {
         eprintln!("error: unknown experiment '{which}'\n");
@@ -190,7 +201,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|viewserve|compactserve|mixedbatch|batchplan|netserve|all> \
+        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|viewserve|compactserve|mixedbatch|batchplan|netserve|routed|all> \
          [--scale tiny|small|medium|large] [--queries N] [--landmarks N] \
          [--sweep a,b,c] [--datasets DO,DB,...] [--out DIR]"
     );

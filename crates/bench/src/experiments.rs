@@ -1673,6 +1673,226 @@ fn connect_ready(addr: &str) -> Option<qbs_server::QbsClient> {
 }
 
 // ---------------------------------------------------------------------------
+// Routed serving — scatter/gather router differential (CI tripwire)
+// ---------------------------------------------------------------------------
+
+/// Routed-serving result for one dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoutedServingRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Replicas the router started with.
+    pub replicas: usize,
+    /// Requests in each mixed batch (incl. the poisoned pair).
+    pub requests_per_batch: usize,
+    /// Whether the cold-cache pass was bit-identical to local
+    /// `Qbs::submit`, poisoned pair included.
+    pub identical_cold: bool,
+    /// Whether the warm re-run (cached answers on the replicas) still
+    /// merged bit-identically.
+    pub identical_warm: bool,
+    /// Whether answers stayed bit-identical after one replica was killed
+    /// mid-run (sub-batches failed over to the survivor).
+    pub failover_identical: bool,
+    /// Slots the router filled with `Unavailable` across the whole run
+    /// (must be 0: a survivor was always up).
+    pub unavailable_slots: u64,
+    /// Sub-batches the router scattered (> batches proves scattering).
+    pub subbatches: u64,
+    /// Batches routed end to end.
+    pub batches_routed: u64,
+    /// Routed throughput over loopback, requests/sec.
+    pub routed_rps: f64,
+    /// In-process `Qbs::submit` throughput on the same batches, req/sec.
+    pub inprocess_rps: f64,
+}
+
+/// The routed-serving differential: a real `qbs-router` over replica
+/// `qbs-server`s on ephemeral loopback ports, hit with mixed batches
+/// (one poisoned pair each) cold and warm, diffed bit-for-bit against
+/// local `Qbs::submit`, then re-diffed after a replica kill. CI runs
+/// this at tiny scale in bench-smoke and fails the pipeline on drift.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoutedServing {
+    /// One row per dataset.
+    pub rows: Vec<RoutedServingRow>,
+}
+
+impl RoutedServing {
+    /// Whether every dataset routed identically in all three regimes and
+    /// never shed a slot.
+    pub fn all_ok(&self) -> bool {
+        self.rows.iter().all(|r| {
+            r.identical_cold && r.identical_warm && r.failover_identical && r.unavailable_slots == 0
+        })
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Routed serving: scatter/gather router vs local Qbs::submit",
+            &[
+                "Dataset",
+                "replicas",
+                "req/batch",
+                "sub/batches",
+                "routed rps",
+                "in-proc rps",
+                "cold",
+                "warm",
+                "failover",
+                "shed slots",
+            ],
+        );
+        for r in &self.rows {
+            let yes_no = |ok: bool| if ok { "yes".to_string() } else { "NO".into() };
+            t.add_row(vec![
+                r.dataset.clone(),
+                fmt_count(r.replicas),
+                fmt_count(r.requests_per_batch),
+                format!("{}/{}", r.subbatches, r.batches_routed),
+                format!("{:.0}", r.routed_rps),
+                format!("{:.0}", r.inprocess_rps),
+                yes_no(r.identical_cold),
+                yes_no(r.identical_warm),
+                yes_no(r.failover_identical),
+                fmt_count(r.unavailable_slots as usize),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Runs the routed-serving differential: build → save v2 → start replica
+/// servers (mmap sessions over the shared file) → route mixed batches
+/// through a `qbs-router`, cold and warm, diffed against local submit →
+/// kill one replica and diff again.
+pub fn routed_serving(config: &ExperimentConfig) -> Result<RoutedServing, QbsError> {
+    use qbs_router::{QbsRouter, RouterConfig};
+    use qbs_server::{QbsServer, ServerConfig};
+
+    const REPLICAS: usize = 2;
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qbs_bench_routed_serving_{}_{nonce}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let rows = config
+        .specs()
+        .iter()
+        .map(|spec| {
+            let graph = config.graph_for(spec);
+            let workload = config.workload_for(&graph);
+            let owned =
+                QbsIndex::try_build(graph, QbsConfig::with_landmark_count(config.landmark_count))?;
+            let num_vertices = owned.graph().num_vertices();
+            let requests = mixed_requests(workload.pairs(), num_vertices);
+            let path = dir.join(format!("{}.qbs2", spec.id.abbrev()));
+            qbs_core::serialize::save_to_file(&owned, &path)?;
+            drop(owned);
+
+            // Each replica is its own mmap session with an answer cache, so
+            // the warm pass exercises merged cached answers.
+            let start_replica = || -> Result<qbs_server::ServerHandle, QbsError> {
+                let qbs = qbs_core::Qbs::open(&path, qbs_core::MapMode::Mmap)?
+                    .with_threads(2)?
+                    .with_cache(qbs_core::CacheConfig::default());
+                QbsServer::start(std::sync::Arc::new(qbs), ServerConfig::default().workers(2))
+                    .map_err(QbsError::Io)
+            };
+            let mut replicas: Vec<qbs_server::ServerHandle> = (0..REPLICAS)
+                .map(|_| start_replica())
+                .collect::<Result<_, _>>()?;
+            // min_split small enough that the mixed batch genuinely
+            // scatters across the pool.
+            let router = QbsRouter::start(
+                RouterConfig::bind("127.0.0.1:0")
+                    .replicas(
+                        replicas
+                            .iter()
+                            .map(|r| r.local_addr().to_string())
+                            .collect(),
+                    )
+                    .min_split((requests.len() / (2 * REPLICAS)).max(1)),
+            )
+            .map_err(QbsError::Io)?;
+            let addr = router.local_addr().to_string();
+
+            // Local reference session, same thread budget as the replicas.
+            let local = qbs_core::Qbs::open(&path, qbs_core::MapMode::Mmap)?.with_threads(2)?;
+            let expected = local.submit(&requests);
+
+            let mut client = connect_ready(&addr)
+                .ok_or_else(|| QbsError::Io(std::io::Error::other("no router within 10s")))?;
+            let diff_pass = |client: &mut qbs_server::QbsClient| -> Result<bool, QbsError> {
+                let reply = client.submit(&requests).map_err(protocol_to_qbs)?;
+                Ok(reply.outcomes() == Some(&expected[..]))
+            };
+            let identical_cold = diff_pass(&mut client)?;
+            let identical_warm = diff_pass(&mut client)?;
+
+            // Throughput: pipelined routed batches vs in-process submit.
+            const ROUNDS: usize = 8;
+            let t0 = Instant::now();
+            let mut window = std::collections::VecDeque::new();
+            for _ in 0..ROUNDS {
+                if window.len() >= 4 {
+                    client
+                        .recv(window.pop_front().expect("window"))
+                        .map_err(protocol_to_qbs)?;
+                }
+                window.push_back(client.send(&requests).map_err(protocol_to_qbs)?);
+            }
+            while let Some(ticket) = window.pop_front() {
+                client.recv(ticket).map_err(protocol_to_qbs)?;
+            }
+            let routed_rps = (ROUNDS * requests.len()) as f64
+                / t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+            let t0 = Instant::now();
+            for _ in 0..ROUNDS {
+                local.submit(&requests);
+            }
+            let inprocess_rps = (ROUNDS * requests.len()) as f64
+                / t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+
+            // Failover: kill one replica, the survivor must still produce
+            // bit-identical answers (retries absorb the dead sub-batches).
+            let mut victim = replicas.remove(0);
+            victim.shutdown();
+            drop(victim);
+            let failover_identical = diff_pass(&mut client)?;
+
+            let router_stats = router.router_stats();
+            drop(client);
+            drop(router);
+            for mut replica in replicas {
+                replica.shutdown();
+            }
+            std::fs::remove_file(&path).ok();
+            Ok(RoutedServingRow {
+                dataset: spec.id.name().to_string(),
+                replicas: REPLICAS,
+                requests_per_batch: requests.len(),
+                identical_cold,
+                identical_warm,
+                failover_identical,
+                unavailable_slots: router_stats.unavailable_slots,
+                subbatches: router_stats.subbatches,
+                batches_routed: router_stats.batches_routed,
+                routed_rps,
+                inprocess_rps,
+            })
+        })
+        .collect::<Result<Vec<_>, QbsError>>()?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(RoutedServing { rows })
+}
+
+// ---------------------------------------------------------------------------
 // Ablations — landmark strategy and parallel speed-up
 // ---------------------------------------------------------------------------
 

@@ -90,7 +90,27 @@ pub enum Command {
         /// Answer-cache capacity; `None` serves uncached.
         cache: Option<usize>,
     },
-    /// Talk to a running `qbs serve` instance.
+    /// Route client batches across a pool of running `qbs serve`
+    /// replicas (`qbs-router`): scatter/gather with health-checked
+    /// failover, until a SIGINT/SIGTERM or a client `Shutdown` frame
+    /// drains it.
+    Route {
+        /// Bind address of the router's own listener (`--port P` is
+        /// shorthand for `127.0.0.1:P`).
+        addr: String,
+        /// Backend replica addresses (one `--replica H:P` each).
+        replicas: Vec<String>,
+        /// Gather worker threads (default 4); bounds concurrently routed
+        /// batches.
+        workers: Option<usize>,
+        /// Admission bound on concurrently executing requests.
+        max_inflight: usize,
+        /// Admission cap on requests per batch frame.
+        max_batch: usize,
+        /// Admission bound on concurrently served connections.
+        max_connections: usize,
+    },
+    /// Talk to a running `qbs serve` (or `qbs route`) instance.
     Client {
         /// Server address (`host:port`).
         addr: String,
@@ -145,8 +165,12 @@ pub enum ClientAction {
     /// Fetch and print the server's serving + admission counters
     /// (`--stats` with no query arguments).
     Stats,
-    /// Measure one protocol round trip (`--ping`).
-    Ping,
+    /// Measure protocol round-trip latency (`--ping [--count N]`):
+    /// min/p50/max over `count` pings.
+    Ping {
+        /// Number of round trips to measure (default 5).
+        count: usize,
+    },
     /// Ask the server to drain and exit (`--shutdown`).
     Shutdown,
 }
@@ -176,9 +200,12 @@ commands:
   serve    --index FILE [--mmap] [--addr H:P | --port P] [--threads N]
            [--workers W] [--max-inflight M] [--max-batch B]
            [--max-connections C] [--cache N]
+  route    --replica H:P [--replica H:P ...] [--addr H:P | --port P]
+           [--workers W] [--max-inflight M] [--max-batch B]
+           [--max-connections C]
   client   --addr H:P --pairs FILE [--mode M] [--stats] [--format F]
   client   --addr H:P --source U --target V [--mode M] [--format F]
-  client   --addr H:P (--stats | --ping | --shutdown)
+  client   --addr H:P (--stats | --ping [--count N] | --shutdown)
   client options also accept [--protocol v1|v2] (default: negotiate v2)
   stats    --index FILE
   inspect  --index FILE
@@ -215,8 +242,17 @@ drains in-flight batches and tears down cleanly. Work beyond
 `--max-inflight`/`--max-batch` gets a typed busy reply, never a hang.
 `client` submits batches against a running server with the same
 rendering as a local `query`; `--stats` alone prints the server's
-serving and admission counters. `--protocol v1` pins the connection to
-the FIFO v1 framing instead of negotiating up to the pipelined v2.
+serving and admission counters. `--ping` measures round-trip latency
+(min/p50/max over `--count N` pings, default 5). `--protocol v1` pins
+the connection to the FIFO v1 framing instead of negotiating up to the
+pipelined v2.
+
+`route` runs the replicated scatter/gather tier (docs/router.md): it
+speaks the same protocol as `serve`, splits each batch across the
+least-loaded healthy replicas, retries sheds and failures onto other
+replicas, and ejects unhealthy replicas with backoff. Answers are
+bit-identical to a single replica; `client --stats` against a router
+additionally prints per-replica routing counters.
 ";
 
 /// Default bind host for `serve --port`.
@@ -226,12 +262,17 @@ const DEFAULT_HOST: &str = "127.0.0.1";
 /// given.
 const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7411";
 
+/// Default `route` bind address when neither `--addr` nor `--port` is
+/// given — one below the serve port, so a router and a replica co-exist
+/// on one host with the defaults.
+const DEFAULT_ROUTE_ADDR: &str = "127.0.0.1:7410";
+
 /// Parses an argument vector (excluding the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let Some(command) = args.first() else {
         return Ok(Command::Help);
     };
-    let options = collect_options(&args[1..])?;
+    let (options, replicas) = collect_options(&args[1..])?;
     let get = |key: &str| options.get(key).cloned();
     let require = |key: &str| {
         get(key).ok_or_else(|| ParseError(format!("{command}: missing required option --{key}")))
@@ -363,6 +404,42 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .transpose()?,
             })
         }
+        "route" => {
+            let addr = match (get("addr"), get("port")) {
+                (Some(_), Some(_)) => {
+                    return Err(ParseError("route: pass --addr or --port, not both".into()))
+                }
+                (Some(addr), None) => addr,
+                (None, Some(port)) => {
+                    format!("{DEFAULT_HOST}:{}", parse_number(&port, "port")?)
+                }
+                (None, None) => DEFAULT_ROUTE_ADDR.to_string(),
+            };
+            if replicas.is_empty() {
+                return Err(ParseError(
+                    "route: pass at least one --replica H:P (a running `qbs serve`)".into(),
+                ));
+            }
+            Ok(Command::Route {
+                addr,
+                replicas,
+                workers: get("workers")
+                    .map(|s| parse_number(&s, "workers"))
+                    .transpose()?,
+                max_inflight: get("max-inflight")
+                    .map(|s| parse_number(&s, "max-inflight"))
+                    .transpose()?
+                    .unwrap_or(4_096),
+                max_batch: get("max-batch")
+                    .map(|s| parse_number(&s, "max-batch"))
+                    .transpose()?
+                    .unwrap_or(4_096),
+                max_connections: get("max-connections")
+                    .map(|s| parse_number(&s, "max-connections"))
+                    .transpose()?
+                    .unwrap_or(128),
+            })
+        }
         "client" => {
             let addr = require("addr")?;
             let force_v1 = match get("protocol").as_deref() {
@@ -395,7 +472,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             let action = if options.contains_key("ping") {
                 ensure_no_query(has_query, "--ping")?;
-                ClientAction::Ping
+                let count = get("count")
+                    .map(|s| parse_number(&s, "count"))
+                    .transpose()?
+                    .unwrap_or(5);
+                if count == 0 {
+                    return Err(ParseError("client: --count must be at least 1".into()));
+                }
+                ClientAction::Ping { count }
             } else if options.contains_key("shutdown") {
                 ensure_no_query(has_query, "--shutdown")?;
                 ClientAction::Shutdown
@@ -451,8 +535,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
 }
 
 /// Collects `--key value` pairs; bare flags (like `--sequential`) map to "".
-fn collect_options(args: &[String]) -> Result<BTreeMap<String, String>, ParseError> {
+/// `--replica` is the one repeatable option — each occurrence appends to
+/// the returned list instead of overwriting the previous value.
+fn collect_options(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<String>), ParseError> {
     let mut options = BTreeMap::new();
+    let mut replicas = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
@@ -469,11 +556,15 @@ fn collect_options(args: &[String]) -> Result<BTreeMap<String, String>, ParseErr
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| ParseError(format!("missing value for --{key}")))?;
-            options.insert(key.to_string(), value.clone());
+            if key == "replica" {
+                replicas.push(value.clone());
+            } else {
+                options.insert(key.to_string(), value.clone());
+            }
             i += 2;
         }
     }
-    Ok(options)
+    Ok((options, replicas))
 }
 
 /// Rejects query arguments combined with a control flag.
@@ -967,10 +1058,24 @@ mod tests {
         assert!(matches!(
             parse(&args(&["client", "--addr", "h:1", "--ping"])).unwrap(),
             Command::Client {
-                action: ClientAction::Ping,
+                action: ClientAction::Ping { count: 5 },
                 ..
             }
         ));
+        assert!(matches!(
+            parse(&args(&[
+                "client", "--addr", "h:1", "--ping", "--count", "32"
+            ]))
+            .unwrap(),
+            Command::Client {
+                action: ClientAction::Ping { count: 32 },
+                ..
+            }
+        ));
+        assert!(parse(&args(&[
+            "client", "--addr", "h:1", "--ping", "--count", "0"
+        ]))
+        .is_err());
         assert!(matches!(
             parse(&args(&["client", "--addr", "h:1", "--shutdown"])).unwrap(),
             Command::Client {
@@ -990,6 +1095,63 @@ mod tests {
         .is_err());
         assert!(parse(&args(&[
             "client", "--addr", "h:1", "--pairs", "p", "--source", "1", "--target", "2"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn route_collects_repeated_replicas() {
+        let parsed = parse(&args(&[
+            "route",
+            "--replica",
+            "10.0.0.1:7411",
+            "--replica",
+            "10.0.0.2:7411",
+            "--replica",
+            "10.0.0.3:7411",
+            "--port",
+            "7410",
+            "--workers",
+            "8",
+        ]))
+        .unwrap();
+        match parsed {
+            Command::Route {
+                addr,
+                replicas,
+                workers,
+                max_inflight,
+                max_batch,
+                max_connections,
+            } => {
+                assert_eq!(addr, "127.0.0.1:7410");
+                assert_eq!(
+                    replicas,
+                    vec!["10.0.0.1:7411", "10.0.0.2:7411", "10.0.0.3:7411"]
+                );
+                assert_eq!(workers, Some(8));
+                assert_eq!(
+                    (max_inflight, max_batch, max_connections),
+                    (4096, 4096, 128)
+                );
+            }
+            other => panic!("expected Route, got {other:?}"),
+        }
+        // Defaults: the route port, one replica.
+        assert!(matches!(
+            parse(&args(&["route", "--replica", "h:1"])).unwrap(),
+            Command::Route { addr, .. } if addr == "127.0.0.1:7410"
+        ));
+        // No replicas, or both --addr and --port: rejected.
+        assert!(parse(&args(&["route"])).is_err());
+        assert!(parse(&args(&[
+            "route",
+            "--replica",
+            "h:1",
+            "--addr",
+            "a:2",
+            "--port",
+            "3"
         ]))
         .is_err());
     }

@@ -14,6 +14,7 @@ use qbs_core::{
 };
 use qbs_gen::catalog::Catalog;
 use qbs_graph::{io, Graph, VertexId};
+use qbs_router::{QbsRouter, RouterConfig, RouterHandle};
 use qbs_server::{
     signal, AdmissionConfig, BatchReply, ClientConfig, ProtocolError, QbsClient, QbsServer,
     ServerConfig, ServerHandle,
@@ -197,6 +198,28 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             let stats = handle.stats();
             Ok(format!("server drained and stopped\n{stats}"))
         }
+        Command::Route { replicas, .. } => {
+            let mut handle = start_router(command)?;
+            // Same banner discipline as `serve`: reach scripts before the
+            // blocking wait, and never panic on a closed stdout pipe.
+            let _ = writeln!(
+                std::io::stdout(),
+                "qbs-router listening on {} over {} replica(s)",
+                handle.local_addr(),
+                replicas.len()
+            );
+            std::io::stdout().flush().ok();
+            let termination = signal::termination_flag();
+            let latch = handle.signal();
+            while !latch.is_shutdown() && !termination.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            handle.shutdown();
+            // The router's own counters need no replica round-trips, so
+            // the drain report stays cheap even when replicas are gone.
+            let stats = handle.router_stats();
+            Ok(format!("router drained and stopped\n{stats}"))
+        }
         Command::Client {
             addr,
             force_v1,
@@ -205,11 +228,19 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             let config = ClientConfig::default().force_v1(*force_v1);
             let mut client = QbsClient::connect_with(addr, config)?;
             match action {
-                ClientAction::Ping => {
-                    let latency = client.ping()?;
+                ClientAction::Ping { count } => {
+                    let mut latencies = Vec::with_capacity(*count);
+                    for _ in 0..*count {
+                        latencies.push(client.ping()?);
+                    }
+                    latencies.sort_unstable();
+                    let ms = |d: &Duration| d.as_secs_f64() * 1e3;
                     Ok(format!(
-                        "pong from {addr} in {:.3}ms",
-                        latency.as_secs_f64() * 1e3
+                        "pong from {addr}: {count} round trip(s), \
+                         min {:.3}ms / p50 {:.3}ms / max {:.3}ms",
+                        ms(&latencies[0]),
+                        ms(&latencies[(latencies.len() - 1) / 2]),
+                        ms(latencies.last().expect("count >= 1")),
                     ))
                 }
                 ClientAction::Shutdown => {
@@ -446,6 +477,32 @@ pub fn start_server(command: &Command) -> Result<(ServerHandle, Arc<Qbs>), Comma
     };
     let handle = QbsServer::start(Arc::clone(&qbs), config).map_err(CommandError::Io)?;
     Ok((handle, qbs))
+}
+
+/// Starts the scatter/gather router for a [`Command::Route`] invocation.
+/// Split from `run` for the same reason as [`start_server`]: tests drive a
+/// real router on an ephemeral port without the blocking wait loop.
+pub fn start_router(command: &Command) -> Result<RouterHandle, CommandError> {
+    let Command::Route {
+        addr,
+        replicas,
+        workers,
+        max_inflight,
+        max_batch,
+        max_connections,
+    } = command
+    else {
+        unreachable!("start_router is only called with Command::Route");
+    };
+    let config = RouterConfig::bind(addr.clone())
+        .replicas(replicas.clone())
+        .workers(workers.unwrap_or(4))
+        .admission(AdmissionConfig {
+            max_inflight: *max_inflight,
+            max_batch: *max_batch,
+            max_connections: *max_connections,
+        });
+    QbsRouter::start(config).map_err(CommandError::Io)
 }
 
 /// Implements the index arm of `convert`: materialises the source index
@@ -1313,10 +1370,14 @@ mod tests {
         let pong = run(&Command::Client {
             addr: addr.clone(),
             force_v1: false,
-            action: ClientAction::Ping,
+            action: ClientAction::Ping { count: 3 },
         })
         .expect("ping");
         assert!(pong.starts_with("pong from "), "{pong}");
+        assert!(
+            pong.contains("3 round trip(s)") && pong.contains("p50"),
+            "--ping reports a min/p50/max summary: {pong}"
+        );
 
         let stats = run(&Command::Client {
             addr: addr.clone(),
@@ -1344,9 +1405,127 @@ mod tests {
         let refused = run(&Command::Client {
             addr: addr.clone(),
             force_v1: false,
-            action: ClientAction::Ping,
+            action: ClientAction::Ping { count: 1 },
         });
         assert!(matches!(refused, Err(CommandError::Protocol(_))));
+    }
+
+    #[test]
+    fn route_and_client_roundtrip_over_loopback() {
+        let dir = temp_dir("route");
+        let graph_path = dir.join("g.qbsg");
+        let index_path = dir.join("g.qbs2");
+        run(&Command::Generate {
+            dataset: DatasetId::Douban,
+            scale: Scale::Tiny,
+            out: graph_path.clone(),
+        })
+        .expect("generate");
+        run(&Command::Build {
+            graph: graph_path,
+            landmarks: 8,
+            sequential: false,
+            out: index_path.clone(),
+            format: IndexFormat::Binary,
+            profile: IndexProfile::Wide,
+        })
+        .expect("build");
+        let pairs_path = dir.join("pairs.txt");
+        std::fs::write(&pairs_path, "1 5\n999999 0\n2 9\n0 3\n").expect("write pairs");
+
+        // Two replicas on ephemeral ports, then a router spanning them.
+        let serve = |_| Command::Serve {
+            index: index_path.clone(),
+            mmap: true,
+            addr: "127.0.0.1:0".into(),
+            threads: Some(2),
+            workers: Some(2),
+            max_inflight: 256,
+            max_batch: 256,
+            max_connections: 32,
+            cache: None,
+        };
+        let replicas: Vec<(ServerHandle, Arc<Qbs>)> = (0..2)
+            .map(|i| start_server(&serve(i)).expect("start replica"))
+            .collect();
+        let route = Command::Route {
+            addr: "127.0.0.1:0".into(),
+            replicas: replicas
+                .iter()
+                .map(|(h, _)| h.local_addr().to_string())
+                .collect(),
+            workers: Some(2),
+            max_inflight: 256,
+            max_batch: 256,
+            max_connections: 32,
+        };
+        let mut router = start_router(&route).expect("start router");
+        let addr = router.local_addr().to_string();
+
+        // A routed batch renders line-for-line like a local query (the
+        // poisoned pair included) — the bit-identity contract, end to end
+        // through the CLI.
+        let routed = run(&Command::Client {
+            addr: addr.clone(),
+            force_v1: false,
+            action: ClientAction::Query {
+                source: None,
+                target: None,
+                pairs: Some(pairs_path.clone()),
+                mode: QueryMode::PathGraph,
+                stats: false,
+                json: false,
+            },
+        })
+        .expect("routed batch");
+        let local = run(&Command::Query {
+            index: index_path.clone(),
+            source: None,
+            target: None,
+            pairs: Some(pairs_path),
+            threads: Some(2),
+            from_view: true,
+            mmap: true,
+            mode: QueryMode::PathGraph,
+            stats: false,
+            cache: None,
+            json: false,
+        })
+        .expect("local batch");
+        let answers = |report: &str| -> Vec<String> {
+            report
+                .lines()
+                .filter(|l| !l.starts_with("answered") && !l.starts_with("cache:"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(answers(&routed), answers(&local), "routed answers diverged");
+        assert!(routed.contains("error: vertex 999999 out of range"));
+
+        // `--stats` against the router renders the aggregated router
+        // section alongside the merged engine counters.
+        let stats = run(&Command::Client {
+            addr: addr.clone(),
+            force_v1: false,
+            action: ClientAction::Stats,
+        })
+        .expect("stats");
+        assert!(stats.contains("router:"), "{stats}");
+        assert!(stats.contains("replica 127.0.0.1:"), "{stats}");
+
+        // Ping travels through the router reactor like any other frame.
+        let pong = run(&Command::Client {
+            addr,
+            force_v1: false,
+            action: ClientAction::Ping { count: 2 },
+        })
+        .expect("ping");
+        assert!(pong.contains("2 round trip(s)"), "{pong}");
+
+        router.shutdown();
+        for (mut handle, _) in replicas {
+            handle.shutdown();
+        }
     }
 
     #[test]

@@ -86,7 +86,7 @@ pub use session::{EngineStats, Qbs, QbsBackend};
 pub use sketch::{Sketch, SketchBounds};
 pub use stats::IndexStats;
 pub use store::{CompactStore, IndexStore, ViewStore};
-pub use wire::{RequestId, Wire, WireError};
+pub use wire::{ReplicaStats, RequestId, RouterStats, Wire, WireError};
 pub use workspace::QueryWorkspace;
 
 /// Result alias for fallible QbS operations.

@@ -183,6 +183,15 @@ pub enum RequestError {
         /// Number of vertices in the indexed graph.
         num_vertices: u64,
     },
+    /// No serving backend could answer the request. Produced only by the
+    /// scatter/gather routing tier (`qbs route`) when every replica a
+    /// request was offered to failed or refused it — a local
+    /// `Qbs::submit` never emits this variant, which is what keeps routed
+    /// answers bit-identical to local ones whenever replicas are up.
+    Unavailable {
+        /// Why the routing tier gave up (last failure seen).
+        reason: String,
+    },
 }
 
 impl fmt::Display for RequestError {
@@ -195,6 +204,9 @@ impl fmt::Display for RequestError {
                 f,
                 "vertex {vertex} out of range for indexed graph with {num_vertices} vertices"
             ),
+            RequestError::Unavailable { reason } => {
+                write!(f, "no replica available: {reason}")
+            }
         }
     }
 }
@@ -211,6 +223,10 @@ impl From<RequestError> for QbsError {
                 vertex,
                 num_vertices,
             },
+            RequestError::Unavailable { reason } => QbsError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                reason,
+            )),
         }
     }
 }

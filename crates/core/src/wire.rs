@@ -309,8 +309,9 @@ impl Wire for QueryRequest {
 }
 
 impl Wire for RequestError {
-    // tag u8 + vertex u64 + num_vertices u64.
-    const MIN_ENCODED_LEN: usize = 17;
+    // tag u8 + the smallest variant payload (`Unavailable` with an empty
+    // reason: a 4-byte string length).
+    const MIN_ENCODED_LEN: usize = 5;
 
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -322,6 +323,10 @@ impl Wire for RequestError {
                 out.extend_from_slice(&vertex.to_le_bytes());
                 out.extend_from_slice(&num_vertices.to_le_bytes());
             }
+            RequestError::Unavailable { reason } => {
+                out.push(1);
+                reason.encode(out);
+            }
         }
     }
 
@@ -330,6 +335,9 @@ impl Wire for RequestError {
             0 => Ok(RequestError::VertexOutOfRange {
                 vertex: r.u64("out-of-range vertex")?,
                 num_vertices: r.u64("vertex count")?,
+            }),
+            1 => Ok(RequestError::Unavailable {
+                reason: String::decode(r)?,
             }),
             tag => Err(WireError::BadTag {
                 what: "request error",
@@ -666,6 +674,134 @@ impl Wire for EngineStats {
     }
 }
 
+/// Per-replica counters of the scatter/gather routing tier, one entry per
+/// configured backend replica. Rides inside [`RouterStats`] on the wire.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// The replica's dial address (`host:port`).
+    pub addr: String,
+    /// Whether the health subsystem currently considers the replica
+    /// servable (not ejected).
+    pub healthy: bool,
+    /// Requests routed to this replica (admitted sub-batches only).
+    pub requests: u64,
+    /// Sub-batches routed to this replica.
+    pub batches: u64,
+    /// Sub-batches re-routed *away* after this replica failed or shed.
+    pub retries: u64,
+    /// Times the health subsystem ejected this replica.
+    pub ejections: u64,
+    /// Requests currently in flight on this replica (gauge).
+    pub in_flight: u64,
+    /// Consecutive probe/serve failures since the last success.
+    pub consecutive_failures: u64,
+}
+
+impl Wire for ReplicaStats {
+    // addr length u32 + healthy bool + six u64 counters.
+    const MIN_ENCODED_LEN: usize = 4 + 1 + 6 * 8;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.addr.encode(out);
+        out.push(self.healthy as u8);
+        out.extend_from_slice(&self.requests.to_le_bytes());
+        out.extend_from_slice(&self.batches.to_le_bytes());
+        out.extend_from_slice(&self.retries.to_le_bytes());
+        out.extend_from_slice(&self.ejections.to_le_bytes());
+        out.extend_from_slice(&self.in_flight.to_le_bytes());
+        out.extend_from_slice(&self.consecutive_failures.to_le_bytes());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ReplicaStats {
+            addr: String::decode(r)?,
+            healthy: r.bool("replica health")?,
+            requests: r.u64("replica requests")?,
+            batches: r.u64("replica batches")?,
+            retries: r.u64("replica retries")?,
+            ejections: r.u64("replica ejections")?,
+            in_flight: r.u64("replica in-flight")?,
+            consecutive_failures: r.u64("replica failures")?,
+        })
+    }
+}
+
+/// Counters of the scatter/gather routing tier (`qbs route`), carried in
+/// the `Stats` response alongside the merged per-replica engine counters
+/// so `qbs client --stats` shows the whole serving tier at once.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Client batches the router accepted and scattered.
+    pub batches_routed: u64,
+    /// Sub-batches produced by splitting (≥ `batches_routed`).
+    pub subbatches: u64,
+    /// Sub-batches retried on a different replica after a failure or a
+    /// typed `Busy`.
+    pub retries: u64,
+    /// Health ejections across all replicas.
+    pub ejections: u64,
+    /// Request slots answered `RequestError::Unavailable` because every
+    /// offered replica failed.
+    pub unavailable_slots: u64,
+    /// Per-replica breakdown, in configuration order.
+    pub replicas: Vec<ReplicaStats>,
+}
+
+impl Wire for RouterStats {
+    // five u64 counters + replica sequence length u32.
+    const MIN_ENCODED_LEN: usize = 5 * 8 + 4;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.batches_routed.to_le_bytes());
+        out.extend_from_slice(&self.subbatches.to_le_bytes());
+        out.extend_from_slice(&self.retries.to_le_bytes());
+        out.extend_from_slice(&self.ejections.to_le_bytes());
+        out.extend_from_slice(&self.unavailable_slots.to_le_bytes());
+        self.replicas.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RouterStats {
+            batches_routed: r.u64("routed batches")?,
+            subbatches: r.u64("routed sub-batches")?,
+            retries: r.u64("router retries")?,
+            ejections: r.u64("router ejections")?,
+            unavailable_slots: r.u64("unavailable slots")?,
+            replicas: Vec::<ReplicaStats>::decode(r)?,
+        })
+    }
+}
+
+impl std::fmt::Display for RouterStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "router: {} batches scattered into {} sub-batches, {} retries, {} ejections, \
+             {} unavailable slots",
+            self.batches_routed,
+            self.subbatches,
+            self.retries,
+            self.ejections,
+            self.unavailable_slots
+        )?;
+        for r in &self.replicas {
+            writeln!(
+                f,
+                "  replica {}: {} — {} requests in {} batches, {} retried away, \
+                 {} ejections, {} in flight",
+                r.addr,
+                if r.healthy { "healthy" } else { "ejected" },
+                r.requests,
+                r.batches,
+                r.retries,
+                r.ejections,
+                r.in_flight
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// A per-connection request identifier, carried in the protocol-v2 frame
 /// envelope (`[len][id][tag][payload]`) so responses can complete out of
 /// order. IDs are scoped to one connection and assigned by the client;
@@ -759,6 +895,13 @@ mod tests {
         assert_eq!(
             from_bytes::<QueryOutcome>(&to_bytes(&outcome)).unwrap(),
             outcome
+        );
+        let unavailable = QueryOutcome::Error(RequestError::Unavailable {
+            reason: "replica 127.0.0.1:7411: connection refused".to_string(),
+        });
+        assert_eq!(
+            from_bytes::<QueryOutcome>(&to_bytes(&unavailable)).unwrap(),
+            unavailable
         );
 
         let cache = CacheStats {
@@ -877,6 +1020,21 @@ mod tests {
             EngineStats::MIN_ENCODED_LEN
         );
         assert_eq!(
+            to_bytes(&RequestError::Unavailable {
+                reason: String::new()
+            })
+            .len(),
+            RequestError::MIN_ENCODED_LEN
+        );
+        assert_eq!(
+            to_bytes(&ReplicaStats::default()).len(),
+            ReplicaStats::MIN_ENCODED_LEN
+        );
+        assert_eq!(
+            to_bytes(&RouterStats::default()).len(),
+            RouterStats::MIN_ENCODED_LEN
+        );
+        assert_eq!(
             to_bytes(&SketchHop {
                 landmark_idx: 0,
                 distance: 0
@@ -934,6 +1092,51 @@ mod tests {
         assert!(WireError::Invalid("utf-8 string")
             .to_string()
             .contains("utf-8"));
+    }
+
+    #[test]
+    fn router_stats_roundtrip_and_reject_truncation() {
+        let stats = RouterStats {
+            batches_routed: 100,
+            subbatches: 260,
+            retries: 3,
+            ejections: 1,
+            unavailable_slots: 2,
+            replicas: vec![
+                ReplicaStats {
+                    addr: "127.0.0.1:7411".to_string(),
+                    healthy: true,
+                    requests: 4000,
+                    batches: 130,
+                    retries: 0,
+                    ejections: 0,
+                    in_flight: 64,
+                    consecutive_failures: 0,
+                },
+                ReplicaStats {
+                    addr: "127.0.0.1:7412".to_string(),
+                    healthy: false,
+                    requests: 3800,
+                    batches: 127,
+                    retries: 3,
+                    ejections: 1,
+                    in_flight: 0,
+                    consecutive_failures: 5,
+                },
+            ],
+        };
+        let bytes = to_bytes(&stats);
+        assert_eq!(from_bytes::<RouterStats>(&bytes).unwrap(), stats);
+        for cut in 0..bytes.len() {
+            assert!(
+                from_bytes::<RouterStats>(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let rendered = stats.to_string();
+        assert!(rendered.contains("127.0.0.1:7412"));
+        assert!(rendered.contains("ejected"));
+        assert!(rendered.contains("healthy"));
     }
 
     #[test]

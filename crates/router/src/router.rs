@@ -1,0 +1,614 @@
+//! The router process: the protocol v2 reactor front-end wired to a
+//! scatter/gather [`ServeBackend`] over a [`ReplicaPool`], plus the
+//! health prober.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qbs_core::{CacheStats, EngineStats, QueryOutcome, QueryRequest, RequestError, RouterStats};
+use qbs_server::{
+    AdmissionConfig, AdmissionStats, BatchReply, ClientConfig, QbsClient, QbsServer, ServeBackend,
+    ServerConfig, ServerHandle, ServerStats, ShutdownSignal, Ticket,
+};
+
+use crate::pool::{HealthConfig, Replica, ReplicaPool};
+use crate::shard::ShardMap;
+
+/// How often [`RouterHandle::wait`] re-checks the shutdown latch.
+const WAIT_POLL: Duration = Duration::from_millis(100);
+
+/// Configuration of a [`QbsRouter`] — built fluently like
+/// [`ServerConfig`]:
+///
+/// ```
+/// use qbs_router::RouterConfig;
+/// let config = RouterConfig::bind("127.0.0.1:0")
+///     .replica("127.0.0.1:7411")
+///     .replica("127.0.0.1:7412")
+///     .workers(8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address of the router's own listener; port 0 picks an
+    /// ephemeral port.
+    pub addr: String,
+    /// Worker threads gathering scattered batches. Each routed batch
+    /// occupies one worker for its slowest replica round-trip, so this
+    /// bounds concurrent *batches*, not connections.
+    pub workers: usize,
+    /// Admission bounds on the router's own listener.
+    pub admission: AdmissionConfig,
+    /// Backend replica addresses (`host:port` of `qbs serve` processes).
+    pub replicas: Vec<String>,
+    /// Client configuration for every replica connection. The default
+    /// shortens `connect_timeout` to 1s: a dead replica should cost the
+    /// serve path one bounded dial, not the stock 5s.
+    pub client: ClientConfig,
+    /// Ejection/backoff knobs.
+    pub health: HealthConfig,
+    /// Cadence of the background `Ping` prober.
+    pub probe_interval: Duration,
+    /// How many *additional* replicas a sub-batch may be retried onto
+    /// after its first pick fails or sheds. Bounds the ping-pong of a
+    /// batch that every replica refuses.
+    pub max_retries: usize,
+    /// Smallest sub-batch worth scattering: a batch of `n` requests is
+    /// split across at most `n / min_split` replicas (always at least
+    /// one), so tiny batches do not pay per-replica round-trip overhead
+    /// for a handful of microsecond queries.
+    pub min_split: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            admission: AdmissionConfig::default(),
+            replicas: Vec::new(),
+            client: ClientConfig::default().connect_timeout(Duration::from_secs(1)),
+            health: HealthConfig::default(),
+            probe_interval: Duration::from_millis(500),
+            max_retries: 2,
+            min_split: 8,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Starts a config bound to `addr` (the rest defaulted).
+    pub fn bind(addr: impl Into<String>) -> RouterConfig {
+        RouterConfig {
+            addr: addr.into(),
+            ..RouterConfig::default()
+        }
+    }
+
+    /// Appends one backend replica address.
+    pub fn replica(mut self, addr: impl Into<String>) -> RouterConfig {
+        self.replicas.push(addr.into());
+        self
+    }
+
+    /// Replaces the replica list.
+    pub fn replicas(mut self, replicas: Vec<String>) -> RouterConfig {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the gather worker-pool size.
+    pub fn workers(mut self, workers: usize) -> RouterConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the router's own admission configuration.
+    pub fn admission(mut self, admission: AdmissionConfig) -> RouterConfig {
+        self.admission = admission;
+        self
+    }
+
+    /// Replaces the replica-side client configuration.
+    pub fn client(mut self, client: ClientConfig) -> RouterConfig {
+        self.client = client;
+        self
+    }
+
+    /// Replaces the health/ejection knobs.
+    pub fn health(mut self, health: HealthConfig) -> RouterConfig {
+        self.health = health;
+        self
+    }
+
+    /// Sets the prober cadence.
+    pub fn probe_interval(mut self, probe_interval: Duration) -> RouterConfig {
+        self.probe_interval = probe_interval;
+        self
+    }
+
+    /// Sets the per-sub-batch retry bound.
+    pub fn max_retries(mut self, max_retries: usize) -> RouterConfig {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the smallest sub-batch worth scattering.
+    pub fn min_split(mut self, min_split: usize) -> RouterConfig {
+        self.min_split = min_split;
+        self
+    }
+}
+
+/// The scatter/gather [`ServeBackend`]: what the reactor's workers call
+/// into for every routed batch.
+#[derive(Debug)]
+pub struct RouterBackend {
+    pool: ReplicaPool,
+    shards: ShardMap,
+    max_retries: usize,
+    min_split: usize,
+    batches_routed: AtomicU64,
+    subbatches: AtomicU64,
+    retries: AtomicU64,
+    unavailable_slots: AtomicU64,
+}
+
+/// One scattered sub-batch awaiting its gather: the pipelined connection
+/// it went out on, which slots of the original batch it answers, and
+/// which replicas it has already tried.
+struct Shipment {
+    replica: usize,
+    client: QbsClient,
+    ticket: Ticket,
+    start: usize,
+    len: usize,
+    tried: Vec<usize>,
+}
+
+impl RouterBackend {
+    fn new(pool: ReplicaPool, config: &RouterConfig) -> RouterBackend {
+        let shards = ShardMap::full_replication(pool.len());
+        RouterBackend {
+            pool,
+            shards,
+            max_retries: config.max_retries,
+            min_split: config.min_split.max(1),
+            batches_routed: AtomicU64::new(0),
+            subbatches: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            unavailable_slots: AtomicU64::new(0),
+        }
+    }
+
+    /// The replica pool (shared with the prober).
+    pub fn pool(&self) -> &ReplicaPool {
+        &self.pool
+    }
+
+    /// The routing table.
+    pub fn shards(&self) -> &ShardMap {
+        &self.shards
+    }
+
+    /// Snapshot of the router-level counters plus every replica's.
+    pub fn router_stats(&self) -> RouterStats {
+        RouterStats {
+            batches_routed: self.batches_routed.load(Ordering::SeqCst),
+            subbatches: self.subbatches.load(Ordering::SeqCst),
+            retries: self.retries.load(Ordering::SeqCst),
+            ejections: self
+                .pool
+                .replicas()
+                .iter()
+                .map(|r| r.stats().ejections)
+                .sum(),
+            unavailable_slots: self.unavailable_slots.load(Ordering::SeqCst),
+            replicas: self.pool.replicas().iter().map(Replica::stats).collect(),
+        }
+    }
+
+    /// Ships one sub-batch to the best untried replica, pipelined.
+    /// Returns `None` when the candidate set (bounded by `max_retries`)
+    /// is exhausted without a successful send.
+    fn ship(
+        &self,
+        candidates: &[usize],
+        slice: &[QueryRequest],
+        start: usize,
+        mut tried: Vec<usize>,
+    ) -> Option<Shipment> {
+        while tried.len() <= self.max_retries {
+            let idx = self.pool.pick(candidates, &tried)?;
+            if !tried.is_empty() {
+                self.retries.fetch_add(1, Ordering::SeqCst);
+            }
+            tried.push(idx);
+            let replica = &self.pool.replicas()[idx];
+            let mut client = match replica.checkout(self.pool.client_config()) {
+                Ok(client) => client,
+                Err(_) => {
+                    replica.record_failure(self.pool.health_config());
+                    continue;
+                }
+            };
+            match client.send(slice) {
+                Ok(ticket) => {
+                    replica.start_requests(slice.len() as u64);
+                    self.subbatches.fetch_add(1, Ordering::SeqCst);
+                    return Some(Shipment {
+                        replica: idx,
+                        client,
+                        ticket,
+                        start,
+                        len: slice.len(),
+                        tried,
+                    });
+                }
+                Err(_) => {
+                    replica.record_failure(self.pool.health_config());
+                    continue;
+                }
+            }
+        }
+        None
+    }
+
+    /// Gathers one shipment's reply; on failure or a `Busy` shed,
+    /// re-ships the sub-batch to a different replica (still bounded by
+    /// the shipment's `tried` budget).
+    fn gather(
+        &self,
+        candidates: &[usize],
+        requests: &[QueryRequest],
+        mut shipment: Shipment,
+    ) -> Option<Vec<QueryOutcome>> {
+        loop {
+            let replica = &self.pool.replicas()[shipment.replica];
+            let slice = &requests[shipment.start..shipment.start + shipment.len];
+            match shipment.client.recv(shipment.ticket) {
+                Ok(BatchReply::Outcomes(outcomes)) if outcomes.len() == slice.len() => {
+                    replica.finish_requests(shipment.len as u64);
+                    replica.record_success(self.pool.health_config());
+                    replica.checkin(shipment.client);
+                    return Some(outcomes);
+                }
+                Ok(BatchReply::Outcomes(_)) => {
+                    // Slot-count mismatch: the reply cannot be merged
+                    // bit-identically. Treat as a protocol failure.
+                    replica.finish_requests(shipment.len as u64);
+                    replica.record_failure(self.pool.health_config());
+                    replica.count_retries(shipment.len as u64);
+                }
+                Ok(BatchReply::Busy(_)) => {
+                    // The replica shed the sub-batch: it is healthy, just
+                    // loaded — retry elsewhere without a health demerit.
+                    replica.finish_requests(shipment.len as u64);
+                    replica.checkin(shipment.client);
+                    replica.count_retries(shipment.len as u64);
+                }
+                Err(_) => {
+                    replica.finish_requests(shipment.len as u64);
+                    replica.record_failure(self.pool.health_config());
+                    replica.count_retries(shipment.len as u64);
+                    // The connection faulted mid-exchange — drop it, it
+                    // is never checked back in.
+                }
+            }
+            shipment = self.ship(candidates, slice, shipment.start, shipment.tried)?;
+        }
+    }
+
+    /// Fills a sub-batch whose retry budget is exhausted with typed
+    /// per-slot errors — the all-replicas-down answer, never a hang.
+    fn fill_unavailable(&self, out: &mut [Option<QueryOutcome>], start: usize, len: usize) {
+        self.unavailable_slots
+            .fetch_add(len as u64, Ordering::SeqCst);
+        let reason = format!(
+            "{} replica(s) unreachable or shedding after {} attempt(s)",
+            self.pool.len(),
+            self.max_retries + 1
+        );
+        for slot in out.iter_mut().skip(start).take(len) {
+            *slot = Some(QueryOutcome::Error(RequestError::Unavailable {
+                reason: reason.clone(),
+            }));
+        }
+    }
+}
+
+impl ServeBackend for RouterBackend {
+    /// Scatter/gather. The batch is split into contiguous sub-batches —
+    /// one per healthy replica the batch is large enough to occupy (see
+    /// [`RouterConfig::min_split`]) — shipped pipelined (all sends
+    /// before any gather, so replicas execute concurrently), and merged
+    /// back in slot order. Outcomes are bit-identical to a single
+    /// `Qbs::submit` over the same index: every replica serves the same
+    /// index, sub-batches preserve request order, and per-slot errors
+    /// ride along untouched.
+    fn execute(&self, requests: &[QueryRequest]) -> Vec<QueryOutcome> {
+        self.batches_routed.fetch_add(1, Ordering::SeqCst);
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // One full-replication group today: every request routes by its
+        // source vertex to the same candidate set. A partitioned map
+        // would partition the batch across groups here first.
+        let candidates = self.shards.group_for(requests[0].source).replicas.clone();
+        let now = Instant::now();
+        let available = candidates
+            .iter()
+            .filter(|&&i| self.pool.replicas()[i].is_available(now))
+            .count()
+            .max(1);
+        let k = (requests.len() / self.min_split).clamp(1, available);
+
+        let mut out: Vec<Option<QueryOutcome>> = (0..requests.len()).map(|_| None).collect();
+        let mut shipments: Vec<Shipment> = Vec::with_capacity(k);
+        let chunk = requests.len().div_ceil(k);
+        for start in (0..requests.len()).step_by(chunk.max(1)) {
+            let end = (start + chunk).min(requests.len());
+            match self.ship(&candidates, &requests[start..end], start, Vec::new()) {
+                Some(shipment) => shipments.push(shipment),
+                None => self.fill_unavailable(&mut out, start, end - start),
+            }
+        }
+        for shipment in shipments {
+            let (start, len) = (shipment.start, shipment.len);
+            match self.gather(&candidates, requests, shipment) {
+                Some(outcomes) => {
+                    for (slot, outcome) in out[start..start + len].iter_mut().zip(outcomes) {
+                        *slot = Some(outcome);
+                    }
+                }
+                None => self.fill_unavailable(&mut out, start, len),
+            }
+        }
+        out.into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    QueryOutcome::Error(RequestError::Unavailable {
+                        reason: "sub-batch lost in routing".to_string(),
+                    })
+                })
+            })
+            .collect()
+    }
+
+    /// The routed `Stats` frame: per-replica engine counters merged into
+    /// one [`EngineStats`] (sums for traffic counters, maxima for index
+    /// facts, thread budgets added), the router's own admission snapshot,
+    /// and the [`RouterStats`] section. Ejected replicas are skipped —
+    /// stats must not stall on dead sockets — and a replica that fails
+    /// the poll takes a health demerit exactly like a failed batch.
+    fn server_stats(&self, admission: AdmissionStats) -> ServerStats {
+        let mut engine = EngineStats::default();
+        let now = Instant::now();
+        for replica in self.pool.replicas() {
+            if !replica.is_available(now) {
+                continue;
+            }
+            let polled = replica
+                .checkout(self.pool.client_config())
+                .and_then(|mut client| client.stats().map(|stats| (client, stats)));
+            match polled {
+                Ok((client, stats)) => {
+                    merge_engine(&mut engine, &stats.engine);
+                    replica.record_success(self.pool.health_config());
+                    replica.checkin(client);
+                }
+                Err(_) => {
+                    replica.record_failure(self.pool.health_config());
+                }
+            }
+        }
+        ServerStats {
+            engine,
+            admission,
+            router: Some(self.router_stats()),
+        }
+    }
+}
+
+/// Merges one replica's engine counters into the routed aggregate:
+/// index facts (vertices, landmarks, view-backedness) describe the same
+/// replicated index, so they take maxima/or; traffic counters and
+/// thread budgets add.
+fn merge_engine(into: &mut EngineStats, from: &EngineStats) {
+    into.num_vertices = into.num_vertices.max(from.num_vertices);
+    into.num_landmarks = into.num_landmarks.max(from.num_landmarks);
+    into.threads += from.threads;
+    into.view_backed |= from.view_backed;
+    into.requests += from.requests;
+    into.batches += from.batches;
+    into.errors += from.errors;
+    into.planner.dedup_hits += from.planner.dedup_hits;
+    into.planner.labels_memoized += from.planner.labels_memoized;
+    into.planner.fwd_levels_reused += from.planner.fwd_levels_reused;
+    if let Some(cache) = &from.cache {
+        let merged = into.cache.get_or_insert_with(CacheStats::default);
+        merged.hits += cache.hits;
+        merged.misses += cache.misses;
+        merged.insertions += cache.insertions;
+        merged.rejected += cache.rejected;
+        merged.evictions += cache.evictions;
+        merged.len += cache.len;
+    }
+}
+
+/// The prober's stop latch: flag + condvar so shutdown interrupts the
+/// inter-probe sleep immediately.
+#[derive(Debug)]
+struct Stop {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Stop {
+    fn new() -> Stop {
+        Stop {
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn trigger(&self) {
+        *self.stopped.lock().expect("stop latch poisoned") = true;
+        self.cv.notify_all();
+    }
+
+    fn is_stopped(&self) -> bool {
+        *self.stopped.lock().expect("stop latch poisoned")
+    }
+
+    /// Sleeps up to `timeout`; returns `true` when stopped.
+    fn wait(&self, timeout: Duration) -> bool {
+        let guard = self.stopped.lock().expect("stop latch poisoned");
+        let (guard, _) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |stopped| !*stopped)
+            .expect("stop latch poisoned");
+        *guard
+    }
+}
+
+/// Background health prober: pings every non-ejected replica each
+/// interval. Probe successes re-admit half-open replicas; probe failures
+/// feed the same ejection counter as serve-path failures, so a replica
+/// that dies while idle is ejected before traffic ever hits it.
+fn prober_loop(backend: &RouterBackend, stop: &Stop, interval: Duration) {
+    loop {
+        let now = Instant::now();
+        for replica in backend.pool().replicas() {
+            if stop.is_stopped() {
+                return;
+            }
+            if !replica.is_available(now) {
+                continue; // still inside its ejection window
+            }
+            let pinged = replica
+                .checkout(backend.pool().client_config())
+                .and_then(|mut client| client.ping().map(|_| client));
+            match pinged {
+                Ok(client) => {
+                    replica.record_success(backend.pool().health_config());
+                    replica.checkin(client);
+                }
+                Err(_) => {
+                    replica.record_failure(backend.pool().health_config());
+                }
+            }
+        }
+        if stop.wait(interval) {
+            return;
+        }
+    }
+}
+
+/// Namespace for starting routers (see [`QbsRouter::start`]).
+pub struct QbsRouter;
+
+impl QbsRouter {
+    /// Binds `config.addr` and starts routing — returns immediately with
+    /// a handle owning the reactor, the gather workers, and the prober.
+    pub fn start(config: RouterConfig) -> std::io::Result<RouterHandle> {
+        if config.replicas.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a router needs at least one --replica",
+            ));
+        }
+        let pool = ReplicaPool::new(config.replicas.clone(), config.client, config.health);
+        let backend = Arc::new(RouterBackend::new(pool, &config));
+        let server_config = ServerConfig::bind(config.addr.clone())
+            .workers(config.workers)
+            .admission(config.admission);
+        let server = QbsServer::start_with_backend(
+            Arc::clone(&backend) as Arc<dyn ServeBackend>,
+            server_config,
+        )?;
+        let stop = Arc::new(Stop::new());
+        let prober = {
+            let backend = Arc::clone(&backend);
+            let stop = Arc::clone(&stop);
+            let interval = config.probe_interval;
+            std::thread::Builder::new()
+                .name("qbs-prober".to_string())
+                .spawn(move || prober_loop(&backend, &stop, interval))
+                .expect("spawn prober thread")
+        };
+        Ok(RouterHandle {
+            server,
+            backend,
+            stop,
+            prober: Some(prober),
+        })
+    }
+}
+
+/// A running router: owns the reactor/worker threads (via the inner
+/// [`ServerHandle`]) and the prober; joins them all on
+/// [`RouterHandle::shutdown`] or drop.
+#[derive(Debug)]
+pub struct RouterHandle {
+    server: ServerHandle,
+    backend: Arc<RouterBackend>,
+    stop: Arc<Stop>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The address the router actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The shutdown latch — share it with a signal handler; triggering
+    /// it initiates the same graceful drain as a `Shutdown` frame.
+    pub fn signal(&self) -> Arc<ShutdownSignal> {
+        self.server.signal()
+    }
+
+    /// The scatter/gather backend (pool access for tests and tools).
+    pub fn backend(&self) -> &Arc<RouterBackend> {
+        &self.backend
+    }
+
+    /// The routed stats snapshot — the same value a `Stats` frame
+    /// returns, including the per-replica poll.
+    pub fn stats(&self) -> ServerStats {
+        self.server.stats()
+    }
+
+    /// The router-level counters without polling any replica.
+    pub fn router_stats(&self) -> RouterStats {
+        self.backend.router_stats()
+    }
+
+    /// Stops the prober, drains in-flight routed batches, joins every
+    /// thread, and returns once the router is fully torn down.
+    pub fn shutdown(&mut self) {
+        self.stop.trigger();
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+        self.server.shutdown();
+    }
+
+    /// Blocks until the shutdown latch flips (a `Shutdown` frame arrived
+    /// or the signal was triggered elsewhere), then tears down.
+    pub fn wait(mut self) {
+        let signal = self.server.signal();
+        while !signal.is_shutdown() {
+            std::thread::sleep(WAIT_POLL);
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

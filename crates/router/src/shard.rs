@@ -1,0 +1,137 @@
+//! The routing table: a vertex-range shard map over replica groups.
+//!
+//! Today every deployment is **one full-replication group** — every
+//! replica serves the whole index, and every request may go anywhere.
+//! The map still exists as first-class data so that the partitioned
+//! follow-up (splitting the vertex space across groups, each group
+//! replicating its shard) is a *data* change: the scatter path already
+//! asks the map which group owns a request's source vertex, and a
+//! multi-group map just starts returning different answers. Nothing in
+//! the balancing, retry, or health machinery assumes a single group.
+
+/// One replica group: the replicas (as indices into the pool) serving
+/// the vertex range starting at [`ShardGroup::start`] and ending where
+/// the next group begins (the last group runs to the end of the vertex
+/// space).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardGroup {
+    /// First vertex ID this group owns.
+    pub start: u32,
+    /// Pool indices of the replicas serving this range.
+    pub replicas: Vec<usize>,
+}
+
+/// The full routing table: groups sorted by [`ShardGroup::start`], the
+/// first always starting at vertex 0 so every vertex has an owner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    groups: Vec<ShardGroup>,
+}
+
+impl ShardMap {
+    /// The current deployment shape: one group owning the whole vertex
+    /// space, replicated on every replica.
+    pub fn full_replication(replicas: usize) -> ShardMap {
+        ShardMap {
+            groups: vec![ShardGroup {
+                start: 0,
+                replicas: (0..replicas).collect(),
+            }],
+        }
+    }
+
+    /// Builds a map from pre-sorted groups. The first group must start
+    /// at 0 (every vertex needs an owner) and starts must strictly
+    /// increase; returns `None` otherwise.
+    pub fn from_groups(groups: Vec<ShardGroup>) -> Option<ShardMap> {
+        if groups.first().is_none_or(|g| g.start != 0) {
+            return None;
+        }
+        if groups.windows(2).any(|w| w[0].start >= w[1].start) {
+            return None;
+        }
+        if groups.iter().any(|g| g.replicas.is_empty()) {
+            return None;
+        }
+        Some(ShardMap { groups })
+    }
+
+    /// Whether this is the single full-replication group — the only
+    /// shape the scatter path currently splits *within*; a partitioned
+    /// map would partition the batch *across* groups first.
+    pub fn is_fully_replicated(&self) -> bool {
+        self.groups.len() == 1
+    }
+
+    /// The groups, sorted by start vertex.
+    pub fn groups(&self) -> &[ShardGroup] {
+        &self.groups
+    }
+
+    /// The group owning `vertex` (binary search over the range starts).
+    pub fn group_for(&self, vertex: u32) -> &ShardGroup {
+        let idx = match self.groups.binary_search_by_key(&vertex, |g| g.start) {
+            Ok(i) => i,
+            Err(i) => i - 1, // i >= 1: group 0 starts at 0
+        };
+        &self.groups[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_replication_owns_everything() {
+        let map = ShardMap::full_replication(3);
+        assert!(map.is_fully_replicated());
+        assert_eq!(map.group_for(0).replicas, vec![0, 1, 2]);
+        assert_eq!(map.group_for(u32::MAX).replicas, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partitioned_map_routes_by_range() {
+        let map = ShardMap::from_groups(vec![
+            ShardGroup {
+                start: 0,
+                replicas: vec![0, 1],
+            },
+            ShardGroup {
+                start: 1000,
+                replicas: vec![2],
+            },
+        ])
+        .expect("valid map");
+        assert!(!map.is_fully_replicated());
+        assert_eq!(map.group_for(999).replicas, vec![0, 1]);
+        assert_eq!(map.group_for(1000).replicas, vec![2]);
+        assert_eq!(map.group_for(5000).replicas, vec![2]);
+    }
+
+    #[test]
+    fn invalid_maps_are_rejected() {
+        assert!(ShardMap::from_groups(vec![]).is_none());
+        assert!(ShardMap::from_groups(vec![ShardGroup {
+            start: 5,
+            replicas: vec![0],
+        }])
+        .is_none());
+        assert!(ShardMap::from_groups(vec![
+            ShardGroup {
+                start: 0,
+                replicas: vec![0],
+            },
+            ShardGroup {
+                start: 0,
+                replicas: vec![1],
+            },
+        ])
+        .is_none());
+        assert!(ShardMap::from_groups(vec![ShardGroup {
+            start: 0,
+            replicas: vec![],
+        }])
+        .is_none());
+    }
+}

@@ -1,0 +1,247 @@
+//! Router integration tests: routed answers must be bit-identical to
+//! local `Qbs::submit`, a replica dying mid-workload must lose no
+//! accepted request (sub-batches re-route), and the all-replicas-down
+//! regime must return typed per-slot errors — never a hang.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qbs_core::serialize::{self, IndexFormat, MapMode};
+use qbs_core::{Qbs, QbsConfig, QbsIndex, QueryRequest, RequestError};
+use qbs_gen::catalog::{Catalog, DatasetId, Scale};
+use qbs_router::{HealthConfig, QbsRouter, RouterConfig, RouterHandle};
+use qbs_server::{ClientConfig, QbsClient, QbsServer, ServerConfig, ServerHandle};
+
+/// Builds the shared test index (a tiny Douban stand-in), saves it as a
+/// v2 file, and returns its path.
+fn index_file(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("qbs_router_failover_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let graph = Catalog::paper_table1()
+        .get(DatasetId::Douban)
+        .expect("catalog")
+        .generate(Scale::Tiny);
+    let index = QbsIndex::try_build(graph, QbsConfig::with_landmark_count(8)).expect("build");
+    let path = dir.join("index.qbs2");
+    serialize::save_to_file_with(&index, &path, IndexFormat::Binary).expect("save");
+    path
+}
+
+/// Starts one replica: its own mmap session over the shared index file.
+fn start_replica(path: &std::path::Path) -> ServerHandle {
+    let qbs = Qbs::open(path, MapMode::Mmap).expect("open mmap");
+    let qbs = Arc::new(qbs.with_threads(2).expect("threads"));
+    QbsServer::start(qbs, ServerConfig::default().workers(2)).expect("start replica")
+}
+
+/// Starts a router over `replicas` with test-friendly knobs: small
+/// sub-batches so every batch actually scatters, fast probes, fast
+/// ejection, and a short dial bound so a dead replica costs little.
+fn start_router(replicas: Vec<String>) -> RouterHandle {
+    QbsRouter::start(
+        RouterConfig::bind("127.0.0.1:0")
+            .replicas(replicas)
+            .workers(4)
+            .min_split(4)
+            .probe_interval(Duration::from_millis(100))
+            .client(
+                ClientConfig::default()
+                    .connect_timeout(Duration::from_millis(250))
+                    .io_timeout(Duration::from_secs(10)),
+            )
+            .health(HealthConfig {
+                eject_after: 2,
+                backoff_initial: Duration::from_millis(200),
+                backoff_max: Duration::from_secs(2),
+            }),
+    )
+    .expect("start router")
+}
+
+/// A mixed Distance/PathGraph/Sketch workload with one poisoned pair
+/// spliced into the middle.
+fn mixed_requests(num_vertices: u32, salt: u32) -> Vec<QueryRequest> {
+    let mut requests: Vec<QueryRequest> = (0..40u32)
+        .map(|i| {
+            let u = (i * 7 + salt) % num_vertices;
+            let v = (i * 13 + 3 * salt + 1) % num_vertices;
+            match i % 4 {
+                0 => QueryRequest::distance(u, v),
+                1 => QueryRequest::path_graph(u, v),
+                2 => QueryRequest::path_graph(u, v).with_stats(),
+                _ => QueryRequest::sketch(u, v),
+            }
+        })
+        .collect();
+    requests.insert(requests.len() / 2, QueryRequest::distance(num_vertices, 0));
+    requests
+}
+
+/// An `addr:port` that refuses connections (bound once, then released).
+fn dead_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    drop(listener);
+    addr
+}
+
+#[test]
+fn routed_answers_are_bit_identical_and_stats_aggregate() {
+    let path = index_file("identical");
+    let replicas: Vec<ServerHandle> = (0..3).map(|_| start_replica(&path)).collect();
+    let router = start_router(
+        replicas
+            .iter()
+            .map(|r| r.local_addr().to_string())
+            .collect(),
+    );
+    let local = Qbs::open(&path, MapMode::Mmap).expect("local reference");
+    let num_vertices = qbs_core::IndexStore::num_vertices(&local) as u32;
+
+    let mut client =
+        QbsClient::connect_retry(&router.local_addr().to_string(), Duration::from_secs(10))
+            .expect("connect");
+    // Two passes per salt: the second hits the replicas' warm answer
+    // caches — cached answers must still merge bit-identically.
+    for salt in 0..4u32 {
+        let requests = mixed_requests(num_vertices, salt);
+        for pass in 0..2 {
+            let reply = client.submit(&requests).expect("submit");
+            let outcomes = reply.outcomes().expect("unloaded router never sheds");
+            let expected = local.submit(&requests);
+            assert_eq!(
+                outcomes,
+                &expected[..],
+                "salt {salt} pass {pass}: routed answers diverged from local submit"
+            );
+            assert_eq!(
+                outcomes.iter().filter(|o| o.is_error()).count(),
+                1,
+                "exactly the poisoned pair fails"
+            );
+        }
+    }
+
+    // The routed Stats frame aggregates: a router section with every
+    // replica, and merged engine counters covering all routed requests.
+    let stats = client.stats().expect("stats");
+    let router_stats = stats.router.as_ref().expect("router section present");
+    assert_eq!(router_stats.replicas.len(), 3);
+    assert_eq!(router_stats.batches_routed, 8);
+    assert!(
+        router_stats.subbatches > router_stats.batches_routed,
+        "41-request batches with min_split=4 must scatter across replicas"
+    );
+    assert_eq!(router_stats.unavailable_slots, 0);
+    assert!(router_stats.replicas.iter().all(|r| r.healthy));
+    assert!(
+        router_stats.replicas.iter().all(|r| r.requests > 0),
+        "least-in-flight balancing must spread sub-batches over every replica: {:?}",
+        router_stats
+            .replicas
+            .iter()
+            .map(|r| r.requests)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        stats.engine.requests,
+        8 * 41,
+        "merged engine counters cover every routed request"
+    );
+
+    drop(client);
+    drop(router);
+    drop(replicas);
+}
+
+#[test]
+fn killing_a_replica_mid_workload_loses_no_accepted_request() {
+    let path = index_file("kill_one");
+    let mut replicas: Vec<ServerHandle> = (0..3).map(|_| start_replica(&path)).collect();
+    let router = start_router(
+        replicas
+            .iter()
+            .map(|r| r.local_addr().to_string())
+            .collect(),
+    );
+    let local = Qbs::open(&path, MapMode::Mmap).expect("local reference");
+    let num_vertices = qbs_core::IndexStore::num_vertices(&local) as u32;
+    let addr = router.local_addr().to_string();
+
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    let worker = std::thread::spawn(move || {
+        let mut client = QbsClient::connect_retry(&addr, Duration::from_secs(10)).expect("connect");
+        for round in 0..24u32 {
+            if round == 6 {
+                tx.send(()).expect("signal the kill");
+            }
+            let requests = mixed_requests(num_vertices, round);
+            let reply = client.submit(&requests).expect("submit");
+            let outcomes = reply
+                .outcomes()
+                .expect("router sheds nothing in this test")
+                .to_vec();
+            let expected = local.submit(&requests);
+            assert_eq!(
+                outcomes,
+                &expected[..],
+                "round {round}: an accepted request was lost or answered wrongly \
+                 while a replica died"
+            );
+        }
+    });
+
+    // Kill replica 0 while the workload is in flight. Its in-progress
+    // sub-batches either flush during the drain or fail over; every
+    // accepted batch must still come back bit-identical.
+    rx.recv().expect("worker reached the kill round");
+    let mut victim = replicas.remove(0);
+    victim.shutdown();
+    drop(victim);
+
+    worker.join().expect("workload thread");
+
+    // The router noticed: the dead replica took failures (and is ejected
+    // or at least demerited) while the survivors answered the re-routes.
+    let router_stats = router.router_stats();
+    assert_eq!(router_stats.unavailable_slots, 0, "no slot went unanswered");
+    drop(router);
+    drop(replicas);
+}
+
+#[test]
+fn all_replicas_down_returns_typed_errors_not_a_hang() {
+    let router = start_router(vec![dead_addr(), dead_addr()]);
+    let mut client =
+        QbsClient::connect_retry(&router.local_addr().to_string(), Duration::from_secs(10))
+            .expect("the router itself accepts even with every replica down");
+
+    let requests: Vec<QueryRequest> = (0..12u32)
+        .map(|i| QueryRequest::distance(i, i + 1))
+        .collect();
+    let start = Instant::now();
+    let reply = client.submit(&requests).expect("a reply, not a hang");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "all-down batch took {elapsed:?}; dials must be bounded"
+    );
+    let outcomes = reply.outcomes().expect("typed per-slot errors, not Busy");
+    assert_eq!(outcomes.len(), requests.len());
+    for outcome in outcomes {
+        match outcome.error() {
+            Some(RequestError::Unavailable { reason }) => {
+                assert!(
+                    reason.contains("unreachable"),
+                    "reason should say why: {reason}"
+                );
+            }
+            other => panic!("expected Unavailable for every slot, got {other:?}"),
+        }
+    }
+    let router_stats = router.router_stats();
+    assert_eq!(router_stats.unavailable_slots, 12);
+    drop(router);
+}

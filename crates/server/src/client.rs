@@ -118,6 +118,15 @@ pub struct ClientConfig {
     /// to a pre-v2 build — the escape hatch for wire-level debugging and
     /// differential tests.
     pub force_v1: bool,
+    /// Initial pause between [`QbsClient::connect_retry`] attempts. Each
+    /// failed attempt doubles the pause (up to
+    /// [`ClientConfig::retry_backoff_max`]), and the actual sleep is
+    /// *jittered* — drawn uniformly from `[pause/2, pause]` — so a fleet
+    /// of clients reconnecting to a restarted replica spreads out instead
+    /// of hammering the listener in lockstep.
+    pub retry_backoff: Duration,
+    /// Cap on the exponential backoff growth.
+    pub retry_backoff_max: Duration,
 }
 
 impl Default for ClientConfig {
@@ -126,6 +135,8 @@ impl Default for ClientConfig {
             io_timeout: Duration::from_secs(30),
             connect_timeout: Duration::from_secs(5),
             force_v1: false,
+            retry_backoff: Duration::from_millis(10),
+            retry_backoff_max: Duration::from_millis(500),
         }
     }
 }
@@ -148,6 +159,53 @@ impl ClientConfig {
         self.force_v1 = force_v1;
         self
     }
+
+    /// Sets the initial retry pause (doubled per failed attempt).
+    pub fn retry_backoff(mut self, retry_backoff: Duration) -> ClientConfig {
+        self.retry_backoff = retry_backoff;
+        self
+    }
+
+    /// Sets the backoff growth cap.
+    pub fn retry_backoff_max(mut self, retry_backoff_max: Duration) -> ClientConfig {
+        self.retry_backoff_max = retry_backoff_max;
+        self
+    }
+}
+
+/// One step of the retry pacing: the jittered sleep for the current
+/// backoff (uniform in `[backoff/2, backoff]` — equal jitter keeps a
+/// minimum pacing while desynchronising a reconnect storm) and the next,
+/// doubled-and-capped backoff.
+fn backoff_step(backoff: Duration, cap: Duration, rng: &mut u64) -> (Duration, Duration) {
+    let micros = backoff.as_micros().min(u128::from(u64::MAX)) as u64;
+    let half = micros / 2;
+    let sleep = Duration::from_micros(half + xorshift(rng) % (micros - half + 1));
+    let next = backoff.saturating_mul(2).min(cap.max(backoff));
+    (sleep, next)
+}
+
+/// `xorshift64` — a tiny full-period PRNG; statistical quality is beside
+/// the point here, distinct streams per process are all jitter needs.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Seeds the jitter stream from the wall clock and the process ID, so
+/// simultaneously restarted clients still draw different sequences.
+/// Never zero (the xorshift fixed point).
+fn jitter_seed() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()))
+        .unwrap_or(0);
+    let pid = u64::from(std::process::id());
+    ((nanos << 20) ^ (pid << 8) ^ nanos) | 1
 }
 
 /// A blocking connection to a `qbs-server`.
@@ -235,12 +293,20 @@ impl QbsClient {
     }
 
     /// [`QbsClient::connect_retry`] under an explicit configuration.
+    /// Failed attempts are paced by jittered exponential backoff
+    /// ([`ClientConfig::retry_backoff`] doubling up to
+    /// [`ClientConfig::retry_backoff_max`], each sleep drawn uniformly
+    /// from the upper half of the current pause) — a fixed cadence would
+    /// synchronise every client of a restarted replica into one thundering
+    /// herd, re-shedding each other on the exact same beat.
     pub fn connect_retry_with(
         addr: &str,
         timeout: Duration,
         config: ClientConfig,
     ) -> Result<QbsClient, ProtocolError> {
         let deadline = Instant::now() + timeout;
+        let mut rng = jitter_seed();
+        let mut backoff = config.retry_backoff.max(Duration::from_millis(1));
         loop {
             // Clip the attempt budget to what remains of the total, so
             // the last attempt cannot overshoot the caller's deadline.
@@ -260,7 +326,15 @@ impl QbsClient {
             match attempt {
                 Ok(client) => return Ok(client),
                 Err(err) if Instant::now() >= deadline => return Err(err),
-                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                Err(_) => {
+                    let (sleep, next) = backoff_step(backoff, config.retry_backoff_max, &mut rng);
+                    backoff = next;
+                    // Never sleep past the caller's deadline; the final
+                    // clipped attempt above then fails fast and returns.
+                    std::thread::sleep(
+                        sleep.min(deadline.saturating_duration_since(Instant::now())),
+                    );
+                }
             }
         }
     }
@@ -446,4 +520,60 @@ fn unexpected(frame: ResponseFrame) -> ProtocolError {
 /// read back.
 fn busy_error(reason: BusyReason) -> ProtocolError {
     ProtocolError::Shed(reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_to_the_cap_and_jitters_in_the_upper_half() {
+        let cap = Duration::from_millis(80);
+        let mut rng = jitter_seed();
+        let mut backoff = Duration::from_millis(10);
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            let (sleep, next) = backoff_step(backoff, cap, &mut rng);
+            assert!(
+                sleep >= backoff / 2 && sleep <= backoff,
+                "jittered sleep {sleep:?} outside [{:?}, {backoff:?}]",
+                backoff / 2
+            );
+            seen.push(backoff);
+            backoff = next;
+        }
+        assert_eq!(
+            &seen[..4],
+            &[
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40),
+                Duration::from_millis(80)
+            ]
+        );
+        assert!(seen[4..].iter().all(|&b| b == cap), "backoff exceeded cap");
+    }
+
+    #[test]
+    fn backoff_cap_below_initial_never_shrinks_the_pause() {
+        // A cap accidentally configured below the initial pause must not
+        // collapse the cadence to zero.
+        let mut rng = 42;
+        let (_, next) = backoff_step(
+            Duration::from_millis(50),
+            Duration::from_millis(10),
+            &mut rng,
+        );
+        assert_eq!(next, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn jitter_streams_diverge() {
+        let mut a = 1u64;
+        let mut b = 2u64;
+        let draws_a: Vec<u64> = (0..4).map(|_| xorshift(&mut a)).collect();
+        let draws_b: Vec<u64> = (0..4).map(|_| xorshift(&mut b)).collect();
+        assert_ne!(draws_a, draws_b);
+        assert_ne!(jitter_seed(), 0);
+    }
 }

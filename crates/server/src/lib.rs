@@ -71,4 +71,4 @@ pub use client::{BatchReply, ClientConfig, QbsClient, Ticket};
 pub use protocol::{
     ProtocolError, ServerStats, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-pub use server::{QbsServer, ServerConfig, ServerHandle, ShutdownSignal};
+pub use server::{QbsServer, ServeBackend, ServerConfig, ServerHandle, ShutdownSignal};

@@ -33,7 +33,7 @@ use std::fmt;
 use std::io::{Read, Write};
 
 use qbs_core::wire::{RequestId, Wire, WireError, WireReader};
-use qbs_core::{EngineStats, QueryOutcome, QueryRequest};
+use qbs_core::{EngineStats, QueryOutcome, QueryRequest, RouterStats};
 
 use crate::admission::{AdmissionStats, BusyReason};
 
@@ -86,6 +86,11 @@ pub enum RequestFrame {
 }
 
 /// A server-to-client frame.
+// `Stats` dwarfs the other variants since it grew the optional router
+// section, but it is a rare control frame — boxing it would complicate
+// every construction site to shrink a frame that is built a handful of
+// times per connection lifetime.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum ResponseFrame {
     /// Per-request outcomes of a [`RequestFrame::Batch`], in input order.
@@ -105,18 +110,29 @@ pub enum ResponseFrame {
 }
 
 /// Counter snapshot returned by the `Stats` frame: the session's serving
-/// counters plus the admission-control counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+/// counters plus the admission-control counters. A scatter/gather router
+/// (`qbs route`) answers the same frame with its *merged* per-replica
+/// engine counters and the routing-tier breakdown in
+/// [`ServerStats::router`]; a plain `qbs serve` leaves it `None`.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServerStats {
-    /// Engine/session counters (requests, batches, errors, cache).
+    /// Engine/session counters (requests, batches, errors, cache). On a
+    /// router these are the sums across every reachable replica.
     pub engine: EngineStats,
-    /// Admission counters (admitted, shed, in-flight).
+    /// Admission counters of the answering process (admitted, shed,
+    /// in-flight).
     pub admission: AdmissionStats,
+    /// Routing-tier counters; present only when a router answered.
+    pub router: Option<RouterStats>,
 }
 
 impl fmt::Display for ServerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}\n{}", self.engine, self.admission)
+        write!(f, "{}\n{}", self.engine, self.admission)?;
+        if let Some(router) = &self.router {
+            write!(f, "\n{router}")?;
+        }
+        Ok(())
     }
 }
 
@@ -124,12 +140,14 @@ impl Wire for ServerStats {
     fn encode(&self, out: &mut Vec<u8>) {
         self.engine.encode(out);
         self.admission.encode(out);
+        self.router.encode(out);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(ServerStats {
             engine: EngineStats::decode(r)?,
             admission: AdmissionStats::decode(r)?,
+            router: Option::<RouterStats>::decode(r)?,
         })
     }
 }

@@ -58,9 +58,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qbs_core::wire::RequestId;
-use qbs_core::{Qbs, QueryMode, QueryRequest};
+use qbs_core::{Qbs, QueryMode, QueryOutcome, QueryRequest};
 
-use crate::admission::{Admission, AdmissionConfig, OwnedInflightGuard};
+use crate::admission::{Admission, AdmissionConfig, AdmissionStats, OwnedInflightGuard};
 use crate::poll::{self, PollFd, WakePipe, POLLIN, POLLOUT};
 use crate::protocol::{
     self, fault_code, ProtocolError, RequestFrame, ResponseFrame, ServerStats, WireFault,
@@ -202,6 +202,59 @@ impl ShutdownSignal {
     }
 }
 
+/// What the reactor serves: the thing that turns an admitted batch into
+/// outcomes. [`Qbs`] is the canonical backend (a replica serving one
+/// mmap'd index); the routing tier implements this over a replica pool,
+/// reusing the whole reactor — handshake, admission, pipelining,
+/// drain — unchanged.
+pub trait ServeBackend: Send + Sync + std::fmt::Debug + 'static {
+    /// Executes a batch, one outcome per request slot.
+    fn execute(&self, requests: &[QueryRequest]) -> Vec<QueryOutcome>;
+
+    /// Builds the `Stats` response around the server's own admission
+    /// snapshot.
+    fn server_stats(&self, admission: AdmissionStats) -> ServerStats;
+
+    /// Whether single-request `Distance` frames may execute inline on the
+    /// reactor thread. Only a backend whose fast path is genuinely
+    /// microsecond-scale (a local index) should say yes; a backend that
+    /// performs I/O (the router's replica round-trip) must say no, or one
+    /// slow call would add head-of-line latency to every connection.
+    fn inline_eligible(&self) -> bool {
+        false
+    }
+
+    /// Whether `Stats` frames may be answered inline on the reactor
+    /// thread. Same I/O caveat as [`ServeBackend::inline_eligible`]: the
+    /// router gathers stats from every replica over the network, so it
+    /// answers on a worker instead.
+    fn stats_inline(&self) -> bool {
+        false
+    }
+}
+
+impl ServeBackend for Qbs {
+    fn execute(&self, requests: &[QueryRequest]) -> Vec<QueryOutcome> {
+        self.submit(requests)
+    }
+
+    fn server_stats(&self, admission: AdmissionStats) -> ServerStats {
+        ServerStats {
+            engine: self.engine_stats(),
+            admission,
+            router: None,
+        }
+    }
+
+    fn inline_eligible(&self) -> bool {
+        true
+    }
+
+    fn stats_inline(&self) -> bool {
+        true
+    }
+}
+
 /// Namespace for starting servers (see [`QbsServer::start`]).
 pub struct QbsServer;
 
@@ -209,6 +262,18 @@ impl QbsServer {
     /// Binds `config.addr` and starts serving `qbs` — returns immediately
     /// with a handle owning the reactor and worker threads.
     pub fn start(qbs: Arc<Qbs>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        QbsServer::start_with_backend(qbs, config)
+    }
+
+    /// Binds `config.addr` and starts serving an arbitrary
+    /// [`ServeBackend`] — the generalisation the `qbs-router` crate
+    /// builds on. Everything protocol-facing (handshake, framing,
+    /// admission, pipelining, graceful drain) is identical to
+    /// [`QbsServer::start`].
+    pub fn start_with_backend(
+        backend: Arc<dyn ServeBackend>,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -224,19 +289,20 @@ impl QbsServer {
 
         let workers: Vec<JoinHandle<()>> = (0..worker_count)
             .map(|i| {
-                let qbs = Arc::clone(&qbs);
+                let backend = Arc::clone(&backend);
+                let admission = Arc::clone(&admission);
                 let rx = Arc::clone(&jobs_rx);
                 let completions = Arc::clone(&completions);
                 let wake = Arc::clone(&wake);
                 std::thread::Builder::new()
                     .name(format!("qbs-worker-{i}"))
-                    .spawn(move || worker_loop(&qbs, &rx, &completions, &wake))
+                    .spawn(move || worker_loop(&*backend, &admission, &rx, &completions, &wake))
                     .expect("spawn worker thread")
             })
             .collect();
 
         let reactor = {
-            let qbs = Arc::clone(&qbs);
+            let backend = Arc::clone(&backend);
             let admission = Arc::clone(&admission);
             let signal = Arc::clone(&signal);
             let wake = Arc::clone(&wake);
@@ -246,7 +312,7 @@ impl QbsServer {
                 .spawn(move || {
                     reactor_loop(
                         listener,
-                        &qbs,
+                        &*backend,
                         &admission,
                         &signal,
                         &wake,
@@ -261,7 +327,7 @@ impl QbsServer {
             addr,
             signal,
             admission,
-            qbs,
+            backend,
             wake,
             reactor: Some(reactor),
             workers,
@@ -276,7 +342,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     signal: Arc<ShutdownSignal>,
     admission: Arc<Admission>,
-    qbs: Arc<Qbs>,
+    backend: Arc<dyn ServeBackend>,
     wake: Arc<WakePipe>,
     reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -295,9 +361,9 @@ impl ServerHandle {
         Arc::clone(&self.signal)
     }
 
-    /// The served session (shared with every worker).
-    pub fn qbs(&self) -> &Arc<Qbs> {
-        &self.qbs
+    /// The served backend (shared with every worker).
+    pub fn backend(&self) -> &Arc<dyn ServeBackend> {
+        &self.backend
     }
 
     /// Number of reactor threads — always exactly 1, independent of how
@@ -314,10 +380,7 @@ impl ServerHandle {
     /// A snapshot of the server's serving + admission counters — the same
     /// value a `Stats` protocol frame returns.
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            engine: self.qbs.engine_stats(),
-            admission: self.admission.stats(),
-        }
+        self.backend.server_stats(self.admission.stats())
     }
 
     /// Triggers shutdown (idempotent), drains in-flight batches, joins the
@@ -357,14 +420,25 @@ impl Drop for ServerHandle {
     }
 }
 
-/// A decoded batch travelling from the reactor to a worker, carrying its
-/// admission permit.
+/// A unit of work travelling from the reactor to a worker.
 struct Job {
     token: u64,
     id: RequestId,
     version: u16,
-    requests: Vec<QueryRequest>,
-    permit: OwnedInflightGuard,
+    kind: JobKind,
+}
+
+/// What a worker does with a [`Job`]. Batches always run here; `Stats`
+/// runs here only for backends whose snapshot performs I/O (the router
+/// polls every replica) — see [`ServeBackend::stats_inline`].
+enum JobKind {
+    /// An admitted batch, carrying its admission permit.
+    Batch {
+        requests: Vec<QueryRequest>,
+        permit: OwnedInflightGuard,
+    },
+    /// A `Stats` request the backend answers off-reactor.
+    Stats,
 }
 
 /// An encoded response travelling back from a worker to the reactor.
@@ -376,9 +450,10 @@ struct Completion {
     close: bool,
 }
 
-/// Worker thread body: execute batches, encode, hand back, wake.
+/// Worker thread body: execute jobs, encode, hand back, wake.
 fn worker_loop(
-    qbs: &Qbs,
+    backend: &dyn ServeBackend,
+    admission: &Admission,
     rx: &Mutex<Receiver<Job>>,
     completions: &Mutex<Vec<Completion>>,
     wake: &WakePipe,
@@ -391,11 +466,18 @@ fn worker_loop(
         let Ok(job) = job else {
             break; // reactor gone, queue drained
         };
-        let outcomes = qbs.submit(&job.requests);
-        // Release the permits before the response is queued — execution
-        // is what the in-flight bound meters, exactly as before.
-        drop(job.permit);
-        let (bytes, close) = wire_response(job.version, job.id, &ResponseFrame::Batch(outcomes));
+        let frame = match job.kind {
+            JobKind::Batch { requests, permit } => {
+                let outcomes = backend.execute(&requests);
+                // Release the permits before the response is queued —
+                // execution is what the in-flight bound meters, exactly
+                // as before.
+                drop(permit);
+                ResponseFrame::Batch(outcomes)
+            }
+            JobKind::Stats => ResponseFrame::Stats(backend.server_stats(admission.stats())),
+        };
+        let (bytes, close) = wire_response(job.version, job.id, &frame);
         completions
             .lock()
             .expect("completion queue poisoned")
@@ -531,7 +613,7 @@ impl Conn {
 
 /// Immutable context shared by the reactor's helper functions.
 struct Ctx<'a> {
-    qbs: &'a Qbs,
+    backend: &'a dyn ServeBackend,
     admission: &'a Arc<Admission>,
     signal: &'a ShutdownSignal,
     jobs: &'a Sender<Job>,
@@ -541,7 +623,7 @@ struct Ctx<'a> {
 #[allow(clippy::too_many_arguments)]
 fn reactor_loop(
     listener: TcpListener,
-    qbs: &Arc<Qbs>,
+    backend: &dyn ServeBackend,
     admission: &Arc<Admission>,
     signal: &ShutdownSignal,
     wake: &WakePipe,
@@ -549,7 +631,7 @@ fn reactor_loop(
     jobs: Sender<Job>,
 ) {
     let ctx = Ctx {
-        qbs,
+        backend,
         admission,
         signal,
         jobs: &jobs,
@@ -930,10 +1012,11 @@ fn execute_frame(
                 // be arbitrarily heavy on a large graph), still goes to
                 // the workers so one slow query can't add head-of-line
                 // latency to every other connection's I/O.
-                if requests.len() <= INLINE_BATCH_MAX
+                if ctx.backend.inline_eligible()
+                    && requests.len() <= INLINE_BATCH_MAX
                     && requests.iter().all(|r| r.mode == QueryMode::Distance)
                 {
-                    let outcomes = ctx.qbs.submit(&requests);
+                    let outcomes = ctx.backend.execute(&requests);
                     drop(permit);
                     let frame = ResponseFrame::Batch(outcomes);
                     queue_reply(conn, version, id, &frame);
@@ -945,18 +1028,28 @@ fn execute_frame(
                     token,
                     id,
                     version,
-                    requests,
-                    permit,
+                    kind: JobKind::Batch { requests, permit },
                 });
             }
             Err(reason) => queue_reply(conn, version, id, &ResponseFrame::Busy(reason)),
         },
         RequestFrame::Stats => {
-            let stats = ServerStats {
-                engine: ctx.qbs.engine_stats(),
-                admission: ctx.admission.stats(),
-            };
-            queue_reply(conn, version, id, &ResponseFrame::Stats(stats));
+            if ctx.backend.stats_inline() {
+                let stats = ctx.backend.server_stats(ctx.admission.stats());
+                queue_reply(conn, version, id, &ResponseFrame::Stats(stats));
+            } else {
+                // The backend's snapshot performs I/O (the router rounds
+                // up every replica): answer it on a worker so the reactor
+                // never blocks on the network.
+                conn.inflight += 1;
+                *dispatched += 1;
+                let _ = ctx.jobs.send(Job {
+                    token,
+                    id,
+                    version,
+                    kind: JobKind::Stats,
+                });
+            }
         }
         RequestFrame::Ping => queue_reply(conn, version, id, &ResponseFrame::Pong),
         RequestFrame::Shutdown => {

@@ -61,6 +61,7 @@ fn response_bodies() -> Vec<Vec<u8>> {
                 inflight: 4,
                 connections: 2,
             },
+            router: None,
         })
         .encode_body(),
         ResponseFrame::Pong.encode_body(),
@@ -284,6 +285,23 @@ fn stats_payload_truncation_sweep() {
             }),
         },
         admission: AdmissionStats::default(),
+        router: Some(qbs_core::RouterStats {
+            batches_routed: 100,
+            subbatches: 210,
+            retries: 3,
+            ejections: 1,
+            unavailable_slots: 0,
+            replicas: vec![qbs_core::ReplicaStats {
+                addr: "127.0.0.1:7411".to_string(),
+                healthy: true,
+                requests: 4_000,
+                batches: 120,
+                retries: 3,
+                ejections: 1,
+                in_flight: 2,
+                consecutive_failures: 0,
+            }],
+        }),
     };
     let bytes = to_bytes(&stats);
     assert_eq!(from_bytes::<ServerStats>(&bytes).unwrap(), stats);
