@@ -21,6 +21,10 @@
 //!   not server work, dominates small frames. (Enforced only with ≥2
 //!   cores — on one core the client and reactor serialize on the CPU
 //!   and there is no idle round-trip time for pipelining to hide.)
+//! * **observability is near-free** — serving with the per-stage
+//!   histograms recording must stay within 2% of the same workload with
+//!   the registry disabled (`QBS_BENCH_NO_ASSERT=1` downgrades to a
+//!   warning on noisy shared runners).
 //!
 //! Run with `cargo bench --bench server_throughput`.
 
@@ -318,6 +322,52 @@ fn bench_server_throughput(c: &mut Criterion) {
             planner.dedup_hits > 0,
             "a zipf(1.5) batch must contain coalescable duplicates"
         );
+    }
+
+    // ---- Observability-overhead tripwire: metrics on vs off. ----
+    // The per-stage histograms are sharded atomics on the batch path;
+    // their cost budget is ≤2% of loopback throughput. Interleaved
+    // best-of-3 on each side so a descheduled run can't skew the ratio.
+    let metrics_overhead = {
+        let measure = |client: &mut QbsClient| {
+            let t0 = Instant::now();
+            for _ in 0..ROUNDS {
+                for batch in batches.iter().take(4) {
+                    let reply = client.submit(batch).expect("submit");
+                    assert!(reply.outcomes().is_some(), "benchmark server must not shed");
+                }
+            }
+            total_requests / t0.elapsed().as_secs_f64()
+        };
+        let mut client = connect_ready(&addr);
+        let (mut on_best, mut off_best) = (f64::MIN, f64::MIN);
+        for _ in 0..3 {
+            qbs.metrics().set_enabled(true);
+            on_best = on_best.max(measure(&mut client));
+            qbs.metrics().set_enabled(false);
+            off_best = off_best.max(measure(&mut client));
+        }
+        qbs.metrics().set_enabled(true);
+        (on_best, off_best)
+    };
+    let (on_rps, off_rps) = metrics_overhead;
+    let overhead_pct = (off_rps - on_rps) / off_rps.max(f64::MIN_POSITIVE) * 100.0;
+    println!(
+        "observability overhead: metrics on {on_rps:.0} req/s vs off {off_rps:.0} req/s \
+         ({overhead_pct:+.2}% slowdown)"
+    );
+    if on_rps < off_rps * 0.98 {
+        let msg = format!(
+            "instrumented serving must stay within 2% of metrics-off throughput \
+             (on {on_rps:.0} vs off {off_rps:.0} req/s, {overhead_pct:.2}% slowdown)"
+        );
+        if cores < 2 {
+            eprintln!("note: {msg} — not enforced on this {cores}-core machine");
+        } else if std::env::var_os("QBS_BENCH_NO_ASSERT").is_some() {
+            eprintln!("warning (QBS_BENCH_NO_ASSERT set): {msg}");
+        } else {
+            panic!("{msg}");
+        }
     }
 
     // Criterion group: one-batch round trip, in-process vs loopback.

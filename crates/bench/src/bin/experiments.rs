@@ -5,7 +5,7 @@
 //!
 //! which:    table1 | table2 | table3 | fig7 | fig8 | fig9 | fig10 | fig11 |
 //!           traversal | ablation | viewserve | compactserve | mixedbatch |
-//!           batchplan | netserve | routed | all
+//!           batchplan | netserve | routed | obs | all
 //!
 //! options:
 //!   --scale tiny|small|medium|large   dataset scale          (default: small)
@@ -172,6 +172,17 @@ fn main() -> ExitCode {
         drift |= !r.all_ok();
         outputs.insert("routed", (r.render(), serde_json::to_value(&r).unwrap()));
     }
+    if which == "obs" {
+        let r = match experiments::obs_serving(&config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: obs failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        drift |= !r.all_ok();
+        outputs.insert("obs", (r.render(), serde_json::to_value(&r).unwrap()));
+    }
 
     if outputs.is_empty() {
         eprintln!("error: unknown experiment '{which}'\n");
@@ -201,7 +212,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|viewserve|compactserve|mixedbatch|batchplan|netserve|routed|all> \
+        "usage: experiments <table1|table2|table3|fig7|fig8|fig9|fig10|fig11|traversal|ablation|viewserve|compactserve|mixedbatch|batchplan|netserve|routed|obs|all> \
          [--scale tiny|small|medium|large] [--queries N] [--landmarks N] \
          [--sweep a,b,c] [--datasets DO,DB,...] [--out DIR]"
     );

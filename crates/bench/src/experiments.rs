@@ -1893,6 +1893,172 @@ pub fn routed_serving(config: &ExperimentConfig) -> Result<RoutedServing, QbsErr
 }
 
 // ---------------------------------------------------------------------------
+// Observability serving — instrumentation differential (CI tripwire)
+// ---------------------------------------------------------------------------
+
+/// Observability-differential result for one dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObsServingRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Requests in the mixed batch (incl. the poisoned pair).
+    pub requests: usize,
+    /// Whether the same session answers bit-identically with the metrics
+    /// registry disabled (instrumentation must never touch answers).
+    pub identical_disabled: bool,
+    /// Whether the served path — traced frames, slow-query log firing on
+    /// every batch — still answers bit-identically to local submit.
+    pub identical_served: bool,
+    /// Execute-stage samples in the served `Metrics` snapshot (proves the
+    /// per-stage histograms recorded the differential traffic).
+    pub execute_samples: u64,
+    /// Slow queries the zero-threshold server logged (each batch trips).
+    pub slow_queries: u64,
+    /// Whether the `Metrics` wire frame round-tripped with recorded
+    /// samples and a non-zero slow-query count.
+    pub metrics_frame_ok: bool,
+}
+
+/// The observability differential: the same mixed batch through (a) an
+/// instrumented local session, (b) the same session with the registry
+/// disabled, and (c) a real server with a zero slow-query threshold and
+/// a pinned trace ID — all three answer sets must be bit-identical, and
+/// the served `Metrics` frame must carry the recorded stage samples.
+/// CI runs this at tiny scale and fails the pipeline on any drift.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObsServing {
+    /// One row per dataset.
+    pub rows: Vec<ObsServingRow>,
+}
+
+impl ObsServing {
+    /// Whether every dataset answered identically in all three regimes
+    /// and the metrics frame carried real samples.
+    pub fn all_ok(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| r.identical_disabled && r.identical_served && r.metrics_frame_ok)
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(
+            "Observability: instrumented serving vs metrics-off vs local Qbs::submit",
+            &[
+                "Dataset",
+                "requests",
+                "exec samples",
+                "slow logged",
+                "off identical",
+                "served identical",
+                "metrics frame",
+            ],
+        );
+        for r in &self.rows {
+            let yes_no = |ok: bool| if ok { "yes".to_string() } else { "NO".into() };
+            t.add_row(vec![
+                r.dataset.clone(),
+                fmt_count(r.requests),
+                fmt_count(r.execute_samples as usize),
+                fmt_count(r.slow_queries as usize),
+                yes_no(r.identical_disabled),
+                yes_no(r.identical_served),
+                yes_no(r.metrics_frame_ok),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Runs the observability differential: build → save v2 → mmap →
+/// instrumented submit vs registry-off submit vs served-with-tracing
+/// submit, then the `Metrics` frame checked for recorded samples.
+pub fn obs_serving(config: &ExperimentConfig) -> Result<ObsServing, QbsError> {
+    use qbs_core::{Stage, TraceId};
+    use qbs_server::{QbsServer, ServerConfig};
+
+    let nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "qbs_bench_obs_serving_{}_{nonce}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let rows = config
+        .specs()
+        .iter()
+        .map(|spec| {
+            let graph = config.graph_for(spec);
+            let workload = config.workload_for(&graph);
+            let owned =
+                QbsIndex::try_build(graph, QbsConfig::with_landmark_count(config.landmark_count))?;
+            let num_vertices = owned.graph().num_vertices();
+            let requests = mixed_requests(workload.pairs(), num_vertices);
+            let path = dir.join(format!("{}.qbs2", spec.id.abbrev()));
+            qbs_core::serialize::save_to_file(&owned, &path)?;
+
+            // (a) Instrumented local session — the reference answers.
+            let local = qbs_core::Qbs::open(&path, qbs_core::MapMode::Mmap)?.with_threads(2)?;
+            let expected = local.submit(&requests);
+
+            // (b) Same session, registry off: recording is the only thing
+            // that may change, never the answers.
+            local.metrics().set_enabled(false);
+            let identical_disabled = local.submit(&requests) == expected;
+            local.metrics().set_enabled(true);
+
+            // (c) Served with a zero slow-query threshold (every batch
+            // trips the log) and a pinned trace ID on the wire.
+            let qbs = std::sync::Arc::new(
+                qbs_core::Qbs::open(&path, qbs_core::MapMode::Mmap)?.with_threads(2)?,
+            );
+            let mut server = QbsServer::start(
+                std::sync::Arc::clone(&qbs),
+                ServerConfig::default().slow_query(std::time::Duration::ZERO),
+            )
+            .map_err(QbsError::Io)?;
+            let addr = server.local_addr().to_string();
+            let mut client = connect_ready(&addr)
+                .ok_or_else(|| QbsError::Io(std::io::Error::other("no handler within 10s")))?;
+            client.set_trace(TraceId(0x0B5E_7ABE));
+            let reply = client.submit(&requests).map_err(protocol_to_qbs)?;
+            let identical_served = reply.outcomes() == Some(&expected[..]);
+
+            // The Metrics frame must carry the stage samples the served
+            // batch just recorded, plus the slow-query count.
+            let snapshot = client.metrics().map_err(protocol_to_qbs)?;
+            let stages = Stage::ALL.len();
+            let execute_samples: u64 = snapshot
+                .hists
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % stages == Stage::Execute as usize)
+                .map(|(_, h)| h.count)
+                .sum();
+            let slow_queries = snapshot.slow_queries;
+            let metrics_frame_ok = execute_samples > 0 && slow_queries > 0;
+
+            drop(client);
+            server.shutdown();
+            std::fs::remove_file(&path).ok();
+            Ok(ObsServingRow {
+                dataset: spec.id.name().to_string(),
+                requests: requests.len(),
+                identical_disabled,
+                identical_served,
+                execute_samples,
+                slow_queries,
+                metrics_frame_ok,
+            })
+        })
+        .collect::<Result<Vec<_>, QbsError>>()?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(ObsServing { rows })
+}
+
+// ---------------------------------------------------------------------------
 // Ablations — landmark strategy and parallel speed-up
 // ---------------------------------------------------------------------------
 

@@ -89,6 +89,12 @@ pub enum Command {
         max_connections: usize,
         /// Answer-cache capacity; `None` serves uncached.
         cache: Option<usize>,
+        /// Bind address for the HTTP `GET /metrics` listener
+        /// (`--metrics-addr H:P`); `None` disables it.
+        metrics_addr: Option<String>,
+        /// Slow-query log threshold in milliseconds
+        /// (`--slow-query-ms N`); `None` disables the log.
+        slow_query_ms: Option<u64>,
     },
     /// Route client batches across a pool of running `qbs serve`
     /// replicas (`qbs-router`): scatter/gather with health-checked
@@ -109,14 +115,24 @@ pub enum Command {
         max_batch: usize,
         /// Admission bound on concurrently served connections.
         max_connections: usize,
+        /// Bind address for the router's HTTP `GET /metrics` listener
+        /// (`--metrics-addr H:P`); `None` disables it.
+        metrics_addr: Option<String>,
+        /// Slow-query log threshold in milliseconds
+        /// (`--slow-query-ms N`); `None` disables the log.
+        slow_query_ms: Option<u64>,
     },
     /// Talk to a running `qbs serve` (or `qbs route`) instance.
     Client {
         /// Server address (`host:port`).
         addr: String,
         /// Pin the connection to protocol v1 (`--protocol v1`) instead of
-        /// negotiating up to v2.
+        /// negotiating up to the newest version.
         force_v1: bool,
+        /// Pin every frame to one trace ID (`--trace-id HEX`) instead of
+        /// generating a fresh one per send — makes a request findable in
+        /// the server's slow-query log.
+        trace_id: Option<u64>,
         /// What to do on the connection.
         action: ClientAction,
     },
@@ -166,11 +182,15 @@ pub enum ClientAction {
     /// (`--stats` with no query arguments).
     Stats,
     /// Measure protocol round-trip latency (`--ping [--count N]`):
-    /// min/p50/max over `count` pings.
+    /// min/p50/p90/p99/max over `count` pings.
     Ping {
         /// Number of round trips to measure (default 5).
         count: usize,
     },
+    /// Fetch and print the server's per-stage latency histograms
+    /// (`--metrics` with no query arguments). Against a router this is
+    /// the bucket-wise merge across every replica.
+    Metrics,
     /// Ask the server to drain and exit (`--shutdown`).
     Shutdown,
 }
@@ -199,14 +219,16 @@ commands:
   query    --index FILE --pairs FILE [--threads N] [query options]
   serve    --index FILE [--mmap] [--addr H:P | --port P] [--threads N]
            [--workers W] [--max-inflight M] [--max-batch B]
-           [--max-connections C] [--cache N]
+           [--max-connections C] [--cache N] [--metrics-addr H:P]
+           [--slow-query-ms N]
   route    --replica H:P [--replica H:P ...] [--addr H:P | --port P]
            [--workers W] [--max-inflight M] [--max-batch B]
-           [--max-connections C]
+           [--max-connections C] [--metrics-addr H:P] [--slow-query-ms N]
   client   --addr H:P --pairs FILE [--mode M] [--stats] [--format F]
   client   --addr H:P --source U --target V [--mode M] [--format F]
-  client   --addr H:P (--stats | --ping [--count N] | --shutdown)
-  client options also accept [--protocol v1|v2] (default: negotiate v2)
+  client   --addr H:P (--stats | --metrics | --ping [--count N] | --shutdown)
+  client options also accept [--protocol v1|v2|v3] (default: negotiate v3)
+           and [--trace-id HEX] (pin the trace ID every frame carries)
   stats    --index FILE
   inspect  --index FILE
   convert  --from FILE --to FILE
@@ -242,17 +264,30 @@ drains in-flight batches and tears down cleanly. Work beyond
 `--max-inflight`/`--max-batch` gets a typed busy reply, never a hang.
 `client` submits batches against a running server with the same
 rendering as a local `query`; `--stats` alone prints the server's
-serving and admission counters. `--ping` measures round-trip latency
-(min/p50/max over `--count N` pings, default 5). `--protocol v1` pins
-the connection to the FIFO v1 framing instead of negotiating up to the
-pipelined v2.
+serving and admission counters, and `--metrics` prints its per-stage
+latency histograms (count and p50/p90/p99/max per query mode and
+pipeline stage). `--ping` measures round-trip latency
+(min/p50/p90/p99/max over `--count N` pings, default 5). `--protocol
+v1` pins the connection to the FIFO v1 framing instead of negotiating
+up to the pipelined, trace-carrying v3. `--trace-id HEX` pins the trace
+ID every frame carries, so a request can be found in the server's
+slow-query log (docs/observability.md).
+
+`serve --metrics-addr H:P` additionally exposes the same counters and
+histograms as a Prometheus text endpoint (`GET /metrics`), and
+`--slow-query-ms N` logs every batch whose execution takes at least N
+milliseconds to stderr as one `qbs-slow-query ...` line carrying the
+client's trace ID.
 
 `route` runs the replicated scatter/gather tier (docs/router.md): it
 speaks the same protocol as `serve`, splits each batch across the
 least-loaded healthy replicas, retries sheds and failures onto other
 replicas, and ejects unhealthy replicas with backoff. Answers are
 bit-identical to a single replica; `client --stats` against a router
-additionally prints per-replica routing counters.
+additionally prints per-replica routing counters, `client --metrics`
+returns the bucket-wise merge of every replica's histograms, and trace
+IDs propagate onto every scattered sub-batch. `route` accepts the same
+`--metrics-addr`/`--slow-query-ms` options as `serve`.
 ";
 
 /// Default bind host for `serve --port`.
@@ -402,6 +437,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 cache: get("cache")
                     .map(|s| parse_number(&s, "cache capacity"))
                     .transpose()?,
+                metrics_addr: get("metrics-addr"),
+                slow_query_ms: get("slow-query-ms")
+                    .map(|s| parse_number(&s, "slow-query-ms").map(|n| n as u64))
+                    .transpose()?,
             })
         }
         "route" => {
@@ -438,19 +477,24 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .map(|s| parse_number(&s, "max-connections"))
                     .transpose()?
                     .unwrap_or(128),
+                metrics_addr: get("metrics-addr"),
+                slow_query_ms: get("slow-query-ms")
+                    .map(|s| parse_number(&s, "slow-query-ms").map(|n| n as u64))
+                    .transpose()?,
             })
         }
         "client" => {
             let addr = require("addr")?;
             let force_v1 = match get("protocol").as_deref() {
-                None | Some("v2") => false,
+                None | Some("v2") | Some("v3") => false,
                 Some("v1") => true,
                 Some(other) => {
                     return Err(ParseError(format!(
-                        "client: unknown protocol '{other}' (expected v1 or v2)"
+                        "client: unknown protocol '{other}' (expected v1, v2 or v3)"
                     )))
                 }
             };
+            let trace_id = get("trace-id").map(|s| parse_trace_id(&s)).transpose()?;
             let source = get("source")
                 .map(|s| parse_number(&s, "source").map(|n| n as u32))
                 .transpose()?;
@@ -463,11 +507,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let control_flags = [
                 options.contains_key("ping"),
                 options.contains_key("shutdown"),
+                options.contains_key("metrics"),
                 stats && !has_query,
             ];
             if control_flags.iter().filter(|&&f| f).count() > 1 {
                 return Err(ParseError(
-                    "client: --ping, --shutdown and bare --stats are mutually exclusive".into(),
+                    "client: --ping, --shutdown, --metrics and bare --stats are mutually \
+                     exclusive"
+                        .into(),
                 ));
             }
             let action = if options.contains_key("ping") {
@@ -483,6 +530,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             } else if options.contains_key("shutdown") {
                 ensure_no_query(has_query, "--shutdown")?;
                 ClientAction::Shutdown
+            } else if options.contains_key("metrics") {
+                ensure_no_query(has_query, "--metrics")?;
+                ClientAction::Metrics
             } else if stats && !has_query {
                 ClientAction::Stats
             } else {
@@ -517,6 +567,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Client {
                 addr,
                 force_v1,
+                trace_id,
                 action,
             })
         }
@@ -547,7 +598,7 @@ fn collect_options(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<Str
             .ok_or_else(|| ParseError(format!("expected an option, found '{}'", args[i])))?;
         let is_flag = matches!(
             key,
-            "sequential" | "from-view" | "mmap" | "stats" | "ping" | "shutdown"
+            "sequential" | "from-view" | "mmap" | "stats" | "ping" | "shutdown" | "metrics"
         );
         if is_flag {
             options.insert(key.to_string(), String::new());
@@ -565,6 +616,24 @@ fn collect_options(args: &[String]) -> Result<(BTreeMap<String, String>, Vec<Str
         }
     }
     Ok((options, replicas))
+}
+
+/// Parses a `--trace-id` value: hexadecimal, `0x` prefix optional,
+/// nonzero (zero is the reserved untraced marker).
+fn parse_trace_id(token: &str) -> Result<u64, ParseError> {
+    let digits = token
+        .strip_prefix("0x")
+        .or_else(|| token.strip_prefix("0X"))
+        .unwrap_or(token);
+    match u64::from_str_radix(digits, 16) {
+        Ok(0) => Err(ParseError(
+            "client: --trace-id must be nonzero (zero marks untraced frames)".into(),
+        )),
+        Ok(id) => Ok(id),
+        Err(_) => Err(ParseError(format!(
+            "client: invalid --trace-id '{token}' (expected up to 16 hex digits)"
+        ))),
+    }
 }
 
 /// Rejects query arguments combined with a control flag.
@@ -920,6 +989,8 @@ mod tests {
                 max_batch: 16,
                 max_connections: 8,
                 cache: Some(1024),
+                metrics_addr: None,
+                slow_query_ms: None,
             }
         );
         // Defaults, explicit --addr, and the addr/port conflict.
@@ -983,6 +1054,7 @@ mod tests {
             Command::Client {
                 addr: "h:1".into(),
                 force_v1: false,
+                trace_id: None,
                 action: ClientAction::Query {
                     source: None,
                     target: None,
@@ -1021,15 +1093,64 @@ mod tests {
                 ..
             }
         ));
+        assert!(matches!(
+            parse(&args(&[
+                "client",
+                "--addr",
+                "h:1",
+                "--ping",
+                "--protocol",
+                "v3"
+            ]))
+            .unwrap(),
+            Command::Client {
+                force_v1: false,
+                ..
+            }
+        ));
         assert!(parse(&args(&[
             "client",
             "--addr",
             "h:1",
             "--ping",
             "--protocol",
-            "v3"
+            "v9"
         ]))
         .is_err());
+        // `--metrics` is a control action; `--trace-id` takes hex (with
+        // or without 0x) and rejects zero, which marks untraced frames.
+        assert!(matches!(
+            parse(&args(&["client", "--addr", "h:1", "--metrics"])).unwrap(),
+            Command::Client {
+                action: ClientAction::Metrics,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&args(&[
+                "client",
+                "--addr",
+                "h:1",
+                "--ping",
+                "--trace-id",
+                "0xABCD"
+            ]))
+            .unwrap(),
+            Command::Client {
+                trace_id: Some(0xABCD),
+                ..
+            }
+        ));
+        assert!(parse(&args(&[
+            "client",
+            "--addr",
+            "h:1",
+            "--ping",
+            "--trace-id",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&args(&["client", "--addr", "h:1", "--metrics", "--stats"])).is_err());
         let single = parse(&args(&[
             "client", "--addr", "h:1", "--source", "1", "--target", "2", "--format", "json",
         ]))
@@ -1123,6 +1244,8 @@ mod tests {
                 max_inflight,
                 max_batch,
                 max_connections,
+                metrics_addr,
+                slow_query_ms,
             } => {
                 assert_eq!(addr, "127.0.0.1:7410");
                 assert_eq!(
@@ -1134,6 +1257,7 @@ mod tests {
                     (max_inflight, max_batch, max_connections),
                     (4096, 4096, 128)
                 );
+                assert_eq!((metrics_addr, slow_query_ms), (None, None));
             }
             other => panic!("expected Route, got {other:?}"),
         }

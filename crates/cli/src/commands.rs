@@ -223,24 +223,41 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
         Command::Client {
             addr,
             force_v1,
+            trace_id,
             action,
         } => {
             let config = ClientConfig::default().force_v1(*force_v1);
             let mut client = QbsClient::connect_with(addr, config)?;
+            if let Some(id) = trace_id {
+                client.set_trace(qbs_core::TraceId(*id));
+            }
             match action {
                 ClientAction::Ping { count } => {
-                    let mut latencies = Vec::with_capacity(*count);
+                    // The same log2-bucketed histogram the server shards
+                    // per worker, so the quantiles printed here agree
+                    // with what `--metrics` would report server-side.
+                    let hist = qbs_core::LatencyHistogram::new();
                     for _ in 0..*count {
-                        latencies.push(client.ping()?);
+                        hist.record(client.ping()?);
                     }
-                    latencies.sort_unstable();
-                    let ms = |d: &Duration| d.as_secs_f64() * 1e3;
+                    let snap = hist.snapshot();
+                    let ms = |ns: u64| ns as f64 / 1e6;
                     Ok(format!(
                         "pong from {addr}: {count} round trip(s), \
-                         min {:.3}ms / p50 {:.3}ms / max {:.3}ms",
-                        ms(&latencies[0]),
-                        ms(&latencies[(latencies.len() - 1) / 2]),
-                        ms(latencies.last().expect("count >= 1")),
+                         min {:.3}ms / p50 {:.3}ms / p90 {:.3}ms / \
+                         p99 {:.3}ms / max {:.3}ms",
+                        ms(snap.min),
+                        ms(snap.p50()),
+                        ms(snap.p90()),
+                        ms(snap.p99()),
+                        ms(snap.max),
+                    ))
+                }
+                ClientAction::Metrics => {
+                    let snapshot = client.metrics()?;
+                    Ok(format!(
+                        "server metrics for {addr}:\n{}",
+                        snapshot.render_table()
                     ))
                 }
                 ClientAction::Shutdown => {
@@ -453,6 +470,8 @@ pub fn start_server(command: &Command) -> Result<(ServerHandle, Arc<Qbs>), Comma
         max_batch,
         max_connections,
         cache,
+        metrics_addr,
+        slow_query_ms,
     } = command
     else {
         unreachable!("start_server is only called with Command::Serve");
@@ -474,6 +493,8 @@ pub fn start_server(command: &Command) -> Result<(ServerHandle, Arc<Qbs>), Comma
             max_batch: *max_batch,
             max_connections: *max_connections,
         },
+        metrics_addr: metrics_addr.clone(),
+        slow_query: slow_query_ms.map(Duration::from_millis),
     };
     let handle = QbsServer::start(Arc::clone(&qbs), config).map_err(CommandError::Io)?;
     Ok((handle, qbs))
@@ -490,11 +511,13 @@ pub fn start_router(command: &Command) -> Result<RouterHandle, CommandError> {
         max_inflight,
         max_batch,
         max_connections,
+        metrics_addr,
+        slow_query_ms,
     } = command
     else {
         unreachable!("start_router is only called with Command::Route");
     };
-    let config = RouterConfig::bind(addr.clone())
+    let mut config = RouterConfig::bind(addr.clone())
         .replicas(replicas.clone())
         .workers(workers.unwrap_or(4))
         .admission(AdmissionConfig {
@@ -502,6 +525,12 @@ pub fn start_router(command: &Command) -> Result<RouterHandle, CommandError> {
             max_batch: *max_batch,
             max_connections: *max_connections,
         });
+    if let Some(metrics_addr) = metrics_addr {
+        config = config.metrics_addr(metrics_addr.clone());
+    }
+    if let Some(ms) = slow_query_ms {
+        config = config.slow_query(Duration::from_millis(*ms));
+    }
     QbsRouter::start(config).map_err(CommandError::Io)
 }
 
@@ -1268,6 +1297,8 @@ mod tests {
             max_batch: 4,
             max_connections: 8,
             cache: Some(1024),
+            metrics_addr: None,
+            slow_query_ms: None,
         };
         let (mut handle, qbs) = start_server(&serve).expect("start server");
         assert_eq!(qbs.backend().name(), "view", "serve --mmap uses the view");
@@ -1280,6 +1311,7 @@ mod tests {
             run(&Command::Client {
                 addr: addr.clone(),
                 force_v1: false,
+                trace_id: None,
                 action: ClientAction::Query {
                     source: None,
                     target: None,
@@ -1323,6 +1355,7 @@ mod tests {
         let busy = run(&Command::Client {
             addr: addr.clone(),
             force_v1: false,
+            trace_id: None,
             action: ClientAction::Query {
                 source: None,
                 target: None,
@@ -1340,6 +1373,7 @@ mod tests {
         let single = run(&Command::Client {
             addr: addr.clone(),
             force_v1: false,
+            trace_id: None,
             action: ClientAction::Query {
                 source: Some(1),
                 target: Some(5),
@@ -1354,6 +1388,7 @@ mod tests {
         let json = run(&Command::Client {
             addr: addr.clone(),
             force_v1: false,
+            trace_id: None,
             action: ClientAction::Query {
                 source: None,
                 target: None,
@@ -1370,6 +1405,7 @@ mod tests {
         let pong = run(&Command::Client {
             addr: addr.clone(),
             force_v1: false,
+            trace_id: None,
             action: ClientAction::Ping { count: 3 },
         })
         .expect("ping");
@@ -1382,6 +1418,7 @@ mod tests {
         let stats = run(&Command::Client {
             addr: addr.clone(),
             force_v1: false,
+            trace_id: None,
             action: ClientAction::Stats,
         })
         .expect("stats");
@@ -1397,6 +1434,7 @@ mod tests {
         let ack = run(&Command::Client {
             addr: addr.clone(),
             force_v1: false,
+            trace_id: None,
             action: ClientAction::Shutdown,
         })
         .expect("shutdown");
@@ -1405,6 +1443,7 @@ mod tests {
         let refused = run(&Command::Client {
             addr: addr.clone(),
             force_v1: false,
+            trace_id: None,
             action: ClientAction::Ping { count: 1 },
         });
         assert!(matches!(refused, Err(CommandError::Protocol(_))));
@@ -1444,6 +1483,8 @@ mod tests {
             max_batch: 256,
             max_connections: 32,
             cache: None,
+            metrics_addr: None,
+            slow_query_ms: None,
         };
         let replicas: Vec<(ServerHandle, Arc<Qbs>)> = (0..2)
             .map(|i| start_server(&serve(i)).expect("start replica"))
@@ -1458,6 +1499,8 @@ mod tests {
             max_inflight: 256,
             max_batch: 256,
             max_connections: 32,
+            metrics_addr: None,
+            slow_query_ms: None,
         };
         let mut router = start_router(&route).expect("start router");
         let addr = router.local_addr().to_string();
@@ -1468,6 +1511,7 @@ mod tests {
         let routed = run(&Command::Client {
             addr: addr.clone(),
             force_v1: false,
+            trace_id: None,
             action: ClientAction::Query {
                 source: None,
                 target: None,
@@ -1507,6 +1551,7 @@ mod tests {
         let stats = run(&Command::Client {
             addr: addr.clone(),
             force_v1: false,
+            trace_id: None,
             action: ClientAction::Stats,
         })
         .expect("stats");
@@ -1517,6 +1562,7 @@ mod tests {
         let pong = run(&Command::Client {
             addr,
             force_v1: false,
+            trace_id: None,
             action: ClientAction::Ping { count: 2 },
         })
         .expect("ping");

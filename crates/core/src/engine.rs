@@ -58,6 +58,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use qbs_graph::VertexId;
 
 use crate::cache::{AnswerCache, CacheConfig, CacheStats};
+use crate::obs::{AtomicStageNanos, Metrics, Stage, StageNanos};
 use crate::plan::{self, PlannerCounters, PlannerStats};
 use crate::query::{self, QbsIndex, QueryAnswer};
 use crate::request::{execute_cached_on, QueryOutcome, QueryRequest};
@@ -91,6 +92,13 @@ pub struct QueryEngine<'idx, S: IndexStore = QbsIndex> {
     /// Planner effectiveness counters. `Arc` for the same reason as the
     /// cache: the session façade accumulates across transient engines.
     counters: Arc<PlannerCounters>,
+    /// Observability registry fed with per-stage request timings. `Arc`
+    /// for the same reason as the planner counters; `None` on standalone
+    /// engines, which stay uninstrumented.
+    metrics: Option<Arc<Metrics>>,
+    /// Per-stage sums of the batch(es) executed since the last
+    /// [`QueryEngine::take_batch_obs`] — the slow-query log's breakdown.
+    batch_ns: AtomicStageNanos,
 }
 
 impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
@@ -122,6 +130,8 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
             cache: None,
             planner: true,
             counters: Arc::new(PlannerCounters::default()),
+            metrics: None,
+            batch_ns: AtomicStageNanos::default(),
         }
     }
 
@@ -134,6 +144,7 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
         pool: Vec<QueryWorkspace>,
         cache: Option<Arc<AnswerCache>>,
         counters: Arc<PlannerCounters>,
+        metrics: Option<Arc<Metrics>>,
     ) -> Self {
         QueryEngine {
             store,
@@ -142,6 +153,8 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
             cache,
             planner: true,
             counters,
+            metrics,
+            batch_ns: AtomicStageNanos::default(),
         }
     }
 
@@ -195,6 +208,47 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
         &self.counters
     }
 
+    /// The metrics registry, when attached *and* recording — the one
+    /// check instrumented paths branch on.
+    pub(crate) fn obs(&self) -> Option<&Metrics> {
+        self.metrics.as_deref().filter(|m| m.is_enabled())
+    }
+
+    /// Per-batch stage accumulator (slow-query breakdown sink).
+    pub(crate) fn batch_obs(&self) -> &AtomicStageNanos {
+        &self.batch_ns
+    }
+
+    /// Takes the per-stage time sums accumulated since the last call —
+    /// the whole-batch breakdown the serving layer attaches to slow-query
+    /// log lines. All zero while uninstrumented.
+    pub fn take_batch_obs(&self) -> StageNanos {
+        self.batch_ns.take()
+    }
+
+    /// Executes one request on `ws` with stage instrumentation, flushing
+    /// the request's stage figures into the metrics registry. The shared
+    /// per-request execution body of [`QueryEngine::execute`] and the
+    /// non-planned [`QueryEngine::submit`] path.
+    pub(crate) fn execute_observed(
+        &self,
+        ws: &mut QueryWorkspace,
+        request: &QueryRequest,
+    ) -> QueryOutcome {
+        let metrics = self.obs();
+        ws.obs.enabled = metrics.is_some();
+        let t = ws.obs.start();
+        let outcome = execute_cached_on(self.store, ws, request, self.cache.as_deref());
+        ws.obs.stop(Stage::Execute, t);
+        if let Some(m) = metrics {
+            let ns = ws.obs.take();
+            m.record_request(request.mode, &ns);
+            self.batch_ns.add(&ns);
+            ws.obs.enabled = false;
+        }
+        outcome
+    }
+
     pub(crate) fn cache_ref(&self) -> Option<&AnswerCache> {
         self.cache.as_deref()
     }
@@ -241,7 +295,7 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
     /// cache when one is attached.
     pub fn execute(&self, request: &QueryRequest) -> QueryOutcome {
         let mut ws = self.checkout();
-        let outcome = execute_cached_on(self.store, &mut ws, request, self.cache.as_deref());
+        let outcome = self.execute_observed(&mut ws, request);
         self.checkin(ws);
         outcome
     }
@@ -268,9 +322,7 @@ impl<'idx, S: IndexStore> QueryEngine<'idx, S> {
         if self.planner && requests.len() >= 2 {
             return plan::submit_planned(self, requests);
         }
-        self.fan_out(requests, |store, ws, req| {
-            execute_cached_on(store, ws, req, self.cache.as_deref())
-        })
+        self.fan_out(requests, |_store, ws, req| self.execute_observed(ws, req))
     }
 
     /// Shared batch driver: fans `op` out over the scoped worker pool with

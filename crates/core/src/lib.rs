@@ -53,6 +53,7 @@ pub mod labelling;
 pub mod landmark;
 pub mod meta_graph;
 pub mod mmap;
+pub mod obs;
 pub mod parallel;
 pub mod plan;
 pub mod query;
@@ -74,6 +75,9 @@ pub use format::{CompactView, IndexView, ViewBuf};
 pub use labelling::{LabellingScheme, PathLabelling, NO_LABEL};
 pub use landmark::LandmarkStrategy;
 pub use meta_graph::MetaGraph;
+pub use obs::{
+    HistogramSnapshot, LatencyHistogram, Metrics, MetricsSnapshot, Stage, StageNanos, TraceId,
+};
 pub use plan::PlannerStats;
 pub use query::{distance_on, query_on, sketch_on, QbsConfig, QbsIndex, QueryAnswer};
 pub use request::{

@@ -1,0 +1,944 @@
+//! Low-overhead observability: latency histograms, per-stage request
+//! timing, and trace IDs.
+//!
+//! The serving tier (engine → batch planner → cache → server → router)
+//! exposes lifetime *counters* through [`crate::session::EngineStats`] and
+//! friends; this module adds *distributions*. The design constraints are
+//! the ones of a hot query path answering in microseconds:
+//!
+//! - **Log2 buckets.** A [`LatencyHistogram`] has one bucket per power of
+//!   two of nanoseconds ([`NUM_BUCKETS`] of them), so recording is a
+//!   `leading_zeros` plus one relaxed `fetch_add` — no floating point, no
+//!   locks, and two histograms merge bucket-wise, which keeps quantiles
+//!   well-defined after aggregation (the router merges replica histograms
+//!   this way).
+//! - **Sharding.** A [`Metrics`] registry spreads its histograms over
+//!   [`NUM_SHARDS`] shards selected by a per-thread round-robin tag, so
+//!   concurrent workers do not contend on the same cache lines.
+//!   [`Metrics::snapshot`] folds the shards back together.
+//! - **Always on.** Instrumentation is enabled by default and cheap
+//!   enough to stay on (the `server_throughput` bench gates the overhead
+//!   at ≤ 2%); [`Metrics::set_enabled`] exists so that bench can measure
+//!   the delta, not so production turns it off.
+//!
+//! Per-request stage timing ([`Stage`]) is collected into a small
+//! workspace scratch ([`ObsScratch`]) while a request executes, then
+//! flushed into the registry under the request's
+//! [`QueryMode`] — batch-scoped stages (queue wait, planner, wire encode)
+//! land under the synthetic `batch` mode instead. [`TraceId`]s ride the
+//! protocol-v3 frame envelope from client through router to replicas and
+//! key the threshold-triggered slow-query log (see `docs/observability.md`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::request::QueryMode;
+
+/// Number of log2 nanosecond buckets per histogram. Bucket `i` counts
+/// samples in `[2^i, 2^(i+1))` ns (bucket 0 also absorbs 0 ns), so the
+/// top bucket starts at `2^39` ns ≈ 9 minutes — far beyond any latency
+/// this stack can legitimately produce.
+pub const NUM_BUCKETS: usize = 40;
+
+/// Number of shards a [`Metrics`] registry spreads its histograms over.
+pub const NUM_SHARDS: usize = 8;
+
+/// Bucket index of a nanosecond sample: `floor(log2(ns))`, clamped into
+/// the bucket range (0 ns lands in bucket 0).
+fn bucket_of(ns: u64) -> usize {
+    if ns < 2 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound (in ns) of bucket `i`, saturating at the top.
+fn bucket_upper(i: usize) -> u64 {
+    // The top bucket is open-ended: it absorbs everything `bucket_of`
+    // clamps into it, so its upper bound must not understate them.
+    if i + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// A mergeable log2-bucketed latency histogram over atomic counters.
+///
+/// Recording is lock-free (relaxed atomics); reading goes through
+/// [`LatencyHistogram::snapshot`], which yields an immutable
+/// [`HistogramSnapshot`] with quantile accessors. This is the one
+/// quantile implementation in the codebase — `qbs client --ping` feeds
+/// its round trips through it just like the server feeds request stages.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` while empty, so `fetch_min` needs no empty special case.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(saturating_ns(d));
+    }
+
+    /// Records one sample in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.counts[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.min.fetch_min(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes an immutable copy of the current state. Concurrent recording
+    /// keeps running; the snapshot is internally consistent enough for
+    /// monitoring (counts and sums are read independently).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds another histogram's live counters into this one (bucket-wise).
+    fn absorb(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = other.count.load(Ordering::Relaxed);
+        if n != 0 {
+            self.count.fetch_add(n, Ordering::Relaxed);
+            self.sum
+                .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.min
+                .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.max
+                .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable, mergeable, wire-encodable copy of a
+/// [`LatencyHistogram`]. Quantiles are answered from the log2 buckets:
+/// the reported value is the inclusive upper bound of the bucket the
+/// requested rank falls into, clamped into `[min, max]` — so `p50 ≤ p90 ≤
+/// p99 ≤ max` always holds, and merging two snapshots bucket-wise yields
+/// exactly the snapshot of the concatenated samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (log2 ns buckets; may be empty for a
+    /// histogram that never recorded).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples, in ns.
+    pub sum: u64,
+    /// Smallest sample, in ns (0 when empty).
+    pub min: u64,
+    /// Largest sample, in ns (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one, bucket-wise. The result is
+    /// identical to a snapshot taken over the concatenation of both
+    /// sample sets.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+        } else {
+            self.min = self.min.min(other.min);
+        }
+        self.count += other.count;
+        // Wrapping to match the atomic `fetch_add` accumulation path, so
+        // merge(a, b) stays bit-identical to recording a ++ b.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` (0.0 ..= 1.0), in ns: the upper bound of
+    /// the bucket holding the `ceil(q · count)`-th sample, clamped into
+    /// `[min, max]`. Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median sample, in ns.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile sample, in ns.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile sample, in ns.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean sample, in ns (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Whether the snapshot holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Formats a nanosecond figure as fractional milliseconds (for human
+/// rendering; the wire always carries ns).
+pub fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// A stage of the request path, the label axis of the per-stage latency
+/// histograms. Request-scoped stages (sketch bound through execute) are
+/// recorded under the request's [`QueryMode`]; batch-scoped stages (queue
+/// wait, planner, wire encode) are recorded once per batch under the
+/// synthetic `batch` mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Time a batch spent queued between the reactor and a worker.
+    QueueWait,
+    /// Batch-planner analysis (dedupe, memo setup, scheduling).
+    Planner,
+    /// Landmark-label intersection: sketch / `d⊤` bound computation.
+    SketchBound,
+    /// Guided bidirectional search (full or distance-only).
+    GuidedSearch,
+    /// Answer-cache lookup.
+    CacheLookup,
+    /// Answer-cache admission.
+    CacheAdmit,
+    /// Whole per-request execution (lookup + compute + admit + shaping).
+    Execute,
+    /// Encoding the response frame onto the wire.
+    WireEncode,
+}
+
+impl Stage {
+    /// Every stage, in recording order.
+    pub const ALL: [Stage; NUM_STAGES] = [
+        Stage::QueueWait,
+        Stage::Planner,
+        Stage::SketchBound,
+        Stage::GuidedSearch,
+        Stage::CacheLookup,
+        Stage::CacheAdmit,
+        Stage::Execute,
+        Stage::WireEncode,
+    ];
+
+    /// Stable snake_case label (metric label value, slow-query log key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Planner => "planner",
+            Stage::SketchBound => "sketch_bound",
+            Stage::GuidedSearch => "guided_search",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::CacheAdmit => "cache_admit",
+            Stage::Execute => "execute",
+            Stage::WireEncode => "wire_encode",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Number of [`Stage`] variants.
+pub const NUM_STAGES: usize = 8;
+
+/// Number of mode slots on the histogram matrix: the three
+/// [`QueryMode`]s plus the synthetic `batch` slot for batch-scoped stages.
+pub const NUM_MODE_SLOTS: usize = 4;
+
+/// Index of the synthetic `batch` mode slot.
+const MODE_BATCH: usize = 3;
+
+/// Histogram-matrix slot of a query mode.
+fn mode_slot(mode: QueryMode) -> usize {
+    match mode {
+        QueryMode::Distance => 0,
+        QueryMode::PathGraph => 1,
+        QueryMode::Sketch => 2,
+    }
+}
+
+/// Stable label of a mode slot (metric label value).
+pub fn mode_slot_name(slot: usize) -> &'static str {
+    match slot {
+        0 => "distance",
+        1 => "path_graph",
+        2 => "sketch",
+        _ => "batch",
+    }
+}
+
+/// Per-stage nanosecond totals of one batch — the slow-query log's stage
+/// breakdown, accumulated across the workers that executed the batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageNanos(pub [u64; NUM_STAGES]);
+
+impl StageNanos {
+    /// Adds another breakdown into this one.
+    pub fn add(&mut self, other: &StageNanos) {
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Nanoseconds recorded for one stage.
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.0[stage.index()]
+    }
+
+    /// Sets the figure for one stage.
+    pub fn set(&mut self, stage: Stage, ns: u64) {
+        self.0[stage.index()] = ns;
+    }
+
+    /// Renders the breakdown as space-separated `{stage}_us={n}` pairs —
+    /// the slow-query log's parseable stage fields.
+    pub fn render_us(&self) -> String {
+        let mut out = String::new();
+        for stage in Stage::ALL {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(stage.name());
+            out.push_str("_us=");
+            out.push_str(&(self.get(stage) / 1_000).to_string());
+        }
+        out
+    }
+}
+
+/// Relaxed-atomic per-stage accumulator: the engine sums every request's
+/// stage figures of the current batch here, so the serving layer can
+/// attach a whole-batch stage breakdown to a slow-query log line.
+#[derive(Debug)]
+pub(crate) struct AtomicStageNanos([AtomicU64; NUM_STAGES]);
+
+impl Default for AtomicStageNanos {
+    fn default() -> Self {
+        AtomicStageNanos(std::array::from_fn(|_| AtomicU64::new(0)))
+    }
+}
+
+impl AtomicStageNanos {
+    /// Accumulates one request's stage figures.
+    pub(crate) fn add(&self, ns: &[u64; NUM_STAGES]) {
+        for (slot, &n) in self.0.iter().zip(ns.iter()) {
+            if n != 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Accumulates one stage figure.
+    pub(crate) fn add_one(&self, stage: Stage, ns: u64) {
+        self.0[stage.index()].fetch_add(ns.max(1), Ordering::Relaxed);
+    }
+
+    /// Takes the accumulated breakdown, resetting every stage to zero.
+    pub(crate) fn take(&self) -> StageNanos {
+        StageNanos(std::array::from_fn(|i| {
+            self.0[i].swap(0, Ordering::Relaxed)
+        }))
+    }
+}
+
+/// Per-workspace scratch where a request's stage timings accumulate while
+/// it executes; the engine flushes it into the shared [`Metrics`]
+/// registry after each request. Timing calls are no-ops while `enabled`
+/// is false, so the uninstrumented path costs one branch.
+#[derive(Debug, Default)]
+pub struct ObsScratch {
+    /// Whether the executing engine wants stage timings collected.
+    pub(crate) enabled: bool,
+    ns: [u64; NUM_STAGES],
+}
+
+impl ObsScratch {
+    /// Starts a stage clock, or `None` when timing is off.
+    pub(crate) fn start(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Stops a stage clock started by [`ObsScratch::start`], accumulating
+    /// the elapsed time under `stage`. Sub-nanosecond readings round up
+    /// to 1 ns so "ran in under a tick" stays distinguishable from
+    /// "never ran".
+    pub(crate) fn stop(&mut self, stage: Stage, t: Option<Instant>) {
+        if let Some(t) = t {
+            self.add_ns(stage, saturating_ns(t.elapsed()).max(1));
+        }
+    }
+
+    /// Accumulates `ns` under `stage`.
+    pub(crate) fn add_ns(&mut self, stage: Stage, ns: u64) {
+        self.ns[stage.index()] += ns;
+    }
+
+    /// Takes the per-request figures, resetting them to zero.
+    pub(crate) fn take(&mut self) -> [u64; NUM_STAGES] {
+        std::mem::take(&mut self.ns)
+    }
+}
+
+/// Duration → ns without the 584-year overflow panic.
+pub(crate) fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One shard of the registry: a full (mode slot × stage) histogram
+/// matrix. Threads are spread over shards so concurrent recording does
+/// not contend.
+#[derive(Debug, Default)]
+struct MetricsShard {
+    hists: [[LatencyHistogram; NUM_STAGES]; NUM_MODE_SLOTS],
+}
+
+/// The process-wide observability registry: sharded per-stage latency
+/// histograms keyed by ([`QueryMode`] slot, [`Stage`]), plus the
+/// slow-query counter. One registry lives inside each [`crate::Qbs`]
+/// session (shared with every transient engine it spawns) and each
+/// router backend.
+#[derive(Debug)]
+pub struct Metrics {
+    enabled: AtomicBool,
+    shards: Box<[MetricsShard]>,
+    slow_queries: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Creates an enabled registry.
+    pub fn new() -> Self {
+        Metrics {
+            enabled: AtomicBool::new(true),
+            shards: (0..NUM_SHARDS).map(|_| MetricsShard::default()).collect(),
+            slow_queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether recording is enabled (it is by default).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off. Exists for the instrumentation-overhead
+    /// bench and differential tests; production keeps it on.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// This thread's shard, assigned round-robin on first use.
+    fn shard(&self) -> &MetricsShard {
+        use std::cell::Cell;
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        thread_local! {
+            static TAG: Cell<u64> = const { Cell::new(u64::MAX) };
+        }
+        let tag = TAG.with(|t| {
+            let mut tag = t.get();
+            if tag == u64::MAX {
+                tag = NEXT.fetch_add(1, Ordering::Relaxed);
+                t.set(tag);
+            }
+            tag
+        });
+        &self.shards[(tag % NUM_SHARDS as u64) as usize]
+    }
+
+    /// Records one batch-scoped stage sample (queue wait, planner, wire
+    /// encode).
+    pub fn record_batch_stage(&self, stage: Stage, d: Duration) {
+        if self.is_enabled() {
+            self.shard().hists[MODE_BATCH][stage.index()].record(d);
+        }
+    }
+
+    /// Flushes a request's stage figures (an [`ObsScratch::take`] result)
+    /// under its query mode. Zero entries mean "stage never ran" and are
+    /// skipped.
+    pub(crate) fn record_request(&self, mode: QueryMode, ns: &[u64; NUM_STAGES]) {
+        let row = &self.shard().hists[mode_slot(mode)];
+        for (i, &n) in ns.iter().enumerate() {
+            if n != 0 {
+                row[i].record_ns(n);
+            }
+        }
+    }
+
+    /// Bumps the slow-query counter (one per logged offender).
+    pub fn inc_slow_queries(&self) {
+        self.slow_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a mergeable snapshot of every histogram, folding the shards
+    /// together.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut hists = Vec::with_capacity(NUM_MODE_SLOTS * NUM_STAGES);
+        for slot in 0..NUM_MODE_SLOTS {
+            for stage in 0..NUM_STAGES {
+                let mut snap = HistogramSnapshot::default();
+                for shard in self.shards.iter() {
+                    snap.merge(&shard.hists[slot][stage].snapshot());
+                }
+                hists.push(snap);
+            }
+        }
+        MetricsSnapshot {
+            hists,
+            slow_queries: self.slow_queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds another registry's live counters into this one (used by
+    /// tests; cross-process aggregation merges snapshots instead).
+    pub fn absorb(&self, other: &Metrics) {
+        for (mine, theirs) in self.shards.iter().zip(other.shards.iter()) {
+            for slot in 0..NUM_MODE_SLOTS {
+                for stage in 0..NUM_STAGES {
+                    mine.hists[slot][stage].absorb(&theirs.hists[slot][stage]);
+                }
+            }
+        }
+        self.slow_queries.fetch_add(
+            other.slow_queries.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// A wire-encodable snapshot of a [`Metrics`] registry: the full (mode
+/// slot × stage) histogram matrix in row-major order plus the slow-query
+/// counter. This is the payload of the protocol `Metrics` frame; the
+/// router merges replica snapshots into its own bucket-wise, so
+/// aggregated quantiles stay well-defined.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Histograms in `slot * NUM_STAGES + stage` order. May be shorter
+    /// than the full matrix (older peers); missing families read as
+    /// empty.
+    pub hists: Vec<HistogramSnapshot>,
+    /// Slow queries logged since startup.
+    pub slow_queries: u64,
+}
+
+impl MetricsSnapshot {
+    /// The histogram of one (mode slot, stage) family, empty if absent.
+    pub fn family(&self, slot: usize, stage: Stage) -> HistogramSnapshot {
+        self.hists
+            .get(slot * NUM_STAGES + stage.index())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Merges another snapshot into this one family-by-family,
+    /// bucket-wise.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        if self.hists.len() < other.hists.len() {
+            self.hists
+                .resize_with(other.hists.len(), HistogramSnapshot::default);
+        }
+        for (mine, theirs) in self.hists.iter_mut().zip(other.hists.iter()) {
+            mine.merge(theirs);
+        }
+        self.slow_queries += other.slow_queries;
+    }
+
+    /// Whether no family holds any sample.
+    pub fn is_empty(&self) -> bool {
+        self.hists.iter().all(HistogramSnapshot::is_empty)
+    }
+
+    /// Appends the Prometheus text exposition of the stage histograms:
+    /// one `qbs_stage_seconds` histogram family labelled by `mode` and
+    /// `stage` (cumulative `_bucket{le=…}` lines, `_sum`, `_count`), plus
+    /// quantile gauges `qbs_stage_seconds_quantile`. Empty families are
+    /// skipped. Counter families are appended by the serving layer, which
+    /// owns them.
+    pub fn render_prometheus_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("# TYPE qbs_stage_seconds histogram\n");
+        for slot in 0..NUM_MODE_SLOTS {
+            for stage in Stage::ALL {
+                let h = self.family(slot, stage);
+                if h.is_empty() {
+                    continue;
+                }
+                let labels = format!(
+                    "mode=\"{}\",stage=\"{}\"",
+                    mode_slot_name(slot),
+                    stage.name()
+                );
+                let mut cum = 0u64;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cum += n;
+                    let _ = writeln!(
+                        out,
+                        "qbs_stage_seconds_bucket{{{labels},le=\"{:e}\"}} {cum}",
+                        (bucket_upper(i).saturating_add(1)) as f64 / 1e9
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "qbs_stage_seconds_bucket{{{labels},le=\"+Inf\"}} {}",
+                    h.count
+                );
+                let _ = writeln!(
+                    out,
+                    "qbs_stage_seconds_sum{{{labels}}} {:e}",
+                    h.sum as f64 / 1e9
+                );
+                let _ = writeln!(out, "qbs_stage_seconds_count{{{labels}}} {}", h.count);
+                for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+                    let _ = writeln!(
+                        out,
+                        "qbs_stage_seconds_quantile{{{labels},quantile=\"{q}\"}} {:e}",
+                        v as f64 / 1e9
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "# TYPE qbs_slow_queries_total counter");
+        let _ = writeln!(out, "qbs_slow_queries_total {}", self.slow_queries);
+    }
+
+    /// Renders the non-empty families as an aligned human-readable table
+    /// (the `qbs client --metrics` output): one line per (mode, stage)
+    /// with count and p50/p90/p99/max in ms.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<11} {:<13} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "mode", "stage", "count", "p50 ms", "p90 ms", "p99 ms", "max ms"
+        );
+        for slot in 0..NUM_MODE_SLOTS {
+            for stage in Stage::ALL {
+                let h = self.family(slot, stage);
+                if h.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{:<11} {:<13} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                    mode_slot_name(slot),
+                    stage.name(),
+                    h.count,
+                    ns_to_ms(h.p50()),
+                    ns_to_ms(h.p90()),
+                    ns_to_ms(h.p99()),
+                    ns_to_ms(h.max),
+                );
+            }
+        }
+        let _ = writeln!(out, "slow queries logged: {}", self.slow_queries);
+        out
+    }
+}
+
+/// A request trace identifier, minted by the client and carried verbatim
+/// in the protocol-v3 frame envelope through the router to every replica
+/// that serves a piece of the batch. Slow-query log lines carry it, so a
+/// client-observed slow request can be joined to the replica and stage
+/// that caused it. Zero means "untraced" (v1/v2 peers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The null trace of untraced (pre-v3) requests.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Whether this is the null trace.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift for the randomized property sweeps.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    fn hist_of(samples: &[u64]) -> HistogramSnapshot {
+        let h = LatencyHistogram::new();
+        for &s in samples {
+            h.record_ns(s);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn bucket_scheme_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(1), 3);
+        assert_eq!(bucket_upper(10), 2047);
+    }
+
+    #[test]
+    fn merged_buckets_equal_concatenated_samples() {
+        // Property: snapshot(A) ⊎ snapshot(B) == snapshot(A ++ B),
+        // bucket-for-bucket and for every scalar, across random splits.
+        let mut rng = Rng(0x9E3779B97F4A7C15);
+        for round in 0..200 {
+            let n = (rng.next() % 64) as usize;
+            let split = if n == 0 {
+                0
+            } else {
+                (rng.next() % n as u64) as usize
+            };
+            let samples: Vec<u64> = (0..n).map(|_| rng.next() >> (rng.next() % 48)).collect();
+            let mut merged = hist_of(&samples[..split]);
+            merged.merge(&hist_of(&samples[split..]));
+            assert_eq!(
+                merged,
+                hist_of(&samples),
+                "round {round}: merge drifted from concatenation"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut rng = Rng(0xDEADBEEFCAFEF00D);
+        for _ in 0..200 {
+            let n = 1 + (rng.next() % 100) as usize;
+            let samples: Vec<u64> = (0..n).map(|_| rng.next() >> (rng.next() % 40)).collect();
+            let h = hist_of(&samples);
+            let min = *samples.iter().min().unwrap();
+            let max = *samples.iter().max().unwrap();
+            assert_eq!(h.min, min);
+            assert_eq!(h.max, max);
+            let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0]
+                .iter()
+                .map(|&q| h.quantile(q))
+                .collect();
+            for w in qs.windows(2) {
+                assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+            }
+            for &q in &qs {
+                assert!(q >= min && q <= max, "quantile {q} outside [{min}, {max}]");
+            }
+            // The reported quantile is the bucket upper bound, so it never
+            // undershoots the true order statistic.
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let true_p50 = sorted[(n - 1) / 2];
+            assert!(h.p50() >= true_p50);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_sample_edges() {
+        let empty = hist_of(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+        let one = hist_of(&[1234]);
+        assert_eq!(one.count, 1);
+        assert_eq!(one.p50(), 1234);
+        assert_eq!(one.p99(), 1234);
+        assert_eq!(one.max, 1234);
+        let mut merged = HistogramSnapshot::default();
+        merged.merge(&one);
+        assert_eq!(merged, one);
+        merged.merge(&empty);
+        assert_eq!(merged, one);
+    }
+
+    #[test]
+    fn metrics_registry_shards_fold_into_one_snapshot() {
+        let m = Metrics::new();
+        assert!(m.is_enabled());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let m = &m;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        let mut ns = [0u64; NUM_STAGES];
+                        ns[Stage::Execute as usize] = 1 + t * 100 + i;
+                        m.record_request(QueryMode::Distance, &ns);
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        let exec = snap.family(mode_slot(QueryMode::Distance), Stage::Execute);
+        assert_eq!(exec.count, 800);
+        assert_eq!(exec.min, 1);
+        assert_eq!(exec.max, 800);
+        assert!(snap
+            .family(mode_slot(QueryMode::Sketch), Stage::Execute)
+            .is_empty());
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing_via_batch_path() {
+        let m = Metrics::new();
+        m.set_enabled(false);
+        m.record_batch_stage(Stage::QueueWait, Duration::from_micros(5));
+        assert!(m.snapshot().is_empty());
+        m.set_enabled(true);
+        m.record_batch_stage(Stage::QueueWait, Duration::from_micros(5));
+        assert_eq!(m.snapshot().family(MODE_BATCH, Stage::QueueWait).count, 1);
+    }
+
+    #[test]
+    fn snapshot_merge_tolerates_length_mismatch() {
+        let m = Metrics::new();
+        let mut ns = [0u64; NUM_STAGES];
+        ns[Stage::GuidedSearch as usize] = 42;
+        m.record_request(QueryMode::PathGraph, &ns);
+        let full = m.snapshot();
+        let mut short = MetricsSnapshot {
+            hists: Vec::new(),
+            slow_queries: 3,
+        };
+        short.merge(&full);
+        assert_eq!(short.slow_queries, 3);
+        assert_eq!(
+            short.family(mode_slot(QueryMode::PathGraph), Stage::GuidedSearch),
+            full.family(mode_slot(QueryMode::PathGraph), Stage::GuidedSearch)
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_names_families() {
+        let m = Metrics::new();
+        m.record_batch_stage(Stage::QueueWait, Duration::from_micros(12));
+        m.inc_slow_queries();
+        let mut text = String::new();
+        m.snapshot().render_prometheus_into(&mut text);
+        assert!(text.contains("qbs_stage_seconds_bucket{mode=\"batch\",stage=\"queue_wait\""));
+        assert!(text.contains("qbs_stage_seconds_count{mode=\"batch\",stage=\"queue_wait\"} 1"));
+        assert!(text.contains("qbs_slow_queries_total 1"));
+    }
+
+    #[test]
+    fn stage_nanos_render_is_parseable() {
+        let mut s = StageNanos::default();
+        s.set(Stage::GuidedSearch, 2_500);
+        s.set(Stage::QueueWait, 1_000_000);
+        let line = s.render_us();
+        assert!(line.contains("guided_search_us=2"));
+        assert!(line.contains("queue_wait_us=1000"));
+        assert!(line.contains("planner_us=0"));
+    }
+
+    #[test]
+    fn trace_ids_render_as_fixed_width_hex() {
+        assert_eq!(TraceId(0xdeadbeef).to_string(), "0x00000000deadbeef");
+        assert!(TraceId::NONE.is_none());
+        assert!(!TraceId(1).is_none());
+    }
+}

@@ -45,6 +45,7 @@ use qbs_graph::VertexId;
 
 use crate::cache::AnswerCache;
 use crate::engine::{QueryEngine, CLAIM_CHUNK};
+use crate::obs::Stage;
 use crate::request::{self, AnswerBody, QueryMode, QueryOutcome, QueryRequest};
 use crate::search;
 use crate::sketch;
@@ -149,6 +150,8 @@ pub(crate) fn submit_planned<S: IndexStore>(
     let store = engine.store();
     let n = store.num_vertices();
     let landmarks = store.landmark_filter();
+    let obs = engine.obs();
+    let t_plan = obs.map(|_| std::time::Instant::now());
 
     // 1. Coalesce slots into jobs keyed by normalised request.
     let mut jobs: Vec<Job> = Vec::new();
@@ -268,6 +271,14 @@ pub(crate) fn submit_planned<S: IndexStore>(
         }
     }
 
+    if let (Some(m), Some(t)) = (obs, t_plan) {
+        let d = t.elapsed();
+        m.record_batch_stage(Stage::Planner, d);
+        engine
+            .batch_obs()
+            .add_one(Stage::Planner, crate::obs::saturating_ns(d));
+    }
+
     // 4. Execute: workers claim whole units off the shared cursor.
     let counters = engine.planner_counters();
     counters.add(dedup_hits, 0, 0);
@@ -276,6 +287,7 @@ pub(crate) fn submit_planned<S: IndexStore>(
         (0..requests.len()).map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
     let work = |ws: &mut QueryWorkspace| {
+        ws.obs.enabled = obs.is_some();
         ws.label_memo.begin_batch(n);
         let mut reused_levels = 0u64;
         loop {
@@ -285,6 +297,7 @@ pub(crate) fn submit_planned<S: IndexStore>(
             }
             let (range, from_run) = &units[u];
             for &job_idx in &order[range.clone()] {
+                let t = ws.obs.start();
                 run_job(
                     store,
                     ws,
@@ -295,8 +308,17 @@ pub(crate) fn submit_planned<S: IndexStore>(
                     &outcome_slots,
                     &mut reused_levels,
                 );
+                ws.obs.stop(Stage::Execute, t);
+                if let Some(m) = obs {
+                    // Flushed per job, not per slot: a coalesced job runs
+                    // one computation, so it contributes one sample.
+                    let ns = ws.obs.take();
+                    m.record_request(jobs[job_idx].request.mode, &ns);
+                    engine.batch_obs().add(&ns);
+                }
             }
         }
+        ws.obs.enabled = false;
         counters.add(0, ws.label_memo.take_hits(), reused_levels);
     };
 
@@ -352,7 +374,10 @@ fn run_job<S: IndexStore>(
     let canonical = &job.request;
     let job_cache = cache.filter(|_| job.any_cached);
     if let Some(c) = job_cache {
-        if let Some(body) = c.lookup_body(canonical) {
+        let t = ws.obs.start();
+        let hit = c.lookup_body(canonical);
+        ws.obs.stop(Stage::CacheLookup, t);
+        if let Some(body) = hit {
             for &slot in &job.slots {
                 let opts = &requests[slot as usize].opts;
                 fill_slot(outcome_slots, slot, body.shape(opts));
@@ -368,6 +393,7 @@ fn run_job<S: IndexStore>(
         } else {
             canonical.source
         };
+        let t = ws.obs.start();
         let src_slot = ws.label_memo.ensure(store, u);
         let tgt_slot = ws.label_memo.ensure(store, v);
         let bounds = sketch::compute_bounds(
@@ -375,8 +401,11 @@ fn run_job<S: IndexStore>(
             ws.label_memo.entry(src_slot),
             ws.label_memo.entry(tgt_slot),
         );
+        ws.obs.stop(Stage::SketchBound, t);
+        let t = ws.obs.start();
         let (distance, _stats) =
             search::guided_distance_resumed(store, ws, u, v, &bounds, reused_levels);
+        ws.obs.stop(Stage::GuidedSearch, t);
         Ok((AnswerBody::Distance(distance), bounds.upper_bound))
     } else {
         request::compute_on(store, ws, canonical)
@@ -385,7 +414,9 @@ fn run_job<S: IndexStore>(
     match computed {
         Ok((body, hint)) => {
             if let Some(c) = job_cache {
+                let t = ws.obs.start();
                 c.admit(canonical, &body, hint);
+                ws.obs.stop(Stage::CacheAdmit, t);
             }
             let (&last, rest) = job.slots.split_last().expect("job owns at least one slot");
             for &slot in rest {

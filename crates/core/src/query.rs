@@ -506,8 +506,12 @@ pub fn query_on<S: IndexStore>(
     }
     store.fill_effective_label(source, &mut ws.src_label);
     store.fill_effective_label(target, &mut ws.tgt_label);
+    let t = ws.obs.start();
     let sketch = sketch::compute(store, source, target, &ws.src_label, &ws.tgt_label);
+    ws.obs.stop(crate::obs::Stage::SketchBound, t);
+    let t = ws.obs.start();
     let (path_graph, stats) = search::guided_search_with(store, ws, source, target, &sketch);
+    ws.obs.stop(crate::obs::Stage::GuidedSearch, t);
     Ok(QueryAnswer {
         path_graph,
         sketch,
@@ -550,8 +554,12 @@ pub(crate) fn distance_with_bounds_on<S: IndexStore>(
     }
     store.fill_effective_label(source, &mut ws.src_label);
     store.fill_effective_label(target, &mut ws.tgt_label);
+    let t = ws.obs.start();
     let bounds = sketch::compute_bounds(store, &ws.src_label, &ws.tgt_label);
+    ws.obs.stop(crate::obs::Stage::SketchBound, t);
+    let t = ws.obs.start();
     let (distance, _) = search::guided_distance_with(store, ws, source, target, &bounds);
+    ws.obs.stop(crate::obs::Stage::GuidedSearch, t);
     Ok((distance, bounds))
 }
 

@@ -410,8 +410,10 @@ pub(crate) fn compute_on<S: IndexStore>(
             Ok((AnswerBody::PathGraph(Box::new(answer)), hint))
         }
         QueryMode::Sketch => {
+            let t = ws.obs.start();
             let sketch =
                 query::sketch_on(store, request.source, request.target).map_err(request_error)?;
+            ws.obs.stop(crate::obs::Stage::SketchBound, t);
             let hint = sketch.upper_bound;
             Ok((AnswerBody::Sketch(Box::new(sketch)), hint))
         }
@@ -455,12 +457,17 @@ pub fn execute_cached_on<S: IndexStore>(
     let Some(cache) = cache.filter(|_| request.opts.use_cache) else {
         return execute_on(store, ws, request);
     };
-    if let Some(outcome) = cache.lookup(request) {
+    let t = ws.obs.start();
+    let hit = cache.lookup(request);
+    ws.obs.stop(crate::obs::Stage::CacheLookup, t);
+    if let Some(outcome) = hit {
         return outcome;
     }
     match compute_on(store, ws, request) {
         Ok((body, hint)) => {
+            let t = ws.obs.start();
             cache.admit(request, &body, hint);
+            ws.obs.stop(crate::obs::Stage::CacheAdmit, t);
             body.shape_into(&request.opts)
         }
         Err(e) => QueryOutcome::Error(e),

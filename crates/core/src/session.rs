@@ -43,6 +43,7 @@ use qbs_graph::{Distance, Graph, PathGraph, VertexFilter, VertexId};
 
 use crate::cache::{AnswerCache, CacheConfig, CacheStats};
 use crate::engine::QueryEngine;
+use crate::obs::{Metrics, MetricsSnapshot, Stage, StageNanos};
 use crate::plan::{PlannerCounters, PlannerStats};
 use crate::query::{QbsConfig, QbsIndex, QueryAnswer};
 use crate::request::{execute_cached_on, QueryOutcome, QueryRequest};
@@ -150,6 +151,9 @@ pub struct Qbs {
     /// Batch-planner counters, shared with every transient engine so they
     /// accumulate for the session's lifetime.
     planner: Arc<PlannerCounters>,
+    /// Observability registry (per-stage latency histograms), shared with
+    /// every transient engine for the same reason.
+    metrics: Arc<Metrics>,
 }
 
 impl Qbs {
@@ -165,6 +169,7 @@ impl Qbs {
             batches: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             planner: Arc::new(PlannerCounters::default()),
+            metrics: Arc::new(Metrics::new()),
         }
     }
 
@@ -354,11 +359,20 @@ impl Qbs {
     pub fn execute(&self, request: &QueryRequest) -> QueryOutcome {
         let mut ws = self.checkout();
         let cache = self.cache.as_deref();
+        let observed = self.metrics.is_enabled();
+        ws.obs.enabled = observed;
+        let t = ws.obs.start();
         let outcome = match &self.backend {
             QbsBackend::Owned(s) => execute_cached_on(s.as_ref(), &mut ws, request, cache),
             QbsBackend::View(s) => execute_cached_on(s, &mut ws, request, cache),
             QbsBackend::Compact(s) => execute_cached_on(s, &mut ws, request, cache),
         };
+        ws.obs.stop(Stage::Execute, t);
+        if observed {
+            let ns = ws.obs.take();
+            self.metrics.record_request(request.mode, &ns);
+            ws.obs.enabled = false;
+        }
         self.checkin(ws);
         self.count_outcomes(std::slice::from_ref(&outcome));
         outcome
@@ -373,8 +387,18 @@ impl Qbs {
     /// backend is resolved once per batch, so the workers run over the
     /// concrete monomorphised store.
     pub fn submit(&self, requests: &[QueryRequest]) -> Vec<QueryOutcome> {
+        self.submit_observed(requests).0
+    }
+
+    /// [`Qbs::submit`] plus the batch's aggregate per-stage wall time,
+    /// for callers (the serving tier) that feed a slow-query log.
+    ///
+    /// The returned [`StageNanos`] sums every stage across the whole
+    /// batch; it is all zeros when metrics are disabled.
+    pub fn submit_observed(&self, requests: &[QueryRequest]) -> (Vec<QueryOutcome>, StageNanos) {
         let pool = std::mem::take(&mut *self.pool.lock().expect("workspace pool poisoned"));
-        let (outcomes, recovered) = match &self.backend {
+        let metrics = Some(Arc::clone(&self.metrics));
+        let (outcomes, stage_ns, recovered) = match &self.backend {
             QbsBackend::Owned(s) => {
                 let engine = QueryEngine::with_pool(
                     s.as_ref(),
@@ -382,9 +406,10 @@ impl Qbs {
                     pool,
                     self.cache.clone(),
                     Arc::clone(&self.planner),
+                    metrics,
                 );
                 let outcomes = engine.submit(requests);
-                (outcomes, engine.into_pool())
+                (outcomes, engine.take_batch_obs(), engine.into_pool())
             }
             QbsBackend::View(s) => {
                 let engine = QueryEngine::with_pool(
@@ -393,9 +418,10 @@ impl Qbs {
                     pool,
                     self.cache.clone(),
                     Arc::clone(&self.planner),
+                    metrics,
                 );
                 let outcomes = engine.submit(requests);
-                (outcomes, engine.into_pool())
+                (outcomes, engine.take_batch_obs(), engine.into_pool())
             }
             QbsBackend::Compact(s) => {
                 let engine = QueryEngine::with_pool(
@@ -404,9 +430,10 @@ impl Qbs {
                     pool,
                     self.cache.clone(),
                     Arc::clone(&self.planner),
+                    metrics,
                 );
                 let outcomes = engine.submit(requests);
-                (outcomes, engine.into_pool())
+                (outcomes, engine.take_batch_obs(), engine.into_pool())
             }
         };
         let mut pool = self.pool.lock().expect("workspace pool poisoned");
@@ -415,7 +442,18 @@ impl Qbs {
         drop(pool);
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.count_outcomes(&outcomes);
-        outcomes
+        (outcomes, stage_ns)
+    }
+
+    /// The session's observability registry. Shared with every transient
+    /// engine, so per-stage histograms accumulate across batches.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Snapshot of the per-stage latency histograms accumulated so far.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Answers `SPG(source, target)` — the façade sibling of

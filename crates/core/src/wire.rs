@@ -38,6 +38,7 @@ use std::fmt;
 use qbs_graph::{Distance, PathGraph, VertexId};
 
 use crate::cache::CacheStats;
+use crate::obs::{HistogramSnapshot, MetricsSnapshot};
 use crate::query::QueryAnswer;
 use crate::request::{QueryMode, QueryOptions, QueryOutcome, QueryRequest, RequestError};
 use crate::search::SearchStats;
@@ -557,6 +558,18 @@ impl Wire for QueryOutcome {
     }
 }
 
+impl Wire for u64 {
+    const MIN_ENCODED_LEN: usize = 8;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.u64("u64 scalar")
+    }
+}
+
 impl<T: Wire> Wire for Vec<T> {
     const MIN_ENCODED_LEN: usize = 4;
 
@@ -695,11 +708,27 @@ pub struct ReplicaStats {
     pub in_flight: u64,
     /// Consecutive probe/serve failures since the last success.
     pub consecutive_failures: u64,
+    /// Cumulative failed serve/probe attempts over the replica's lifetime
+    /// (unlike `consecutive_failures`, never reset by a success).
+    pub failures: u64,
+}
+
+impl ReplicaStats {
+    /// Failed attempts as a percentage of all serve attempts (successful
+    /// sub-batches plus failures). `0.0` when the replica is untried.
+    pub fn error_rate(&self) -> f64 {
+        let attempts = self.batches + self.failures;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.failures as f64 * 100.0 / attempts as f64
+        }
+    }
 }
 
 impl Wire for ReplicaStats {
-    // addr length u32 + healthy bool + six u64 counters.
-    const MIN_ENCODED_LEN: usize = 4 + 1 + 6 * 8;
+    // addr length u32 + healthy bool + seven u64 counters.
+    const MIN_ENCODED_LEN: usize = 4 + 1 + 7 * 8;
 
     fn encode(&self, out: &mut Vec<u8>) {
         self.addr.encode(out);
@@ -710,6 +739,7 @@ impl Wire for ReplicaStats {
         out.extend_from_slice(&self.ejections.to_le_bytes());
         out.extend_from_slice(&self.in_flight.to_le_bytes());
         out.extend_from_slice(&self.consecutive_failures.to_le_bytes());
+        out.extend_from_slice(&self.failures.to_le_bytes());
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -722,6 +752,7 @@ impl Wire for ReplicaStats {
             ejections: r.u64("replica ejections")?,
             in_flight: r.u64("replica in-flight")?,
             consecutive_failures: r.u64("replica failures")?,
+            failures: r.u64("replica lifetime failures")?,
         })
     }
 }
@@ -788,17 +819,58 @@ impl std::fmt::Display for RouterStats {
             writeln!(
                 f,
                 "  replica {}: {} — {} requests in {} batches, {} retried away, \
-                 {} ejections, {} in flight",
+                 {} ejections, {} in flight, {:.1}% errors",
                 r.addr,
                 if r.healthy { "healthy" } else { "ejected" },
                 r.requests,
                 r.batches,
                 r.retries,
                 r.ejections,
-                r.in_flight
+                r.in_flight,
+                r.error_rate()
             )?;
         }
         Ok(())
+    }
+}
+
+impl Wire for HistogramSnapshot {
+    // four u64 scalars + bucket sequence length u32.
+    const MIN_ENCODED_LEN: usize = 4 * 8 + 4;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.sum.to_le_bytes());
+        out.extend_from_slice(&self.min.to_le_bytes());
+        out.extend_from_slice(&self.max.to_le_bytes());
+        self.buckets.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(HistogramSnapshot {
+            count: r.u64("histogram count")?,
+            sum: r.u64("histogram sum")?,
+            min: r.u64("histogram min")?,
+            max: r.u64("histogram max")?,
+            buckets: Vec::<u64>::decode(r)?,
+        })
+    }
+}
+
+impl Wire for MetricsSnapshot {
+    // slow-query counter + histogram sequence length u32.
+    const MIN_ENCODED_LEN: usize = 8 + 4;
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.slow_queries.to_le_bytes());
+        self.hists.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(MetricsSnapshot {
+            slow_queries: r.u64("slow query count")?,
+            hists: Vec::<HistogramSnapshot>::decode(r)?,
+        })
     }
 }
 
@@ -1035,6 +1107,14 @@ mod tests {
             RouterStats::MIN_ENCODED_LEN
         );
         assert_eq!(
+            to_bytes(&HistogramSnapshot::default()).len(),
+            HistogramSnapshot::MIN_ENCODED_LEN
+        );
+        assert_eq!(
+            to_bytes(&MetricsSnapshot::default()).len(),
+            MetricsSnapshot::MIN_ENCODED_LEN
+        );
+        assert_eq!(
             to_bytes(&SketchHop {
                 landmark_idx: 0,
                 distance: 0
@@ -1112,6 +1192,7 @@ mod tests {
                     ejections: 0,
                     in_flight: 64,
                     consecutive_failures: 0,
+                    failures: 0,
                 },
                 ReplicaStats {
                     addr: "127.0.0.1:7412".to_string(),
@@ -1122,6 +1203,7 @@ mod tests {
                     ejections: 1,
                     in_flight: 0,
                     consecutive_failures: 5,
+                    failures: 5,
                 },
             ],
         };
@@ -1137,6 +1219,49 @@ mod tests {
         assert!(rendered.contains("127.0.0.1:7412"));
         assert!(rendered.contains("ejected"));
         assert!(rendered.contains("healthy"));
+        // Derived per-replica error rate: 5 failures over 127 + 5 attempts.
+        assert!(rendered.contains("3.8% errors"), "{rendered}");
+        assert!(rendered.contains("0.0% errors"), "{rendered}");
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrip_and_corruption_sweeps() {
+        use crate::obs::{LatencyHistogram, Metrics};
+        let m = Metrics::new();
+        let h = LatencyHistogram::new();
+        for ns in [90, 1_500, 22_000, 1_000_000, 40_000_000] {
+            h.record_ns(ns);
+        }
+        let mut snap = m.snapshot();
+        snap.slow_queries = 3;
+        snap.hists[0] = h.snapshot();
+        let bytes = to_bytes(&snap);
+        assert_eq!(from_bytes::<MetricsSnapshot>(&bytes).unwrap(), snap);
+
+        // Every truncation is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                from_bytes::<MetricsSnapshot>(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        // Every single-bit flip either decodes to some value or fails with
+        // a typed error — corrupted counters must never panic or abort.
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                let _ = from_bytes::<MetricsSnapshot>(&flipped);
+            }
+        }
+        // A hostile bucket count is bounded by the remaining bytes before
+        // any allocation happens.
+        let mut hostile = 3u64.to_le_bytes().to_vec();
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            from_bytes::<MetricsSnapshot>(&hostile),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

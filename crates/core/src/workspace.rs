@@ -224,6 +224,9 @@ pub struct QueryWorkspace {
     pub(crate) src_label: Vec<(usize, Distance)>,
     /// Effective-label buffer for the query target.
     pub(crate) tgt_label: Vec<(usize, Distance)>,
+    /// Per-request stage-timing scratch (see [`crate::obs`]); flushed
+    /// into the engine's metrics registry after each request.
+    pub(crate) obs: crate::obs::ObsScratch,
     /// Number of queries answered through this workspace.
     queries_served: u64,
 }

@@ -30,9 +30,15 @@
 //! Observability rides the normal `Stats` frame: the router answers it
 //! with per-replica engine counters merged into one
 //! [`qbs_core::EngineStats`] plus a [`qbs_core::RouterStats`] section
-//! (per-replica request counts, retries, ejections, in-flight gauges)
-//! that `qbs client --stats` renders. See `docs/router.md` for the
-//! topology and semantics.
+//! (per-replica request counts, retries, ejections, failure totals,
+//! in-flight gauges) that `qbs client --stats` renders. The `Metrics`
+//! frame answers with every replica's latency histograms merged
+//! bucket-wise into the router's own routing-tier stages, client trace
+//! IDs are propagated onto every scattered sub-batch (so one slow
+//! request is findable in replica slow-query logs), and
+//! [`RouterConfig::metrics_addr`] exposes the merged registry over HTTP
+//! `GET /metrics`. See `docs/router.md` for topology and
+//! `docs/observability.md` for the metric families.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]

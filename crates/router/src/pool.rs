@@ -78,6 +78,7 @@ pub struct Replica {
     batches: AtomicU64,
     retries: AtomicU64,
     ejections: AtomicU64,
+    failures: AtomicU64,
     health: Mutex<Health>,
 }
 
@@ -91,6 +92,7 @@ impl Replica {
             batches: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             ejections: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
             health: Mutex::new(Health {
                 consecutive_failures: 0,
                 ejected_until: None,
@@ -166,6 +168,7 @@ impl Replica {
     /// A failed exchange (dial, I/O, protocol fault — *not* a `Busy`
     /// shed). Returns `true` when this failure ejected the replica.
     pub fn record_failure(&self, config: &HealthConfig) -> bool {
+        self.failures.fetch_add(1, Ordering::SeqCst);
         let mut health = self.health.lock().expect("health poisoned");
         health.consecutive_failures += 1;
         if health.consecutive_failures < config.eject_after.max(1) {
@@ -200,6 +203,7 @@ impl Replica {
             ejections: self.ejections.load(Ordering::SeqCst),
             in_flight: self.in_flight.load(Ordering::SeqCst),
             consecutive_failures,
+            failures: self.failures.load(Ordering::SeqCst),
         }
     }
 }

@@ -7,7 +7,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use qbs_core::{CacheStats, EngineStats, QueryOutcome, QueryRequest, RequestError, RouterStats};
+use qbs_core::{
+    CacheStats, EngineStats, Metrics, MetricsSnapshot, QueryOutcome, QueryRequest, RequestError,
+    RouterStats, Stage, StageNanos, TraceId,
+};
 use qbs_server::{
     AdmissionConfig, AdmissionStats, BatchReply, ClientConfig, QbsClient, QbsServer, ServeBackend,
     ServerConfig, ServerHandle, ServerStats, ShutdownSignal, Ticket,
@@ -59,6 +62,12 @@ pub struct RouterConfig {
     /// one), so tiny batches do not pay per-replica round-trip overhead
     /// for a handful of microsecond queries.
     pub min_split: usize,
+    /// Bind address for the router's own HTTP `GET /metrics` listener
+    /// (`None` disables it), passed through to the inner server.
+    pub metrics_addr: Option<String>,
+    /// Slow-query log threshold on routed batches (`None` disables the
+    /// log), passed through to the inner server.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -73,6 +82,8 @@ impl Default for RouterConfig {
             probe_interval: Duration::from_millis(500),
             max_retries: 2,
             min_split: 8,
+            metrics_addr: None,
+            slow_query: None,
         }
     }
 }
@@ -139,6 +150,19 @@ impl RouterConfig {
         self.min_split = min_split;
         self
     }
+
+    /// Enables the HTTP `GET /metrics` listener on `addr`.
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> RouterConfig {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Logs routed batches that take at least `threshold` to the
+    /// slow-query log on stderr.
+    pub fn slow_query(mut self, threshold: Duration) -> RouterConfig {
+        self.slow_query = Some(threshold);
+        self
+    }
 }
 
 /// The scatter/gather [`ServeBackend`]: what the reactor's workers call
@@ -153,6 +177,10 @@ pub struct RouterBackend {
     subbatches: AtomicU64,
     retries: AtomicU64,
     unavailable_slots: AtomicU64,
+    /// Routing-tier latency registry (queue wait, scatter/gather
+    /// execute, wire encode) — merged with replica snapshots on a
+    /// `Metrics` frame.
+    metrics: Metrics,
 }
 
 /// One scattered sub-batch awaiting its gather: the pipelined connection
@@ -179,6 +207,7 @@ impl RouterBackend {
             subbatches: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             unavailable_slots: AtomicU64::new(0),
+            metrics: Metrics::new(),
         }
     }
 
@@ -217,6 +246,7 @@ impl RouterBackend {
         candidates: &[usize],
         slice: &[QueryRequest],
         start: usize,
+        trace: TraceId,
         mut tried: Vec<usize>,
     ) -> Option<Shipment> {
         while tried.len() <= self.max_retries {
@@ -233,7 +263,7 @@ impl RouterBackend {
                     continue;
                 }
             };
-            match client.send(slice) {
+            match client.send_traced(slice, trace) {
                 Ok(ticket) => {
                     replica.start_requests(slice.len() as u64);
                     self.subbatches.fetch_add(1, Ordering::SeqCst);
@@ -262,6 +292,7 @@ impl RouterBackend {
         &self,
         candidates: &[usize],
         requests: &[QueryRequest],
+        trace: TraceId,
         mut shipment: Shipment,
     ) -> Option<Vec<QueryOutcome>> {
         loop {
@@ -296,7 +327,7 @@ impl RouterBackend {
                     // is never checked back in.
                 }
             }
-            shipment = self.ship(candidates, slice, shipment.start, shipment.tried)?;
+            shipment = self.ship(candidates, slice, shipment.start, trace, shipment.tried)?;
         }
     }
 
@@ -316,18 +347,17 @@ impl RouterBackend {
             }));
         }
     }
-}
 
-impl ServeBackend for RouterBackend {
     /// Scatter/gather. The batch is split into contiguous sub-batches —
     /// one per healthy replica the batch is large enough to occupy (see
     /// [`RouterConfig::min_split`]) — shipped pipelined (all sends
     /// before any gather, so replicas execute concurrently), and merged
-    /// back in slot order. Outcomes are bit-identical to a single
-    /// `Qbs::submit` over the same index: every replica serves the same
-    /// index, sub-batches preserve request order, and per-slot errors
-    /// ride along untouched.
-    fn execute(&self, requests: &[QueryRequest]) -> Vec<QueryOutcome> {
+    /// back in slot order. The trace ID rides on every sub-batch, so a
+    /// slow routed request is findable in the replica slow-query logs.
+    /// Outcomes are bit-identical to a single `Qbs::submit` over the
+    /// same index: every replica serves the same index, sub-batches
+    /// preserve request order, and per-slot errors ride along untouched.
+    fn route(&self, requests: &[QueryRequest], trace: TraceId) -> Vec<QueryOutcome> {
         self.batches_routed.fetch_add(1, Ordering::SeqCst);
         if requests.is_empty() {
             return Vec::new();
@@ -349,14 +379,14 @@ impl ServeBackend for RouterBackend {
         let chunk = requests.len().div_ceil(k);
         for start in (0..requests.len()).step_by(chunk.max(1)) {
             let end = (start + chunk).min(requests.len());
-            match self.ship(&candidates, &requests[start..end], start, Vec::new()) {
+            match self.ship(&candidates, &requests[start..end], start, trace, Vec::new()) {
                 Some(shipment) => shipments.push(shipment),
                 None => self.fill_unavailable(&mut out, start, end - start),
             }
         }
         for shipment in shipments {
             let (start, len) = (shipment.start, shipment.len);
-            match self.gather(&candidates, requests, shipment) {
+            match self.gather(&candidates, requests, trace, shipment) {
                 Some(outcomes) => {
                     for (slot, outcome) in out[start..start + len].iter_mut().zip(outcomes) {
                         *slot = Some(outcome);
@@ -374,6 +404,68 @@ impl ServeBackend for RouterBackend {
                 })
             })
             .collect()
+    }
+}
+
+impl ServeBackend for RouterBackend {
+    /// Untraced entry point — scatter/gather with [`TraceId::NONE`].
+    fn execute(&self, requests: &[QueryRequest]) -> Vec<QueryOutcome> {
+        self.route(requests, TraceId::NONE)
+    }
+
+    /// The traced serve path: routes the batch, records the routing-tier
+    /// execute stage (the full scatter/gather round trip) into the
+    /// router's own registry, and reports it for the slow-query log.
+    fn execute_traced(
+        &self,
+        requests: &[QueryRequest],
+        trace: TraceId,
+    ) -> (Vec<QueryOutcome>, StageNanos) {
+        let start = Instant::now();
+        let outcomes = self.route(requests, trace);
+        let exec = start.elapsed();
+        self.metrics.record_batch_stage(Stage::Execute, exec);
+        let mut stages = StageNanos::default();
+        stages.0[Stage::Execute as usize] = exec.as_nanos().min(u128::from(u64::MAX)) as u64;
+        (outcomes, stages)
+    }
+
+    /// The routed `Metrics` frame: every available replica's snapshot is
+    /// fetched over a pooled connection and merged bucket-wise into the
+    /// router's own routing-tier histograms, so aggregated quantiles
+    /// stay well-defined. Like [`ServeBackend::server_stats`], ejected
+    /// replicas are skipped and a failed poll takes a health demerit.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut merged = self.metrics.snapshot();
+        let now = Instant::now();
+        for replica in self.pool.replicas() {
+            if !replica.is_available(now) {
+                continue;
+            }
+            let polled = replica
+                .checkout(self.pool.client_config())
+                .and_then(|mut client| client.metrics().map(|snapshot| (client, snapshot)));
+            match polled {
+                Ok((client, snapshot)) => {
+                    merged.merge(&snapshot);
+                    replica.record_success(self.pool.health_config());
+                    replica.checkin(client);
+                }
+                Err(_) => {
+                    replica.record_failure(self.pool.health_config());
+                }
+            }
+        }
+        merged
+    }
+
+    /// Replica metrics polls are network I/O: never on the reactor.
+    fn metrics_inline(&self) -> bool {
+        false
+    }
+
+    fn obs(&self) -> Option<&Metrics> {
+        Some(&self.metrics)
     }
 
     /// The routed `Stats` frame: per-replica engine counters merged into
@@ -521,9 +613,15 @@ impl QbsRouter {
         }
         let pool = ReplicaPool::new(config.replicas.clone(), config.client, config.health);
         let backend = Arc::new(RouterBackend::new(pool, &config));
-        let server_config = ServerConfig::bind(config.addr.clone())
+        let mut server_config = ServerConfig::bind(config.addr.clone())
             .workers(config.workers)
             .admission(config.admission);
+        if let Some(addr) = &config.metrics_addr {
+            server_config = server_config.metrics_addr(addr.clone());
+        }
+        if let Some(threshold) = config.slow_query {
+            server_config = server_config.slow_query(threshold);
+        }
         let server = QbsServer::start_with_backend(
             Arc::clone(&backend) as Arc<dyn ServeBackend>,
             server_config,
@@ -562,6 +660,11 @@ impl RouterHandle {
     /// The address the router actually bound (resolves port 0).
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.server.local_addr()
+    }
+
+    /// The address of the HTTP `/metrics` listener, when configured.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.metrics_addr()
     }
 
     /// The shutdown latch — share it with a signal handler; triggering

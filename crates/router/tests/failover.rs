@@ -245,3 +245,89 @@ fn all_replicas_down_returns_typed_errors_not_a_hang() {
     assert_eq!(router_stats.unavailable_slots, 12);
     drop(router);
 }
+
+#[test]
+fn routed_metrics_merge_replica_histograms_and_serve_http() {
+    let path = index_file("metrics");
+    let replicas: Vec<ServerHandle> = (0..2).map(|_| start_replica(&path)).collect();
+    let router = QbsRouter::start(
+        RouterConfig::bind("127.0.0.1:0")
+            .replicas(
+                replicas
+                    .iter()
+                    .map(|r| r.local_addr().to_string())
+                    .collect(),
+            )
+            .workers(4)
+            .min_split(4)
+            .metrics_addr("127.0.0.1:0")
+            .slow_query(Duration::ZERO),
+    )
+    .expect("start router");
+    let metrics_addr = router.metrics_addr().expect("metrics listener bound");
+    let local = Qbs::open(&path, MapMode::Mmap).expect("local reference");
+    let num_vertices = qbs_core::IndexStore::num_vertices(&local) as u32;
+
+    let mut client =
+        QbsClient::connect_retry(&router.local_addr().to_string(), Duration::from_secs(10))
+            .expect("connect");
+    let pinned = qbs_core::TraceId(0xFEED_FACE);
+    client.set_trace(pinned);
+    for salt in 0..2u32 {
+        let reply = client
+            .submit(&mixed_requests(num_vertices, salt))
+            .expect("submit");
+        assert!(reply.outcomes().is_some());
+    }
+
+    // The Metrics frame merges the replica histograms into the router's
+    // own: the per-mode execute families can only come from replicas
+    // (the router records only the batch slot), so their presence proves
+    // the merge happened.
+    let snapshot = client.metrics().expect("routed metrics");
+    let stages = qbs_core::Stage::ALL.len();
+    let batch_slot = 3;
+    let routed = snapshot.family(batch_slot, qbs_core::Stage::Execute).count;
+    assert!(
+        routed >= 2,
+        "router-tier execute family empty: {snapshot:?}"
+    );
+    let replica_side: u64 = (0..batch_slot)
+        .map(|slot| snapshot.family(slot, qbs_core::Stage::Execute).count)
+        .sum();
+    assert!(
+        replica_side > 0,
+        "replica per-mode stage histograms missing from the merge \
+         (hists: {}, stages: {stages})",
+        snapshot.hists.len()
+    );
+    assert!(
+        snapshot.slow_queries >= 2,
+        "zero threshold marks every routed batch slow, got {}",
+        snapshot.slow_queries
+    );
+
+    // The router's HTTP endpoint renders both the routing counters and
+    // the merged per-stage histograms.
+    use std::io::{Read, Write};
+    let mut http = std::net::TcpStream::connect(metrics_addr).expect("http connect");
+    http.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    http.write_all(b"GET /metrics HTTP/1.1\r\nHost: qbs\r\nConnection: close\r\n\r\n")
+        .expect("request");
+    let mut body = String::new();
+    http.read_to_string(&mut body).expect("response");
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "bad status: {body}");
+    for family in [
+        "qbs_router_batches_routed_total",
+        "qbs_replica_failures_total",
+        "qbs_stage_seconds_bucket",
+        "qbs_slow_queries_total",
+    ] {
+        assert!(body.contains(family), "missing family {family} in:\n{body}");
+    }
+
+    drop(client);
+    drop(router);
+    drop(replicas);
+}

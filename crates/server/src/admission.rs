@@ -198,17 +198,32 @@ pub struct AdmissionStats {
     pub connections: u64,
 }
 
+impl AdmissionStats {
+    /// Percentage of offered batches that were shed (overload + size
+    /// cap), 0.0 when nothing has been offered yet.
+    pub fn shed_rate(&self) -> f64 {
+        let shed = self.shed_overload + self.shed_batch_size;
+        let offered = self.admitted_batches + shed;
+        if offered == 0 {
+            0.0
+        } else {
+            shed as f64 * 100.0 / offered as f64
+        }
+    }
+}
+
 impl std::fmt::Display for AdmissionStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
             "admission: {} batches / {} requests admitted, shed {} overload + {} oversized + \
-             {} connections ({} in flight, {} connected)",
+             {} connections ({:.1}% shed, {} in flight, {} connected)",
             self.admitted_batches,
             self.admitted_requests,
             self.shed_overload,
             self.shed_batch_size,
             self.shed_connections,
+            self.shed_rate(),
             self.inflight,
             self.connections
         )

@@ -42,7 +42,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use qbs_core::wire::RequestId;
-use qbs_core::{QueryOutcome, QueryRequest};
+use qbs_core::{MetricsSnapshot, QueryOutcome, QueryRequest, TraceId};
 
 use crate::admission::BusyReason;
 use crate::protocol::{self, ProtocolError, RequestFrame, ResponseFrame, ServerStats};
@@ -226,6 +226,13 @@ pub struct QbsClient {
     outstanding: VecDeque<RequestId>,
     /// Replies that arrived while waiting for a different ID.
     stash: HashMap<RequestId, ResponseFrame>,
+    /// PRNG state for per-send trace IDs (v3 connections).
+    trace_rng: u64,
+    /// Caller-pinned trace ID; when set, every frame carries it verbatim
+    /// instead of a generated one.
+    pinned_trace: Option<TraceId>,
+    /// Trace ID stamped on the most recent frame written.
+    last_trace: TraceId,
 }
 
 impl QbsClient {
@@ -264,6 +271,9 @@ impl QbsClient {
             last_id: RequestId::CONNECTION,
             outstanding: VecDeque::new(),
             stash: HashMap::new(),
+            trace_rng: jitter_seed(),
+            pinned_trace: None,
+            last_trace: TraceId::NONE,
         };
         let announced = if config.force_v1 {
             protocol::MIN_PROTOCOL_VERSION
@@ -344,7 +354,9 @@ impl QbsClient {
     /// idle timeout, network blip). In-flight tickets die with the old
     /// connection.
     pub fn reconnect(&mut self) -> Result<(), ProtocolError> {
+        let pinned = self.pinned_trace;
         *self = QbsClient::connect_with(&self.addr, self.config)?;
+        self.pinned_trace = pinned;
         Ok(())
     }
 
@@ -353,9 +365,37 @@ impl QbsClient {
         &self.addr
     }
 
-    /// The protocol version negotiated with the server (1 or 2).
+    /// The protocol version negotiated with the server (1, 2 or 3).
     pub fn protocol_version(&self) -> u16 {
         self.version
+    }
+
+    /// Pins the trace ID stamped on every subsequent frame (v3
+    /// connections), instead of a fresh one per send — how the CLI's
+    /// `--trace-id` makes a request findable in a replica's slow-query
+    /// log. Pass [`TraceId::NONE`] via a fresh client to return to
+    /// generated traces.
+    pub fn set_trace(&mut self, trace: TraceId) {
+        self.pinned_trace = Some(trace);
+    }
+
+    /// The trace ID carried by the most recently written frame
+    /// ([`TraceId::NONE`] before any send, and always on pre-v3
+    /// connections, whose envelope has no trace field).
+    pub fn last_trace(&self) -> TraceId {
+        self.last_trace
+    }
+
+    /// Stamps the trace for the next frame: the pinned ID when set,
+    /// otherwise a freshly generated one (never [`TraceId::NONE`], which
+    /// is reserved for untraced traffic).
+    fn next_trace(&mut self) -> TraceId {
+        let trace = match self.pinned_trace {
+            Some(pinned) => pinned,
+            None => TraceId(xorshift(&mut self.trace_rng) | 1),
+        };
+        self.last_trace = trace;
+        trace
     }
 
     /// Number of sent-but-unredeemed tickets (and unanswered control
@@ -369,9 +409,33 @@ impl QbsClient {
     /// batches can be pipelined; under v2 the server executes them
     /// concurrently and the replies may complete out of order.
     pub fn send(&mut self, requests: &[QueryRequest]) -> Result<Ticket, ProtocolError> {
+        let trace = if self.version >= 3 {
+            self.next_trace()
+        } else {
+            TraceId::NONE
+        };
+        self.send_traced(requests, trace)
+    }
+
+    /// [`QbsClient::send`] under an explicit trace ID — how a router
+    /// propagates the client's trace onto every scattered sub-batch, so
+    /// one slow request is findable in the replica's slow-query log too.
+    /// On pre-v3 connections the trace has nowhere to ride and is
+    /// silently dropped.
+    pub fn send_traced(
+        &mut self,
+        requests: &[QueryRequest],
+        trace: TraceId,
+    ) -> Result<Ticket, ProtocolError> {
         let id = self.issue_id();
         let body = protocol::encode_batch_body(requests);
-        if self.version >= 2 {
+        if self.version >= 3 {
+            self.last_trace = trace;
+            protocol::write_frame(
+                &mut self.stream,
+                &protocol::encode_envelope_v3(id, trace, &body),
+            )?;
+        } else if self.version >= 2 {
             protocol::write_frame(&mut self.stream, &protocol::encode_envelope(id, &body))?;
         } else {
             protocol::write_frame(&mut self.stream, &body)?;
@@ -418,6 +482,18 @@ impl QbsClient {
         }
     }
 
+    /// Fetches the server's latency-histogram snapshot — per-stage,
+    /// per-mode timing distributions plus the slow-query count. A router
+    /// answers with the bucket-wise merge across itself and its replicas.
+    /// Requires a v3 connection; older servers answer with a fault.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ProtocolError> {
+        match self.control(&RequestFrame::Metrics)? {
+            ResponseFrame::Metrics(snapshot) => Ok(snapshot),
+            ResponseFrame::Busy(reason) => Err(busy_error(reason)),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Round-trip liveness probe; returns the measured latency.
     pub fn ping(&mut self) -> Result<Duration, ProtocolError> {
         let start = Instant::now();
@@ -448,7 +524,10 @@ impl QbsClient {
     /// pipelined batch replies that arrive first.
     fn control(&mut self, frame: &RequestFrame) -> Result<ResponseFrame, ProtocolError> {
         let id = self.issue_id();
-        if self.version >= 2 {
+        if self.version >= 3 {
+            let trace = self.next_trace();
+            protocol::write_request_v3(&mut self.stream, id, trace, frame)?;
+        } else if self.version >= 2 {
             protocol::write_request_v2(&mut self.stream, id, frame)?;
         } else {
             protocol::write_request(&mut self.stream, frame)?;
@@ -467,7 +546,13 @@ impl QbsClient {
             if !self.outstanding.contains(&want) {
                 return Err(ProtocolError::UnknownTicket(want));
             }
-            let (id, frame) = if self.version >= 2 {
+            let (id, frame) = if self.version >= 3 {
+                let (id, _trace, frame) = protocol::read_response_v3(&mut self.stream)?;
+                if id.is_connection_scoped() {
+                    return self.resolve(frame);
+                }
+                (id, frame)
+            } else if self.version >= 2 {
                 let (id, frame) = protocol::read_response_v2(&mut self.stream)?;
                 if id.is_connection_scoped() {
                     // Connection-scoped frames (faults, accept-time Busy)
@@ -507,6 +592,7 @@ fn unexpected(frame: ResponseFrame) -> ProtocolError {
     ProtocolError::UnexpectedFrame(match frame {
         ResponseFrame::Batch(_) => "batch",
         ResponseFrame::Stats(_) => "stats",
+        ResponseFrame::Metrics(_) => "metrics",
         ResponseFrame::Pong => "pong",
         ResponseFrame::ShutdownAck => "shutdown-ack",
         ResponseFrame::Busy(_) => "busy",

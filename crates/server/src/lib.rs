@@ -12,7 +12,8 @@
 //!
 //! * [`protocol`] — magic + version handshake with **version
 //!   negotiation** (v1: one frame per round trip; v2: request-ID
-//!   envelopes for pipelining), length-prefixed frames, typed
+//!   envelopes for pipelining; v3: request-ID + trace-ID envelopes and
+//!   the `Metrics` frame pair), length-prefixed frames, typed
 //!   [`ProtocolError`]s (spec in `docs/protocol.md`);
 //! * [`admission`] — first-class load shedding: in-flight request
 //!   semaphore, per-batch cap, connection bound, typed `Busy`;
@@ -20,7 +21,9 @@
 //!   [`poll`], plus a fixed worker pool over an `Arc<Qbs>` (thousands of
 //!   idle connections park on one thread; N connections share one mmap'd
 //!   index, workspace pool and answer cache), graceful `Shutdown`-frame /
-//!   SIGINT teardown;
+//!   SIGINT teardown, an optional Prometheus-style HTTP `/metrics`
+//!   listener, and a trace-stamped slow-query log (see
+//!   `docs/observability.md`);
 //! * [`client`] — blocking [`QbsClient`]: connect/reconnect, one-shot
 //!   `submit` plus the pipelined `send`/`recv` [`Ticket`] surface, stats,
 //!   ping, shutdown;

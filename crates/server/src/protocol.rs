@@ -21,6 +21,15 @@
 //! [len: u32 LE][id: u32 LE][tag: u8][payload: len-5 bytes]
 //! ```
 //!
+//! Under v3 the envelope additionally carries a 64-bit trace ID
+//! ([`qbs_core::TraceId`]) between the request ID and the tag, so one
+//! request can be followed through a router into a replica's slow-query
+//! log:
+//!
+//! ```text
+//! [len: u32 LE][id: u32 LE][trace: u64 LE][tag: u8][payload: len-13 bytes]
+//! ```
+//!
 //! Payloads reuse the canonical little-endian encodings of
 //! [`qbs_core::wire`], so a server response decodes into exactly the
 //! [`QueryOutcome`] values a local [`qbs_core::Qbs::submit`] call would
@@ -33,7 +42,7 @@ use std::fmt;
 use std::io::{Read, Write};
 
 use qbs_core::wire::{RequestId, Wire, WireError, WireReader};
-use qbs_core::{EngineStats, QueryOutcome, QueryRequest, RouterStats};
+use qbs_core::{EngineStats, MetricsSnapshot, QueryOutcome, QueryRequest, RouterStats, TraceId};
 
 use crate::admission::{AdmissionStats, BusyReason};
 
@@ -43,7 +52,7 @@ pub const PROTOCOL_MAGIC: [u8; 4] = *b"QBSP";
 /// Highest protocol version spoken by this build. The handshake
 /// negotiates down to the peer's version when it is older (see
 /// [`negotiate`]); additions bump this.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Oldest protocol version this build still speaks. v1 connections are
 /// served byte-identically to pre-v2 builds.
@@ -83,6 +92,9 @@ pub enum RequestFrame {
     Ping,
     /// Ask the server to drain in-flight batches and exit.
     Shutdown,
+    /// Snapshot the server's per-stage latency histograms (v3+; a router
+    /// answers with the bucket-wise merge across its replicas).
+    Metrics,
 }
 
 /// A server-to-client frame.
@@ -101,6 +113,8 @@ pub enum ResponseFrame {
     Pong,
     /// Reply to [`RequestFrame::Shutdown`]: the drain has begun.
     ShutdownAck,
+    /// Reply to [`RequestFrame::Metrics`].
+    Metrics(MetricsSnapshot),
     /// The batch was shed by admission control; retry later (the
     /// connection stays healthy).
     Busy(BusyReason),
@@ -288,10 +302,12 @@ const TAG_BATCH: u8 = 0x01;
 const TAG_STATS: u8 = 0x02;
 const TAG_PING: u8 = 0x03;
 const TAG_SHUTDOWN: u8 = 0x04;
+const TAG_METRICS: u8 = 0x05;
 const TAG_RESP_BATCH: u8 = 0x81;
 const TAG_RESP_STATS: u8 = 0x82;
 const TAG_RESP_PONG: u8 = 0x83;
 const TAG_RESP_SHUTDOWN_ACK: u8 = 0x84;
+const TAG_RESP_METRICS: u8 = 0x85;
 const TAG_RESP_BUSY: u8 = 0x90;
 const TAG_RESP_ERROR: u8 = 0x91;
 
@@ -319,6 +335,7 @@ impl RequestFrame {
             RequestFrame::Stats => out.push(TAG_STATS),
             RequestFrame::Ping => out.push(TAG_PING),
             RequestFrame::Shutdown => out.push(TAG_SHUTDOWN),
+            RequestFrame::Metrics => out.push(TAG_METRICS),
         }
         out
     }
@@ -333,6 +350,7 @@ impl RequestFrame {
             TAG_STATS => RequestFrame::Stats,
             TAG_PING => RequestFrame::Ping,
             TAG_SHUTDOWN => RequestFrame::Shutdown,
+            TAG_METRICS => RequestFrame::Metrics,
             other => return Err(ProtocolError::UnknownTag(other)),
         };
         r.finish().map_err(ProtocolError::Malformed)?;
@@ -355,6 +373,10 @@ impl ResponseFrame {
             }
             ResponseFrame::Pong => out.push(TAG_RESP_PONG),
             ResponseFrame::ShutdownAck => out.push(TAG_RESP_SHUTDOWN_ACK),
+            ResponseFrame::Metrics(snapshot) => {
+                out.push(TAG_RESP_METRICS);
+                snapshot.encode(&mut out);
+            }
             ResponseFrame::Busy(reason) => {
                 out.push(TAG_RESP_BUSY);
                 reason.encode(&mut out);
@@ -376,6 +398,7 @@ impl ResponseFrame {
             TAG_RESP_STATS => ResponseFrame::Stats(ServerStats::decode(&mut r)?),
             TAG_RESP_PONG => ResponseFrame::Pong,
             TAG_RESP_SHUTDOWN_ACK => ResponseFrame::ShutdownAck,
+            TAG_RESP_METRICS => ResponseFrame::Metrics(MetricsSnapshot::decode(&mut r)?),
             TAG_RESP_BUSY => ResponseFrame::Busy(BusyReason::decode(&mut r)?),
             TAG_RESP_ERROR => ResponseFrame::Error(WireFault::decode(&mut r)?),
             other => return Err(ProtocolError::UnknownTag(other)),
@@ -445,6 +468,37 @@ pub fn split_envelope(payload: &[u8]) -> Result<(RequestId, &[u8]), ProtocolErro
         payload[..4].try_into().expect("fixed split"),
     ));
     Ok((id, &payload[4..]))
+}
+
+/// Prepends the v3 request-ID + trace envelope to a frame body: the
+/// result is the `[id][trace][tag][payload]` byte string a v3 frame's
+/// length prefix counts.
+pub fn encode_envelope_v3(id: RequestId, trace: TraceId, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + body.len());
+    id.encode(&mut out);
+    out.extend_from_slice(&trace.0.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Splits a v3 frame payload into its request ID, trace ID, and the
+/// enclosed frame body. A payload too short to carry the envelope is a
+/// typed [`ProtocolError::Malformed`], never a panic.
+pub fn split_envelope_v3(payload: &[u8]) -> Result<(RequestId, TraceId, &[u8]), ProtocolError> {
+    if payload.len() < 12 {
+        return Err(ProtocolError::Malformed(WireError::Truncated {
+            what: "request id + trace envelope",
+            needed: 12,
+            remaining: payload.len(),
+        }));
+    }
+    let id = RequestId(u32::from_le_bytes(
+        payload[..4].try_into().expect("fixed split"),
+    ));
+    let trace = TraceId(u64::from_le_bytes(
+        payload[4..12].try_into().expect("fixed split"),
+    ));
+    Ok((id, trace, &payload[12..]))
 }
 
 /// Writes one length-prefixed frame body.
@@ -526,6 +580,46 @@ pub fn read_response_v2<R: Read>(r: &mut R) -> Result<(RequestId, ResponseFrame)
     Ok((id, ResponseFrame::decode_body(body)?))
 }
 
+/// Convenience: write one v3 request frame under `id`'s envelope,
+/// carrying `trace`.
+pub fn write_request_v3<W: Write>(
+    w: &mut W,
+    id: RequestId,
+    trace: TraceId,
+    frame: &RequestFrame,
+) -> Result<(), ProtocolError> {
+    write_frame(w, &encode_envelope_v3(id, trace, &frame.encode_body()))
+}
+
+/// Convenience: write one v3 response frame under `id`'s envelope,
+/// echoing `trace`.
+pub fn write_response_v3<W: Write>(
+    w: &mut W,
+    id: RequestId,
+    trace: TraceId,
+    frame: &ResponseFrame,
+) -> Result<(), ProtocolError> {
+    write_frame(w, &encode_envelope_v3(id, trace, &frame.encode_body()))
+}
+
+/// Convenience: read one v3 request frame with its envelope ID and trace.
+pub fn read_request_v3<R: Read>(
+    r: &mut R,
+) -> Result<(RequestId, TraceId, RequestFrame), ProtocolError> {
+    let payload = read_frame(r)?;
+    let (id, trace, body) = split_envelope_v3(&payload)?;
+    Ok((id, trace, RequestFrame::decode_body(body)?))
+}
+
+/// Convenience: read one v3 response frame with its envelope ID and trace.
+pub fn read_response_v3<R: Read>(
+    r: &mut R,
+) -> Result<(RequestId, TraceId, ResponseFrame), ProtocolError> {
+    let payload = read_frame(r)?;
+    let (id, trace, body) = split_envelope_v3(&payload)?;
+    Ok((id, trace, ResponseFrame::decode_body(body)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +652,7 @@ mod tests {
         roundtrip_request(RequestFrame::Stats);
         roundtrip_request(RequestFrame::Ping);
         roundtrip_request(RequestFrame::Shutdown);
+        roundtrip_request(RequestFrame::Metrics);
 
         roundtrip_response(ResponseFrame::Batch(vec![
             QueryOutcome::Distance(5),
@@ -569,6 +664,17 @@ mod tests {
         roundtrip_response(ResponseFrame::Stats(ServerStats::default()));
         roundtrip_response(ResponseFrame::Pong);
         roundtrip_response(ResponseFrame::ShutdownAck);
+        roundtrip_response(ResponseFrame::Metrics(MetricsSnapshot::default()));
+        let hist = {
+            let h = qbs_core::LatencyHistogram::new();
+            h.record_ns(1_000);
+            h.record_ns(2_000_000);
+            h.snapshot()
+        };
+        roundtrip_response(ResponseFrame::Metrics(MetricsSnapshot {
+            hists: vec![hist],
+            slow_queries: 2,
+        }));
         roundtrip_response(ResponseFrame::Busy(BusyReason::BatchTooLarge {
             limit: 16,
             got: 40,
@@ -621,9 +727,10 @@ mod tests {
         assert_eq!(negotiate(0), None);
         assert_eq!(negotiate(1), Some(1));
         assert_eq!(negotiate(2), Some(2));
+        assert_eq!(negotiate(3), Some(3));
         // Unknown future versions speak everything older, so the
         // connection proceeds at our highest version.
-        assert_eq!(negotiate(3), Some(PROTOCOL_VERSION));
+        assert_eq!(negotiate(4), Some(PROTOCOL_VERSION));
         assert_eq!(negotiate(u16::MAX), Some(PROTOCOL_VERSION));
     }
 
@@ -654,6 +761,56 @@ mod tests {
         write_response_v2(&mut buf, RequestId(9), &response).unwrap();
         let (id, decoded) = read_response_v2(&mut &buf[..]).unwrap();
         assert_eq!((id, decoded), (RequestId(9), response));
+    }
+
+    #[test]
+    fn v3_envelopes_carry_the_trace_and_reject_truncation() {
+        let frame = RequestFrame::Batch(vec![QueryRequest::distance(1, 2)]);
+        let body = frame.encode_body();
+        let trace = TraceId(0xDEAD_BEEF_CAFE_F00D);
+        let enveloped = encode_envelope_v3(RequestId(7), trace, &body);
+        assert_eq!(enveloped.len(), body.len() + 12);
+        let (id, got_trace, inner) = split_envelope_v3(&enveloped).unwrap();
+        assert_eq!((id, got_trace), (RequestId(7), trace));
+        assert_eq!(inner, &body[..]);
+
+        for cut in 0..12 {
+            assert!(matches!(
+                split_envelope_v3(&enveloped[..cut]),
+                Err(ProtocolError::Malformed(WireError::Truncated { .. }))
+            ));
+        }
+
+        let mut buf = Vec::new();
+        write_request_v3(&mut buf, RequestId(9), trace, &frame).unwrap();
+        let (id, got_trace, decoded) = read_request_v3(&mut &buf[..]).unwrap();
+        assert_eq!((id, got_trace, decoded), (RequestId(9), trace, frame));
+
+        let response = ResponseFrame::Metrics(MetricsSnapshot::default());
+        let mut buf = Vec::new();
+        write_response_v3(&mut buf, RequestId(9), TraceId::NONE, &response).unwrap();
+        let (id, got_trace, decoded) = read_response_v3(&mut &buf[..]).unwrap();
+        assert_eq!(
+            (id, got_trace, decoded),
+            (RequestId(9), TraceId::NONE, response)
+        );
+
+        // Single-bit corruption of an enveloped metrics frame is always a
+        // typed result, never a panic.
+        let snapshot = ResponseFrame::Metrics(MetricsSnapshot {
+            hists: vec![Default::default(); 3],
+            slow_queries: 1,
+        });
+        let enveloped = encode_envelope_v3(RequestId(3), trace, &snapshot.encode_body());
+        for byte in 0..enveloped.len() {
+            for bit in 0..8 {
+                let mut flipped = enveloped.clone();
+                flipped[byte] ^= 1 << bit;
+                if let Ok((_, _, inner)) = split_envelope_v3(&flipped) {
+                    let _ = ResponseFrame::decode_body(inner);
+                }
+            }
+        }
     }
 
     #[test]

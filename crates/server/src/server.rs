@@ -58,7 +58,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qbs_core::wire::RequestId;
-use qbs_core::{Qbs, QueryMode, QueryOutcome, QueryRequest};
+use qbs_core::{
+    Metrics, MetricsSnapshot, Qbs, QueryMode, QueryOutcome, QueryRequest, Stage, StageNanos,
+    TraceId,
+};
 
 use crate::admission::{Admission, AdmissionConfig, AdmissionStats, OwnedInflightGuard};
 use crate::poll::{self, PollFd, WakePipe, POLLIN, POLLOUT};
@@ -128,6 +131,13 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission bounds (in-flight requests, batch size, connections).
     pub admission: AdmissionConfig,
+    /// Optional second listener serving Prometheus-style
+    /// `GET /metrics` over plain HTTP (an ops port, outside admission).
+    pub metrics_addr: Option<String>,
+    /// Batches whose execution takes at least this long are written to
+    /// the slow-query log (one structured stderr line with the trace ID
+    /// and per-stage breakdown). `None` disables the log.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +146,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             admission: AdmissionConfig::default(),
+            metrics_addr: None,
+            slow_query: None,
         }
     }
 }
@@ -178,6 +190,20 @@ impl ServerConfig {
         self.admission.max_connections = max_connections;
         self
     }
+
+    /// Serves `GET /metrics` (Prometheus text format) on a second
+    /// listener at `addr`.
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> ServerConfig {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Logs batches whose execution takes at least `threshold` to the
+    /// slow-query log on stderr.
+    pub fn slow_query(mut self, threshold: Duration) -> ServerConfig {
+        self.slow_query = Some(threshold);
+        self
+    }
 }
 
 /// The shutdown latch shared by the reactor, the workers, and external
@@ -211,9 +237,42 @@ pub trait ServeBackend: Send + Sync + std::fmt::Debug + 'static {
     /// Executes a batch, one outcome per request slot.
     fn execute(&self, requests: &[QueryRequest]) -> Vec<QueryOutcome>;
 
+    /// Executes a batch under a trace ID, returning the outcomes plus the
+    /// batch's aggregate per-stage wall time (all zeros when the backend
+    /// does not instrument). The router overrides this to propagate the
+    /// trace into its replica sub-batches.
+    fn execute_traced(
+        &self,
+        requests: &[QueryRequest],
+        trace: TraceId,
+    ) -> (Vec<QueryOutcome>, StageNanos) {
+        let _ = trace;
+        (self.execute(requests), StageNanos::default())
+    }
+
     /// Builds the `Stats` response around the server's own admission
     /// snapshot.
     fn server_stats(&self, admission: AdmissionStats) -> ServerStats;
+
+    /// Snapshot of the backend's per-stage latency histograms (the
+    /// `Metrics` frame's payload). A router answers with the bucket-wise
+    /// merge across its replicas plus its own routing-tier stages.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Whether `Metrics` frames may be answered inline on the reactor
+    /// thread. Same I/O caveat as [`ServeBackend::stats_inline`].
+    fn metrics_inline(&self) -> bool {
+        true
+    }
+
+    /// The live metrics registry, when the backend has one — lets the
+    /// serving tier record reactor/worker-side stages (queue wait, wire
+    /// encode) into the same histograms the execution stages land in.
+    fn obs(&self) -> Option<&Metrics> {
+        None
+    }
 
     /// Whether single-request `Distance` frames may execute inline on the
     /// reactor thread. Only a backend whose fast path is genuinely
@@ -238,12 +297,28 @@ impl ServeBackend for Qbs {
         self.submit(requests)
     }
 
+    fn execute_traced(
+        &self,
+        requests: &[QueryRequest],
+        _trace: TraceId,
+    ) -> (Vec<QueryOutcome>, StageNanos) {
+        self.submit_observed(requests)
+    }
+
     fn server_stats(&self, admission: AdmissionStats) -> ServerStats {
         ServerStats {
             engine: self.engine_stats(),
             admission,
             router: None,
         }
+    }
+
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        Qbs::metrics_snapshot(self)
+    }
+
+    fn obs(&self) -> Option<&Metrics> {
+        Some(self.metrics())
     }
 
     fn inline_eligible(&self) -> bool {
@@ -277,6 +352,19 @@ impl QbsServer {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let metrics_listener = match &config.metrics_addr {
+            Some(metrics_addr) => {
+                let l = TcpListener::bind(metrics_addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let slow_query = config.slow_query;
         let signal = Arc::new(ShutdownSignal {
             flag: AtomicBool::new(false),
         });
@@ -296,7 +384,9 @@ impl QbsServer {
                 let wake = Arc::clone(&wake);
                 std::thread::Builder::new()
                     .name(format!("qbs-worker-{i}"))
-                    .spawn(move || worker_loop(&*backend, &admission, &rx, &completions, &wake))
+                    .spawn(move || {
+                        worker_loop(&*backend, &admission, &rx, &completions, &wake, slow_query)
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -312,12 +402,14 @@ impl QbsServer {
                 .spawn(move || {
                     reactor_loop(
                         listener,
+                        metrics_listener,
                         &*backend,
                         &admission,
                         &signal,
                         &wake,
                         &completions,
                         jobs_tx,
+                        slow_query,
                     )
                 })
                 .expect("spawn reactor thread")
@@ -325,6 +417,7 @@ impl QbsServer {
 
         Ok(ServerHandle {
             addr,
+            metrics_addr,
             signal,
             admission,
             backend,
@@ -340,6 +433,7 @@ impl QbsServer {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     signal: Arc<ShutdownSignal>,
     admission: Arc<Admission>,
     backend: Arc<dyn ServeBackend>,
@@ -352,6 +446,12 @@ impl ServerHandle {
     /// The address the server actually bound (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The address of the HTTP `/metrics` listener, when configured
+    /// (resolves port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The shutdown latch — share it with a signal handler or watchdog;
@@ -425,12 +525,20 @@ struct Job {
     token: u64,
     id: RequestId,
     version: u16,
+    /// Trace ID from the v3 envelope ([`TraceId::NONE`] for v1/v2 peers),
+    /// carried into the slow-query log and the router's replica calls.
+    trace: TraceId,
+    /// Peer address, for the slow-query log.
+    peer: SocketAddr,
+    /// When the reactor queued the job — the queue-wait stage clock.
+    enqueued: Instant,
     kind: JobKind,
 }
 
 /// What a worker does with a [`Job`]. Batches always run here; `Stats`
-/// runs here only for backends whose snapshot performs I/O (the router
-/// polls every replica) — see [`ServeBackend::stats_inline`].
+/// and `Metrics` run here only for backends whose snapshot performs I/O
+/// (the router polls every replica) — see [`ServeBackend::stats_inline`]
+/// and [`ServeBackend::metrics_inline`].
 enum JobKind {
     /// An admitted batch, carrying its admission permit.
     Batch {
@@ -439,6 +547,10 @@ enum JobKind {
     },
     /// A `Stats` request the backend answers off-reactor.
     Stats,
+    /// A `Metrics` snapshot the backend gathers off-reactor. With
+    /// `http` set the completion carries a raw HTTP response for the
+    /// `/metrics` listener instead of a protocol frame.
+    Metrics { http: bool },
 }
 
 /// An encoded response travelling back from a worker to the reactor.
@@ -457,6 +569,7 @@ fn worker_loop(
     rx: &Mutex<Receiver<Job>>,
     completions: &Mutex<Vec<Completion>>,
     wake: &WakePipe,
+    slow_query: Option<Duration>,
 ) {
     loop {
         let job = {
@@ -468,7 +581,10 @@ fn worker_loop(
         };
         let frame = match job.kind {
             JobKind::Batch { requests, permit } => {
-                let outcomes = backend.execute(&requests);
+                let queue_wait = job.enqueued.elapsed();
+                let outcomes = run_batch(
+                    backend, slow_query, job.peer, job.trace, &requests, queue_wait,
+                );
                 // Release the permits before the response is queued —
                 // execution is what the in-flight bound meters, exactly
                 // as before.
@@ -476,8 +592,30 @@ fn worker_loop(
                 ResponseFrame::Batch(outcomes)
             }
             JobKind::Stats => ResponseFrame::Stats(backend.server_stats(admission.stats())),
+            JobKind::Metrics { http } => {
+                let snapshot = backend.metrics_snapshot();
+                if http {
+                    let stats = backend.server_stats(admission.stats());
+                    let body = render_prometheus(&stats, &snapshot);
+                    completions
+                        .lock()
+                        .expect("completion queue poisoned")
+                        .push(Completion {
+                            token: job.token,
+                            bytes: http_ok(&body),
+                            close: true,
+                        });
+                    wake.wake();
+                    continue;
+                }
+                ResponseFrame::Metrics(snapshot)
+            }
         };
-        let (bytes, close) = wire_response(job.version, job.id, &frame);
+        let t_encode = Instant::now();
+        let (bytes, close) = wire_response(job.version, job.id, job.trace, &frame);
+        if let (Some(m), ResponseFrame::Batch(_)) = (backend.obs(), &frame) {
+            m.record_batch_stage(Stage::WireEncode, t_encode.elapsed());
+        }
         completions
             .lock()
             .expect("completion queue poisoned")
@@ -490,6 +628,45 @@ fn worker_loop(
     }
 }
 
+/// Executes one batch through the backend's traced path, recording the
+/// queue-wait stage and emitting a slow-query log line when execution
+/// crosses the configured threshold. Shared by the worker path and the
+/// reactor's inline fast path, so the slow-query log covers both.
+fn run_batch(
+    backend: &dyn ServeBackend,
+    slow_query: Option<Duration>,
+    peer: SocketAddr,
+    trace: TraceId,
+    requests: &[QueryRequest],
+    queue_wait: Duration,
+) -> Vec<QueryOutcome> {
+    if let Some(m) = backend.obs() {
+        if queue_wait > Duration::ZERO {
+            m.record_batch_stage(Stage::QueueWait, queue_wait);
+        }
+    }
+    let t_exec = Instant::now();
+    let (outcomes, stages) = backend.execute_traced(requests, trace);
+    let exec = t_exec.elapsed();
+    if let Some(threshold) = slow_query {
+        if exec >= threshold {
+            if let Some(m) = backend.obs() {
+                m.inc_slow_queries();
+            }
+            // One parseable line per offender: constant prefix, then
+            // `key=value` fields only (greppable by trace ID in CI).
+            eprintln!(
+                "qbs-slow-query peer={peer} trace={trace} batch={} queue_us={} exec_us={} {}",
+                requests.len(),
+                queue_wait.as_micros(),
+                exec.as_micros(),
+                stages.render_us(),
+            );
+        }
+    }
+    outcomes
+}
+
 /// Encodes a response frame into on-the-wire bytes (length prefix
 /// included) for a connection speaking `version`. A response that encodes
 /// past the frame cap (a huge admitted batch of path-graph answers) is
@@ -497,13 +674,22 @@ fn worker_loop(
 /// and the connection survives (the client sees code 4 for that ticket
 /// and can split the batch); under v1 the connection is closed after the
 /// fault, exactly as the pre-reactor server did.
-fn wire_response(version: u16, id: RequestId, frame: &ResponseFrame) -> (Vec<u8>, bool) {
-    let body = frame.encode_body();
-    let payload = if version >= 2 {
-        protocol::encode_envelope(id, &body)
-    } else {
-        body
+fn wire_response(
+    version: u16,
+    id: RequestId,
+    trace: TraceId,
+    frame: &ResponseFrame,
+) -> (Vec<u8>, bool) {
+    let envelope = |body: &[u8]| -> Vec<u8> {
+        if version >= 3 {
+            protocol::encode_envelope_v3(id, trace, body)
+        } else if version == 2 {
+            protocol::encode_envelope(id, body)
+        } else {
+            body.to_vec()
+        }
     };
+    let payload = envelope(&frame.encode_body());
     if payload.len() > MAX_FRAME_LEN as usize {
         let fault = ResponseFrame::Error(WireFault {
             code: fault_code::FRAME_TOO_LARGE,
@@ -513,12 +699,7 @@ fn wire_response(version: u16, id: RequestId, frame: &ResponseFrame) -> (Vec<u8>
                 payload.len()
             ),
         });
-        let fault_body = fault.encode_body();
-        let fault_payload = if version >= 2 {
-            protocol::encode_envelope(id, &fault_body)
-        } else {
-            fault_body
-        };
+        let fault_payload = envelope(&fault.encode_body());
         return (frame_bytes(&fault_payload), version < 2);
     }
     (frame_bytes(&payload), false)
@@ -547,6 +728,8 @@ enum ReadMode {
 /// Per-connection reactor state.
 struct Conn {
     stream: TcpStream,
+    /// Peer address, for the slow-query log.
+    peer: SocketAddr,
     _guard: crate::admission::OwnedConnectionGuard,
     /// Negotiated protocol version; `None` until the client's preamble
     /// arrives.
@@ -576,8 +759,12 @@ struct Conn {
 
 impl Conn {
     fn new(stream: TcpStream, guard: crate::admission::OwnedConnectionGuard) -> Conn {
+        let peer = stream
+            .peer_addr()
+            .unwrap_or_else(|_| SocketAddr::from(([0, 0, 0, 0], 0)));
         Conn {
             stream,
+            peer,
             _guard: guard,
             version: None,
             rbuf: Vec::new(),
@@ -617,33 +804,41 @@ struct Ctx<'a> {
     admission: &'a Arc<Admission>,
     signal: &'a ShutdownSignal,
     jobs: &'a Sender<Job>,
+    slow_query: Option<Duration>,
 }
 
 /// The reactor thread body.
 #[allow(clippy::too_many_arguments)]
 fn reactor_loop(
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     backend: &dyn ServeBackend,
     admission: &Arc<Admission>,
     signal: &ShutdownSignal,
     wake: &WakePipe,
     completions: &Mutex<Vec<Completion>>,
     jobs: Sender<Job>,
+    slow_query: Option<Duration>,
 ) {
     let ctx = Ctx {
         backend,
         admission,
         signal,
         jobs: &jobs,
+        slow_query,
     };
     let shed_threads = Arc::new(AtomicUsize::new(0));
     let mut conns: HashMap<u64, Conn> = HashMap::new();
+    // HTTP `/metrics` connections, sharing the token space with `conns`
+    // so worker completions route by whichever map owns the token.
+    let mut https: HashMap<u64, HttpConn> = HashMap::new();
     let mut next_token: u64 = 0;
     let mut dispatched: usize = 0;
     let mut scratch = vec![0u8; READ_CHUNK];
     let mut shutdown_seen = false;
     let mut accept_pause: Option<Instant> = None;
     let listener_fd = poll::listener_fd(&listener);
+    let metrics_fd = metrics_listener.as_ref().map(poll::listener_fd);
 
     loop {
         if signal.is_shutdown() && !shutdown_seen {
@@ -657,14 +852,19 @@ fn reactor_loop(
                 let conn_deadline = conn.deadline.get_or_insert(deadline);
                 *conn_deadline = (*conn_deadline).min(deadline);
             }
+            // The ops port drains like everything else, bounded by the
+            // same deadline.
+            for http in https.values_mut() {
+                http.deadline.get_or_insert(deadline);
+            }
         }
-        if shutdown_seen && conns.is_empty() && dispatched == 0 {
+        if shutdown_seen && conns.is_empty() && https.is_empty() && dispatched == 0 {
             break;
         }
 
-        // Build the poll set: wake pipe, listener (while accepting), then
-        // one entry per connection, aligned with `order`.
-        let mut fds = Vec::with_capacity(2 + conns.len());
+        // Build the poll set: wake pipe, listeners (while accepting), then
+        // one entry per connection, aligned with `order` / `horder`.
+        let mut fds = Vec::with_capacity(3 + conns.len() + https.len());
         fds.push(wake.poll_fd());
         // During an accept backoff the listener is left out of the poll
         // set entirely: its fd stays readable while the backlog is
@@ -676,7 +876,14 @@ fn reactor_loop(
         } else {
             accept_pause = None;
             fds.push(PollFd::new(listener_fd, POLLIN));
-            Some(1)
+            Some(fds.len() - 1)
+        };
+        let metrics_slot = match metrics_fd {
+            Some(fd) if !shutdown_seen => {
+                fds.push(PollFd::new(fd, POLLIN));
+                Some(fds.len() - 1)
+            }
+            _ => None,
         };
         let base = fds.len();
         let order: Vec<u64> = conns.keys().copied().collect();
@@ -693,6 +900,19 @@ fn reactor_loop(
                 events |= POLLOUT;
             }
             fds.push(PollFd::new(poll::stream_fd(&conn.stream), events));
+        }
+        let hbase = fds.len();
+        let horder: Vec<u64> = https.keys().copied().collect();
+        for token in &horder {
+            let http = &https[token];
+            let mut events = 0i16;
+            if !http.responded {
+                events |= POLLIN;
+            }
+            if !http.wbuf.is_empty() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(poll::stream_fd(&http.stream), events));
         }
 
         if poll::poll(&mut fds, POLL_TIMEOUT_MS).is_err() {
@@ -713,6 +933,14 @@ fn reactor_loop(
         };
         for completion in done {
             dispatched -= 1;
+            if let Some(http) = https.get_mut(&completion.token) {
+                // A `/metrics` snapshot gathered off-reactor (the router):
+                // the bytes are a complete HTTP response.
+                http.wbuf = completion.bytes;
+                http.responded = true;
+                http_write(http);
+                continue;
+            }
             let Some(conn) = conns.get_mut(&completion.token) else {
                 continue; // connection died while the batch executed
             };
@@ -736,6 +964,11 @@ fn reactor_loop(
                     accept_new(&listener, &ctx, &shed_threads, &mut conns, &mut next_token);
             }
         }
+        if let (Some(slot), Some(l)) = (metrics_slot, metrics_listener.as_ref()) {
+            if fds[slot].readable() {
+                accept_http(l, &mut https, &mut next_token);
+            }
+        }
 
         for (i, token) in order.iter().enumerate() {
             let Some(conn) = conns.get_mut(token) else {
@@ -747,6 +980,18 @@ fn reactor_loop(
             }
             if fd.writable() && !conn.wbuf.is_empty() {
                 conn_write(conn);
+            }
+        }
+        for (i, token) in horder.iter().enumerate() {
+            let Some(http) = https.get_mut(token) else {
+                continue;
+            };
+            let fd = fds[hbase + i];
+            if fd.readable() && !http.responded {
+                http_read(&ctx, http, *token, &mut scratch, &mut dispatched);
+            }
+            if fd.writable() && !http.wbuf.is_empty() {
+                http_write(http);
             }
         }
 
@@ -771,7 +1016,288 @@ fn reactor_loop(
             }
             true
         });
+        https.retain(|_, http| {
+            if http.dead {
+                return false;
+            }
+            // `responded` alone is not enough: a worker-dispatched
+            // `/metrics` request sets it with `wbuf` still empty until
+            // the completion lands — reap only once bytes exist and are
+            // fully written.
+            if http.responded && !http.wbuf.is_empty() && http.wbuf.len() == http.woff {
+                // Response delivered in full; `Connection: close`.
+                let _ = http.stream.shutdown(std::net::Shutdown::Write);
+                return false;
+            }
+            if let Some(deadline) = http.deadline {
+                if now >= deadline {
+                    return false;
+                }
+            }
+            true
+        });
     }
+}
+
+/// Cap on parked `/metrics` connections — the ops port serves one probe
+/// at a time per scraper, so a handful is plenty; a flood is dropped at
+/// accept.
+const MAX_HTTP_CONNS: usize = 32;
+
+/// Cap on an HTTP request head (`GET /metrics` plus headers).
+const MAX_HTTP_HEAD: usize = 8 * 1024;
+
+/// How long an HTTP connection may sit without completing its request.
+const HTTP_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Per-connection state of the `/metrics` HTTP listener.
+struct HttpConn {
+    stream: TcpStream,
+    /// Inbound bytes, up to the end of the request head.
+    rbuf: Vec<u8>,
+    /// The full response; written from `woff`.
+    wbuf: Vec<u8>,
+    woff: usize,
+    /// The response is queued (or dispatched); stop reading.
+    responded: bool,
+    /// Force-drop time.
+    deadline: Option<Instant>,
+    dead: bool,
+}
+
+/// Accepts pending `/metrics` connections (outside admission — it is an
+/// ops port; the cap bounds it instead).
+fn accept_http(listener: &TcpListener, https: &mut HashMap<u64, HttpConn>, next_token: &mut u64) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => break, // WouldBlock or transient: next poll retries
+        };
+        if https.len() >= MAX_HTTP_CONNS || stream.set_nonblocking(true).is_err() {
+            continue; // dropped; the scraper retries
+        }
+        *next_token += 1;
+        https.insert(
+            *next_token,
+            HttpConn {
+                stream,
+                rbuf: Vec::new(),
+                wbuf: Vec::new(),
+                woff: 0,
+                responded: false,
+                deadline: Some(Instant::now() + HTTP_DEADLINE),
+                dead: false,
+            },
+        );
+    }
+}
+
+/// Reads an HTTP request head; answers `GET /metrics` with the
+/// Prometheus rendering (inline, or via a worker when the backend's
+/// snapshot performs I/O) and anything else with a 404.
+fn http_read(
+    ctx: &Ctx<'_>,
+    http: &mut HttpConn,
+    token: u64,
+    scratch: &mut [u8],
+    dispatched: &mut usize,
+) {
+    loop {
+        match http.stream.read(scratch) {
+            Ok(0) => {
+                http.dead = true;
+                return;
+            }
+            Ok(n) => {
+                http.rbuf.extend_from_slice(&scratch[..n]);
+                if http.rbuf.len() > MAX_HTTP_HEAD {
+                    http.wbuf = http_error(431, "Request Header Fields Too Large");
+                    http.responded = true;
+                    http_write(http);
+                    return;
+                }
+                if let Some(head_end) = find_head_end(&http.rbuf) {
+                    http_dispatch(ctx, http, token, head_end, dispatched);
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                http.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Routes a complete HTTP request head.
+fn http_dispatch(
+    ctx: &Ctx<'_>,
+    http: &mut HttpConn,
+    token: u64,
+    head_end: usize,
+    dispatched: &mut usize,
+) {
+    let head = String::from_utf8_lossy(&http.rbuf[..head_end]);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        http.wbuf = http_error(405, "Method Not Allowed");
+        http.responded = true;
+        http_write(http);
+        return;
+    }
+    if path != "/metrics" {
+        http.wbuf = http_error(404, "Not Found");
+        http.responded = true;
+        http_write(http);
+        return;
+    }
+    if ctx.backend.metrics_inline() {
+        let stats = ctx.backend.server_stats(ctx.admission.stats());
+        let snapshot = ctx.backend.metrics_snapshot();
+        http.wbuf = http_ok(&render_prometheus(&stats, &snapshot));
+        http.responded = true;
+        http_write(http);
+    } else {
+        // The router gathers the snapshot from every replica over the
+        // network: answer on a worker, never on the reactor.
+        http.responded = true;
+        *dispatched += 1;
+        let _ = ctx.jobs.send(Job {
+            token,
+            id: RequestId::CONNECTION,
+            version: protocol::PROTOCOL_VERSION,
+            trace: TraceId::NONE,
+            peer: SocketAddr::from(([0, 0, 0, 0], 0)),
+            enqueued: Instant::now(),
+            kind: JobKind::Metrics { http: true },
+        });
+    }
+}
+
+/// Finds the end of the request head (the byte after `\r\n\r\n`).
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Nonblocking write pump for an HTTP connection.
+fn http_write(http: &mut HttpConn) {
+    while http.woff < http.wbuf.len() {
+        match http.stream.write(&http.wbuf[http.woff..]) {
+            Ok(0) => {
+                http.dead = true;
+                return;
+            }
+            Ok(n) => http.woff += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                http.dead = true;
+                return;
+            }
+        }
+    }
+    let _ = http.stream.flush();
+}
+
+/// Builds a `200 OK` HTTP response around a Prometheus text body.
+fn http_ok(body: &str) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Builds an HTTP error response.
+fn http_error(code: u16, reason: &str) -> Vec<u8> {
+    format!("HTTP/1.1 {code} {reason}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
+        .into_bytes()
+}
+
+/// Renders the Prometheus exposition: serving-tier counters from the
+/// `Stats` snapshot, then the per-stage histogram families.
+fn render_prometheus(stats: &ServerStats, snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut counter = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    };
+    counter(
+        "qbs_requests_total",
+        "Requests executed by the engine.",
+        stats.engine.requests,
+    );
+    counter(
+        "qbs_batches_total",
+        "Batches executed by the engine.",
+        stats.engine.batches,
+    );
+    counter(
+        "qbs_request_errors_total",
+        "Requests that returned a typed error.",
+        stats.engine.errors,
+    );
+    counter(
+        "qbs_admitted_batches_total",
+        "Batches admitted past all bounds.",
+        stats.admission.admitted_batches,
+    );
+    counter(
+        "qbs_shed_overload_total",
+        "Batches shed by the in-flight bound.",
+        stats.admission.shed_overload,
+    );
+    counter(
+        "qbs_shed_batch_size_total",
+        "Batches shed by the per-batch cap.",
+        stats.admission.shed_batch_size,
+    );
+    counter(
+        "qbs_shed_connections_total",
+        "Connections shed before service.",
+        stats.admission.shed_connections,
+    );
+    if let Some(cache) = &stats.engine.cache {
+        counter("qbs_cache_hits_total", "Answer-cache hits.", cache.hits);
+        counter(
+            "qbs_cache_misses_total",
+            "Answer-cache misses.",
+            cache.misses,
+        );
+    }
+    if let Some(router) = &stats.router {
+        counter(
+            "qbs_router_batches_routed_total",
+            "Client batches scattered by the router.",
+            router.batches_routed,
+        );
+        counter(
+            "qbs_router_retries_total",
+            "Sub-batches retried on another replica.",
+            router.retries,
+        );
+        counter(
+            "qbs_router_unavailable_slots_total",
+            "Request slots answered Unavailable.",
+            router.unavailable_slots,
+        );
+        for replica in &router.replicas {
+            out.push_str(&format!(
+                "qbs_replica_failures_total{{replica=\"{}\"}} {}\n",
+                replica.addr, replica.failures
+            ));
+        }
+    }
+    snapshot.render_prometheus_into(&mut out);
+    out
 }
 
 /// Accepts every connection the backlog holds; admits or sheds each.
@@ -890,7 +1416,7 @@ fn process_rbuf(ctx: &Ctx<'_>, conn: &mut Conn, token: u64, dispatched: &mut usi
                         protocol::PROTOCOL_VERSION
                     ),
                 });
-                let (bytes, _) = wire_response(1, RequestId::CONNECTION, &fault);
+                let (bytes, _) = wire_response(1, RequestId::CONNECTION, TraceId::NONE, &fault);
                 conn.fault_close(bytes);
                 return;
             }
@@ -908,7 +1434,7 @@ fn process_rbuf(ctx: &Ctx<'_>, conn: &mut Conn, token: u64, dispatched: &mut usi
                 code: fault_code::FRAME_TOO_LARGE,
                 message: format!("frame length {len} exceeds the cap"),
             });
-            let (bytes, _) = wire_response(version, RequestId::CONNECTION, &fault);
+            let (bytes, _) = wire_response(version, RequestId::CONNECTION, TraceId::NONE, &fault);
             conn.fault_close(bytes);
             return;
         }
@@ -931,23 +1457,38 @@ fn handle_frame(
     payload: &[u8],
     dispatched: &mut usize,
 ) {
-    let (id, body) = if version >= 2 {
-        match protocol::split_envelope(payload) {
-            Ok((id, body)) if !id.is_connection_scoped() => (id, body),
+    let (id, trace, body) = if version >= 3 {
+        match protocol::split_envelope_v3(payload) {
+            Ok((id, trace, body)) if !id.is_connection_scoped() => (id, trace, body),
             // A truncated envelope (or the reserved ID) breaks the
             // request/response pairing: connection-scoped fault.
             _ => {
                 let fault = ResponseFrame::Error(WireFault {
                     code: fault_code::MALFORMED,
+                    message: "v3 frame carried no usable request envelope".to_string(),
+                });
+                let (bytes, _) =
+                    wire_response(version, RequestId::CONNECTION, TraceId::NONE, &fault);
+                conn.fault_close(bytes);
+                return;
+            }
+        }
+    } else if version == 2 {
+        match protocol::split_envelope(payload) {
+            Ok((id, body)) if !id.is_connection_scoped() => (id, TraceId::NONE, body),
+            _ => {
+                let fault = ResponseFrame::Error(WireFault {
+                    code: fault_code::MALFORMED,
                     message: "v2 frame carried no usable request id".to_string(),
                 });
-                let (bytes, _) = wire_response(version, RequestId::CONNECTION, &fault);
+                let (bytes, _) =
+                    wire_response(version, RequestId::CONNECTION, TraceId::NONE, &fault);
                 conn.fault_close(bytes);
                 return;
             }
         }
     } else {
-        (RequestId::CONNECTION, payload)
+        (RequestId::CONNECTION, TraceId::NONE, payload)
     };
 
     let frame = match RequestFrame::decode_body(body) {
@@ -966,9 +1507,9 @@ fn handle_frame(
             if version >= 2 {
                 // Framing is intact (the length prefix consumed the whole
                 // frame): fault the request, keep the connection.
-                queue_reply(conn, version, id, &ResponseFrame::Error(fault));
+                queue_reply(conn, version, id, trace, &ResponseFrame::Error(fault));
             } else {
-                let (bytes, _) = wire_response(version, id, &ResponseFrame::Error(fault));
+                let (bytes, _) = wire_response(version, id, trace, &ResponseFrame::Error(fault));
                 conn.fault_close(bytes);
             }
             return;
@@ -987,16 +1528,18 @@ fn handle_frame(
         return;
     }
 
-    execute_frame(ctx, conn, token, version, id, frame, dispatched);
+    execute_frame(ctx, conn, token, version, id, trace, frame, dispatched);
 }
 
 /// Executes a frame now: control frames inline, batches to the workers.
+#[allow(clippy::too_many_arguments)]
 fn execute_frame(
     ctx: &Ctx<'_>,
     conn: &mut Conn,
     token: u64,
     version: u16,
     id: RequestId,
+    trace: TraceId,
     frame: RequestFrame,
     dispatched: &mut usize,
 ) {
@@ -1016,10 +1559,25 @@ fn execute_frame(
                     && requests.len() <= INLINE_BATCH_MAX
                     && requests.iter().all(|r| r.mode == QueryMode::Distance)
                 {
-                    let outcomes = ctx.backend.execute(&requests);
+                    // The shared helper keeps the slow-query log covering
+                    // this path too; inline work never queued, so its
+                    // queue wait is zero.
+                    let outcomes = run_batch(
+                        ctx.backend,
+                        ctx.slow_query,
+                        conn.peer,
+                        trace,
+                        &requests,
+                        Duration::ZERO,
+                    );
                     drop(permit);
                     let frame = ResponseFrame::Batch(outcomes);
-                    queue_reply(conn, version, id, &frame);
+                    let t_encode = Instant::now();
+                    let (bytes, close) = wire_response(version, id, trace, &frame);
+                    if let Some(m) = ctx.backend.obs() {
+                        m.record_batch_stage(Stage::WireEncode, t_encode.elapsed());
+                    }
+                    push_reply(conn, bytes, close);
                     return;
                 }
                 conn.inflight += 1;
@@ -1028,15 +1586,18 @@ fn execute_frame(
                     token,
                     id,
                     version,
+                    trace,
+                    peer: conn.peer,
+                    enqueued: Instant::now(),
                     kind: JobKind::Batch { requests, permit },
                 });
             }
-            Err(reason) => queue_reply(conn, version, id, &ResponseFrame::Busy(reason)),
+            Err(reason) => queue_reply(conn, version, id, trace, &ResponseFrame::Busy(reason)),
         },
         RequestFrame::Stats => {
             if ctx.backend.stats_inline() {
                 let stats = ctx.backend.server_stats(ctx.admission.stats());
-                queue_reply(conn, version, id, &ResponseFrame::Stats(stats));
+                queue_reply(conn, version, id, trace, &ResponseFrame::Stats(stats));
             } else {
                 // The backend's snapshot performs I/O (the router rounds
                 // up every replica): answer it on a worker so the reactor
@@ -1047,18 +1608,39 @@ fn execute_frame(
                     token,
                     id,
                     version,
+                    trace,
+                    peer: conn.peer,
+                    enqueued: Instant::now(),
                     kind: JobKind::Stats,
                 });
             }
         }
-        RequestFrame::Ping => queue_reply(conn, version, id, &ResponseFrame::Pong),
+        RequestFrame::Metrics => {
+            if ctx.backend.metrics_inline() {
+                let snapshot = ctx.backend.metrics_snapshot();
+                queue_reply(conn, version, id, trace, &ResponseFrame::Metrics(snapshot));
+            } else {
+                conn.inflight += 1;
+                *dispatched += 1;
+                let _ = ctx.jobs.send(Job {
+                    token,
+                    id,
+                    version,
+                    trace,
+                    peer: conn.peer,
+                    enqueued: Instant::now(),
+                    kind: JobKind::Metrics { http: false },
+                });
+            }
+        }
+        RequestFrame::Ping => queue_reply(conn, version, id, trace, &ResponseFrame::Pong),
         RequestFrame::Shutdown => {
             // Flip the latch before acking, so a client that saw the ack
             // can rely on the drain having begun. Frames the client
             // pipelined behind the Shutdown are dropped, as the old
             // server (which closed right after the ack) never read them.
             ctx.signal.trigger();
-            queue_reply(conn, version, id, &ResponseFrame::ShutdownAck);
+            queue_reply(conn, version, id, trace, &ResponseFrame::ShutdownAck);
             conn.pending.clear();
             conn.mode = ReadMode::Stopped;
             conn.closing = true;
@@ -1089,6 +1671,7 @@ fn advance_pending(ctx: &Ctx<'_>, conn: &mut Conn, token: u64, dispatched: &mut 
             token,
             version,
             RequestId::CONNECTION,
+            TraceId::NONE,
             frame,
             dispatched,
         );
@@ -1096,8 +1679,19 @@ fn advance_pending(ctx: &Ctx<'_>, conn: &mut Conn, token: u64, dispatched: &mut 
 }
 
 /// Encodes a reply and queues it (the next write flush sends it).
-fn queue_reply(conn: &mut Conn, version: u16, id: RequestId, frame: &ResponseFrame) {
-    let (bytes, close) = wire_response(version, id, frame);
+fn queue_reply(
+    conn: &mut Conn,
+    version: u16,
+    id: RequestId,
+    trace: TraceId,
+    frame: &ResponseFrame,
+) {
+    let (bytes, close) = wire_response(version, id, trace, frame);
+    push_reply(conn, bytes, close);
+}
+
+/// Queues already-encoded reply bytes, honouring the close-after flag.
+fn push_reply(conn: &mut Conn, bytes: Vec<u8>, close: bool) {
     conn.wbuf.push_back(bytes);
     if close {
         // v1 over-cap downgrade: the request/response rhythm is broken,
@@ -1183,7 +1777,7 @@ fn refuse(mut stream: TcpStream, frame: ResponseFrame) {
         _ => protocol::MIN_PROTOCOL_VERSION,
     };
     let _ = protocol::write_preamble_version(&mut stream, version);
-    let (bytes, _) = wire_response(version, RequestId::CONNECTION, &frame);
+    let (bytes, _) = wire_response(version, RequestId::CONNECTION, TraceId::NONE, &frame);
     let _ = stream.write_all(&bytes);
     linger_close(stream);
 }

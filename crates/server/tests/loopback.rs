@@ -280,14 +280,17 @@ fn ping_reconnect_and_version_negotiation() {
         qbs_server::PROTOCOL_VERSION,
         "the server replies with the negotiated version"
     );
-    qbs_server::protocol::write_request_v2(
+    let trace = qbs_core::TraceId(0xDEAD_BEEF_CAFE);
+    qbs_server::protocol::write_request_v3(
         &mut raw,
         RequestId(7),
+        trace,
         &qbs_server::protocol::RequestFrame::Ping,
     )
-    .expect("v2 ping");
-    let (id, frame) = qbs_server::protocol::read_response_v2(&mut raw).expect("v2 pong");
+    .expect("v3 ping");
+    let (id, echoed, frame) = qbs_server::protocol::read_response_v3(&mut raw).expect("v3 pong");
     assert_eq!(id, RequestId(7));
+    assert_eq!(echoed, trace, "the reply echoes the request's trace ID");
     assert_eq!(frame, qbs_server::protocol::ResponseFrame::Pong);
 
     // Version 0 predates every build: typed fault, then close.
@@ -312,15 +315,15 @@ fn ping_reconnect_and_version_negotiation() {
 }
 
 #[test]
-fn v1_and_v2_clients_get_bit_identical_answers() {
+fn v1_and_v3_clients_get_bit_identical_answers() {
     let (qbs, path) = mmap_session("versions");
     let num_vertices = qbs_core::IndexStore::num_vertices(qbs.as_ref()) as u32;
     let mut server = QbsServer::start(Arc::clone(&qbs), ServerConfig::default()).expect("start");
     let addr = server.local_addr().to_string();
     let local = Qbs::open(&path, MapMode::Mmap).expect("local reference");
 
-    let mut v2 = QbsClient::connect(&addr).expect("v2 connect");
-    assert_eq!(v2.protocol_version(), 2);
+    let mut v3 = QbsClient::connect(&addr).expect("v3 connect");
+    assert_eq!(v3.protocol_version(), 3);
     let mut v1 =
         QbsClient::connect_with(&addr, ClientConfig::default().force_v1(true)).expect("v1 connect");
     assert_eq!(v1.protocol_version(), 1, "force_v1 pins the handshake");
@@ -328,7 +331,7 @@ fn v1_and_v2_clients_get_bit_identical_answers() {
     for salt in 0..3u32 {
         let requests = mixed_requests(num_vertices, salt);
         let expected = local.submit(&requests);
-        for (name, client) in [("v2", &mut v2), ("v1", &mut v1)] {
+        for (name, client) in [("v3", &mut v3), ("v1", &mut v1)] {
             let reply = client.submit(&requests).expect("submit");
             assert_eq!(
                 reply.outcomes().expect("unloaded server never sheds"),
@@ -352,10 +355,10 @@ fn v1_and_v2_clients_get_bit_identical_answers() {
     assert_eq!(reply_b.outcomes().expect("admitted"), &expected_b[..]);
 
     // Control frames interleave with pipelined batches on both versions.
-    let ticket = v2.send(&batch_a).expect("send");
-    v2.ping().expect("ping while a batch is in flight");
+    let ticket = v3.send(&batch_a).expect("send");
+    v3.ping().expect("ping while a batch is in flight");
     assert_eq!(
-        v2.recv(ticket).expect("recv").outcomes().expect("admitted"),
+        v3.recv(ticket).expect("recv").outcomes().expect("admitted"),
         &expected_a[..]
     );
     server.shutdown();
@@ -457,6 +460,93 @@ fn pipelined_batches_complete_out_of_order_and_match_local() {
         Err(qbs_server::ProtocolError::UnknownTicket(_)) => {}
         other => panic!("expected UnknownTicket, got {other:?}"),
     }
+    server.shutdown();
+}
+
+#[test]
+fn metrics_frame_http_endpoint_and_slow_queries() {
+    let (qbs, _path) = mmap_session("metrics");
+    let num_vertices = qbs_core::IndexStore::num_vertices(qbs.as_ref()) as u32;
+    // A zero slow-query threshold makes every admitted batch "slow", so
+    // the counter (and the stderr log line) fire deterministically.
+    let config = ServerConfig::default()
+        .metrics_addr("127.0.0.1:0")
+        .slow_query(std::time::Duration::ZERO);
+    let mut server = QbsServer::start(Arc::clone(&qbs), config).expect("start");
+    let addr = server.local_addr().to_string();
+    let metrics_addr = server.metrics_addr().expect("metrics listener bound");
+
+    let mut client = QbsClient::connect(&addr).expect("connect");
+    let pinned = qbs_core::TraceId(0xABCD_EF01_2345);
+    client.set_trace(pinned);
+    for salt in 0..3u32 {
+        let reply = client
+            .submit(&mixed_requests(num_vertices, salt))
+            .expect("submit");
+        assert!(reply.outcomes().is_some());
+    }
+    assert_eq!(
+        client.last_trace(),
+        pinned,
+        "pinned trace rides every frame"
+    );
+
+    // The Metrics frame returns per-stage histograms with real samples.
+    let snapshot = client.metrics().expect("metrics frame");
+    let stages = qbs_core::Stage::ALL.len();
+    let executed: u64 = snapshot
+        .hists
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stages == qbs_core::Stage::Execute as usize)
+        .map(|(_, h)| h.count)
+        .sum();
+    assert!(
+        executed > 0,
+        "execute stage recorded no samples: {snapshot:?}"
+    );
+    assert!(
+        snapshot.slow_queries >= 3,
+        "zero threshold marks every batch slow, got {}",
+        snapshot.slow_queries
+    );
+    for h in &snapshot.hists {
+        if h.count > 0 {
+            assert!(
+                h.quantile(0.5) <= h.quantile(0.99),
+                "quantiles not monotone"
+            );
+            assert!(h.quantile(0.99) <= h.max, "p99 exceeds the observed max");
+        }
+    }
+
+    // The HTTP endpoint renders the same registry in Prometheus text.
+    use std::io::{Read, Write};
+    let mut http = std::net::TcpStream::connect(metrics_addr).expect("http connect");
+    http.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("timeout");
+    http.write_all(b"GET /metrics HTTP/1.1\r\nHost: qbs\r\nConnection: close\r\n\r\n")
+        .expect("request");
+    let mut body = String::new();
+    http.read_to_string(&mut body).expect("response");
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "bad status: {body}");
+    for family in [
+        "qbs_requests_total",
+        "qbs_batches_total",
+        "qbs_stage_seconds_bucket",
+        "qbs_stage_seconds_quantile",
+        "qbs_slow_queries_total",
+    ] {
+        assert!(body.contains(family), "missing family {family} in:\n{body}");
+    }
+
+    // Unknown paths get a 404 without killing the listener.
+    let mut http = std::net::TcpStream::connect(metrics_addr).expect("http connect");
+    http.write_all(b"GET /nope HTTP/1.1\r\nHost: qbs\r\nConnection: close\r\n\r\n")
+        .expect("request");
+    let mut reply = String::new();
+    http.read_to_string(&mut reply).expect("response");
+    assert!(reply.starts_with("HTTP/1.1 404"), "bad status: {reply}");
     server.shutdown();
 }
 

@@ -300,6 +300,7 @@ fn stats_payload_truncation_sweep() {
                 ejections: 1,
                 in_flight: 2,
                 consecutive_failures: 0,
+                failures: 7,
             }],
         }),
     };
